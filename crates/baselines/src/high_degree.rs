@@ -1,0 +1,235 @@
+//! HighDegreeGlobal and HighDegreeLocal (Section VII).
+//!
+//! Both iteratively add the node with the highest *weighted degree* to the
+//! boost set. Four degree definitions are used; experiments report the
+//! best-performing of the four solutions. HighDegreeLocal restricts
+//! candidates to BFS rings around the seeds, expanding ring by ring until
+//! `k` nodes are found.
+
+use kboost_graph::{DiGraph, NodeId};
+
+/// The four weighted-degree definitions of the HighDegree baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedDegree {
+    /// `Σ_{e_uv} p_uv` — total outgoing influence.
+    OutSum,
+    /// `Σ_{e_uv, v∉B} p_uv` — outgoing influence discounted by already
+    /// boosted heads.
+    OutSumDiscounted,
+    /// `Σ_{e_vu} (p'_vu − p_vu)` — total incoming boost gain.
+    InGain,
+    /// `Σ_{e_vu, v∉B} (p'_vu − p_vu)` — incoming boost gain discounted by
+    /// already boosted tails.
+    InGainDiscounted,
+}
+
+/// All four variants, for "report the best of the four" loops.
+pub const ALL_DEGREES: [WeightedDegree; 4] = [
+    WeightedDegree::OutSum,
+    WeightedDegree::OutSumDiscounted,
+    WeightedDegree::InGain,
+    WeightedDegree::InGainDiscounted,
+];
+
+fn degree_of(g: &DiGraph, u: NodeId, kind: WeightedDegree, boosted: &[bool]) -> f64 {
+    match kind {
+        WeightedDegree::OutSum => g.out_edges(u).map(|(_, p)| p.base).sum(),
+        WeightedDegree::OutSumDiscounted => g
+            .out_edges(u)
+            .filter(|(v, _)| !boosted[v.index()])
+            .map(|(_, p)| p.base)
+            .sum(),
+        WeightedDegree::InGain => g.in_edges(u).map(|(_, p)| p.gain()).sum(),
+        WeightedDegree::InGainDiscounted => g
+            .in_edges(u)
+            .filter(|(v, _)| !boosted[v.index()])
+            .map(|(_, p)| p.gain())
+            .sum(),
+    }
+}
+
+/// HighDegreeGlobal for one degree definition: iteratively picks the
+/// highest-degree non-seed node.
+pub fn high_degree_global(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    k: usize,
+    kind: WeightedDegree,
+) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut excluded = vec![false; n];
+    for &s in seeds {
+        excluded[s.index()] = true;
+    }
+    pick_iteratively(g, k, kind, &mut excluded, None)
+}
+
+/// HighDegreeLocal: same selection restricted to nodes near the seeds —
+/// first among direct out-neighbors of seeds, then two hops out, and so
+/// on, until `k` nodes are collected.
+pub fn high_degree_local(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    k: usize,
+    kind: WeightedDegree,
+) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut excluded = vec![false; n];
+    let mut ring: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        excluded[s.index()] = true;
+        ring.push(s);
+    }
+
+    let mut result = Vec::with_capacity(k);
+    let mut in_frontier = vec![false; n];
+    while result.len() < k && !ring.is_empty() {
+        // Expand one BFS ring (out-neighbors of the current ring).
+        let mut next: Vec<NodeId> = Vec::new();
+        for &u in &ring {
+            for (v, _) in g.out_edges(u) {
+                if !excluded[v.index()] && !in_frontier[v.index()] {
+                    in_frontier[v.index()] = true;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        // Select greedily inside the ring.
+        let mut allowed = vec![false; n];
+        for &v in &next {
+            allowed[v.index()] = true;
+        }
+        let want = k - result.len();
+        let picked = pick_iteratively(g, want, kind, &mut excluded, Some(&allowed));
+        result.extend_from_slice(&picked);
+        for &v in &next {
+            excluded[v.index()] = true; // spent this ring
+            in_frontier[v.index()] = false;
+        }
+        ring = next;
+    }
+    result
+}
+
+fn pick_iteratively(
+    g: &DiGraph,
+    k: usize,
+    kind: WeightedDegree,
+    excluded: &mut [bool],
+    allowed: Option<&[bool]>,
+) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut boosted = vec![false; n];
+    let mut picked = Vec::with_capacity(k);
+    let discounted =
+        matches!(kind, WeightedDegree::OutSumDiscounted | WeightedDegree::InGainDiscounted);
+
+    // Non-discounted degrees are static: one sort suffices. Discounted
+    // degrees change as B grows, so re-scan per pick.
+    if !discounted {
+        let mut scored: Vec<(f64, u32)> = (0..n as u32)
+            .filter(|&v| !excluded[v as usize] && allowed.is_none_or(|a| a[v as usize]))
+            .map(|v| (degree_of(g, NodeId(v), kind, &boosted), v))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for (_score, v) in scored.into_iter().take(k) {
+            excluded[v as usize] = true;
+            picked.push(NodeId(v));
+        }
+        return picked;
+    }
+
+    for _ in 0..k {
+        let mut best: Option<(f64, u32)> = None;
+        for v in 0..n as u32 {
+            if excluded[v as usize] || allowed.is_some_and(|a| !a[v as usize]) {
+                continue;
+            }
+            let d = degree_of(g, NodeId(v), kind, &boosted);
+            if best.is_none_or(|(bd, _)| d > bd) {
+                best = Some((d, v));
+            }
+        }
+        let Some((_score, v)) = best else { break };
+        excluded[v as usize] = true;
+        boosted[v as usize] = true;
+        picked.push(NodeId(v));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+
+    fn sample() -> DiGraph {
+        // Node 1 has the largest out-sum; node 2 the largest in-gain.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9, 0.95).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.8, 0.9).unwrap();
+        b.add_edge(NodeId(3), NodeId(2), 0.1, 0.9).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn out_sum_picks_node1() {
+        let g = sample();
+        let picked = high_degree_global(&g, &[NodeId(0)], 1, WeightedDegree::OutSum);
+        assert_eq!(picked, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn in_gain_picks_node2() {
+        let g = sample();
+        let picked = high_degree_global(&g, &[NodeId(0)], 1, WeightedDegree::InGain);
+        assert_eq!(picked, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn seeds_excluded() {
+        let g = sample();
+        for kind in ALL_DEGREES {
+            let picked = high_degree_global(&g, &[NodeId(1)], 2, kind);
+            assert!(!picked.contains(&NodeId(1)), "{kind:?} picked a seed");
+        }
+    }
+
+    #[test]
+    fn local_prefers_seed_neighborhood() {
+        let g = sample();
+        // Seeds = {0}: first ring is {1}; node 1 must be picked first even
+        // under InGain (where node 2 scores higher globally).
+        let picked = high_degree_local(&g, &[NodeId(0)], 1, WeightedDegree::InGain);
+        assert_eq!(picked, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn local_expands_rings_until_k() {
+        let g = sample();
+        let picked = high_degree_local(&g, &[NodeId(0)], 3, WeightedDegree::OutSum);
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked[0], NodeId(1)); // ring 1
+    }
+
+    #[test]
+    fn discounted_differs_from_plain() {
+        // 0 -> {1,2}, 1 -> 2: discounting steers the 2nd pick away from
+        // nodes pointing into the already-boosted region.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5, 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5, 0.9).unwrap();
+        b.add_edge(NodeId(3), NodeId(2), 0.5, 0.9).unwrap();
+        b.add_edge(NodeId(3), NodeId(1), 0.4, 0.8).unwrap();
+        let g = b.build().unwrap();
+        let plain = high_degree_global(&g, &[NodeId(0)], 2, WeightedDegree::OutSum);
+        let disc = high_degree_global(&g, &[NodeId(0)], 2, WeightedDegree::OutSumDiscounted);
+        assert_eq!(plain.len(), 2);
+        assert_eq!(disc.len(), 2);
+        assert_eq!(plain[0], NodeId(3)); // 0.9 total out-sum
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline boost-set selectors from Section VII.
+//!
+//! None of these carries an approximation guarantee; the paper uses them
+//! to demonstrate PRR-Boost's superiority:
+//!
+//! * [`high_degree`] — HighDegreeGlobal / HighDegreeLocal with the four
+//!   weighted-degree definitions (the experiments report the best of the
+//!   four).
+//! * [`pagerank`] — PageRank over the reversed influence transition
+//!   matrix, restart 0.15, L1 tolerance `1e-4`.
+//! * [`more_seeds`] — re-exported from `kboost-rrset`: k extra seeds via
+//!   marginal IMM, returned *as boosted nodes*.
+//! * [`random_boost`] — uniform random non-seed nodes.
+
+pub mod high_degree;
+pub mod pagerank;
+
+pub use high_degree::{high_degree_global, high_degree_local, WeightedDegree};
+pub use kboost_rrset::seeds::select_more_seeds as more_seeds;
+pub use pagerank::{pagerank_scores, pagerank_select};
+
+use kboost_graph::{DiGraph, NodeId};
+
+/// Uniform random non-seed boost set (baseline).
+pub fn random_boost(g: &DiGraph, seeds: &[NodeId], k: usize, seed: u64) -> Vec<NodeId> {
+    kboost_rrset::seeds::select_random_nodes(g, k, seeds, seed)
+}

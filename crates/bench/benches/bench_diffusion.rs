@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the diffusion simulators: coupled runs (common
+//! random numbers) vs plain runs, and the µ-model 0-1 BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kboost_datasets::{Dataset, Scale};
+use kboost_diffusion::mu_model::mu_spread_pair;
+use kboost_diffusion::sim::{simulate, BoostMask, CoupledRun};
+use kboost_rrset::seeds::select_random_nodes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    let g = Dataset::Digg.generate(Scale::Tiny, 2.0, 7);
+    let seeds = select_random_nodes(&g, 20, &[], 1);
+    let boost_nodes = select_random_nodes(&g, 100, &seeds, 2);
+    let boost = BoostMask::from_nodes(g.num_nodes(), &boost_nodes);
+
+    c.bench_function("ic_simulate_plain", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(simulate(&g, &seeds, &boost, &mut rng)));
+    });
+    c.bench_function("ic_simulate_coupled_pair", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(CoupledRun::new(i).spread_pair(&g, &seeds, &boost))
+        });
+    });
+    c.bench_function("mu_model_spread_pair", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mu_spread_pair(&g, &seeds, &boost, CoupledRun::new(i)))
+        });
+    });
+}
+
+
+/// Short measurement budget: these benches exist to expose relative costs
+/// (generation vs compression vs evaluation), not microsecond precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulators
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the RR-set / IMM substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kboost_datasets::{Dataset, Scale};
+use kboost_rrset::greedy::greedy_max_cover;
+use kboost_rrset::ic::{sample_rr_set, RrScratch};
+use kboost_rrset::seeds::select_random_nodes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rr_generation(c: &mut Criterion) {
+    for dataset in [Dataset::Digg, Dataset::Twitter] {
+        let g = dataset.generate(Scale::Tiny, 2.0, 7);
+        c.bench_function(&format!("rr_set_{}", dataset.name()), |b| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut scratch = RrScratch::default();
+            b.iter(|| black_box(sample_rr_set(&g, &mut rng, &mut scratch).len()));
+        });
+    }
+}
+
+fn bench_greedy_cover(c: &mut Criterion) {
+    let g = Dataset::Digg.generate(Scale::Tiny, 2.0, 7);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut scratch = RrScratch::default();
+    let covers: Vec<_> = (0..20_000)
+        .map(|_| sample_rr_set(&g, &mut rng, &mut scratch))
+        .collect();
+    let _ = select_random_nodes(&g, 1, &[], 0); // warm node-count path
+    c.bench_function("greedy_cover_20k_sketches_k50", |b| {
+        b.iter(|| black_box(greedy_max_cover(&covers, g.num_nodes(), 50, None).covered));
+    });
+}
+
+
+/// Short measurement budget: these benches exist to expose relative costs
+/// (generation vs compression vs evaluation), not microsecond precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench_imm_vs_ssa(c: &mut Criterion) {
+    // Ablation: IMM's worst-case sample bound vs the SSA stop-and-stare
+    // rule, measured end-to-end on seed selection.
+    use kboost_rrset::imm::{run_imm, ImmParams};
+    use kboost_rrset::ssa::{run_ssa, SsaParams};
+    use kboost_rrset::ic::InfluenceRr;
+    let g = Dataset::Digg.generate(Scale::Tiny, 2.0, 7);
+    let src = InfluenceRr::new(&g);
+    c.bench_function("sampler_imm_k10", |b| {
+        b.iter(|| {
+            let params = ImmParams {
+                k: 10, epsilon: 0.5, ell: 1.0, threads: 4, seed: 5,
+                max_sketches: Some(100_000), min_sketches: 0,
+            };
+            black_box(run_imm(&src, &params).pool.total_samples())
+        });
+    });
+    c.bench_function("sampler_ssa_k10", |b| {
+        b.iter(|| {
+            let params = SsaParams {
+                k: 10, epsilon: 0.5, initial: 1_000,
+                max_sketches: 100_000, threads: 4, seed: 5,
+            };
+            black_box(run_ssa(&src, &params).pool.total_samples())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rr_generation, bench_greedy_cover, bench_imm_vs_ssa
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the bidirected-tree algorithms: the O(n) exact
+//! computation (Lemmas 5-7), Greedy-Boost, and DP-Boost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kboost_graph::generators::complete_binary_tree;
+use kboost_graph::probability::ProbabilityModel;
+use kboost_rrset::seeds::select_random_nodes;
+use kboost_tree::exact::TreeState;
+use kboost_tree::{dp_boost, greedy_boost, BidirectedTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn make_tree(n: usize) -> BidirectedTree {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let topo = complete_binary_tree(n);
+    let g = topo.into_bidirected_graph(ProbabilityModel::Trivalency, 2.0, &mut rng);
+    let seeds = select_random_nodes(&g, (n / 20).max(2), &[], 1);
+    BidirectedTree::from_digraph(&g, &seeds).unwrap()
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_exact_sigma");
+    for n in [1_000usize, 10_000, 100_000] {
+        let tree = make_tree(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(TreeState::compute(&tree, &[]).sigma()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let tree = make_tree(2_000);
+    c.bench_function("tree_greedy_boost_n2000_k20", |b| {
+        b.iter(|| black_box(greedy_boost(&tree, 20).boost));
+    });
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let tree = make_tree(200);
+    c.bench_function("tree_dp_boost_n200_k10_eps1", |b| {
+        b.iter(|| black_box(dp_boost(&tree, 10, 1.0).boost));
+    });
+}
+
+
+/// Short measurement budget: these benches exist to expose relative costs
+/// (generation vs compression vs evaluation), not microsecond precision.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_exact, bench_greedy, bench_dp
+}
+criterion_main!(benches);

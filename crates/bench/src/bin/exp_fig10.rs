@@ -1,0 +1,10 @@
+//! Figure 10: boost of influence vs k — random seeds, six algorithms.
+
+use kboost_bench::figures::quality_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 10 — boost vs k (random seeds)");
+    quality_experiment(SeedMode::Random, &opts);
+}

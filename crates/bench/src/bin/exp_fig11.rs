@@ -1,0 +1,10 @@
+//! Figure 11: running time of PRR-Boost vs PRR-Boost-LB (random seeds).
+
+use kboost_bench::figures::time_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 11 — running time (random seeds)");
+    time_experiment(SeedMode::Random, &opts);
+}

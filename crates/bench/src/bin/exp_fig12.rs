@@ -1,0 +1,11 @@
+//! Figure 12: sandwich-approximation ratio µ̂/Δ̂ (random seeds, β=2).
+
+use kboost_bench::figures::sandwich_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 12 — sandwich ratio (random seeds)");
+    let ks = opts.k_grid();
+    sandwich_experiment(SeedMode::Random, &[2.0], &ks, &opts);
+}

@@ -1,0 +1,34 @@
+//! Figure 13: budget allocation between seeding and boosting
+//! (Flixster-like and Flickr-like networks; cost ratios 100–800).
+
+use kboost_bench::{load, print_table, Opts};
+use kboost_core::{budget_sweep, BudgetOptions};
+use kboost_datasets::Dataset;
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 13 — budget allocation between seeding and boosting");
+    let max_seeds = if opts.full { 100 } else { 20 };
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    for dataset in [Dataset::Flixster, Dataset::Flickr] {
+        let g = load(dataset, 2.0, &opts);
+        println!("\n### {} (n = {}, m = {})", dataset.name(), g.num_nodes(), g.num_edges());
+        let mut rows = Vec::new();
+        for cost_ratio in [100usize, 200, 400, 800] {
+            let budget = BudgetOptions {
+                max_seeds,
+                cost_ratio,
+                boost: opts.boost_options(cost_ratio as u64),
+                imm: opts.imm_params(1, cost_ratio as u64 + 1),
+                mc: opts.mc(cost_ratio as u64 + 2),
+            };
+            let points = budget_sweep(&g, &fractions, &budget);
+            let mut row = vec![format!("{cost_ratio}x")];
+            for p in &points {
+                row.push(format!("{:.0}", p.sigma));
+            }
+            rows.push(row);
+        }
+        print_table(&["cost ratio", "20%", "40%", "60%", "80%", "100% (pure seeding)"], &rows);
+    }
+}

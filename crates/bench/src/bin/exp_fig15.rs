@@ -1,0 +1,45 @@
+//! Figure 15: Greedy-Boost vs DP-Boost on trees of varying size (ε = 0.5).
+
+use kboost_bench::{fmt_secs, print_table, Opts};
+use kboost_graph::generators::complete_binary_tree;
+use kboost_graph::probability::ProbabilityModel;
+use kboost_rrset::seeds::select_random_nodes;
+use kboost_tree::{dp_boost, greedy_boost, BidirectedTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let opts = Opts::from_args();
+    let sizes: Vec<usize> = if opts.full {
+        vec![1000, 2000, 3000, 4000, 5000]
+    } else {
+        vec![200, 400, 600, 800, 1000]
+    };
+    let k = if opts.full { 250 } else { 30 };
+    println!("## Figure 15 — trees of varying size (ε = 0.5, k = {k})");
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut rng = SmallRng::seed_from_u64(opts.seed + n as u64);
+        let topo = complete_binary_tree(n);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Trivalency, 2.0, &mut rng);
+        let seeds = select_random_nodes(&g, 50.min(n / 10), &[], opts.seed ^ n as u64);
+        let tree = BidirectedTree::from_digraph(&g, &seeds).unwrap();
+
+        let t0 = Instant::now();
+        let greedy = greedy_boost(&tree, k);
+        let t_greedy = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let dp = dp_boost(&tree, k, 0.5);
+        let t_dp = t0.elapsed().as_secs_f64();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", greedy.boost),
+            format!("{:.2}", dp.boost),
+            fmt_secs(t_greedy),
+            fmt_secs(t_dp),
+        ]);
+    }
+    print_table(&["n", "greedy boost", "DP boost", "t(greedy)", "t(DP)"], &rows);
+}

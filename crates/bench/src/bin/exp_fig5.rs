@@ -1,0 +1,10 @@
+//! Figure 5: boost of influence vs k — influential seeds, six algorithms.
+
+use kboost_bench::figures::quality_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 5 — boost vs k (influential seeds)");
+    quality_experiment(SeedMode::Influential, &opts);
+}

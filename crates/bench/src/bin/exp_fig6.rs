@@ -1,0 +1,10 @@
+//! Figure 6: running time of PRR-Boost vs PRR-Boost-LB (influential seeds).
+
+use kboost_bench::figures::time_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 6 — running time (influential seeds)");
+    time_experiment(SeedMode::Influential, &opts);
+}

@@ -1,0 +1,11 @@
+//! Figure 7: sandwich-approximation ratio µ̂/Δ̂ (influential seeds, β=2).
+
+use kboost_bench::figures::sandwich_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 7 — sandwich ratio (influential seeds)");
+    let ks = opts.k_grid();
+    sandwich_experiment(SeedMode::Influential, &[2.0], &ks, &opts);
+}

@@ -1,0 +1,33 @@
+//! Figure 8: effect of the boosting parameter β on the boost of influence
+//! and the running time (influential seeds, k = 1000 in the paper).
+
+use kboost_bench::figures::datasets;
+use kboost_bench::{eval_boost, fmt_secs, load, pick_seeds, print_table, Opts, SeedMode};
+use kboost_core::{prr_boost, prr_boost_lb};
+use kboost_datasets::Dataset;
+
+fn main() {
+    let opts = Opts::from_args();
+    let k = if opts.full { 1000 } else { 100 };
+    println!("## Figure 8 — effect of the boosting parameter (k = {k})");
+    for dataset in datasets(&opts) {
+        let base = load(dataset, 2.0, &opts);
+        println!("\n### {}", dataset.name());
+        let mut rows = Vec::new();
+        for beta in [2.0f64, 3.0, 4.0, 5.0, 6.0] {
+            let g = if (beta - 2.0).abs() < 1e-12 { base.clone() } else { Dataset::reboost(&base, beta) };
+            let seeds = pick_seeds(&g, SeedMode::Influential, &opts);
+            let bopts = opts.boost_options(beta as u64);
+            let (full, _) = prr_boost(&g, &seeds, k, &bopts);
+            let lb = prr_boost_lb(&g, &seeds, k, &bopts);
+            rows.push(vec![
+                format!("{beta}"),
+                format!("{:.1}", eval_boost(&g, &seeds, &full.best, &opts)),
+                format!("{:.1}", eval_boost(&g, &seeds, &lb.best, &opts)),
+                fmt_secs(full.stats.sampling_secs + full.stats.selection_secs),
+                fmt_secs(lb.stats.sampling_secs),
+            ]);
+        }
+        print_table(&["beta", "boost(PRR-Boost)", "boost(LB)", "time(PRR-Boost)", "time(LB)"], &rows);
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure 9: sandwich ratio under larger boosting parameters β ∈ {4,5,6}.
+
+use kboost_bench::figures::sandwich_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Figure 9 — sandwich ratio vs boosting parameter");
+    let k = if opts.full { 1000 } else { 100 };
+    sandwich_experiment(SeedMode::Influential, &[4.0, 5.0, 6.0], &[k], &opts);
+}

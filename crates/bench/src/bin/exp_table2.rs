@@ -1,0 +1,10 @@
+//! Table 2: compression ratio and memory usage (influential seeds).
+
+use kboost_bench::figures::compression_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Table 2 — compression + memory (influential seeds)\n");
+    compression_experiment(SeedMode::Influential, &opts);
+}

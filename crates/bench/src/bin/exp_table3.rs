@@ -1,0 +1,10 @@
+//! Table 3: compression ratio and memory usage (random seeds).
+
+use kboost_bench::figures::compression_experiment;
+use kboost_bench::{Opts, SeedMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!("## Table 3 — compression + memory (random seeds)\n");
+    compression_experiment(SeedMode::Random, &opts);
+}

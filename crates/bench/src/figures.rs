@@ -1,0 +1,161 @@
+//! Shared experiment drivers: the influential-seed and random-seed
+//! variants of each figure differ only in seed selection, so Figures 5/10,
+//! 6/11, Tables 2/3 and Figures 7/12 share these functions.
+
+use kboost_baselines::{more_seeds, pagerank_select};
+use kboost_core::sandwich::sandwich_ratio_curve;
+use kboost_core::{prr_boost, prr_boost_lb};
+use kboost_datasets::{Dataset, ALL_DATASETS};
+use kboost_graph::DiGraph;
+
+use crate::{
+    best_high_degree_global, best_high_degree_local, eval_boost, fmt_mb, fmt_secs, load,
+    pick_seeds, print_table, Opts, SeedMode,
+};
+
+/// Datasets exercised by default (all four; Flickr-like last since it is
+/// the largest at full scale).
+pub fn datasets(_opts: &Opts) -> Vec<Dataset> {
+    ALL_DATASETS.to_vec()
+}
+
+/// Figures 5 / 10: boost of influence versus `k` for the six algorithms.
+pub fn quality_experiment(mode: SeedMode, opts: &Opts) {
+    for dataset in datasets(opts) {
+        let g = load(dataset, 2.0, opts);
+        let seeds = pick_seeds(&g, mode, opts);
+        println!(
+            "\n### {} (n = {}, m = {}, |S| = {}, {:?} seeds)",
+            dataset.name(),
+            g.num_nodes(),
+            g.num_edges(),
+            seeds.len(),
+            mode
+        );
+        let mut rows = Vec::new();
+        for k in opts.k_grid() {
+            let bopts = opts.boost_options(k as u64);
+            let (full, _) = prr_boost(&g, &seeds, k, &bopts);
+            let lb = prr_boost_lb(&g, &seeds, k, &bopts);
+            let (hdg, _) = best_high_degree_global(&g, &seeds, k, opts);
+            let (hdl, _) = best_high_degree_local(&g, &seeds, k, opts);
+            let pr = eval_boost(&g, &seeds, &pagerank_select(&g, &seeds, k), opts);
+            let ms_set = more_seeds(&g, &seeds, &opts.imm_params(k, 0xE));
+            let ms = eval_boost(&g, &seeds, &ms_set, opts);
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.1}", eval_boost(&g, &seeds, &full.best, opts)),
+                format!("{:.1}", eval_boost(&g, &seeds, &lb.best, opts)),
+                format!("{hdg:.1}"),
+                format!("{hdl:.1}"),
+                format!("{pr:.1}"),
+                format!("{ms:.1}"),
+            ]);
+        }
+        print_table(
+            &["k", "PRR-Boost", "PRR-Boost-LB", "HighDegGlobal", "HighDegLocal", "PageRank", "MoreSeeds"],
+            &rows,
+        );
+    }
+}
+
+/// Figures 6 / 11: running time of PRR-Boost vs PRR-Boost-LB.
+pub fn time_experiment(mode: SeedMode, opts: &Opts) {
+    let k_grid: Vec<usize> = if opts.full {
+        vec![100, 1000, 5000]
+    } else {
+        vec![20, 100, 200]
+    };
+    for dataset in datasets(opts) {
+        let g = load(dataset, 2.0, opts);
+        let seeds = pick_seeds(&g, mode, opts);
+        println!("\n### {} ({:?} seeds)", dataset.name(), mode);
+        let mut rows = Vec::new();
+        for &k in &k_grid {
+            let bopts = opts.boost_options(k as u64);
+            let (full, _) = prr_boost(&g, &seeds, k, &bopts);
+            let lb = prr_boost_lb(&g, &seeds, k, &bopts);
+            let t_full = full.stats.sampling_secs + full.stats.selection_secs;
+            let t_lb = lb.stats.sampling_secs;
+            rows.push(vec![
+                k.to_string(),
+                fmt_secs(t_full),
+                fmt_secs(t_lb),
+                format!("{:.1}x", t_full / t_lb.max(1e-9)),
+                full.stats.total_samples.to_string(),
+                lb.stats.total_samples.to_string(),
+            ]);
+        }
+        print_table(
+            &["k", "PRR-Boost", "PRR-Boost-LB", "speedup", "samples(full)", "samples(LB)"],
+            &rows,
+        );
+    }
+}
+
+/// Tables 2 / 3: compression ratio and memory usage.
+pub fn compression_experiment(mode: SeedMode, opts: &Opts) {
+    let k_grid: Vec<usize> = if opts.full { vec![100, 5000] } else { vec![20, 200] };
+    let mut rows = Vec::new();
+    for &k in &k_grid {
+        for dataset in datasets(opts) {
+            let g = load(dataset, 2.0, opts);
+            let seeds = pick_seeds(&g, mode, opts);
+            let bopts = opts.boost_options(k as u64);
+            let (full, pool) = prr_boost(&g, &seeds, k, &bopts);
+            let lb = prr_boost_lb(&g, &seeds, k, &bopts);
+            let (unc, cmp) = pool.compression_stats();
+            rows.push(vec![
+                k.to_string(),
+                dataset.name().to_string(),
+                format!("{unc:.2} / {cmp:.2} = {:.2}", unc / cmp.max(1e-9)),
+                fmt_mb(full.stats.memory_bytes),
+                fmt_mb(lb.stats.memory_bytes),
+            ]);
+        }
+    }
+    print_table(
+        &["k", "dataset", "compression (unc/cmp = ratio)", "mem PRR-Boost", "mem PRR-Boost-LB"],
+        &rows,
+    );
+}
+
+/// Figures 7 / 9 / 12: sandwich-ratio scatter summaries. For each `k` (or
+/// β), reports the minimum and mean of `µ̂(B)/Δ̂(B)` over perturbed sets
+/// whose boost stays above 50% of the solution's.
+pub fn sandwich_experiment(mode: SeedMode, betas: &[f64], k_grid: &[usize], opts: &Opts) {
+    for dataset in datasets(opts) {
+        let base_graph = load(dataset, 2.0, opts);
+        println!("\n### {} ({:?} seeds)", dataset.name(), mode);
+        let mut rows = Vec::new();
+        for &beta in betas {
+            let g: DiGraph = if (beta - 2.0).abs() < 1e-12 {
+                base_graph.clone()
+            } else {
+                Dataset::reboost(&base_graph, beta)
+            };
+            let seeds = pick_seeds(&g, mode, opts);
+            for &k in k_grid {
+                let bopts = opts.boost_options((beta as u64) << 16 | k as u64);
+                let (out, pool) = prr_boost(&g, &seeds, k, &bopts);
+                let points =
+                    sandwich_ratio_curve(&g, &pool, &seeds, &out.best, 300, 0.5, opts.seed ^ 0xF);
+                if points.is_empty() {
+                    rows.push(vec![format!("{beta}"), k.to_string(), "-".into(), "-".into(), "0".into()]);
+                    continue;
+                }
+                let min = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
+                let mean: f64 =
+                    points.iter().map(|p| p.ratio).sum::<f64>() / points.len() as f64;
+                rows.push(vec![
+                    format!("{beta}"),
+                    k.to_string(),
+                    format!("{min:.3}"),
+                    format!("{mean:.3}"),
+                    points.len().to_string(),
+                ]);
+            }
+        }
+        print_table(&["beta", "k", "min ratio", "mean ratio", "#sets"], &rows);
+    }
+}

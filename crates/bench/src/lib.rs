@@ -1,0 +1,293 @@
+//! Experiment harness support for reproducing the paper's tables and
+//! figures.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure (see
+//! `DESIGN.md` §5 for the index). Binaries share the setup code here:
+//! dataset loading, seed selection, Monte-Carlo evaluation and table
+//! printing. Criterion micro-benchmarks live in `benches/`.
+//!
+//! All binaries accept:
+//!
+//! * `--quick` (default): tiny dataset scale, capped sampling — minutes.
+//! * `--medium`: 10% of paper scale.
+//! * `--full`: paper-scale networks and uncapped IMM sampling — hours.
+//! * `--threads N`: worker threads (default 8).
+//! * `--seed N`: RNG seed (default 42).
+
+use kboost_core::BoostOptions;
+use kboost_datasets::{Dataset, Scale};
+use kboost_diffusion::monte_carlo::{estimate_boost, estimate_sigma, McConfig};
+use kboost_graph::{DiGraph, NodeId};
+use kboost_rrset::imm::ImmParams;
+use kboost_rrset::seeds::{select_random_nodes, select_seeds};
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Cap on IMM sketches (None in `--full`).
+    pub max_sketches: Option<u64>,
+    /// Monte-Carlo evaluation runs (paper: 20 000).
+    pub mc_runs: u32,
+    /// Worker threads.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Whether `--full` was requested.
+    pub full: bool,
+}
+
+impl Opts {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Opts {
+            scale: Scale::Tiny,
+            max_sketches: Some(300_000),
+            mc_runs: 2_000,
+            threads: 8,
+            seed: 42,
+            full: false,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {}
+                "--medium" => {
+                    opts.scale = Scale::Fraction(0.1);
+                    opts.max_sketches = Some(2_000_000);
+                    opts.mc_runs = 10_000;
+                }
+                "--full" => {
+                    opts.scale = Scale::Full;
+                    opts.max_sketches = None;
+                    opts.mc_runs = 20_000;
+                    opts.full = true;
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args[i].parse().expect("--threads N");
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args[i].parse().expect("--seed N");
+                }
+                other => panic!("unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// PRR-Boost options derived from these settings.
+    pub fn boost_options(&self, seed_offset: u64) -> BoostOptions {
+        BoostOptions {
+            epsilon: 0.5,
+            ell: 1.0,
+            threads: self.threads,
+            seed: self.seed.wrapping_add(seed_offset),
+            max_sketches: self.max_sketches,
+            min_sketches: 0,
+        }
+    }
+
+    /// IMM parameters for seed selection.
+    pub fn imm_params(&self, k: usize, seed_offset: u64) -> ImmParams {
+        ImmParams {
+            k,
+            epsilon: 0.5,
+            ell: 1.0,
+            threads: self.threads,
+            seed: self.seed.wrapping_add(seed_offset),
+            max_sketches: self.max_sketches,
+            min_sketches: 0,
+        }
+    }
+
+    /// Monte-Carlo config for evaluating solutions.
+    pub fn mc(&self, seed_offset: u64) -> McConfig {
+        McConfig {
+            runs: self.mc_runs,
+            threads: self.threads,
+            seed: self.seed.wrapping_add(seed_offset),
+        }
+    }
+
+    /// The `k` grid for boost-vs-k figures, scaled to the run mode.
+    pub fn k_grid(&self) -> Vec<usize> {
+        if self.full {
+            vec![100, 500, 1000, 2000, 5000]
+        } else {
+            vec![20, 50, 100, 200]
+        }
+    }
+
+    /// Number of random seeds (paper: 500; scaled down in quick mode).
+    pub fn random_seed_count(&self, n: usize) -> usize {
+        if self.full {
+            500
+        } else {
+            (n / 40).clamp(20, 500)
+        }
+    }
+}
+
+/// How seeds are chosen for an experiment (Sections VII-A vs VII-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedMode {
+    /// 50 influential nodes selected by IMM.
+    Influential,
+    /// Random nodes (paper: 500).
+    Random,
+}
+
+/// Loads the dataset at the configured scale with boosting parameter β.
+pub fn load(dataset: Dataset, beta: f64, opts: &Opts) -> DiGraph {
+    dataset.generate(opts.scale, beta, opts.seed)
+}
+
+/// Selects seeds per the experiment's seed mode.
+pub fn pick_seeds(g: &DiGraph, mode: SeedMode, opts: &Opts) -> Vec<NodeId> {
+    match mode {
+        SeedMode::Influential => select_seeds(g, &opts.imm_params(50, 0xA)),
+        SeedMode::Random => {
+            select_random_nodes(g, opts.random_seed_count(g.num_nodes()), &[], opts.seed ^ 0xB)
+        }
+    }
+}
+
+/// Monte-Carlo boost of influence of a boost set.
+pub fn eval_boost(g: &DiGraph, seeds: &[NodeId], set: &[NodeId], opts: &Opts) -> f64 {
+    estimate_boost(g, seeds, set, &opts.mc(0xC))
+}
+
+/// Monte-Carlo boosted influence spread.
+pub fn eval_sigma(g: &DiGraph, seeds: &[NodeId], set: &[NodeId], opts: &Opts) -> f64 {
+    estimate_sigma(g, seeds, set, &opts.mc(0xD))
+}
+
+/// Best-of-four HighDegreeGlobal solution (as the paper reports).
+pub fn best_high_degree_global(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    k: usize,
+    opts: &Opts,
+) -> (f64, Vec<NodeId>) {
+    best_of(
+        kboost_baselines::high_degree::ALL_DEGREES
+            .into_iter()
+            .map(|d| kboost_baselines::high_degree_global(g, seeds, k, d))
+            .collect(),
+        g,
+        seeds,
+        opts,
+    )
+}
+
+/// Best-of-four HighDegreeLocal solution.
+pub fn best_high_degree_local(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    k: usize,
+    opts: &Opts,
+) -> (f64, Vec<NodeId>) {
+    best_of(
+        kboost_baselines::high_degree::ALL_DEGREES
+            .into_iter()
+            .map(|d| kboost_baselines::high_degree_local(g, seeds, k, d))
+            .collect(),
+        g,
+        seeds,
+        opts,
+    )
+}
+
+fn best_of(
+    sets: Vec<Vec<NodeId>>,
+    g: &DiGraph,
+    seeds: &[NodeId],
+    opts: &Opts,
+) -> (f64, Vec<NodeId>) {
+    sets.into_iter()
+        .map(|s| (eval_boost(g, seeds, &s, opts), s))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .expect("at least one candidate set")
+}
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0}ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}s", s)
+    }
+}
+
+/// Formats bytes as MB.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_grid_scales() {
+        let quick = Opts {
+            scale: Scale::Tiny,
+            max_sketches: Some(1),
+            mc_runs: 1,
+            threads: 1,
+            seed: 1,
+            full: false,
+        };
+        assert!(quick.k_grid().iter().all(|&k| k <= 200));
+        let full = Opts { full: true, ..quick };
+        assert!(full.k_grid().contains(&5000));
+    }
+
+    #[test]
+    fn table_printer_handles_ragged_rows() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "22".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(2.0), "2.0s");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00MB");
+    }
+}
+
+pub mod figures;

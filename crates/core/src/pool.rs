@@ -1,0 +1,94 @@
+//! The retained PRR-graph pool with `Δ̂` / `µ̂` estimators.
+
+use kboost_diffusion::sim::BoostMask;
+use kboost_graph::NodeId;
+use kboost_prr::{CompressedPrr, PrrEvalScratch};
+use kboost_rrset::sketch::SketchPool;
+
+/// A pool of sampled PRR-graphs for a fixed `(G, S, k)`.
+///
+/// Wraps the raw [`SketchPool`] with the two estimators of Section IV:
+/// `Δ̂_R(B) = n/|R| · Σ f_R(B)` and `µ̂_R(B) = n/|R| · Σ f⁻_R(B)`.
+pub struct PrrPool {
+    inner: SketchPool<CompressedPrr>,
+    n: usize,
+}
+
+impl PrrPool {
+    /// Wraps a sketch pool; `n` is the host-graph node count.
+    pub fn new(inner: SketchPool<CompressedPrr>, n: usize) -> Self {
+        PrrPool { inner, n }
+    }
+
+    /// Host-graph node count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total samples drawn, including non-boostable graphs.
+    pub fn total_samples(&self) -> u64 {
+        self.inner.total_samples()
+    }
+
+    /// The stored boostable PRR-graphs.
+    pub fn graphs(&self) -> impl Iterator<Item = &CompressedPrr> {
+        self.inner.payloads().iter().flatten()
+    }
+
+    /// Number of stored boostable graphs.
+    pub fn num_boostable(&self) -> usize {
+        self.inner.payloads().iter().flatten().count()
+    }
+
+    /// `Δ̂(B)`: the unbiased PRR estimate of the boost of influence.
+    pub fn delta_hat(&self, boost: &[NodeId]) -> f64 {
+        let mask = BoostMask::from_nodes(self.n, boost);
+        let mut scratch = PrrEvalScratch::default();
+        let hits = self.graphs().filter(|p| p.f(&mask, &mut scratch)).count();
+        self.n as f64 * hits as f64 / self.total_samples().max(1) as f64
+    }
+
+    /// `µ̂(B)`: the lower-bound estimate via critical sets.
+    pub fn mu_hat(&self, boost: &[NodeId]) -> f64 {
+        let mask = BoostMask::from_nodes(self.n, boost);
+        let hits = self
+            .graphs()
+            .filter(|p| p.critical().iter().any(|&v| mask.contains(v)))
+            .count();
+        self.n as f64 * hits as f64 / self.total_samples().max(1) as f64
+    }
+
+    /// Mean number of edges per stored graph before and after compression:
+    /// `(avg_uncompressed, avg_compressed)` — the paper's compression-ratio
+    /// numerator and denominator (Tables 2–3).
+    pub fn compression_stats(&self) -> (f64, f64) {
+        let mut total_unc = 0u64;
+        let mut total_cmp = 0u64;
+        let mut count = 0u64;
+        for p in self.graphs() {
+            total_unc += p.uncompressed_edges() as u64;
+            total_cmp += p.num_edges() as u64;
+            count += 1;
+        }
+        if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (total_unc as f64 / count as f64, total_cmp as f64 / count as f64)
+        }
+    }
+
+    /// Bytes used by the stored boostable PRR-graphs.
+    pub fn payload_memory_bytes(&self) -> usize {
+        self.graphs().map(|p| p.memory_bytes()).sum()
+    }
+
+    /// Bytes used by the stored critical-set covers.
+    pub fn cover_memory_bytes(&self) -> usize {
+        self.inner.cover_memory_bytes()
+    }
+
+    /// Access to the underlying sketch pool.
+    pub fn sketches(&self) -> &SketchPool<CompressedPrr> {
+        &self.inner
+    }
+}

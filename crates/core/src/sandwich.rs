@@ -1,0 +1,129 @@
+//! Sandwich-ratio analysis (Figures 7, 9 and 12).
+//!
+//! The approximation factor of PRR-Boost depends on `µ(B*)/Δ_S(B*)`
+//! (Theorem 2). The optimum is unknowable, so the paper charts the ratio
+//! `µ̂(B)/Δ̂(B)` for 300 sets `B` obtained by replacing a random number of
+//! nodes of the returned solution `B_sa` with other non-seed nodes,
+//! discarding sets whose boost falls below 50% of `Δ̂(B_sa)`.
+
+use kboost_graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::pool::PrrPool;
+
+/// One perturbed set's measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct RatioPoint {
+    /// `Δ̂(B)` — the x-axis of Figures 7/9/12.
+    pub delta_hat: f64,
+    /// `µ̂(B)/Δ̂(B)` — the y-axis.
+    pub ratio: f64,
+}
+
+/// Generates `num_sets` perturbations of `base` and returns their
+/// `(Δ̂, µ̂/Δ̂)` points, keeping only sets with
+/// `Δ̂(B) ≥ keep_above_frac · Δ̂(base)` (the paper uses 0.5).
+#[allow(clippy::too_many_arguments)]
+pub fn sandwich_ratio_curve(
+    g: &DiGraph,
+    pool: &PrrPool,
+    seeds: &[NodeId],
+    base: &[NodeId],
+    num_sets: usize,
+    keep_above_frac: f64,
+    seed: u64,
+) -> Vec<RatioPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut is_excluded = vec![false; g.num_nodes()];
+    for &s in seeds {
+        is_excluded[s.index()] = true;
+    }
+    let candidates: Vec<NodeId> = g.nodes().filter(|v| !is_excluded[v.index()]).collect();
+
+    let base_delta = pool.delta_hat(base);
+    let threshold = keep_above_frac * base_delta;
+
+    let mut points = Vec::with_capacity(num_sets);
+    for _ in 0..num_sets {
+        let b = perturb(base, &candidates, &mut rng);
+        let delta_hat = pool.delta_hat(&b);
+        if delta_hat < threshold || delta_hat <= 0.0 {
+            continue;
+        }
+        let mu_hat = pool.mu_hat(&b);
+        points.push(RatioPoint { delta_hat, ratio: mu_hat / delta_hat });
+    }
+    points
+}
+
+/// Replaces a random number of nodes of `base` with random other
+/// candidates, keeping the set size.
+fn perturb(base: &[NodeId], candidates: &[NodeId], rng: &mut SmallRng) -> Vec<NodeId> {
+    let k = base.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let replace = rng.random_range(0..=k);
+    let mut b: Vec<NodeId> = base.to_vec();
+    // Choose `replace` positions to overwrite with fresh random candidates.
+    for _ in 0..replace {
+        let pos = rng.random_range(0..k);
+        loop {
+            let candidate = *candidates.choose(rng).expect("candidate pool non-empty");
+            if !b.contains(&candidate) {
+                b[pos] = candidate;
+                break;
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{prr_boost, BoostOptions};
+    use kboost_graph::GraphBuilder;
+
+    fn parallel_paths() -> DiGraph {
+        // Seed fans out to 4 disjoint 2-hop paths; boosting midpoints helps.
+        let mut b = GraphBuilder::new(9);
+        for i in 0..4u32 {
+            let mid = 1 + i;
+            let end = 5 + i;
+            b.add_edge(NodeId(0), NodeId(mid), 0.3, 0.6).unwrap();
+            b.add_edge(NodeId(mid), NodeId(end), 0.3, 0.6).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ratio_points_are_sane() {
+        let g = parallel_paths();
+        let opts = BoostOptions { threads: 2, seed: 31, max_sketches: Some(60_000), ..Default::default() };
+        let (out, pool) = prr_boost(&g, &[NodeId(0)], 2, &opts);
+        let pts = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &out.best, 100, 0.5, 7);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.delta_hat > 0.0);
+            // µ ≤ Δ always; sampling noise can push the estimate slightly
+            // over 1.
+            assert!(p.ratio <= 1.05, "ratio {} > 1", p.ratio);
+            assert!(p.ratio >= 0.0);
+        }
+    }
+
+    #[test]
+    fn perturb_keeps_size_and_dedup() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = vec![NodeId(1), NodeId(2)];
+        let candidates: Vec<NodeId> = (1..9u32).map(NodeId).collect();
+        for _ in 0..50 {
+            let b = perturb(&base, &candidates, &mut rng);
+            assert_eq!(b.len(), 2);
+            assert_ne!(b[0], b[1]);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Exact (exhaustive) evaluation of `σ_S(B)` and `Δ_S(B)`.
+//!
+//! Computing the boosted influence spread is #P-hard (Theorem 1), but for
+//! small graphs we can enumerate every deterministic outcome. This module
+//! is the test oracle for the whole workspace: simulators, PRR-graphs and
+//! the tree algorithms are all validated against it.
+//!
+//! Two enumeration granularities are provided:
+//!
+//! * [`exact_sigma`] — per boost set `B`, enumerate the `2^m` live/blocked
+//!   outcomes (edge `(u,v)` is live with probability `p` or `p'` depending
+//!   on `v ∈ B`).
+//! * [`for_each_deterministic_graph`] — enumerate the `3^m` three-way
+//!   statuses of Definition 3 (live / live-upon-boost / blocked) with their
+//!   probabilities, letting callers evaluate *any* functional of the
+//!   sampled graph (e.g. PRR-graph quantities like `f_R` and critical
+//!   sets) under the exact distribution.
+
+use kboost_graph::{DiGraph, NodeId};
+
+use crate::sim::BoostMask;
+
+/// Three-way edge status from Definition 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeStatus {
+    /// Fires regardless of boosting (probability `p`).
+    Live,
+    /// Fires only if the head is boosted (probability `p' − p`).
+    LiveUponBoost,
+    /// Never fires (probability `1 − p'`).
+    Blocked,
+}
+
+/// Exact expected influence spread `σ_S(B)` by exhaustive enumeration.
+///
+/// Runs in `O(2^m · (n + m))`; intended for graphs with at most ~20 edges.
+///
+/// # Panics
+/// Panics if the graph has more than 25 edges (the enumeration would not
+/// terminate in reasonable time).
+pub fn exact_sigma(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId]) -> f64 {
+    let m = g.num_edges();
+    assert!(m <= 25, "exact_sigma is exponential in m; got m = {m}");
+    let mask = BoostMask::from_nodes(g.num_nodes(), boost);
+
+    // Collect edges with their effective probability under `boost`.
+    let edges: Vec<(NodeId, NodeId, f64)> = g
+        .edges()
+        .map(|(u, v, p)| (u, v, p.for_boosted(mask.contains(v))))
+        .collect();
+
+    let mut total = 0.0;
+    for outcome in 0u32..(1u32 << m) {
+        let mut prob = 1.0;
+        for (i, &(_, _, p)) in edges.iter().enumerate() {
+            let live = outcome >> i & 1 == 1;
+            prob *= if live { p } else { 1.0 - p };
+            if prob == 0.0 {
+                break;
+            }
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let reach = count_reachable(g.num_nodes(), seeds, edges.iter().enumerate().filter_map(
+            |(i, &(u, v, _))| (outcome >> i & 1 == 1).then_some((u, v)),
+        ));
+        total += prob * reach as f64;
+    }
+    total
+}
+
+/// Exact boost of influence `Δ_S(B) = σ_S(B) − σ_S(∅)`.
+pub fn exact_boost(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId]) -> f64 {
+    exact_sigma(g, seeds, boost) - exact_sigma(g, seeds, &[])
+}
+
+/// Enumerates every deterministic three-way outcome of the graph, invoking
+/// `f(probability, statuses)` for each; `statuses[i]` is the status of the
+/// edge with CSR index `i` (the order of [`DiGraph::edges`]).
+///
+/// # Panics
+/// Panics if the graph has more than 16 edges (`3^16 ≈ 4.3e7`).
+pub fn for_each_deterministic_graph(g: &DiGraph, mut f: impl FnMut(f64, &[EdgeStatus])) {
+    let m = g.num_edges();
+    assert!(m <= 16, "3^m enumeration needs m <= 16; got m = {m}");
+    let probs: Vec<(f64, f64, f64)> = g
+        .edges()
+        .map(|(_, _, p)| (p.base, p.boosted - p.base, 1.0 - p.boosted))
+        .collect();
+
+    let mut statuses = vec![EdgeStatus::Blocked; m];
+    let total = 3usize.pow(m as u32);
+    for mut code in 0..total {
+        let mut prob = 1.0;
+        for i in 0..m {
+            let digit = code % 3;
+            code /= 3;
+            let (pl, pb, pk) = probs[i];
+            statuses[i] = match digit {
+                0 => {
+                    prob *= pl;
+                    EdgeStatus::Live
+                }
+                1 => {
+                    prob *= pb;
+                    EdgeStatus::LiveUponBoost
+                }
+                _ => {
+                    prob *= pk;
+                    EdgeStatus::Blocked
+                }
+            };
+            if prob == 0.0 {
+                break;
+            }
+        }
+        if prob > 0.0 {
+            f(prob, &statuses);
+        }
+    }
+}
+
+/// Number of nodes reachable from `seeds` through the given directed edges.
+pub fn count_reachable(
+    n: usize,
+    seeds: &[NodeId],
+    live_edges: impl Iterator<Item = (NodeId, NodeId)>,
+) -> usize {
+    // Build a tiny adjacency list for this outcome.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in live_edges {
+        adj[u.index()].push(v.0);
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for &s in seeds {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            stack.push(s.0);
+        }
+    }
+    let mut count = stack.len();
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u as usize] {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count
+}
+
+/// Exact `σ_S(B)` computed through the `3^m` enumeration — slower than
+/// [`exact_sigma`] but validates that the three-way status decomposition
+/// is consistent with the two-way one.
+pub fn exact_sigma_threeway(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId]) -> f64 {
+    let mask = BoostMask::from_nodes(g.num_nodes(), boost);
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let mut total = 0.0;
+    for_each_deterministic_graph(g, |prob, statuses| {
+        let reach = count_reachable(
+            g.num_nodes(),
+            seeds,
+            edges.iter().enumerate().filter_map(|(i, &(u, v))| {
+                let traversable = match statuses[i] {
+                    EdgeStatus::Live => true,
+                    EdgeStatus::LiveUponBoost => mask.contains(v),
+                    EdgeStatus::Blocked => false,
+                };
+                traversable.then_some((u, v))
+            }),
+        );
+        total += prob * reach as f64;
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+
+    fn figure1() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_numbers() {
+        // The table in Figure 1: σ_S(∅)=1.22, boosts 0.22 / 0.02 / 0.26.
+        let g = figure1();
+        let s = [NodeId(0)];
+        assert!((exact_sigma(&g, &s, &[]) - 1.22).abs() < 1e-12);
+        assert!((exact_boost(&g, &s, &[NodeId(1)]) - 0.22).abs() < 1e-12);
+        assert!((exact_boost(&g, &s, &[NodeId(2)]) - 0.02).abs() < 1e-12);
+        assert!((exact_boost(&g, &s, &[NodeId(1), NodeId(2)]) - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_supermodular_pair() {
+        // Section III-B: Δ({v0,v1}) − Δ({v0}) = 0.04 > Δ({v1}) − Δ(∅) = 0.02.
+        let g = figure1();
+        let s = [NodeId(0)];
+        let d01 = exact_boost(&g, &s, &[NodeId(1), NodeId(2)]);
+        let d0 = exact_boost(&g, &s, &[NodeId(1)]);
+        let d1 = exact_boost(&g, &s, &[NodeId(2)]);
+        assert!((d01 - d0 - 0.04).abs() < 1e-12);
+        assert!((d1 - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threeway_matches_twoway() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        for boost in [vec![], vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+            let a = exact_sigma(&g, &s, &boost);
+            let b = exact_sigma_threeway(&g, &s, &boost);
+            assert!((a - b).abs() < 1e-12, "boost {boost:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn seed_in_boost_set_is_noop() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        // Boosting a seed changes nothing: its in-edges never matter.
+        let a = exact_sigma(&g, &s, &[NodeId(0)]);
+        let b = exact_sigma(&g, &s, &[]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_graph_sigma() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with p=0.5 everywhere.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5, 0.75).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5, 0.75).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.5, 0.75).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5, 0.75).unwrap();
+        let g = b.build().unwrap();
+        // σ = 1 + 0.5 + 0.5 + P[3 active]; P[3] = 1-(1-0.25)^2 = 0.4375.
+        let sigma = exact_sigma(&g, &[NodeId(0)], &[]);
+        assert!((sigma - (1.0 + 0.5 + 0.5 + 0.4375)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_in_threeway() {
+        let g = figure1();
+        let mut total = 0.0;
+        for_each_deterministic_graph(&g, |p, _| total += p);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boost_monotone_in_b() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let d0 = exact_boost(&g, &s, &[]);
+        let d1 = exact_boost(&g, &s, &[NodeId(1)]);
+        let d12 = exact_boost(&g, &s, &[NodeId(1), NodeId(2)]);
+        assert!(d0 <= d1 && d1 <= d12);
+        assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn count_reachable_handles_cycles() {
+        let n = 3;
+        let edges = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(0))];
+        assert_eq!(count_reachable(n, &[NodeId(0)], edges.iter().copied()), 3);
+        assert_eq!(count_reachable(n, &[], edges.iter().copied()), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Influence-diffusion simulators for the influence boosting model.
+//!
+//! The paper's Definition 1 extends the Independent Cascade (IC) model with
+//! *boosted* nodes: an edge `(u, v)` fires with probability `p_uv`, unless
+//! `v` is boosted, in which case it fires with probability `p'_uv ≥ p_uv`.
+//! The boosted influence spread `σ_S(B)` is the expected number of nodes
+//! activated from seed set `S` when `B` is boosted, and the *boost* is
+//! `Δ_S(B) = σ_S(B) − σ_S(∅)`.
+//!
+//! This crate provides three evaluation paths:
+//!
+//! * [`sim`] — single coupled simulation runs. The same per-edge random
+//!   draw decides both the base and the boosted world, so
+//!   `Δ` estimates are low-variance (common random numbers).
+//! * [`monte_carlo`] — multi-threaded Monte-Carlo estimation of `σ` and
+//!   `Δ` (the paper evaluates every solution with 20 000 simulations).
+//! * [`exact`] — exhaustive enumeration over deterministic graph outcomes,
+//!   exponential in `m` and therefore only for small graphs; it is the test
+//!   oracle used across the workspace.
+//! * [`mu_model`] — the "at most one boost per activation chain" diffusion
+//!   model that Section IV-C reverse-engineers from the submodular lower
+//!   bound `µ`; simulating it cross-validates the PRR-graph critical-node
+//!   machinery.
+
+pub mod exact;
+pub mod lt;
+pub mod monte_carlo;
+pub mod mu_model;
+pub mod sim;
+
+pub use monte_carlo::{estimate_boost, estimate_sigma, McConfig};
+pub use sim::{BoostMask, CoupledRun};

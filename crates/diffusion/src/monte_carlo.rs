@@ -1,0 +1,155 @@
+//! Parallel Monte-Carlo estimation of `σ_S(B)` and `Δ_S(B)`.
+//!
+//! The paper evaluates every returned boost set with 20 000 Monte-Carlo
+//! simulations; this module reproduces that evaluator. Runs are split
+//! across threads with deterministic per-run seeds, so an estimate depends
+//! only on `(seed, runs)` — not the thread count.
+
+use kboost_graph::{DiGraph, NodeId};
+
+use crate::sim::{BoostMask, CoupledRun};
+
+/// Configuration for Monte-Carlo estimation.
+#[derive(Clone, Copy, Debug)]
+pub struct McConfig {
+    /// Number of simulation runs (the paper uses 20 000).
+    pub runs: u32,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Base seed; run `i` uses seed `base_seed + i`.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig { runs: 20_000, threads: 8, seed: 0x5EED }
+    }
+}
+
+impl McConfig {
+    /// A small-budget configuration for tests and quick experiments.
+    pub fn quick(runs: u32, seed: u64) -> Self {
+        McConfig { runs, threads: 4, seed }
+    }
+}
+
+fn run_range(cfg: &McConfig, worker: usize) -> std::ops::Range<u64> {
+    let per = (cfg.runs as u64).div_ceil(cfg.threads as u64);
+    let lo = per * worker as u64;
+    let hi = (lo + per).min(cfg.runs as u64);
+    lo..hi.max(lo)
+}
+
+/// Estimates the boosted influence spread `σ_S(B)`.
+pub fn estimate_sigma(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId], cfg: &McConfig) -> f64 {
+    let mask = BoostMask::from_nodes(g.num_nodes(), boost);
+    let total: u64 = parallel_sum(cfg, |run_id| {
+        CoupledRun::new(cfg.seed.wrapping_add(run_id)).spread(g, seeds, &mask) as u64
+    });
+    total as f64 / cfg.runs.max(1) as f64
+}
+
+/// Estimates the boost `Δ_S(B)` with common random numbers: each run
+/// evaluates the base and the boosted world under identical coins, so the
+/// per-run difference is a non-negative low-variance sample of the boost.
+pub fn estimate_boost(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId], cfg: &McConfig) -> f64 {
+    let mask = BoostMask::from_nodes(g.num_nodes(), boost);
+    let total: u64 = parallel_sum(cfg, |run_id| {
+        let run = CoupledRun::new(cfg.seed.wrapping_add(run_id));
+        let (base, boosted) = run.spread_pair(g, seeds, &mask);
+        (boosted - base) as u64
+    });
+    total as f64 / cfg.runs.max(1) as f64
+}
+
+/// Estimates `σ_S(B)` for several boost sets under *shared* coins, which
+/// makes the comparison between solutions fair (the paper compares up to
+/// six algorithms per figure).
+pub fn estimate_sigma_many(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    boosts: &[Vec<NodeId>],
+    cfg: &McConfig,
+) -> Vec<f64> {
+    boosts
+        .iter()
+        .map(|b| estimate_sigma(g, seeds, b, cfg))
+        .collect()
+}
+
+fn parallel_sum(cfg: &McConfig, per_run: impl Fn(u64) -> u64 + Sync) -> u64 {
+    if cfg.threads <= 1 || cfg.runs < 64 {
+        return (0..cfg.runs as u64).map(&per_run).sum();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|w| {
+                let range = run_range(cfg, w);
+                let per_run = &per_run;
+                scope.spawn(move || range.map(per_run).sum::<u64>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_boost, exact_sigma};
+    use kboost_graph::GraphBuilder;
+
+    fn figure1() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sigma_matches_exact() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let cfg = McConfig { runs: 60_000, threads: 4, seed: 11 };
+        let est = estimate_sigma(&g, &s, &[NodeId(1)], &cfg);
+        let truth = exact_sigma(&g, &s, &[NodeId(1)]);
+        assert!((est - truth).abs() < 0.01, "est {est} vs exact {truth}");
+    }
+
+    #[test]
+    fn boost_matches_exact_with_low_variance() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let cfg = McConfig { runs: 60_000, threads: 4, seed: 13 };
+        let est = estimate_boost(&g, &s, &[NodeId(1), NodeId(2)], &cfg);
+        let truth = exact_boost(&g, &s, &[NodeId(1), NodeId(2)]);
+        assert!((est - truth).abs() < 0.01, "est {est} vs exact {truth}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_estimate() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let a = estimate_sigma(&g, &s, &[NodeId(1)], &McConfig { runs: 1000, threads: 1, seed: 5 });
+        let b = estimate_sigma(&g, &s, &[NodeId(1)], &McConfig { runs: 1000, threads: 7, seed: 5 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn many_evaluates_each_set() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let cfg = McConfig::quick(2000, 3);
+        let out = estimate_sigma_many(&g, &s, &[vec![], vec![NodeId(1)]], &cfg);
+        assert_eq!(out.len(), 2);
+        assert!(out[1] > out[0]);
+    }
+
+    #[test]
+    fn zero_runs_is_finite() {
+        let g = figure1();
+        let cfg = McConfig { runs: 0, threads: 2, seed: 1 };
+        let est = estimate_sigma(&g, &[NodeId(0)], &[], &cfg);
+        assert_eq!(est, 0.0);
+    }
+}

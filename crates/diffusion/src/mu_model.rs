@@ -1,0 +1,149 @@
+//! The lower-bound diffusion model of Section IV-C.
+//!
+//! The paper's submodular lower bound `µ(B)` of the boost `Δ_S(B)`
+//! corresponds to a constrained diffusion: along any activation chain from
+//! a seed, **at most one** edge may rely on boosting. Equivalently (fixing
+//! the three-way edge statuses of Definition 3), a node `r` is activated
+//! under boost set `B` iff there is a seed→`r` path whose edges are live,
+//! except possibly a single live-upon-boost edge whose head is in `B`, and
+//! `µ(B)` counts the activations that required that single boost edge.
+//!
+//! This module simulates that reachability directly with a 0-1 BFS, giving
+//! an independent estimator of `µ(B)` used to cross-validate the PRR-graph
+//! critical-node machinery (`µ(B) = n·E[f⁻_R(B)]`, Lemma 2).
+
+use kboost_graph::{DiGraph, NodeId};
+
+use crate::sim::{BoostMask, CoupledRun};
+
+/// One coupled run of the lower-bound model: returns
+/// `(live_reach, one_boost_reach)` — the number of nodes reachable with
+/// zero boost edges, and with at most one boost edge whose head is in `B`.
+///
+/// The per-run `µ` sample is `one_boost_reach − live_reach`.
+pub fn mu_spread_pair(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    boost: &BoostMask,
+    run: CoupledRun,
+) -> (usize, usize) {
+    const INF: u8 = u8::MAX;
+    let n = g.num_nodes();
+    // dist[v] = minimum number of boost edges on any seed→v path
+    // (capped at 2); 0-1 BFS with a double-ended queue.
+    let mut dist = vec![INF; n];
+    let mut deque = std::collections::VecDeque::with_capacity(seeds.len());
+    for &s in seeds {
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            deque.push_back((s, 0u8));
+        }
+    }
+    while let Some((u, d)) = deque.pop_front() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for (e, v, p) in g.out_edges_indexed(u) {
+            let coin = run.coin(e);
+            let (w, usable) = if coin < p.base {
+                (0u8, true)
+            } else if coin < p.boosted && boost.contains(v) {
+                (1u8, true)
+            } else {
+                (0, false)
+            };
+            if !usable {
+                continue;
+            }
+            let nd = d.saturating_add(w);
+            if nd > 1 {
+                continue; // at most one boost edge per chain
+            }
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                if w == 0 {
+                    deque.push_front((v, nd));
+                } else {
+                    deque.push_back((v, nd));
+                }
+            }
+        }
+    }
+    let live = dist.iter().filter(|&&d| d == 0).count();
+    let one_boost = dist.iter().filter(|&&d| d <= 1).count();
+    (live, one_boost)
+}
+
+/// Monte-Carlo estimate of `µ(B)` under the lower-bound model.
+pub fn estimate_mu(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    boost: &[NodeId],
+    runs: u32,
+    seed: u64,
+) -> f64 {
+    let mask = BoostMask::from_nodes(g.num_nodes(), boost);
+    let mut total = 0u64;
+    for i in 0..runs as u64 {
+        let (live, one) = mu_spread_pair(g, seeds, &mask, CoupledRun::new(seed.wrapping_add(i)));
+        total += (one - live) as u64;
+    }
+    total as f64 / runs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_boost;
+    use kboost_graph::GraphBuilder;
+
+    fn figure1() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mu_lower_bounds_delta_single_node() {
+        // For |B| = 1 the µ-model and the true boost coincide on a path
+        // graph where only one boost edge can ever be used.
+        let g = figure1();
+        let s = [NodeId(0)];
+        let mu = estimate_mu(&g, &s, &[NodeId(1)], 200_000, 17);
+        let delta = exact_boost(&g, &s, &[NodeId(1)]);
+        assert!((mu - delta).abs() < 0.01, "µ {mu} vs Δ {delta}");
+    }
+
+    #[test]
+    fn mu_strictly_below_delta_on_chain() {
+        // Boosting both nodes of the chain: Δ uses two boost edges on one
+        // path, µ may not — so µ < Δ.
+        let g = figure1();
+        let s = [NodeId(0)];
+        let mu = estimate_mu(&g, &s, &[NodeId(1), NodeId(2)], 300_000, 19);
+        let delta = exact_boost(&g, &s, &[NodeId(1), NodeId(2)]);
+        assert!(mu <= delta + 0.005, "µ {mu} must lower-bound Δ {delta}");
+        // Exact µ here: boost path s→v0 (0.4-0.2) then live v0→v1 … plus
+        // live s→v0 then boost v0→v1. µ = (p'₀−p₀)(1+p₁) + p₀(p'₁−p₁)
+        let exact_mu = (0.4 - 0.2) * (1.0 + 0.1) + 0.2 * (0.2 - 0.1);
+        assert!((mu - exact_mu).abs() < 0.01, "µ {mu} vs exact {exact_mu}");
+        assert!(exact_mu < delta);
+    }
+
+    #[test]
+    fn empty_boost_set_gives_zero_mu() {
+        let g = figure1();
+        let mu = estimate_mu(&g, &[NodeId(0)], &[], 1000, 23);
+        assert_eq!(mu, 0.0);
+    }
+
+    #[test]
+    fn mu_monotone_in_b() {
+        let g = figure1();
+        let s = [NodeId(0)];
+        let m1 = estimate_mu(&g, &s, &[NodeId(2)], 100_000, 29);
+        let m2 = estimate_mu(&g, &s, &[NodeId(1), NodeId(2)], 100_000, 29);
+        assert!(m2 >= m1 - 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+use std::fmt;
+
+use crate::{csr::EdgeProbs, DiGraph, NodeId};
+
+/// Errors produced while assembling a [`DiGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// An endpoint id was `>= n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// A self-loop `(u, u)` was added; the diffusion model has no use for
+    /// them and the tree algorithms assume their absence.
+    SelfLoop { node: NodeId },
+    /// The probability pair violated `0 ≤ p ≤ p' ≤ 1`.
+    InvalidProbability { base: f64, boosted: f64 },
+    /// The same directed edge was added twice.
+    DuplicateEdge { from: NodeId, to: NodeId },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            BuildError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            BuildError::InvalidProbability { base, boosted } => {
+                write!(f, "invalid probability pair p={base}, p'={boosted}")
+            }
+            BuildError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge ({from}, {to})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for [`DiGraph`].
+///
+/// Collects edges in any order, then sorts them into CSR form in
+/// [`build`](GraphBuilder::build). Duplicate edges are rejected at build
+/// time (the influence boosting model defines exactly one `(p, p')` pair per
+/// directed edge).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, EdgeProbs)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many nodes for u32 node ids");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the directed edge `(u, v)` with base probability `p` and boosted
+    /// probability `p_boost`.
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        p: f64,
+        p_boost: f64,
+    ) -> Result<(), BuildError> {
+        if u.index() >= self.n {
+            return Err(BuildError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v.index() >= self.n {
+            return Err(BuildError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(BuildError::SelfLoop { node: u });
+        }
+        let probs = EdgeProbs::new(p, p_boost).ok_or(BuildError::InvalidProbability {
+            base: p,
+            boosted: p_boost,
+        })?;
+        self.edges.push((u.0, v.0, probs));
+        Ok(())
+    }
+
+    /// Convenience: adds both `(u, v)` and `(v, u)` with the same pair.
+    ///
+    /// Bidirected trees (Section VI) are built this way.
+    pub fn add_bidirected_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        p: f64,
+        p_boost: f64,
+    ) -> Result<(), BuildError> {
+        self.add_edge(u, v, p, p_boost)?;
+        self.add_edge(v, u, p, p_boost)
+    }
+
+    /// Finalizes the builder into an immutable CSR graph.
+    pub fn build(mut self) -> Result<DiGraph, BuildError> {
+        let n = self.n;
+        // Sort by (source, target) for the forward CSR and duplicate check.
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        for w in self.edges.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 == w[1].1 {
+                return Err(BuildError::DuplicateEdge {
+                    from: NodeId(w[0].0),
+                    to: NodeId(w[0].1),
+                });
+            }
+        }
+
+        let m = self.edges.len();
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_probs = Vec::with_capacity(m);
+        for &(_, v, p) in &self.edges {
+            out_targets.push(v);
+            out_probs.push(p);
+        }
+
+        // Reverse CSR: counting sort by target keeps sources sorted per head.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v, _) in &self.edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0u32; m];
+        let mut in_probs = vec![EdgeProbs { base: 0.0, boosted: 0.0 }; m];
+        for &(u, v, p) in &self.edges {
+            let slot = cursor[v as usize] as usize;
+            in_sources[slot] = u;
+            in_probs[slot] = p;
+            cursor[v as usize] += 1;
+        }
+
+        Ok(DiGraph::from_parts(
+            n as u32,
+            out_offsets,
+            out_targets,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(0), NodeId(2), 0.1, 0.2).unwrap_err();
+        assert!(matches!(err, BuildError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(1), NodeId(1), 0.1, 0.2).unwrap_err();
+        assert!(matches!(err, BuildError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(0), NodeId(1), 0.5, 0.4).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.3, 0.4).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn bidirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.19).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_edges_sorted_by_target() {
+        let mut b = GraphBuilder::new(5);
+        for v in [4u32, 1, 3, 2] {
+            b.add_edge(NodeId(0), NodeId(v), 0.1, 0.2).unwrap();
+        }
+        let g = b.build().unwrap();
+        let targets: Vec<u32> = g.out_edges(NodeId(0)).map(|(v, _)| v.0).collect();
+        assert_eq!(targets, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,134 @@
+use rand::Rng;
+
+use crate::probability::{boost_probability, ProbabilityModel};
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Generates a uniform random directed graph `G(n, m)` with `m` distinct
+/// directed edges (no self-loops), probabilities drawn from `model` and
+/// boosted with parameter `beta`.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)`.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    model: ProbabilityModel,
+    beta: f64,
+    rng: &mut R,
+) -> DiGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "G(n={n}) cannot hold {m} edges");
+
+    // Rejection-sample distinct pairs; fine while m is far below n².
+    // For dense requests fall back to sampling from the full pair list.
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    if m * 3 < max_edges {
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.random_range(0..n as u64);
+            let v = rng.random_range(0..n as u64);
+            if u == v {
+                continue;
+            }
+            seen.insert(u * n as u64 + v);
+        }
+        for key in seen {
+            let (u, v) = ((key / n as u64) as u32, (key % n as u64) as u32);
+            add_edge(&mut builder, u, v, model, beta, rng);
+        }
+    } else {
+        let mut pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| (0..n as u32).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        // Partial Fisher–Yates: select m pairs uniformly.
+        for i in 0..m {
+            let j = rng.random_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            add_edge(&mut builder, u, v, model, beta, rng);
+        }
+    }
+    builder.build().expect("generator produces valid graphs")
+}
+
+fn add_edge<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    u: u32,
+    v: u32,
+    model: ProbabilityModel,
+    beta: f64,
+    rng: &mut R,
+) {
+    // Weighted cascade needs in-degrees which are unknown mid-generation;
+    // approximate with the expected in-degree m/n (documented behaviour).
+    let p = match model {
+        ProbabilityModel::WeightedCascade => {
+            let expected = (b.num_edges().max(1) as f64 / b.num_nodes().max(1) as f64).max(1.0);
+            1.0 / expected
+        }
+        other => other.sample(rng, 0),
+    };
+    b.add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
+        .expect("distinct sampled edges are valid");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = erdos_renyi(50, 200, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn exact_edge_count_dense() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = erdos_renyi(10, 80, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        assert_eq!(g.num_edges(), 80);
+    }
+
+    #[test]
+    fn no_self_loops_and_no_duplicates() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = erdos_renyi(20, 100, ProbabilityModel::Trivalency, 2.0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v, _) in g.edges() {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = erdos_renyi(
+            30,
+            90,
+            ProbabilityModel::Constant(0.2),
+            2.0,
+            &mut SmallRng::seed_from_u64(5),
+        );
+        let g2 = erdos_renyi(
+            30,
+            90,
+            ProbabilityModel::Constant(0.2),
+            2.0,
+            &mut SmallRng::seed_from_u64(5),
+        );
+        let e1: Vec<_> = g1.edges().map(|(u, v, _)| (u, v)).collect();
+        let e2: Vec<_> = g2.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_many_edges_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        erdos_renyi(3, 7, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+    }
+}

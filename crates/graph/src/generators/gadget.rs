@@ -1,0 +1,98 @@
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// A Set Cover instance `(ground set X, collection C of subsets)` used to
+/// build the NP-hardness gadget of Appendix A (Figure 16).
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Size of the ground set `|X|`.
+    pub num_elements: usize,
+    /// Subsets, each a list of element indices `< num_elements`.
+    pub subsets: Vec<Vec<usize>>,
+}
+
+/// Builds the tripartite reduction graph from the paper's NP-hardness proof.
+///
+/// Layout (Figure 16): node `0` is the seed `s`; nodes `1..=m` are the
+/// set-nodes `c_i`; nodes `m+1..=m+n` are the element-nodes `x_j`.
+/// Edges `s → c_i` carry `p = 0.5, p' = 1`; edges `c_i → x_j` (whenever
+/// `e_j ∈ C_i`) carry `p = p' = 1`.
+///
+/// Boosting the set-nodes corresponding to a size-`k` set cover yields
+/// `σ_S(B) = 1 + n + m`, so the gadget doubles as a test bed where the
+/// optimal boost set is known by construction.
+pub fn set_cover_gadget(instance: &SetCoverInstance) -> DiGraph {
+    let m = instance.subsets.len();
+    let n = instance.num_elements;
+    let total = 1 + m + n;
+    let mut b = GraphBuilder::new(total);
+    for (i, subset) in instance.subsets.iter().enumerate() {
+        let ci = NodeId((1 + i) as u32);
+        b.add_edge(NodeId(0), ci, 0.5, 1.0).expect("valid edge");
+        for &e in subset {
+            assert!(e < n, "element index out of range");
+            let xj = NodeId((1 + m + e) as u32);
+            b.add_edge(ci, xj, 1.0, 1.0).expect("valid edge");
+        }
+    }
+    b.build().expect("gadget builds")
+}
+
+impl SetCoverInstance {
+    /// The set-node id in the gadget graph for subset `i`.
+    pub fn set_node(&self, i: usize) -> NodeId {
+        NodeId((1 + i) as u32)
+    }
+
+    /// The element-node id in the gadget graph for element `j`.
+    pub fn element_node(&self, j: usize) -> NodeId {
+        NodeId((1 + self.subsets.len() + j) as u32)
+    }
+
+    /// Whether the chosen subset indices cover the ground set.
+    pub fn is_cover(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.num_elements];
+        for &i in chosen {
+            for &e in &self.subsets[i] {
+                covered[e] = true;
+            }
+        }
+        covered.iter().all(|&c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure16() -> SetCoverInstance {
+        // X = {x1..x6}, C1 = {1,2,3}, C2 = {2,3,4}, C3 = {4,5,6} (0-based).
+        SetCoverInstance {
+            num_elements: 6,
+            subsets: vec![vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 5]],
+        }
+    }
+
+    #[test]
+    fn gadget_structure() {
+        let inst = figure16();
+        let g = set_cover_gadget(&inst);
+        assert_eq!(g.num_nodes(), 1 + 3 + 6);
+        assert_eq!(g.num_edges(), 3 + 9);
+        // s -> every set node at (0.5, 1.0)
+        for i in 0..3 {
+            let p = g.edge(NodeId(0), inst.set_node(i)).unwrap();
+            assert_eq!((p.base, p.boosted), (0.5, 1.0));
+        }
+        // c1 -> x1 deterministic
+        let p = g.edge(inst.set_node(0), inst.element_node(0)).unwrap();
+        assert_eq!((p.base, p.boosted), (1.0, 1.0));
+    }
+
+    #[test]
+    fn cover_check() {
+        let inst = figure16();
+        assert!(inst.is_cover(&[0, 2]));
+        assert!(!inst.is_cover(&[0, 1]));
+        assert!(inst.is_cover(&[0, 1, 2]));
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic network generators.
+//!
+//! Real social traces (Digg, Flixster, Twitter, Flickr) are not available
+//! offline, so the experiment harness substitutes synthetic networks whose
+//! degree structure and probability distribution are calibrated to Table 1
+//! of the paper (see `kboost-datasets`). This module provides the raw
+//! topology generators:
+//!
+//! * [`erdos_renyi`] — G(n, m) uniform random directed graphs;
+//! * [`preferential_attachment`] — power-law (scale-free) directed graphs;
+//! * [`watts_strogatz`] — small-world rewired ring lattices;
+//! * [`random_tree`] / [`complete_binary_tree`] — bidirected trees for the
+//!   Section VI/VIII experiments;
+//! * [`set_cover_gadget`] — the tripartite reduction graph from the
+//!   NP-hardness proof (Appendix A, Figure 16), useful as a test bed where
+//!   the optimal boost set is known.
+
+mod er;
+mod gadget;
+mod pa;
+mod tree;
+mod ws;
+
+pub use er::erdos_renyi;
+pub use gadget::{set_cover_gadget, SetCoverInstance};
+pub use pa::preferential_attachment;
+pub use tree::{complete_binary_tree, random_tree, TreeTopology};
+pub use ws::watts_strogatz;

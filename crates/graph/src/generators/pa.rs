@@ -1,0 +1,100 @@
+use rand::Rng;
+
+use crate::probability::{boost_probability, ProbabilityModel};
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Generates a scale-free directed graph by preferential attachment.
+///
+/// Nodes arrive one at a time; each new node draws `out_per_node` targets
+/// from the existing nodes with probability proportional to
+/// `in_degree + 1`, then with probability `back_edge_prob` each chosen
+/// target links back (creating reciprocal follow relationships, common in
+/// social networks). The resulting in-degree distribution has a power-law
+/// tail, which is the regime the paper's real datasets live in.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    out_per_node: usize,
+    back_edge_prob: f64,
+    model: ProbabilityModel,
+    beta: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut builder = GraphBuilder::with_capacity(n, n * out_per_node * 2);
+
+    // `targets` holds one entry per (in-degree + 1) unit of attachment mass,
+    // i.e. the classic Barabási–Albert repeated-nodes trick.
+    let mut attachment_pool: Vec<u32> = (0..n as u32).collect();
+    let mut edge_exists = std::collections::HashSet::<(u32, u32)>::new();
+
+    for u in 1..n as u32 {
+        let wanted = out_per_node.min(u as usize);
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < wanted && attempts < 50 * wanted {
+            attempts += 1;
+            // Sample from attachment mass restricted to ids < u.
+            let v = attachment_pool[rng.random_range(0..attachment_pool.len())];
+            if v >= u || edge_exists.contains(&(u, v)) {
+                continue;
+            }
+            let p = model.sample(rng, 0);
+            builder
+                .add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
+                .expect("valid edge");
+            edge_exists.insert((u, v));
+            attachment_pool.push(v); // v gained an in-edge
+            added += 1;
+            if rng.random_bool(back_edge_prob) && !edge_exists.contains(&(v, u)) {
+                let p = model.sample(rng, 0);
+                builder
+                    .add_edge(NodeId(v), NodeId(u), p, boost_probability(p, beta))
+                    .expect("valid edge");
+                edge_exists.insert((v, u));
+                attachment_pool.push(u);
+            }
+        }
+    }
+    builder.build().expect("generator produces valid graphs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_connected_ish_graph() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = preferential_attachment(200, 3, 0.3, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        assert_eq!(g.num_nodes(), 200);
+        // Every node except node 0 has at least one out-edge.
+        let isolated = g.nodes().filter(|&u| g.out_degree(u) + g.in_degree(u) == 0).count();
+        assert_eq!(isolated, 0);
+    }
+
+    #[test]
+    fn heavy_tail_in_degree() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = preferential_attachment(2000, 2, 0.0, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        let max_in = g.nodes().map(|u| g.in_degree(u)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_nodes() as f64;
+        // Power-law hubs: the max should dwarf the average.
+        assert!(
+            max_in as f64 > 10.0 * avg_in,
+            "max in-degree {max_in} vs avg {avg_in}"
+        );
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let g = preferential_attachment(300, 4, 0.5, ProbabilityModel::Trivalency, 2.0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v, _) in g.edges() {
+            assert!(seen.insert((u, v)), "duplicate edge ({u}, {v})");
+            assert_ne!(u, v);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+use rand::Rng;
+
+use crate::probability::{boost_probability, ProbabilityModel};
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// An undirected tree topology, stored as the list of `(parent, child)`
+/// pairs of a rooted orientation. Node `0` is always the root.
+///
+/// Converted into a *bidirected* [`DiGraph`] (both directions present,
+/// probabilities sampled independently per direction as in Section VIII)
+/// with [`TreeTopology::into_bidirected_graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeTopology {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl TreeTopology {
+    /// Builds a topology from explicit `(parent, child)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a tree on `n` nodes rooted at 0
+    /// (i.e. exactly `n−1` edges, each child appearing once, parents
+    /// preceding children is *not* required).
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        assert_eq!(edges.len(), n.saturating_sub(1), "a tree on {n} nodes has {} edges", n.saturating_sub(1));
+        let mut seen_child = vec![false; n];
+        for &(p, c) in &edges {
+            assert!((p as usize) < n && (c as usize) < n, "edge endpoint out of range");
+            assert!(!seen_child[c as usize], "node {c} has two parents");
+            assert_ne!(c, 0, "root cannot be a child");
+            seen_child[c as usize] = true;
+        }
+        TreeTopology { n, edges }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The `(parent, child)` pairs.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Converts the topology into a bidirected [`DiGraph`], sampling each
+    /// direction's base probability independently from `model` and boosting
+    /// with `beta`.
+    pub fn into_bidirected_graph<R: Rng + ?Sized>(
+        &self,
+        model: ProbabilityModel,
+        beta: f64,
+        rng: &mut R,
+    ) -> DiGraph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            let p1 = model.sample(rng, 0);
+            let p2 = model.sample(rng, 0);
+            b.add_edge(NodeId(u), NodeId(v), p1, boost_probability(p1, beta))
+                .expect("valid edge");
+            b.add_edge(NodeId(v), NodeId(u), p2, boost_probability(p2, beta))
+                .expect("valid edge");
+        }
+        b.build().expect("tree builds")
+    }
+}
+
+/// A complete binary tree on `n` nodes in heap order: node `i`'s children
+/// are `2i+1` and `2i+2`. This is the topology used in the paper's tree
+/// experiments ("for every given number of nodes n, we construct a complete
+/// binary tree").
+pub fn complete_binary_tree(n: usize) -> TreeTopology {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for c in 1..n as u32 {
+        edges.push(((c - 1) / 2, c));
+    }
+    TreeTopology::from_edges(n, edges)
+}
+
+/// A uniform random recursive tree: node `i` attaches to a uniformly random
+/// node in `0..i`. `max_children` optionally caps the number of children a
+/// node may receive (useful for exercising the general DP on bounded-degree
+/// trees).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, max_children: Option<usize>, rng: &mut R) -> TreeTopology {
+    let mut child_count = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for c in 1..n as u32 {
+        let parent = loop {
+            let p = rng.random_range(0..c);
+            match max_children {
+                Some(cap) if child_count[p as usize] >= cap => continue,
+                _ => break p,
+            }
+        };
+        child_count[parent as usize] += 1;
+        edges.push((parent, c));
+    }
+    TreeTopology::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let t = complete_binary_tree(7);
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.edges(), &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+    }
+
+    #[test]
+    fn bidirected_graph_has_two_edges_per_pair() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = complete_binary_tree(15).into_bidirected_graph(
+            ProbabilityModel::Constant(0.1),
+            2.0,
+            &mut rng,
+        );
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 28);
+        for (u, v, _) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let t = random_tree(100, None, &mut rng);
+        assert_eq!(t.edges().len(), 99);
+        // Connectivity: union-find over edges must join everything.
+        let mut parent: Vec<u32> = (0..100).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for &(u, v) in t.edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            assert_ne!(ru, rv, "cycle detected");
+            parent[ru as usize] = rv;
+        }
+    }
+
+    #[test]
+    fn max_children_respected() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let t = random_tree(200, Some(2), &mut rng);
+        let mut counts = vec![0usize; 200];
+        for &(p, _) in t.edges() {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "two parents")]
+    fn duplicate_child_rejected() {
+        TreeTopology::from_edges(3, vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn boosted_probability_matches_figure4() {
+        // Figure 4: p = 0.1 ⇒ p' = 0.19 with β = 2.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = complete_binary_tree(3).into_bidirected_graph(
+            ProbabilityModel::Constant(0.1),
+            2.0,
+            &mut rng,
+        );
+        for (_, _, p) in g.edges() {
+            assert!((p.boosted - 0.19).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+use rand::Rng;
+
+use crate::probability::{boost_probability, ProbabilityModel};
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Generates a directed Watts–Strogatz small-world graph.
+///
+/// Starts from a ring lattice where each node points to its `k_half`
+/// clockwise neighbors, then rewires each edge's head uniformly at random
+/// with probability `rewire_prob`. Small-world topologies exercise the
+/// paper's observation that pruning in PRR-graph generation loses bite as
+/// path lengths shrink.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k_half: usize,
+    rewire_prob: f64,
+    model: ProbabilityModel,
+    beta: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(n > 2 * k_half, "ring lattice needs n > 2*k_half");
+    let mut edges = std::collections::HashSet::<(u32, u32)>::with_capacity(n * k_half);
+    for u in 0..n as u32 {
+        for d in 1..=k_half as u32 {
+            let v = (u + d) % n as u32;
+            edges.insert((u, v));
+        }
+    }
+
+    // Rewire pass: move each original edge's head with probability
+    // `rewire_prob`, avoiding self-loops and duplicates.
+    let originals: Vec<(u32, u32)> = edges.iter().copied().collect();
+    for (u, v) in originals {
+        if rng.random_bool(rewire_prob) {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                if attempts > 100 {
+                    break;
+                }
+                let w = rng.random_range(0..n as u32);
+                if w != u && !edges.contains(&(u, w)) {
+                    edges.remove(&(u, v));
+                    edges.insert((u, w));
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut builder = GraphBuilder::with_capacity(n, edges.len());
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable(); // deterministic iteration for reproducibility
+    for (u, v) in sorted {
+        let p = model.sample(rng, 0);
+        builder
+            .add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
+            .expect("valid edge");
+    }
+    builder.build().expect("generator produces valid graphs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rewire_is_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = watts_strogatz(10, 2, 0.0, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        assert_eq!(g.num_edges(), 20);
+        for u in 0..10u32 {
+            assert!(g.has_edge(NodeId(u), NodeId((u + 1) % 10)));
+            assert!(g.has_edge(NodeId(u), NodeId((u + 2) % 10)));
+        }
+    }
+
+    #[test]
+    fn rewire_keeps_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let g = watts_strogatz(50, 3, 0.5, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        assert_eq!(g.num_edges(), 150);
+    }
+
+    #[test]
+    fn full_rewire_changes_topology() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = watts_strogatz(100, 2, 1.0, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        // With rewiring probability 1 it's vanishingly unlikely the ring
+        // lattice survived intact.
+        let ring_edges = (0..100u32)
+            .filter(|&u| g.has_edge(NodeId(u), NodeId((u + 1) % 100)))
+            .count();
+        assert!(ring_edges < 60, "ring mostly intact after full rewire");
+    }
+}

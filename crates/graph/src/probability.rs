@@ -1,0 +1,171 @@
+//! Influence-probability models and the boosting parameter β.
+//!
+//! The paper assigns base probabilities `p_uv` either by learning them from
+//! action logs (general-graph experiments; Goyal et al.'s method) or by the
+//! Trivalency model (tree experiments), and derives the boosted probability
+//! as `p'_uv = 1 − (1 − p_uv)^β` for a boosting parameter `β > 1` (β = 2 by
+//! default, i.e. "two independent chances").
+
+use rand::Rng;
+
+use crate::{DiGraph, EdgeProbs, NodeId};
+
+/// How base influence probabilities are assigned to edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbabilityModel {
+    /// Every edge gets the same probability.
+    Constant(f64),
+    /// The Trivalency model: each edge draws uniformly from
+    /// {0.1, 0.01, 0.001} (used for the paper's tree experiments).
+    Trivalency,
+    /// The Weighted-Cascade model: `p_uv = 1 / in_degree(v)`.
+    WeightedCascade,
+    /// Log-normal probabilities clamped to `[0, cap]`, parameterized by the
+    /// underlying normal's mean and standard deviation. Mimics the skewed
+    /// distribution of probabilities learned from real action logs.
+    LogNormal { mu: f64, sigma: f64, cap: f64 },
+}
+
+/// Applies the boosting parameter: `p' = 1 − (1 − p)^β`.
+///
+/// For β ≥ 1 this always satisfies `p' ≥ p`, matching Definition 1's
+/// requirement.
+#[inline]
+pub fn boost_probability(p: f64, beta: f64) -> f64 {
+    debug_assert!(beta >= 1.0, "boosting parameter must be >= 1");
+    1.0 - (1.0 - p).powf(beta)
+}
+
+impl ProbabilityModel {
+    /// Draws a base probability for edge `(u, v)`.
+    ///
+    /// `in_degree` is the in-degree of `v` (needed by weighted cascade).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, in_degree: usize) -> f64 {
+        match *self {
+            ProbabilityModel::Constant(p) => p,
+            ProbabilityModel::Trivalency => {
+                const LEVELS: [f64; 3] = [0.1, 0.01, 0.001];
+                LEVELS[rng.random_range(0..3)]
+            }
+            ProbabilityModel::WeightedCascade => {
+                if in_degree == 0 {
+                    0.0
+                } else {
+                    1.0 / in_degree as f64
+                }
+            }
+            ProbabilityModel::LogNormal { mu, sigma, cap } => {
+                // Box–Muller transform; avoids pulling in rand_distr.
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mu + sigma * z).exp().min(cap).max(0.0)
+            }
+        }
+    }
+}
+
+/// Re-parameterizes a graph: re-draws every base probability from `model`
+/// and sets `p' = 1 − (1−p)^β`.
+pub fn assign_probabilities<R: Rng + ?Sized>(
+    g: &DiGraph,
+    model: ProbabilityModel,
+    beta: f64,
+    rng: &mut R,
+) -> DiGraph {
+    // In-degrees snapshot for weighted cascade.
+    let in_deg: Vec<usize> = (0..g.num_nodes())
+        .map(|v| g.in_degree(NodeId::from_index(v)))
+        .collect();
+    g.map_probs(|_, v, _| {
+        let p = model.sample(rng, in_deg[v.index()]);
+        EdgeProbs::new(p, boost_probability(p, beta)).expect("model produced valid probability")
+    })
+}
+
+/// Changes only the boosting parameter, keeping base probabilities: used by
+/// the β-sweep experiment (Figure 8/9).
+pub fn reboost(g: &DiGraph, beta: f64) -> DiGraph {
+    g.map_probs(|_, _, probs| {
+        EdgeProbs::new(probs.base, boost_probability(probs.base, beta))
+            .expect("boosting keeps probabilities valid")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boost_probability_beta_two() {
+        // β = 2: p' = 1 - (1-p)^2 = 2p - p².
+        let p = 0.2;
+        assert!((boost_probability(p, 2.0) - (2.0 * p - p * p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boost_probability_monotone_in_beta() {
+        let p = 0.3;
+        let mut prev = p;
+        for beta in [1.0, 1.5, 2.0, 4.0, 8.0] {
+            let b = boost_probability(p, beta);
+            assert!(b >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn trivalency_draws_levels() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = ProbabilityModel::Trivalency.sample(&mut rng, 0);
+            assert!([0.1, 0.01, 0.001].contains(&p));
+        }
+    }
+
+    #[test]
+    fn weighted_cascade_uses_in_degree() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = ProbabilityModel::WeightedCascade.sample(&mut rng, 4);
+        assert!((p - 0.25).abs() < 1e-12);
+        assert_eq!(ProbabilityModel::WeightedCascade.sample(&mut rng, 0), 0.0);
+    }
+
+    #[test]
+    fn log_normal_within_cap() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let model = ProbabilityModel::LogNormal { mu: -2.0, sigma: 1.0, cap: 0.8 };
+        for _ in 0..200 {
+            let p = model.sample(&mut rng, 0);
+            assert!((0.0..=0.8).contains(&p));
+        }
+    }
+
+    #[test]
+    fn reboost_changes_only_boosted() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        let g = b.build().unwrap();
+        let g3 = reboost(&g, 3.0);
+        let p = g3.edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(p.base, 0.2);
+        assert!((p.boosted - (1.0 - 0.8f64.powi(3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_probabilities_respects_model() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(2), 0.5, 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g2 = assign_probabilities(&g, ProbabilityModel::WeightedCascade, 2.0, &mut rng);
+        let p = g2.edge(NodeId(0), NodeId(2)).unwrap();
+        assert!((p.base - 0.5).abs() < 1e-12); // in-degree of node 2 is 2
+        assert!((p.boosted - boost_probability(0.5, 2.0)).abs() < 1e-12);
+    }
+}

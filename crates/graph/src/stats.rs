@@ -1,0 +1,193 @@
+//! Graph statistics and weakly-connected components.
+//!
+//! The paper's Table 1 reports `n`, `m`, and the average influence
+//! probability per dataset, after restricting to the largest weakly
+//! connected component; this module provides those measurements.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Summary statistics of a graph, as reported in Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Mean base influence probability over all edges.
+    pub avg_probability: f64,
+    /// Mean boosted influence probability over all edges.
+    pub avg_boosted_probability: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let mut sum_p = 0.0;
+    let mut sum_pb = 0.0;
+    for (_, _, p) in g.edges() {
+        sum_p += p.base;
+        sum_pb += p.boosted;
+    }
+    let m = g.num_edges();
+    let denom = if m == 0 { 1.0 } else { m as f64 };
+    GraphStats {
+        nodes: g.num_nodes(),
+        edges: m,
+        avg_probability: sum_p / denom,
+        avg_boosted_probability: sum_pb / denom,
+        max_out_degree: g.nodes().map(|u| g.out_degree(u)).max().unwrap_or(0),
+        max_in_degree: g.nodes().map(|u| g.in_degree(u)).max().unwrap_or(0),
+    }
+}
+
+/// Assigns each node a weakly-connected-component label in `0..#components`
+/// and returns `(labels, component_sizes)`.
+pub fn weakly_connected_components(g: &DiGraph) -> (Vec<u32>, Vec<usize>) {
+    const UNSEEN: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let mut label = vec![UNSEEN; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in 0..n {
+        if label[start] != UNSEEN {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start] = comp;
+        stack.push(start as u32);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            let u = NodeId(u);
+            for (v, _) in g.out_edges(u) {
+                if label[v.index()] == UNSEEN {
+                    label[v.index()] = comp;
+                    stack.push(v.0);
+                }
+            }
+            for (v, _) in g.in_edges(u) {
+                if label[v.index()] == UNSEEN {
+                    label[v.index()] = comp;
+                    stack.push(v.0);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    (label, sizes)
+}
+
+/// Restricts `g` to its largest weakly connected component, relabelling
+/// nodes densely. Returns the subgraph and the mapping
+/// `new id -> old id`.
+///
+/// Mirrors the paper's preprocessing: "we remove edges with zero influence
+/// probability and keep the largest weakly connected component".
+pub fn largest_weakly_connected_component(g: &DiGraph) -> (DiGraph, Vec<NodeId>) {
+    let (labels, sizes) = weakly_connected_components(g);
+    let Some((largest, _)) = sizes.iter().enumerate().max_by_key(|&(_, s)| *s) else {
+        return (GraphBuilder::new(0).build().expect("empty graph builds"), Vec::new());
+    };
+    let largest = largest as u32;
+
+    let mut old_of_new = Vec::new();
+    let mut new_of_old = vec![u32::MAX; g.num_nodes()];
+    for (old, &lab) in labels.iter().enumerate() {
+        if lab == largest {
+            new_of_old[old] = old_of_new.len() as u32;
+            old_of_new.push(NodeId(old as u32));
+        }
+    }
+
+    let mut b = GraphBuilder::new(old_of_new.len());
+    for (u, v, p) in g.edges() {
+        let (nu, nv) = (new_of_old[u.index()], new_of_old[v.index()]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(NodeId(nu), NodeId(nv), p.base, p.boosted)
+                .expect("probabilities already validated");
+        }
+    }
+    (b.build().expect("subgraph of valid graph is valid"), old_of_new)
+}
+
+/// Drops zero-probability edges, keeping everything else.
+pub fn remove_zero_probability_edges(g: &DiGraph) -> DiGraph {
+    let mut b = GraphBuilder::new(g.num_nodes());
+    for (u, v, p) in g.edges() {
+        if p.base > 0.0 {
+            b.add_edge(u, v, p.base, p.boosted).expect("valid edge");
+        }
+    }
+    b.build().expect("valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> DiGraph {
+        // Component A: 0 -> 1 -> 2 ; Component B: 3 <-> 4
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 0.5, 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5, 0.6).unwrap();
+        b.add_bidirected_edge(NodeId(3), NodeId(4), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn wcc_counts() {
+        let g = two_components();
+        let (labels, sizes) = weakly_connected_components(&g);
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn largest_wcc_extraction() {
+        let g = two_components();
+        let (sub, map) = largest_weakly_connected_component(&g);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let g = two_components();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        let expect = (0.5 + 0.5 + 0.1 + 0.1) / 4.0;
+        assert!((s.avg_probability - expect).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 1);
+    }
+
+    #[test]
+    fn zero_probability_edges_removed() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 0.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.4, 0.5).unwrap();
+        let g = remove_zero_probability_edges(&b.build().unwrap());
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.edges, 0);
+        let (_, sizes) = weakly_connected_components(&g);
+        assert!(sizes.is_empty());
+    }
+}

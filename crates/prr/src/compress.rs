@@ -1,0 +1,464 @@
+//! Phase II — PRR-graph compression (Section V-A).
+//!
+//! The compression keeps `f_R(B)` and `f⁻_R(B)` unchanged for every
+//! `|B| ≤ k` while shrinking the graph by orders of magnitude (the paper
+//! reports ratios of 27–3125, Tables 2–3):
+//!
+//! 1. merge the live-forward closure `X` of the seeds into one *super-seed*
+//!    (boosting inside `X` can never matter);
+//! 2. drop every node whose cheapest super-seed→node→root path needs more
+//!    than `k` boost edges (`d_S[v] + d'_r[v] > k`);
+//! 3. shortcut nodes with a live path to the root (`d'_r[v] = 0`) straight
+//!    to it — once such a node activates, the root follows;
+//! 4. keep only nodes lying on some super-seed→root path.
+//!
+//! The critical set falls out for free: after merging, every edge leaving
+//! the super-seed is live-upon-boost (a live one would have extended `X`),
+//! so `C_R` is exactly the heads of super-seed edges that live-reach the
+//! root.
+
+use std::collections::HashMap;
+
+use kboost_graph::NodeId;
+
+use crate::gen::RawPrr;
+use crate::graph::{CompressedPrr, SUPER_SEED};
+
+const INF: u32 = u32::MAX;
+
+/// Compresses a phase-I raw PRR-graph. Returns `None` when the graph turns
+/// out to be non-boostable (no super-seed→root path within the `k`-boost
+/// budget) — callers count it as hopeless.
+pub fn compress(raw: &RawPrr, k: usize) -> Option<CompressedPrr> {
+    let k = k as u32;
+
+    // ---- Local indexing over the raw node set -------------------------
+    let mut index: HashMap<u32, u32> = HashMap::with_capacity(raw.edges.len());
+    let mut nodes: Vec<u32> = Vec::new();
+    let local = |g: u32, index: &mut HashMap<u32, u32>, nodes: &mut Vec<u32>| -> u32 {
+        *index.entry(g).or_insert_with(|| {
+            nodes.push(g);
+            (nodes.len() - 1) as u32
+        })
+    };
+    let root_l = local(raw.root, &mut index, &mut nodes);
+    let edges: Vec<(u32, u32, bool)> = raw
+        .edges
+        .iter()
+        .map(|&(u, v, b)| {
+            let ul = local(u, &mut index, &mut nodes);
+            let vl = local(v, &mut index, &mut nodes);
+            (ul, vl, b)
+        })
+        .collect();
+    let n0 = nodes.len();
+    let seed_locals: Vec<u32> = raw.seeds.iter().map(|&s| index[&s]).collect();
+
+    // ---- X: live-forward closure of the seeds -------------------------
+    let mut live_out: Vec<Vec<u32>> = vec![Vec::new(); n0];
+    for &(u, v, b) in &edges {
+        if !b {
+            live_out[u as usize].push(v);
+        }
+    }
+    let mut in_x = vec![false; n0];
+    let mut stack: Vec<u32> = Vec::new();
+    for &s in &seed_locals {
+        if !in_x[s as usize] {
+            in_x[s as usize] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &v in &live_out[u as usize] {
+            if !in_x[v as usize] {
+                in_x[v as usize] = true;
+                stack.push(v);
+            }
+        }
+    }
+    if in_x[root_l as usize] {
+        // Live seed→root path: activated (phase I normally catches this).
+        return None;
+    }
+
+    // ---- Stage-2 graph: super-seed 0 + non-X nodes --------------------
+    let mut stage_of = vec![INF; n0];
+    let mut stage_nodes: Vec<u32> = vec![SUPER_SEED]; // stage-local -> raw-local (SUPER_SEED marker for 0)
+    for v in 0..n0 as u32 {
+        if !in_x[v as usize] {
+            stage_of[v as usize] = stage_nodes.len() as u32;
+            stage_nodes.push(v);
+        }
+    }
+    let sn = stage_nodes.len();
+    let root_s = stage_of[root_l as usize];
+
+    let mut out_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); sn];
+    let mut super_head_seen = vec![false; sn];
+    for &(u, v, b) in &edges {
+        let (ux, vx) = (in_x[u as usize], in_x[v as usize]);
+        if vx {
+            continue; // edges into the merged region are useless
+        }
+        let sv = stage_of[v as usize];
+        if ux {
+            debug_assert!(b, "a live edge out of X would have extended X");
+            if !super_head_seen[sv as usize] {
+                super_head_seen[sv as usize] = true;
+                out_adj[0].push((sv, true));
+            }
+        } else {
+            out_adj[stage_of[u as usize] as usize].push((sv, b));
+        }
+    }
+
+    // ---- d_S (forward from super) and d'_r (backward from root) -------
+    let d_s = zero_one_bfs(sn, 0, |u, f| {
+        for &(v, b) in &out_adj[u as usize] {
+            f(v, b);
+        }
+    });
+    if d_s[root_s as usize] == INF || d_s[root_s as usize] > k {
+        return None; // hopeless within budget
+    }
+    let mut in_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); sn];
+    for (u, adj) in out_adj.iter().enumerate() {
+        for &(v, b) in adj {
+            in_adj[v as usize].push((u as u32, b));
+        }
+    }
+    let d_r = zero_one_bfs(sn, root_s, |u, f| {
+        for &(v, b) in &in_adj[u as usize] {
+            f(v, b);
+        }
+    });
+
+    // ---- Budget filter + live shortcut --------------------------------
+    let keep = |v: u32| -> bool {
+        let (a, b) = (d_s[v as usize], d_r[v as usize]);
+        a != INF && b != INF && a + b <= k
+    };
+    for v in 1..sn as u32 {
+        if v != root_s && keep(v) && d_r[v as usize] == 0 {
+            out_adj[v as usize].clear();
+            out_adj[v as usize].push((root_s, false));
+        }
+    }
+
+    // ---- Final pass: nodes on some super→root path --------------------
+    let fwd_reach = reach(sn, 0, &keep, |u, f| {
+        for &(v, _) in &out_adj[u as usize] {
+            f(v);
+        }
+    });
+    // Rebuild reverse adjacency after shortcutting.
+    let mut in_adj2: Vec<Vec<u32>> = vec![Vec::new(); sn];
+    for (u, adj) in out_adj.iter().enumerate() {
+        for &(v, _) in adj {
+            in_adj2[v as usize].push(u as u32);
+        }
+    }
+    let bwd_reach = reach(sn, root_s, &keep, |u, f| {
+        for &v in &in_adj2[u as usize] {
+            f(v);
+        }
+    });
+    let final_keep: Vec<bool> = (0..sn as u32)
+        .map(|v| keep(v) && fwd_reach[v as usize] && bwd_reach[v as usize])
+        .collect();
+    if !final_keep[0] || !final_keep[root_s as usize] {
+        return None;
+    }
+
+    // ---- Relabel + assemble -------------------------------------------
+    let mut final_of = vec![INF; sn];
+    let mut stage_of_final: Vec<u32> = Vec::new();
+    let mut globals: Vec<u32> = Vec::new();
+    for v in 0..sn as u32 {
+        if final_keep[v as usize] {
+            final_of[v as usize] = globals.len() as u32;
+            stage_of_final.push(v);
+            let raw_local = stage_nodes[v as usize];
+            globals.push(if raw_local == SUPER_SEED {
+                SUPER_SEED
+            } else {
+                nodes[raw_local as usize]
+            });
+        }
+    }
+    let fn_count = globals.len();
+    let mut final_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); fn_count];
+    for (u, adj) in out_adj.iter().enumerate() {
+        if !final_keep[u] {
+            continue;
+        }
+        for &(v, b) in adj {
+            if final_keep[v as usize] {
+                final_adj[final_of[u] as usize].push((final_of[v as usize], b));
+            }
+        }
+    }
+
+    // Critical nodes: heads of super-seed (boost) edges that live-reach
+    // the root.
+    let mut critical: Vec<NodeId> = Vec::new();
+    for &(v, _) in &final_adj[0] {
+        let stage_v = stage_of_final[v as usize];
+        if d_r[stage_v as usize] == 0 {
+            critical.push(NodeId(globals[v as usize]));
+        }
+    }
+
+    let root_final = final_of[root_s as usize];
+    Some(CompressedPrr::from_adjacency(
+        root_final,
+        globals,
+        &final_adj,
+        critical,
+        raw.edges.len() as u32,
+    ))
+}
+
+/// 0-1 BFS over an implicit graph: returns the per-node distance from
+/// `start`, where edge weight is 1 for boost edges and 0 for live edges.
+fn zero_one_bfs(n: usize, start: u32, for_each_edge: impl Fn(u32, &mut dyn FnMut(u32, bool))) -> Vec<u32> {
+    let mut dist = vec![INF; n];
+    let mut deque = std::collections::VecDeque::new();
+    dist[start as usize] = 0;
+    deque.push_back((start, 0u32));
+    while let Some((u, du)) = deque.pop_front() {
+        if du > dist[u as usize] {
+            continue;
+        }
+        for_each_edge(u, &mut |v, boost| {
+            let nd = du + boost as u32;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                if boost {
+                    deque.push_back((v, nd));
+                } else {
+                    deque.push_front((v, nd));
+                }
+            }
+        });
+    }
+    dist
+}
+
+/// Reachability from `start` restricted to nodes passing `keep`.
+fn reach(
+    n: usize,
+    start: u32,
+    keep: &impl Fn(u32) -> bool,
+    for_each_edge: impl Fn(u32, &mut dyn FnMut(u32)),
+) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    if !keep(start) {
+        return seen;
+    }
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(u) = stack.pop() {
+        for_each_edge(u, &mut |v| {
+            if keep(v) && !seen[v as usize] {
+                seen[v as usize] = true;
+                stack.push(v);
+            }
+        });
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{raw_f, PrrGenerator};
+    use kboost_diffusion::sim::BoostMask;
+    use kboost_graph::{DiGraph, GraphBuilder};
+    use crate::graph::PrrEvalScratch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Compare compressed f_R(B) with the raw reference for all B with
+    /// |B| ≤ k over a sampled PRR-graph.
+    fn check_equivalence(g: &DiGraph, seeds: &[NodeId], k: usize, root: NodeId, seed: u64) {
+        let generator = PrrGenerator::new(g, seeds, k);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let Some(raw) = generator.phase1_raw(root, &mut rng) else {
+            return;
+        };
+        let compressed = compress(&raw, k);
+        let n = g.num_nodes();
+        let mut scratch = PrrEvalScratch::default();
+
+        // Enumerate all subsets of nodes of size ≤ k (graphs are tiny).
+        let subsets = 1u32 << n;
+        for bits in 0..subsets {
+            if (bits.count_ones() as usize) > k {
+                continue;
+            }
+            let members: Vec<NodeId> =
+                (0..n as u32).filter(|i| bits >> i & 1 == 1).map(NodeId).collect();
+            let mask = BoostMask::from_nodes(n, &members);
+            let expected = raw_f(&raw, &mask);
+            let got = compressed
+                .as_ref()
+                .map(|c| c.f(&mask, &mut scratch))
+                .unwrap_or(false);
+            assert_eq!(expected, got, "B = {members:?} (bits {bits:b})");
+        }
+
+        // Critical set must equal the definitional {v : f({v}) = 1}.
+        if let Some(c) = &compressed {
+            let mut expect: Vec<NodeId> = (0..n as u32)
+                .map(NodeId)
+                .filter(|&v| raw_f(&raw, &BoostMask::from_nodes(n, &[v])))
+                .collect();
+            let mut got: Vec<NodeId> = c.critical().to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "critical set mismatch");
+        }
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> DiGraph {
+        use kboost_graph::generators::erdos_renyi;
+        use kboost_graph::probability::ProbabilityModel;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        erdos_renyi(n, m, ProbabilityModel::Constant(0.4), 2.5, &mut rng)
+    }
+
+    #[test]
+    fn equivalence_on_random_graphs() {
+        for seed in 0..60 {
+            let g = random_graph(8, 20, seed);
+            for k in [1usize, 2, 3] {
+                check_equivalence(&g, &[NodeId(0)], k, NodeId(7), seed * 31 + k as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_with_two_seeds() {
+        for seed in 0..40 {
+            let g = random_graph(9, 24, seed + 1000);
+            check_equivalence(&g, &[NodeId(0), NodeId(1)], 2, NodeId(8), seed * 7);
+        }
+    }
+
+    #[test]
+    fn compress_deterministic_chain() {
+        // s -(live)-> a -(boost)-> b -(live)-> r : C_R = {b}.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let generator = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let raw = generator.phase1_raw(NodeId(3), &mut rng).unwrap();
+        let c = compress(&raw, 2).expect("boostable");
+        assert_eq!(c.critical(), &[NodeId(2)]);
+        // Super-seed merges {s, a}; nodes: super, b, r.
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_edges(), 2);
+    }
+
+    #[test]
+    fn hopeless_when_budget_too_small() {
+        // Two boost edges in series need k >= 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        // Generate with prune k=2 so the raw graph includes both edges,
+        // but compress with budget k=1.
+        let generator = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let raw = generator.phase1_raw(NodeId(2), &mut rng).unwrap();
+        assert!(compress(&raw, 1).is_none());
+        assert!(compress(&raw, 2).is_some());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based compression equivalence: on arbitrary random graphs
+    //! and budgets, the compressed PRR-graph answers every `f_R(B)` query
+    //! (|B| ≤ k) exactly like the uncompressed phase-I graph, and the
+    //! critical set matches its definition.
+
+    use super::*;
+    use crate::gen::{raw_f, PrrGenerator};
+    use crate::graph::PrrEvalScratch;
+    use kboost_diffusion::sim::BoostMask;
+    use kboost_graph::generators::erdos_renyi;
+    use kboost_graph::probability::ProbabilityModel;
+    use kboost_graph::NodeId;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn compression_preserves_f_for_all_small_b(
+            graph_seed in 0u64..10_000,
+            status_seed in 0u64..10_000,
+            k in 1usize..4,
+            p in 0.2f64..0.7,
+            root in 0u32..8,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(graph_seed);
+            let g = erdos_renyi(8, 18, ProbabilityModel::Constant(p), 2.0, &mut rng);
+            let generator = PrrGenerator::new(&g, &[NodeId(0)], k);
+            let mut srng = SmallRng::seed_from_u64(status_seed);
+            let Some(raw) = generator.phase1_raw(NodeId(root), &mut srng) else {
+                return Ok(());
+            };
+            let compressed = compress(&raw, k);
+            let mut scratch = PrrEvalScratch::default();
+            for bits in 0u32..256 {
+                if bits.count_ones() as usize > k {
+                    continue;
+                }
+                let members: Vec<NodeId> =
+                    (0..8u32).filter(|i| bits >> i & 1 == 1).map(NodeId).collect();
+                let mask = BoostMask::from_nodes(8, &members);
+                let expected = raw_f(&raw, &mask);
+                let got = compressed
+                    .as_ref()
+                    .map(|c| c.f(&mask, &mut scratch))
+                    .unwrap_or(false);
+                prop_assert_eq!(expected, got, "B = {:?}", members);
+            }
+        }
+
+        #[test]
+        fn critical_set_matches_definition(
+            graph_seed in 0u64..10_000,
+            status_seed in 0u64..10_000,
+            root in 0u32..8,
+        ) {
+            let k = 2usize;
+            let mut rng = SmallRng::seed_from_u64(graph_seed);
+            let g = erdos_renyi(8, 16, ProbabilityModel::Constant(0.4), 2.2, &mut rng);
+            let generator = PrrGenerator::new(&g, &[NodeId(0), NodeId(1)], k);
+            let mut srng = SmallRng::seed_from_u64(status_seed);
+            let Some(raw) = generator.phase1_raw(NodeId(root), &mut srng) else {
+                return Ok(());
+            };
+            let Some(c) = compress(&raw, k) else { return Ok(()) };
+            let mut expect: Vec<NodeId> = (0..8u32)
+                .map(NodeId)
+                .filter(|&v| raw_f(&raw, &BoostMask::from_nodes(8, &[v])))
+                .collect();
+            let mut got = c.critical().to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(expect, got);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! PRR-graph generation — Algorithm 1, phase I.
+//!
+//! A backward 0-1 BFS from the root: the *distance* of a node is the
+//! minimum number of live-upon-boost edges on any path from it to the root,
+//! so live edges relax at the front of the deque and boost edges at the
+//! back. Edges whose best distance would exceed `k` are pruned — boosting
+//! at most `k` nodes can never make them useful (Section V-A).
+
+use kboost_diffusion::sim::BoostMask;
+use kboost_graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::compress::compress;
+use crate::graph::CompressedPrr;
+
+/// Result of generating one PRR-graph.
+pub enum PrrOutcome {
+    /// A live seed→root path exists: the root is activated regardless of
+    /// boosting (`f_R ≡ 0`). Only counted.
+    Activated,
+    /// No seed→root path with at most `k` boost edges exists (`f_R ≡ 0`
+    /// for all `|B| ≤ k`). Only counted.
+    Hopeless,
+    /// The root can be activated by boosting: the compressed graph.
+    Boostable(CompressedPrr),
+}
+
+/// Phase-I output before compression, kept public for testing and for the
+/// critical-only fast path.
+pub struct RawPrr {
+    /// The root node (global id).
+    pub root: u32,
+    /// Sampled non-blocked edges `(from, to, is_boost)` in global ids.
+    pub edges: Vec<(u32, u32, bool)>,
+    /// Seed nodes discovered during the backward BFS.
+    pub seeds: Vec<u32>,
+}
+
+enum Phase1 {
+    Activated,
+    Hopeless,
+    Raw(RawPrr),
+}
+
+/// Generator of random PRR-graphs for a fixed `(G, S, k)`.
+pub struct PrrGenerator<'g> {
+    g: &'g DiGraph,
+    seed_mask: BoostMask,
+    k: usize,
+}
+
+/// Per-thread scratch: stamped distance array sized to the host graph.
+struct GenScratch {
+    dist: Vec<u32>,
+    stamp: Vec<u32>,
+    round: u32,
+}
+
+impl GenScratch {
+    const INF: u32 = u32::MAX;
+
+    fn new() -> Self {
+        GenScratch { dist: Vec::new(), stamp: Vec::new(), round: 0 }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp = vec![0; n];
+            self.dist = vec![Self::INF; n];
+            self.round = 0;
+        }
+        self.round += 1;
+        if self.round == u32::MAX {
+            self.stamp.fill(0);
+            self.round = 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: u32) -> u32 {
+        if self.stamp[v as usize] == self.round {
+            self.dist[v as usize]
+        } else {
+            Self::INF
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: u32, d: u32) {
+        self.stamp[v as usize] = self.round;
+        self.dist[v as usize] = d;
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<GenScratch> = std::cell::RefCell::new(GenScratch::new());
+}
+
+impl<'g> PrrGenerator<'g> {
+    /// Creates a generator for seeds `S` and budget `k`.
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        PrrGenerator { g, seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds), k }
+    }
+
+    /// The boost budget `k` this generator prunes at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Generates a PRR-graph for a uniformly random root.
+    pub fn sample(&self, rng: &mut SmallRng) -> PrrOutcome {
+        let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
+        self.sample_rooted(root, rng)
+    }
+
+    /// Generates a PRR-graph for the given root.
+    pub fn sample_rooted(&self, root: NodeId, rng: &mut SmallRng) -> PrrOutcome {
+        match self.phase1(root, rng, self.k as u32) {
+            Phase1::Activated => PrrOutcome::Activated,
+            Phase1::Hopeless => PrrOutcome::Hopeless,
+            Phase1::Raw(raw) => match compress(&raw, self.k) {
+                Some(c) => PrrOutcome::Boostable(c),
+                None => PrrOutcome::Hopeless,
+            },
+        }
+    }
+
+    /// Fast path for PRR-Boost-LB: produces only the critical-node set
+    /// `C_R` (empty for activated / hopeless / criticality-free graphs).
+    ///
+    /// Exploration is pruned at distance 1 — "there is no need to explore
+    /// incoming edges of a node v if d_r[v] > 1" (Section V-C) — which is
+    /// sound because a critical node needs a live tail to the root and a
+    /// single boost edge fed by a live head from a seed.
+    pub fn sample_critical_only(&self, rng: &mut SmallRng) -> Vec<NodeId> {
+        let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
+        match self.phase1(root, rng, 1) {
+            Phase1::Activated | Phase1::Hopeless => Vec::new(),
+            Phase1::Raw(raw) => critical_from_raw(&raw, self.g.num_nodes(), &self.seed_mask),
+        }
+    }
+
+    /// Phase-I raw generation, exposed for tests; prunes at `prune_at`
+    /// boost edges.
+    pub fn phase1_raw(&self, root: NodeId, rng: &mut SmallRng) -> Option<RawPrr> {
+        match self.phase1(root, rng, self.k as u32) {
+            Phase1::Raw(raw) => Some(raw),
+            _ => None,
+        }
+    }
+
+    fn phase1(&self, root: NodeId, rng: &mut SmallRng, prune_at: u32) -> Phase1 {
+        if self.seed_mask.contains(root) {
+            return Phase1::Activated;
+        }
+        SCRATCH.with_borrow_mut(|scratch| {
+            scratch.begin(self.g.num_nodes());
+            let mut deque: std::collections::VecDeque<(u32, u32)> = std::collections::VecDeque::new();
+            let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+            let mut seeds_found: Vec<u32> = Vec::new();
+
+            scratch.set(root.0, 0);
+            deque.push_back((root.0, 0));
+
+            while let Some((u, du)) = deque.pop_front() {
+                if du > scratch.get(u) {
+                    continue; // stale entry: u was settled at a smaller distance
+                }
+                for (v, p) in self.g.in_edges(NodeId(u)) {
+                    // Sample the three-way status on first (and only) touch.
+                    let x: f64 = rng.random();
+                    let boost = if x < p.base {
+                        false
+                    } else if x < p.boosted {
+                        true
+                    } else {
+                        continue; // blocked
+                    };
+                    let dvr = du + boost as u32;
+                    if dvr > prune_at {
+                        continue; // pruning: needs more than k boosts
+                    }
+                    edges.push((v.0, u, boost));
+                    let old = scratch.get(v.0);
+                    if dvr < old {
+                        scratch.set(v.0, dvr);
+                        if self.seed_mask.contains(v) {
+                            if dvr == 0 {
+                                return Phase1::Activated;
+                            }
+                            if old == GenScratch::INF {
+                                seeds_found.push(v.0);
+                            }
+                        } else if dvr == du {
+                            deque.push_front((v.0, dvr));
+                        } else {
+                            deque.push_back((v.0, dvr));
+                        }
+                    }
+                }
+            }
+
+            if seeds_found.is_empty() {
+                Phase1::Hopeless
+            } else {
+                Phase1::Raw(RawPrr { root: root.0, edges, seeds: seeds_found })
+            }
+        })
+    }
+}
+
+/// Extracts the critical set straight from a phase-I raw graph:
+/// `v ∈ C_R` iff some boost edge `(u, v)` has `u` live-reachable from a
+/// seed and `v` live-reaching the root.
+pub fn critical_from_raw(raw: &RawPrr, n: usize, seed_mask: &BoostMask) -> Vec<NodeId> {
+    use std::collections::{HashMap, HashSet};
+
+    // Build adjacency over the raw edge list (local, hash-based: raw graphs
+    // are small relative to the host graph).
+    let mut live_out: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut live_in: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(u, v, boost) in &raw.edges {
+        if !boost {
+            live_out.entry(u).or_default().push(v);
+            live_in.entry(v).or_default().push(u);
+        }
+    }
+
+    // X: live-forward closure of the seeds.
+    let mut x_set: HashSet<u32> = raw.seeds.iter().copied().collect();
+    let mut stack: Vec<u32> = raw.seeds.clone();
+    while let Some(u) = stack.pop() {
+        if let Some(outs) = live_out.get(&u) {
+            for &v in outs {
+                if x_set.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+
+    // L: live-backward closure of the root.
+    let mut l_set: HashSet<u32> = HashSet::new();
+    l_set.insert(raw.root);
+    let mut stack = vec![raw.root];
+    while let Some(u) = stack.pop() {
+        if let Some(ins) = live_in.get(&u) {
+            for &v in ins {
+                if l_set.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+    }
+
+    let _ = n;
+    let mut critical: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &(u, v, boost) in &raw.edges {
+        if boost
+            && x_set.contains(&u)
+            && l_set.contains(&v)
+            && !seed_mask.contains(NodeId(v))
+            && seen.insert(v)
+        {
+            critical.push(NodeId(v));
+        }
+    }
+    critical
+}
+
+/// Evaluates `f_R(B)` directly on a phase-I raw graph (reference
+/// implementation used by tests to validate compression).
+pub fn raw_f(raw: &RawPrr, boost: &BoostMask) -> bool {
+    use std::collections::{HashMap, HashSet};
+    let mut out: HashMap<u32, Vec<(u32, bool)>> = HashMap::new();
+    for &(u, v, b) in &raw.edges {
+        out.entry(u).or_default().push((v, b));
+    }
+    // No boosting: is the root already activated?
+    let reach = |use_boost: bool| -> bool {
+        let mut seen: HashSet<u32> = raw.seeds.iter().copied().collect();
+        let mut stack: Vec<u32> = raw.seeds.clone();
+        while let Some(u) = stack.pop() {
+            if u == raw.root {
+                return true;
+            }
+            if let Some(outs) = out.get(&u) {
+                for &(v, b) in outs {
+                    let ok = !b || (use_boost && boost.contains(NodeId(v)));
+                    if ok && seen.insert(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen.contains(&raw.root)
+    };
+    !reach(false) && reach(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+    use rand::SeedableRng;
+
+    fn figure1() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn root_at_seed_is_activated() {
+        let g = figure1();
+        let gen = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(gen.sample_rooted(NodeId(0), &mut rng), PrrOutcome::Activated));
+    }
+
+    #[test]
+    fn outcome_frequencies_match_exact_probabilities() {
+        // Root = v1 (node 2). P[activated] = P[both edges live] = 0.02.
+        // P[boostable] = P[root activatable with ≤2 boosts] − P[activated].
+        let g = figure1();
+        let gen = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trials = 200_000;
+        let (mut act, mut boostable) = (0u32, 0u32);
+        for _ in 0..trials {
+            match gen.sample_rooted(NodeId(2), &mut rng) {
+                PrrOutcome::Activated => act += 1,
+                PrrOutcome::Boostable(_) => boostable += 1,
+                PrrOutcome::Hopeless => {}
+            }
+        }
+        let p_act = act as f64 / trials as f64;
+        assert!((p_act - 0.02).abs() < 0.005, "P[activated] ≈ {p_act}");
+        // Boostable: both edges non-blocked, not both live:
+        // 0.4·0.2 − 0.02 = 0.06.
+        let p_boost = boostable as f64 / trials as f64;
+        assert!((p_boost - 0.06).abs() < 0.005, "P[boostable] ≈ {p_boost}");
+    }
+
+    #[test]
+    fn pruning_respects_k() {
+        // With k = 1, a root needing 2 boosts must be hopeless.
+        let mut b = GraphBuilder::new(3);
+        // Both edges are boost-only (p = 0, p' = 1).
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gen1 = PrrGenerator::new(&g, &[NodeId(0)], 1);
+        assert!(matches!(gen1.sample_rooted(NodeId(2), &mut rng), PrrOutcome::Hopeless));
+        let gen2 = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        assert!(matches!(gen2.sample_rooted(NodeId(2), &mut rng), PrrOutcome::Boostable(_)));
+    }
+
+    #[test]
+    fn raw_f_on_deterministic_graph() {
+        // p = 0, p' = 1 on s->a and a->r: f(∅)=0, f({a})=0, f({a,r})=1.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let gen = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let raw = gen.phase1_raw(NodeId(2), &mut rng).expect("boostable");
+        assert!(!raw_f(&raw, &BoostMask::empty(3)));
+        assert!(!raw_f(&raw, &BoostMask::from_nodes(3, &[NodeId(1)])));
+        assert!(raw_f(&raw, &BoostMask::from_nodes(3, &[NodeId(1), NodeId(2)])));
+    }
+
+    #[test]
+    fn critical_only_agrees_with_raw_definition() {
+        // Deterministic boost-only single edge: s -> r with p=0, p'=1.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let gen = PrrGenerator::new(&g, &[NodeId(0)], 1);
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Critical set of every sampled graph rooted at 1 must be {1}.
+        let mut found = 0;
+        for _ in 0..20 {
+            let crit = gen.sample_critical_only(&mut rng);
+            if crit == vec![NodeId(1)] {
+                found += 1;
+            } else {
+                assert!(crit.is_empty(), "unexpected critical set {crit:?}");
+            }
+        }
+        // Root is uniform over {0, 1}; roughly half the samples root at 1.
+        assert!(found > 3, "critical set never found");
+    }
+}

@@ -1,0 +1,337 @@
+//! The compressed PRR-graph representation and its evaluation primitives.
+
+use kboost_diffusion::sim::BoostMask;
+use kboost_graph::NodeId;
+
+/// Sentinel "global id" of the super-seed node (it aggregates the whole
+/// live-reachable seed region and corresponds to no single original node).
+pub const SUPER_SEED: u32 = u32::MAX;
+
+/// A compressed boostable PRR-graph (output of Phase II).
+///
+/// Local node 0 is always the super-seed. Every stored edge is either live
+/// or live-upon-boost; `f_R(B)` is the reachability of the root from the
+/// super-seed when boost edges with heads in `B` are traversable.
+#[derive(Clone, Debug)]
+pub struct CompressedPrr {
+    root: u32,
+    /// Local → global id; `globals[0] == SUPER_SEED`.
+    globals: Vec<u32>,
+    fwd_offsets: Vec<u32>,
+    fwd: Vec<(u32, bool)>,
+    bwd_offsets: Vec<u32>,
+    bwd: Vec<(u32, bool)>,
+    critical: Vec<NodeId>,
+    uncompressed_edges: u32,
+}
+
+/// Reusable buffers for PRR-graph traversals.
+#[derive(Default)]
+pub struct PrrEvalScratch {
+    fwd_mark: Vec<bool>,
+    bwd_mark: Vec<bool>,
+    stack: Vec<u32>,
+}
+
+/// Outcome of the B-augmented criticality computation.
+pub enum Augmented {
+    /// `f_R(B) = 1` already — the graph is covered by the current set.
+    Covered,
+    /// Candidates were appended to the output vector.
+    Open,
+}
+
+impl CompressedPrr {
+    /// Assembles a compressed graph from adjacency lists. `globals[0]` must
+    /// be [`SUPER_SEED`].
+    pub(crate) fn from_adjacency(
+        root: u32,
+        globals: Vec<u32>,
+        out_adj: &[Vec<(u32, bool)>],
+        critical: Vec<NodeId>,
+        uncompressed_edges: u32,
+    ) -> Self {
+        let n = globals.len();
+        debug_assert_eq!(out_adj.len(), n);
+        debug_assert_eq!(globals[0], SUPER_SEED);
+
+        let m: usize = out_adj.iter().map(Vec::len).sum();
+        let mut fwd_offsets = vec![0u32; n + 1];
+        for (i, adj) in out_adj.iter().enumerate() {
+            fwd_offsets[i + 1] = fwd_offsets[i] + adj.len() as u32;
+        }
+        let mut fwd = Vec::with_capacity(m);
+        for adj in out_adj {
+            fwd.extend_from_slice(adj);
+        }
+
+        let mut bwd_counts = vec![0u32; n + 1];
+        for adj in out_adj {
+            for &(to, _) in adj {
+                bwd_counts[to as usize + 1] += 1;
+            }
+        }
+        let mut bwd_offsets = bwd_counts;
+        for i in 0..n {
+            bwd_offsets[i + 1] += bwd_offsets[i];
+        }
+        let mut cursor: Vec<u32> = bwd_offsets[..n].to_vec();
+        let mut bwd = vec![(0u32, false); m];
+        for (from, adj) in out_adj.iter().enumerate() {
+            for &(to, boost) in adj {
+                bwd[cursor[to as usize] as usize] = (from as u32, boost);
+                cursor[to as usize] += 1;
+            }
+        }
+
+        CompressedPrr { root, globals, fwd_offsets, fwd, bwd_offsets, bwd, critical, uncompressed_edges }
+    }
+
+    /// Number of local nodes (super-seed included).
+    pub fn num_nodes(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of phase-I edges this graph had before compression.
+    pub fn uncompressed_edges(&self) -> u32 {
+        self.uncompressed_edges
+    }
+
+    /// The critical nodes `C_R = {v : f_R({v}) = 1}` (global ids).
+    pub fn critical(&self) -> &[NodeId] {
+        &self.critical
+    }
+
+    /// The local id of the root.
+    pub fn root_local(&self) -> u32 {
+        self.root
+    }
+
+    /// The global id of local node `v`, or `None` for the super-seed.
+    pub fn global_of(&self, v: u32) -> Option<NodeId> {
+        let g = self.globals[v as usize];
+        (g != SUPER_SEED).then_some(NodeId(g))
+    }
+
+    #[inline]
+    fn traversable(&self, to: u32, boosted_edge: bool, boost: &BoostMask) -> bool {
+        if !boosted_edge {
+            return true;
+        }
+        let g = self.globals[to as usize];
+        g != SUPER_SEED && boost.contains(NodeId(g))
+    }
+
+    /// Evaluates `f_R(B)`: does boosting `B` activate the root?
+    ///
+    /// For a stored (boostable) graph there is no live super-seed→root
+    /// path, so this is exactly Definition 3's `f_R`.
+    pub fn f(&self, boost: &BoostMask, scratch: &mut PrrEvalScratch) -> bool {
+        let n = self.num_nodes();
+        scratch.fwd_mark.clear();
+        scratch.fwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.fwd_mark[0] = true;
+        scratch.stack.push(0);
+        while let Some(u) = scratch.stack.pop() {
+            if u == self.root {
+                return true;
+            }
+            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
+            for &(v, boosted_edge) in &self.fwd[lo..hi] {
+                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
+                    scratch.fwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Computes the *B-augmented critical set*: nodes `v ∉ B` such that
+    /// `f_R(B ∪ {v}) = 1`. Appends the global ids to `out` (deduplicated
+    /// within this graph). Returns [`Augmented::Covered`] without touching
+    /// `out` when `f_R(B) = 1` already.
+    ///
+    /// Soundness: `f_R(B∪{v}) = 1` iff some boost edge `(u, v)` has `u`
+    /// reachable from the super-seed and `v` reaching the root, both under
+    /// `B`-traversability — take the first entry of `v` on any witnessing
+    /// path for the forward half and the last exit for the backward half.
+    pub fn augmented_critical(
+        &self,
+        boost: &BoostMask,
+        scratch: &mut PrrEvalScratch,
+        out: &mut Vec<NodeId>,
+    ) -> Augmented {
+        let n = self.num_nodes();
+        scratch.fwd_mark.clear();
+        scratch.fwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.fwd_mark[0] = true;
+        scratch.stack.push(0);
+        while let Some(u) = scratch.stack.pop() {
+            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
+            for &(v, boosted_edge) in &self.fwd[lo..hi] {
+                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
+                    scratch.fwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+        if scratch.fwd_mark[self.root as usize] {
+            return Augmented::Covered;
+        }
+
+        scratch.bwd_mark.clear();
+        scratch.bwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.bwd_mark[self.root as usize] = true;
+        scratch.stack.push(self.root);
+        while let Some(u) = scratch.stack.pop() {
+            let (lo, hi) = (self.bwd_offsets[u as usize] as usize, self.bwd_offsets[u as usize + 1] as usize);
+            for &(v, boosted_edge) in &self.bwd[lo..hi] {
+                // Edge (v → u); traversable if live or head `u` boosted.
+                if !scratch.bwd_mark[v as usize] && self.traversable(u, boosted_edge, boost) {
+                    scratch.bwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+
+        // For every boost edge (u, v): if u is forward-reachable and v
+        // backward-reaches the root, boosting v closes the gap.
+        let before = out.len();
+        for u in 0..n as u32 {
+            if !scratch.fwd_mark[u as usize] {
+                continue;
+            }
+            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
+            for &(v, boosted_edge) in &self.fwd[lo..hi] {
+                if boosted_edge && scratch.bwd_mark[v as usize] {
+                    let g = self.globals[v as usize];
+                    if g != SUPER_SEED && !boost.contains(NodeId(g)) {
+                        let id = NodeId(g);
+                        if !out[before..].contains(&id) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        Augmented::Open
+    }
+
+    /// Approximate heap bytes of this compressed graph.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.globals.len() * size_of::<u32>()
+            + (self.fwd_offsets.len() + self.bwd_offsets.len()) * size_of::<u32>()
+            + (self.fwd.len() + self.bwd.len()) * size_of::<(u32, bool)>()
+            + self.critical.len() * size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built graph: super(0) --boost--> a(1) --live--> root(2),
+    /// plus super --boost--> root directly.
+    fn sample() -> CompressedPrr {
+        let out_adj = vec![
+            vec![(1u32, true), (2u32, true)], // super
+            vec![(2u32, false)],              // a
+            vec![],                           // root
+        ];
+        CompressedPrr::from_adjacency(
+            2,
+            vec![SUPER_SEED, 10, 20],
+            &out_adj,
+            vec![NodeId(10), NodeId(20)],
+            100,
+        )
+    }
+
+    #[test]
+    fn f_empty_is_false() {
+        let g = sample();
+        let mut scratch = PrrEvalScratch::default();
+        assert!(!g.f(&BoostMask::empty(30), &mut scratch));
+    }
+
+    #[test]
+    fn f_with_critical_node_is_true() {
+        let g = sample();
+        let mut scratch = PrrEvalScratch::default();
+        let b = BoostMask::from_nodes(30, &[NodeId(10)]);
+        assert!(g.f(&b, &mut scratch));
+        let b2 = BoostMask::from_nodes(30, &[NodeId(20)]);
+        assert!(g.f(&b2, &mut scratch));
+        let b3 = BoostMask::from_nodes(30, &[NodeId(25)]);
+        assert!(!g.f(&b3, &mut scratch));
+    }
+
+    #[test]
+    fn augmented_critical_empty_b() {
+        let g = sample();
+        let mut scratch = PrrEvalScratch::default();
+        let mut out = Vec::new();
+        let res = g.augmented_critical(&BoostMask::empty(30), &mut scratch, &mut out);
+        assert!(matches!(res, Augmented::Open));
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![NodeId(10), NodeId(20)]);
+    }
+
+    #[test]
+    fn augmented_critical_covered() {
+        let g = sample();
+        let mut scratch = PrrEvalScratch::default();
+        let mut out = Vec::new();
+        let b = BoostMask::from_nodes(30, &[NodeId(10)]);
+        let res = g.augmented_critical(&b, &mut scratch, &mut out);
+        assert!(matches!(res, Augmented::Covered));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = sample();
+        assert!(g.memory_bytes() > 0);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.uncompressed_edges(), 100);
+    }
+
+    #[test]
+    fn two_hop_boost_requires_both() {
+        // super --boost--> a --boost--> root: need both a and root boosted?
+        // No: edges are boost(a) and boost(root); f({a}) = false,
+        // f({a, root}) = true.
+        let out_adj = vec![vec![(1u32, true)], vec![(2u32, true)], vec![]];
+        let g = CompressedPrr::from_adjacency(
+            2,
+            vec![SUPER_SEED, 10, 20],
+            &out_adj,
+            vec![],
+            5,
+        );
+        let mut scratch = PrrEvalScratch::default();
+        assert!(!g.f(&BoostMask::from_nodes(30, &[NodeId(10)]), &mut scratch));
+        assert!(g.f(&BoostMask::from_nodes(30, &[NodeId(10), NodeId(20)]), &mut scratch));
+        // Augmented criticality given B = {a}: boosting root closes it.
+        let mut out = Vec::new();
+        let res = g.augmented_critical(
+            &BoostMask::from_nodes(30, &[NodeId(10)]),
+            &mut scratch,
+            &mut out,
+        );
+        assert!(matches!(res, Augmented::Open));
+        assert_eq!(out, vec![NodeId(20)]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Potentially Reverse Reachable (PRR) graphs — the paper's core sketch.
+//!
+//! A PRR-graph for a root `r` (Definition 3) fixes a deterministic copy of
+//! the network in which each edge is *live* (probability `p`),
+//! *live-upon-boost* (`p' − p`) or *blocked* (`1 − p'`), and keeps the part
+//! relevant to activating `r` from the seeds. Its central property
+//! (Lemma 1): `n · E[f_R(B)] = Δ_S(B)`, where `f_R(B) = 1` iff the root is
+//! inactive without boosting but active once `B` is boosted.
+//!
+//! Modules:
+//!
+//! * [`gen`] — Algorithm 1: backward 0-1 BFS from the root with status
+//!   sampling, distance pruning at `k`, and early classification into
+//!   *activated* / *hopeless* / *boostable*.
+//! * [`compress`] — Phase II: merge the live-reachable seed region into a
+//!   super-seed, remove nodes off all super-seed→root paths or beyond the
+//!   `k`-boost budget, and shortcut live-reaching nodes straight to the
+//!   root. Compression preserves `f_R(B)` for every `|B| ≤ k`.
+//! * [`graph`] — the compressed representation with `f_R(B)` evaluation,
+//!   critical nodes `C_R = {v : f_R({v}) = 1}`, and the *B-augmented*
+//!   critical set used by the greedy `Δ̂` selection.
+//! * [`source`] — [`SketchGenerator`](kboost_rrset::SketchGenerator)
+//!   adapters: the full source retains compressed PRR-graphs as payloads
+//!   (PRR-Boost), the light source keeps only critical sets
+//!   (PRR-Boost-LB).
+//! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4).
+
+pub mod compress;
+pub mod gen;
+pub mod graph;
+pub mod select;
+pub mod source;
+
+pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
+pub use graph::{CompressedPrr, PrrEvalScratch};
+pub use select::greedy_delta_selection;
+pub use source::{PrrFullSource, PrrLbSource};

@@ -1,0 +1,173 @@
+//! [`SketchGenerator`] adapters feeding PRR-graphs into the IMM framework.
+//!
+//! Both sources expose the critical set `C_R` as the sketch *cover* (so the
+//! IMM machinery maximizes `µ̂`). They differ in what they retain:
+//!
+//! * [`PrrFullSource`] keeps the whole compressed PRR-graph as the payload,
+//!   which PRR-Boost later reuses for the greedy `Δ̂` selection and the
+//!   Sandwich comparison;
+//! * [`PrrLbSource`] keeps nothing beyond the cover, reproducing
+//!   PRR-Boost-LB's lower memory footprint and faster generation (phase-I
+//!   exploration is pruned at distance 1).
+
+use kboost_graph::{DiGraph, NodeId};
+use kboost_rrset::sketch::{Sketch, SketchGenerator};
+use rand::rngs::SmallRng;
+
+use crate::gen::{PrrGenerator, PrrOutcome};
+use crate::graph::CompressedPrr;
+
+/// Full PRR-graph source (PRR-Boost).
+pub struct PrrFullSource<'g> {
+    generator: PrrGenerator<'g>,
+    n: usize,
+    candidates: usize,
+}
+
+impl<'g> PrrFullSource<'g> {
+    /// Creates the source for `(G, S, k)`.
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        PrrFullSource {
+            generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+}
+
+impl SketchGenerator for PrrFullSource<'_> {
+    type Payload = CompressedPrr;
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates
+    }
+
+    fn generate(&self, rng: &mut SmallRng) -> Sketch<CompressedPrr> {
+        match self.generator.sample(rng) {
+            PrrOutcome::Activated | PrrOutcome::Hopeless => Sketch::empty(),
+            PrrOutcome::Boostable(c) => Sketch { cover: c.critical().to_vec(), payload: Some(c) },
+        }
+    }
+}
+
+/// Critical-set-only source (PRR-Boost-LB).
+pub struct PrrLbSource<'g> {
+    generator: PrrGenerator<'g>,
+    n: usize,
+    candidates: usize,
+}
+
+impl<'g> PrrLbSource<'g> {
+    /// Creates the source for `(G, S, k)`.
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        PrrLbSource {
+            generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+}
+
+impl SketchGenerator for PrrLbSource<'_> {
+    type Payload = ();
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates
+    }
+
+    fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+        let critical = self.generator.sample_critical_only(rng);
+        if critical.is_empty() {
+            Sketch::empty()
+        } else {
+            Sketch { cover: critical, payload: Some(()) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_diffusion::exact::exact_boost;
+    use kboost_graph::GraphBuilder;
+    use kboost_rrset::sketch::SketchPool;
+
+    fn figure1() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_source_estimates_delta_unbiasedly() {
+        // n · E[f_R(B)] = Δ_S(B) (Lemma 1), checked via the pool estimator
+        // for B = {v0}: Δ = 0.22.
+        let g = figure1();
+        let source = PrrFullSource::new(&g, &[NodeId(0)], 2);
+        let mut pool: SketchPool<CompressedPrr> = SketchPool::new(77, 4);
+        pool.extend_to(&source, 300_000);
+
+        use crate::graph::PrrEvalScratch;
+        use kboost_diffusion::sim::BoostMask;
+        let mask = BoostMask::from_nodes(3, &[NodeId(1)]);
+        let mut scratch = PrrEvalScratch::default();
+        let hits = pool
+            .payloads()
+            .iter()
+            .flatten()
+            .filter(|c| c.f(&mask, &mut scratch))
+            .count();
+        let est = 3.0 * hits as f64 / pool.total_samples() as f64;
+        let truth = exact_boost(&g, &[NodeId(0)], &[NodeId(1)]);
+        assert!((est - truth).abs() < 0.01, "Δ̂ {est} vs Δ {truth}");
+    }
+
+    #[test]
+    fn lb_source_estimates_mu() {
+        // µ({v1}) for Figure 1 with B = {v1}: critical sets containing v1.
+        // Exact µ({v0,v1}) from the lower-bound model:
+        // (p'₀−p₀)(1+p₁) + p₀(p'₁−p₁) = 0.2·1.1 + 0.2·0.1 = 0.24... wait:
+        // 0.2·1.1 = 0.22, plus 0.02 = 0.24? No: (0.4−0.2)·(1+0.1)=0.22 and
+        // 0.2·(0.2−0.1)=0.02 → µ = 0.24. Checked against the µ-model
+        // simulator in kboost-diffusion instead, to avoid double error.
+        let g = figure1();
+        let source = PrrLbSource::new(&g, &[NodeId(0)], 2);
+        let mut pool: SketchPool<()> = SketchPool::new(78, 4);
+        pool.extend_to(&source, 300_000);
+        let est = pool.estimate(3, &[NodeId(1), NodeId(2)]);
+        let sim = kboost_diffusion::mu_model::estimate_mu(
+            &g,
+            &[NodeId(0)],
+            &[NodeId(1), NodeId(2)],
+            300_000,
+            123,
+        );
+        assert!((est - sim).abs() < 0.01, "µ̂ {est} vs simulated µ {sim}");
+    }
+
+    #[test]
+    fn lb_and_full_covers_same_distribution() {
+        // The critical-set distribution must be identical between the two
+        // sources (same underlying randomness model): compare the estimate
+        // of µ({v0}) from both pools.
+        let g = figure1();
+        let full = PrrFullSource::new(&g, &[NodeId(0)], 2);
+        let lb = PrrLbSource::new(&g, &[NodeId(0)], 2);
+        let mut pf: SketchPool<CompressedPrr> = SketchPool::new(5, 2);
+        pf.extend_to(&full, 200_000);
+        let mut pl: SketchPool<()> = SketchPool::new(6, 2);
+        pl.extend_to(&lb, 200_000);
+        let a = pf.estimate(3, &[NodeId(1)]);
+        let b = pl.estimate(3, &[NodeId(1)]);
+        assert!((a - b).abs() < 0.01, "full {a} vs lb {b}");
+    }
+}

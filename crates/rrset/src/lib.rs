@@ -1,0 +1,33 @@
+//! Reverse-Reachable sets and the IMM framework.
+//!
+//! The paper builds PRR-Boost on "the Influence Maximization via Martingale
+//! (IMM) method based on the idea of Reverse-Reachable Sets" (Section IV-A).
+//! This crate implements that substrate:
+//!
+//! * [`sketch`] — a generic *sketch* abstraction: a random coverage set over
+//!   nodes whose expected coverage, scaled by `n`, is the objective being
+//!   maximized. RR-sets, marginal RR-sets and PRR-graph critical sets are
+//!   all sketches.
+//! * [`greedy`] — lazy-greedy weighted maximum coverage over a sketch pool
+//!   (the IMM node-selection phase).
+//! * [`imm`] — the two-phase IMM sampling algorithm with martingale-based
+//!   stopping (Lemma 3 of the paper, which imports Theorems 1–2 of Tang et
+//!   al. 2015).
+//! * [`ic`] — concrete sketch sources for the Independent Cascade model:
+//!   RR-sets for influence maximization and *marginal* RR-sets for the
+//!   MoreSeeds baseline.
+//! * [`seeds`] — convenience seed-selection entry points used by the
+//!   experiments ("50 influential nodes selected by IMM").
+
+pub mod greedy;
+pub mod ic;
+pub mod imm;
+pub mod seeds;
+pub mod sketch;
+pub mod ssa;
+
+pub use greedy::greedy_max_cover;
+pub use imm::{ImmParams, ImmRun};
+pub use seeds::{select_more_seeds, select_seeds};
+pub use sketch::{Sketch, SketchGenerator, SketchPool};
+pub use ssa::{run_ssa, SsaParams, SsaRun};

@@ -1,0 +1,104 @@
+//! Seed-selection entry points used by the experiment harness.
+
+use kboost_graph::{DiGraph, NodeId};
+
+use crate::ic::{InfluenceRr, MarginalRr};
+use crate::imm::{run_imm, ImmParams};
+
+/// Selects `k` influence-maximizing seeds with IMM — the paper's
+/// "50 influential nodes selected by the IMM method".
+pub fn select_seeds(g: &DiGraph, params: &ImmParams) -> Vec<NodeId> {
+    run_imm(&InfluenceRr::new(g), params).result.selected
+}
+
+/// Selects `k` *additional* seeds maximizing marginal influence over the
+/// existing set — the MoreSeeds baseline of Section VII ("we adapt the IMM
+/// framework to select k more seeds with the goal of maximizing the
+/// increase of the expected influence spread").
+pub fn select_more_seeds(g: &DiGraph, existing: &[NodeId], params: &ImmParams) -> Vec<NodeId> {
+    run_imm(&MarginalRr::new(g, existing), params).result.selected
+}
+
+/// Selects `k` uniformly random non-seed nodes — the "random seeds"
+/// scenario of Section VII-B.
+pub fn select_random_nodes(
+    g: &DiGraph,
+    k: usize,
+    exclude: &[NodeId],
+    seed: u64,
+) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut excluded = vec![false; g.num_nodes()];
+    for &v in exclude {
+        excluded[v.index()] = true;
+    }
+    let mut pool: Vec<NodeId> = g.nodes().filter(|v| !excluded[v.index()]).collect();
+    pool.shuffle(&mut rng);
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+
+    /// A star: node 0 points at everyone with p = 0.9. IMM must pick 0.
+    fn star(n: usize) -> DiGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(NodeId(0), NodeId(v), 0.9, 0.95).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn quick_params(k: usize, seed: u64) -> ImmParams {
+        ImmParams { k, epsilon: 0.4, ell: 1.0, threads: 2, seed, max_sketches: Some(100_000), min_sketches: 0 }
+    }
+
+    #[test]
+    fn imm_picks_star_center() {
+        let g = star(30);
+        let seeds = select_seeds(&g, &quick_params(1, 3));
+        assert_eq!(seeds, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn more_seeds_avoids_covered_region() {
+        // Two disjoint stars; center 0 is already a seed, so the marginal
+        // best is the other center (node 15).
+        let mut b = GraphBuilder::new(30);
+        for v in 1..15u32 {
+            b.add_edge(NodeId(0), NodeId(v), 0.9, 0.95).unwrap();
+        }
+        for v in 16..30u32 {
+            b.add_edge(NodeId(15), NodeId(v), 0.9, 0.95).unwrap();
+        }
+        let g = b.build().unwrap();
+        let more = select_more_seeds(&g, &[NodeId(0)], &quick_params(1, 5));
+        assert_eq!(more, vec![NodeId(15)]);
+    }
+
+    #[test]
+    fn random_nodes_exclude_and_count() {
+        let g = star(20);
+        let picked = select_random_nodes(&g, 5, &[NodeId(0)], 42);
+        assert_eq!(picked.len(), 5);
+        assert!(!picked.contains(&NodeId(0)));
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn random_nodes_deterministic() {
+        let g = star(20);
+        assert_eq!(
+            select_random_nodes(&g, 4, &[], 9),
+            select_random_nodes(&g, 4, &[], 9)
+        );
+    }
+}

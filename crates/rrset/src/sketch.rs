@@ -1,0 +1,264 @@
+//! The sketch abstraction and a parallel sketch pool.
+//!
+//! A *sketch* is one random draw of a coverage set `C ⊆ V` such that for a
+//! monotone set function `F` being maximized, `F(B) = n · E[I(B ∩ C ≠ ∅)]`.
+//! RR-sets realize `F = σ` (influence spread); PRR-graph critical sets
+//! realize `F = µ` (the paper's submodular lower bound of the boost).
+//!
+//! Sketches may be *empty* (e.g. a hopeless or activated PRR-graph): they
+//! still count toward the number of samples (the estimator's denominator)
+//! but can never be covered.
+
+use kboost_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One sampled sketch: the coverage set plus an optional payload retained
+/// alongside it (PRR-Boost keeps the full compressed PRR-graph here).
+#[derive(Clone, Debug)]
+pub struct Sketch<T> {
+    /// Nodes that cover this sketch. Empty means the sketch is uncoverable.
+    pub cover: Vec<NodeId>,
+    /// Extra data carried with the sketch.
+    pub payload: Option<T>,
+}
+
+impl<T> Sketch<T> {
+    /// An uncoverable sketch (still counted in the denominator).
+    pub fn empty() -> Self {
+        Sketch { cover: Vec::new(), payload: None }
+    }
+}
+
+/// A source of independent random sketches.
+///
+/// Implementations must be `Sync`: the pool samples from multiple threads,
+/// each with its own RNG.
+pub trait SketchGenerator: Sync {
+    /// Payload type carried by coverable sketches.
+    type Payload: Send;
+
+    /// Universe size `n`: the estimator is `n · (covered / total)`.
+    fn universe(&self) -> usize;
+
+    /// Number of candidate nodes eligible for selection; used for the
+    /// `ln C(candidates, k)` term of the IMM bounds. Defaults to `n`.
+    fn num_candidates(&self) -> usize {
+        self.universe()
+    }
+
+    /// Draws one sketch.
+    fn generate(&self, rng: &mut SmallRng) -> Sketch<Self::Payload>;
+}
+
+/// A pool of sampled sketches, extended in deterministic parallel batches.
+pub struct SketchPool<T> {
+    covers: Vec<Vec<NodeId>>,
+    payloads: Vec<Option<T>>,
+    /// Total number of samples drawn, including empty sketches.
+    total: u64,
+    /// Number of empty (uncoverable) sketches drawn.
+    empties: u64,
+    base_seed: u64,
+    batches_issued: u64,
+    threads: usize,
+}
+
+/// Batch result of one worker: `(covers, payloads, empty_count)`.
+type WorkerBatch<T> = (Vec<Vec<NodeId>>, Vec<Option<T>>, u64);
+
+impl<T: Send> SketchPool<T> {
+    /// Creates an empty pool. `base_seed` fixes the randomness of all
+    /// future sampling; `threads` sets the parallel fan-out.
+    pub fn new(base_seed: u64, threads: usize) -> Self {
+        SketchPool {
+            covers: Vec::new(),
+            payloads: Vec::new(),
+            total: 0,
+            empties: 0,
+            base_seed,
+            batches_issued: 0,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Total number of samples drawn (empty included).
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of empty sketches drawn.
+    pub fn empty_samples(&self) -> u64 {
+        self.empties
+    }
+
+    /// The coverage sets of the coverable sketches.
+    pub fn covers(&self) -> &[Vec<NodeId>] {
+        &self.covers
+    }
+
+    /// The payloads, parallel to [`covers`](Self::covers).
+    pub fn payloads(&self) -> &[Option<T>] {
+        &self.payloads
+    }
+
+    /// Extends the pool until `total_samples() >= target`.
+    ///
+    /// Work is split into per-thread chunks with seeds derived from
+    /// `(base_seed, batch_counter)`, and results are merged in thread
+    /// order, so the pool contents depend only on the sequence of targets —
+    /// not on scheduling.
+    pub fn extend_to<G>(&mut self, generator: &G, target: u64)
+    where
+        G: SketchGenerator<Payload = T>,
+    {
+        if self.total >= target {
+            return;
+        }
+        let need = target - self.total;
+        let per_thread = need.div_ceil(self.threads as u64);
+        let batch = self.batches_issued;
+        self.batches_issued += 1;
+
+        let results: Vec<WorkerBatch<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|w| {
+                    let quota = per_thread.min(need.saturating_sub(per_thread * w as u64));
+                    let seed = self
+                        .base_seed
+                        .wrapping_add(batch.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add((w as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed);
+                        let mut covers = Vec::new();
+                        let mut payloads = Vec::new();
+                        let mut empties = 0u64;
+                        for _ in 0..quota {
+                            let s = generator.generate(&mut rng);
+                            if s.cover.is_empty() {
+                                empties += 1;
+                            } else {
+                                covers.push(s.cover);
+                                payloads.push(s.payload);
+                            }
+                        }
+                        (covers, payloads, empties)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sketch worker panicked"))
+                .collect()
+        });
+
+        for (covers, payloads, empties) in results {
+            self.total += covers.len() as u64 + empties;
+            self.empties += empties;
+            self.covers.extend(covers);
+            self.payloads.extend(payloads);
+        }
+    }
+
+    /// Estimated objective value of set `B`:
+    /// `n/total · |{sketches covered by B}|`.
+    pub fn estimate(&self, universe: usize, b: &[NodeId]) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut member = vec![false; universe];
+        for &v in b {
+            member[v.index()] = true;
+        }
+        let covered = self
+            .covers
+            .iter()
+            .filter(|c| c.iter().any(|v| member[v.index()]))
+            .count();
+        universe as f64 * covered as f64 / self.total as f64
+    }
+
+    /// Approximate heap bytes used by the stored coverage sets.
+    pub fn cover_memory_bytes(&self) -> usize {
+        self.covers
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<NodeId>() + std::mem::size_of::<Vec<NodeId>>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A degenerate generator: always covers node 0, payload counts calls.
+    struct Always;
+
+    impl SketchGenerator for Always {
+        type Payload = ();
+        fn universe(&self) -> usize {
+            10
+        }
+        fn generate(&self, _rng: &mut SmallRng) -> Sketch<()> {
+            Sketch { cover: vec![NodeId(0)], payload: Some(()) }
+        }
+    }
+
+    /// Covers node 0 with probability 1/2, otherwise empty.
+    struct Half;
+
+    impl SketchGenerator for Half {
+        type Payload = ();
+        fn universe(&self) -> usize {
+            10
+        }
+        fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+            use rand::Rng;
+            if rng.random_bool(0.5) {
+                Sketch { cover: vec![NodeId(0)], payload: Some(()) }
+            } else {
+                Sketch::empty()
+            }
+        }
+    }
+
+    #[test]
+    fn extend_reaches_target() {
+        let mut pool = SketchPool::new(1, 4);
+        pool.extend_to(&Always, 100);
+        assert!(pool.total_samples() >= 100);
+        assert_eq!(pool.covers().len() as u64, pool.total_samples());
+        pool.extend_to(&Always, 50); // no-op: already past target
+        let t = pool.total_samples();
+        pool.extend_to(&Always, t); // no-op
+        assert_eq!(pool.total_samples(), t);
+    }
+
+    #[test]
+    fn empties_counted() {
+        let mut pool = SketchPool::new(2, 2);
+        pool.extend_to(&Half, 4000);
+        let frac = pool.empty_samples() as f64 / pool.total_samples() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "empty fraction {frac}");
+        // Estimate of the objective for B = {0}: n * P[cover] ≈ 10 * 0.5.
+        let est = pool.estimate(10, &[NodeId(0)]);
+        assert!((est - 5.0).abs() < 0.5, "estimate {est}");
+        assert_eq!(pool.estimate(10, &[NodeId(3)]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let mut a = SketchPool::new(7, 3);
+        a.extend_to(&Half, 500);
+        let mut b = SketchPool::new(7, 3);
+        b.extend_to(&Half, 500);
+        assert_eq!(a.total_samples(), b.total_samples());
+        assert_eq!(a.empty_samples(), b.empty_samples());
+    }
+
+    #[test]
+    fn zero_samples_estimate_is_zero() {
+        let pool: SketchPool<()> = SketchPool::new(1, 2);
+        assert_eq!(pool.estimate(10, &[NodeId(0)]), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A Stop-and-Stare-style adaptive sampler (Nguyen, Thai, Dinh 2016).
+//!
+//! Section IV-A notes that "other similar frameworks based on RR-sets
+//! (e.g., SSA/D-SSA) could also be applied" in place of IMM. This module
+//! provides that alternative: instead of deriving a worst-case sample
+//! count from martingale bounds, it doubles the sketch pool until the
+//! greedy solution's coverage estimate *validates* on an independent pool
+//! ("stare"), typically stopping with far fewer samples on easy instances.
+//!
+//! The stopping rule implemented here is the practical core of SSA: stop
+//! at the first epoch where the selection pool's estimate and an equally
+//! sized validation pool's estimate of the same solution agree within
+//! `ε/3` relatively, and the estimate moved less than `ε/3` since the
+//! previous epoch. (We keep IMM as the default because its guarantee is
+//! what the paper's Lemma 3 states; SSA is offered for experimentation and
+//! the ablation benches.)
+
+use kboost_graph::NodeId;
+
+use crate::greedy::{greedy_max_cover, CoverResult};
+use crate::sketch::{SketchGenerator, SketchPool};
+
+/// Parameters of an SSA run.
+#[derive(Clone, Copy, Debug)]
+pub struct SsaParams {
+    /// Solution size.
+    pub k: usize,
+    /// Target relative accuracy ε.
+    pub epsilon: f64,
+    /// Initial pool size (doubled each epoch).
+    pub initial: u64,
+    /// Hard cap on total samples across both pools.
+    pub max_sketches: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SsaParams {
+    fn default() -> Self {
+        SsaParams {
+            k: 1,
+            epsilon: 0.5,
+            initial: 1_000,
+            max_sketches: 50_000_000,
+            threads: 8,
+            seed: 0x55A,
+        }
+    }
+}
+
+/// Outcome of an SSA run.
+pub struct SsaRun<T> {
+    /// Greedy selection over the final selection pool.
+    pub result: CoverResult,
+    /// The selection pool (payloads retained, as with IMM).
+    pub pool: SketchPool<T>,
+    /// Objective estimate of the returned solution from the *validation*
+    /// pool (unbiased: the validation pool never influenced selection).
+    pub validated_estimate: f64,
+    /// Number of doubling epochs used.
+    pub epochs: u32,
+}
+
+/// Runs the adaptive sampler against any sketch generator.
+pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<G::Payload> {
+    let n = generator.universe() as f64;
+    let mut select_pool: SketchPool<G::Payload> = SketchPool::new(params.seed, params.threads);
+    let mut validate_pool: SketchPool<G::Payload> =
+        SketchPool::new(params.seed ^ 0xDEAD_BEEF, params.threads);
+
+    let mut target = params.initial.max(16);
+    // NaN sentinel: `close` is false against it, forcing ≥ 2 epochs.
+    let mut prev_estimate = f64::NAN;
+    let mut epochs = 0u32;
+    loop {
+        epochs += 1;
+        select_pool.extend_to(generator, target);
+        let result = greedy_max_cover(select_pool.covers(), generator.universe(), params.k, None);
+        let est_select =
+            n * result.covered as f64 / select_pool.total_samples().max(1) as f64;
+
+        // Stare: estimate the same solution on fresh samples.
+        validate_pool.extend_to(generator, target);
+        let est_validate = validate_pool.estimate(generator.universe(), &result.selected);
+
+        let tol = params.epsilon / 3.0;
+        let close = |a: f64, b: f64| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12);
+        let budget_spent =
+            select_pool.total_samples() + validate_pool.total_samples() >= params.max_sketches;
+        if (close(est_select, est_validate) && close(est_validate, prev_estimate))
+            || budget_spent
+        {
+            return SsaRun { result, pool: select_pool, validated_estimate: est_validate, epochs };
+        }
+        prev_estimate = est_validate;
+        target *= 2;
+    }
+}
+
+/// Convenience: SSA-based seed selection (drop-in for
+/// [`select_seeds`](crate::seeds::select_seeds)).
+pub fn select_seeds_ssa(
+    g: &kboost_graph::DiGraph,
+    params: &SsaParams,
+) -> (Vec<NodeId>, f64) {
+    let run = run_ssa(&crate::ic::InfluenceRr::new(g), params);
+    (run.result.selected, run.validated_estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::Sketch;
+    use kboost_graph::{GraphBuilder, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Node 0 covers w.p. 0.4, node 1 w.p. 0.2, empty otherwise.
+    struct Synthetic;
+
+    impl SketchGenerator for Synthetic {
+        type Payload = ();
+        fn universe(&self) -> usize {
+            10
+        }
+        fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+            let x: f64 = rng.random();
+            if x < 0.4 {
+                Sketch { cover: vec![NodeId(0)], payload: Some(()) }
+            } else if x < 0.6 {
+                Sketch { cover: vec![NodeId(1)], payload: Some(()) }
+            } else {
+                Sketch::empty()
+            }
+        }
+    }
+
+    #[test]
+    fn ssa_finds_heavy_node_cheaply() {
+        let params = SsaParams { k: 1, epsilon: 0.3, seed: 1, threads: 2, ..Default::default() };
+        let run = run_ssa(&Synthetic, &params);
+        assert_eq!(run.result.selected, vec![NodeId(0)]);
+        // Validated estimate ≈ 10 · 0.4 = 4.
+        assert!((run.validated_estimate - 4.0).abs() < 1.0, "est {}", run.validated_estimate);
+        assert!(run.epochs >= 2, "must validate at least once");
+    }
+
+    #[test]
+    fn ssa_respects_budget_cap() {
+        let params = SsaParams {
+            k: 1,
+            epsilon: 0.001, // unreachable accuracy
+            initial: 100,
+            max_sketches: 5_000,
+            threads: 2,
+            seed: 2,
+        };
+        let run = run_ssa(&Synthetic, &params);
+        assert!(run.pool.total_samples() <= 6_000);
+    }
+
+    #[test]
+    fn ssa_seed_selection_on_star() {
+        let mut b = GraphBuilder::new(20);
+        for v in 1..20u32 {
+            b.add_edge(NodeId(0), NodeId(v), 0.8, 0.9).unwrap();
+        }
+        let g = b.build().unwrap();
+        let params = SsaParams { k: 1, epsilon: 0.3, seed: 3, threads: 2, ..Default::default() };
+        let (seeds, est) = select_seeds_ssa(&g, &params);
+        assert_eq!(seeds, vec![NodeId(0)]);
+        // σ({0}) = 1 + 19·0.8 = 16.2.
+        assert!((est - 16.2).abs() < 2.0, "estimate {est}");
+    }
+}

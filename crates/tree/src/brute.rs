@@ -1,0 +1,81 @@
+//! Exhaustive optimum for the k-boosting problem on small trees.
+//!
+//! Enumerates every boost set of size ≤ k over the non-seed nodes and
+//! scores it with the exact Lemma 5–7 computation. Exponential — strictly
+//! a test / benchmark oracle (the problem is NP-hard, Theorem 1).
+
+use kboost_graph::NodeId;
+
+use crate::exact::tree_sigma;
+use crate::tree::BidirectedTree;
+
+/// The optimal boost set and its value.
+#[derive(Clone, Debug)]
+pub struct BruteOutcome {
+    /// An optimal boost set (ties broken by enumeration order).
+    pub boost_set: Vec<NodeId>,
+    /// `σ_S(B*)`.
+    pub sigma: f64,
+    /// `Δ_S(B*)`.
+    pub boost: f64,
+}
+
+/// Finds the exact optimum by enumeration.
+///
+/// # Panics
+/// Panics if the tree has more than 24 non-seed nodes.
+pub fn brute_force_optimum(tree: &BidirectedTree, k: usize) -> BruteOutcome {
+    let candidates: Vec<u32> =
+        (0..tree.num_nodes() as u32).filter(|&v| !tree.is_seed(v)).collect();
+    assert!(candidates.len() <= 24, "brute force is exponential");
+
+    let sigma_empty = tree_sigma(tree, &[]);
+    let mut best = BruteOutcome { boost_set: Vec::new(), sigma: sigma_empty, boost: 0.0 };
+
+    for bits in 0u32..(1u32 << candidates.len()) {
+        if (bits.count_ones() as usize) > k {
+            continue;
+        }
+        let set: Vec<NodeId> = candidates
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bits >> i & 1 == 1)
+            .map(|(_, &v)| NodeId(v))
+            .collect();
+        let sigma = tree_sigma(tree, &set);
+        if sigma > best.sigma + 1e-15 {
+            best = BruteOutcome { boost_set: set, sigma, boost: sigma - sigma_empty };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+
+    #[test]
+    fn picks_obviously_best_node() {
+        // Path s - a - b: boosting a (head of the seed edge) dominates.
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6).unwrap();
+        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.2, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
+        let out = brute_force_optimum(&t, 1);
+        assert_eq!(out.boost_set, vec![NodeId(1)]);
+        assert!(out.boost > 0.0);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
+        let out = brute_force_optimum(&t, 0);
+        assert!(out.boost_set.is_empty());
+        assert_eq!(out.boost, 0.0);
+    }
+}

@@ -1,0 +1,796 @@
+//! `DP-Boost` — the rounded dynamic program of Section VI-B / Appendix B.
+//!
+//! For every node `v` the DP computes `g'(v, κ, c, f)`: the maximum
+//! (rounded-down) boost obtainable inside `v`'s subtree when `κ` nodes of
+//! the subtree are boosted, `v`'s within-subtree activation probability is
+//! `c`, and `v`'s parent is activated with probability `f` outside the
+//! subtree. Probabilities are discretized to multiples of a rounding
+//! parameter
+//!
+//! ```text
+//! δ = ε·max(LB, 1) / (2·Σ_{u,v} p̄(u⇝v))
+//! ```
+//!
+//! where `LB` is Greedy-Boost's value and `p̄(u⇝v)` upper-bounds the
+//! boosted path probability (we use the all-edges-boosted product, a
+//! conservative over-estimate of the paper's `p^(k)`). Every rounding is
+//! *downward*, so the DP value never exceeds the true boost of the
+//! returned set, and Theorem 4 gives `Δ(B̃) ≥ (1−ε)·Δ(B*)`.
+//!
+//! Nodes with `d ≥ 2` children are combined through the helper chain
+//! `h(b, i, κ, x, z)` of Appendix B: `x` carries the activation
+//! probability accumulated from the first `i` subtrees and `z` the (free,
+//! later-resolved) activation arriving from the parent side and the
+//! remaining subtrees; intermediate values are quantized at `δ/(d−1)` so
+//! the per-node rounding error stays within `δ`. The paper's range
+//! refinements are implemented: each node's `c`/`f` grid is restricted to
+//! `[no-boost bound − slack, all-boost bound]`.
+
+use std::collections::HashMap;
+
+use kboost_graph::NodeId;
+
+use crate::exact::{tree_sigma, TreeState};
+use crate::greedy::greedy_boost;
+use crate::tree::{BidirectedTree, NO_PARENT};
+
+/// Result of a DP-Boost run.
+#[derive(Clone, Debug)]
+pub struct DpOutcome {
+    /// The returned boost set `B̃` (at most `k` nodes).
+    pub boost_set: Vec<NodeId>,
+    /// The DP's internal (rounded-down) objective value; a lower bound on
+    /// the exact boost of `boost_set`.
+    pub dp_value: f64,
+    /// The exact boost `Δ_S(B̃)`, recomputed with Lemmas 5–7.
+    pub boost: f64,
+    /// The rounding parameter δ used.
+    pub delta: f64,
+}
+
+/// One node's value grid for `c` or `f`.
+#[derive(Clone, Debug)]
+enum Grid {
+    /// A single exact value (seeds' `c = 1`, the root's `f = 0`,
+    /// children-of-seeds' `f = 1`).
+    Singleton(f64),
+    /// Multiples of `unit`: indices `lo..=hi` holding `idx·unit`.
+    Units { lo: u64, hi: u64, unit: f64 },
+}
+
+impl Grid {
+    fn len(&self) -> usize {
+        match *self {
+            Grid::Singleton(_) => 1,
+            Grid::Units { lo, hi, .. } => (hi - lo + 1) as usize,
+        }
+    }
+
+    fn value(&self, idx: usize) -> f64 {
+        match *self {
+            Grid::Singleton(v) => v,
+            Grid::Units { lo, unit, .. } => (lo + idx as u64) as f64 * unit,
+        }
+    }
+
+    /// Index to *store* a computed probability `x` at (rounding down).
+    /// `None` when `x` falls below the grid — the entry is dropped to keep
+    /// the stored value a true lower bound.
+    fn store_index(&self, x: f64) -> Option<usize> {
+        match *self {
+            Grid::Singleton(v) => (x >= v - 1e-9).then_some(0),
+            Grid::Units { lo, hi, unit } => {
+                let q = ((x / unit) + 1e-9).floor() as i64;
+                if q < lo as i64 {
+                    None
+                } else {
+                    Some(((q as u64).min(hi) - lo) as usize)
+                }
+            }
+        }
+    }
+
+    /// Index to *query* at probability `x`: rounds down and clamps into the
+    /// grid from above (querying at a smaller value is always sound).
+    fn query_index(&self, x: f64) -> Option<usize> {
+        self.store_index(x)
+    }
+}
+
+/// Per-node DP table: `vals[(κ·|c| + ci)·|f| + fi]`.
+struct Table {
+    kmax: usize,
+    c: Grid,
+    f: Grid,
+    vals: Vec<f64>,
+    /// Backtrack record per cell: `(b, level-d x-key, level-d κ)` for
+    /// non-seed internal nodes; unused elsewhere.
+    choice: Vec<ChainRef>,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ChainRef {
+    None,
+    /// Leaf cell (boost decision is implied by κ > 0).
+    Leaf,
+    /// Seed-knapsack cell (re-solved during backtracking).
+    Seed,
+    /// Non-seed internal: the winning `b` (whether `v` itself is boosted).
+    Chain { b: bool },
+}
+
+impl Table {
+    fn new(kmax: usize, c: Grid, f: Grid) -> Self {
+        let len = (kmax + 1) * c.len() * f.len();
+        Table { kmax, c, f, vals: vec![f64::NEG_INFINITY; len], choice: vec![ChainRef::None; len] }
+    }
+
+    #[inline]
+    fn idx(&self, k: usize, ci: usize, fi: usize) -> usize {
+        (k * self.c.len() + ci) * self.f.len() + fi
+    }
+
+    #[inline]
+    fn get(&self, k: usize, ci: usize, fi: usize) -> f64 {
+        self.vals[self.idx(k, ci, fi)]
+    }
+
+    fn improve(&mut self, k: usize, ci: usize, fi: usize, val: f64, choice: ChainRef) {
+        let i = self.idx(k, ci, fi);
+        if val > self.vals[i] {
+            self.vals[i] = val;
+            self.choice[i] = choice;
+        }
+    }
+}
+
+/// Shared immutable context of one DP run.
+struct Ctx<'t> {
+    tree: &'t BidirectedTree,
+    delta: f64,
+    kmax: Vec<usize>,
+    c_grid: Vec<Grid>,
+    f_grid: Vec<Grid>,
+    /// `ap_∅(v)` — unboosted activation in the full tree.
+    ap_empty: Vec<f64>,
+    /// `(cL, cU)` raw bounds per node (before slack).
+    c_bounds: Vec<(f64, f64)>,
+    /// `(fL, fU)` raw bounds per node.
+    f_bounds: Vec<(f64, f64)>,
+}
+
+impl Ctx<'_> {
+    /// `p^b_{u,v}` on the parent→v edge (0 for the root).
+    fn parent_prob(&self, v: u32, b: bool) -> f64 {
+        let p = self.tree.parent(v);
+        if p == NO_PARENT {
+            0.0
+        } else {
+            self.tree.edge(p, v).for_boosted(b)
+        }
+    }
+
+    /// The per-node boost contribution
+    /// `max{1 − (1−c)(1 − f·p^b_{u,v}) − ap_∅(v), 0}`.
+    fn boost_term(&self, v: u32, b: bool, c: f64, f: f64) -> f64 {
+        let p = self.parent_prob(v, b);
+        (1.0 - (1.0 - c) * (1.0 - f * p) - self.ap_empty[v as usize]).max(0.0)
+    }
+}
+
+/// Runs DP-Boost with accuracy ε, returning a `(1−ε)`-approximate boost
+/// set (Theorems 3–4, assuming the optimal boost is at least one).
+pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
+    assert!(eps > 0.0, "epsilon must be positive");
+    let n = tree.num_nodes();
+    if k == 0 || n == 0 {
+        return DpOutcome { boost_set: Vec::new(), dp_value: 0.0, boost: 0.0, delta: 0.0 };
+    }
+
+    // --- Rounding parameter (Algorithm 4, lines 1-2) --------------------
+    let lb = greedy_boost(tree, k).boost;
+    let denom = boosted_path_mass(tree);
+    let delta = (eps * lb.max(1.0) / (2.0 * denom)).min(0.25);
+
+    // --- Range refinements ----------------------------------------------
+    let st_lo = TreeState::compute(tree, &[]);
+    let all_non_seeds: Vec<NodeId> =
+        (0..n as u32).filter(|&v| !tree.is_seed(v)).map(NodeId).collect();
+    let st_hi = TreeState::compute(tree, &all_non_seeds);
+
+    let (s_below, s_above) = rounding_slack_mass(tree);
+
+    let mut c_grid = Vec::with_capacity(n);
+    let mut f_grid = Vec::with_capacity(n);
+    let mut c_bounds = Vec::with_capacity(n);
+    let mut f_bounds = Vec::with_capacity(n);
+    let max_q = (1.0 / delta).floor() as u64;
+    for v in 0..n as u32 {
+        let parent = tree.parent(v);
+        // c bounds: activation of v within its own subtree.
+        let (c_lo, c_hi) = if tree.is_seed(v) {
+            (1.0, 1.0)
+        } else if parent == NO_PARENT {
+            (st_lo.ap(NodeId(v)), st_hi.ap(NodeId(v)))
+        } else {
+            (
+                st_lo.ap_leave(NodeId(v), NodeId(parent)),
+                st_hi.ap_leave(NodeId(v), NodeId(parent)),
+            )
+        };
+        c_bounds.push((c_lo, c_hi));
+        c_grid.push(if tree.is_seed(v) {
+            Grid::Singleton(1.0)
+        } else {
+            let slack = 2.0 * delta * s_below[v as usize];
+            let lo = (((c_lo - slack) / delta).floor().max(0.0) as u64).min(max_q);
+            let hi = (((c_hi / delta).floor() as u64) + 1).min(max_q);
+            Grid::Units { lo, hi: hi.max(lo), unit: delta }
+        });
+        // f bounds: activation of the parent outside T_v.
+        let (f_lo, f_hi) = if parent == NO_PARENT {
+            (0.0, 0.0)
+        } else if tree.is_seed(parent) {
+            (1.0, 1.0)
+        } else {
+            (
+                st_lo.ap_leave(NodeId(parent), NodeId(v)),
+                st_hi.ap_leave(NodeId(parent), NodeId(v)),
+            )
+        };
+        f_bounds.push((f_lo, f_hi));
+        f_grid.push(if parent == NO_PARENT {
+            Grid::Singleton(0.0)
+        } else if tree.is_seed(parent) {
+            Grid::Singleton(1.0)
+        } else {
+            let slack = 2.0 * delta * s_above[v as usize];
+            let lo = (((f_lo - slack) / delta).floor().max(0.0) as u64).min(max_q);
+            let hi = (((f_hi / delta).floor() as u64) + 1).min(max_q);
+            Grid::Units { lo, hi: hi.max(lo), unit: delta }
+        });
+    }
+
+    let sizes = tree.subtree_sizes();
+    let ctx = Ctx {
+        tree,
+        delta,
+        kmax: sizes.iter().map(|&s| k.min(s as usize)).collect(),
+        c_grid,
+        f_grid,
+        ap_empty: (0..n as u32).map(|v| st_lo.ap(NodeId(v))).collect(),
+        c_bounds,
+        f_bounds,
+    };
+
+    // --- Bottom-up tables -------------------------------------------------
+    let mut tables: Vec<Option<Table>> = (0..n).map(|_| None).collect();
+    for &v in tree.bfs_order().iter().rev() {
+        let table = if tree.children(v).is_empty() {
+            build_leaf(&ctx, v)
+        } else if tree.is_seed(v) {
+            build_seed(&ctx, v, &tables)
+        } else {
+            build_internal(&ctx, v, &tables, None)
+        };
+        tables[v as usize] = Some(table);
+    }
+
+    // --- Extract the answer at the root ----------------------------------
+    let root_table = tables[0].as_ref().expect("root table");
+    let mut best: Option<(f64, usize, usize)> = None; // (value, κ, ci)
+    for kappa in 0..=root_table.kmax {
+        for ci in 0..root_table.c.len() {
+            let val = root_table.get(kappa, ci, 0);
+            if val > f64::NEG_INFINITY && best.is_none_or(|(bv, _, _)| val > bv) {
+                best = Some((val, kappa, ci));
+            }
+        }
+    }
+    let Some((dp_value, kappa, ci)) = best else {
+        return DpOutcome { boost_set: Vec::new(), dp_value: 0.0, boost: 0.0, delta };
+    };
+
+    let mut boost_set = Vec::new();
+    backtrack(&ctx, &tables, 0, kappa, ci, 0, &mut boost_set);
+    boost_set.sort_unstable();
+    boost_set.dedup();
+    debug_assert!(boost_set.len() <= k, "budget exceeded: {}", boost_set.len());
+
+    let sigma_empty = tree_sigma(tree, &[]);
+    let boost = tree_sigma(tree, &boost_set) - sigma_empty;
+    DpOutcome { boost_set, dp_value: dp_value.max(0.0), boost, delta }
+}
+
+/// `Σ_{u,v} Π p'` over all ordered pairs (including `u = v`, counted as 1):
+/// a conservative upper bound on the paper's `Σ p^(k)(u⇝v)`.
+fn boosted_path_mass(tree: &BidirectedTree) -> f64 {
+    let n = tree.num_nodes();
+    let mut total = 0.0;
+    let mut stack: Vec<(u32, u32, f64)> = Vec::new();
+    for src in 0..n as u32 {
+        total += 1.0; // u = v
+        stack.clear();
+        stack.push((src, src, 1.0));
+        while let Some((u, from, prod)) = stack.pop() {
+            for nb in tree.neighbors(u) {
+                if nb.id == from {
+                    continue;
+                }
+                let p = prod * nb.out.boosted;
+                if p > 1e-12 {
+                    total += p;
+                    stack.push((nb.id, u, p));
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Per-node rounding-error masses for the grid slack: `S_below[v]` bounds
+/// `Σ_{x∈T_v} p*(x⇝v)` and `S_above[v]` bounds `Σ_{x∉T_v} p*(x⇝parent)`.
+fn rounding_slack_mass(tree: &BidirectedTree) -> (Vec<f64>, Vec<f64>) {
+    let n = tree.num_nodes();
+    // Euler intervals for ancestry tests.
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut timer = 0u32;
+    // Iterative DFS (enter/exit events).
+    let mut stack: Vec<(u32, bool)> = vec![(0, false)];
+    while let Some((u, exit)) = stack.pop() {
+        if exit {
+            tout[u as usize] = timer;
+            continue;
+        }
+        tin[u as usize] = timer;
+        timer += 1;
+        stack.push((u, true));
+        for &c in tree.children(u) {
+            stack.push((c, false));
+        }
+    }
+    let is_in_subtree =
+        |x: u32, v: u32| tin[v as usize] <= tin[x as usize] && tin[x as usize] < tout[v as usize];
+
+    let mut s_below = vec![0.0f64; n]; // Σ_{x∈Tv} p'(x⇝v)
+    let mut a_total = vec![0.0f64; n]; // Σ_x p'(x⇝u)
+    let mut walk: Vec<(u32, u32, f64)> = Vec::new();
+    for src in 0..n as u32 {
+        s_below[src as usize] += 1.0;
+        a_total[src as usize] += 1.0;
+        walk.clear();
+        walk.push((src, src, 1.0));
+        while let Some((u, from, prod)) = walk.pop() {
+            for nb in tree.neighbors(u) {
+                if nb.id == from {
+                    continue;
+                }
+                let p = prod * nb.out.boosted;
+                if p > 1e-12 {
+                    a_total[nb.id as usize] += p;
+                    if is_in_subtree(src, nb.id) {
+                        s_below[nb.id as usize] += p;
+                    }
+                    walk.push((nb.id, u, p));
+                }
+            }
+        }
+    }
+    // S_above[v] = A[parent] − p'_{v→parent} · S_below[v].
+    let mut s_above = vec![0.0f64; n];
+    for v in 1..n as u32 {
+        let parent = tree.parent(v);
+        let p_up = tree.edge(v, parent).boosted;
+        s_above[v as usize] =
+            (a_total[parent as usize] - p_up * s_below[v as usize]).max(0.0);
+    }
+    (s_below, s_above)
+}
+
+// --------------------------------------------------------------------------
+// Table construction
+// --------------------------------------------------------------------------
+
+fn build_leaf(ctx: &Ctx<'_>, v: u32) -> Table {
+    let mut t = Table::new(ctx.kmax[v as usize], ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+    let c_val = if ctx.tree.is_seed(v) { 1.0 } else { 0.0 };
+    let ci = t.c.store_index(c_val).expect("leaf c value in grid");
+    for kappa in 0..=t.kmax {
+        let b = kappa > 0 && !ctx.tree.is_seed(v);
+        for fi in 0..t.f.len() {
+            let f = t.f.value(fi);
+            let val = ctx.boost_term(v, b, c_val, f);
+            t.improve(kappa, ci, fi, val, ChainRef::Leaf);
+        }
+    }
+    t
+}
+
+/// Internal seed node: knapsack over children with `f_child = 1`
+/// (Algorithm 5). Returns the per-(i, κ) choices when `record` is set.
+/// Per-budget `(κ_child, ci_child)` picks of one knapsack step.
+type KnapsackChoices = Vec<Option<(usize, usize)>>;
+
+#[allow(clippy::needless_range_loop)]
+fn seed_knapsack(
+    ctx: &Ctx<'_>,
+    v: u32,
+    tables: &[Option<Table>],
+    record: bool,
+) -> (Vec<f64>, Vec<KnapsackChoices>) {
+    let children = ctx.tree.children(v);
+    let kmax = ctx.kmax[v as usize];
+    // maxg[child][κc] = best over ci of child's value at f = 1.
+    let mut h = vec![f64::NEG_INFINITY; kmax + 1];
+    h[0] = 0.0;
+    // choices[i][κ] = (κ_child, ci_child) chosen at step i for budget κ.
+    let mut choices: Vec<KnapsackChoices> = Vec::new();
+    for &c in children {
+        let ct = tables[c as usize].as_ref().expect("child table");
+        let fi = 0; // child's f-grid is Singleton(1.0)
+        debug_assert_eq!(ct.f.len(), 1);
+        let mut maxg = vec![(f64::NEG_INFINITY, 0usize); ct.kmax + 1];
+        for kc in 0..=ct.kmax {
+            for ci in 0..ct.c.len() {
+                let val = ct.get(kc, ci, fi);
+                if val > maxg[kc].0 {
+                    maxg[kc] = (val, ci);
+                }
+            }
+        }
+        let mut next = vec![f64::NEG_INFINITY; kmax + 1];
+        let mut choice = vec![None; kmax + 1];
+        for kappa in 0..=kmax {
+            for kc in 0..=ct.kmax.min(kappa) {
+                if h[kappa - kc] == f64::NEG_INFINITY || maxg[kc].0 == f64::NEG_INFINITY {
+                    continue;
+                }
+                let val = h[kappa - kc] + maxg[kc].0;
+                if val > next[kappa] {
+                    next[kappa] = val;
+                    choice[kappa] = Some((kc, maxg[kc].1));
+                }
+            }
+        }
+        h = next;
+        if record {
+            choices.push(choice);
+        }
+    }
+    (h, choices)
+}
+
+fn build_seed(ctx: &Ctx<'_>, v: u32, tables: &[Option<Table>]) -> Table {
+    let (h, _) = seed_knapsack(ctx, v, tables, false);
+    let mut t = Table::new(ctx.kmax[v as usize], ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+    debug_assert_eq!(t.c.len(), 1); // Singleton(1.0)
+    for (kappa, &hval) in h.iter().enumerate().take(t.kmax + 1) {
+        if hval == f64::NEG_INFINITY {
+            continue;
+        }
+        for fi in 0..t.f.len() {
+            t.improve(kappa, 0, fi, hval, ChainRef::Seed);
+        }
+    }
+    t
+}
+
+/// Key of a helper-chain entry at one level: `(κ, x-quantum)`.
+type ChainKey = (u32, u64);
+/// One level of the helper chain: `z-quantum → (κ, x) → value`.
+type Level = HashMap<u64, HashMap<ChainKey, f64>>;
+/// Provenance of a chain entry for backtracking:
+/// `(z_prev, κ_prev, x_prev, κ_child, ci_child, fi_child)`.
+type Prov = HashMap<(usize, u64, u32, u64), (u64, u32, u64, usize, usize, usize)>;
+
+/// z-grid of level `i` (1-based, `i < d`): range of the activation arriving
+/// from the parent side plus subtrees `> i`, at resolution `unit`.
+fn z_grid(ctx: &Ctx<'_>, v: u32, i: usize, b: bool, unit: f64) -> Grid {
+    let children = ctx.tree.children(v);
+    let d = children.len();
+    let (f_lo, f_hi) = ctx.f_bounds[v as usize];
+    let p_lo = ctx.parent_prob(v, false);
+    let p_hi = ctx.parent_prob(v, true);
+    let _ = b;
+    let mut lo = 1.0 - (1.0 - f_lo * p_lo);
+    let mut hi = 1.0 - (1.0 - f_hi * p_hi);
+    for &c in &children[i..d] {
+        let (c_lo, c_hi) = ctx.c_bounds[c as usize];
+        let e_lo = ctx.tree.edge(c, v).base;
+        let e_hi = ctx.tree.edge(c, v).boosted;
+        lo = 1.0 - (1.0 - lo) * (1.0 - c_lo * e_lo);
+        hi = 1.0 - (1.0 - hi) * (1.0 - c_hi * e_hi);
+    }
+    let slack = 8u64;
+    let lo_q = ((lo / unit).floor() as u64).saturating_sub(slack);
+    let hi_q = (hi / unit).floor() as u64 + 2;
+    Grid::Units { lo: lo_q, hi: hi_q.max(lo_q), unit }
+}
+
+/// Builds the table of a non-seed internal node via the helper chain
+/// (Algorithms 6–7 unified). With `record`, also returns provenance maps
+/// for backtracking.
+fn build_internal(
+    ctx: &Ctx<'_>,
+    v: u32,
+    tables: &[Option<Table>],
+    mut record: Option<(&mut Prov, bool)>,
+) -> Table {
+    let tree = ctx.tree;
+    let children = tree.children(v);
+    let d = children.len();
+    let kmax = ctx.kmax[v as usize];
+    let unit = ctx.delta / ((d as f64) - 1.0).max(1.0);
+    let mut t = Table::new(kmax, ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+
+    for b in [false, true] {
+        if b && kmax == 0 {
+            continue;
+        }
+        let p_parent = ctx.parent_prob(v, b);
+
+        // h_0: budget b consumed by boosting v, x_0 = 0, z unconstrained.
+        let mut prev: HashMap<ChainKey, f64> = HashMap::new();
+        prev.insert((b as u32, 0u64), 0.0);
+        let mut prev_level: Option<Level> = None; // None ⇒ use `prev` for any z
+
+        for i in 1..=d {
+            let child = children[i - 1];
+            let ct = tables[child as usize].as_ref().expect("child table");
+            let p_child = tree.edge(child, v).for_boosted(b);
+            let is_last = i == d;
+            let this_z: Vec<(u64, f64)> = if is_last {
+                // z_d ranges over v's own f-grid; y_d = f · p^b_{u,v}.
+                (0..t.f.len()).map(|fi| (fi as u64, t.f.value(fi) * p_parent)).collect()
+            } else {
+                match z_grid(ctx, v, i, b, unit) {
+                    Grid::Units { lo, hi, unit } => {
+                        (lo..=hi).map(|q| (q, q as f64 * unit)).collect()
+                    }
+                    Grid::Singleton(_) => unreachable!("z grids are unit grids"),
+                }
+            };
+
+            let mut level: Level = HashMap::new();
+            for &(zq, y) in &this_z {
+                for ci in 0..ct.c.len() {
+                    let c_val = ct.c.value(ci);
+                    let m = c_val * p_child;
+                    // Derive the previous level's z (rounded down).
+                    let z_prev_val = 1.0 - (1.0 - m) * (1.0 - y);
+                    let z_prev_q = ((z_prev_val / unit) + 1e-9).floor() as u64;
+                    let inner: &HashMap<ChainKey, f64> = match &prev_level {
+                        None => &prev,
+                        Some(lv) => match lookup_z(lv, z_prev_q) {
+                            Some(m) => m,
+                            None => continue,
+                        },
+                    };
+                    for (&(kappa_prev, xq_prev), &acc) in inner {
+                        let x_prev = xq_prev as f64 * unit;
+                        // f passed to the child.
+                        let f_child = 1.0 - (1.0 - x_prev) * (1.0 - y);
+                        let Some(fi_child) = ct.f.query_index(f_child) else { continue };
+                        // New accumulated x.
+                        let x_new = 1.0 - (1.0 - x_prev) * (1.0 - m);
+                        let x_key = if is_last {
+                            match t.c.store_index(x_new) {
+                                Some(ci_v) => ci_v as u64,
+                                None => continue,
+                            }
+                        } else {
+                            ((x_new / unit) + 1e-9).floor() as u64
+                        };
+                        let k_budget = kmax - (kappa_prev as usize).min(kmax);
+                        for kc in 0..=ct.kmax.min(k_budget) {
+                            let child_val = ct.get(kc, ci, fi_child);
+                            if child_val == f64::NEG_INFINITY {
+                                continue;
+                            }
+                            let kappa_new = kappa_prev + kc as u32;
+                            let val = acc + child_val;
+                            let slot = level.entry(zq).or_default();
+                            let cell = slot.entry((kappa_new, x_key)).or_insert(f64::NEG_INFINITY);
+                            if val > *cell {
+                                *cell = val;
+                                if let Some((prov, target_b)) = record.as_mut() {
+                                    if *target_b == b {
+                                        prov.insert(
+                                            (i, zq, kappa_new, x_key),
+                                            (z_prev_q, kappa_prev, xq_prev, kc, ci, fi_child),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            prev_level = Some(level);
+        }
+
+        // Finalize: level-d z keys are f indices, x keys are c indices.
+        if let Some(level) = &prev_level {
+            for (&fi, inner) in level {
+                for (&(kappa, ci), &acc) in inner {
+                    let c_val = t.c.value(ci as usize);
+                    let f_val = t.f.value(fi as usize);
+                    let val = acc + ctx.boost_term(v, b, c_val, f_val);
+                    t.improve(kappa as usize, ci as usize, fi as usize, val, ChainRef::Chain { b });
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Exact-match z lookup.
+fn lookup_z(level: &Level, zq: u64) -> Option<&HashMap<ChainKey, f64>> {
+    level.get(&zq)
+}
+
+// --------------------------------------------------------------------------
+// Backtracking
+// --------------------------------------------------------------------------
+
+fn backtrack(
+    ctx: &Ctx<'_>,
+    tables: &[Option<Table>],
+    v: u32,
+    kappa: usize,
+    ci: usize,
+    fi: usize,
+    out: &mut Vec<NodeId>,
+) {
+    let t = tables[v as usize].as_ref().expect("table");
+    let cell = t.choice[t.idx(kappa, ci, fi)];
+    match cell {
+        ChainRef::None => {}
+        ChainRef::Leaf => {
+            if kappa > 0 && !ctx.tree.is_seed(v) {
+                out.push(NodeId(v));
+            }
+        }
+        ChainRef::Seed => {
+            let (_, choices) = seed_knapsack(ctx, v, tables, true);
+            let children = ctx.tree.children(v);
+            let mut budget = kappa;
+            for i in (0..children.len()).rev() {
+                let Some((kc, ci_child)) = choices[i][budget] else { continue };
+                backtrack(ctx, tables, children[i], kc, ci_child, 0, out);
+                budget -= kc;
+            }
+        }
+        ChainRef::Chain { b } => {
+            // Recompute the chain with provenance recording, then walk it.
+            let mut prov: Prov = HashMap::new();
+            let _ = build_internal(ctx, v, tables, Some((&mut prov, b)));
+            if b {
+                out.push(NodeId(v));
+            }
+            let children = ctx.tree.children(v);
+            let d = children.len();
+            let mut key = (d, fi as u64, kappa as u32, ci as u64);
+            for i in (1..=d).rev() {
+                let Some(&(z_prev, k_prev, x_prev, kc, ci_child, fi_child)) =
+                    prov.get(&(key.0, key.1, key.2, key.3))
+                else {
+                    break;
+                };
+                backtrack(ctx, tables, children[i - 1], kc, ci_child, fi_child, out);
+                key = (i - 1, z_prev, k_prev, x_prev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_optimum;
+    use kboost_graph::generators::{complete_binary_tree, random_tree};
+    use kboost_graph::probability::ProbabilityModel;
+    use kboost_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_tree(seed: u64, n: usize, max_children: Option<usize>) -> BidirectedTree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = random_tree(n, max_children, &mut rng);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.25), 2.0, &mut rng);
+        BidirectedTree::from_digraph(&g, &[NodeId((seed % n as u64) as u32)]).unwrap()
+    }
+
+    #[test]
+    fn dp_value_lower_bounds_returned_set() {
+        for seed in 0..15 {
+            let t = small_tree(seed, 7, None);
+            let out = dp_boost(&t, 2, 0.5);
+            assert!(
+                out.dp_value <= out.boost + 1e-6,
+                "seed {seed}: dp value {} exceeds exact boost {}",
+                out.dp_value,
+                out.boost
+            );
+            assert!(out.boost_set.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn dp_is_near_optimal_on_small_trees() {
+        for seed in 0..15 {
+            let t = small_tree(seed + 100, 7, None);
+            let opt = brute_force_optimum(&t, 2);
+            let out = dp_boost(&t, 2, 0.25);
+            assert!(
+                out.boost >= (1.0 - 0.25) * opt.boost - 1e-9,
+                "seed {seed}: DP {} below (1-ε)·OPT ({})",
+                out.boost,
+                opt.boost
+            );
+            assert!(out.boost <= opt.boost + 1e-9, "DP beat brute force?!");
+        }
+    }
+
+    #[test]
+    fn dp_handles_binary_trees() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let topo = complete_binary_tree(15);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.2), 2.0, &mut rng);
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
+        let opt = brute_force_optimum(&t, 3);
+        let out = dp_boost(&t, 3, 0.5);
+        assert!(out.boost >= (1.0 - 0.5) * opt.boost - 1e-9);
+        assert!(out.boost_set.len() <= 3);
+    }
+
+    #[test]
+    fn dp_handles_high_degree_nodes() {
+        // A star with 5 leaves exercises the general (d > 2) chain.
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6u32 {
+            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.3, 0.55).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(1)]).unwrap();
+        let opt = brute_force_optimum(&t, 2);
+        let out = dp_boost(&t, 2, 0.3);
+        assert!(
+            out.boost >= (1.0 - 0.3) * opt.boost - 1e-9,
+            "DP {} vs OPT {}",
+            out.boost,
+            opt.boost
+        );
+    }
+
+    #[test]
+    fn tighter_epsilon_never_hurts() {
+        let t = small_tree(7, 8, Some(3));
+        let loose = dp_boost(&t, 2, 1.0);
+        let tight = dp_boost(&t, 2, 0.2);
+        assert!(tight.boost >= loose.boost - 1e-9);
+        assert!(tight.delta <= loose.delta);
+    }
+
+    #[test]
+    fn zero_budget_returns_empty() {
+        let t = small_tree(11, 6, None);
+        let out = dp_boost(&t, 0, 0.5);
+        assert!(out.boost_set.is_empty());
+        assert_eq!(out.boost, 0.0);
+    }
+
+    #[test]
+    fn grid_semantics() {
+        let g = Grid::Units { lo: 2, hi: 10, unit: 0.1 };
+        assert_eq!(g.len(), 9);
+        assert!((g.value(0) - 0.2).abs() < 1e-12);
+        assert_eq!(g.store_index(0.55), Some(3)); // ⌊5.5⌋ = 5 → idx 3
+        assert_eq!(g.store_index(0.05), None); // below range
+        assert_eq!(g.store_index(5.0), Some(8)); // clamped to hi
+        let s = Grid::Singleton(1.0);
+        assert_eq!(s.store_index(1.0), Some(0));
+        assert_eq!(s.store_index(0.5), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! `Greedy-Boost` — Section VI-A's greedy algorithm.
+//!
+//! Each of the `k` rounds runs the full Lemma 5–7 computation (`O(n)`) and
+//! inserts the node with the largest `σ_S(B ∪ {u})`; total `O(kn)`.
+
+use kboost_graph::NodeId;
+
+use crate::exact::TreeState;
+use crate::tree::BidirectedTree;
+
+/// Result of a Greedy-Boost run.
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Selected boost nodes in pick order.
+    pub boost_set: Vec<NodeId>,
+    /// `σ_S(B)` of the final set.
+    pub sigma: f64,
+    /// `Δ_S(B) = σ_S(B) − σ_S(∅)`.
+    pub boost: f64,
+}
+
+/// Runs Greedy-Boost for budget `k`.
+pub fn greedy_boost(tree: &BidirectedTree, k: usize) -> GreedyOutcome {
+    let n = tree.num_nodes();
+    let mut mask = vec![false; n];
+    let mut boost_set = Vec::with_capacity(k);
+
+    let sigma_empty = TreeState::compute_mask(tree, mask.clone()).sigma();
+    let mut sigma = sigma_empty;
+
+    for _ in 0..k.min(n) {
+        let state = TreeState::compute_mask(tree, mask.clone());
+        let mut best: Option<(f64, u32)> = None;
+        for u in 0..n as u32 {
+            if mask[u as usize] || tree.is_seed(u) {
+                continue;
+            }
+            let s = state.sigma_with(NodeId(u));
+            // Ascending iteration keeps the smallest id on ties.
+            if best.is_none_or(|(bs, _)| s > bs + 1e-15) {
+                best = Some((s, u));
+            }
+        }
+        let Some((best_sigma, u)) = best else { break };
+        if best_sigma <= sigma + 1e-15 {
+            // No strictly positive marginal gain: later rounds cannot help
+            // either (the marginal of an unpicked node never grows under
+            // this exact evaluation), so stop early.
+            break;
+        }
+        mask[u as usize] = true;
+        boost_set.push(NodeId(u));
+        sigma = best_sigma;
+    }
+
+    GreedyOutcome { boost_set, sigma, boost: sigma - sigma_empty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_optimum;
+    use crate::exact::tree_boost;
+    use kboost_graph::generators::{complete_binary_tree, random_tree};
+    use kboost_graph::probability::ProbabilityModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_matches_bruteforce_on_small_trees() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let mut optimal_hits = 0;
+        let trials = 20;
+        for trial in 0..trials {
+            let topo = random_tree(8, None, &mut rng);
+            let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.2), 2.0, &mut rng);
+            let seeds = [NodeId(trial % 8)];
+            let t = BidirectedTree::from_digraph(&g, &seeds).unwrap();
+            let greedy = greedy_boost(&t, 2);
+            let opt = brute_force_optimum(&t, 2);
+            assert!(
+                greedy.boost <= opt.boost + 1e-9,
+                "greedy {} beat brute force {}",
+                greedy.boost,
+                opt.boost
+            );
+            if greedy.boost >= opt.boost - 1e-9 {
+                optimal_hits += 1;
+            }
+        }
+        // Greedy is near-optimal on trees in practice (Section VIII).
+        assert!(
+            optimal_hits * 10 >= trials * 8,
+            "greedy optimal on only {optimal_hits}/{trials} trials"
+        );
+    }
+
+    #[test]
+    fn greedy_boost_value_is_consistent() {
+        let mut rng = SmallRng::seed_from_u64(79);
+        let topo = complete_binary_tree(63);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Trivalency, 2.0, &mut rng);
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(0), NodeId(5)]).unwrap();
+        let out = greedy_boost(&t, 5);
+        assert_eq!(out.boost_set.len(), 5);
+        let recomputed = tree_boost(&t, &out.boost_set);
+        assert!((out.boost - recomputed).abs() < 1e-9);
+        assert!(out.boost >= 0.0);
+    }
+
+    #[test]
+    fn greedy_never_picks_seeds() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let topo = complete_binary_tree(15);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.3), 2.0, &mut rng);
+        let seeds = [NodeId(0), NodeId(1), NodeId(2)];
+        let t = BidirectedTree::from_digraph(&g, &seeds).unwrap();
+        let out = greedy_boost(&t, 6);
+        for s in seeds {
+            assert!(!out.boost_set.contains(&s));
+        }
+    }
+
+    #[test]
+    fn zero_budget() {
+        let mut rng = SmallRng::seed_from_u64(89);
+        let topo = complete_binary_tree(7);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.3), 2.0, &mut rng);
+        let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
+        let out = greedy_boost(&t, 0);
+        assert!(out.boost_set.is_empty());
+        assert_eq!(out.boost, 0.0);
+    }
+
+    #[test]
+    fn no_seeds_means_no_boost() {
+        let mut rng = SmallRng::seed_from_u64(97);
+        let topo = complete_binary_tree(7);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.3), 2.0, &mut rng);
+        let t = BidirectedTree::from_digraph(&g, &[]).unwrap();
+        let out = greedy_boost(&t, 3);
+        assert_eq!(out.boost, 0.0);
+        assert!(out.boost_set.is_empty());
+    }
+}

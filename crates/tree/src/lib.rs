@@ -1,0 +1,29 @@
+//! k-boosting on bidirected trees (Section VI of the paper).
+//!
+//! On trees the boosted influence spread becomes tractable:
+//!
+//! * [`tree`] — the bidirected-tree representation (each undirected edge
+//!   carries an independent probability pair per direction) with a rooted
+//!   traversal order.
+//! * [`exact`] — the three-step linear-time computation of Lemmas 5–7:
+//!   activation probabilities `ap_B(u)` and `ap_B(u\v)`, seeding gains
+//!   `g_B(u\v)`, and `σ_S(B ∪ {u})` for *every* node `u` in one `O(n)`
+//!   sweep.
+//! * [`greedy`] — `Greedy-Boost`: `k` rounds of exact marginal evaluation,
+//!   `O(kn)` total.
+//! * [`dp`] — `DP-Boost`: the rounded dynamic program of Section VI-B and
+//!   Appendix B (general trees), a fully polynomial-time approximation
+//!   scheme returning a `(1 − ε)`-approximate boost set.
+//! * [`brute`] — exhaustive optimum for small trees (test/benchmark
+//!   oracle).
+
+pub mod brute;
+pub mod dp;
+pub mod exact;
+pub mod greedy;
+pub mod tree;
+
+pub use dp::{dp_boost, DpOutcome};
+pub use exact::TreeState;
+pub use greedy::{greedy_boost, GreedyOutcome};
+pub use tree::{BidirectedTree, TreeError};

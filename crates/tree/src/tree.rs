@@ -1,0 +1,257 @@
+//! Bidirected-tree representation.
+
+use kboost_graph::{DiGraph, EdgeProbs, NodeId};
+
+/// Errors while interpreting a graph as a bidirected tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeError {
+    /// The underlying undirected graph is not a tree (wrong edge count or
+    /// disconnected).
+    NotATree,
+    /// Some edge lacks its reverse direction.
+    MissingReverse { from: NodeId, to: NodeId },
+    /// A seed id is out of range.
+    SeedOutOfRange(NodeId),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::NotATree => write!(f, "underlying undirected graph is not a tree"),
+            TreeError::MissingReverse { from, to } => {
+                write!(f, "edge ({from}, {to}) has no reverse direction")
+            }
+            TreeError::SeedOutOfRange(v) => write!(f, "seed {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// One neighbor entry of a node `u`: the neighbor id plus the probability
+/// pairs of the two directed edges `u→v` (`out`) and `v→u` (`in_`).
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbor {
+    /// The neighbor's id.
+    pub id: u32,
+    /// Probabilities of the edge from this node to the neighbor.
+    pub out: EdgeProbs,
+    /// Probabilities of the edge from the neighbor to this node.
+    pub in_: EdgeProbs,
+}
+
+/// A bidirected tree with a fixed seed set, rooted at node 0.
+///
+/// The rooted structure (parent pointers, children lists, a reverse-BFS
+/// order usable as a post-order) drives both the exact computation and the
+/// dynamic program.
+#[derive(Clone, Debug)]
+pub struct BidirectedTree {
+    n: usize,
+    adj: Vec<Vec<Neighbor>>,
+    seeds: Vec<bool>,
+    parent: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    /// Nodes in BFS order from the root (prefix order; its reverse is a
+    /// valid post-order).
+    bfs_order: Vec<u32>,
+}
+
+/// Sentinel parent of the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+impl BidirectedTree {
+    /// Interprets `g` as a bidirected tree with the given seeds.
+    pub fn from_digraph(g: &DiGraph, seeds: &[NodeId]) -> Result<Self, TreeError> {
+        let n = g.num_nodes();
+        for &s in seeds {
+            if s.index() >= n {
+                return Err(TreeError::SeedOutOfRange(s));
+            }
+        }
+        // Undirected edge count must be n-1 and every edge paired.
+        if n == 0 {
+            return Err(TreeError::NotATree);
+        }
+        let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut undirected = 0usize;
+        for (u, v, p_out) in g.edges() {
+            let Some(p_in) = g.edge(v, u) else {
+                return Err(TreeError::MissingReverse { from: u, to: v });
+            };
+            if u < v {
+                undirected += 1;
+                adj[u.index()].push(Neighbor { id: v.0, out: p_out, in_: p_in });
+                adj[v.index()].push(Neighbor { id: u.0, out: p_in, in_: p_out });
+            }
+        }
+        if undirected != n - 1 {
+            return Err(TreeError::NotATree);
+        }
+
+        // Root at 0; build parent/children via BFS and check connectivity.
+        let mut parent = vec![NO_PARENT; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut bfs_order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        bfs_order.push(0u32);
+        let mut head = 0usize;
+        while head < bfs_order.len() {
+            let u = bfs_order[head];
+            head += 1;
+            for nb in &adj[u as usize] {
+                if !visited[nb.id as usize] {
+                    visited[nb.id as usize] = true;
+                    parent[nb.id as usize] = u;
+                    children[u as usize].push(nb.id);
+                    bfs_order.push(nb.id);
+                }
+            }
+        }
+        if bfs_order.len() != n {
+            return Err(TreeError::NotATree);
+        }
+
+        let mut seed_mask = vec![false; n];
+        for &s in seeds {
+            seed_mask[s.index()] = true;
+        }
+        Ok(BidirectedTree { n, adj, seeds: seed_mask, parent, children, bfs_order })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `v` is a seed.
+    #[inline]
+    pub fn is_seed(&self, v: u32) -> bool {
+        self.seeds[v as usize]
+    }
+
+    /// The seed nodes.
+    pub fn seed_nodes(&self) -> Vec<NodeId> {
+        (0..self.n as u32).filter(|&v| self.seeds[v as usize]).map(NodeId).collect()
+    }
+
+    /// Neighbors of `u` with both directions' probabilities.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[Neighbor] {
+        &self.adj[u as usize]
+    }
+
+    /// Parent of `u` in the rooted orientation ([`NO_PARENT`] for the
+    /// root).
+    #[inline]
+    pub fn parent(&self, u: u32) -> u32 {
+        self.parent[u as usize]
+    }
+
+    /// Children of `u` in the rooted orientation.
+    #[inline]
+    pub fn children(&self, u: u32) -> &[u32] {
+        &self.children[u as usize]
+    }
+
+    /// BFS (prefix) order from the root; iterate it in reverse for a
+    /// post-order.
+    pub fn bfs_order(&self) -> &[u32] {
+        &self.bfs_order
+    }
+
+    /// The probability pair of directed edge `(u, v)` for adjacent nodes.
+    ///
+    /// # Panics
+    /// Panics if `v` is not adjacent to `u`.
+    pub fn edge(&self, u: u32, v: u32) -> EdgeProbs {
+        self.adj[u as usize]
+            .iter()
+            .find(|nb| nb.id == v)
+            .map(|nb| nb.out)
+            .expect("nodes must be adjacent")
+    }
+
+    /// Subtree sizes in the rooted orientation.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![1u32; self.n];
+        for &u in self.bfs_order.iter().rev() {
+            let p = self.parent[u as usize];
+            if p != NO_PARENT {
+                size[p as usize] += size[u as usize];
+            }
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::GraphBuilder;
+
+    fn figure4() -> DiGraph {
+        // Figure 4: star with center v0 and leaves v1..v3, p=0.1, p'=0.19.
+        let mut b = GraphBuilder::new(4);
+        for v in 1..4u32 {
+            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.1, 0.19).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_star() {
+        let t = BidirectedTree::from_digraph(&figure4(), &[NodeId(1), NodeId(3)]).unwrap();
+        assert_eq!(t.num_nodes(), 4);
+        assert!(t.is_seed(1) && t.is_seed(3) && !t.is_seed(0));
+        assert_eq!(t.children(0), &[1, 2, 3]);
+        assert_eq!(t.parent(2), 0);
+        assert_eq!(t.parent(0), NO_PARENT);
+        assert_eq!(t.subtree_sizes(), vec![4, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_missing_reverse() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            BidirectedTree::from_digraph(&g, &[]),
+            Err(TreeError::MissingReverse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(2), NodeId(0), 0.1, 0.2).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            BidirectedTree::from_digraph(&g, &[]),
+            Err(TreeError::NotATree)
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(2), NodeId(3), 0.1, 0.2).unwrap();
+        let g = b.build().unwrap();
+        assert!(BidirectedTree::from_digraph(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn edge_lookup_directional() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 0.3, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let t = BidirectedTree::from_digraph(&g, &[]).unwrap();
+        assert_eq!(t.edge(0, 1).base, 0.1);
+        assert_eq!(t.edge(1, 0).base, 0.3);
+    }
+}

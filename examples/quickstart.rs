@@ -1,0 +1,48 @@
+//! Quickstart: the paper's Figure-1 example, end to end.
+//!
+//! Builds the 3-node graph `s → v0 → v1`, verifies the boosted-influence
+//! numbers from the paper exactly, and runs PRR-Boost to find the best
+//! single node to boost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kboost::core::{prr_boost, BoostOptions};
+use kboost::diffusion::exact::{exact_boost, exact_sigma};
+use kboost::diffusion::monte_carlo::{estimate_boost, McConfig};
+use kboost::graph::{GraphBuilder, NodeId};
+
+fn main() {
+    // Figure 1: edge s→v0 with (p, p') = (0.2, 0.4); v0→v1 with (0.1, 0.2).
+    let mut builder = GraphBuilder::new(3);
+    builder.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+    builder.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+    let g = builder.build().unwrap();
+    let seeds = vec![NodeId(0)];
+
+    println!("=== Figure 1 of the paper ===");
+    println!("σ_S(∅)        = {:.4}  (paper: 1.22)", exact_sigma(&g, &seeds, &[]));
+    for (label, set) in [
+        ("Δ_S({v0})    ", vec![NodeId(1)]),
+        ("Δ_S({v1})    ", vec![NodeId(2)]),
+        ("Δ_S({v0,v1}) ", vec![NodeId(1), NodeId(2)]),
+    ] {
+        println!("{label} = {:.4}", exact_boost(&g, &seeds, &set));
+    }
+
+    // The same quantity by Monte-Carlo simulation (how large graphs are
+    // evaluated).
+    let mc = McConfig::quick(50_000, 7);
+    let sim = estimate_boost(&g, &seeds, &[NodeId(1)], &mc);
+    println!("Monte-Carlo Δ_S({{v0}}) ≈ {sim:.4}");
+
+    // PRR-Boost with k = 1 must pick v0 (node 1), not v1: boosting close
+    // to the seed compounds down the path.
+    let opts = BoostOptions { threads: 2, min_sketches: 50_000, max_sketches: Some(100_000), ..Default::default() };
+    let (outcome, pool) = prr_boost(&g, &seeds, 1, &opts);
+    println!("\n=== PRR-Boost (k = 1) ===");
+    println!("selected boost set: {:?}", outcome.best);
+    println!("estimated boost Δ̂ = {:.4}", outcome.estimate);
+    println!("PRR-graphs sampled: {}", pool.total_samples());
+    assert_eq!(outcome.best, vec![NodeId(1)], "PRR-Boost should boost v0");
+    println!("\nOK: PRR-Boost agrees with the exact analysis.");
+}

@@ -1,0 +1,291 @@
+//! `kboost` — command-line interface to the k-boosting toolkit.
+//!
+//! ```text
+//! kboost stats    <graph>                                  graph statistics
+//! kboost generate --dataset digg [--scale tiny] -o <graph> synthetic network
+//! kboost seeds    <graph> -k 50 -o seeds.txt               IMM seed selection
+//! kboost boost    <graph> --seeds seeds.txt -k 100 [--lb] [--ssa] -o boost.txt
+//! kboost simulate <graph> --seeds seeds.txt [--boost boost.txt] [--runs 20000]
+//! kboost tree     <graph> --seeds seeds.txt -k 20 [--dp --eps 0.5]
+//! ```
+//!
+//! Graphs use the edge-list format of `kboost::graph::io`
+//! (`n m` header, then `u v p p'` lines). Node-set files hold one node id
+//! per line.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use kboost::core::{prr_boost, prr_boost_lb, BoostOptions};
+use kboost::datasets::{Dataset, Scale};
+use kboost::diffusion::monte_carlo::{estimate_boost, estimate_sigma, McConfig};
+use kboost::graph::io::{read_edge_list_file, write_edge_list_file};
+use kboost::graph::stats::graph_stats;
+use kboost::graph::{DiGraph, NodeId};
+use kboost::rrset::imm::ImmParams;
+use kboost::rrset::seeds::select_seeds;
+use kboost::tree::{dp_boost, greedy_boost, BidirectedTree};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  kboost stats    <graph>
+  kboost generate --dataset <digg|flixster|twitter|flickr> [--scale <tiny|full|FRACTION>] [--beta B] -o <graph>
+  kboost seeds    <graph> -k K [-o seeds.txt]
+  kboost boost    <graph> --seeds seeds.txt -k K [--lb] [--eps E] [--threads T] [-o boost.txt]
+  kboost simulate <graph> --seeds seeds.txt [--boost boost.txt] [--runs N]
+  kboost tree     <graph> --seeds seeds.txt -k K [--dp --eps E]";
+
+type CliResult = Result<(), String>;
+
+fn run(args: &[String]) -> CliResult {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "seeds" => cmd_seeds(rest),
+        "boost" => cmd_boost(rest),
+        "simulate" => cmd_simulate(rest),
+        "tree" => cmd_tree(rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Minimal flag parser: positionals plus `--flag [value]` pairs.
+struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+}
+
+const BOOL_FLAGS: [&str; 3] = ["--lb", "--dp", "--ssa"];
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut positional = Vec::new();
+    let mut named = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(stripped) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&a.as_str()) {
+                named.insert(stripped.to_string(), "true".to_string());
+            } else {
+                i += 1;
+                let value = args.get(i).cloned().unwrap_or_default();
+                named.insert(stripped.to_string(), value);
+            }
+        } else if let Some(stripped) = a.strip_prefix('-') {
+            i += 1;
+            let value = args.get(i).cloned().unwrap_or_default();
+            named.insert(stripped.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Flags { positional, named }
+}
+
+impl Flags {
+    fn graph(&self) -> Result<DiGraph, String> {
+        let path = self.positional.first().ok_or("missing <graph> argument")?;
+        read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.named.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw}")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.named
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.named.contains_key(key)
+    }
+}
+
+fn read_node_file(path: &str) -> Result<Vec<NodeId>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse::<u32>().map(NodeId).map_err(|_| format!("bad node id `{l}` in {path}")))
+        .collect()
+}
+
+fn write_node_file(path: &str, nodes: &[NodeId]) -> CliResult {
+    let mut text = String::new();
+    for v in nodes {
+        text.push_str(&format!("{v}\n"));
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let g = flags.graph()?;
+    let s = graph_stats(&g);
+    println!("nodes:            {}", s.nodes);
+    println!("edges:            {}", s.edges);
+    println!("avg p:            {:.4}", s.avg_probability);
+    println!("avg p':           {:.4}", s.avg_boosted_probability);
+    println!("max out-degree:   {}", s.max_out_degree);
+    println!("max in-degree:    {}", s.max_in_degree);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let name = flags.required("dataset")?;
+    let dataset = match name.to_lowercase().as_str() {
+        "digg" => Dataset::Digg,
+        "flixster" => Dataset::Flixster,
+        "twitter" => Dataset::Twitter,
+        "flickr" => Dataset::Flickr,
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let scale = match flags.named.get("scale").map(String::as_str) {
+        None | Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        Some(frac) => Scale::Fraction(
+            frac.parse().map_err(|_| format!("bad --scale value `{frac}`"))?,
+        ),
+    };
+    let beta: f64 = flags.parse("beta", 2.0)?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let out = flags.required("o")?;
+    let g = dataset.generate(scale, beta, seed);
+    write_edge_list_file(&g, Path::new(out)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    Ok(())
+}
+
+fn cmd_seeds(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let g = flags.graph()?;
+    let k: usize = flags.parse("k", 50)?;
+    let params = ImmParams {
+        k,
+        epsilon: flags.parse("eps", 0.5)?,
+        ell: 1.0,
+        threads: flags.parse("threads", 8)?,
+        seed: flags.parse("seed", 42)?,
+        max_sketches: Some(flags.parse("max-sketches", 5_000_000u64)?),
+        min_sketches: 0,
+    };
+    let seeds = select_seeds(&g, &params);
+    match flags.named.get("o") {
+        Some(path) => {
+            write_node_file(path, &seeds)?;
+            println!("wrote {} seeds to {path}", seeds.len());
+        }
+        None => {
+            for s in &seeds {
+                println!("{s}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_boost(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let g = flags.graph()?;
+    let seeds = read_node_file(flags.required("seeds")?)?;
+    let k: usize = flags.parse("k", 100)?;
+    let opts = BoostOptions {
+        epsilon: flags.parse("eps", 0.5)?,
+        ell: 1.0,
+        threads: flags.parse("threads", 8)?,
+        seed: flags.parse("seed", 42)?,
+        max_sketches: Some(flags.parse("max-sketches", 5_000_000u64)?),
+        min_sketches: 0,
+    };
+    let outcome = if flags.has("lb") {
+        prr_boost_lb(&g, &seeds, k, &opts)
+    } else {
+        prr_boost(&g, &seeds, k, &opts).0
+    };
+    eprintln!(
+        "estimated boost: {:.2} ({} PRR-graphs sampled, {:.1}s sampling)",
+        outcome.estimate, outcome.stats.total_samples, outcome.stats.sampling_secs
+    );
+    match flags.named.get("o") {
+        Some(path) => {
+            write_node_file(path, &outcome.best)?;
+            println!("wrote {} boost nodes to {path}", outcome.best.len());
+        }
+        None => {
+            for v in &outcome.best {
+                println!("{v}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let g = flags.graph()?;
+    let seeds = read_node_file(flags.required("seeds")?)?;
+    let boost = match flags.named.get("boost") {
+        Some(path) => read_node_file(path)?,
+        None => Vec::new(),
+    };
+    let mc = McConfig {
+        runs: flags.parse("runs", 20_000u32)?,
+        threads: flags.parse("threads", 8)?,
+        seed: flags.parse("seed", 42)?,
+    };
+    let sigma = estimate_sigma(&g, &seeds, &boost, &mc);
+    println!("sigma: {sigma:.3}");
+    if !boost.is_empty() {
+        let delta = estimate_boost(&g, &seeds, &boost, &mc);
+        println!("boost: {delta:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_tree(args: &[String]) -> CliResult {
+    let flags = parse_flags(args);
+    let g = flags.graph()?;
+    let seeds = read_node_file(flags.required("seeds")?)?;
+    let tree = BidirectedTree::from_digraph(&g, &seeds).map_err(|e| e.to_string())?;
+    let k: usize = flags.parse("k", 20)?;
+    if flags.has("dp") {
+        let eps: f64 = flags.parse("eps", 0.5)?;
+        let out = dp_boost(&tree, k, eps);
+        println!("DP-Boost(ε={eps}): boost = {:.4} (dp value {:.4})", out.boost, out.dp_value);
+        for v in &out.boost_set {
+            println!("{v}");
+        }
+    } else {
+        let out = greedy_boost(&tree, k);
+        println!("Greedy-Boost: boost = {:.4}", out.boost);
+        for v in &out.boost_set {
+            println!("{v}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `kboost` — a reproduction of *"Boosting Information Spread: An
+//! Algorithmic Approach"* (Lin, Chen, Lui; ICDE 2017 / arXiv:1602.03111).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — directed-graph substrate (CSR with base/boosted edge
+//!   probabilities), generators, IO, statistics.
+//! * [`diffusion`] — the Independent Cascade and influence-boosting
+//!   simulators, an exact exhaustive evaluator for small graphs, and a
+//!   parallel Monte-Carlo estimator.
+//! * [`rrset`] — Reverse-Reachable sets and the IMM sampling framework.
+//! * [`prr`] — Potentially Reverse Reachable graphs: generation
+//!   (Algorithm 1), compression, evaluation, critical nodes.
+//! * [`core`] — PRR-Boost, PRR-Boost-LB, the Sandwich Approximation, and
+//!   the budget-allocation heuristic.
+//! * [`tree`] — bidirected-tree algorithms: linear-time exact boosted
+//!   influence (Lemmas 5–7), Greedy-Boost, and the DP-Boost FPTAS.
+//! * [`baselines`] — HighDegreeGlobal/Local, PageRank, MoreSeeds, Random.
+//! * [`datasets`] — synthetic stand-ins for the paper's four social
+//!   networks, calibrated to Table 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kboost::graph::{GraphBuilder, NodeId};
+//! use kboost::diffusion::exact::{exact_boost, exact_sigma};
+//!
+//! // Figure 1 of the paper: s → v0 → v1.
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+//! let g = b.build().unwrap();
+//! let seeds = vec![NodeId(0)];
+//!
+//! assert!((exact_sigma(&g, &seeds, &[]) - 1.22).abs() < 1e-9);
+//! assert!((exact_boost(&g, &seeds, &[NodeId(1)]) - 0.22).abs() < 1e-9);
+//! ```
+
+pub use kboost_baselines as baselines;
+pub use kboost_core as core;
+pub use kboost_datasets as datasets;
+pub use kboost_diffusion as diffusion;
+pub use kboost_graph as graph;
+pub use kboost_prr as prr;
+pub use kboost_rrset as rrset;
+pub use kboost_tree as tree;

@@ -1,0 +1,112 @@
+//! Cross-crate estimator consistency on random graphs: the PRR-graph
+//! pool, the coupled Monte-Carlo simulator, the µ-model simulator and the
+//! exact enumerator must all agree within sampling error.
+
+use kboost::core::{prr_boost, BoostOptions};
+use kboost::diffusion::exact::exact_boost;
+use kboost::diffusion::monte_carlo::{estimate_boost, McConfig};
+use kboost::diffusion::mu_model::estimate_mu;
+use kboost::graph::generators::erdos_renyi;
+use kboost::graph::probability::ProbabilityModel;
+use kboost::graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_random(seed: u64) -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    erdos_renyi(9, 16, ProbabilityModel::Constant(0.35), 2.0, &mut rng)
+}
+
+#[test]
+fn delta_hat_is_unbiased_on_random_graphs() {
+    let opts = BoostOptions {
+        threads: 2,
+        seed: 41,
+        min_sketches: 120_000,
+        max_sketches: Some(240_000),
+        ..Default::default()
+    };
+    for seed in 0..5u64 {
+        let g = small_random(seed);
+        let seeds = [NodeId(0)];
+        let (_, pool) = prr_boost(&g, &seeds, 2, &opts);
+        for set in [vec![NodeId(3)], vec![NodeId(3), NodeId(5)], vec![NodeId(7)]] {
+            let est = pool.delta_hat(&set);
+            let truth = exact_boost(&g, &seeds, &set);
+            assert!(
+                (est - truth).abs() < 0.06,
+                "seed {seed} B={set:?}: Δ̂ {est} vs exact {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mu_hat_matches_mu_model_simulation() {
+    let opts = BoostOptions {
+        threads: 2,
+        seed: 43,
+        min_sketches: 120_000,
+        max_sketches: Some(240_000),
+        ..Default::default()
+    };
+    for seed in 0..4u64 {
+        let g = small_random(seed + 50);
+        let seeds = [NodeId(0), NodeId(1)];
+        let (_, pool) = prr_boost(&g, &seeds, 2, &opts);
+        for set in [vec![NodeId(4)], vec![NodeId(4), NodeId(6)]] {
+            let mu_hat = pool.mu_hat(&set);
+            let mu_sim = estimate_mu(&g, &seeds, &set, 150_000, 77);
+            assert!(
+                (mu_hat - mu_sim).abs() < 0.06,
+                "seed {seed} B={set:?}: µ̂ {mu_hat} vs µ-model {mu_sim}"
+            );
+            let delta = pool.delta_hat(&set);
+            assert!(mu_hat <= delta + 0.03, "µ̂ {mu_hat} > Δ̂ {delta}");
+        }
+    }
+}
+
+#[test]
+fn coupled_mc_matches_exact_on_random_graphs() {
+    let mc = McConfig { runs: 150_000, threads: 4, seed: 9 };
+    for seed in 0..4u64 {
+        let g = small_random(seed + 100);
+        let seeds = [NodeId(0)];
+        let set = vec![NodeId(2), NodeId(5)];
+        let sim = estimate_boost(&g, &seeds, &set, &mc);
+        let truth = exact_boost(&g, &seeds, &set);
+        assert!(
+            (sim - truth).abs() < 0.02,
+            "seed {seed}: MC Δ {sim} vs exact {truth}"
+        );
+    }
+}
+
+#[test]
+fn greedy_delta_solution_is_at_least_as_good_as_any_singleton() {
+    // The greedy Δ̂ selection with k = 1 must match the best single node
+    // by exact evaluation (up to sampling noise).
+    let opts = BoostOptions {
+        threads: 2,
+        seed: 47,
+        min_sketches: 200_000,
+        max_sketches: Some(300_000),
+        ..Default::default()
+    };
+    for seed in 0..3u64 {
+        let g = small_random(seed + 200);
+        let seeds = [NodeId(0)];
+        let (out, _) = prr_boost(&g, &seeds, 1, &opts);
+        assert_eq!(out.best.len().max(1), 1);
+        let chosen = exact_boost(&g, &seeds, &out.best);
+        let best_single = (0..9u32)
+            .filter(|&v| v != 0)
+            .map(|v| exact_boost(&g, &seeds, &[NodeId(v)]))
+            .fold(0.0f64, f64::max);
+        assert!(
+            chosen >= best_single - 0.05,
+            "seed {seed}: picked Δ {chosen} vs best singleton {best_single}"
+        );
+    }
+}

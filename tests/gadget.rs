@@ -1,0 +1,85 @@
+//! End-to-end checks on the set-cover gadget of Appendix A (Figure 16) —
+//! a graph where the effect of boosting is known analytically.
+
+use kboost::core::{prr_boost, BoostOptions};
+use kboost::diffusion::monte_carlo::{estimate_sigma, McConfig};
+use kboost::graph::generators::{set_cover_gadget, SetCoverInstance};
+use kboost::graph::NodeId;
+
+fn figure16() -> SetCoverInstance {
+    SetCoverInstance {
+        num_elements: 6,
+        subsets: vec![vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 5]],
+    }
+}
+
+#[test]
+fn boosting_a_cover_activates_all_elements() {
+    // Boosting k set-nodes of a cover: the k boosted set-nodes activate
+    // surely, the remaining m−k with probability 0.5, and *every* element
+    // activates surely. σ = 1 + k + (m−k)/2 + n.
+    let inst = figure16();
+    let g = set_cover_gadget(&inst);
+    let seeds = [NodeId(0)];
+    let cover = vec![inst.set_node(0), inst.set_node(2)]; // C1 ∪ C3 = X
+    let mc = McConfig { runs: 60_000, threads: 4, seed: 3 };
+    let sigma = estimate_sigma(&g, &seeds, &cover, &mc);
+    let expected = 1.0 + 2.0 + 0.5 + 6.0;
+    assert!(
+        (sigma - expected).abs() < 0.05,
+        "cover σ = {sigma}, expected {expected}"
+    );
+    // A non-cover leaves some element below certainty, so σ is strictly
+    // smaller.
+    let non_cover = vec![inst.set_node(0), inst.set_node(1)]; // misses x5, x6
+    let sigma2 = estimate_sigma(&g, &seeds, &non_cover, &mc);
+    assert!(sigma2 < expected - 0.3, "non-cover σ = {sigma2}");
+}
+
+#[test]
+fn prr_boost_finds_a_cover() {
+    // With k = 2, the optimal boost set is exactly a minimum set cover
+    // ({C1, C3}); PRR-Boost should find it.
+    let inst = figure16();
+    let g = set_cover_gadget(&inst);
+    let seeds = [NodeId(0)];
+    let opts = BoostOptions {
+        threads: 2,
+        seed: 17,
+        min_sketches: 100_000,
+        max_sketches: Some(200_000),
+        ..Default::default()
+    };
+    let (out, _) = prr_boost(&g, &seeds, 2, &opts);
+    let chosen: Vec<usize> = out
+        .best
+        .iter()
+        .filter_map(|&v| (1..=3).find(|&i| inst.set_node(i - 1) == v).map(|i| i - 1))
+        .collect();
+    assert_eq!(chosen.len(), 2, "both picks should be set-nodes: {:?}", out.best);
+    assert!(inst.is_cover(&chosen), "picked sets {chosen:?} are not a cover");
+}
+
+#[test]
+fn element_nodes_are_never_worth_boosting() {
+    // Element nodes have deterministic in-edges (p = p' = 1): boosting
+    // them gains nothing, so no algorithm should pick them.
+    let inst = figure16();
+    let g = set_cover_gadget(&inst);
+    let seeds = [NodeId(0)];
+    let opts = BoostOptions {
+        threads: 2,
+        seed: 19,
+        min_sketches: 60_000,
+        max_sketches: Some(120_000),
+        ..Default::default()
+    };
+    let (out, _) = prr_boost(&g, &seeds, 3, &opts);
+    for j in 0..inst.num_elements {
+        assert!(
+            !out.best.contains(&inst.element_node(j)),
+            "element node {j} boosted: {:?}",
+            out.best
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests spanning crates: invariants that must hold on
+//! arbitrary random instances.
+
+use kboost::diffusion::exact::{exact_boost, exact_sigma};
+use kboost::diffusion::monte_carlo::{estimate_sigma, McConfig};
+use kboost::graph::generators::random_tree;
+use kboost::graph::io::{read_edge_list, write_edge_list};
+use kboost::graph::probability::{boost_probability, ProbabilityModel};
+use kboost::graph::{DiGraph, GraphBuilder, NodeId};
+use kboost::tree::exact::tree_sigma;
+use kboost::tree::BidirectedTree;
+use proptest::prelude::*;
+
+/// Strategy: a random small directed graph (n ≤ 7, m ≤ 10) with valid
+/// probability pairs.
+fn small_graph() -> impl Strategy<Value = DiGraph> {
+    let edge = (0u32..7, 0u32..7, 0.0f64..1.0, 0.0f64..1.0);
+    proptest::collection::vec(edge, 0..10).prop_map(|edges| {
+        // Deduplicate (u, v) pairs and drop self-loops before building.
+        let mut dedup = std::collections::BTreeMap::new();
+        for (u, v, p, extra) in edges {
+            if u != v {
+                dedup.entry((u, v)).or_insert((p, p + (1.0 - p) * extra));
+            }
+        }
+        let mut b = GraphBuilder::new(7);
+        for ((u, v), (p, pb)) in dedup {
+            b.add_edge(NodeId(u), NodeId(v), p, pb.min(1.0)).unwrap();
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sigma_bounds_and_monotonicity(g in small_graph(), seed in 0u32..7, extra in 0u32..7) {
+        prop_assume!(g.num_edges() <= 10);
+        let seeds = [NodeId(seed)];
+        let base = exact_sigma(&g, &seeds, &[]);
+        // σ is at least the seed count and at most n.
+        prop_assert!(base >= 1.0 - 1e-12);
+        prop_assert!(base <= 7.0 + 1e-12);
+        // Boosting any single node can only help.
+        let boosted = exact_sigma(&g, &seeds, &[NodeId(extra)]);
+        prop_assert!(boosted + 1e-12 >= base);
+        // Δ is consistent.
+        let delta = exact_boost(&g, &seeds, &[NodeId(extra)]);
+        prop_assert!((delta - (boosted - base)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boost_probability_is_valid_and_monotone(p in 0.0f64..1.0, beta in 1.0f64..8.0) {
+        let b = boost_probability(p, beta);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(b + 1e-12 >= p);
+        // Monotone in beta.
+        let b2 = boost_probability(p, beta + 1.0);
+        prop_assert!(b2 + 1e-12 >= b);
+    }
+
+    #[test]
+    fn edge_list_round_trip(g in small_graph()) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for (u, v, p) in g.edges() {
+            let q = g2.edge(u, v).unwrap();
+            prop_assert!((p.base - q.base).abs() < 1e-12);
+            prop_assert!((p.boosted - q.boosted).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_exact_matches_enumeration(topo_seed in 0u64..500, seed_node in 0u32..6, boost_node in 0u32..6) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(topo_seed);
+        let topo = random_tree(6, None, &mut rng);
+        let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.3), 2.0, &mut rng);
+        let seeds = [NodeId(seed_node)];
+        let tree = BidirectedTree::from_digraph(&g, &seeds).unwrap();
+        let boost = [NodeId(boost_node)];
+        let fast = tree_sigma(&tree, &boost);
+        let slow = exact_sigma(&g, &seeds, &boost);
+        prop_assert!((fast - slow).abs() < 1e-9, "tree {fast} vs enumeration {slow}");
+    }
+
+    #[test]
+    fn mc_estimate_within_tolerance(edge_p in 0.05f64..0.6) {
+        // Two-node graph: σ({0}) = 1 + p exactly.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), edge_p, boost_probability(edge_p, 2.0)).unwrap();
+        let g = b.build().unwrap();
+        let mc = McConfig { runs: 40_000, threads: 2, seed: 9 };
+        let est = estimate_sigma(&g, &[NodeId(0)], &[], &mc);
+        prop_assert!((est - (1.0 + edge_p)).abs() < 0.02, "est {est} vs {}", 1.0 + edge_p);
+    }
+}
