@@ -124,8 +124,10 @@ fn pick_iteratively(
     let n = g.num_nodes();
     let mut boosted = vec![false; n];
     let mut picked = Vec::with_capacity(k);
-    let discounted =
-        matches!(kind, WeightedDegree::OutSumDiscounted | WeightedDegree::InGainDiscounted);
+    let discounted = matches!(
+        kind,
+        WeightedDegree::OutSumDiscounted | WeightedDegree::InGainDiscounted
+    );
 
     // Non-discounted degrees are static: one sort suffices. Discounted
     // degrees change as B grows, so re-scan per pick.

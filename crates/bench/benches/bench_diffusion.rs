@@ -36,7 +36,6 @@ fn bench_simulators(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement budget: these benches exist to expose relative costs
 /// (generation vs compression vs evaluation), not microsecond precision.
 fn config() -> Criterion {

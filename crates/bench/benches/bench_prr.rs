@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kboost_datasets::{Dataset, Scale};
 use kboost_diffusion::sim::BoostMask;
-use kboost_prr::{PrrEvalScratch, PrrGenerator, PrrOutcome};
+use kboost_prr::{
+    greedy_delta_selection, greedy_delta_selection_naive, PrrArena, PrrEvalScratch, PrrGenerator,
+    PrrOutcome,
+};
 use kboost_rrset::seeds::select_random_nodes;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -19,7 +22,12 @@ fn bench_generation(c: &mut Criterion) {
         let generator = PrrGenerator::new(&g, &seeds, 100);
         group.bench_function(BenchmarkId::new("full", dataset.name()), |b| {
             let mut rng = SmallRng::seed_from_u64(11);
-            b.iter(|| black_box(matches!(generator.sample(&mut rng), PrrOutcome::Boostable(_))));
+            b.iter(|| {
+                black_box(matches!(
+                    generator.sample(&mut rng),
+                    PrrOutcome::Boostable(_)
+                ))
+            });
         });
         group.bench_function(BenchmarkId::new("critical_only", dataset.name()), |b| {
             let mut rng = SmallRng::seed_from_u64(11);
@@ -30,7 +38,12 @@ fn bench_generation(c: &mut Criterion) {
         let no_prune = PrrGenerator::new(&g, &seeds, 1_000_000_000);
         group.bench_function(BenchmarkId::new("full_no_pruning", dataset.name()), |b| {
             let mut rng = SmallRng::seed_from_u64(11);
-            b.iter(|| black_box(matches!(no_prune.sample(&mut rng), PrrOutcome::Boostable(_))));
+            b.iter(|| {
+                black_box(matches!(
+                    no_prune.sample(&mut rng),
+                    PrrOutcome::Boostable(_)
+                ))
+            });
         });
         // Ablation: small-k pruning (k = 1), where pruning bites hardest.
         let tight = PrrGenerator::new(&g, &seeds, 1);
@@ -79,6 +92,30 @@ fn bench_evaluation(c: &mut Criterion) {
     });
 }
 
+/// Greedy `Δ̂` selection: inverted coverage index vs the naive per-round
+/// full re-traversal, on the same arena (single-threaded so the comparison
+/// isolates the algorithmic change).
+fn bench_selection(c: &mut Criterion) {
+    let g = Dataset::Digg.generate(Scale::Tiny, 2.0, 7);
+    let seeds = select_random_nodes(&g, 20, &[], 3);
+    let k = 20usize;
+    let generator = PrrGenerator::new(&g, &seeds, k);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut arena = PrrArena::new();
+    while arena.len() < 4_000 {
+        if let PrrOutcome::Boostable(p) = generator.sample(&mut rng) {
+            arena.push(&p);
+        }
+    }
+    let mut group = c.benchmark_group("prr_selection_4k_graphs_k20");
+    group.bench_function("indexed", |b| {
+        b.iter(|| black_box(greedy_delta_selection(&arena, g.num_nodes(), k, 1).covered));
+    });
+    group.bench_function("naive_retraversal", |b| {
+        b.iter(|| black_box(greedy_delta_selection_naive(&arena, g.num_nodes(), k).covered));
+    });
+    group.finish();
+}
 
 /// Short measurement budget: these benches exist to expose relative costs
 /// (generation vs compression vs evaluation), not microsecond precision.
@@ -92,6 +129,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_generation, bench_evaluation
+    targets = bench_generation, bench_evaluation, bench_selection
 }
 criterion_main!(benches);

@@ -33,7 +33,6 @@ fn bench_greedy_cover(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement budget: these benches exist to expose relative costs
 /// (generation vs compression vs evaluation), not microsecond precision.
 fn config() -> Criterion {
@@ -46,16 +45,21 @@ fn config() -> Criterion {
 fn bench_imm_vs_ssa(c: &mut Criterion) {
     // Ablation: IMM's worst-case sample bound vs the SSA stop-and-stare
     // rule, measured end-to-end on seed selection.
+    use kboost_rrset::ic::InfluenceRr;
     use kboost_rrset::imm::{run_imm, ImmParams};
     use kboost_rrset::ssa::{run_ssa, SsaParams};
-    use kboost_rrset::ic::InfluenceRr;
     let g = Dataset::Digg.generate(Scale::Tiny, 2.0, 7);
     let src = InfluenceRr::new(&g);
     c.bench_function("sampler_imm_k10", |b| {
         b.iter(|| {
             let params = ImmParams {
-                k: 10, epsilon: 0.5, ell: 1.0, threads: 4, seed: 5,
-                max_sketches: Some(100_000), min_sketches: 0,
+                k: 10,
+                epsilon: 0.5,
+                ell: 1.0,
+                threads: 4,
+                seed: 5,
+                max_sketches: Some(100_000),
+                min_sketches: 0,
             };
             black_box(run_imm(&src, &params).pool.total_samples())
         });
@@ -63,8 +67,12 @@ fn bench_imm_vs_ssa(c: &mut Criterion) {
     c.bench_function("sampler_ssa_k10", |b| {
         b.iter(|| {
             let params = SsaParams {
-                k: 10, epsilon: 0.5, initial: 1_000,
-                max_sketches: 100_000, threads: 4, seed: 5,
+                k: 10,
+                epsilon: 0.5,
+                initial: 1_000,
+                max_sketches: 100_000,
+                threads: 4,
+                seed: 5,
             };
             black_box(run_ssa(&src, &params).pool.total_samples())
         });

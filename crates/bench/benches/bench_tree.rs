@@ -44,7 +44,6 @@ fn bench_dp(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement budget: these benches exist to expose relative costs
 /// (generation vs compression vs evaluation), not microsecond precision.
 fn config() -> Criterion {

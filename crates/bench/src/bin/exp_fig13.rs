@@ -12,7 +12,12 @@ fn main() {
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
     for dataset in [Dataset::Flixster, Dataset::Flickr] {
         let g = load(dataset, 2.0, &opts);
-        println!("\n### {} (n = {}, m = {})", dataset.name(), g.num_nodes(), g.num_edges());
+        println!(
+            "\n### {} (n = {}, m = {})",
+            dataset.name(),
+            g.num_nodes(),
+            g.num_edges()
+        );
         let mut rows = Vec::new();
         for cost_ratio in [100usize, 200, 400, 800] {
             let budget = BudgetOptions {
@@ -29,6 +34,16 @@ fn main() {
             }
             rows.push(row);
         }
-        print_table(&["cost ratio", "20%", "40%", "60%", "80%", "100% (pure seeding)"], &rows);
+        print_table(
+            &[
+                "cost ratio",
+                "20%",
+                "40%",
+                "60%",
+                "80%",
+                "100% (pure seeding)",
+            ],
+            &rows,
+        );
     }
 }

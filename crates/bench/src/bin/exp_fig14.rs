@@ -31,7 +31,11 @@ fn main() {
         let t0 = Instant::now();
         let greedy = greedy_boost(&tree, k);
         let t_greedy = t0.elapsed().as_secs_f64();
-        let mut row = vec![k.to_string(), format!("{:.2}", greedy.boost), fmt_secs(t_greedy)];
+        let mut row = vec![
+            k.to_string(),
+            format!("{:.2}", greedy.boost),
+            fmt_secs(t_greedy),
+        ];
         for eps in [0.2, 0.6, 1.0] {
             let t0 = Instant::now();
             let dp = dp_boost(&tree, k, eps);
@@ -41,7 +45,17 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["k", "greedy", "t(greedy)", "DP(0.2)", "t", "DP(0.6)", "t", "DP(1.0)", "t"],
+        &[
+            "k",
+            "greedy",
+            "t(greedy)",
+            "DP(0.2)",
+            "t",
+            "DP(0.6)",
+            "t",
+            "DP(1.0)",
+            "t",
+        ],
         &rows,
     );
     println!("\n(expected shape: DP ≈ greedy in quality; greedy orders of magnitude faster)");

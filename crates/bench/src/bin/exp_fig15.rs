@@ -41,5 +41,8 @@ fn main() {
             fmt_secs(t_dp),
         ]);
     }
-    print_table(&["n", "greedy boost", "DP boost", "t(greedy)", "t(DP)"], &rows);
+    print_table(
+        &["n", "greedy boost", "DP boost", "t(greedy)", "t(DP)"],
+        &rows,
+    );
 }

@@ -15,7 +15,11 @@ fn main() {
         println!("\n### {}", dataset.name());
         let mut rows = Vec::new();
         for beta in [2.0f64, 3.0, 4.0, 5.0, 6.0] {
-            let g = if (beta - 2.0).abs() < 1e-12 { base.clone() } else { Dataset::reboost(&base, beta) };
+            let g = if (beta - 2.0).abs() < 1e-12 {
+                base.clone()
+            } else {
+                Dataset::reboost(&base, beta)
+            };
             let seeds = pick_seeds(&g, SeedMode::Influential, &opts);
             let bopts = opts.boost_options(beta as u64);
             let (full, _) = prr_boost(&g, &seeds, k, &bopts);
@@ -28,6 +32,15 @@ fn main() {
                 fmt_secs(lb.stats.sampling_secs),
             ]);
         }
-        print_table(&["beta", "boost(PRR-Boost)", "boost(LB)", "time(PRR-Boost)", "time(LB)"], &rows);
+        print_table(
+            &[
+                "beta",
+                "boost(PRR-Boost)",
+                "boost(LB)",
+                "time(PRR-Boost)",
+                "time(LB)",
+            ],
+            &rows,
+        );
     }
 }

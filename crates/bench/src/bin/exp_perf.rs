@@ -1,0 +1,162 @@
+//! Perf-trajectory harness for the parallel PRR engine.
+//!
+//! Generates a preferential-attachment network, samples a large PRR-graph
+//! pool in parallel, then runs greedy `Δ̂` boost selection twice — with the
+//! inverted coverage index and with the naive per-round full re-traversal —
+//! and writes the timings to `BENCH_prr.json`. Committed alongside the code
+//! so the perf trajectory of the hot path is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p kboost-bench --bin exp_perf -- \
+//!     [--nodes N] [--samples N] [--k N] [--threads N] [--seed N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use kboost_core::PrrPool;
+use kboost_graph::generators::preferential_attachment;
+use kboost_graph::probability::ProbabilityModel;
+use kboost_prr::{greedy_delta_selection, greedy_delta_selection_naive, PrrFullSource};
+use kboost_rrset::seeds::select_random_nodes;
+use kboost_rrset::sketch::SketchPool;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct PerfOpts {
+    nodes: usize,
+    samples: u64,
+    k: usize,
+    threads: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> PerfOpts {
+    let mut opts = PerfOpts {
+        nodes: 60_000,
+        samples: 120_000,
+        k: 100,
+        threads: 8,
+        seed: 42,
+        out: "BENCH_prr.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag {
+            "--nodes" => opts.nodes = next(&mut i).parse().expect("--nodes N"),
+            "--samples" => opts.samples = next(&mut i).parse().expect("--samples N"),
+            "--k" => opts.k = next(&mut i).parse().expect("--k N"),
+            "--threads" => opts.threads = next(&mut i).parse().expect("--threads N"),
+            "--seed" => opts.seed = next(&mut i).parse().expect("--seed N"),
+            "--out" => opts.out = next(&mut i),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    // Digg-calibrated log-normal probabilities (Table 1) — the same model
+    // the synthetic datasets use. (WeightedCascade is unusable here: the PA
+    // generator samples probabilities before in-degrees are final.)
+    let g = preferential_attachment(
+        opts.nodes,
+        4,
+        0.15,
+        ProbabilityModel::LogNormal {
+            mu: -1.93,
+            sigma: 1.0,
+            cap: 1.0,
+        },
+        2.0,
+        &mut rng,
+    );
+    let seeds = select_random_nodes(&g, 50, &[], opts.seed ^ 0x5EED);
+    eprintln!(
+        "graph: {} nodes, {} edges; {} seeds, k = {}, {} threads",
+        g.num_nodes(),
+        g.num_edges(),
+        seeds.len(),
+        opts.k,
+        opts.threads
+    );
+
+    // Phase 1: parallel PRR-graph sampling into the flat arena.
+    let t0 = Instant::now();
+    let source = PrrFullSource::new(&g, &seeds, opts.k);
+    let mut sketches = SketchPool::new(opts.seed, opts.threads);
+    sketches.extend_to(&source, opts.samples);
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let pool = PrrPool::new(sketches, g.num_nodes(), opts.threads);
+    let arena_build_secs = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "sampled {} PRR-graphs ({} boostable, {} stored edges) in {gen_secs:.2}s (+{arena_build_secs:.2}s arena build)",
+        pool.total_samples(),
+        pool.num_boostable(),
+        pool.arena().total_edges(),
+    );
+
+    // Phase 2: greedy Δ̂ selection, index-accelerated vs naive.
+    let t2 = Instant::now();
+    let indexed = greedy_delta_selection(pool.arena(), g.num_nodes(), opts.k, opts.threads);
+    let indexed_secs = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), opts.k);
+    let naive_secs = t3.elapsed().as_secs_f64();
+
+    assert_eq!(
+        indexed, naive,
+        "index-accelerated selection diverged from the naive baseline"
+    );
+    let speedup = naive_secs / indexed_secs.max(1e-9);
+    let delta_hat = pool.delta_hat(&indexed.selected);
+    eprintln!(
+        "selection: indexed {indexed_secs:.3}s vs naive {naive_secs:.3}s → {speedup:.1}x; \
+         picked {} nodes covering {} graphs (Δ̂ = {delta_hat:.1})",
+        indexed.selected.len(),
+        indexed.covered,
+    );
+
+    let json = format!(
+        "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
+         \"threads\": {},\n  \"seed\": {},\n  \"samples\": {},\n  \"boostable\": {},\n  \
+         \"arena_edges\": {},\n  \"arena_bytes\": {},\n  \"gen_secs\": {:.4},\n  \
+         \"arena_build_secs\": {:.4},\n  \"indexed_select_secs\": {:.4},\n  \
+         \"naive_select_secs\": {:.4},\n  \"select_speedup\": {:.2},\n  \
+         \"covered\": {},\n  \"delta_hat\": {:.4}\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        seeds.len(),
+        opts.k,
+        opts.threads,
+        opts.seed,
+        pool.total_samples(),
+        pool.num_boostable(),
+        pool.arena().total_edges(),
+        pool.memory_bytes(),
+        gen_secs,
+        arena_build_secs,
+        indexed_secs,
+        naive_secs,
+        speedup,
+        indexed.covered,
+        delta_hat,
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH_prr.json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+}

@@ -1,7 +1,7 @@
 //! Table 1: dataset statistics and seed-set influence.
 
-use kboost_bench::{eval_sigma, load, pick_seeds, print_table, Opts, SeedMode};
 use kboost_bench::figures::datasets;
+use kboost_bench::{eval_sigma, load, pick_seeds, print_table, Opts, SeedMode};
 use kboost_graph::stats::graph_stats;
 
 fn main() {
@@ -27,7 +27,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["dataset", "n", "m", "avg p", "infl(50 IMM seeds)", "infl(random seeds)", "targets"],
+        &[
+            "dataset",
+            "n",
+            "m",
+            "avg p",
+            "infl(50 IMM seeds)",
+            "infl(random seeds)",
+            "targets",
+        ],
         &rows,
     );
 }

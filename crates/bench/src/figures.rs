@@ -53,7 +53,15 @@ pub fn quality_experiment(mode: SeedMode, opts: &Opts) {
             ]);
         }
         print_table(
-            &["k", "PRR-Boost", "PRR-Boost-LB", "HighDegGlobal", "HighDegLocal", "PageRank", "MoreSeeds"],
+            &[
+                "k",
+                "PRR-Boost",
+                "PRR-Boost-LB",
+                "HighDegGlobal",
+                "HighDegLocal",
+                "PageRank",
+                "MoreSeeds",
+            ],
             &rows,
         );
     }
@@ -87,7 +95,14 @@ pub fn time_experiment(mode: SeedMode, opts: &Opts) {
             ]);
         }
         print_table(
-            &["k", "PRR-Boost", "PRR-Boost-LB", "speedup", "samples(full)", "samples(LB)"],
+            &[
+                "k",
+                "PRR-Boost",
+                "PRR-Boost-LB",
+                "speedup",
+                "samples(full)",
+                "samples(LB)",
+            ],
             &rows,
         );
     }
@@ -95,7 +110,11 @@ pub fn time_experiment(mode: SeedMode, opts: &Opts) {
 
 /// Tables 2 / 3: compression ratio and memory usage.
 pub fn compression_experiment(mode: SeedMode, opts: &Opts) {
-    let k_grid: Vec<usize> = if opts.full { vec![100, 5000] } else { vec![20, 200] };
+    let k_grid: Vec<usize> = if opts.full {
+        vec![100, 5000]
+    } else {
+        vec![20, 200]
+    };
     let mut rows = Vec::new();
     for &k in &k_grid {
         for dataset in datasets(opts) {
@@ -115,7 +134,13 @@ pub fn compression_experiment(mode: SeedMode, opts: &Opts) {
         }
     }
     print_table(
-        &["k", "dataset", "compression (unc/cmp = ratio)", "mem PRR-Boost", "mem PRR-Boost-LB"],
+        &[
+            "k",
+            "dataset",
+            "compression (unc/cmp = ratio)",
+            "mem PRR-Boost",
+            "mem PRR-Boost-LB",
+        ],
         &rows,
     );
 }
@@ -141,12 +166,17 @@ pub fn sandwich_experiment(mode: SeedMode, betas: &[f64], k_grid: &[usize], opts
                 let points =
                     sandwich_ratio_curve(&g, &pool, &seeds, &out.best, 300, 0.5, opts.seed ^ 0xF);
                 if points.is_empty() {
-                    rows.push(vec![format!("{beta}"), k.to_string(), "-".into(), "-".into(), "0".into()]);
+                    rows.push(vec![
+                        format!("{beta}"),
+                        k.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "0".into(),
+                    ]);
                     continue;
                 }
                 let min = points.iter().map(|p| p.ratio).fold(f64::INFINITY, f64::min);
-                let mean: f64 =
-                    points.iter().map(|p| p.ratio).sum::<f64>() / points.len() as f64;
+                let mean: f64 = points.iter().map(|p| p.ratio).sum::<f64>() / points.len() as f64;
                 rows.push(vec![
                     format!("{beta}"),
                     k.to_string(),

@@ -151,9 +151,12 @@ pub fn load(dataset: Dataset, beta: f64, opts: &Opts) -> DiGraph {
 pub fn pick_seeds(g: &DiGraph, mode: SeedMode, opts: &Opts) -> Vec<NodeId> {
     match mode {
         SeedMode::Influential => select_seeds(g, &opts.imm_params(50, 0xA)),
-        SeedMode::Random => {
-            select_random_nodes(g, opts.random_seed_count(g.num_nodes()), &[], opts.seed ^ 0xB)
-        }
+        SeedMode::Random => select_random_nodes(
+            g,
+            opts.random_seed_count(g.num_nodes()),
+            &[],
+            opts.seed ^ 0xB,
+        ),
     }
 }
 
@@ -270,7 +273,10 @@ mod tests {
             full: false,
         };
         assert!(quick.k_grid().iter().all(|&k| k <= 200));
-        let full = Opts { full: true, ..quick };
+        let full = Opts {
+            full: true,
+            ..quick
+        };
         assert!(full.k_grid().contains(&5000));
     }
 
@@ -278,7 +284,10 @@ mod tests {
     fn table_printer_handles_ragged_rows() {
         print_table(
             &["a", "bb"],
-            &[vec!["1".into(), "22".into()], vec!["333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
         );
     }
 

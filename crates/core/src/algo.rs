@@ -28,7 +28,14 @@ pub struct BoostOptions {
 
 impl Default for BoostOptions {
     fn default() -> Self {
-        BoostOptions { epsilon: 0.5, ell: 1.0, threads: 8, seed: 0x0B00_57ED, max_sketches: None, min_sketches: 0 }
+        BoostOptions {
+            epsilon: 0.5,
+            ell: 1.0,
+            threads: 8,
+            seed: 0x0B00_57ED,
+            max_sketches: None,
+            min_sketches: 0,
+        }
     }
 }
 
@@ -100,12 +107,12 @@ pub fn prr_boost(
     let sampling_secs = t0.elapsed().as_secs_f64();
     let b_mu = run.result.selected.clone();
 
-    let pool = PrrPool::new(run.pool, g.num_nodes());
+    let pool = PrrPool::new(run.pool, g.num_nodes(), opts.threads);
 
-    // Line 4: greedy selection directly on Δ̂ over the same PRR-graphs.
+    // Line 4: greedy selection directly on Δ̂ over the same PRR-graphs,
+    // via the inverted coverage index.
     let t1 = Instant::now();
-    let graphs: Vec<&kboost_prr::CompressedPrr> = pool.graphs().collect();
-    let delta_sel = greedy_delta_selection(&graphs, g.num_nodes(), k);
+    let delta_sel = greedy_delta_selection(pool.arena(), g.num_nodes(), k, opts.threads);
     let b_delta = delta_sel.selected;
 
     // Line 5: the Sandwich choice — keep whichever set has the larger
@@ -127,10 +134,19 @@ pub fn prr_boost(
         selection_secs,
         avg_uncompressed_edges: avg_unc,
         avg_compressed_edges: avg_cmp,
-        memory_bytes: pool.payload_memory_bytes() + pool.cover_memory_bytes(),
+        memory_bytes: pool.memory_bytes(),
     };
 
-    (BoostOutcome { best, b_mu, b_delta, estimate, stats }, pool)
+    (
+        BoostOutcome {
+            best,
+            b_mu,
+            b_delta,
+            estimate,
+            stats,
+        },
+        pool,
+    )
 }
 
 /// PRR-Boost-LB (Section V-C): maximizes only the submodular lower bound,
@@ -156,7 +172,13 @@ pub fn prr_boost_lb(g: &DiGraph, seeds: &[NodeId], k: usize, opts: &BoostOptions
         avg_compressed_edges: 0.0,
         memory_bytes: run.pool.cover_memory_bytes(),
     };
-    BoostOutcome { best: b_mu.clone(), b_mu, b_delta: Vec::new(), estimate, stats }
+    BoostOutcome {
+        best: b_mu.clone(),
+        b_mu,
+        b_delta: Vec::new(),
+        estimate,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +256,11 @@ mod tests {
         b.add_edge(NodeId(2), NodeId(3), 0.2, 0.4).unwrap();
         let g = b.build().unwrap();
         let (out, _) = prr_boost(&g, &[NodeId(0)], 2, &quick_opts(25));
-        assert!(!out.best.contains(&NodeId(0)), "seed in boost set: {:?}", out.best);
+        assert!(
+            !out.best.contains(&NodeId(0)),
+            "seed in boost set: {:?}",
+            out.best
+        );
         let lb = prr_boost_lb(&g, &[NodeId(0)], 2, &quick_opts(26));
         assert!(!lb.best.contains(&NodeId(0)));
     }
@@ -267,10 +293,9 @@ pub fn prr_boost_ssa(
     let sampling_secs = t0.elapsed().as_secs_f64();
     let b_mu = run.result.selected.clone();
 
-    let pool = PrrPool::new(run.pool, g.num_nodes());
+    let pool = PrrPool::new(run.pool, g.num_nodes(), opts.threads);
     let t1 = Instant::now();
-    let graphs: Vec<&kboost_prr::CompressedPrr> = pool.graphs().collect();
-    let b_delta = greedy_delta_selection(&graphs, g.num_nodes(), k).selected;
+    let b_delta = greedy_delta_selection(pool.arena(), g.num_nodes(), k, opts.threads).selected;
     let est_mu = pool.delta_hat(&b_mu);
     let est_delta = pool.delta_hat(&b_delta);
     let (best, estimate) = if est_delta >= est_mu {
@@ -288,9 +313,18 @@ pub fn prr_boost_ssa(
         selection_secs,
         avg_uncompressed_edges: avg_unc,
         avg_compressed_edges: avg_cmp,
-        memory_bytes: pool.payload_memory_bytes() + pool.cover_memory_bytes(),
+        memory_bytes: pool.memory_bytes(),
     };
-    (BoostOutcome { best, b_mu, b_delta, estimate, stats }, pool)
+    (
+        BoostOutcome {
+            best,
+            b_mu,
+            b_delta,
+            estimate,
+            stats,
+        },
+        pool,
+    )
 }
 
 #[cfg(test)]

@@ -65,7 +65,12 @@ pub fn budget_sweep(g: &DiGraph, fractions: &[f64], opts: &BudgetOptions) -> Vec
         };
 
         let sigma = estimate_sigma(g, &seeds, &boosts, &opts.mc);
-        out.push(BudgetPoint { seed_fraction: f, num_seeds, num_boosts, sigma });
+        out.push(BudgetPoint {
+            seed_fraction: f,
+            num_seeds,
+            num_boosts,
+            sigma,
+        });
     }
     out
 }
@@ -81,19 +86,26 @@ mod tests {
     #[test]
     fn sweep_produces_monotone_budget_accounting() {
         let mut rng = SmallRng::seed_from_u64(41);
-        let g = preferential_attachment(
-            300,
-            3,
-            0.2,
-            ProbabilityModel::Constant(0.05),
-            2.0,
-            &mut rng,
-        );
+        let g =
+            preferential_attachment(300, 3, 0.2, ProbabilityModel::Constant(0.05), 2.0, &mut rng);
         let opts = BudgetOptions {
             max_seeds: 10,
             cost_ratio: 5,
-            boost: BoostOptions { threads: 2, seed: 1, max_sketches: Some(20_000), ..Default::default() },
-            imm: ImmParams { k: 1, epsilon: 0.5, ell: 1.0, threads: 2, seed: 2, max_sketches: Some(20_000), min_sketches: 0 },
+            boost: BoostOptions {
+                threads: 2,
+                seed: 1,
+                max_sketches: Some(20_000),
+                ..Default::default()
+            },
+            imm: ImmParams {
+                k: 1,
+                epsilon: 0.5,
+                ell: 1.0,
+                threads: 2,
+                seed: 2,
+                max_sketches: Some(20_000),
+                min_sketches: 0,
+            },
             mc: McConfig::quick(400, 3),
         };
         let points = budget_sweep(&g, &[0.5, 1.0], &opts);

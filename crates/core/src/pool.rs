@@ -1,23 +1,46 @@
 //! The retained PRR-graph pool with `Δ̂` / `µ̂` estimators.
+//!
+//! Boostable PRR-graphs live in a flat [`PrrArena`] (single shared arrays,
+//! no per-graph allocation), and both estimators sweep it with a
+//! deterministic parallel fan-out: the arena is split into contiguous
+//! graph ranges, each worker counts hits with its own scratch, and the
+//! per-range counts are summed — so estimates are exact counts,
+//! independent of the thread count.
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::NodeId;
-use kboost_prr::{CompressedPrr, PrrEvalScratch};
+use kboost_prr::{CompressedPrr, PrrArena, PrrEvalScratch, PrrGraphView};
 use kboost_rrset::sketch::SketchPool;
 
 /// A pool of sampled PRR-graphs for a fixed `(G, S, k)`.
 ///
-/// Wraps the raw [`SketchPool`] with the two estimators of Section IV:
+/// Provides the two estimators of Section IV:
 /// `Δ̂_R(B) = n/|R| · Σ f_R(B)` and `µ̂_R(B) = n/|R| · Σ f⁻_R(B)`.
 pub struct PrrPool {
-    inner: SketchPool<CompressedPrr>,
+    arena: PrrArena,
     n: usize,
+    total: u64,
+    empties: u64,
+    threads: usize,
 }
 
 impl PrrPool {
-    /// Wraps a sketch pool; `n` is the host-graph node count.
-    pub fn new(inner: SketchPool<CompressedPrr>, n: usize) -> Self {
-        PrrPool { inner, n }
+    /// Converts a finished sketch pool into an arena-backed PRR pool.
+    ///
+    /// `n` is the host-graph node count; `threads` bounds the parallel
+    /// fan-out of [`delta_hat`](Self::delta_hat) / [`mu_hat`](Self::mu_hat).
+    /// The sketch covers are dropped — critical sets are stored once, in
+    /// the arena.
+    pub fn new(inner: SketchPool<CompressedPrr>, n: usize, threads: usize) -> Self {
+        let (_covers, payloads, total, empties) = inner.into_parts();
+        let arena = PrrArena::from_payloads(payloads);
+        PrrPool {
+            arena,
+            n,
+            total,
+            empties,
+            threads: threads.max(1),
+        }
     }
 
     /// Host-graph node count.
@@ -27,68 +50,138 @@ impl PrrPool {
 
     /// Total samples drawn, including non-boostable graphs.
     pub fn total_samples(&self) -> u64 {
-        self.inner.total_samples()
+        self.total
+    }
+
+    /// Samples that produced no boostable graph (activated or hopeless).
+    pub fn empty_samples(&self) -> u64 {
+        self.empties
+    }
+
+    /// The flat storage of the boostable PRR-graphs.
+    pub fn arena(&self) -> &PrrArena {
+        &self.arena
     }
 
     /// The stored boostable PRR-graphs.
-    pub fn graphs(&self) -> impl Iterator<Item = &CompressedPrr> {
-        self.inner.payloads().iter().flatten()
+    pub fn graphs(&self) -> impl Iterator<Item = PrrGraphView<'_>> {
+        self.arena.iter()
     }
 
     /// Number of stored boostable graphs.
     pub fn num_boostable(&self) -> usize {
-        self.inner.payloads().iter().flatten().count()
+        self.arena.len()
+    }
+
+    /// Counts stored graphs satisfying `hit`, fanning out over contiguous
+    /// arena ranges. Deterministic: addition over disjoint exact counts.
+    fn count_hits<F>(&self, hit: F) -> u64
+    where
+        F: Fn(PrrGraphView<'_>, &mut PrrEvalScratch) -> bool + Sync,
+    {
+        let num_graphs = self.arena.len();
+        let count_range = |range: std::ops::Range<usize>| -> u64 {
+            let mut scratch = PrrEvalScratch::default();
+            range
+                .filter(|&i| hit(self.arena.graph(i), &mut scratch))
+                .count() as u64
+        };
+        let workers = self.threads.min(num_graphs.max(1));
+        if workers <= 1 || num_graphs < 1024 {
+            return count_range(0..num_graphs);
+        }
+        let per = num_graphs.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (per * w).min(num_graphs);
+                    let hi = (lo + per).min(num_graphs);
+                    let count_range = &count_range;
+                    scope.spawn(move || count_range(lo..hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("estimator worker panicked"))
+                .sum()
+        })
     }
 
     /// `Δ̂(B)`: the unbiased PRR estimate of the boost of influence.
     pub fn delta_hat(&self, boost: &[NodeId]) -> f64 {
         let mask = BoostMask::from_nodes(self.n, boost);
-        let mut scratch = PrrEvalScratch::default();
-        let hits = self.graphs().filter(|p| p.f(&mask, &mut scratch)).count();
-        self.n as f64 * hits as f64 / self.total_samples().max(1) as f64
+        let hits = self.count_hits(|g, scratch| g.f(&mask, scratch));
+        self.n as f64 * hits as f64 / self.total.max(1) as f64
     }
 
     /// `µ̂(B)`: the lower-bound estimate via critical sets.
     pub fn mu_hat(&self, boost: &[NodeId]) -> f64 {
         let mask = BoostMask::from_nodes(self.n, boost);
-        let hits = self
-            .graphs()
-            .filter(|p| p.critical().iter().any(|&v| mask.contains(v)))
-            .count();
-        self.n as f64 * hits as f64 / self.total_samples().max(1) as f64
+        let hits = self.count_hits(|g, _| g.critical().iter().any(|&v| mask.contains(v)));
+        self.n as f64 * hits as f64 / self.total.max(1) as f64
     }
 
     /// Mean number of edges per stored graph before and after compression:
     /// `(avg_uncompressed, avg_compressed)` — the paper's compression-ratio
     /// numerator and denominator (Tables 2–3).
     pub fn compression_stats(&self) -> (f64, f64) {
-        let mut total_unc = 0u64;
-        let mut total_cmp = 0u64;
-        let mut count = 0u64;
-        for p in self.graphs() {
-            total_unc += p.uncompressed_edges() as u64;
-            total_cmp += p.num_edges() as u64;
-            count += 1;
-        }
+        let count = self.arena.len() as u64;
         if count == 0 {
-            (0.0, 0.0)
-        } else {
-            (total_unc as f64 / count as f64, total_cmp as f64 / count as f64)
+            return (0.0, 0.0);
+        }
+        let total_unc: u64 = self.graphs().map(|p| p.uncompressed_edges() as u64).sum();
+        let total_cmp = self.arena.total_edges() as u64;
+        (
+            total_unc as f64 / count as f64,
+            total_cmp as f64 / count as f64,
+        )
+    }
+
+    /// Bytes used by the flat arena (graphs and critical sets).
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kboost_graph::{GraphBuilder, NodeId};
+    use kboost_prr::PrrFullSource;
+
+    fn figure1_pool(threads: usize) -> PrrPool {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        let g = b.build().unwrap();
+        let source = PrrFullSource::new(&g, &[NodeId(0)], 2);
+        let mut sketches: SketchPool<CompressedPrr> = SketchPool::new(11, threads);
+        sketches.extend_to(&source, 60_000);
+        PrrPool::new(sketches, 3, threads)
+    }
+
+    #[test]
+    fn estimators_agree_across_thread_counts() {
+        let a = figure1_pool(1);
+        let b = figure1_pool(4);
+        assert_eq!(a.total_samples(), b.total_samples());
+        assert_eq!(a.num_boostable(), b.num_boostable());
+        for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+            assert_eq!(a.delta_hat(&set), b.delta_hat(&set));
+            assert_eq!(a.mu_hat(&set), b.mu_hat(&set));
         }
     }
 
-    /// Bytes used by the stored boostable PRR-graphs.
-    pub fn payload_memory_bytes(&self) -> usize {
-        self.graphs().map(|p| p.memory_bytes()).sum()
-    }
-
-    /// Bytes used by the stored critical-set covers.
-    pub fn cover_memory_bytes(&self) -> usize {
-        self.inner.cover_memory_bytes()
-    }
-
-    /// Access to the underlying sketch pool.
-    pub fn sketches(&self) -> &SketchPool<CompressedPrr> {
-        &self.inner
+    #[test]
+    fn stats_and_memory_populated() {
+        let pool = figure1_pool(2);
+        assert!(pool.num_boostable() > 0);
+        assert!(pool.empty_samples() > 0);
+        let (unc, cmp) = pool.compression_stats();
+        assert!(unc > 0.0 && cmp > 0.0);
+        assert!(pool.memory_bytes() > 0);
+        // µ̂ ≤ Δ̂ for any set (lower bound).
+        let set = [NodeId(1)];
+        assert!(pool.mu_hat(&set) <= pool.delta_hat(&set) + 1e-12);
     }
 }

@@ -53,7 +53,10 @@ pub fn sandwich_ratio_curve(
             continue;
         }
         let mu_hat = pool.mu_hat(&b);
-        points.push(RatioPoint { delta_hat, ratio: mu_hat / delta_hat });
+        points.push(RatioPoint {
+            delta_hat,
+            ratio: mu_hat / delta_hat,
+        });
     }
     points
 }
@@ -102,7 +105,12 @@ mod tests {
     #[test]
     fn ratio_points_are_sane() {
         let g = parallel_paths();
-        let opts = BoostOptions { threads: 2, seed: 31, max_sketches: Some(60_000), ..Default::default() };
+        let opts = BoostOptions {
+            threads: 2,
+            seed: 31,
+            max_sketches: Some(60_000),
+            ..Default::default()
+        };
         let (out, pool) = prr_boost(&g, &[NodeId(0)], 2, &opts);
         let pts = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &out.best, 100, 0.5, 7);
         assert!(!pts.is_empty());

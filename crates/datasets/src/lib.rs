@@ -85,12 +85,28 @@ impl Dataset {
     fn probability_model(self) -> ProbabilityModel {
         // E[lognormal(mu, sigma)] = exp(mu + sigma²/2); cap at 1.
         match self {
-            Dataset::Digg => ProbabilityModel::LogNormal { mu: -1.93, sigma: 1.0, cap: 1.0 },
-            Dataset::Flixster => ProbabilityModel::LogNormal { mu: -1.98, sigma: 1.0, cap: 1.0 },
+            Dataset::Digg => ProbabilityModel::LogNormal {
+                mu: -1.93,
+                sigma: 1.0,
+                cap: 1.0,
+            },
+            Dataset::Flixster => ProbabilityModel::LogNormal {
+                mu: -1.98,
+                sigma: 1.0,
+                cap: 1.0,
+            },
             // Twitter's learned probabilities are huge (mean 0.608): use a
             // tighter spread so the cap does not dominate.
-            Dataset::Twitter => ProbabilityModel::LogNormal { mu: -0.55, sigma: 0.45, cap: 1.0 },
-            Dataset::Flickr => ProbabilityModel::LogNormal { mu: -4.85, sigma: 1.0, cap: 1.0 },
+            Dataset::Twitter => ProbabilityModel::LogNormal {
+                mu: -0.55,
+                sigma: 0.45,
+                cap: 1.0,
+            },
+            Dataset::Flickr => ProbabilityModel::LogNormal {
+                mu: -4.85,
+                sigma: 1.0,
+                cap: 1.0,
+            },
         }
     }
 

@@ -62,9 +62,14 @@ pub fn exact_sigma(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId]) -> f64 {
         if prob == 0.0 {
             continue;
         }
-        let reach = count_reachable(g.num_nodes(), seeds, edges.iter().enumerate().filter_map(
-            |(i, &(u, v, _))| (outcome >> i & 1 == 1).then_some((u, v)),
-        ));
+        let reach = count_reachable(
+            g.num_nodes(),
+            seeds,
+            edges
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &(u, v, _))| (outcome >> i & 1 == 1).then_some((u, v))),
+        );
         total += prob * reach as f64;
     }
     total
@@ -217,7 +222,12 @@ mod tests {
     fn threeway_matches_twoway() {
         let g = figure1();
         let s = [NodeId(0)];
-        for boost in [vec![], vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+        for boost in [
+            vec![],
+            vec![NodeId(1)],
+            vec![NodeId(2)],
+            vec![NodeId(1), NodeId(2)],
+        ] {
             let a = exact_sigma(&g, &s, &boost);
             let b = exact_sigma_threeway(&g, &s, &boost);
             assert!((a - b).abs() < 1e-12, "boost {boost:?}: {a} vs {b}");
@@ -270,7 +280,11 @@ mod tests {
     #[test]
     fn count_reachable_handles_cycles() {
         let n = 3;
-        let edges = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(0))];
+        let edges = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(2), NodeId(0)),
+        ];
         assert_eq!(count_reachable(n, &[NodeId(0)], edges.iter().copied()), 3);
         assert_eq!(count_reachable(n, &[], edges.iter().copied()), 0);
     }

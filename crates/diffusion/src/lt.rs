@@ -53,9 +53,8 @@ pub fn lt_weights_from_probabilities(g: &DiGraph) -> DiGraph {
 /// Checks the LT weight constraint: boosted incoming weights sum to ≤ 1
 /// for every node (within floating-point slack).
 pub fn lt_weights_valid(g: &DiGraph) -> bool {
-    g.nodes().all(|v| {
-        g.in_edges(v).map(|(_, p)| p.boosted).sum::<f64>() <= 1.0 + 1e-9
-    })
+    g.nodes()
+        .all(|v| g.in_edges(v).map(|(_, p)| p.boosted).sum::<f64>() <= 1.0 + 1e-9)
 }
 
 /// One forward simulation of (boosted) LT: returns the number of activated

@@ -22,14 +22,22 @@ pub struct McConfig {
 
 impl Default for McConfig {
     fn default() -> Self {
-        McConfig { runs: 20_000, threads: 8, seed: 0x5EED }
+        McConfig {
+            runs: 20_000,
+            threads: 8,
+            seed: 0x5EED,
+        }
     }
 }
 
 impl McConfig {
     /// A small-budget configuration for tests and quick experiments.
     pub fn quick(runs: u32, seed: u64) -> Self {
-        McConfig { runs, threads: 4, seed }
+        McConfig {
+            runs,
+            threads: 4,
+            seed,
+        }
     }
 }
 
@@ -89,7 +97,10 @@ fn parallel_sum(cfg: &McConfig, per_run: impl Fn(u64) -> u64 + Sync) -> u64 {
                 scope.spawn(move || range.map(per_run).sum::<u64>())
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
 }
 
@@ -110,7 +121,11 @@ mod tests {
     fn sigma_matches_exact() {
         let g = figure1();
         let s = [NodeId(0)];
-        let cfg = McConfig { runs: 60_000, threads: 4, seed: 11 };
+        let cfg = McConfig {
+            runs: 60_000,
+            threads: 4,
+            seed: 11,
+        };
         let est = estimate_sigma(&g, &s, &[NodeId(1)], &cfg);
         let truth = exact_sigma(&g, &s, &[NodeId(1)]);
         assert!((est - truth).abs() < 0.01, "est {est} vs exact {truth}");
@@ -120,7 +135,11 @@ mod tests {
     fn boost_matches_exact_with_low_variance() {
         let g = figure1();
         let s = [NodeId(0)];
-        let cfg = McConfig { runs: 60_000, threads: 4, seed: 13 };
+        let cfg = McConfig {
+            runs: 60_000,
+            threads: 4,
+            seed: 13,
+        };
         let est = estimate_boost(&g, &s, &[NodeId(1), NodeId(2)], &cfg);
         let truth = exact_boost(&g, &s, &[NodeId(1), NodeId(2)]);
         assert!((est - truth).abs() < 0.01, "est {est} vs exact {truth}");
@@ -130,8 +149,26 @@ mod tests {
     fn thread_count_does_not_change_estimate() {
         let g = figure1();
         let s = [NodeId(0)];
-        let a = estimate_sigma(&g, &s, &[NodeId(1)], &McConfig { runs: 1000, threads: 1, seed: 5 });
-        let b = estimate_sigma(&g, &s, &[NodeId(1)], &McConfig { runs: 1000, threads: 7, seed: 5 });
+        let a = estimate_sigma(
+            &g,
+            &s,
+            &[NodeId(1)],
+            &McConfig {
+                runs: 1000,
+                threads: 1,
+                seed: 5,
+            },
+        );
+        let b = estimate_sigma(
+            &g,
+            &s,
+            &[NodeId(1)],
+            &McConfig {
+                runs: 1000,
+                threads: 7,
+                seed: 5,
+            },
+        );
         assert_eq!(a, b);
     }
 
@@ -148,7 +185,11 @@ mod tests {
     #[test]
     fn zero_runs_is_finite() {
         let g = figure1();
-        let cfg = McConfig { runs: 0, threads: 2, seed: 1 };
+        let cfg = McConfig {
+            runs: 0,
+            threads: 2,
+            seed: 1,
+        };
         let est = estimate_sigma(&g, &[NodeId(0)], &[], &cfg);
         assert_eq!(est, 0.0);
     }

@@ -75,13 +75,7 @@ pub fn mu_spread_pair(
 }
 
 /// Monte-Carlo estimate of `µ(B)` under the lower-bound model.
-pub fn estimate_mu(
-    g: &DiGraph,
-    seeds: &[NodeId],
-    boost: &[NodeId],
-    runs: u32,
-    seed: u64,
-) -> f64 {
+pub fn estimate_mu(g: &DiGraph, seeds: &[NodeId], boost: &[NodeId], runs: u32, seed: u64) -> f64 {
     let mask = BoostMask::from_nodes(g.num_nodes(), boost);
     let mut total = 0u64;
     for i in 0..runs as u64 {

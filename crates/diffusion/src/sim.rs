@@ -22,7 +22,9 @@ pub struct BoostMask {
 impl BoostMask {
     /// An empty mask for a graph with `n` nodes.
     pub fn empty(n: usize) -> Self {
-        BoostMask { bits: vec![false; n] }
+        BoostMask {
+            bits: vec![false; n],
+        }
     }
 
     /// Builds a mask from a list of boosted nodes.
@@ -130,7 +132,9 @@ impl CoupledRun {
     /// The coin for edge index `e`.
     #[inline]
     pub fn coin(&self, e: u32) -> f64 {
-        to_unit(splitmix64(self.seed ^ (e as u64).wrapping_mul(0xA24B_AED4_963E_E407)))
+        to_unit(splitmix64(
+            self.seed ^ (e as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        ))
     }
 
     /// Number of nodes activated from `seeds` when `boost` is boosted,
@@ -232,7 +236,10 @@ mod tests {
         for seed in 0..2000u64 {
             let run = CoupledRun::new(seed);
             let (base, boosted) = run.spread_pair(&g, &[NodeId(0)], &boost);
-            assert!(boosted >= base, "seed {seed}: boosted {boosted} < base {base}");
+            assert!(
+                boosted >= base,
+                "seed {seed}: boosted {boosted} < base {base}"
+            );
         }
     }
 

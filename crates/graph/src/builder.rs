@@ -153,7 +153,13 @@ impl GraphBuilder {
         }
         let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
         let mut in_sources = vec![0u32; m];
-        let mut in_probs = vec![EdgeProbs { base: 0.0, boosted: 0.0 }; m];
+        let mut in_probs = vec![
+            EdgeProbs {
+                base: 0.0,
+                boosted: 0.0
+            };
+            m
+        ];
         for &(u, v, p) in &self.edges {
             let slot = cursor[v as usize] as usize;
             in_sources[slot] = u;
@@ -210,7 +216,8 @@ mod tests {
     #[test]
     fn bidirected_adds_both_directions() {
         let mut b = GraphBuilder::new(2);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.19).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.19)
+            .unwrap();
         let g = b.build().unwrap();
         assert!(g.has_edge(NodeId(0), NodeId(1)));
         assert!(g.has_edge(NodeId(1), NodeId(0)));

@@ -1,3 +1,4 @@
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::NodeId;
@@ -8,7 +9,8 @@ use crate::NodeId;
 ///   `v` when `v` is *not* boosted.
 /// * `boosted` is `p'_uv`: the probability used when `v` *is* boosted
 ///   (Definition 1). The paper requires `p'_uv ≥ p_uv`.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EdgeProbs {
     /// Base influence probability `p_uv` (in `[0, 1]`).
     pub base: f64,
@@ -50,7 +52,8 @@ impl EdgeProbs {
 /// generation traverses backward. Each direction stores the neighbor id and
 /// the [`EdgeProbs`] inline, so a traversal touches a single contiguous
 /// array.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DiGraph {
     n: u32,
     out_offsets: Vec<u32>,
@@ -124,7 +127,10 @@ impl DiGraph {
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeProbs)> + '_ {
         let i = u.index();
-        let (lo, hi) = (self.out_offsets[i] as usize, self.out_offsets[i + 1] as usize);
+        let (lo, hi) = (
+            self.out_offsets[i] as usize,
+            self.out_offsets[i + 1] as usize,
+        );
         self.out_targets[lo..hi]
             .iter()
             .zip(&self.out_probs[lo..hi])
@@ -143,7 +149,10 @@ impl DiGraph {
         u: NodeId,
     ) -> impl Iterator<Item = (u32, NodeId, EdgeProbs)> + '_ {
         let i = u.index();
-        let (lo, hi) = (self.out_offsets[i] as usize, self.out_offsets[i + 1] as usize);
+        let (lo, hi) = (
+            self.out_offsets[i] as usize,
+            self.out_offsets[i + 1] as usize,
+        );
         self.out_targets[lo..hi]
             .iter()
             .zip(&self.out_probs[lo..hi])
@@ -167,7 +176,10 @@ impl DiGraph {
     /// Out-edges are sorted by target, so this is a binary search.
     pub fn edge(&self, u: NodeId, v: NodeId) -> Option<EdgeProbs> {
         let i = u.index();
-        let (lo, hi) = (self.out_offsets[i] as usize, self.out_offsets[i + 1] as usize);
+        let (lo, hi) = (
+            self.out_offsets[i] as usize,
+            self.out_offsets[i + 1] as usize,
+        );
         let slice = &self.out_targets[lo..hi];
         slice
             .binary_search(&v.0)
@@ -194,7 +206,10 @@ impl DiGraph {
     pub fn map_probs(&self, mut f: impl FnMut(NodeId, NodeId, EdgeProbs) -> EdgeProbs) -> DiGraph {
         let mut g = self.clone();
         for u in 0..self.n {
-            let (lo, hi) = (g.out_offsets[u as usize] as usize, g.out_offsets[u as usize + 1] as usize);
+            let (lo, hi) = (
+                g.out_offsets[u as usize] as usize,
+                g.out_offsets[u as usize + 1] as usize,
+            );
             for idx in lo..hi {
                 let v = g.out_targets[idx];
                 g.out_probs[idx] = f(NodeId(u), NodeId(v), g.out_probs[idx]);
@@ -202,7 +217,10 @@ impl DiGraph {
         }
         // Rebuild the reverse probability array to stay consistent.
         for v in 0..self.n {
-            let (lo, hi) = (g.in_offsets[v as usize] as usize, g.in_offsets[v as usize + 1] as usize);
+            let (lo, hi) = (
+                g.in_offsets[v as usize] as usize,
+                g.in_offsets[v as usize + 1] as usize,
+            );
             for idx in lo..hi {
                 let u = g.in_sources[idx];
                 g.in_probs[idx] = g

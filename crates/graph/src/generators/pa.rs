@@ -67,17 +67,22 @@ mod tests {
     #[test]
     fn produces_connected_ish_graph() {
         let mut rng = SmallRng::seed_from_u64(21);
-        let g = preferential_attachment(200, 3, 0.3, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        let g =
+            preferential_attachment(200, 3, 0.3, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
         assert_eq!(g.num_nodes(), 200);
         // Every node except node 0 has at least one out-edge.
-        let isolated = g.nodes().filter(|&u| g.out_degree(u) + g.in_degree(u) == 0).count();
+        let isolated = g
+            .nodes()
+            .filter(|&u| g.out_degree(u) + g.in_degree(u) == 0)
+            .count();
         assert_eq!(isolated, 0);
     }
 
     #[test]
     fn heavy_tail_in_degree() {
         let mut rng = SmallRng::seed_from_u64(23);
-        let g = preferential_attachment(2000, 2, 0.0, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+        let g =
+            preferential_attachment(2000, 2, 0.0, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
         let max_in = g.nodes().map(|u| g.in_degree(u)).max().unwrap();
         let avg_in = g.num_edges() as f64 / g.num_nodes() as f64;
         // Power-law hubs: the max should dwarf the average.

@@ -23,10 +23,18 @@ impl TreeTopology {
     /// (i.e. exactly `n−1` edges, each child appearing once, parents
     /// preceding children is *not* required).
     pub fn from_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
-        assert_eq!(edges.len(), n.saturating_sub(1), "a tree on {n} nodes has {} edges", n.saturating_sub(1));
+        assert_eq!(
+            edges.len(),
+            n.saturating_sub(1),
+            "a tree on {n} nodes has {} edges",
+            n.saturating_sub(1)
+        );
         let mut seen_child = vec![false; n];
         for &(p, c) in &edges {
-            assert!((p as usize) < n && (c as usize) < n, "edge endpoint out of range");
+            assert!(
+                (p as usize) < n && (c as usize) < n,
+                "edge endpoint out of range"
+            );
             assert!(!seen_child[c as usize], "node {c} has two parents");
             assert_ne!(c, 0, "root cannot be a child");
             seen_child[c as usize] = true;
@@ -82,7 +90,11 @@ pub fn complete_binary_tree(n: usize) -> TreeTopology {
 /// node in `0..i`. `max_children` optionally caps the number of children a
 /// node may receive (useful for exercising the general DP on bounded-degree
 /// trees).
-pub fn random_tree<R: Rng + ?Sized>(n: usize, max_children: Option<usize>, rng: &mut R) -> TreeTopology {
+pub fn random_tree<R: Rng + ?Sized>(
+    n: usize,
+    max_children: Option<usize>,
+    rng: &mut R,
+) -> TreeTopology {
     let mut child_count = vec![0usize; n];
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for c in 1..n as u32 {

@@ -1,5 +1,8 @@
 use std::fmt;
 
+// Serialization is gated: the offline build environment has no serde. The
+// derives return once a vendored serde (with derive macros) is available.
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node in a [`DiGraph`](crate::DiGraph).
@@ -8,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// `u32` to halve the memory footprint of adjacency arrays relative to
 /// `usize` (the paper's largest network, Flickr, has 1.45M nodes — well
 /// within range).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -45,7 +45,7 @@ impl ProbabilityModel {
             ProbabilityModel::Constant(p) => p,
             ProbabilityModel::Trivalency => {
                 const LEVELS: [f64; 3] = [0.1, 0.01, 0.001];
-                LEVELS[rng.random_range(0..3)]
+                LEVELS[rng.random_range(0..3usize)]
             }
             ProbabilityModel::WeightedCascade => {
                 if in_degree == 0 {
@@ -138,7 +138,11 @@ mod tests {
     #[test]
     fn log_normal_within_cap() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let model = ProbabilityModel::LogNormal { mu: -2.0, sigma: 1.0, cap: 0.8 };
+        let model = ProbabilityModel::LogNormal {
+            mu: -2.0,
+            sigma: 1.0,
+            cap: 0.8,
+        };
         for _ in 0..200 {
             let p = model.sample(&mut rng, 0);
             assert!((0.0..=0.8).contains(&p));

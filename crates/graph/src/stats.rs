@@ -90,7 +90,10 @@ pub fn weakly_connected_components(g: &DiGraph) -> (Vec<u32>, Vec<usize>) {
 pub fn largest_weakly_connected_component(g: &DiGraph) -> (DiGraph, Vec<NodeId>) {
     let (labels, sizes) = weakly_connected_components(g);
     let Some((largest, _)) = sizes.iter().enumerate().max_by_key(|&(_, s)| *s) else {
-        return (GraphBuilder::new(0).build().expect("empty graph builds"), Vec::new());
+        return (
+            GraphBuilder::new(0).build().expect("empty graph builds"),
+            Vec::new(),
+        );
     };
     let largest = largest as u32;
 
@@ -111,7 +114,10 @@ pub fn largest_weakly_connected_component(g: &DiGraph) -> (DiGraph, Vec<NodeId>)
                 .expect("probabilities already validated");
         }
     }
-    (b.build().expect("subgraph of valid graph is valid"), old_of_new)
+    (
+        b.build().expect("subgraph of valid graph is valid"),
+        old_of_new,
+    )
 }
 
 /// Drops zero-probability edges, keeping everything else.
@@ -135,7 +141,8 @@ mod tests {
         let mut b = GraphBuilder::new(5);
         b.add_edge(NodeId(0), NodeId(1), 0.5, 0.6).unwrap();
         b.add_edge(NodeId(1), NodeId(2), 0.5, 0.6).unwrap();
-        b.add_bidirected_edge(NodeId(3), NodeId(4), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(3), NodeId(4), 0.1, 0.2)
+            .unwrap();
         b.build().unwrap()
     }
 

@@ -1,0 +1,470 @@
+//! Flat arena storage for pools of compressed PRR-graphs.
+//!
+//! PRR-Boost retains `10^5`–`10^7` compressed PRR-graphs and re-traverses
+//! them on every `Δ̂` evaluation and greedy round. Storing each graph as an
+//! independent [`CompressedPrr`] scatters those traversals across the heap
+//! (seven allocations per graph). The [`PrrArena`] concatenates every
+//! graph's node table, CSR offsets, packed edges and critical set into one
+//! shared `Vec` each, with a fixed-size [`GraphMeta`] record per graph — so
+//! a full pool sweep is a linear scan over a handful of flat arrays.
+//!
+//! Per-node edge offsets are stored *absolute* (into the shared edge
+//! arrays) as `u32`, capping an arena at `2^32` stored edges — orders of
+//! magnitude above the paper's largest runs; [`PrrArena::push`] asserts the
+//! cap.
+//!
+//! [`PrrGraphView`] is the borrowed form of one graph — either a slice of
+//! an arena or a borrow of a standalone [`CompressedPrr`] — and owns the
+//! evaluation primitives `f_R(B)` and the B-augmented critical set.
+
+use kboost_diffusion::sim::BoostMask;
+use kboost_graph::NodeId;
+
+use crate::graph::{unpack_edge, Augmented, CompressedPrr, PrrEvalScratch, SUPER_SEED};
+
+/// Per-graph record: where the graph's slices live in the shared arrays.
+#[derive(Clone, Copy, Debug)]
+struct GraphMeta {
+    /// Local id of the root.
+    root: u32,
+    /// Start of this graph's entries in `globals`.
+    node_base: u32,
+    /// Number of local nodes (super-seed included).
+    nodes: u32,
+    /// Start of this graph's `nodes + 1` entries in `fwd_off` / `bwd_off`.
+    off_base: u32,
+    /// Start of this graph's entries in `critical`.
+    crit_base: u32,
+    /// Number of critical nodes.
+    crit_len: u32,
+    /// Phase-I edge count before compression.
+    uncompressed: u32,
+}
+
+/// A flat, append-only pool of compressed PRR-graphs.
+///
+/// Immutable once filled; shared across worker threads by reference (all
+/// parallel consumers only read).
+#[derive(Default)]
+pub struct PrrArena {
+    meta: Vec<GraphMeta>,
+    /// Concatenated local → global id tables.
+    globals: Vec<u32>,
+    /// Concatenated per-node forward CSR offsets, absolute into `fwd`.
+    fwd_off: Vec<u32>,
+    /// Concatenated packed forward edges.
+    fwd: Vec<u32>,
+    /// Concatenated per-node backward CSR offsets, absolute into `bwd`.
+    bwd_off: Vec<u32>,
+    /// Concatenated packed backward edges.
+    bwd: Vec<u32>,
+    /// Concatenated critical sets.
+    critical: Vec<NodeId>,
+}
+
+impl PrrArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an arena by draining the boostable payloads of a sketch pool.
+    pub fn from_payloads<I: IntoIterator<Item = Option<CompressedPrr>>>(payloads: I) -> Self {
+        let mut arena = PrrArena::new();
+        for p in payloads.into_iter().flatten() {
+            arena.push(&p);
+        }
+        arena
+    }
+
+    /// Appends one compressed graph, copying its arrays into the shared
+    /// storage with offsets rebased.
+    pub fn push(&mut self, g: &CompressedPrr) {
+        let n = g.globals.len();
+        let fwd_base = self.fwd.len() as u64;
+        let bwd_base = self.bwd.len() as u64;
+        assert!(
+            fwd_base + g.fwd.len() as u64 <= u32::MAX as u64 + 1
+                && bwd_base + g.bwd.len() as u64 <= u32::MAX as u64 + 1,
+            "PrrArena exceeds the 2^32 stored-edge cap"
+        );
+
+        self.meta.push(GraphMeta {
+            root: g.root,
+            node_base: self.globals.len() as u32,
+            nodes: n as u32,
+            off_base: self.fwd_off.len() as u32,
+            crit_base: self.critical.len() as u32,
+            crit_len: g.critical.len() as u32,
+            uncompressed: g.uncompressed_edges,
+        });
+        self.globals.extend_from_slice(&g.globals);
+        self.fwd_off
+            .extend(g.fwd_offsets.iter().map(|&o| fwd_base as u32 + o));
+        self.fwd.extend_from_slice(&g.fwd);
+        self.bwd_off
+            .extend(g.bwd_offsets.iter().map(|&o| bwd_base as u32 + o));
+        self.bwd.extend_from_slice(&g.bwd);
+        self.critical.extend_from_slice(&g.critical);
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the arena holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Borrows graph `i`.
+    #[inline]
+    pub fn graph(&self, i: usize) -> PrrGraphView<'_> {
+        let m = self.meta[i];
+        let (nb, n) = (m.node_base as usize, m.nodes as usize);
+        let ob = m.off_base as usize;
+        let cb = m.crit_base as usize;
+        PrrGraphView {
+            root: m.root,
+            globals: &self.globals[nb..nb + n],
+            fwd_off: &self.fwd_off[ob..ob + n + 1],
+            fwd: &self.fwd,
+            bwd_off: &self.bwd_off[ob..ob + n + 1],
+            bwd: &self.bwd,
+            critical: &self.critical[cb..cb + m.crit_len as usize],
+            uncompressed: m.uncompressed,
+        }
+    }
+
+    /// Iterates over all stored graphs.
+    pub fn iter(&self) -> impl Iterator<Item = PrrGraphView<'_>> {
+        (0..self.len()).map(|i| self.graph(i))
+    }
+
+    /// Total local nodes across all graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Total stored (compressed) edges across all graphs.
+    pub fn total_edges(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Total critical-set entries across all graphs.
+    pub fn total_critical(&self) -> usize {
+        self.critical.len()
+    }
+
+    /// Approximate heap bytes of the shared storage.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.meta.len() * size_of::<GraphMeta>()
+            + self.globals.len() * size_of::<u32>()
+            + (self.fwd_off.len() + self.bwd_off.len()) * size_of::<u32>()
+            + (self.fwd.len() + self.bwd.len()) * size_of::<u32>()
+            + self.critical.len() * size_of::<NodeId>()
+    }
+}
+
+/// A borrowed compressed PRR-graph: evaluation interface shared by
+/// arena-resident graphs and standalone [`CompressedPrr`]s.
+#[derive(Clone, Copy)]
+pub struct PrrGraphView<'a> {
+    root: u32,
+    globals: &'a [u32],
+    /// Per-node forward offsets (`n + 1` entries), absolute into `fwd`.
+    fwd_off: &'a [u32],
+    fwd: &'a [u32],
+    bwd_off: &'a [u32],
+    bwd: &'a [u32],
+    critical: &'a [NodeId],
+    uncompressed: u32,
+}
+
+impl<'a> PrrGraphView<'a> {
+    /// Assembles a view from raw parts (used by [`CompressedPrr::view`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        root: u32,
+        globals: &'a [u32],
+        fwd_off: &'a [u32],
+        fwd: &'a [u32],
+        bwd_off: &'a [u32],
+        bwd: &'a [u32],
+        critical: &'a [NodeId],
+        uncompressed: u32,
+    ) -> Self {
+        PrrGraphView {
+            root,
+            globals,
+            fwd_off,
+            fwd,
+            bwd_off,
+            bwd,
+            critical,
+            uncompressed,
+        }
+    }
+
+    /// Number of local nodes (super-seed included).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        (self.fwd_off[self.num_nodes()] - self.fwd_off[0]) as usize
+    }
+
+    /// Number of phase-I edges before compression.
+    pub fn uncompressed_edges(&self) -> u32 {
+        self.uncompressed
+    }
+
+    /// The critical nodes `C_R = {v : f_R({v}) = 1}` (global ids).
+    pub fn critical(&self) -> &'a [NodeId] {
+        self.critical
+    }
+
+    /// The local id of the root.
+    pub fn root_local(&self) -> u32 {
+        self.root
+    }
+
+    /// The global id of local node `v`, or `None` for the super-seed.
+    pub fn global_of(&self, v: u32) -> Option<NodeId> {
+        let g = self.globals[v as usize];
+        (g != SUPER_SEED).then_some(NodeId(g))
+    }
+
+    /// Packed forward edges of local node `u`.
+    #[inline]
+    fn out_edges(&self, u: u32) -> &'a [u32] {
+        let (lo, hi) = (
+            self.fwd_off[u as usize] as usize,
+            self.fwd_off[u as usize + 1] as usize,
+        );
+        &self.fwd[lo..hi]
+    }
+
+    /// Packed backward edges of local node `u` (sources of in-edges).
+    #[inline]
+    fn in_edges(&self, u: u32) -> &'a [u32] {
+        let (lo, hi) = (
+            self.bwd_off[u as usize] as usize,
+            self.bwd_off[u as usize + 1] as usize,
+        );
+        &self.bwd[lo..hi]
+    }
+
+    #[inline]
+    fn traversable(&self, to: u32, boosted_edge: bool, boost: &BoostMask) -> bool {
+        if !boosted_edge {
+            return true;
+        }
+        let g = self.globals[to as usize];
+        g != SUPER_SEED && boost.contains(NodeId(g))
+    }
+
+    /// Calls `visit` for every distinct boost-edge head (global id) of this
+    /// graph — the nodes whose boosting can change `f_R`. Heads are emitted
+    /// in ascending local-id order without duplicates (a head's in-edges
+    /// are contiguous in the backward CSR).
+    pub fn for_each_boost_head(&self, mut visit: impl FnMut(NodeId)) {
+        for v in 0..self.num_nodes() as u32 {
+            if self.in_edges(v).iter().any(|&e| unpack_edge(e).1) {
+                let g = self.globals[v as usize];
+                if g != SUPER_SEED {
+                    visit(NodeId(g));
+                }
+            }
+        }
+    }
+
+    /// Evaluates `f_R(B)`: does boosting `B` activate the root?
+    pub fn f(&self, boost: &BoostMask, scratch: &mut PrrEvalScratch) -> bool {
+        let n = self.num_nodes();
+        scratch.fwd_mark.clear();
+        scratch.fwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.fwd_mark[0] = true;
+        scratch.stack.push(0);
+        while let Some(u) = scratch.stack.pop() {
+            if u == self.root {
+                return true;
+            }
+            for &e in self.out_edges(u) {
+                let (v, boosted_edge) = unpack_edge(e);
+                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
+                    scratch.fwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Computes the *B-augmented critical set*: nodes `v ∉ B` such that
+    /// `f_R(B ∪ {v}) = 1`. Appends the global ids to `out` (deduplicated
+    /// within this graph). Returns [`Augmented::Covered`] without touching
+    /// `out` when `f_R(B) = 1` already.
+    ///
+    /// Soundness: `f_R(B∪{v}) = 1` iff some boost edge `(u, v)` has `u`
+    /// reachable from the super-seed and `v` reaching the root, both under
+    /// `B`-traversability — take the first entry of `v` on any witnessing
+    /// path for the forward half and the last exit for the backward half.
+    pub fn augmented_critical(
+        &self,
+        boost: &BoostMask,
+        scratch: &mut PrrEvalScratch,
+        out: &mut Vec<NodeId>,
+    ) -> Augmented {
+        let n = self.num_nodes();
+        scratch.fwd_mark.clear();
+        scratch.fwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.fwd_mark[0] = true;
+        scratch.stack.push(0);
+        while let Some(u) = scratch.stack.pop() {
+            for &e in self.out_edges(u) {
+                let (v, boosted_edge) = unpack_edge(e);
+                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
+                    scratch.fwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+        if scratch.fwd_mark[self.root as usize] {
+            return Augmented::Covered;
+        }
+
+        scratch.bwd_mark.clear();
+        scratch.bwd_mark.resize(n, false);
+        scratch.stack.clear();
+        scratch.bwd_mark[self.root as usize] = true;
+        scratch.stack.push(self.root);
+        while let Some(u) = scratch.stack.pop() {
+            for &e in self.in_edges(u) {
+                // Edge (v → u); traversable if live or head `u` boosted.
+                let (v, boosted_edge) = unpack_edge(e);
+                if !scratch.bwd_mark[v as usize] && self.traversable(u, boosted_edge, boost) {
+                    scratch.bwd_mark[v as usize] = true;
+                    scratch.stack.push(v);
+                }
+            }
+        }
+
+        // For every boost edge (u, v): if u is forward-reachable and v
+        // backward-reaches the root, boosting v closes the gap.
+        let before = out.len();
+        for u in 0..n as u32 {
+            if !scratch.fwd_mark[u as usize] {
+                continue;
+            }
+            for &e in self.out_edges(u) {
+                let (v, boosted_edge) = unpack_edge(e);
+                if boosted_edge && scratch.bwd_mark[v as usize] {
+                    let g = self.globals[v as usize];
+                    if g != SUPER_SEED && !boost.contains(NodeId(g)) {
+                        let id = NodeId(g);
+                        if !out[before..].contains(&id) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        Augmented::Open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SUPER_SEED;
+
+    /// super --boost--> a --live--> root, plus super --boost--> root.
+    fn sample(a: u32, r: u32) -> CompressedPrr {
+        let out_adj = vec![
+            vec![(1u32, true), (2u32, true)],
+            vec![(2u32, false)],
+            vec![],
+        ];
+        CompressedPrr::from_adjacency(
+            2,
+            vec![SUPER_SEED, a, r],
+            &out_adj,
+            vec![NodeId(a), NodeId(r)],
+            42,
+        )
+    }
+
+    #[test]
+    fn arena_roundtrips_graphs() {
+        let g1 = sample(10, 20);
+        let g2 = sample(5, 6);
+        let mut arena = PrrArena::new();
+        arena.push(&g1);
+        arena.push(&g2);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.total_nodes(), 6);
+        assert_eq!(arena.total_edges(), 6);
+        assert_eq!(arena.total_critical(), 4);
+        assert!(arena.memory_bytes() > 0);
+
+        let mut scratch = PrrEvalScratch::default();
+        for (view, original) in arena.iter().zip([&g1, &g2]) {
+            assert_eq!(view.num_nodes(), original.num_nodes());
+            assert_eq!(view.num_edges(), original.num_edges());
+            assert_eq!(view.critical(), original.critical());
+            assert_eq!(view.uncompressed_edges(), original.uncompressed_edges());
+            assert_eq!(view.root_local(), original.root_local());
+            for boosted in [vec![], vec![NodeId(10)], vec![NodeId(5)], vec![NodeId(20)]] {
+                let mask = BoostMask::from_nodes(30, &boosted);
+                let mut s2 = PrrEvalScratch::default();
+                assert_eq!(view.f(&mask, &mut scratch), original.f(&mask, &mut s2));
+                let mut out_view = Vec::new();
+                let mut out_orig = Vec::new();
+                let a = view.augmented_critical(&mask, &mut scratch, &mut out_view);
+                let b = original.augmented_critical(&mask, &mut s2, &mut out_orig);
+                assert_eq!(out_view, out_orig);
+                assert!(matches!(
+                    (a, b),
+                    (Augmented::Covered, Augmented::Covered) | (Augmented::Open, Augmented::Open)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn from_payloads_skips_empty_slots() {
+        let arena =
+            PrrArena::from_payloads(vec![None, Some(sample(1, 2)), None, Some(sample(3, 4))]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.graph(1).critical(), &[NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn boost_heads_deduplicated() {
+        // Two boost edges into the same head must report it once.
+        let out_adj = vec![vec![(1u32, true), (2, false)], vec![], vec![(1u32, true)]];
+        let g =
+            CompressedPrr::from_adjacency(1, vec![SUPER_SEED, 7, 9], &out_adj, vec![NodeId(7)], 3);
+        let mut arena = PrrArena::new();
+        arena.push(&g);
+        let mut heads = Vec::new();
+        arena.graph(0).for_each_boost_head(|v| heads.push(v));
+        assert_eq!(heads, vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn empty_arena() {
+        let arena = PrrArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.iter().count(), 0);
+    }
+}

@@ -222,7 +222,11 @@ pub fn compress(raw: &RawPrr, k: usize) -> Option<CompressedPrr> {
 
 /// 0-1 BFS over an implicit graph: returns the per-node distance from
 /// `start`, where edge weight is 1 for boost edges and 0 for live edges.
-fn zero_one_bfs(n: usize, start: u32, for_each_edge: impl Fn(u32, &mut dyn FnMut(u32, bool))) -> Vec<u32> {
+fn zero_one_bfs(
+    n: usize,
+    start: u32,
+    for_each_edge: impl Fn(u32, &mut dyn FnMut(u32, bool)),
+) -> Vec<u32> {
     let mut dist = vec![INF; n];
     let mut deque = std::collections::VecDeque::new();
     dist[start as usize] = 0;
@@ -274,9 +278,9 @@ fn reach(
 mod tests {
     use super::*;
     use crate::gen::{raw_f, PrrGenerator};
+    use crate::graph::PrrEvalScratch;
     use kboost_diffusion::sim::BoostMask;
     use kboost_graph::{DiGraph, GraphBuilder};
-    use crate::graph::PrrEvalScratch;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -298,8 +302,10 @@ mod tests {
             if (bits.count_ones() as usize) > k {
                 continue;
             }
-            let members: Vec<NodeId> =
-                (0..n as u32).filter(|i| bits >> i & 1 == 1).map(NodeId).collect();
+            let members: Vec<NodeId> = (0..n as u32)
+                .filter(|i| bits >> i & 1 == 1)
+                .map(NodeId)
+                .collect();
             let mask = BoostMask::from_nodes(n, &members);
             let expected = raw_f(&raw, &mask);
             let got = compressed

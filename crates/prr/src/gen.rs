@@ -61,7 +61,11 @@ impl GenScratch {
     const INF: u32 = u32::MAX;
 
     fn new() -> Self {
-        GenScratch { dist: Vec::new(), stamp: Vec::new(), round: 0 }
+        GenScratch {
+            dist: Vec::new(),
+            stamp: Vec::new(),
+            round: 0,
+        }
     }
 
     fn begin(&mut self, n: usize) {
@@ -100,7 +104,11 @@ thread_local! {
 impl<'g> PrrGenerator<'g> {
     /// Creates a generator for seeds `S` and budget `k`.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
-        PrrGenerator { g, seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds), k }
+        PrrGenerator {
+            g,
+            seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds),
+            k,
+        }
     }
 
     /// The boost budget `k` this generator prunes at.
@@ -156,7 +164,8 @@ impl<'g> PrrGenerator<'g> {
         }
         SCRATCH.with_borrow_mut(|scratch| {
             scratch.begin(self.g.num_nodes());
-            let mut deque: std::collections::VecDeque<(u32, u32)> = std::collections::VecDeque::new();
+            let mut deque: std::collections::VecDeque<(u32, u32)> =
+                std::collections::VecDeque::new();
             let mut edges: Vec<(u32, u32, bool)> = Vec::new();
             let mut seeds_found: Vec<u32> = Vec::new();
 
@@ -204,7 +213,11 @@ impl<'g> PrrGenerator<'g> {
             if seeds_found.is_empty() {
                 Phase1::Hopeless
             } else {
-                Phase1::Raw(RawPrr { root: root.0, edges, seeds: seeds_found })
+                Phase1::Raw(RawPrr {
+                    root: root.0,
+                    edges,
+                    seeds: seeds_found,
+                })
             }
         })
     }
@@ -318,7 +331,10 @@ mod tests {
         let g = figure1();
         let gen = PrrGenerator::new(&g, &[NodeId(0)], 2);
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(matches!(gen.sample_rooted(NodeId(0), &mut rng), PrrOutcome::Activated));
+        assert!(matches!(
+            gen.sample_rooted(NodeId(0), &mut rng),
+            PrrOutcome::Activated
+        ));
     }
 
     #[test]
@@ -355,9 +371,15 @@ mod tests {
         let g = b.build().unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let gen1 = PrrGenerator::new(&g, &[NodeId(0)], 1);
-        assert!(matches!(gen1.sample_rooted(NodeId(2), &mut rng), PrrOutcome::Hopeless));
+        assert!(matches!(
+            gen1.sample_rooted(NodeId(2), &mut rng),
+            PrrOutcome::Hopeless
+        ));
         let gen2 = PrrGenerator::new(&g, &[NodeId(0)], 2);
-        assert!(matches!(gen2.sample_rooted(NodeId(2), &mut rng), PrrOutcome::Boostable(_)));
+        assert!(matches!(
+            gen2.sample_rooted(NodeId(2), &mut rng),
+            PrrOutcome::Boostable(_)
+        ));
     }
 
     #[test]
@@ -372,7 +394,10 @@ mod tests {
         let raw = gen.phase1_raw(NodeId(2), &mut rng).expect("boostable");
         assert!(!raw_f(&raw, &BoostMask::empty(3)));
         assert!(!raw_f(&raw, &BoostMask::from_nodes(3, &[NodeId(1)])));
-        assert!(raw_f(&raw, &BoostMask::from_nodes(3, &[NodeId(1), NodeId(2)])));
+        assert!(raw_f(
+            &raw,
+            &BoostMask::from_nodes(3, &[NodeId(1), NodeId(2)])
+        ));
     }
 
     #[test]

@@ -1,11 +1,35 @@
 //! The compressed PRR-graph representation and its evaluation primitives.
+//!
+//! Edges are stored *packed*: a single `u32` holds the local head id in the
+//! low 31 bits and the live-upon-boost flag in the top bit
+//! ([`BOOST_BIT`]). A standalone [`CompressedPrr`] owns its arrays; the
+//! evaluation logic lives on the borrowed [`PrrGraphView`] so the flat
+//! [`PrrArena`](crate::arena::PrrArena) shares it without copying.
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::NodeId;
 
+use crate::arena::PrrGraphView;
+
 /// Sentinel "global id" of the super-seed node (it aggregates the whole
 /// live-reachable seed region and corresponds to no single original node).
 pub const SUPER_SEED: u32 = u32::MAX;
+
+/// High bit of a packed edge: set iff the edge is live-upon-boost.
+pub const BOOST_BIT: u32 = 1 << 31;
+
+/// Packs an edge head and its boost flag into one `u32`.
+#[inline]
+pub(crate) fn pack_edge(to: u32, boost: bool) -> u32 {
+    debug_assert!(to < BOOST_BIT, "local id overflows packed edge");
+    to | ((boost as u32) << 31)
+}
+
+/// Unpacks an edge into `(head, is_boost)`.
+#[inline]
+pub(crate) fn unpack_edge(edge: u32) -> (u32, bool) {
+    (edge & !BOOST_BIT, edge & BOOST_BIT != 0)
+}
 
 /// A compressed boostable PRR-graph (output of Phase II).
 ///
@@ -14,23 +38,23 @@ pub const SUPER_SEED: u32 = u32::MAX;
 /// super-seed when boost edges with heads in `B` are traversable.
 #[derive(Clone, Debug)]
 pub struct CompressedPrr {
-    root: u32,
+    pub(crate) root: u32,
     /// Local → global id; `globals[0] == SUPER_SEED`.
-    globals: Vec<u32>,
-    fwd_offsets: Vec<u32>,
-    fwd: Vec<(u32, bool)>,
-    bwd_offsets: Vec<u32>,
-    bwd: Vec<(u32, bool)>,
-    critical: Vec<NodeId>,
-    uncompressed_edges: u32,
+    pub(crate) globals: Vec<u32>,
+    pub(crate) fwd_offsets: Vec<u32>,
+    pub(crate) fwd: Vec<u32>,
+    pub(crate) bwd_offsets: Vec<u32>,
+    pub(crate) bwd: Vec<u32>,
+    pub(crate) critical: Vec<NodeId>,
+    pub(crate) uncompressed_edges: u32,
 }
 
 /// Reusable buffers for PRR-graph traversals.
 #[derive(Default)]
 pub struct PrrEvalScratch {
-    fwd_mark: Vec<bool>,
-    bwd_mark: Vec<bool>,
-    stack: Vec<u32>,
+    pub(crate) fwd_mark: Vec<bool>,
+    pub(crate) bwd_mark: Vec<bool>,
+    pub(crate) stack: Vec<u32>,
 }
 
 /// Outcome of the B-augmented criticality computation.
@@ -62,7 +86,7 @@ impl CompressedPrr {
         }
         let mut fwd = Vec::with_capacity(m);
         for adj in out_adj {
-            fwd.extend_from_slice(adj);
+            fwd.extend(adj.iter().map(|&(to, boost)| pack_edge(to, boost)));
         }
 
         let mut bwd_counts = vec![0u32; n + 1];
@@ -76,15 +100,40 @@ impl CompressedPrr {
             bwd_offsets[i + 1] += bwd_offsets[i];
         }
         let mut cursor: Vec<u32> = bwd_offsets[..n].to_vec();
-        let mut bwd = vec![(0u32, false); m];
+        let mut bwd = vec![0u32; m];
         for (from, adj) in out_adj.iter().enumerate() {
             for &(to, boost) in adj {
-                bwd[cursor[to as usize] as usize] = (from as u32, boost);
+                bwd[cursor[to as usize] as usize] = pack_edge(from as u32, boost);
                 cursor[to as usize] += 1;
             }
         }
 
-        CompressedPrr { root, globals, fwd_offsets, fwd, bwd_offsets, bwd, critical, uncompressed_edges }
+        CompressedPrr {
+            root,
+            globals,
+            fwd_offsets,
+            fwd,
+            bwd_offsets,
+            bwd,
+            critical,
+            uncompressed_edges,
+        }
+    }
+
+    /// Borrows this graph as a [`PrrGraphView`] — the shared evaluation
+    /// interface also used for arena-resident graphs.
+    #[inline]
+    pub fn view(&self) -> PrrGraphView<'_> {
+        PrrGraphView::from_parts(
+            self.root,
+            &self.globals,
+            &self.fwd_offsets,
+            &self.fwd,
+            &self.bwd_offsets,
+            &self.bwd,
+            &self.critical,
+            self.uncompressed_edges,
+        )
     }
 
     /// Number of local nodes (super-seed included).
@@ -114,17 +163,7 @@ impl CompressedPrr {
 
     /// The global id of local node `v`, or `None` for the super-seed.
     pub fn global_of(&self, v: u32) -> Option<NodeId> {
-        let g = self.globals[v as usize];
-        (g != SUPER_SEED).then_some(NodeId(g))
-    }
-
-    #[inline]
-    fn traversable(&self, to: u32, boosted_edge: bool, boost: &BoostMask) -> bool {
-        if !boosted_edge {
-            return true;
-        }
-        let g = self.globals[to as usize];
-        g != SUPER_SEED && boost.contains(NodeId(g))
+        self.view().global_of(v)
     }
 
     /// Evaluates `f_R(B)`: does boosting `B` activate the root?
@@ -132,98 +171,18 @@ impl CompressedPrr {
     /// For a stored (boostable) graph there is no live super-seed→root
     /// path, so this is exactly Definition 3's `f_R`.
     pub fn f(&self, boost: &BoostMask, scratch: &mut PrrEvalScratch) -> bool {
-        let n = self.num_nodes();
-        scratch.fwd_mark.clear();
-        scratch.fwd_mark.resize(n, false);
-        scratch.stack.clear();
-        scratch.fwd_mark[0] = true;
-        scratch.stack.push(0);
-        while let Some(u) = scratch.stack.pop() {
-            if u == self.root {
-                return true;
-            }
-            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
-            for &(v, boosted_edge) in &self.fwd[lo..hi] {
-                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
-                    scratch.fwd_mark[v as usize] = true;
-                    scratch.stack.push(v);
-                }
-            }
-        }
-        false
+        self.view().f(boost, scratch)
     }
 
-    /// Computes the *B-augmented critical set*: nodes `v ∉ B` such that
-    /// `f_R(B ∪ {v}) = 1`. Appends the global ids to `out` (deduplicated
-    /// within this graph). Returns [`Augmented::Covered`] without touching
-    /// `out` when `f_R(B) = 1` already.
-    ///
-    /// Soundness: `f_R(B∪{v}) = 1` iff some boost edge `(u, v)` has `u`
-    /// reachable from the super-seed and `v` reaching the root, both under
-    /// `B`-traversability — take the first entry of `v` on any witnessing
-    /// path for the forward half and the last exit for the backward half.
+    /// Computes the *B-augmented critical set*; see
+    /// [`PrrGraphView::augmented_critical`].
     pub fn augmented_critical(
         &self,
         boost: &BoostMask,
         scratch: &mut PrrEvalScratch,
         out: &mut Vec<NodeId>,
     ) -> Augmented {
-        let n = self.num_nodes();
-        scratch.fwd_mark.clear();
-        scratch.fwd_mark.resize(n, false);
-        scratch.stack.clear();
-        scratch.fwd_mark[0] = true;
-        scratch.stack.push(0);
-        while let Some(u) = scratch.stack.pop() {
-            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
-            for &(v, boosted_edge) in &self.fwd[lo..hi] {
-                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
-                    scratch.fwd_mark[v as usize] = true;
-                    scratch.stack.push(v);
-                }
-            }
-        }
-        if scratch.fwd_mark[self.root as usize] {
-            return Augmented::Covered;
-        }
-
-        scratch.bwd_mark.clear();
-        scratch.bwd_mark.resize(n, false);
-        scratch.stack.clear();
-        scratch.bwd_mark[self.root as usize] = true;
-        scratch.stack.push(self.root);
-        while let Some(u) = scratch.stack.pop() {
-            let (lo, hi) = (self.bwd_offsets[u as usize] as usize, self.bwd_offsets[u as usize + 1] as usize);
-            for &(v, boosted_edge) in &self.bwd[lo..hi] {
-                // Edge (v → u); traversable if live or head `u` boosted.
-                if !scratch.bwd_mark[v as usize] && self.traversable(u, boosted_edge, boost) {
-                    scratch.bwd_mark[v as usize] = true;
-                    scratch.stack.push(v);
-                }
-            }
-        }
-
-        // For every boost edge (u, v): if u is forward-reachable and v
-        // backward-reaches the root, boosting v closes the gap.
-        let before = out.len();
-        for u in 0..n as u32 {
-            if !scratch.fwd_mark[u as usize] {
-                continue;
-            }
-            let (lo, hi) = (self.fwd_offsets[u as usize] as usize, self.fwd_offsets[u as usize + 1] as usize);
-            for &(v, boosted_edge) in &self.fwd[lo..hi] {
-                if boosted_edge && scratch.bwd_mark[v as usize] {
-                    let g = self.globals[v as usize];
-                    if g != SUPER_SEED && !boost.contains(NodeId(g)) {
-                        let id = NodeId(g);
-                        if !out[before..].contains(&id) {
-                            out.push(id);
-                        }
-                    }
-                }
-            }
-        }
-        Augmented::Open
+        self.view().augmented_critical(boost, scratch, out)
     }
 
     /// Approximate heap bytes of this compressed graph.
@@ -231,7 +190,7 @@ impl CompressedPrr {
         use std::mem::size_of;
         self.globals.len() * size_of::<u32>()
             + (self.fwd_offsets.len() + self.bwd_offsets.len()) * size_of::<u32>()
-            + (self.fwd.len() + self.bwd.len()) * size_of::<(u32, bool)>()
+            + (self.fwd.len() + self.bwd.len()) * size_of::<u32>()
             + self.critical.len() * size_of::<NodeId>()
     }
 }
@@ -309,21 +268,25 @@ mod tests {
     }
 
     #[test]
+    fn packed_edges_round_trip() {
+        for (to, boost) in [(0u32, false), (0, true), (7, true), (BOOST_BIT - 1, false)] {
+            assert_eq!(unpack_edge(pack_edge(to, boost)), (to, boost));
+        }
+    }
+
+    #[test]
     fn two_hop_boost_requires_both() {
         // super --boost--> a --boost--> root: need both a and root boosted?
         // No: edges are boost(a) and boost(root); f({a}) = false,
         // f({a, root}) = true.
         let out_adj = vec![vec![(1u32, true)], vec![(2u32, true)], vec![]];
-        let g = CompressedPrr::from_adjacency(
-            2,
-            vec![SUPER_SEED, 10, 20],
-            &out_adj,
-            vec![],
-            5,
-        );
+        let g = CompressedPrr::from_adjacency(2, vec![SUPER_SEED, 10, 20], &out_adj, vec![], 5);
         let mut scratch = PrrEvalScratch::default();
         assert!(!g.f(&BoostMask::from_nodes(30, &[NodeId(10)]), &mut scratch));
-        assert!(g.f(&BoostMask::from_nodes(30, &[NodeId(10), NodeId(20)]), &mut scratch));
+        assert!(g.f(
+            &BoostMask::from_nodes(30, &[NodeId(10), NodeId(20)]),
+            &mut scratch
+        ));
         // Augmented criticality given B = {a}: boosting root closes it.
         let mut out = Vec::new();
         let res = g.augmented_critical(

@@ -23,15 +23,22 @@
 //!   adapters: the full source retains compressed PRR-graphs as payloads
 //!   (PRR-Boost), the light source keeps only critical sets
 //!   (PRR-Boost-LB).
-//! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4).
+//! * [`arena`] — flat shared storage for retained PRR-graph pools: one
+//!   `Vec` each of node tables, CSR offsets and packed edges, with
+//!   [`PrrGraphView`] as the borrowed per-graph evaluation interface.
+//! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4):
+//!   an inverted coverage index with incremental vote maintenance, plus
+//!   the naive full re-traversal greedy as the equivalence oracle.
 
+pub mod arena;
 pub mod compress;
 pub mod gen;
 pub mod graph;
 pub mod select;
 pub mod source;
 
+pub use arena::{PrrArena, PrrGraphView};
 pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
 pub use graph::{CompressedPrr, PrrEvalScratch};
-pub use select::greedy_delta_selection;
+pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection};
 pub use source::{PrrFullSource, PrrLbSource};

@@ -2,19 +2,37 @@
 //!
 //! Unlike the coverage greedy used for `µ̂` (each sketch is covered by a
 //! fixed set), `Δ̂` is evaluated on whole PRR-graphs: after each insertion
-//! the per-graph candidate sets change, so every round recomputes, for each
-//! not-yet-covered graph, the *B-augmented* critical set — which nodes
-//! would activate that graph's root given the current `B`. One round is
-//! linear in the total size of the stored PRR-graphs, matching the paper's
-//! `O(k · Σ|R|)` node-selection cost.
+//! the per-graph candidate sets change. The naive algorithm therefore
+//! recomputes, for each not-yet-covered graph, the *B-augmented* critical
+//! set every round — `O(k · Σ|R|)` node-selection cost.
+//!
+//! [`greedy_delta_selection`] replaces the per-round full re-traversal with
+//! an **inverted coverage index**: node `v` maps to the PRR-graphs in which
+//! `v` heads a boost edge — precisely the graphs whose `f_R` / candidate
+//! set can change when `v` enters `B`. Each round then
+//!
+//! 1. picks the max-vote node from incrementally maintained vote counts
+//!    (`votes[v] = #{uncovered R : v ∈ A_R(B)}`), and
+//! 2. re-traverses only the graphs listed under the picked node,
+//!    subtracting their old candidate votes and adding the new ones.
+//!
+//! Graphs without the picked node among their boost heads cannot change
+//! (`f_R` and `A_R` depend on `B` only through the graph's own boost-edge
+//! heads), so their cached candidate sets stay exact. The result is
+//! bit-identical to the naive greedy — tie-breaks included (highest vote
+//! count, then lowest node id) — which
+//! `greedy_matches_naive_on_random_arenas` and the cross-crate property
+//! tests enforce. The initial candidate sets are computed in parallel
+//! (deterministically: per-graph results are ordered by graph id).
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::NodeId;
 
-use crate::graph::{Augmented, CompressedPrr, PrrEvalScratch};
+use crate::arena::PrrArena;
+use crate::graph::{Augmented, PrrEvalScratch};
 
 /// Result of the greedy `Δ̂` selection.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeltaSelection {
     /// Chosen boost nodes, in pick order.
     pub selected: Vec<NodeId>,
@@ -23,11 +41,215 @@ pub struct DeltaSelection {
 }
 
 /// Greedily selects up to `k` nodes maximizing the number of PRR-graphs
-/// with `f_R(B) = 1`. `n` is the host-graph node count.
-pub fn greedy_delta_selection(graphs: &[&CompressedPrr], n: usize, k: usize) -> DeltaSelection {
+/// with `f_R(B) = 1`, using the inverted coverage index. `n` is the
+/// host-graph node count; `threads` bounds the parallel fan-out of the
+/// initial candidate computation.
+pub fn greedy_delta_selection(
+    arena: &PrrArena,
+    n: usize,
+    k: usize,
+    threads: usize,
+) -> DeltaSelection {
+    // `k == 0` deliberately falls through: phase 1 still classifies graphs
+    // already covered under the empty boost set, matching the naive
+    // greedy's final sweep.
+    let num_graphs = arena.len();
+    if num_graphs == 0 {
+        return DeltaSelection {
+            selected: Vec::new(),
+            covered: 0,
+        };
+    }
+
+    // Phase 1 (parallel): per-graph initial candidate set A_R(∅) and the
+    // graph's distinct boost-edge heads.
+    let init = initial_candidates(arena, n, threads);
+
+    let mut covered: Vec<bool> = Vec::with_capacity(num_graphs);
+    let mut covered_count = 0u64;
+    let mut cand_sets: Vec<Vec<NodeId>> = Vec::with_capacity(num_graphs);
+    let mut head_lists: Vec<Vec<NodeId>> = Vec::with_capacity(num_graphs);
+    for g in init {
+        if g.covered {
+            covered_count += 1;
+        }
+        covered.push(g.covered);
+        cand_sets.push(g.candidates);
+        head_lists.push(g.heads);
+    }
+
+    // Phase 2: inverted index node -> graphs where it heads a boost edge.
+    let mut index_degree = vec![0u32; n];
+    for heads in &head_lists {
+        for &h in heads {
+            index_degree[h.index()] += 1;
+        }
+    }
+    let mut index_offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        index_offsets[v + 1] = index_offsets[v] + index_degree[v];
+    }
+    let mut cursor = index_offsets[..n].to_vec();
+    let mut index = vec![0u32; index_offsets[n] as usize];
+    for (gi, heads) in head_lists.iter().enumerate() {
+        for &h in heads {
+            index[cursor[h.index()] as usize] = gi as u32;
+            cursor[h.index()] += 1;
+        }
+    }
+    drop(head_lists);
+
+    // Phase 3: vote counts over the current candidate sets.
+    let mut votes = vec![0u32; n];
+    let mut active: Vec<u32> = Vec::new();
+    let mut in_active = vec![false; n];
+    for (gi, cands) in cand_sets.iter().enumerate() {
+        if covered[gi] {
+            continue;
+        }
+        for &v in cands {
+            votes[v.index()] += 1;
+            if !in_active[v.index()] {
+                in_active[v.index()] = true;
+                active.push(v.0);
+            }
+        }
+    }
+
+    // Phase 4: greedy rounds with lazy incremental updates.
     let mut boost = BoostMask::empty(n);
     let mut selected: Vec<NodeId> = Vec::with_capacity(k);
-    let mut covered: Vec<bool> = vec![false; graphs.len()];
+    let mut scratch = PrrEvalScratch::default();
+    let mut fresh: Vec<NodeId> = Vec::new();
+
+    for _round in 0..k {
+        // Max votes, ties to the lowest node id — the naive greedy's order.
+        let mut best: Option<(u32, u32)> = None;
+        for &v in &active {
+            let count = votes[v as usize];
+            if count == 0 {
+                continue;
+            }
+            best = match best {
+                None => Some((count, v)),
+                Some((bc, bv)) if count > bc || (count == bc && v < bv) => Some((count, v)),
+                other => other,
+            };
+        }
+        let Some((_, picked)) = best else { break }; // no node improves any graph
+        let picked = NodeId(picked);
+        boost.insert(picked);
+        selected.push(picked);
+
+        // Only graphs with `picked` among their boost heads can change.
+        let (lo, hi) = (
+            index_offsets[picked.index()] as usize,
+            index_offsets[picked.index() + 1] as usize,
+        );
+        for &gi in &index[lo..hi] {
+            let gi = gi as usize;
+            if covered[gi] {
+                continue;
+            }
+            for &u in &cand_sets[gi] {
+                votes[u.index()] -= 1;
+            }
+            fresh.clear();
+            match arena
+                .graph(gi)
+                .augmented_critical(&boost, &mut scratch, &mut fresh)
+            {
+                Augmented::Covered => {
+                    covered[gi] = true;
+                    covered_count += 1;
+                    cand_sets[gi] = Vec::new();
+                }
+                Augmented::Open => {
+                    for &u in &fresh {
+                        votes[u.index()] += 1;
+                        if !in_active[u.index()] {
+                            in_active[u.index()] = true;
+                            active.push(u.0);
+                        }
+                    }
+                    std::mem::swap(&mut cand_sets[gi], &mut fresh);
+                }
+            }
+        }
+        debug_assert_eq!(votes[picked.index()], 0, "picked node kept residual votes");
+    }
+
+    DeltaSelection {
+        selected,
+        covered: covered_count,
+    }
+}
+
+/// Per-graph output of the parallel initial pass.
+struct GraphInit {
+    candidates: Vec<NodeId>,
+    heads: Vec<NodeId>,
+    covered: bool,
+}
+
+/// Computes `A_R(∅)` and the distinct boost heads of every graph, fanning
+/// out over contiguous graph ranges; results are ordered by graph id, so
+/// the output is independent of `threads`.
+fn initial_candidates(arena: &PrrArena, n: usize, threads: usize) -> Vec<GraphInit> {
+    let num_graphs = arena.len();
+    let empty = BoostMask::empty(n);
+    let run_range = |range: std::ops::Range<usize>| -> Vec<GraphInit> {
+        let mut scratch = PrrEvalScratch::default();
+        let mut out = Vec::with_capacity(range.len());
+        for gi in range {
+            let view = arena.graph(gi);
+            let mut candidates = Vec::new();
+            let covered = matches!(
+                view.augmented_critical(&empty, &mut scratch, &mut candidates),
+                Augmented::Covered
+            );
+            let mut heads = Vec::new();
+            view.for_each_boost_head(|v| heads.push(v));
+            out.push(GraphInit {
+                candidates,
+                heads,
+                covered,
+            });
+        }
+        out
+    };
+
+    let workers = threads.max(1).min(num_graphs.max(1));
+    if workers <= 1 || num_graphs < 256 {
+        return run_range(0..num_graphs);
+    }
+    let per = num_graphs.div_ceil(workers);
+    let mut results: Vec<GraphInit> = Vec::with_capacity(num_graphs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (per * w).min(num_graphs);
+                let hi = (lo + per).min(num_graphs);
+                let run_range = &run_range;
+                scope.spawn(move || run_range(lo..hi))
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("initial-candidate worker panicked"));
+        }
+    });
+    results
+}
+
+/// The reference greedy: recomputes every uncovered graph's B-augmented
+/// critical set each round (the paper's `O(k · Σ|R|)` node selection).
+/// Kept as the equivalence oracle for [`greedy_delta_selection`] and as the
+/// baseline the perf harness measures against.
+pub fn greedy_delta_selection_naive(arena: &PrrArena, n: usize, k: usize) -> DeltaSelection {
+    let num_graphs = arena.len();
+    let mut boost = BoostMask::empty(n);
+    let mut selected: Vec<NodeId> = Vec::with_capacity(k);
+    let mut covered: Vec<bool> = vec![false; num_graphs];
     let mut scratch = PrrEvalScratch::default();
 
     // Per-round vote counts, reset via the touched list.
@@ -37,18 +259,13 @@ pub fn greedy_delta_selection(graphs: &[&CompressedPrr], n: usize, k: usize) -> 
 
     for _round in 0..k {
         touched.clear();
-        let mut covered_now = 0u64;
-        for (i, prr) in graphs.iter().enumerate() {
+        for (i, prr) in arena.iter().enumerate() {
             if covered[i] {
-                covered_now += 1;
                 continue;
             }
             candidates.clear();
             match prr.augmented_critical(&boost, &mut scratch, &mut candidates) {
-                Augmented::Covered => {
-                    covered[i] = true;
-                    covered_now += 1;
-                }
+                Augmented::Covered => covered[i] = true,
                 Augmented::Open => {
                     for &v in &candidates {
                         if votes[v.index()] == 0 {
@@ -67,7 +284,6 @@ pub fn greedy_delta_selection(graphs: &[&CompressedPrr], n: usize, k: usize) -> 
         for &v in &touched {
             votes[v.index()] = 0;
         }
-        let _ = covered_now;
         match best {
             Some(v) => {
                 boost.insert(v);
@@ -79,18 +295,21 @@ pub fn greedy_delta_selection(graphs: &[&CompressedPrr], n: usize, k: usize) -> 
 
     // Final coverage count under the complete selection.
     let mut covered_final = 0u64;
-    for (i, prr) in graphs.iter().enumerate() {
+    for (i, prr) in arena.iter().enumerate() {
         if covered[i] || prr.f(&boost, &mut scratch) {
             covered_final += 1;
         }
     }
-    DeltaSelection { selected, covered: covered_final }
+    DeltaSelection {
+        selected,
+        covered: covered_final,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::SUPER_SEED;
+    use crate::graph::{CompressedPrr, SUPER_SEED};
 
     /// super --boost--> a --live--> root.
     fn single_critical(a_global: u32, root_global: u32) -> CompressedPrr {
@@ -116,61 +335,110 @@ mod tests {
         )
     }
 
+    fn arena_of(graphs: &[CompressedPrr]) -> PrrArena {
+        let mut arena = PrrArena::new();
+        for g in graphs {
+            arena.push(g);
+        }
+        arena
+    }
+
+    fn both(arena: &PrrArena, n: usize, k: usize) -> DeltaSelection {
+        let fast = greedy_delta_selection(arena, n, k, 2);
+        let naive = greedy_delta_selection_naive(arena, n, k);
+        assert_eq!(fast, naive, "indexed greedy diverged from naive");
+        fast
+    }
+
     #[test]
     fn picks_majority_node() {
-        let g1 = single_critical(5, 6);
-        let g2 = single_critical(5, 7);
-        let g3 = single_critical(8, 9);
-        let graphs = vec![&g1, &g2, &g3];
-        let res = greedy_delta_selection(&graphs, 10, 1);
+        let arena = arena_of(&[
+            single_critical(5, 6),
+            single_critical(5, 7),
+            single_critical(8, 9),
+        ]);
+        let res = both(&arena, 10, 1);
         assert_eq!(res.selected, vec![NodeId(5)]);
         assert_eq!(res.covered, 2);
     }
 
     #[test]
     fn chains_get_completed_across_rounds() {
-        // One chain graph needing {3, 4}: greedy must pick both (the first
-        // pick gives no immediate coverage but opens the second).
-        // Round 1: no single node covers the chain — augmented criticality
-        // of the chain is empty (boosting 4 alone doesn't help because the
-        // super→a edge is closed; boosting 3 alone leaves a→root closed)…
-        // wait: boosting 3 makes super→a traversable and then a→root needs
-        // 4. Candidates: F = {super}, T = {root, a?}. a reaches root only
-        // if root ∈ B. So candidates = heads v of boost edges (u,v) with
-        // u ∈ F, v ∈ T = {}. A second single-critical graph on node 3
-        // breaks the tie and drags 3 in; after that the chain's candidate
-        // set becomes {4}.
-        let chain = chain_of_two(3, 4);
-        let single = single_critical(3, 6);
-        let graphs = vec![&chain, &single];
-        let res = greedy_delta_selection(&graphs, 10, 2);
+        // One chain graph needing {3, 4}: alone it offers no single-node
+        // gain, but a single-critical graph on node 3 drags 3 in; after
+        // that the chain's candidate set becomes {4}.
+        let arena = arena_of(&[chain_of_two(3, 4), single_critical(3, 6)]);
+        let res = both(&arena, 10, 2);
         assert_eq!(res.selected, vec![NodeId(3), NodeId(4)]);
         assert_eq!(res.covered, 2);
     }
 
     #[test]
     fn stops_early_without_candidates() {
-        let chain = chain_of_two(3, 4);
-        let graphs = vec![&chain];
+        let arena = arena_of(&[chain_of_two(3, 4)]);
         // Alone, the chain offers no single-node gain: selection is empty.
-        let res = greedy_delta_selection(&graphs, 10, 2);
+        let res = both(&arena, 10, 2);
         assert!(res.selected.is_empty());
         assert_eq!(res.covered, 0);
     }
 
     #[test]
     fn ties_break_to_lower_id() {
-        let g1 = single_critical(5, 6);
-        let g2 = single_critical(2, 7);
-        let graphs = vec![&g1, &g2];
-        let res = greedy_delta_selection(&graphs, 10, 1);
+        let arena = arena_of(&[single_critical(5, 6), single_critical(2, 7)]);
+        let res = both(&arena, 10, 1);
         assert_eq!(res.selected, vec![NodeId(2)]);
     }
 
     #[test]
     fn empty_pool() {
-        let res = greedy_delta_selection(&[], 5, 3);
+        let arena = PrrArena::new();
+        let res = both(&arena, 5, 3);
         assert!(res.selected.is_empty());
         assert_eq!(res.covered, 0);
+    }
+
+    /// super --live--> root: covered with no boosting at all (cannot come
+    /// out of the PRR-Boost pipeline, but the arena API allows it).
+    fn pre_covered(root_global: u32) -> CompressedPrr {
+        let out_adj = vec![vec![(1u32, false)], vec![]];
+        CompressedPrr::from_adjacency(1, vec![SUPER_SEED, root_global], &out_adj, vec![], 3)
+    }
+
+    #[test]
+    fn k_zero_counts_pre_covered_graphs() {
+        let arena = arena_of(&[pre_covered(4), single_critical(5, 6)]);
+        let res = both(&arena, 10, 0);
+        assert!(res.selected.is_empty());
+        assert_eq!(res.covered, 1);
+        let res = both(&arena, 10, 1);
+        assert_eq!(res.selected, vec![NodeId(5)]);
+        assert_eq!(res.covered, 2);
+    }
+
+    #[test]
+    fn greedy_matches_naive_on_random_arenas() {
+        // Synthetic random pools: chains and single-critical graphs over a
+        // small universe, several budgets.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = SmallRng::seed_from_u64(seed * 7 + 1);
+            let n = 12usize;
+            let graphs: Vec<CompressedPrr> = (0..rng.random_range(1..40usize))
+                .map(|_| {
+                    let a = rng.random_range(1..n as u32 - 1);
+                    let r = rng.random_range(1..n as u32 - 1);
+                    if rng.random_bool(0.5) {
+                        single_critical(a, if r == a { r - 1 } else { r })
+                    } else {
+                        chain_of_two(a, if r == a { r - 1 } else { r })
+                    }
+                })
+                .collect();
+            let arena = arena_of(&graphs);
+            for k in [0usize, 1, 2, 4, 8] {
+                both(&arena, n, k);
+            }
+        }
     }
 }

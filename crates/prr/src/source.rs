@@ -49,7 +49,10 @@ impl SketchGenerator for PrrFullSource<'_> {
     fn generate(&self, rng: &mut SmallRng) -> Sketch<CompressedPrr> {
         match self.generator.sample(rng) {
             PrrOutcome::Activated | PrrOutcome::Hopeless => Sketch::empty(),
-            PrrOutcome::Boostable(c) => Sketch { cover: c.critical().to_vec(), payload: Some(c) },
+            PrrOutcome::Boostable(c) => Sketch {
+                cover: c.critical().to_vec(),
+                payload: Some(c),
+            },
         }
     }
 }
@@ -88,7 +91,10 @@ impl SketchGenerator for PrrLbSource<'_> {
         if critical.is_empty() {
             Sketch::empty()
         } else {
-            Sketch { cover: critical, payload: Some(()) }
+            Sketch {
+                cover: critical,
+                payload: Some(()),
+            }
         }
     }
 }

@@ -81,7 +81,10 @@ pub fn greedy_max_cover(
         selected.push(NodeId(v));
         gains.push(g as u64);
         covered += g as u64;
-        let (lo, hi) = (index_offsets[v as usize] as usize, index_offsets[v as usize + 1] as usize);
+        let (lo, hi) = (
+            index_offsets[v as usize] as usize,
+            index_offsets[v as usize + 1] as usize,
+        );
         for &sid in &index[lo..hi] {
             if sketch_covered[sid as usize] {
                 continue;
@@ -94,7 +97,11 @@ pub fn greedy_max_cover(
         debug_assert_eq!(gain[v as usize], 0);
     }
 
-    CoverResult { selected, covered, gains }
+    CoverResult {
+        selected,
+        covered,
+        gains,
+    }
 }
 
 #[cfg(test)]

@@ -123,7 +123,10 @@ pub struct MarginalRr<'g> {
 impl<'g> MarginalRr<'g> {
     /// Creates the source over `g` with fixed existing seeds.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId]) -> Self {
-        MarginalRr { g, seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds) }
+        MarginalRr {
+            g,
+            seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds),
+        }
     }
 }
 
@@ -139,7 +142,10 @@ impl SketchGenerator for MarginalRr<'_> {
         if set.iter().any(|&v| self.seed_mask.contains(v)) {
             Sketch::empty()
         } else {
-            Sketch { cover: set, payload: Some(()) }
+            Sketch {
+                cover: set,
+                payload: Some(()),
+            }
         }
     }
 }

@@ -11,7 +11,6 @@
 //! clears `(1+ε')·x`; this certifies the lower bound `LB`.
 //! Phase 2: grow the pool to `θ = λ*/LB` sketches and run greedy once more.
 
-
 use crate::greedy::{greedy_max_cover, CoverResult};
 use crate::sketch::{SketchGenerator, SketchPool};
 
@@ -43,7 +42,15 @@ pub struct ImmParams {
 impl ImmParams {
     /// The paper's default setting: ε = 0.5, ℓ = 1.
     pub fn paper_defaults(k: usize) -> Self {
-        ImmParams { k, epsilon: 0.5, ell: 1.0, threads: 8, seed: 0x133_75EED, max_sketches: None, min_sketches: 0 }
+        ImmParams {
+            k,
+            epsilon: 0.5,
+            ell: 1.0,
+            threads: 8,
+            seed: 0x133_75EED,
+            max_sketches: None,
+            min_sketches: 0,
+        }
     }
 }
 
@@ -83,14 +90,17 @@ pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<
     // n^-ℓ (Tang et al., Section 4.2: ℓ ← ℓ + ln 2 / ln n).
     let ell = ell + 2f64.ln() / n.max(2.0).ln();
 
-    let log_nk = ln_binom(generator.num_candidates(), k.min(generator.num_candidates()));
+    let log_nk = ln_binom(
+        generator.num_candidates(),
+        k.min(generator.num_candidates()),
+    );
     let eps_prime = 2f64.sqrt() * eps;
     let ln_n = n.max(2.0).ln();
     let log2_n = n.max(2.0).log2().max(1.0);
 
     // λ' from Tang et al. (Algorithm 2).
-    let lambda_prime =
-        (2.0 + 2.0 * eps_prime / 3.0) * (log_nk + ell * ln_n + log2_n.ln()) * n / (eps_prime * eps_prime);
+    let lambda_prime = (2.0 + 2.0 * eps_prime / 3.0) * (log_nk + ell * ln_n + log2_n.ln()) * n
+        / (eps_prime * eps_prime);
 
     // λ* from Theorem 2 / the paper's Lemma 3.
     let alpha = (ell * ln_n + 2f64.ln()).sqrt();
@@ -113,7 +123,10 @@ pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<
             lb = est / (1.0 + eps_prime);
             break;
         }
-        if params.max_sketches.is_some_and(|cap| pool.total_samples() >= cap) {
+        if params
+            .max_sketches
+            .is_some_and(|cap| pool.total_samples() >= cap)
+        {
             break;
         }
     }
@@ -122,7 +135,12 @@ pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<
     pool.extend_to(generator, theta);
     let result = greedy_max_cover(pool.covers(), generator.universe(), k, None);
 
-    ImmRun { result, pool, lower_bound: lb, theta }
+    ImmRun {
+        result,
+        pool,
+        lower_bound: lb,
+        theta,
+    }
 }
 
 fn cap(theta: u64, max: Option<u64>) -> u64 {
@@ -171,7 +189,10 @@ mod tests {
                 None
             };
             match node {
-                Some(v) => Sketch { cover: vec![NodeId(v)], payload: Some(()) },
+                Some(v) => Sketch {
+                    cover: vec![NodeId(v)],
+                    payload: Some(()),
+                },
                 None => Sketch::empty(),
             }
         }

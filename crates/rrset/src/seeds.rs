@@ -16,17 +16,14 @@ pub fn select_seeds(g: &DiGraph, params: &ImmParams) -> Vec<NodeId> {
 /// framework to select k more seeds with the goal of maximizing the
 /// increase of the expected influence spread").
 pub fn select_more_seeds(g: &DiGraph, existing: &[NodeId], params: &ImmParams) -> Vec<NodeId> {
-    run_imm(&MarginalRr::new(g, existing), params).result.selected
+    run_imm(&MarginalRr::new(g, existing), params)
+        .result
+        .selected
 }
 
 /// Selects `k` uniformly random non-seed nodes — the "random seeds"
 /// scenario of Section VII-B.
-pub fn select_random_nodes(
-    g: &DiGraph,
-    k: usize,
-    exclude: &[NodeId],
-    seed: u64,
-) -> Vec<NodeId> {
+pub fn select_random_nodes(g: &DiGraph, k: usize, exclude: &[NodeId], seed: u64) -> Vec<NodeId> {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
@@ -55,7 +52,15 @@ mod tests {
     }
 
     fn quick_params(k: usize, seed: u64) -> ImmParams {
-        ImmParams { k, epsilon: 0.4, ell: 1.0, threads: 2, seed, max_sketches: Some(100_000), min_sketches: 0 }
+        ImmParams {
+            k,
+            epsilon: 0.4,
+            ell: 1.0,
+            threads: 2,
+            seed,
+            max_sketches: Some(100_000),
+            min_sketches: 0,
+        }
     }
 
     #[test]

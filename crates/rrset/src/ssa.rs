@@ -78,8 +78,7 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
         epochs += 1;
         select_pool.extend_to(generator, target);
         let result = greedy_max_cover(select_pool.covers(), generator.universe(), params.k, None);
-        let est_select =
-            n * result.covered as f64 / select_pool.total_samples().max(1) as f64;
+        let est_select = n * result.covered as f64 / select_pool.total_samples().max(1) as f64;
 
         // Stare: estimate the same solution on fresh samples.
         validate_pool.extend_to(generator, target);
@@ -89,10 +88,13 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
         let close = |a: f64, b: f64| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12);
         let budget_spent =
             select_pool.total_samples() + validate_pool.total_samples() >= params.max_sketches;
-        if (close(est_select, est_validate) && close(est_validate, prev_estimate))
-            || budget_spent
-        {
-            return SsaRun { result, pool: select_pool, validated_estimate: est_validate, epochs };
+        if (close(est_select, est_validate) && close(est_validate, prev_estimate)) || budget_spent {
+            return SsaRun {
+                result,
+                pool: select_pool,
+                validated_estimate: est_validate,
+                epochs,
+            };
         }
         prev_estimate = est_validate;
         target *= 2;
@@ -101,10 +103,7 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
 
 /// Convenience: SSA-based seed selection (drop-in for
 /// [`select_seeds`](crate::seeds::select_seeds)).
-pub fn select_seeds_ssa(
-    g: &kboost_graph::DiGraph,
-    params: &SsaParams,
-) -> (Vec<NodeId>, f64) {
+pub fn select_seeds_ssa(g: &kboost_graph::DiGraph, params: &SsaParams) -> (Vec<NodeId>, f64) {
     let run = run_ssa(&crate::ic::InfluenceRr::new(g), params);
     (run.result.selected, run.validated_estimate)
 }
@@ -128,9 +127,15 @@ mod tests {
         fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
             let x: f64 = rng.random();
             if x < 0.4 {
-                Sketch { cover: vec![NodeId(0)], payload: Some(()) }
+                Sketch {
+                    cover: vec![NodeId(0)],
+                    payload: Some(()),
+                }
             } else if x < 0.6 {
-                Sketch { cover: vec![NodeId(1)], payload: Some(()) }
+                Sketch {
+                    cover: vec![NodeId(1)],
+                    payload: Some(()),
+                }
             } else {
                 Sketch::empty()
             }
@@ -139,11 +144,21 @@ mod tests {
 
     #[test]
     fn ssa_finds_heavy_node_cheaply() {
-        let params = SsaParams { k: 1, epsilon: 0.3, seed: 1, threads: 2, ..Default::default() };
+        let params = SsaParams {
+            k: 1,
+            epsilon: 0.3,
+            seed: 1,
+            threads: 2,
+            ..Default::default()
+        };
         let run = run_ssa(&Synthetic, &params);
         assert_eq!(run.result.selected, vec![NodeId(0)]);
         // Validated estimate ≈ 10 · 0.4 = 4.
-        assert!((run.validated_estimate - 4.0).abs() < 1.0, "est {}", run.validated_estimate);
+        assert!(
+            (run.validated_estimate - 4.0).abs() < 1.0,
+            "est {}",
+            run.validated_estimate
+        );
         assert!(run.epochs >= 2, "must validate at least once");
     }
 
@@ -168,7 +183,13 @@ mod tests {
             b.add_edge(NodeId(0), NodeId(v), 0.8, 0.9).unwrap();
         }
         let g = b.build().unwrap();
-        let params = SsaParams { k: 1, epsilon: 0.3, seed: 3, threads: 2, ..Default::default() };
+        let params = SsaParams {
+            k: 1,
+            epsilon: 0.3,
+            seed: 3,
+            threads: 2,
+            ..Default::default()
+        };
         let (seeds, est) = select_seeds_ssa(&g, &params);
         assert_eq!(seeds, vec![NodeId(0)]);
         // σ({0}) = 1 + 19·0.8 = 16.2.

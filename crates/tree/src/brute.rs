@@ -25,12 +25,17 @@ pub struct BruteOutcome {
 /// # Panics
 /// Panics if the tree has more than 24 non-seed nodes.
 pub fn brute_force_optimum(tree: &BidirectedTree, k: usize) -> BruteOutcome {
-    let candidates: Vec<u32> =
-        (0..tree.num_nodes() as u32).filter(|&v| !tree.is_seed(v)).collect();
+    let candidates: Vec<u32> = (0..tree.num_nodes() as u32)
+        .filter(|&v| !tree.is_seed(v))
+        .collect();
     assert!(candidates.len() <= 24, "brute force is exponential");
 
     let sigma_empty = tree_sigma(tree, &[]);
-    let mut best = BruteOutcome { boost_set: Vec::new(), sigma: sigma_empty, boost: 0.0 };
+    let mut best = BruteOutcome {
+        boost_set: Vec::new(),
+        sigma: sigma_empty,
+        boost: 0.0,
+    };
 
     for bits in 0u32..(1u32 << candidates.len()) {
         if (bits.count_ones() as usize) > k {
@@ -44,7 +49,11 @@ pub fn brute_force_optimum(tree: &BidirectedTree, k: usize) -> BruteOutcome {
             .collect();
         let sigma = tree_sigma(tree, &set);
         if sigma > best.sigma + 1e-15 {
-            best = BruteOutcome { boost_set: set, sigma, boost: sigma - sigma_empty };
+            best = BruteOutcome {
+                boost_set: set,
+                sigma,
+                boost: sigma - sigma_empty,
+            };
         }
     }
     best
@@ -59,8 +68,10 @@ mod tests {
     fn picks_obviously_best_node() {
         // Path s - a - b: boosting a (head of the seed edge) dominates.
         let mut b = GraphBuilder::new(3);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6).unwrap();
-        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.2, 0.6).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6)
+            .unwrap();
+        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.2, 0.6)
+            .unwrap();
         let g = b.build().unwrap();
         let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
         let out = brute_force_optimum(&t, 1);
@@ -71,7 +82,8 @@ mod tests {
     #[test]
     fn k_zero_returns_empty() {
         let mut b = GraphBuilder::new(2);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.2, 0.6)
+            .unwrap();
         let g = b.build().unwrap();
         let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
         let out = brute_force_optimum(&t, 0);

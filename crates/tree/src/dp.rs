@@ -116,13 +116,21 @@ enum ChainRef {
     /// Seed-knapsack cell (re-solved during backtracking).
     Seed,
     /// Non-seed internal: the winning `b` (whether `v` itself is boosted).
-    Chain { b: bool },
+    Chain {
+        b: bool,
+    },
 }
 
 impl Table {
     fn new(kmax: usize, c: Grid, f: Grid) -> Self {
         let len = (kmax + 1) * c.len() * f.len();
-        Table { kmax, c, f, vals: vec![f64::NEG_INFINITY; len], choice: vec![ChainRef::None; len] }
+        Table {
+            kmax,
+            c,
+            f,
+            vals: vec![f64::NEG_INFINITY; len],
+            choice: vec![ChainRef::None; len],
+        }
     }
 
     #[inline]
@@ -184,7 +192,12 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
     assert!(eps > 0.0, "epsilon must be positive");
     let n = tree.num_nodes();
     if k == 0 || n == 0 {
-        return DpOutcome { boost_set: Vec::new(), dp_value: 0.0, boost: 0.0, delta: 0.0 };
+        return DpOutcome {
+            boost_set: Vec::new(),
+            dp_value: 0.0,
+            boost: 0.0,
+            delta: 0.0,
+        };
     }
 
     // --- Rounding parameter (Algorithm 4, lines 1-2) --------------------
@@ -194,8 +207,10 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
 
     // --- Range refinements ----------------------------------------------
     let st_lo = TreeState::compute(tree, &[]);
-    let all_non_seeds: Vec<NodeId> =
-        (0..n as u32).filter(|&v| !tree.is_seed(v)).map(NodeId).collect();
+    let all_non_seeds: Vec<NodeId> = (0..n as u32)
+        .filter(|&v| !tree.is_seed(v))
+        .map(NodeId)
+        .collect();
     let st_hi = TreeState::compute(tree, &all_non_seeds);
 
     let (s_below, s_above) = rounding_slack_mass(tree);
@@ -225,7 +240,11 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
             let slack = 2.0 * delta * s_below[v as usize];
             let lo = (((c_lo - slack) / delta).floor().max(0.0) as u64).min(max_q);
             let hi = (((c_hi / delta).floor() as u64) + 1).min(max_q);
-            Grid::Units { lo, hi: hi.max(lo), unit: delta }
+            Grid::Units {
+                lo,
+                hi: hi.max(lo),
+                unit: delta,
+            }
         });
         // f bounds: activation of the parent outside T_v.
         let (f_lo, f_hi) = if parent == NO_PARENT {
@@ -247,7 +266,11 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
             let slack = 2.0 * delta * s_above[v as usize];
             let lo = (((f_lo - slack) / delta).floor().max(0.0) as u64).min(max_q);
             let hi = (((f_hi / delta).floor() as u64) + 1).min(max_q);
-            Grid::Units { lo, hi: hi.max(lo), unit: delta }
+            Grid::Units {
+                lo,
+                hi: hi.max(lo),
+                unit: delta,
+            }
         });
     }
 
@@ -288,7 +311,12 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
         }
     }
     let Some((dp_value, kappa, ci)) = best else {
-        return DpOutcome { boost_set: Vec::new(), dp_value: 0.0, boost: 0.0, delta };
+        return DpOutcome {
+            boost_set: Vec::new(),
+            dp_value: 0.0,
+            boost: 0.0,
+            delta,
+        };
     };
 
     let mut boost_set = Vec::new();
@@ -299,7 +327,12 @@ pub fn dp_boost(tree: &BidirectedTree, k: usize, eps: f64) -> DpOutcome {
 
     let sigma_empty = tree_sigma(tree, &[]);
     let boost = tree_sigma(tree, &boost_set) - sigma_empty;
-    DpOutcome { boost_set, dp_value: dp_value.max(0.0), boost, delta }
+    DpOutcome {
+        boost_set,
+        dp_value: dp_value.max(0.0),
+        boost,
+        delta,
+    }
 }
 
 /// `Σ_{u,v} Π p'` over all ordered pairs (including `u = v`, counted as 1):
@@ -382,8 +415,7 @@ fn rounding_slack_mass(tree: &BidirectedTree) -> (Vec<f64>, Vec<f64>) {
     for v in 1..n as u32 {
         let parent = tree.parent(v);
         let p_up = tree.edge(v, parent).boosted;
-        s_above[v as usize] =
-            (a_total[parent as usize] - p_up * s_below[v as usize]).max(0.0);
+        s_above[v as usize] = (a_total[parent as usize] - p_up * s_below[v as usize]).max(0.0);
     }
     (s_below, s_above)
 }
@@ -393,7 +425,11 @@ fn rounding_slack_mass(tree: &BidirectedTree) -> (Vec<f64>, Vec<f64>) {
 // --------------------------------------------------------------------------
 
 fn build_leaf(ctx: &Ctx<'_>, v: u32) -> Table {
-    let mut t = Table::new(ctx.kmax[v as usize], ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+    let mut t = Table::new(
+        ctx.kmax[v as usize],
+        ctx.c_grid[v as usize].clone(),
+        ctx.f_grid[v as usize].clone(),
+    );
     let c_val = if ctx.tree.is_seed(v) { 1.0 } else { 0.0 };
     let ci = t.c.store_index(c_val).expect("leaf c value in grid");
     for kappa in 0..=t.kmax {
@@ -463,7 +499,11 @@ fn seed_knapsack(
 
 fn build_seed(ctx: &Ctx<'_>, v: u32, tables: &[Option<Table>]) -> Table {
     let (h, _) = seed_knapsack(ctx, v, tables, false);
-    let mut t = Table::new(ctx.kmax[v as usize], ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+    let mut t = Table::new(
+        ctx.kmax[v as usize],
+        ctx.c_grid[v as usize].clone(),
+        ctx.f_grid[v as usize].clone(),
+    );
     debug_assert_eq!(t.c.len(), 1); // Singleton(1.0)
     for (kappa, &hval) in h.iter().enumerate().take(t.kmax + 1) {
         if hval == f64::NEG_INFINITY {
@@ -505,7 +545,11 @@ fn z_grid(ctx: &Ctx<'_>, v: u32, i: usize, b: bool, unit: f64) -> Grid {
     let slack = 8u64;
     let lo_q = ((lo / unit).floor() as u64).saturating_sub(slack);
     let hi_q = (hi / unit).floor() as u64 + 2;
-    Grid::Units { lo: lo_q, hi: hi_q.max(lo_q), unit }
+    Grid::Units {
+        lo: lo_q,
+        hi: hi_q.max(lo_q),
+        unit,
+    }
 }
 
 /// Builds the table of a non-seed internal node via the helper chain
@@ -522,7 +566,11 @@ fn build_internal(
     let d = children.len();
     let kmax = ctx.kmax[v as usize];
     let unit = ctx.delta / ((d as f64) - 1.0).max(1.0);
-    let mut t = Table::new(kmax, ctx.c_grid[v as usize].clone(), ctx.f_grid[v as usize].clone());
+    let mut t = Table::new(
+        kmax,
+        ctx.c_grid[v as usize].clone(),
+        ctx.f_grid[v as usize].clone(),
+    );
 
     for b in [false, true] {
         if b && kmax == 0 {
@@ -542,7 +590,9 @@ fn build_internal(
             let is_last = i == d;
             let this_z: Vec<(u64, f64)> = if is_last {
                 // z_d ranges over v's own f-grid; y_d = f · p^b_{u,v}.
-                (0..t.f.len()).map(|fi| (fi as u64, t.f.value(fi) * p_parent)).collect()
+                (0..t.f.len())
+                    .map(|fi| (fi as u64, t.f.value(fi) * p_parent))
+                    .collect()
             } else {
                 match z_grid(ctx, v, i, b, unit) {
                     Grid::Units { lo, hi, unit } => {
@@ -571,7 +621,9 @@ fn build_internal(
                         let x_prev = xq_prev as f64 * unit;
                         // f passed to the child.
                         let f_child = 1.0 - (1.0 - x_prev) * (1.0 - y);
-                        let Some(fi_child) = ct.f.query_index(f_child) else { continue };
+                        let Some(fi_child) = ct.f.query_index(f_child) else {
+                            continue;
+                        };
                         // New accumulated x.
                         let x_new = 1.0 - (1.0 - x_prev) * (1.0 - m);
                         let x_key = if is_last {
@@ -617,7 +669,13 @@ fn build_internal(
                     let c_val = t.c.value(ci as usize);
                     let f_val = t.f.value(fi as usize);
                     let val = acc + ctx.boost_term(v, b, c_val, f_val);
-                    t.improve(kappa as usize, ci as usize, fi as usize, val, ChainRef::Chain { b });
+                    t.improve(
+                        kappa as usize,
+                        ci as usize,
+                        fi as usize,
+                        val,
+                        ChainRef::Chain { b },
+                    );
                 }
             }
         }
@@ -657,7 +715,9 @@ fn backtrack(
             let children = ctx.tree.children(v);
             let mut budget = kappa;
             for i in (0..children.len()).rev() {
-                let Some((kc, ci_child)) = choices[i][budget] else { continue };
+                let Some((kc, ci_child)) = choices[i][budget] else {
+                    continue;
+                };
                 backtrack(ctx, tables, children[i], kc, ci_child, 0, out);
                 budget -= kc;
             }
@@ -750,7 +810,8 @@ mod tests {
         // A star with 5 leaves exercises the general (d > 2) chain.
         let mut b = GraphBuilder::new(6);
         for v in 1..6u32 {
-            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.3, 0.55).unwrap();
+            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.3, 0.55)
+                .unwrap();
         }
         let g = b.build().unwrap();
         let t = BidirectedTree::from_digraph(&g, &[NodeId(1)]).unwrap();
@@ -783,7 +844,11 @@ mod tests {
 
     #[test]
     fn grid_semantics() {
-        let g = Grid::Units { lo: 2, hi: 10, unit: 0.1 };
+        let g = Grid::Units {
+            lo: 2,
+            hi: 10,
+            unit: 0.1,
+        };
         assert_eq!(g.len(), 9);
         assert!((g.value(0) - 0.2).abs() < 1e-12);
         assert_eq!(g.store_index(0.55), Some(3)); // ⌊5.5⌋ = 5 → idx 3

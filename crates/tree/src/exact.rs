@@ -71,7 +71,9 @@ impl<'t> TreeState<'t> {
     /// `p^B_{x,u}` for the i-th neighbor entry of `u` (the in-direction).
     #[inline]
     fn p_in(&self, u: u32, i: usize) -> f64 {
-        self.tree.neighbors(u)[i].in_.for_boosted(self.boost[u as usize])
+        self.tree.neighbors(u)[i]
+            .in_
+            .for_boosted(self.boost[u as usize])
     }
 
     /// `p^B_{u,x}` for the i-th neighbor entry of `u` (the out-direction).
@@ -140,8 +142,11 @@ impl<'t> TreeState<'t> {
             let seed = tree.is_seed(u);
             self.ap[u as usize] = if seed { 1.0 } else { 1.0 - prefix[deg] };
             for i in 0..deg {
-                self.ap_leave[u as usize][i] =
-                    if seed { 1.0 } else { 1.0 - prefix[i] * suffix[i + 1] };
+                self.ap_leave[u as usize][i] = if seed {
+                    1.0
+                } else {
+                    1.0 - prefix[i] * suffix[i + 1]
+                };
             }
 
             // Push the parent-side value down to each child.
@@ -215,8 +220,7 @@ impl<'t> TreeState<'t> {
                     continue;
                 }
                 // g_B(u\x) = (1 - ap_B(u\x)) · (1 + Σ_{j≠i} h_j).
-                let g_ux =
-                    (1.0 - self.ap_leave[u as usize][i]) * (1.0 + total - h(self, u, i));
+                let g_ux = (1.0 - self.ap_leave[u as usize][i]) * (1.0 + total - h(self, u, i));
                 let j = self.neighbor_index(x, u);
                 self.g_in[x as usize][j] = g_ux;
             }
@@ -275,8 +279,7 @@ impl<'t> TreeState<'t> {
         let d_ap = (1.0 - prefix[deg]) - self.ap[u.index()];
         let mut total = self.sigma + d_ap;
         for i in 0..deg {
-            let d_ap_leave =
-                (1.0 - prefix[i] * suffix[i + 1]) - self.ap_leave[u.index()][i];
+            let d_ap_leave = (1.0 - prefix[i] * suffix[i + 1]) - self.ap_leave[u.index()][i];
             total += self.p_out(u0, i) * d_ap_leave * self.g_in[u.index()][i];
         }
         total
@@ -313,7 +316,8 @@ mod tests {
     fn figure4() -> DiGraph {
         let mut b = GraphBuilder::new(4);
         for v in 1..4u32 {
-            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.1, 0.19).unwrap();
+            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.1, 0.19)
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -388,7 +392,11 @@ mod tests {
             let g = topo.into_bidirected_graph(ProbabilityModel::Constant(0.3), 2.0, &mut rng);
             let seeds = [NodeId(trial % 7)];
             let t = BidirectedTree::from_digraph(&g, &seeds).unwrap();
-            let base: Vec<NodeId> = if trial % 2 == 0 { vec![] } else { vec![NodeId((trial + 1) % 7)] };
+            let base: Vec<NodeId> = if trial % 2 == 0 {
+                vec![]
+            } else {
+                vec![NodeId((trial + 1) % 7)]
+            };
             let st = TreeState::compute(&t, &base);
             for u in 0..7u32 {
                 let fast = st.sigma_with(NodeId(u));
@@ -434,8 +442,10 @@ mod tests {
         // g_B(u\v) = σ^{G_{u\v}}_{S∪{u}} − σ^{G_{u\v}}_S : check on the
         // path 0-1-2 by building the actual subtree.
         let mut b = GraphBuilder::new(3);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.3, 0.5).unwrap();
-        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.4, 0.6).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.3, 0.5)
+            .unwrap();
+        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.4, 0.6)
+            .unwrap();
         let g = b.build().unwrap();
         let t = BidirectedTree::from_digraph(&g, &[NodeId(0)]).unwrap();
         let st = TreeState::compute(&t, &[]);
@@ -503,8 +513,7 @@ mod identity_tests {
                         }
                         let lhs = st.ap_leave(NodeId(u), NodeId(v));
                         let rhs = 1.0
-                            - (1.0 - st.ap_leave(NodeId(u), NodeId(w))) * (1.0 - m_w)
-                                / (1.0 - m_v);
+                            - (1.0 - st.ap_leave(NodeId(u), NodeId(w))) * (1.0 - m_w) / (1.0 - m_v);
                         assert!(
                             (lhs - rhs).abs() < 1e-9,
                             "seed {seed} u={u} v={v} w={w}: {lhs} vs {rhs}"
@@ -549,8 +558,7 @@ mod identity_tests {
                         }
                         let lhs = st.gain_leave(NodeId(u), NodeId(v));
                         let rhs = (1.0 - st.ap_leave(NodeId(u), NodeId(v)))
-                            * (st.gain_leave(NodeId(u), NodeId(w)) / (1.0 - ap_uw) + h(j)
-                                - h(i));
+                            * (st.gain_leave(NodeId(u), NodeId(w)) / (1.0 - ap_uw) + h(j) - h(i));
                         assert!(
                             (lhs - rhs).abs() < 1e-9,
                             "seed {seed} u={u} v={v} w={w}: {lhs} vs {rhs}"

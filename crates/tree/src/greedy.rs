@@ -53,7 +53,11 @@ pub fn greedy_boost(tree: &BidirectedTree, k: usize) -> GreedyOutcome {
         sigma = best_sigma;
     }
 
-    GreedyOutcome { boost_set, sigma, boost: sigma - sigma_empty }
+    GreedyOutcome {
+        boost_set,
+        sigma,
+        boost: sigma - sigma_empty,
+    }
 }
 
 #[cfg(test)]

@@ -81,8 +81,16 @@ impl BidirectedTree {
             };
             if u < v {
                 undirected += 1;
-                adj[u.index()].push(Neighbor { id: v.0, out: p_out, in_: p_in });
-                adj[v.index()].push(Neighbor { id: u.0, out: p_in, in_: p_out });
+                adj[u.index()].push(Neighbor {
+                    id: v.0,
+                    out: p_out,
+                    in_: p_in,
+                });
+                adj[v.index()].push(Neighbor {
+                    id: u.0,
+                    out: p_in,
+                    in_: p_out,
+                });
             }
         }
         if undirected != n - 1 {
@@ -117,7 +125,14 @@ impl BidirectedTree {
         for &s in seeds {
             seed_mask[s.index()] = true;
         }
-        Ok(BidirectedTree { n, adj, seeds: seed_mask, parent, children, bfs_order })
+        Ok(BidirectedTree {
+            n,
+            adj,
+            seeds: seed_mask,
+            parent,
+            children,
+            bfs_order,
+        })
     }
 
     /// Number of nodes.
@@ -133,7 +148,10 @@ impl BidirectedTree {
 
     /// The seed nodes.
     pub fn seed_nodes(&self) -> Vec<NodeId> {
-        (0..self.n as u32).filter(|&v| self.seeds[v as usize]).map(NodeId).collect()
+        (0..self.n as u32)
+            .filter(|&v| self.seeds[v as usize])
+            .map(NodeId)
+            .collect()
     }
 
     /// Neighbors of `u` with both directions' probabilities.
@@ -195,7 +213,8 @@ mod tests {
         // Figure 4: star with center v0 and leaves v1..v3, p=0.1, p'=0.19.
         let mut b = GraphBuilder::new(4);
         for v in 1..4u32 {
-            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.1, 0.19).unwrap();
+            b.add_bidirected_edge(NodeId(0), NodeId(v), 0.1, 0.19)
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -225,9 +244,12 @@ mod tests {
     #[test]
     fn rejects_cycle() {
         let mut b = GraphBuilder::new(3);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
-        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
-        b.add_bidirected_edge(NodeId(2), NodeId(0), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2)
+            .unwrap();
+        b.add_bidirected_edge(NodeId(1), NodeId(2), 0.1, 0.2)
+            .unwrap();
+        b.add_bidirected_edge(NodeId(2), NodeId(0), 0.1, 0.2)
+            .unwrap();
         let g = b.build().unwrap();
         assert!(matches!(
             BidirectedTree::from_digraph(&g, &[]),
@@ -238,8 +260,10 @@ mod tests {
     #[test]
     fn rejects_disconnected() {
         let mut b = GraphBuilder::new(4);
-        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2).unwrap();
-        b.add_bidirected_edge(NodeId(2), NodeId(3), 0.1, 0.2).unwrap();
+        b.add_bidirected_edge(NodeId(0), NodeId(1), 0.1, 0.2)
+            .unwrap();
+        b.add_bidirected_edge(NodeId(2), NodeId(3), 0.1, 0.2)
+            .unwrap();
         let g = b.build().unwrap();
         assert!(BidirectedTree::from_digraph(&g, &[]).is_err());
     }

@@ -20,7 +20,10 @@ fn main() {
     let seeds = vec![NodeId(0)];
 
     println!("=== Figure 1 of the paper ===");
-    println!("σ_S(∅)        = {:.4}  (paper: 1.22)", exact_sigma(&g, &seeds, &[]));
+    println!(
+        "σ_S(∅)        = {:.4}  (paper: 1.22)",
+        exact_sigma(&g, &seeds, &[])
+    );
     for (label, set) in [
         ("Δ_S({v0})    ", vec![NodeId(1)]),
         ("Δ_S({v1})    ", vec![NodeId(2)]),
@@ -37,7 +40,12 @@ fn main() {
 
     // PRR-Boost with k = 1 must pick v0 (node 1), not v1: boosting close
     // to the seed compounds down the path.
-    let opts = BoostOptions { threads: 2, min_sketches: 50_000, max_sketches: Some(100_000), ..Default::default() };
+    let opts = BoostOptions {
+        threads: 2,
+        min_sketches: 50_000,
+        max_sketches: Some(100_000),
+        ..Default::default()
+    };
     let (outcome, pool) = prr_boost(&g, &seeds, 1, &opts);
     println!("\n=== PRR-Boost (k = 1) ===");
     println!("selected boost set: {:?}", outcome.best);

@@ -109,7 +109,9 @@ impl Flags {
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.named.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {raw}")),
         }
     }
 
@@ -130,7 +132,11 @@ fn read_node_file(path: &str) -> Result<Vec<NodeId>, String> {
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| l.parse::<u32>().map(NodeId).map_err(|_| format!("bad node id `{l}` in {path}")))
+        .map(|l| {
+            l.parse::<u32>()
+                .map(NodeId)
+                .map_err(|_| format!("bad node id `{l}` in {path}"))
+        })
         .collect()
 }
 
@@ -169,7 +175,8 @@ fn cmd_generate(args: &[String]) -> CliResult {
         None | Some("tiny") => Scale::Tiny,
         Some("full") => Scale::Full,
         Some(frac) => Scale::Fraction(
-            frac.parse().map_err(|_| format!("bad --scale value `{frac}`"))?,
+            frac.parse()
+                .map_err(|_| format!("bad --scale value `{frac}`"))?,
         ),
     };
     let beta: f64 = flags.parse("beta", 2.0)?;
@@ -177,7 +184,12 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let out = flags.required("o")?;
     let g = dataset.generate(scale, beta, seed);
     write_edge_list_file(&g, Path::new(out)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} nodes, {} edges)", out, g.num_nodes(), g.num_edges());
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -276,7 +288,10 @@ fn cmd_tree(args: &[String]) -> CliResult {
     if flags.has("dp") {
         let eps: f64 = flags.parse("eps", 0.5)?;
         let out = dp_boost(&tree, k, eps);
-        println!("DP-Boost(ε={eps}): boost = {:.4} (dp value {:.4})", out.boost, out.dp_value);
+        println!(
+            "DP-Boost(ε={eps}): boost = {:.4} (dp value {:.4})",
+            out.boost, out.dp_value
+        );
         for v in &out.boost_set {
             println!("{v}");
         }

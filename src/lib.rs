@@ -10,7 +10,8 @@
 //!   parallel Monte-Carlo estimator.
 //! * [`rrset`] — Reverse-Reachable sets and the IMM sampling framework.
 //! * [`prr`] — Potentially Reverse Reachable graphs: generation
-//!   (Algorithm 1), compression, evaluation, critical nodes.
+//!   (Algorithm 1), compression, evaluation, critical nodes, the flat
+//!   storage arena, and the index-accelerated greedy `Δ̂` selection.
 //! * [`core`] — PRR-Boost, PRR-Boost-LB, the Sandwich Approximation, and
 //!   the budget-allocation heuristic.
 //! * [`tree`] — bidirected-tree algorithms: linear-time exact boosted
@@ -18,6 +19,33 @@
 //! * [`baselines`] — HighDegreeGlobal/Local, PageRank, MoreSeeds, Random.
 //! * [`datasets`] — synthetic stand-ins for the paper's four social
 //!   networks, calibrated to Table 1.
+//!
+//! # The parallel PRR engine
+//!
+//! The hot path — PRR-graph sampling and greedy boost selection — is
+//! multi-threaded end to end, under one **determinism contract**: results
+//! depend only on the seed and the requested sample targets, never on the
+//! thread count or the OS scheduler.
+//!
+//! * **Sampling** ([`rrset::sketch::SketchPool`]): work is cut into
+//!   fixed-size chunks seeded from `(base_seed, global_chunk_index)`;
+//!   workers pull chunks from a shared counter and results merge in chunk
+//!   order. Per-thread generation scratch (the stamped distance array of
+//!   Algorithm 1) is reused across samples via thread-locals.
+//! * **Storage** ([`prr::arena::PrrArena`]): boostable PRR-graphs are
+//!   flattened into shared arrays — node tables, CSR offsets, packed
+//!   edges (head + boost flag in one `u32`), critical sets — with a
+//!   fixed-size record per graph, so pool sweeps are linear scans instead
+//!   of pointer chases over per-graph allocations.
+//! * **Selection** ([`prr::select::greedy_delta_selection`]): an inverted
+//!   coverage index maps each node to the PRR-graphs where it heads a
+//!   boost edge; greedy rounds update vote counts incrementally and
+//!   re-traverse only the graphs affected by the picked node. Bit-identical
+//!   to the naive per-round full re-traversal
+//!   ([`prr::select::greedy_delta_selection_naive`]), which property tests
+//!   enforce; `BENCH_prr.json` tracks the measured speedup.
+//! * **Estimation** (`core::PrrPool`): `Δ̂` / `µ̂` fan out over contiguous
+//!   arena ranges and sum exact per-range counts.
 //!
 //! # Quickstart
 //!

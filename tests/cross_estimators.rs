@@ -69,7 +69,11 @@ fn mu_hat_matches_mu_model_simulation() {
 
 #[test]
 fn coupled_mc_matches_exact_on_random_graphs() {
-    let mc = McConfig { runs: 150_000, threads: 4, seed: 9 };
+    let mc = McConfig {
+        runs: 150_000,
+        threads: 4,
+        seed: 9,
+    };
     for seed in 0..4u64 {
         let g = small_random(seed + 100);
         let seeds = [NodeId(0)];

@@ -1,0 +1,134 @@
+//! The parallel PRR engine's determinism contract, end to end:
+//!
+//! * PRR-graph sampling is **thread-count invariant** — a fixed seed and
+//!   target sequence yields an identical pool (and therefore identical
+//!   `Δ̂` / `µ̂` estimates and selected boost sets) for any thread count;
+//! * the index-accelerated greedy `Δ̂` selection is **bit-identical** to
+//!   the naive full re-traversal greedy, on ER graphs and on the set-cover
+//!   gadget where the optimum is known by construction.
+
+use kboost::core::{prr_boost, BoostOptions, PrrPool};
+use kboost::graph::generators::{erdos_renyi, set_cover_gadget, SetCoverInstance};
+use kboost::graph::probability::ProbabilityModel;
+use kboost::graph::{DiGraph, NodeId};
+use kboost::prr::{greedy_delta_selection, greedy_delta_selection_naive, PrrFullSource};
+use kboost::rrset::sketch::SketchPool;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn er_graph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    erdos_renyi(n, m, ProbabilityModel::Constant(0.3), 2.0, &mut rng)
+}
+
+/// Samples a PRR pool for `(g, seeds, k)` with the given thread count.
+fn sample_pool(g: &DiGraph, seeds: &[NodeId], k: usize, threads: usize, target: u64) -> PrrPool {
+    let source = PrrFullSource::new(g, seeds, k);
+    let mut sketches = SketchPool::new(0xDE7, threads);
+    sketches.extend_to(&source, target);
+    PrrPool::new(sketches, g.num_nodes(), threads)
+}
+
+#[test]
+fn prr_sampling_thread_count_invariant() {
+    let g = er_graph(120, 600, 5);
+    let seeds = [NodeId(0), NodeId(1)];
+    let k = 3;
+    let reference = sample_pool(&g, &seeds, k, 1, 30_000);
+    let ref_selection = greedy_delta_selection(reference.arena(), g.num_nodes(), k, 1);
+
+    for threads in [2usize, 7] {
+        let pool = sample_pool(&g, &seeds, k, threads, 30_000);
+        assert_eq!(pool.total_samples(), reference.total_samples());
+        assert_eq!(pool.num_boostable(), reference.num_boostable());
+        // Exact equality: the pools must be the same pools, not just
+        // statistically close ones.
+        for set in [
+            vec![NodeId(3)],
+            vec![NodeId(5), NodeId(9)],
+            ref_selection.selected.clone(),
+        ] {
+            assert_eq!(
+                pool.delta_hat(&set),
+                reference.delta_hat(&set),
+                "Δ̂ at {threads} threads"
+            );
+            assert_eq!(
+                pool.mu_hat(&set),
+                reference.mu_hat(&set),
+                "µ̂ at {threads} threads"
+            );
+        }
+        let selection = greedy_delta_selection(pool.arena(), g.num_nodes(), k, threads);
+        assert_eq!(selection, ref_selection, "selection at {threads} threads");
+    }
+}
+
+#[test]
+fn prr_boost_end_to_end_thread_count_invariant() {
+    let g = er_graph(60, 240, 11);
+    let seeds = [NodeId(0)];
+    let mk_opts = |threads: usize| BoostOptions {
+        threads,
+        seed: 77,
+        max_sketches: Some(60_000),
+        min_sketches: 20_000,
+        ..Default::default()
+    };
+    let (ref_out, _) = prr_boost(&g, &seeds, 2, &mk_opts(1));
+    for threads in [3usize, 8] {
+        let (out, _) = prr_boost(&g, &seeds, 2, &mk_opts(threads));
+        assert_eq!(out.best, ref_out.best, "best at {threads} threads");
+        assert_eq!(out.b_mu, ref_out.b_mu, "B_µ at {threads} threads");
+        assert_eq!(out.b_delta, ref_out.b_delta, "B_Δ at {threads} threads");
+        assert_eq!(
+            out.estimate, ref_out.estimate,
+            "estimate at {threads} threads"
+        );
+        assert_eq!(out.stats.total_samples, ref_out.stats.total_samples);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Index-accelerated greedy must match the naive re-traversal greedy on
+    /// pools sampled from random ER graphs, for every budget.
+    #[test]
+    fn indexed_greedy_matches_naive_on_er(
+        graph_seed in 0u64..5_000,
+        pool_seed in 0u64..5_000,
+        k in 1usize..5,
+    ) {
+        let g = er_graph(14, 40, graph_seed);
+        let source = PrrFullSource::new(&g, &[NodeId(0)], k);
+        let mut sketches = SketchPool::new(pool_seed, 2);
+        sketches.extend_to(&source, 400);
+        let pool = PrrPool::new(sketches, g.num_nodes(), 2);
+        let fast = greedy_delta_selection(pool.arena(), g.num_nodes(), k, 2);
+        let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), k);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Same equivalence on the set-cover gadget, whose PRR-graphs have the
+    /// tripartite structure of the NP-hardness proof.
+    #[test]
+    fn indexed_greedy_matches_naive_on_gadget(
+        pool_seed in 0u64..5_000,
+        k in 1usize..4,
+    ) {
+        let instance = SetCoverInstance {
+            num_elements: 6,
+            subsets: vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![1, 4]],
+        };
+        let g = set_cover_gadget(&instance);
+        let source = PrrFullSource::new(&g, &[NodeId(0)], k);
+        let mut sketches = SketchPool::new(pool_seed, 3);
+        sketches.extend_to(&source, 600);
+        let pool = PrrPool::new(sketches, g.num_nodes(), 3);
+        let fast = greedy_delta_selection(pool.arena(), g.num_nodes(), k, 3);
+        let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), k);
+        prop_assert_eq!(fast, naive);
+    }
+}

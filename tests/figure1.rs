@@ -29,14 +29,26 @@ fn exact_numbers_match_paper_table() {
 #[test]
 fn monte_carlo_agrees_with_exact() {
     let g = figure1();
-    let mc = McConfig { runs: 200_000, threads: 4, seed: 5 };
-    for set in [vec![], vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+    let mc = McConfig {
+        runs: 200_000,
+        threads: 4,
+        seed: 5,
+    };
+    for set in [
+        vec![],
+        vec![NodeId(1)],
+        vec![NodeId(2)],
+        vec![NodeId(1), NodeId(2)],
+    ] {
         let sim = estimate_sigma(&g, &S, &set, &mc);
         let truth = exact_sigma(&g, &S, &set);
         assert!((sim - truth).abs() < 0.01, "B={set:?}: {sim} vs {truth}");
         let simd = estimate_boost(&g, &S, &set, &mc);
         let truthd = exact_boost(&g, &S, &set);
-        assert!((simd - truthd).abs() < 0.005, "Δ B={set:?}: {simd} vs {truthd}");
+        assert!(
+            (simd - truthd).abs() < 0.005,
+            "Δ B={set:?}: {simd} vs {truthd}"
+        );
     }
 }
 
@@ -46,7 +58,10 @@ fn mu_is_a_lower_bound_of_delta() {
     for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
         let mu = estimate_mu(&g, &S, &set, 200_000, 11);
         let delta = exact_boost(&g, &S, &set);
-        assert!(mu <= delta + 0.01, "µ {mu} must lower-bound Δ {delta} for {set:?}");
+        assert!(
+            mu <= delta + 0.01,
+            "µ {mu} must lower-bound Δ {delta} for {set:?}"
+        );
     }
 }
 
@@ -61,7 +76,11 @@ fn prr_boost_picks_v0_and_pool_estimates_match() {
         ..Default::default()
     };
     let (out, pool) = prr_boost(&g, &S, 1, &opts);
-    assert_eq!(out.best, vec![NodeId(1)], "boosting v0 dominates boosting v1");
+    assert_eq!(
+        out.best,
+        vec![NodeId(1)],
+        "boosting v0 dominates boosting v1"
+    );
 
     // Pool estimators vs exact values.
     for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
@@ -70,7 +89,10 @@ fn prr_boost_picks_v0_and_pool_estimates_match() {
         assert!((est - truth).abs() < 0.02, "Δ̂({set:?}) = {est} vs {truth}");
         let mu_hat = pool.mu_hat(&set);
         let mu_sim = estimate_mu(&g, &S, &set, 200_000, 31);
-        assert!((mu_hat - mu_sim).abs() < 0.02, "µ̂({set:?}) = {mu_hat} vs {mu_sim}");
+        assert!(
+            (mu_hat - mu_sim).abs() < 0.02,
+            "µ̂({set:?}) = {mu_hat} vs {mu_sim}"
+        );
         assert!(mu_hat <= est + 0.01, "µ̂ must lower-bound Δ̂");
     }
 }

@@ -22,7 +22,11 @@ fn boosting_a_cover_activates_all_elements() {
     let g = set_cover_gadget(&inst);
     let seeds = [NodeId(0)];
     let cover = vec![inst.set_node(0), inst.set_node(2)]; // C1 ∪ C3 = X
-    let mc = McConfig { runs: 60_000, threads: 4, seed: 3 };
+    let mc = McConfig {
+        runs: 60_000,
+        threads: 4,
+        seed: 3,
+    };
     let sigma = estimate_sigma(&g, &seeds, &cover, &mc);
     let expected = 1.0 + 2.0 + 0.5 + 6.0;
     assert!(
@@ -56,8 +60,16 @@ fn prr_boost_finds_a_cover() {
         .iter()
         .filter_map(|&v| (1..=3).find(|&i| inst.set_node(i - 1) == v).map(|i| i - 1))
         .collect();
-    assert_eq!(chosen.len(), 2, "both picks should be set-nodes: {:?}", out.best);
-    assert!(inst.is_cover(&chosen), "picked sets {chosen:?} are not a cover");
+    assert_eq!(
+        chosen.len(),
+        2,
+        "both picks should be set-nodes: {:?}",
+        out.best
+    );
+    assert!(
+        inst.is_cover(&chosen),
+        "picked sets {chosen:?} are not a cover"
+    );
 }
 
 #[test]

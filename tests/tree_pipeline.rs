@@ -24,7 +24,11 @@ fn tree_sigma_matches_monte_carlo() {
     let boost = vec![NodeId(1), NodeId(4), NodeId(22)];
 
     let exact = tree_sigma(&tree, &boost);
-    let mc = McConfig { runs: 150_000, threads: 4, seed: 13 };
+    let mc = McConfig {
+        runs: 150_000,
+        threads: 4,
+        seed: 13,
+    };
     let sim = estimate_sigma(&g, &seeds, &boost, &mc);
     assert!(
         (exact - sim).abs() < 0.08,

@@ -1,0 +1,353 @@
+//! Minimal, self-contained stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace ships this shim instead of the real crate. It implements
+//! exactly the surface the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded via SplitMix64,
+//! * [`Rng`] — `random`, `random_range`, `random_bool`,
+//! * [`SeedableRng`] — `seed_from_u64`,
+//! * [`seq::IndexedRandom::choose`] and [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism contract: for a fixed seed, every method produces an
+//! identical stream on every platform — several workspace tests (parallel
+//! sketch pools, coupled Monte-Carlo) rely on this.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (top half of a 64-bit draw).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T` (uniform over
+    /// the value range; `[0, 1)` for floats).
+    #[inline]
+    fn random<T: distr::StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    #[inline]
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step — used to expand a `u64` seed into RNG state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete RNG implementations.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distr {
+    //! Distribution plumbing behind [`Rng::random`] and
+    //! [`Rng::random_range`].
+
+    use super::RngCore;
+
+    /// Maps 64 random bits to a uniform `f64` in `[0, 1)` (top 53 bits).
+    #[inline]
+    pub fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types samplable by [`Rng::random`](super::Rng::random).
+    pub trait StandardUniform: Sized {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl StandardUniform for f32 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for u64 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardUniform for u32 {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardUniform for bool {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform draw from `[0, span)` via 128-bit widening multiply.
+    ///
+    /// The modulo bias is at most `span / 2^64` — far below anything the
+    /// workspace's statistical tolerances could detect.
+    #[inline]
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Ranges samplable by [`Rng::random_range`](super::Rng::random_range),
+    /// producing values of type `T`. The generic parameter (rather than an
+    /// associated type) lets integer-literal ranges infer their type from
+    /// how the result is used, e.g. as a slice index.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let x = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+            // Floating rounding can land exactly on `end`; clamp back.
+            if x >= self.end {
+                self.end - (self.end - self.start) * f64::EPSILON
+            } else {
+                x
+            }
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        #[inline]
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "empty range");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            let x = self.start + (self.end - self.start) * unit;
+            if x >= self.end {
+                self.start
+            } else {
+                x
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Random selection / permutation over slices.
+
+    use super::{Rng, RngCore};
+
+    /// Random element access on slices.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+
+    /// In-place random permutation of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn unit_floats_in_range_and_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(3..7u32);
+            assert!((3..7).contains(&v));
+            seen[v as usize] = true;
+            let w = rng.random_range(0..=2usize);
+            assert!(w <= 2);
+            let f = rng.random_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+        assert!(seen[3] && seen[4] && seen[5] && seen[6]);
+    }
+
+    #[test]
+    fn random_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+}
