@@ -1,14 +1,20 @@
 //! Perf-trajectory harness for the parallel PRR engine.
 //!
-//! Generates a preferential-attachment network, samples a large PRR-graph
-//! pool in parallel, then runs greedy `Δ̂` boost selection twice — with the
-//! inverted coverage index and with the naive per-round full re-traversal —
-//! and writes the timings to `BENCH_prr.json`. Committed alongside the code
-//! so the perf trajectory of the hot path is tracked across PRs.
+//! Generates a preferential-attachment network, then for each thread count
+//! in the sweep samples a large PRR-graph pool through the streaming
+//! shard→arena pipeline, recording build time, build throughput and peak
+//! pool-build memory, plus greedy `Δ̂` selection time (inverted coverage
+//! index). One legacy-pipeline run (per-graph `CompressedPrr` payloads
+//! copied into the arena) is measured as the baseline, and its arena must
+//! be byte-equal to the shard-built one — as must the arenas across all
+//! thread counts, so a CI smoke run of this binary doubles as a
+//! determinism check. Results go to `BENCH_prr.json`, committed alongside
+//! the code so the perf trajectory of the hot path is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p kboost-bench --bin exp_perf -- \
-//!     [--nodes N] [--samples N] [--k N] [--threads N] [--seed N] [--out PATH]
+//!     [--nodes N] [--samples N] [--k N] [--threads 1,2,4] [--seed N] \
+//!     [--skip-legacy] [--out PATH]
 //! ```
 
 use std::time::Instant;
@@ -16,7 +22,10 @@ use std::time::Instant;
 use kboost_core::PrrPool;
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::ProbabilityModel;
-use kboost_prr::{greedy_delta_selection, greedy_delta_selection_naive, PrrFullSource};
+use kboost_prr::{
+    greedy_delta_selection, greedy_delta_selection_naive, CompressedPrr, LegacyPrrSource,
+    PrrFullSource,
+};
 use kboost_rrset::seeds::select_random_nodes;
 use kboost_rrset::sketch::SketchPool;
 use rand::rngs::SmallRng;
@@ -26,9 +35,18 @@ struct PerfOpts {
     nodes: usize,
     samples: u64,
     k: usize,
-    threads: usize,
+    threads: Vec<usize>,
     seed: u64,
+    legacy_baseline: bool,
     out: String,
+}
+
+fn default_thread_sweep() -> Vec<usize> {
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut sweep = vec![1usize, 2, 4, nproc];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
 }
 
 fn parse_args() -> PerfOpts {
@@ -36,8 +54,9 @@ fn parse_args() -> PerfOpts {
         nodes: 60_000,
         samples: 120_000,
         k: 100,
-        threads: 8,
+        threads: default_thread_sweep(),
         seed: 42,
+        legacy_baseline: true,
         out: "BENCH_prr.json".to_string(),
     };
     let args: Vec<String> = std::env::args().collect();
@@ -54,8 +73,18 @@ fn parse_args() -> PerfOpts {
             "--nodes" => opts.nodes = next(&mut i).parse().expect("--nodes N"),
             "--samples" => opts.samples = next(&mut i).parse().expect("--samples N"),
             "--k" => opts.k = next(&mut i).parse().expect("--k N"),
-            "--threads" => opts.threads = next(&mut i).parse().expect("--threads N"),
+            "--threads" => {
+                opts.threads = next(&mut i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads N[,N...]"))
+                    .collect();
+                assert!(
+                    !opts.threads.is_empty(),
+                    "--threads needs at least one value"
+                );
+            }
             "--seed" => opts.seed = next(&mut i).parse().expect("--seed N"),
+            "--skip-legacy" => opts.legacy_baseline = false,
             "--out" => opts.out = next(&mut i),
             other => panic!("unknown flag {other}"),
         }
@@ -64,13 +93,23 @@ fn parse_args() -> PerfOpts {
     opts
 }
 
+/// One thread-count measurement of the shard pipeline.
+struct SweepPoint {
+    threads: usize,
+    build_secs: f64,
+    build_samples_per_sec: f64,
+    build_peak_bytes: usize,
+    select_secs: f64,
+}
+
 fn main() {
     let opts = parse_args();
 
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    // Digg-calibrated log-normal probabilities (Table 1) — the same model
-    // the synthetic datasets use. (WeightedCascade is unusable here: the PA
-    // generator samples probabilities before in-degrees are final.)
+    // Digg-calibrated log-normal probabilities (Table 1) — kept over
+    // WeightedCascade (fixed since the PA generator gained its
+    // second-pass probability assignment) so the perf trajectory stays
+    // comparable across PRs.
     let g = preferential_attachment(
         opts.nodes,
         4,
@@ -85,76 +124,159 @@ fn main() {
     );
     let seeds = select_random_nodes(&g, 50, &[], opts.seed ^ 0x5EED);
     eprintln!(
-        "graph: {} nodes, {} edges; {} seeds, k = {}, {} threads",
-        g.num_nodes(),
-        g.num_edges(),
-        seeds.len(),
-        opts.k,
-        opts.threads
-    );
-
-    // Phase 1: parallel PRR-graph sampling into the flat arena.
-    let t0 = Instant::now();
-    let source = PrrFullSource::new(&g, &seeds, opts.k);
-    let mut sketches = SketchPool::new(opts.seed, opts.threads);
-    sketches.extend_to(&source, opts.samples);
-    let gen_secs = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let pool = PrrPool::new(sketches, g.num_nodes(), opts.threads);
-    let arena_build_secs = t1.elapsed().as_secs_f64();
-    eprintln!(
-        "sampled {} PRR-graphs ({} boostable, {} stored edges) in {gen_secs:.2}s (+{arena_build_secs:.2}s arena build)",
-        pool.total_samples(),
-        pool.num_boostable(),
-        pool.arena().total_edges(),
-    );
-
-    // Phase 2: greedy Δ̂ selection, index-accelerated vs naive.
-    let t2 = Instant::now();
-    let indexed = greedy_delta_selection(pool.arena(), g.num_nodes(), opts.k, opts.threads);
-    let indexed_secs = t2.elapsed().as_secs_f64();
-
-    let t3 = Instant::now();
-    let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), opts.k);
-    let naive_secs = t3.elapsed().as_secs_f64();
-
-    assert_eq!(
-        indexed, naive,
-        "index-accelerated selection diverged from the naive baseline"
-    );
-    let speedup = naive_secs / indexed_secs.max(1e-9);
-    let delta_hat = pool.delta_hat(&indexed.selected);
-    eprintln!(
-        "selection: indexed {indexed_secs:.3}s vs naive {naive_secs:.3}s → {speedup:.1}x; \
-         picked {} nodes covering {} graphs (Δ̂ = {delta_hat:.1})",
-        indexed.selected.len(),
-        indexed.covered,
-    );
-
-    let json = format!(
-        "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
-         \"threads\": {},\n  \"seed\": {},\n  \"samples\": {},\n  \"boostable\": {},\n  \
-         \"arena_edges\": {},\n  \"arena_bytes\": {},\n  \"gen_secs\": {:.4},\n  \
-         \"arena_build_secs\": {:.4},\n  \"indexed_select_secs\": {:.4},\n  \
-         \"naive_select_secs\": {:.4},\n  \"select_speedup\": {:.2},\n  \
-         \"covered\": {},\n  \"delta_hat\": {:.4}\n}}\n",
+        "graph: {} nodes, {} edges; {} seeds, k = {}, thread sweep {:?}",
         g.num_nodes(),
         g.num_edges(),
         seeds.len(),
         opts.k,
         opts.threads,
+    );
+
+    let source = PrrFullSource::new(&g, &seeds, opts.k);
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    let mut reference: Option<(PrrPool, kboost_prr::DeltaSelection)> = None;
+    for &threads in &opts.threads {
+        // Sampling builds the arena in place: shard construction inside the
+        // workers, chunk-ordered absorbs on merge, and a final move into
+        // the pool. Peak pool-build memory is the arena plus the covers
+        // (both alive until `PrrPool::new` drops the covers).
+        let t0 = Instant::now();
+        let mut sketches = SketchPool::new(opts.seed, threads);
+        sketches.extend_to(&source, opts.samples);
+        let build_secs = t0.elapsed().as_secs_f64();
+        let build_peak_bytes = sketches.shard().memory_bytes() + sketches.cover_memory_bytes();
+        let pool = PrrPool::new(sketches, g.num_nodes(), threads);
+
+        let t1 = Instant::now();
+        let selection = greedy_delta_selection(pool.arena(), g.num_nodes(), opts.k, threads);
+        let select_secs = t1.elapsed().as_secs_f64();
+
+        eprintln!(
+            "[{threads} threads] sampled {} PRR-graphs ({} boostable) in {build_secs:.2}s \
+             (peak build {:.1} MiB); Δ̂ selection {select_secs:.3}s covering {} graphs",
+            pool.total_samples(),
+            pool.num_boostable(),
+            build_peak_bytes as f64 / (1024.0 * 1024.0),
+            selection.covered,
+        );
+        sweep.push(SweepPoint {
+            threads,
+            build_secs,
+            build_samples_per_sec: pool.total_samples() as f64 / build_secs.max(1e-9),
+            build_peak_bytes,
+            select_secs,
+        });
+
+        match &reference {
+            None => {
+                // Once per config: the indexed selection must match the
+                // naive full re-traversal greedy.
+                let t2 = Instant::now();
+                let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), opts.k);
+                let naive_secs = t2.elapsed().as_secs_f64();
+                assert_eq!(
+                    selection, naive,
+                    "index-accelerated selection diverged from the naive baseline"
+                );
+                eprintln!(
+                    "selection cross-check: indexed {select_secs:.3}s vs naive {naive_secs:.3}s \
+                     → {:.1}x",
+                    naive_secs / select_secs.max(1e-9)
+                );
+                reference = Some((pool, selection));
+            }
+            Some((reference, ref_selection)) => {
+                // The determinism contract, live: any thread count must
+                // produce the bit-identical arena and the same selection.
+                assert!(
+                    pool.arena() == reference.arena(),
+                    "shard pipeline non-deterministic: arena at {threads} threads \
+                     differs from {} threads",
+                    sweep[0].threads,
+                );
+                assert_eq!(pool.total_samples(), reference.total_samples());
+                assert_eq!(
+                    &selection, ref_selection,
+                    "greedy Δ̂ selection differs at {threads} threads"
+                );
+            }
+        }
+    }
+    let (reference, selection) = reference.expect("at least one sweep entry");
+
+    // Legacy baseline: per-graph payloads + copy stage, at the fastest
+    // thread count. Peak memory additionally holds every standalone
+    // `CompressedPrr` (plus its struct/Vec headers) while the arena is
+    // copied together.
+    let mut legacy_json = String::new();
+    if opts.legacy_baseline {
+        let threads = *opts.threads.iter().max().unwrap();
+        let legacy_source = LegacyPrrSource::new(&g, &seeds, opts.k);
+        let t0 = Instant::now();
+        let mut sketches = SketchPool::new(opts.seed, threads);
+        sketches.extend_to(&legacy_source, opts.samples);
+        let sample_secs = t0.elapsed().as_secs_f64();
+        let payload_bytes: usize = sketches
+            .shard()
+            .iter()
+            .map(|c| c.memory_bytes() + std::mem::size_of::<CompressedPrr>())
+            .sum();
+        let cover_bytes = sketches.cover_memory_bytes();
+        let t1 = Instant::now();
+        let pool = PrrPool::from_legacy(sketches, g.num_nodes(), threads);
+        let copy_secs = t1.elapsed().as_secs_f64();
+        let peak = payload_bytes + cover_bytes + pool.memory_bytes();
+        assert!(
+            pool.arena() == reference.arena(),
+            "shard-built arena diverged from the legacy copy-built arena"
+        );
+        let shard_peak = sweep
+            .iter()
+            .find(|p| p.threads == threads)
+            .map_or(sweep[0].build_peak_bytes, |p| p.build_peak_bytes);
+        eprintln!(
+            "legacy baseline [{threads} threads]: sampled in {sample_secs:.2}s + {copy_secs:.3}s \
+             arena copy; peak build {:.1} MiB vs shard {:.1} MiB ({:.2}x)",
+            peak as f64 / (1024.0 * 1024.0),
+            shard_peak as f64 / (1024.0 * 1024.0),
+            peak as f64 / shard_peak.max(1) as f64,
+        );
+        legacy_json = format!(
+            ",\n  \"legacy_baseline\": {{\n    \"threads\": {threads},\n    \
+             \"sample_secs\": {sample_secs:.4},\n    \"arena_copy_secs\": {copy_secs:.4},\n    \
+             \"build_peak_bytes\": {peak},\n    \"peak_vs_shard\": {:.4}\n  }}",
+            peak as f64 / shard_peak.max(1) as f64,
+        );
+    }
+
+    let delta_hat = reference.delta_hat(&selection.selected);
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"threads\": {}, \"build_secs\": {:.4}, \
+                 \"build_samples_per_sec\": {:.1}, \"build_peak_bytes\": {}, \
+                 \"select_secs\": {:.4} }}",
+                p.threads, p.build_secs, p.build_samples_per_sec, p.build_peak_bytes, p.select_secs,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
+         \"seed\": {},\n  \"samples\": {},\n  \"boostable\": {},\n  \"arena_edges\": {},\n  \
+         \"arena_bytes\": {},\n  \"delta_hat\": {:.4},\n  \"thread_sweep\": [\n{}\n  ]{}\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        seeds.len(),
+        opts.k,
         opts.seed,
-        pool.total_samples(),
-        pool.num_boostable(),
-        pool.arena().total_edges(),
-        pool.memory_bytes(),
-        gen_secs,
-        arena_build_secs,
-        indexed_secs,
-        naive_secs,
-        speedup,
-        indexed.covered,
+        reference.total_samples(),
+        reference.num_boostable(),
+        reference.arena().total_edges(),
+        reference.memory_bytes(),
         delta_hat,
+        sweep_json.join(",\n"),
+        legacy_json,
     );
     std::fs::write(&opts.out, &json).expect("write BENCH_prr.json");
     println!("{json}");

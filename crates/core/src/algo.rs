@@ -72,7 +72,8 @@ pub struct BoostStats {
     pub avg_uncompressed_edges: f64,
     /// Mean compressed edges per boostable graph (denominator).
     pub avg_compressed_edges: f64,
-    /// Bytes retained for boostable PRR-graphs (payloads + covers).
+    /// Bytes retained for boostable PRR-graphs (arena, or covers for the
+    /// LB variant).
     pub memory_bytes: usize,
 }
 

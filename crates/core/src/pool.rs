@@ -1,7 +1,9 @@
 //! The retained PRR-graph pool with `Δ̂` / `µ̂` estimators.
 //!
 //! Boostable PRR-graphs live in a flat [`PrrArena`] (single shared arrays,
-//! no per-graph allocation), and both estimators sweep it with a
+//! no per-graph allocation) that the sampling workers build incrementally
+//! as [`PrrArenaShard`]s — converting a finished sketch pool into a
+//! `PrrPool` is a move, not a copy. Both estimators sweep the arena with a
 //! deterministic parallel fan-out: the arena is split into contiguous
 //! graph ranges, each worker counts hits with its own scratch, and the
 //! per-range counts are summed — so estimates are exact counts,
@@ -9,7 +11,7 @@
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::NodeId;
-use kboost_prr::{CompressedPrr, PrrArena, PrrEvalScratch, PrrGraphView};
+use kboost_prr::{CompressedPrr, PrrArena, PrrArenaShard, PrrEvalScratch, PrrGraphView};
 use kboost_rrset::sketch::SketchPool;
 
 /// A pool of sampled PRR-graphs for a fixed `(G, S, k)`.
@@ -27,15 +29,31 @@ pub struct PrrPool {
 impl PrrPool {
     /// Converts a finished sketch pool into an arena-backed PRR pool.
     ///
-    /// `n` is the host-graph node count; `threads` bounds the parallel
-    /// fan-out of [`delta_hat`](Self::delta_hat) / [`mu_hat`](Self::mu_hat).
-    /// The sketch covers are dropped — critical sets are stored once, in
-    /// the arena.
-    pub fn new(inner: SketchPool<CompressedPrr>, n: usize, threads: usize) -> Self {
-        let (_covers, payloads, total, empties) = inner.into_parts();
-        let arena = PrrArena::from_payloads(payloads);
+    /// The pool's merged sampling shard *is* the arena — this constructor
+    /// moves it, there is no copy stage. `n` is the host-graph node count;
+    /// `threads` bounds the parallel fan-out of
+    /// [`delta_hat`](Self::delta_hat) / [`mu_hat`](Self::mu_hat). The
+    /// sketch covers are dropped — critical sets are stored once, in the
+    /// arena.
+    pub fn new(inner: SketchPool<PrrArenaShard>, n: usize, threads: usize) -> Self {
+        let (_covers, shard, total, empties) = inner.into_parts();
         PrrPool {
-            arena,
+            arena: PrrArena::from_shard(shard),
+            n,
+            total,
+            empties,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Test-only equivalence oracle: builds the pool by copying legacy
+    /// per-graph payloads into the arena one by one (the pre-shard
+    /// pipeline). Kept so tests can assert the shard path is byte-equal;
+    /// do not use outside tests/benches.
+    pub fn from_legacy(inner: SketchPool<Vec<CompressedPrr>>, n: usize, threads: usize) -> Self {
+        let (_covers, payloads, total, empties) = inner.into_parts();
+        PrrPool {
+            arena: PrrArena::from_graphs(payloads),
             n,
             total,
             empties,
@@ -155,7 +173,7 @@ mod tests {
         b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
         let g = b.build().unwrap();
         let source = PrrFullSource::new(&g, &[NodeId(0)], 2);
-        let mut sketches: SketchPool<CompressedPrr> = SketchPool::new(11, threads);
+        let mut sketches: SketchPool<PrrArenaShard> = SketchPool::new(11, threads);
         sketches.extend_to(&source, 60_000);
         PrrPool::new(sketches, 3, threads)
     }

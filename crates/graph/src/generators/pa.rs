@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::probability::{boost_probability, ProbabilityModel};
+use crate::probability::{assign_probabilities, ProbabilityModel};
 use crate::{DiGraph, GraphBuilder, NodeId};
 
 /// Generates a scale-free directed graph by preferential attachment.
@@ -11,6 +11,11 @@ use crate::{DiGraph, GraphBuilder, NodeId};
 /// target links back (creating reciprocal follow relationships, common in
 /// social networks). The resulting in-degree distribution has a power-law
 /// tail, which is the regime the paper's real datasets live in.
+///
+/// Influence probabilities are assigned in a **second pass**, after the
+/// topology (and hence every in-degree) is final — degree-dependent models
+/// like [`ProbabilityModel::WeightedCascade`] would otherwise see the
+/// mid-generation in-degree of 0 and produce `p = 0` on every edge.
 pub fn preferential_attachment<R: Rng + ?Sized>(
     n: usize,
     out_per_node: usize,
@@ -38,24 +43,23 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
             if v >= u || edge_exists.contains(&(u, v)) {
                 continue;
             }
-            let p = model.sample(rng, 0);
             builder
-                .add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
+                .add_edge(NodeId(u), NodeId(v), 0.0, 0.0)
                 .expect("valid edge");
             edge_exists.insert((u, v));
             attachment_pool.push(v); // v gained an in-edge
             added += 1;
             if rng.random_bool(back_edge_prob) && !edge_exists.contains(&(v, u)) {
-                let p = model.sample(rng, 0);
                 builder
-                    .add_edge(NodeId(v), NodeId(u), p, boost_probability(p, beta))
+                    .add_edge(NodeId(v), NodeId(u), 0.0, 0.0)
                     .expect("valid edge");
                 edge_exists.insert((v, u));
                 attachment_pool.push(u);
             }
         }
     }
-    builder.build().expect("generator produces valid graphs")
+    let topology = builder.build().expect("generator produces valid graphs");
+    assign_probabilities(&topology, model, beta, rng)
 }
 
 #[cfg(test)]
@@ -90,6 +94,36 @@ mod tests {
             max_in as f64 > 10.0 * avg_in,
             "max in-degree {max_in} vs avg {avg_in}"
         );
+    }
+
+    #[test]
+    fn weighted_cascade_probabilities_strictly_positive() {
+        // Regression: probabilities used to be sampled mid-generation,
+        // when every target's in-degree read as 0 — WeightedCascade then
+        // assigned p = 0 to every edge. The second pass must see final
+        // in-degrees, i.e. p_uv = 1/in_degree(v) > 0 on every edge.
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = preferential_attachment(
+            400,
+            3,
+            0.2,
+            ProbabilityModel::WeightedCascade,
+            2.0,
+            &mut rng,
+        );
+        assert!(g.num_edges() > 0);
+        for (_, v, probs) in g.edges() {
+            let expected = 1.0 / g.in_degree(v) as f64;
+            assert!(
+                probs.base > 0.0 && probs.boosted >= probs.base,
+                "non-positive probability on an edge into {v:?}"
+            );
+            assert!(
+                (probs.base - expected).abs() < 1e-12,
+                "p into {v:?}: {} vs 1/in_degree {expected}",
+                probs.base
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::probability::{boost_probability, ProbabilityModel};
+use crate::probability::{assign_probabilities, ProbabilityModel};
 use crate::{DiGraph, GraphBuilder, NodeId};
 
 /// An undirected tree topology, stored as the list of `(parent, child)`
@@ -55,6 +55,10 @@ impl TreeTopology {
     /// Converts the topology into a bidirected [`DiGraph`], sampling each
     /// direction's base probability independently from `model` and boosting
     /// with `beta`.
+    ///
+    /// Probabilities are assigned in a second pass, after both directions
+    /// of every edge exist, so degree-dependent models see final
+    /// in-degrees.
     pub fn into_bidirected_graph<R: Rng + ?Sized>(
         &self,
         model: ProbabilityModel,
@@ -63,14 +67,13 @@ impl TreeTopology {
     ) -> DiGraph {
         let mut b = GraphBuilder::with_capacity(self.n, self.edges.len() * 2);
         for &(u, v) in &self.edges {
-            let p1 = model.sample(rng, 0);
-            let p2 = model.sample(rng, 0);
-            b.add_edge(NodeId(u), NodeId(v), p1, boost_probability(p1, beta))
+            b.add_edge(NodeId(u), NodeId(v), 0.0, 0.0)
                 .expect("valid edge");
-            b.add_edge(NodeId(v), NodeId(u), p2, boost_probability(p2, beta))
+            b.add_edge(NodeId(v), NodeId(u), 0.0, 0.0)
                 .expect("valid edge");
         }
-        b.build().expect("tree builds")
+        let topology = b.build().expect("tree builds");
+        assign_probabilities(&topology, model, beta, rng)
     }
 }
 

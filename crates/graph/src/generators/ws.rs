@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::probability::{boost_probability, ProbabilityModel};
+use crate::probability::{assign_probabilities, ProbabilityModel};
 use crate::{DiGraph, GraphBuilder, NodeId};
 
 /// Generates a directed Watts–Strogatz small-world graph.
@@ -10,6 +10,10 @@ use crate::{DiGraph, GraphBuilder, NodeId};
 /// with probability `rewire_prob`. Small-world topologies exercise the
 /// paper's observation that pruning in PRR-graph generation loses bite as
 /// path lengths shrink.
+///
+/// Influence probabilities are assigned in a second pass once the rewired
+/// topology (and hence every in-degree) is final, so degree-dependent
+/// models like [`ProbabilityModel::WeightedCascade`] are safe here.
 pub fn watts_strogatz<R: Rng + ?Sized>(
     n: usize,
     k_half: usize,
@@ -52,12 +56,12 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
     sorted.sort_unstable(); // deterministic iteration for reproducibility
     for (u, v) in sorted {
-        let p = model.sample(rng, 0);
         builder
-            .add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
+            .add_edge(NodeId(u), NodeId(v), 0.0, 0.0)
             .expect("valid edge");
     }
-    builder.build().expect("generator produces valid graphs")
+    let topology = builder.build().expect("generator produces valid graphs");
+    assign_probabilities(&topology, model, beta, rng)
 }
 
 #[cfg(test)]
@@ -82,6 +86,18 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(37);
         let g = watts_strogatz(50, 3, 0.5, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
         assert_eq!(g.num_edges(), 150);
+    }
+
+    #[test]
+    fn weighted_cascade_probabilities_strictly_positive() {
+        // Second-pass assignment: every edge head has final in-degree ≥ 1,
+        // so weighted cascade yields p > 0 everywhere.
+        let mut rng = SmallRng::seed_from_u64(61);
+        let g = watts_strogatz(40, 2, 0.3, ProbabilityModel::WeightedCascade, 2.0, &mut rng);
+        for (_, v, probs) in g.edges() {
+            assert!((probs.base - 1.0 / g.in_degree(v) as f64).abs() < 1e-12);
+            assert!(probs.base > 0.0);
+        }
     }
 
     #[test]

@@ -39,7 +39,12 @@ pub fn boost_probability(p: f64, beta: f64) -> f64 {
 impl ProbabilityModel {
     /// Draws a base probability for edge `(u, v)`.
     ///
-    /// `in_degree` is the in-degree of `v` (needed by weighted cascade).
+    /// `in_degree` is the **final** in-degree of `v` (needed by weighted
+    /// cascade). Generators must therefore assign probabilities in a
+    /// second pass once the topology is complete — sampling mid-generation
+    /// used to silently produce `p = 0` edges; weighted cascade now
+    /// panics on the impossible in-degree of 0 (the edge being sampled is
+    /// itself an in-edge of `v`) to keep that bug dead.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, in_degree: usize) -> f64 {
         match *self {
             ProbabilityModel::Constant(p) => p,
@@ -48,11 +53,12 @@ impl ProbabilityModel {
                 LEVELS[rng.random_range(0..3usize)]
             }
             ProbabilityModel::WeightedCascade => {
-                if in_degree == 0 {
-                    0.0
-                } else {
-                    1.0 / in_degree as f64
-                }
+                assert!(
+                    in_degree > 0,
+                    "WeightedCascade sampled with in-degree 0: assign probabilities \
+                     in a second pass, after the topology is final"
+                );
+                1.0 / in_degree as f64
             }
             ProbabilityModel::LogNormal { mu, sigma, cap } => {
                 // Box–Muller transform; avoids pulling in rand_distr.
@@ -132,7 +138,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let p = ProbabilityModel::WeightedCascade.sample(&mut rng, 4);
         assert!((p - 0.25).abs() < 1e-12);
-        assert_eq!(ProbabilityModel::WeightedCascade.sample(&mut rng, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-degree 0")]
+    fn weighted_cascade_rejects_zero_in_degree() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        ProbabilityModel::WeightedCascade.sample(&mut rng, 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Flat arena storage for pools of compressed PRR-graphs.
+//! Flat arena storage for pools of compressed PRR-graphs, built in
+//! streaming shards during sampling.
 //!
 //! PRR-Boost retains `10^5`–`10^7` compressed PRR-graphs and re-traverses
 //! them on every `Δ̂` evaluation and greedy round. Storing each graph as an
@@ -8,10 +9,34 @@
 //! shared `Vec` each, with a fixed-size [`GraphMeta`] record per graph — so
 //! a full pool sweep is a linear scan over a handful of flat arrays.
 //!
+//! # Shard lifecycle
+//!
+//! The arena is *never* populated by copying finished per-graph objects.
+//! Sampling workers each build a [`PrrArenaShard`] per work chunk: Phase-II
+//! compression appends node tables, CSR offsets, packed `u32` edges and
+//! critical sets straight from the raw PRR-graph into the shard's shared
+//! arrays (no intermediate `CompressedPrr` is ever allocated on this path).
+//! The sketch pool then merges chunk shards **in chunk order** via
+//! [`PrrArena::absorb_shard`]: a handful of bulk `Vec` appends, with the
+//! shard's (shard-absolute) CSR offsets and [`GraphMeta`] bases rebased by
+//! the receiving arena's current sizes. Converting the final merged shard
+//! into a [`PrrArena`] is a move.
+//!
+//! # Determinism contract
+//!
+//! Shard contents depend only on the RNG handed to the generator, and
+//! chunk shards are absorbed in global chunk-index order, so for a fixed
+//! `(base_seed, target sequence)` the final arena is **bit-identical for
+//! any thread count**. Shard construction reuses the exact CSR assembly of
+//! [`CompressedPrr::from_adjacency`], so a shard-built arena is also
+//! byte-equal to a legacy arena built by pushing per-graph `CompressedPrr`
+//! payloads (`tests/shard_pipeline.rs` asserts both properties; the legacy
+//! path survives only as that equivalence oracle).
+//!
 //! Per-node edge offsets are stored *absolute* (into the shared edge
-//! arrays) as `u32`, capping an arena at `2^32` stored edges — orders of
-//! magnitude above the paper's largest runs; [`PrrArena::push`] asserts the
-//! cap.
+//! arrays) as `u32`, capping an arena at `u32::MAX` stored edges — orders
+//! of magnitude above the paper's largest runs; [`PrrArena::push`] and
+//! [`PrrArena::absorb_shard`] assert the cap.
 //!
 //! [`PrrGraphView`] is the borrowed form of one graph — either a slice of
 //! an arena or a borrow of a standalone [`CompressedPrr`] — and owns the
@@ -19,11 +44,21 @@
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::NodeId;
+use kboost_rrset::sketch::SketchShard;
 
-use crate::graph::{unpack_edge, Augmented, CompressedPrr, PrrEvalScratch, SUPER_SEED};
+use crate::compress::CompressedParts;
+use crate::graph::{pack_edge, unpack_edge, Augmented, CompressedPrr, PrrEvalScratch, SUPER_SEED};
+
+thread_local! {
+    /// Reusable backward-CSR count/cursor buffer for
+    /// [`PrrArena::push_parts`] (cleared per graph, grown on demand) —
+    /// same idiom as the generation scratch in `gen.rs`.
+    static BWD_SCRATCH: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// Per-graph record: where the graph's slices live in the shared arrays.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct GraphMeta {
     /// Local id of the root.
     root: u32,
@@ -43,9 +78,13 @@ struct GraphMeta {
 
 /// A flat, append-only pool of compressed PRR-graphs.
 ///
-/// Immutable once filled; shared across worker threads by reference (all
-/// parallel consumers only read).
-#[derive(Default)]
+/// Filled by absorbing sampling shards (see the module docs for the
+/// lifecycle); immutable once filled and shared across worker threads by
+/// reference (all parallel consumers only read). `PartialEq` compares the
+/// raw storage arrays — two arenas are equal iff they are byte-equal,
+/// which is what the determinism and shard-vs-legacy equivalence tests
+/// assert.
+#[derive(Default, Debug, PartialEq, Eq)]
 pub struct PrrArena {
     meta: Vec<GraphMeta>,
     /// Concatenated local → global id tables.
@@ -68,26 +107,60 @@ impl PrrArena {
         Self::default()
     }
 
-    /// Builds an arena by draining the boostable payloads of a sketch pool.
-    pub fn from_payloads<I: IntoIterator<Item = Option<CompressedPrr>>>(payloads: I) -> Self {
+    /// Builds an arena by pushing per-graph `CompressedPrr`s in order —
+    /// the legacy copy path, kept as the equivalence oracle for the shard
+    /// pipeline (tests only; the production path is
+    /// [`absorb_shard`](Self::absorb_shard)).
+    pub fn from_graphs<I: IntoIterator<Item = CompressedPrr>>(graphs: I) -> Self {
         let mut arena = PrrArena::new();
-        for p in payloads.into_iter().flatten() {
-            arena.push(&p);
+        for g in graphs {
+            arena.push(&g);
         }
         arena
     }
 
+    /// Unwraps the final merged sampling shard into an arena (a move — the
+    /// shard's arrays *are* the arena's arrays).
+    pub fn from_shard(shard: PrrArenaShard) -> Self {
+        shard.0
+    }
+
+    /// Asserts the shared-array growth stays within the `u32` offset caps.
+    ///
+    /// Every stored offset and meta base — including each graph's *end*
+    /// edge offset, which equals the resulting array length — must fit in
+    /// a `u32`, so each resulting length is capped at `u32::MAX`.
+    /// `add_off` is the true `fwd_off`/`bwd_off` growth (`nodes + 1` per
+    /// appended graph).
+    fn assert_caps(
+        &self,
+        add_nodes: usize,
+        add_off: usize,
+        add_fwd: usize,
+        add_bwd: usize,
+        add_crit: usize,
+    ) {
+        const LIMIT: u64 = u32::MAX as u64;
+        assert!(
+            self.fwd.len() as u64 + add_fwd as u64 <= LIMIT
+                && self.bwd.len() as u64 + add_bwd as u64 <= LIMIT,
+            "PrrArena exceeds the u32 stored-edge cap"
+        );
+        assert!(
+            self.globals.len() as u64 + add_nodes as u64 <= LIMIT
+                && self.fwd_off.len() as u64 + add_off as u64 <= LIMIT
+                && self.critical.len() as u64 + add_crit as u64 <= LIMIT,
+            "PrrArena exceeds a u32 shared-array cap"
+        );
+    }
+
     /// Appends one compressed graph, copying its arrays into the shared
-    /// storage with offsets rebased.
+    /// storage with offsets rebased (legacy/oracle path).
     pub fn push(&mut self, g: &CompressedPrr) {
         let n = g.globals.len();
         let fwd_base = self.fwd.len() as u64;
         let bwd_base = self.bwd.len() as u64;
-        assert!(
-            fwd_base + g.fwd.len() as u64 <= u32::MAX as u64 + 1
-                && bwd_base + g.bwd.len() as u64 <= u32::MAX as u64 + 1,
-            "PrrArena exceeds the 2^32 stored-edge cap"
-        );
+        self.assert_caps(n, n + 1, g.fwd.len(), g.bwd.len(), g.critical.len());
 
         self.meta.push(GraphMeta {
             root: g.root,
@@ -106,6 +179,117 @@ impl PrrArena {
             .extend(g.bwd_offsets.iter().map(|&o| bwd_base as u32 + o));
         self.bwd.extend_from_slice(&g.bwd);
         self.critical.extend_from_slice(&g.critical);
+    }
+
+    /// Appends one graph straight from Phase-II adjacency output,
+    /// assembling both CSR halves in place in the shared arrays — the
+    /// streaming counterpart of [`CompressedPrr::from_adjacency`] followed
+    /// by [`push`](Self::push), producing byte-identical storage.
+    pub(crate) fn push_parts(&mut self, parts: &CompressedParts) {
+        let n = parts.globals.len();
+        debug_assert_eq!(parts.adj.len(), n);
+        debug_assert_eq!(parts.globals[0], SUPER_SEED);
+        let m: usize = parts.adj.iter().map(Vec::len).sum();
+        let fwd_base = self.fwd.len();
+        let bwd_base = self.bwd.len();
+        self.assert_caps(n, n + 1, m, m, parts.critical.len());
+
+        self.meta.push(GraphMeta {
+            root: parts.root,
+            node_base: self.globals.len() as u32,
+            nodes: n as u32,
+            off_base: self.fwd_off.len() as u32,
+            crit_base: self.critical.len() as u32,
+            crit_len: parts.critical.len() as u32,
+            uncompressed: parts.uncompressed,
+        });
+        self.globals.extend_from_slice(&parts.globals);
+        self.critical.extend_from_slice(&parts.critical);
+
+        // Forward CSR: running absolute offsets plus the packed edges.
+        let mut off = fwd_base as u32;
+        self.fwd_off.push(off);
+        self.fwd.reserve(m);
+        for adj in &parts.adj {
+            off += adj.len() as u32;
+            self.fwd_off.push(off);
+            self.fwd
+                .extend(adj.iter().map(|&(to, boost)| pack_edge(to, boost)));
+        }
+
+        // Backward CSR: count in-degrees, prefix-sum into absolute
+        // offsets, then scatter (same edge order as `from_adjacency`).
+        // One reusable thread-local buffer serves as both the count and
+        // the scatter-cursor array, keeping this hot path allocation-free.
+        BWD_SCRATCH.with_borrow_mut(|cursor| {
+            cursor.clear();
+            cursor.resize(n, 0);
+            for adj in &parts.adj {
+                for &(to, _) in adj {
+                    cursor[to as usize] += 1;
+                }
+            }
+            // Prefix-sum: emit the absolute offsets and convert each count
+            // into its node's scatter start position in the same pass.
+            let mut off = bwd_base as u32;
+            self.bwd_off.push(off);
+            for c in cursor.iter_mut() {
+                let count = *c;
+                *c = off;
+                off += count;
+                self.bwd_off.push(off);
+            }
+            self.bwd.resize(bwd_base + m, 0);
+            for (from, adj) in parts.adj.iter().enumerate() {
+                for &(to, boost) in adj {
+                    self.bwd[cursor[to as usize] as usize] = pack_edge(from as u32, boost);
+                    cursor[to as usize] += 1;
+                }
+            }
+        });
+    }
+
+    /// Merges a sampling shard into this arena by bulk `Vec` appends,
+    /// rebasing the shard's (shard-absolute) CSR offsets and `GraphMeta`
+    /// bases by this arena's current sizes. Callers must absorb shards in
+    /// chunk order — that ordering is the determinism contract.
+    pub fn absorb_shard(&mut self, shard: PrrArenaShard) {
+        let other = shard.0;
+        if self.meta.is_empty() {
+            // First shard: adopt its arrays wholesale (all bases are 0).
+            *self = other;
+            return;
+        }
+        self.assert_caps(
+            other.globals.len(),
+            other.fwd_off.len(),
+            other.fwd.len(),
+            other.bwd.len(),
+            other.critical.len(),
+        );
+        let node_base = self.globals.len() as u32;
+        let off_base = self.fwd_off.len() as u32;
+        let crit_base = self.critical.len() as u32;
+        let fwd_base = self.fwd.len() as u32;
+        let bwd_base = self.bwd.len() as u32;
+
+        self.meta.extend(other.meta.iter().map(|m| GraphMeta {
+            root: m.root,
+            node_base: m.node_base + node_base,
+            nodes: m.nodes,
+            off_base: m.off_base + off_base,
+            crit_base: m.crit_base + crit_base,
+            crit_len: m.crit_len,
+            uncompressed: m.uncompressed,
+        }));
+        self.globals.extend_from_slice(&other.globals);
+        self.fwd_off
+            .extend(other.fwd_off.iter().map(|&o| o + fwd_base));
+        self.fwd.extend_from_slice(&other.fwd);
+        self.bwd_off
+            .extend(other.bwd_off.iter().map(|&o| o + bwd_base));
+        self.bwd.extend_from_slice(&other.bwd);
+        self.critical.extend_from_slice(&other.critical);
     }
 
     /// Number of stored graphs.
@@ -165,6 +349,59 @@ impl PrrArena {
             + (self.fwd_off.len() + self.bwd_off.len()) * size_of::<u32>()
             + (self.fwd.len() + self.bwd.len()) * size_of::<u32>()
             + self.critical.len() * size_of::<NodeId>()
+    }
+}
+
+/// A per-worker-chunk slice of arena content, built in place during
+/// sampling.
+///
+/// Workers append each boostable graph's tables directly from Phase-II
+/// compression (no intermediate `CompressedPrr`); the sketch pool merges
+/// finished shards in chunk order with [`PrrArena::absorb_shard`], and the
+/// final merged shard becomes the pool's [`PrrArena`] by a move
+/// ([`PrrArena::from_shard`]). Internally a shard *is* an arena whose
+/// offsets are shard-absolute — rebasing happens once, at absorb time.
+#[derive(Default, Debug, PartialEq, Eq)]
+pub struct PrrArenaShard(PrrArena);
+
+impl PrrArenaShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of graphs appended so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the shard holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Approximate heap bytes of the shard's storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+
+    /// Borrows the shard's content as an arena (for inspection/tests).
+    pub fn as_arena(&self) -> &PrrArena {
+        &self.0
+    }
+
+    /// Appends one graph straight from Phase-II output.
+    pub(crate) fn push_parts(&mut self, parts: &CompressedParts) {
+        self.0.push_parts(parts);
+    }
+}
+
+/// Chunk shards merge in chunk order: `absorb` appends `later`'s graphs
+/// after this shard's own, rebasing offsets — exactly what
+/// [`PrrArena::absorb_shard`] does.
+impl SketchShard for PrrArenaShard {
+    fn absorb(&mut self, later: Self) {
+        self.0.absorb_shard(later);
     }
 }
 
@@ -441,11 +678,74 @@ mod tests {
     }
 
     #[test]
-    fn from_payloads_skips_empty_slots() {
-        let arena =
-            PrrArena::from_payloads(vec![None, Some(sample(1, 2)), None, Some(sample(3, 4))]);
+    fn from_graphs_preserves_order() {
+        let arena = PrrArena::from_graphs(vec![sample(1, 2), sample(3, 4)]);
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.graph(1).critical(), &[NodeId(3), NodeId(4)]);
+    }
+
+    /// `CompressedParts` mirroring [`sample`]'s adjacency.
+    fn sample_parts(a: u32, r: u32) -> crate::compress::CompressedParts {
+        crate::compress::CompressedParts {
+            root: 2,
+            globals: vec![SUPER_SEED, a, r],
+            adj: vec![
+                vec![(1u32, true), (2u32, true)],
+                vec![(2u32, false)],
+                vec![],
+            ],
+            critical: vec![NodeId(a), NodeId(r)],
+            uncompressed: 42,
+        }
+    }
+
+    #[test]
+    fn shard_build_matches_legacy_push_bytes() {
+        // In-place CSR assembly must be byte-identical to the
+        // from_adjacency + push copy path.
+        let legacy = PrrArena::from_graphs(vec![sample(10, 20), sample(5, 6)]);
+        let mut shard = PrrArenaShard::new();
+        shard.push_parts(&sample_parts(10, 20));
+        shard.push_parts(&sample_parts(5, 6));
+        assert_eq!(PrrArena::from_shard(shard), legacy);
+    }
+
+    #[test]
+    fn absorb_shard_rebases_offsets() {
+        // Build [g1] ++ [g2, g3] by absorbing two shards and compare with
+        // the sequential single-shard build.
+        let mut a = PrrArenaShard::new();
+        a.push_parts(&sample_parts(10, 20));
+        let mut b = PrrArenaShard::new();
+        b.push_parts(&sample_parts(5, 6));
+        b.push_parts(&sample_parts(7, 8));
+        let mut merged = PrrArena::new();
+        merged.absorb_shard(a);
+        merged.absorb_shard(b);
+
+        let mut all = PrrArenaShard::new();
+        for (x, y) in [(10, 20), (5, 6), (7, 8)] {
+            all.push_parts(&sample_parts(x, y));
+        }
+        assert_eq!(merged, PrrArena::from_shard(all));
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.graph(2).critical(), &[NodeId(7), NodeId(8)]);
+        // Views still evaluate correctly after rebasing.
+        let mut scratch = PrrEvalScratch::default();
+        let mask = BoostMask::from_nodes(30, &[NodeId(7)]);
+        assert!(merged.graph(2).f(&mask, &mut scratch));
+        assert!(!merged.graph(1).f(&mask, &mut scratch));
+    }
+
+    #[test]
+    fn absorb_into_empty_is_a_move() {
+        let mut shard = PrrArenaShard::new();
+        shard.push_parts(&sample_parts(1, 2));
+        let bytes = shard.memory_bytes();
+        let mut arena = PrrArena::new();
+        arena.absorb_shard(shard);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.memory_bytes(), bytes);
     }
 
     #[test]

@@ -26,10 +26,41 @@ use crate::graph::{CompressedPrr, SUPER_SEED};
 
 const INF: u32 = u32::MAX;
 
-/// Compresses a phase-I raw PRR-graph. Returns `None` when the graph turns
-/// out to be non-boostable (no super-seed→root path within the `k`-boost
-/// budget) — callers count it as hopeless.
+/// The assembled output of Phase II before any storage commitment: the
+/// shard pipeline appends it straight into a
+/// [`PrrArenaShard`](crate::arena::PrrArenaShard), while the single-graph
+/// oracle path materializes it as a [`CompressedPrr`].
+pub(crate) struct CompressedParts {
+    /// Local id of the root.
+    pub root: u32,
+    /// Local → global id table; `globals[0] == SUPER_SEED`.
+    pub globals: Vec<u32>,
+    /// Per-node outgoing adjacency `(head, is_boost)` in local ids.
+    pub adj: Vec<Vec<(u32, bool)>>,
+    /// Critical nodes `C_R` (global ids).
+    pub critical: Vec<NodeId>,
+    /// Phase-I edge count before compression.
+    pub uncompressed: u32,
+}
+
+/// Compresses a phase-I raw PRR-graph into a standalone [`CompressedPrr`].
+/// Returns `None` when the graph turns out to be non-boostable (no
+/// super-seed→root path within the `k`-boost budget) — callers count it as
+/// hopeless.
+///
+/// The sampling hot path does not go through this function: it uses
+/// [`compress_parts`] and appends directly into an arena shard.
 pub fn compress(raw: &RawPrr, k: usize) -> Option<CompressedPrr> {
+    compress_parts(raw, k).map(|p| {
+        CompressedPrr::from_adjacency(p.root, p.globals, &p.adj, p.critical, p.uncompressed)
+    })
+}
+
+/// Phase-II compression core shared by the shard pipeline and the oracle
+/// path: both feed the identical [`CompressedParts`] into their respective
+/// CSR assemblers, which is what makes shard-built arenas byte-equal to
+/// legacy copy-built ones.
+pub(crate) fn compress_parts(raw: &RawPrr, k: usize) -> Option<CompressedParts> {
     let k = k as u32;
 
     // ---- Local indexing over the raw node set -------------------------
@@ -211,13 +242,13 @@ pub fn compress(raw: &RawPrr, k: usize) -> Option<CompressedPrr> {
     }
 
     let root_final = final_of[root_s as usize];
-    Some(CompressedPrr::from_adjacency(
-        root_final,
+    Some(CompressedParts {
+        root: root_final,
         globals,
-        &final_adj,
+        adj: final_adj,
         critical,
-        raw.edges.len() as u32,
-    ))
+        uncompressed: raw.edges.len() as u32,
+    })
 }
 
 /// 0-1 BFS over an implicit graph: returns the per-node distance from

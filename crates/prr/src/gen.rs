@@ -11,7 +11,8 @@ use kboost_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::compress::compress;
+use crate::arena::PrrArenaShard;
+use crate::compress::{compress, compress_parts};
 use crate::graph::CompressedPrr;
 
 /// Result of generating one PRR-graph.
@@ -130,6 +131,35 @@ impl<'g> PrrGenerator<'g> {
             Phase1::Raw(raw) => match compress(&raw, self.k) {
                 Some(c) => PrrOutcome::Boostable(c),
                 None => PrrOutcome::Hopeless,
+            },
+        }
+    }
+
+    /// Samples one PRR-graph for a uniformly random root straight into a
+    /// sampling `shard` — the streaming pipeline's hot path: Phase-II
+    /// output is appended to the shard's flat arrays without ever
+    /// materializing a per-graph [`CompressedPrr`].
+    ///
+    /// Returns the sketch cover (the stored graph's critical set). An
+    /// empty return means nothing was appended: the sample was activated,
+    /// hopeless, or boostable with an empty critical set — the last case
+    /// matches the legacy per-graph path, which dropped the payload of any
+    /// cover-less sketch.
+    pub fn sample_into(&self, rng: &mut SmallRng, shard: &mut PrrArenaShard) -> Vec<NodeId> {
+        let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
+        match self.phase1(root, rng, self.k as u32) {
+            Phase1::Activated | Phase1::Hopeless => Vec::new(),
+            Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
+                None => Vec::new(),
+                Some(parts) => {
+                    if parts.critical.is_empty() {
+                        return Vec::new();
+                    }
+                    shard.push_parts(&parts);
+                    // The shard copied the critical set; hand the owned
+                    // Vec back as the cover instead of cloning it.
+                    parts.critical
+                }
             },
         }
     }

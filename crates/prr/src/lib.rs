@@ -20,12 +20,15 @@
 //!   critical nodes `C_R = {v : f_R({v}) = 1}`, and the *B-augmented*
 //!   critical set used by the greedy `Δ̂` selection.
 //! * [`source`] — [`SketchGenerator`](kboost_rrset::SketchGenerator)
-//!   adapters: the full source retains compressed PRR-graphs as payloads
-//!   (PRR-Boost), the light source keeps only critical sets
-//!   (PRR-Boost-LB).
+//!   adapters: the full source streams compressed PRR-graphs into arena
+//!   shards (PRR-Boost), the light source keeps only critical sets
+//!   (PRR-Boost-LB), and the legacy per-graph source survives as the
+//!   shard pipeline's equivalence oracle.
 //! * [`arena`] — flat shared storage for retained PRR-graph pools: one
-//!   `Vec` each of node tables, CSR offsets and packed edges, with
-//!   [`PrrGraphView`] as the borrowed per-graph evaluation interface.
+//!   `Vec` each of node tables, CSR offsets and packed edges, built in
+//!   per-chunk [`PrrArenaShard`]s during sampling and merged in chunk
+//!   order by bulk append with offset rebasing, with [`PrrGraphView`] as
+//!   the borrowed per-graph evaluation interface.
 //! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4):
 //!   an inverted coverage index with incremental vote maintenance, plus
 //!   the naive full re-traversal greedy as the equivalence oracle.
@@ -37,8 +40,8 @@ pub mod graph;
 pub mod select;
 pub mod source;
 
-pub use arena::{PrrArena, PrrGraphView};
+pub use arena::{PrrArena, PrrArenaShard, PrrGraphView};
 pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
 pub use graph::{CompressedPrr, PrrEvalScratch};
 pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection};
-pub use source::{PrrFullSource, PrrLbSource};
+pub use source::{LegacyPrrSource, PrrFullSource, PrrLbSource};

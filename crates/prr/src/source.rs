@@ -1,23 +1,31 @@
 //! [`SketchGenerator`] adapters feeding PRR-graphs into the IMM framework.
 //!
-//! Both sources expose the critical set `C_R` as the sketch *cover* (so the
+//! All sources expose the critical set `C_R` as the sketch *cover* (so the
 //! IMM machinery maximizes `µ̂`). They differ in what they retain:
 //!
-//! * [`PrrFullSource`] keeps the whole compressed PRR-graph as the payload,
-//!   which PRR-Boost later reuses for the greedy `Δ̂` selection and the
-//!   Sandwich comparison;
+//! * [`PrrFullSource`] appends each boostable compressed PRR-graph
+//!   directly into a per-chunk [`PrrArenaShard`] — the streaming pipeline
+//!   PRR-Boost later reuses for the greedy `Δ̂` selection and the Sandwich
+//!   comparison. No per-graph object is retained for storage (Phase I/II
+//!   still use transient scratch allocations);
 //! * [`PrrLbSource`] keeps nothing beyond the cover, reproducing
 //!   PRR-Boost-LB's lower memory footprint and faster generation (phase-I
-//!   exploration is pruned at distance 1).
+//!   exploration is pruned at distance 1);
+//! * [`LegacyPrrSource`] retains one heap-allocated [`CompressedPrr`] per
+//!   boostable sample, the pre-shard storage model. It exists **only** as
+//!   the equivalence oracle: tests build both pools from the same seed and
+//!   assert the shard-built arena is byte-equal to the copy-built one. Do
+//!   not use it outside tests/benches.
 
 use kboost_graph::{DiGraph, NodeId};
-use kboost_rrset::sketch::{Sketch, SketchGenerator};
+use kboost_rrset::sketch::SketchGenerator;
 use rand::rngs::SmallRng;
 
+use crate::arena::PrrArenaShard;
 use crate::gen::{PrrGenerator, PrrOutcome};
 use crate::graph::CompressedPrr;
 
-/// Full PRR-graph source (PRR-Boost).
+/// Full PRR-graph source (PRR-Boost): builds arena shards in place.
 pub struct PrrFullSource<'g> {
     generator: PrrGenerator<'g>,
     n: usize,
@@ -36,7 +44,7 @@ impl<'g> PrrFullSource<'g> {
 }
 
 impl SketchGenerator for PrrFullSource<'_> {
-    type Payload = CompressedPrr;
+    type Shard = PrrArenaShard;
 
     fn universe(&self) -> usize {
         self.n
@@ -46,14 +54,8 @@ impl SketchGenerator for PrrFullSource<'_> {
         self.candidates
     }
 
-    fn generate(&self, rng: &mut SmallRng) -> Sketch<CompressedPrr> {
-        match self.generator.sample(rng) {
-            PrrOutcome::Activated | PrrOutcome::Hopeless => Sketch::empty(),
-            PrrOutcome::Boostable(c) => Sketch {
-                cover: c.critical().to_vec(),
-                payload: Some(c),
-            },
-        }
+    fn generate(&self, rng: &mut SmallRng, shard: &mut PrrArenaShard) -> Vec<NodeId> {
+        self.generator.sample_into(rng, shard)
     }
 }
 
@@ -76,7 +78,7 @@ impl<'g> PrrLbSource<'g> {
 }
 
 impl SketchGenerator for PrrLbSource<'_> {
-    type Payload = ();
+    type Shard = ();
 
     fn universe(&self) -> usize {
         self.n
@@ -86,14 +88,57 @@ impl SketchGenerator for PrrLbSource<'_> {
         self.candidates
     }
 
-    fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
-        let critical = self.generator.sample_critical_only(rng);
-        if critical.is_empty() {
-            Sketch::empty()
-        } else {
-            Sketch {
-                cover: critical,
-                payload: Some(()),
+    fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
+        self.generator.sample_critical_only(rng)
+    }
+}
+
+/// Test-only equivalence oracle: the legacy per-graph storage model, one
+/// heap `CompressedPrr` per boostable sample.
+///
+/// Must draw the exact same randomness as [`PrrFullSource`] so that a pool
+/// sampled from either source with the same `(base_seed, target)` contains
+/// the same graphs in the same order — the shard-vs-legacy byte-equality
+/// tests depend on it.
+pub struct LegacyPrrSource<'g> {
+    generator: PrrGenerator<'g>,
+    n: usize,
+    candidates: usize,
+}
+
+impl<'g> LegacyPrrSource<'g> {
+    /// Creates the oracle source for `(G, S, k)`.
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        LegacyPrrSource {
+            generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+}
+
+impl SketchGenerator for LegacyPrrSource<'_> {
+    type Shard = Vec<CompressedPrr>;
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates
+    }
+
+    fn generate(&self, rng: &mut SmallRng, shard: &mut Vec<CompressedPrr>) -> Vec<NodeId> {
+        match self.generator.sample(rng) {
+            PrrOutcome::Activated | PrrOutcome::Hopeless => Vec::new(),
+            PrrOutcome::Boostable(c) => {
+                let cover = c.critical().to_vec();
+                // Cover-less boostable graphs are dropped, matching the
+                // shard path (and the historical payload behaviour).
+                if !cover.is_empty() {
+                    shard.push(c);
+                }
+                cover
             }
         }
     }
@@ -102,6 +147,7 @@ impl SketchGenerator for PrrLbSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::PrrArena;
     use kboost_diffusion::exact::exact_boost;
     use kboost_graph::GraphBuilder;
     use kboost_rrset::sketch::SketchPool;
@@ -115,26 +161,53 @@ mod tests {
 
     #[test]
     fn full_source_estimates_delta_unbiasedly() {
-        // n · E[f_R(B)] = Δ_S(B) (Lemma 1), checked via the pool estimator
+        // n · E[f_R(B)] = Δ_S(B) (Lemma 1), checked via the shard arena
         // for B = {v0}: Δ = 0.22.
         let g = figure1();
         let source = PrrFullSource::new(&g, &[NodeId(0)], 2);
-        let mut pool: SketchPool<CompressedPrr> = SketchPool::new(77, 4);
+        let mut pool: SketchPool<PrrArenaShard> = SketchPool::new(77, 4);
         pool.extend_to(&source, 300_000);
 
         use crate::graph::PrrEvalScratch;
         use kboost_diffusion::sim::BoostMask;
         let mask = BoostMask::from_nodes(3, &[NodeId(1)]);
         let mut scratch = PrrEvalScratch::default();
+        let total = pool.total_samples();
         let hits = pool
-            .payloads()
+            .shard()
+            .as_arena()
             .iter()
-            .flatten()
-            .filter(|c| c.f(&mask, &mut scratch))
+            .filter(|view| view.f(&mask, &mut scratch))
             .count();
-        let est = 3.0 * hits as f64 / pool.total_samples() as f64;
+        let est = 3.0 * hits as f64 / total as f64;
         let truth = exact_boost(&g, &[NodeId(0)], &[NodeId(1)]);
         assert!((est - truth).abs() < 0.01, "Δ̂ {est} vs Δ {truth}");
+    }
+
+    #[test]
+    fn shard_pool_matches_legacy_oracle() {
+        // Same seed, same target: the shard-built arena must be byte-equal
+        // to the arena copy-built from the legacy per-graph payloads.
+        let g = figure1();
+        let full = PrrFullSource::new(&g, &[NodeId(0)], 2);
+        let legacy = LegacyPrrSource::new(&g, &[NodeId(0)], 2);
+        let mut ps: SketchPool<PrrArenaShard> = SketchPool::new(40, 3);
+        ps.extend_to(&full, 50_000);
+        let mut pl: SketchPool<Vec<CompressedPrr>> = SketchPool::new(40, 3);
+        pl.extend_to(&legacy, 50_000);
+
+        assert_eq!(ps.total_samples(), pl.total_samples());
+        assert_eq!(ps.empty_samples(), pl.empty_samples());
+        assert_eq!(ps.covers(), pl.covers());
+        let (_, shard, _, _) = ps.into_parts();
+        let (_, payloads, _, _) = pl.into_parts();
+        let shard_arena = PrrArena::from_shard(shard);
+        let legacy_arena = PrrArena::from_graphs(payloads);
+        assert!(shard_arena == legacy_arena, "arenas diverge");
+        assert!(
+            !shard_arena.is_empty(),
+            "degenerate test: no boostable graphs"
+        );
     }
 
     #[test]
@@ -168,7 +241,7 @@ mod tests {
         let g = figure1();
         let full = PrrFullSource::new(&g, &[NodeId(0)], 2);
         let lb = PrrLbSource::new(&g, &[NodeId(0)], 2);
-        let mut pf: SketchPool<CompressedPrr> = SketchPool::new(5, 2);
+        let mut pf: SketchPool<PrrArenaShard> = SketchPool::new(5, 2);
         pf.extend_to(&full, 200_000);
         let mut pl: SketchPool<()> = SketchPool::new(6, 2);
         pl.extend_to(&lb, 200_000);

@@ -10,7 +10,7 @@ use kboost_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::sketch::{Sketch, SketchGenerator};
+use crate::sketch::SketchGenerator;
 
 /// Generates one RR-set: all nodes reaching the random root through kept
 /// edges, traversed backward.
@@ -97,17 +97,14 @@ thread_local! {
 }
 
 impl SketchGenerator for InfluenceRr<'_> {
-    type Payload = ();
+    type Shard = ();
 
     fn universe(&self) -> usize {
         self.g.num_nodes()
     }
 
-    fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
-        SCRATCH.with_borrow_mut(|scratch| Sketch {
-            cover: sample_rr_set(self.g, rng, scratch),
-            payload: Some(()),
-        })
+    fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
+        SCRATCH.with_borrow_mut(|scratch| sample_rr_set(self.g, rng, scratch))
     }
 }
 
@@ -131,21 +128,18 @@ impl<'g> MarginalRr<'g> {
 }
 
 impl SketchGenerator for MarginalRr<'_> {
-    type Payload = ();
+    type Shard = ();
 
     fn universe(&self) -> usize {
         self.g.num_nodes()
     }
 
-    fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+    fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
         let set = SCRATCH.with_borrow_mut(|scratch| sample_rr_set(self.g, rng, scratch));
         if set.iter().any(|&v| self.seed_mask.contains(v)) {
-            Sketch::empty()
+            Vec::new()
         } else {
-            Sketch {
-                cover: set,
-                payload: Some(()),
-            }
+            set
         }
     }
 }
@@ -203,11 +197,11 @@ mod tests {
         let mut saw_empty = false;
         let mut saw_cover = false;
         for _ in 0..500 {
-            let s = src.generate(&mut rng);
-            if s.cover.is_empty() {
+            let cover = src.generate(&mut rng, &mut ());
+            if cover.is_empty() {
                 saw_empty = true;
             } else {
-                assert!(!s.cover.contains(&NodeId(0)));
+                assert!(!cover.contains(&NodeId(0)));
                 saw_cover = true;
             }
         }

@@ -56,11 +56,11 @@ impl ImmParams {
 
 /// Outcome of an IMM run: the selected nodes, the retained sketch pool and
 /// diagnostic counters.
-pub struct ImmRun<T> {
+pub struct ImmRun<S> {
     /// Greedy selection over the final pool.
     pub result: CoverResult,
-    /// The final sketch pool (PRR-Boost reuses its payloads).
-    pub pool: SketchPool<T>,
+    /// The final sketch pool (PRR-Boost reuses its merged shard).
+    pub pool: SketchPool<S>,
     /// The certified lower bound `LB` on `OPT` from phase 1.
     pub lower_bound: f64,
     /// The final sample target θ.
@@ -82,7 +82,7 @@ pub fn ln_binom(n: usize, k: usize) -> f64 {
 ///
 /// Returns the greedy solution over the final pool; `n·covered/total` is a
 /// `(1−1/e−ε)`-approximation of `max_{|B|≤k} F(B)` w.p. `≥ 1−n^−ℓ`.
-pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<G::Payload> {
+pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<G::Shard> {
     let n = generator.universe() as f64;
     let k = params.k;
     let (eps, ell) = (params.epsilon, params.ell);
@@ -153,7 +153,6 @@ fn cap(theta: u64, max: Option<u64>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sketch::Sketch;
     use kboost_graph::NodeId;
     use rand::rngs::SmallRng;
     use rand::Rng;
@@ -173,11 +172,11 @@ mod tests {
     struct Synthetic;
 
     impl SketchGenerator for Synthetic {
-        type Payload = ();
+        type Shard = ();
         fn universe(&self) -> usize {
             20
         }
-        fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+        fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
             let x: f64 = rng.random();
             let node = if x < 0.4 {
                 Some(0u32)
@@ -189,11 +188,8 @@ mod tests {
                 None
             };
             match node {
-                Some(v) => Sketch {
-                    cover: vec![NodeId(v)],
-                    payload: Some(()),
-                },
-                None => Sketch::empty(),
+                Some(v) => vec![NodeId(v)],
+                None => Vec::new(),
             }
         }
     }

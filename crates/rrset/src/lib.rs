@@ -7,7 +7,9 @@
 //! * [`sketch`] — a generic *sketch* abstraction: a random coverage set over
 //!   nodes whose expected coverage, scaled by `n`, is the objective being
 //!   maximized. RR-sets, marginal RR-sets and PRR-graph critical sets are
-//!   all sketches.
+//!   all sketches. Generators retain per-sample data by appending it to a
+//!   per-chunk [`SketchShard`](sketch::SketchShard), merged deterministically
+//!   in chunk order (PRR-Boost builds its flat graph arena this way).
 //! * [`greedy`] — lazy-greedy weighted maximum coverage over a sketch pool
 //!   (the IMM node-selection phase).
 //! * [`imm`] — the two-phase IMM sampling algorithm with martingale-based
@@ -29,5 +31,5 @@ pub mod ssa;
 pub use greedy::greedy_max_cover;
 pub use imm::{ImmParams, ImmRun};
 pub use seeds::{select_more_seeds, select_seeds};
-pub use sketch::{Sketch, SketchGenerator, SketchPool};
+pub use sketch::{SketchGenerator, SketchPool, SketchShard};
 pub use ssa::{run_ssa, SsaParams, SsaRun};

@@ -51,11 +51,11 @@ impl Default for SsaParams {
 }
 
 /// Outcome of an SSA run.
-pub struct SsaRun<T> {
+pub struct SsaRun<S> {
     /// Greedy selection over the final selection pool.
     pub result: CoverResult,
-    /// The selection pool (payloads retained, as with IMM).
-    pub pool: SketchPool<T>,
+    /// The selection pool (merged shard retained, as with IMM).
+    pub pool: SketchPool<S>,
     /// Objective estimate of the returned solution from the *validation*
     /// pool (unbiased: the validation pool never influenced selection).
     pub validated_estimate: f64,
@@ -64,10 +64,10 @@ pub struct SsaRun<T> {
 }
 
 /// Runs the adaptive sampler against any sketch generator.
-pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<G::Payload> {
+pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<G::Shard> {
     let n = generator.universe() as f64;
-    let mut select_pool: SketchPool<G::Payload> = SketchPool::new(params.seed, params.threads);
-    let mut validate_pool: SketchPool<G::Payload> =
+    let mut select_pool: SketchPool<G::Shard> = SketchPool::new(params.seed, params.threads);
+    let mut validate_pool: SketchPool<G::Shard> =
         SketchPool::new(params.seed ^ 0xDEAD_BEEF, params.threads);
 
     let mut target = params.initial.max(16);
@@ -111,7 +111,6 @@ pub fn select_seeds_ssa(g: &kboost_graph::DiGraph, params: &SsaParams) -> (Vec<N
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sketch::Sketch;
     use kboost_graph::{GraphBuilder, NodeId};
     use rand::rngs::SmallRng;
     use rand::Rng;
@@ -120,24 +119,18 @@ mod tests {
     struct Synthetic;
 
     impl SketchGenerator for Synthetic {
-        type Payload = ();
+        type Shard = ();
         fn universe(&self) -> usize {
             10
         }
-        fn generate(&self, rng: &mut SmallRng) -> Sketch<()> {
+        fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
             let x: f64 = rng.random();
             if x < 0.4 {
-                Sketch {
-                    cover: vec![NodeId(0)],
-                    payload: Some(()),
-                }
+                vec![NodeId(0)]
             } else if x < 0.6 {
-                Sketch {
-                    cover: vec![NodeId(1)],
-                    payload: Some(()),
-                }
+                vec![NodeId(1)]
             } else {
-                Sketch::empty()
+                Vec::new()
             }
         }
     }

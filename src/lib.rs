@@ -36,7 +36,12 @@
 //!   flattened into shared arrays — node tables, CSR offsets, packed
 //!   edges (head + boost flag in one `u32`), critical sets — with a
 //!   fixed-size record per graph, so pool sweeps are linear scans instead
-//!   of pointer chases over per-graph allocations.
+//!   of pointer chases over per-graph allocations. The arrays are built
+//!   **during sampling**: each worker chunk appends Phase-II output
+//!   straight into a [`prr::arena::PrrArenaShard`] (no per-graph heap
+//!   objects), and chunk shards merge into the pool arena by bulk append
+//!   with offset rebasing — converting the finished pool into
+//!   `core::PrrPool` is a move, not a copy stage.
 //! * **Selection** ([`prr::select::greedy_delta_selection`]): an inverted
 //!   coverage index maps each node to the PRR-graphs where it heads a
 //!   boost edge; greedy rounds update vote counts incrementally and
