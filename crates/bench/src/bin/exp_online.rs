@@ -1,0 +1,432 @@
+//! Perf + correctness harness for the online maintenance subsystem.
+//!
+//! Builds an epoch-0 PRR pool over a preferential-attachment network,
+//! then applies a sequence of mutation epochs. Each epoch's batch is
+//! grown (probability re-draws, removals, insertions on random edges)
+//! until it invalidates ≈ `--churn` of the live stored graphs — 10% by
+//! default, the scenario the ROADMAP targets — and is then applied two
+//! ways:
+//!
+//! * **incrementally** (`PoolMaintainer::apply_epoch`: tombstone the
+//!   stale share, resample exactly that many samples under the
+//!   `(base_seed, epoch, chunk)` seeds, compact past the threshold);
+//! * **full rebuild** (fresh sampling of the whole pool over the mutated
+//!   graph — what a pre-online deployment would do on every change).
+//!
+//! The recorded `speedup` is `rebuild_secs / refresh_secs` per epoch.
+//! Because staleness detection only sees retained node tables, the
+//! incremental pool drifts from a fresh pool's distribution on the
+//! undetected share; `probe_delta_incremental` vs `probe_delta_rebuild`
+//! records that drift on a *fixed* probe set (top in-degree non-seeds,
+//! chosen independently of either pool — evaluating a pool's own greedy
+//! pick would fold selection bias into the number; that estimate is
+//! still reported as `delta_hat_selected`).
+//!
+//! The binary is also the CI determinism smoke for the subsystem: for
+//! every thread count in `--threads` the whole epoch sequence is re-run
+//! and must produce bit-identical arenas and epoch reports, and the
+//! first thread count is additionally checked byte-for-byte against the
+//! naive replay oracle (`rebuild_from_history` — incremental == rebuild).
+//!
+//! ```text
+//! cargo run --release -p kboost-bench --bin exp_online -- \
+//!     [--nodes N] [--samples N] [--k N] [--epochs N] [--churn F] \
+//!     [--threads 1,2] [--seed N] [--compact-threshold F] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use kboost_core::PrrPool;
+use kboost_graph::generators::preferential_attachment;
+use kboost_graph::probability::{boost_probability, ProbabilityModel};
+use kboost_graph::{DiGraph, EdgeProbs, NodeId};
+use kboost_online::{
+    rebuild_from_history, EpochBatch, MaintainerOptions, MutationLog, PoolMaintainer,
+};
+use kboost_prr::{greedy_delta_selection, PrrArenaShard, PrrFullSource};
+use kboost_rrset::seeds::select_random_nodes;
+use kboost_rrset::sketch::SketchPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct OnlineOpts {
+    nodes: usize,
+    samples: u64,
+    k: usize,
+    epochs: u64,
+    churn: f64,
+    threads: Vec<usize>,
+    seed: u64,
+    compact_threshold: f64,
+    out: String,
+}
+
+fn parse_args() -> OnlineOpts {
+    let mut opts = OnlineOpts {
+        nodes: 20_000,
+        samples: 40_000,
+        k: 50,
+        epochs: 3,
+        churn: 0.10,
+        threads: vec![1, 2],
+        seed: 42,
+        compact_threshold: 0.25,
+        out: "BENCH_online.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag {
+            "--nodes" => opts.nodes = next(&mut i).parse().expect("--nodes N"),
+            "--samples" => opts.samples = next(&mut i).parse().expect("--samples N"),
+            "--k" => opts.k = next(&mut i).parse().expect("--k N"),
+            "--epochs" => opts.epochs = next(&mut i).parse().expect("--epochs N"),
+            "--churn" => opts.churn = next(&mut i).parse().expect("--churn F"),
+            "--threads" => {
+                opts.threads = next(&mut i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads N[,N...]"))
+                    .collect();
+                assert!(
+                    !opts.threads.is_empty(),
+                    "--threads needs at least one value"
+                );
+            }
+            "--seed" => opts.seed = next(&mut i).parse().expect("--seed N"),
+            "--compact-threshold" => {
+                opts.compact_threshold = next(&mut i).parse().expect("--compact-threshold F")
+            }
+            "--out" => opts.out = next(&mut i),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Grows a mutation batch on random edges of `g` until it invalidates at
+/// least `churn` of the maintainer's live graphs (or a mutation budget
+/// runs out). Deterministic in `rng`.
+fn grow_batch(
+    maintainer: &PoolMaintainer,
+    g: &DiGraph,
+    log: &mut MutationLog,
+    churn: f64,
+    rng: &mut SmallRng,
+) {
+    let live = maintainer.pool().arena().num_live();
+    let want = ((live as f64) * churn).ceil() as usize;
+    let edges: Vec<(NodeId, NodeId, EdgeProbs)> = g.edges().collect();
+    let n = g.num_nodes() as u32;
+    // Grow geometrically between dry runs: the stale-share estimate is
+    // linear in the arena, so re-checking after every few mutations would
+    // dominate this (untimed) setup phase — doubling the step keeps the
+    // number of dry runs logarithmic in the final batch size.
+    let mut step = 8usize;
+    for _ in 0..64 {
+        if maintainer.stale_graphs(log.pending()).len() >= want {
+            break;
+        }
+        for _ in 0..step {
+            match rng.random_range(0..4u32) {
+                0 if !edges.is_empty() => {
+                    // Remove a random existing edge.
+                    let (u, v, _) = edges[rng.random_range(0..edges.len())];
+                    log.remove_edge(u, v);
+                }
+                1 => {
+                    // Insert a random fresh edge.
+                    let u = rng.random_range(0..n);
+                    let v = rng.random_range(0..n);
+                    if u == v {
+                        continue;
+                    }
+                    let p: f64 = rng.random_range(0.01..0.2);
+                    log.insert_edge(
+                        NodeId(u),
+                        NodeId(v),
+                        EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap(),
+                    );
+                }
+                _ if !edges.is_empty() => {
+                    // Re-draw an existing edge's probability (fresh action
+                    // logs): the most common production mutation.
+                    let (u, v, _) = edges[rng.random_range(0..edges.len())];
+                    let p: f64 = rng.random_range(0.01..0.3);
+                    log.set_probs(u, v, EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap());
+                }
+                _ => {}
+            }
+        }
+        step = (step * 2).min(4_096);
+    }
+}
+
+struct EpochPoint {
+    epoch: u64,
+    mutations: usize,
+    invalidated: u64,
+    invalidation_rate: f64,
+    compacted: bool,
+    refresh_secs: f64,
+    rebuild_secs: f64,
+    speedup: f64,
+    live_bytes: usize,
+    arena_bytes: usize,
+    delta_selected: f64,
+    probe_inc: f64,
+    probe_rebuild: f64,
+}
+
+/// A boost set chosen independently of any sampled pool: the `k` highest
+/// in-degree non-seed nodes (ties to the lower id). Evaluating both pools
+/// on it isolates pool drift from selection bias.
+fn probe_set(g: &DiGraph, seeds: &[NodeId], k: usize) -> Vec<NodeId> {
+    let mut is_seed = vec![false; g.num_nodes()];
+    for &s in seeds {
+        is_seed[s.index()] = true;
+    }
+    let mut nodes: Vec<NodeId> = g.nodes().filter(|v| !is_seed[v.index()]).collect();
+    nodes.sort_by_key(|&v| (std::cmp::Reverse(g.in_degree(v)), v.0));
+    nodes.truncate(k);
+    nodes
+}
+
+/// Full-rebuild baseline: resample the whole pool over the current graph
+/// (epoch-seeded so each baseline is an independent draw).
+fn full_rebuild(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    k: usize,
+    samples: u64,
+    base_seed: u64,
+    epoch: u64,
+    threads: usize,
+) -> PrrPool {
+    let mut sketches: SketchPool<PrrArenaShard> =
+        SketchPool::with_epoch(base_seed ^ 0x5EED_F00D, epoch, threads);
+    sketches.extend_to(&PrrFullSource::new(g, seeds, k), samples);
+    PrrPool::new(sketches, g.num_nodes(), threads)
+}
+
+fn main() {
+    let opts = parse_args();
+
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let g0 = preferential_attachment(
+        opts.nodes,
+        4,
+        0.15,
+        ProbabilityModel::LogNormal {
+            mu: -1.93,
+            sigma: 1.0,
+            cap: 1.0,
+        },
+        2.0,
+        &mut rng,
+    );
+    let seeds = select_random_nodes(&g0, 50.min(opts.nodes / 4), &[], opts.seed ^ 0x5EED);
+    eprintln!(
+        "graph: {} nodes, {} edges; {} seeds, k = {}, {} samples, {} epochs at {:.0}% churn, \
+         thread sweep {:?}",
+        g0.num_nodes(),
+        g0.num_edges(),
+        seeds.len(),
+        opts.k,
+        opts.samples,
+        opts.epochs,
+        opts.churn * 100.0,
+        opts.threads,
+    );
+
+    // The mutation history is fixed once (primary thread count) and then
+    // replayed identically for every other thread count and the oracle.
+    let primary = opts.threads[0];
+    let maintainer_opts = |threads: usize| MaintainerOptions {
+        target_samples: opts.samples,
+        k: opts.k,
+        threads,
+        base_seed: opts.seed,
+        compact_threshold: opts.compact_threshold,
+    };
+
+    let t0 = Instant::now();
+    let mut maintainer = PoolMaintainer::build(g0.clone(), seeds.clone(), maintainer_opts(primary));
+    let build_secs = t0.elapsed().as_secs_f64();
+    let boostable0 = maintainer.pool().num_boostable();
+    eprintln!(
+        "[epoch 0] built {} samples ({boostable0} boostable) in {build_secs:.2}s",
+        maintainer.pool().total_samples(),
+    );
+
+    let mut log = MutationLog::new();
+    let mut mut_rng = SmallRng::seed_from_u64(opts.seed ^ 0xC0FFEE);
+    let mut history: Vec<EpochBatch> = Vec::new();
+    let mut points: Vec<EpochPoint> = Vec::new();
+    let mut reports = Vec::new();
+
+    for _ in 0..opts.epochs {
+        let g = maintainer.graph().clone();
+        grow_batch(&maintainer, &g, &mut log, opts.churn, &mut mut_rng);
+        let batch = log.seal_epoch();
+
+        let live_before = maintainer.pool().arena().num_live();
+        let t = Instant::now();
+        let report = maintainer.apply_epoch(&batch);
+        let refresh_secs = t.elapsed().as_secs_f64();
+
+        // Baseline: what a pre-online deployment pays for the same change.
+        let t = Instant::now();
+        let rebuilt = full_rebuild(
+            maintainer.graph(),
+            &seeds,
+            opts.k,
+            opts.samples,
+            opts.seed,
+            report.epoch,
+            primary,
+        );
+        let rebuild_secs = t.elapsed().as_secs_f64();
+
+        let selection = maintainer.select(opts.k);
+        let delta_selected = maintainer.pool().delta_hat(&selection.selected);
+        let probe = probe_set(maintainer.graph(), &seeds, opts.k);
+        let probe_inc = maintainer.pool().delta_hat(&probe);
+        let probe_rebuild = rebuilt.delta_hat(&probe);
+
+        let rate = report.invalidated as f64 / live_before.max(1) as f64;
+        eprintln!(
+            "[epoch {}] {} mutations invalidated {} graphs ({:.1}% of live): \
+             refresh {refresh_secs:.2}s vs rebuild {rebuild_secs:.2}s → {:.1}x; \
+             probe Δ̂ {probe_inc:.2} vs fresh {probe_rebuild:.2}{}",
+            report.epoch,
+            batch.mutations.len(),
+            report.invalidated,
+            rate * 100.0,
+            rebuild_secs / refresh_secs.max(1e-9),
+            if report.compacted { "; compacted" } else { "" },
+        );
+        points.push(EpochPoint {
+            epoch: report.epoch,
+            mutations: batch.mutations.len(),
+            invalidated: report.invalidated,
+            invalidation_rate: rate,
+            compacted: report.compacted,
+            refresh_secs,
+            rebuild_secs,
+            speedup: rebuild_secs / refresh_secs.max(1e-9),
+            live_bytes: maintainer.pool().arena().live_memory_bytes(),
+            arena_bytes: maintainer.pool().arena().memory_bytes(),
+            delta_selected,
+            probe_inc,
+            probe_rebuild,
+        });
+        history.push(batch);
+        reports.push(report);
+    }
+
+    // Determinism: every other thread count must reproduce the primary
+    // run's arena bytes (tombstones included) and epoch reports.
+    for &threads in &opts.threads[1..] {
+        let mut m = PoolMaintainer::build(g0.clone(), seeds.clone(), maintainer_opts(threads));
+        for (batch, expect) in history.iter().zip(&reports) {
+            let report = m.apply_epoch(batch);
+            assert_eq!(
+                &report, expect,
+                "epoch report differs at {threads} threads (epoch {})",
+                batch.epoch
+            );
+        }
+        assert!(
+            m.pool().arena() == maintainer.pool().arena(),
+            "maintained arena differs at {threads} threads vs {primary}"
+        );
+        assert_eq!(
+            m.select(opts.k),
+            maintainer.select(opts.k),
+            "selection differs at {threads} threads"
+        );
+        eprintln!("[determinism] {threads} threads: bit-identical to {primary}-thread run");
+    }
+
+    // Equivalence oracle: incremental == from-scratch replay (legacy
+    // payload pipeline, naive staleness scan, no tombstones).
+    let t = Instant::now();
+    let (_g, oracle) = rebuild_from_history(&g0, &seeds, &maintainer_opts(primary), &history);
+    let oracle_secs = t.elapsed().as_secs_f64();
+    assert_eq!(oracle.total_samples(), maintainer.pool().total_samples());
+    assert_eq!(oracle.empty_samples(), maintainer.pool().empty_samples());
+    assert!(
+        maintainer.pool().arena().compacted() == *oracle.arena(),
+        "incremental maintenance diverged from the replay rebuild oracle"
+    );
+    let final_selection = maintainer.select(opts.k);
+    assert_eq!(
+        final_selection,
+        greedy_delta_selection(oracle.arena(), g0.num_nodes(), opts.k, primary),
+        "selection diverged from the replay rebuild oracle"
+    );
+    eprintln!("[oracle] incremental == rebuild (replay verified in {oracle_secs:.2}s)");
+
+    let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;
+    let min_speedup = points
+        .iter()
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let epoch_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"epoch\": {}, \"mutations\": {}, \"invalidated\": {}, \
+                 \"invalidation_rate\": {:.4}, \"compacted\": {}, \"refresh_secs\": {:.4}, \
+                 \"rebuild_secs\": {:.4}, \"speedup\": {:.2}, \"live_bytes\": {}, \
+                 \"arena_bytes\": {}, \"delta_hat_selected\": {:.4}, \
+                 \"probe_delta_incremental\": {:.4}, \"probe_delta_rebuild\": {:.4} }}",
+                p.epoch,
+                p.mutations,
+                p.invalidated,
+                p.invalidation_rate,
+                p.compacted,
+                p.refresh_secs,
+                p.rebuild_secs,
+                p.speedup,
+                p.live_bytes,
+                p.arena_bytes,
+                p.delta_selected,
+                p.probe_inc,
+                p.probe_rebuild,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
+         \"seed\": {},\n  \"samples\": {},\n  \"churn_target\": {:.2},\n  \
+         \"compact_threshold\": {:.2},\n  \"threads\": {:?},\n  \"build_secs\": {:.4},\n  \
+         \"boostable_epoch0\": {},\n  \"mean_speedup\": {:.2},\n  \"min_speedup\": {:.2},\n  \
+         \"epochs\": [\n{}\n  ]\n}}\n",
+        g0.num_nodes(),
+        g0.num_edges(),
+        seeds.len(),
+        opts.k,
+        opts.seed,
+        opts.samples,
+        opts.churn,
+        opts.compact_threshold,
+        opts.threads,
+        build_secs,
+        boostable0,
+        mean_speedup,
+        min_speedup,
+        epoch_json.join(",\n"),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH_online.json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+}

@@ -120,4 +120,50 @@ mod tests {
             assert!(p.sigma >= p.num_seeds as f64, "sigma below seed count");
         }
     }
+
+    fn tiny_opts() -> BudgetOptions {
+        BudgetOptions {
+            max_seeds: 4,
+            cost_ratio: 3,
+            boost: BoostOptions {
+                threads: 2,
+                seed: 5,
+                max_sketches: Some(5_000),
+                ..Default::default()
+            },
+            imm: ImmParams {
+                k: 1,
+                epsilon: 0.5,
+                ell: 1.0,
+                threads: 2,
+                seed: 6,
+                max_sketches: Some(5_000),
+                min_sketches: 0,
+            },
+            mc: McConfig::quick(100, 1),
+        }
+    }
+
+    fn tiny_graph() -> kboost_graph::DiGraph {
+        let mut rng = SmallRng::seed_from_u64(43);
+        preferential_attachment(60, 2, 0.1, ProbabilityModel::Constant(0.1), 2.0, &mut rng)
+    }
+
+    #[test]
+    fn zero_fraction_clamps_to_one_seed() {
+        // A fraction of 0 cannot buy zero seeds — seeding is what creates
+        // influence to boost; the sweep clamps to one seed and spends the
+        // rest on boosts.
+        let points = budget_sweep(&tiny_graph(), &[0.0], &tiny_opts());
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].num_seeds, 1);
+        assert_eq!(points[0].num_boosts, 9); // (4 − 1) · 3
+        assert!(points[0].sigma >= 1.0);
+    }
+
+    #[test]
+    fn empty_fraction_list_is_an_empty_sweep() {
+        let points = budget_sweep(&tiny_graph(), &[], &tiny_opts());
+        assert!(points.is_empty());
+    }
 }

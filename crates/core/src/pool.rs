@@ -61,6 +61,46 @@ impl PrrPool {
         }
     }
 
+    /// Assembles a pool from an already-built arena and its sample
+    /// counters — the constructor the online maintenance subsystem (and
+    /// its rebuild oracle) uses when the arena was not produced by a
+    /// single sampling pass.
+    pub fn from_raw_parts(
+        arena: PrrArena,
+        n: usize,
+        total: u64,
+        empties: u64,
+        threads: usize,
+    ) -> Self {
+        PrrPool {
+            arena,
+            n,
+            total,
+            empties,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Mutable access to the arena for online maintenance: tombstoning
+    /// stale graphs, absorbing refresh shards, compacting. Callers must
+    /// keep the sample counters in sync via
+    /// [`record_refresh`](Self::record_refresh).
+    pub fn arena_mut(&mut self) -> &mut PrrArena {
+        &mut self.arena
+    }
+
+    /// Records one refresh step of the online maintainer: `invalidated`
+    /// stored samples were tombstoned (each stored graph is one sample of
+    /// the estimator's denominator) and `drawn` fresh samples — of which
+    /// `drawn_empties` produced no stored graph — were absorbed in their
+    /// place. With `drawn == invalidated` the denominator is unchanged and
+    /// the estimators stay unbiased over the refreshed slots.
+    pub fn record_refresh(&mut self, invalidated: u64, drawn: u64, drawn_empties: u64) {
+        debug_assert!(self.total >= invalidated);
+        self.total = self.total - invalidated + drawn;
+        self.empties += drawn_empties;
+    }
+
     /// Host-graph node count.
     pub fn n(&self) -> usize {
         self.n
@@ -81,18 +121,22 @@ impl PrrPool {
         &self.arena
     }
 
-    /// The stored boostable PRR-graphs.
+    /// The stored boostable PRR-graphs — **all** of them, tombstoned
+    /// included; online consumers should pair this with
+    /// [`arena()`](Self::arena)`.is_live(i)`.
     pub fn graphs(&self) -> impl Iterator<Item = PrrGraphView<'_>> {
         self.arena.iter()
     }
 
-    /// Number of stored boostable graphs.
+    /// Number of stored *live* boostable graphs (tombstoned graphs from
+    /// online maintenance are excluded).
     pub fn num_boostable(&self) -> usize {
-        self.arena.len()
+        self.arena.num_live()
     }
 
-    /// Counts stored graphs satisfying `hit`, fanning out over contiguous
-    /// arena ranges. Deterministic: addition over disjoint exact counts.
+    /// Counts live stored graphs satisfying `hit`, fanning out over
+    /// contiguous arena ranges. Deterministic: addition over disjoint
+    /// exact counts. Tombstoned graphs never count.
     fn count_hits<F>(&self, hit: F) -> u64
     where
         F: Fn(PrrGraphView<'_>, &mut PrrEvalScratch) -> bool + Sync,
@@ -101,7 +145,7 @@ impl PrrPool {
         let count_range = |range: std::ops::Range<usize>| -> u64 {
             let mut scratch = PrrEvalScratch::default();
             range
-                .filter(|&i| hit(self.arena.graph(i), &mut scratch))
+                .filter(|&i| self.arena.is_live(i) && hit(self.arena.graph(i), &mut scratch))
                 .count() as u64
         };
         let workers = self.threads.min(num_graphs.max(1));
@@ -139,16 +183,22 @@ impl PrrPool {
         self.n as f64 * hits as f64 / self.total.max(1) as f64
     }
 
-    /// Mean number of edges per stored graph before and after compression:
-    /// `(avg_uncompressed, avg_compressed)` — the paper's compression-ratio
-    /// numerator and denominator (Tables 2–3).
+    /// Mean number of edges per live stored graph before and after
+    /// compression: `(avg_uncompressed, avg_compressed)` — the paper's
+    /// compression-ratio numerator and denominator (Tables 2–3).
     pub fn compression_stats(&self) -> (f64, f64) {
-        let count = self.arena.len() as u64;
+        let count = self.arena.num_live() as u64;
         if count == 0 {
             return (0.0, 0.0);
         }
-        let total_unc: u64 = self.graphs().map(|p| p.uncompressed_edges() as u64).sum();
-        let total_cmp = self.arena.total_edges() as u64;
+        let (mut total_unc, mut total_cmp) = (0u64, 0u64);
+        for i in 0..self.arena.len() {
+            if self.arena.is_live(i) {
+                let g = self.arena.graph(i);
+                total_unc += g.uncompressed_edges() as u64;
+                total_cmp += g.num_edges() as u64;
+            }
+        }
         (
             total_unc as f64 / count as f64,
             total_cmp as f64 / count as f64,
@@ -188,6 +238,50 @@ mod tests {
             assert_eq!(a.delta_hat(&set), b.delta_hat(&set));
             assert_eq!(a.mu_hat(&set), b.mu_hat(&set));
         }
+    }
+
+    #[test]
+    fn estimators_skip_tombstoned_graphs() {
+        // Tombstoning every graph whose critical set contains node 1 must
+        // change Δ̂/µ̂ exactly as if those graphs were never stored — while
+        // the denominator (total samples) stays put.
+        let mut pool = figure1_pool(2);
+        let total = pool.total_samples();
+        let stale: Vec<usize> = (0..pool.arena().len())
+            .filter(|&i| pool.arena().graph(i).critical().contains(&NodeId(1)))
+            .collect();
+        assert!(!stale.is_empty(), "degenerate pool");
+        assert!(pool.mu_hat(&[NodeId(1)]) > 0.0);
+        for &i in &stale {
+            pool.arena_mut().tombstone(i);
+        }
+        assert_eq!(pool.total_samples(), total);
+        assert_eq!(pool.num_boostable(), pool.arena().num_live());
+        // No surviving graph has node 1 in its critical set, so µ̂({1})
+        // must drop to exactly zero while the denominator stays put.
+        assert_eq!(pool.mu_hat(&[NodeId(1)]), 0.0);
+        let (unc, cmp) = pool.compression_stats();
+        if pool.num_boostable() > 0 {
+            assert!(unc > 0.0 && cmp >= 0.0);
+        } else {
+            assert_eq!((unc, cmp), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn record_refresh_keeps_denominator_in_sync() {
+        let pool = figure1_pool(1);
+        let (total, empties) = (pool.total_samples(), pool.empty_samples());
+        let arena = pool.arena().compacted();
+        let mut rebuilt = PrrPool::from_raw_parts(arena, 3, total, empties, 2);
+        assert_eq!(rebuilt.total_samples(), total);
+        assert_eq!(
+            rebuilt.delta_hat(&[NodeId(1)]),
+            pool.delta_hat(&[NodeId(1)])
+        );
+        rebuilt.record_refresh(10, 10, 4);
+        assert_eq!(rebuilt.total_samples(), total);
+        assert_eq!(rebuilt.empty_samples(), empties + 4);
     }
 
     #[test]

@@ -124,6 +124,50 @@ mod tests {
     }
 
     #[test]
+    fn curve_is_deterministic_given_seed_and_respects_threshold() {
+        let g = parallel_paths();
+        let opts = BoostOptions {
+            threads: 2,
+            seed: 33,
+            max_sketches: Some(40_000),
+            ..Default::default()
+        };
+        let (out, pool) = prr_boost(&g, &[NodeId(0)], 2, &opts);
+        let base_delta = pool.delta_hat(&out.best);
+
+        let a = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &out.best, 60, 0.5, 11);
+        let b = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &out.best, 60, 0.5, 11);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.delta_hat, pb.delta_hat);
+            assert_eq!(pa.ratio, pb.ratio);
+        }
+
+        // Raising the keep-above threshold can only filter points, and
+        // every surviving point must clear it.
+        let strict = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &out.best, 60, 0.95, 11);
+        assert!(strict.len() <= a.len());
+        for p in &strict {
+            assert!(p.delta_hat >= 0.95 * base_delta);
+        }
+    }
+
+    #[test]
+    fn empty_base_yields_no_points() {
+        // Perturbing an empty solution produces Δ̂ = 0 sets, all filtered.
+        let g = parallel_paths();
+        let opts = BoostOptions {
+            threads: 2,
+            seed: 35,
+            max_sketches: Some(20_000),
+            ..Default::default()
+        };
+        let (_, pool) = prr_boost(&g, &[NodeId(0)], 1, &opts);
+        let pts = sandwich_ratio_curve(&g, &pool, &[NodeId(0)], &[], 30, 0.5, 3);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
     fn perturb_keeps_size_and_dedup() {
         let mut rng = SmallRng::seed_from_u64(3);
         let base = vec![NodeId(1), NodeId(2)];

@@ -1,11 +1,19 @@
 use rand::Rng;
 
-use crate::probability::{boost_probability, ProbabilityModel};
+use crate::probability::{assign_probabilities, ProbabilityModel};
 use crate::{DiGraph, GraphBuilder, NodeId};
 
 /// Generates a uniform random directed graph `G(n, m)` with `m` distinct
 /// directed edges (no self-loops), probabilities drawn from `model` and
 /// boosted with parameter `beta`.
+///
+/// Influence probabilities are assigned in a **second pass**, after the
+/// topology (and hence every in-degree) is final — the same regime the PA
+/// generator uses. Degree-dependent models like
+/// [`ProbabilityModel::WeightedCascade`] get the true `1 / in_degree(v)`
+/// instead of the old mid-generation `m/n` approximation, and random
+/// models draw in deterministic CSR edge order (the old per-edge draws
+/// iterated a `HashSet`, whose order varies run to run).
 ///
 /// # Panics
 /// Panics if `m` exceeds the number of possible edges `n·(n−1)`.
@@ -22,6 +30,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     // Rejection-sample distinct pairs; fine while m is far below n².
     // For dense requests fall back to sampling from the full pair list.
     let mut builder = GraphBuilder::with_capacity(n, m);
+    let add = |b: &mut GraphBuilder, u: u32, v: u32| {
+        b.add_edge(NodeId(u), NodeId(v), 0.0, 0.0)
+            .expect("distinct sampled edges are valid");
+    };
     if m * 3 < max_edges {
         let mut seen = std::collections::HashSet::with_capacity(m * 2);
         while seen.len() < m {
@@ -33,8 +45,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
             seen.insert(u * n as u64 + v);
         }
         for key in seen {
-            let (u, v) = ((key / n as u64) as u32, (key % n as u64) as u32);
-            add_edge(&mut builder, u, v, model, beta, rng);
+            add(
+                &mut builder,
+                (key / n as u64) as u32,
+                (key % n as u64) as u32,
+            );
         }
     } else {
         let mut pairs: Vec<(u32, u32)> = (0..n as u32)
@@ -45,31 +60,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
             let j = rng.random_range(i..pairs.len());
             pairs.swap(i, j);
             let (u, v) = pairs[i];
-            add_edge(&mut builder, u, v, model, beta, rng);
+            add(&mut builder, u, v);
         }
     }
-    builder.build().expect("generator produces valid graphs")
-}
-
-fn add_edge<R: Rng + ?Sized>(
-    b: &mut GraphBuilder,
-    u: u32,
-    v: u32,
-    model: ProbabilityModel,
-    beta: f64,
-    rng: &mut R,
-) {
-    // Weighted cascade needs in-degrees which are unknown mid-generation;
-    // approximate with the expected in-degree m/n (documented behaviour).
-    let p = match model {
-        ProbabilityModel::WeightedCascade => {
-            let expected = (b.num_edges().max(1) as f64 / b.num_nodes().max(1) as f64).max(1.0);
-            1.0 / expected
-        }
-        other => other.sample(rng, 0),
-    };
-    b.add_edge(NodeId(u), NodeId(v), p, boost_probability(p, beta))
-        .expect("distinct sampled edges are valid");
+    let topology = builder.build().expect("generator produces valid graphs");
+    assign_probabilities(&topology, model, beta, rng)
 }
 
 #[cfg(test)]
@@ -130,5 +125,49 @@ mod tests {
     fn too_many_edges_panics() {
         let mut rng = SmallRng::seed_from_u64(1);
         erdos_renyi(3, 7, ProbabilityModel::Constant(0.1), 2.0, &mut rng);
+    }
+
+    #[test]
+    fn weighted_cascade_probabilities_strictly_positive() {
+        // Regression (mirrors the PA generator's): WeightedCascade used to
+        // be approximated with the expected in-degree m/n mid-generation.
+        // The second pass must see final in-degrees, i.e.
+        // p_uv = 1/in_degree(v) > 0 on every edge.
+        let mut rng = SmallRng::seed_from_u64(19);
+        let g = erdos_renyi(120, 700, ProbabilityModel::WeightedCascade, 2.0, &mut rng);
+        assert_eq!(g.num_edges(), 700);
+        for (_, v, probs) in g.edges() {
+            let expected = 1.0 / g.in_degree(v) as f64;
+            assert!(
+                probs.base > 0.0 && probs.boosted >= probs.base,
+                "non-positive probability on an edge into {v:?}"
+            );
+            assert!(
+                (probs.base - expected).abs() < 1e-12,
+                "p into {v:?}: {} vs 1/in_degree {expected}",
+                probs.base
+            );
+        }
+    }
+
+    #[test]
+    fn random_model_probabilities_deterministic_given_seed() {
+        // Before the second pass, per-edge draws iterated a HashSet whose
+        // order changes between runs — two same-seed graphs could carry
+        // different Trivalency probabilities. CSR-order assignment makes
+        // the probabilities a pure function of the seed.
+        let make = || {
+            erdos_renyi(
+                40,
+                160,
+                ProbabilityModel::Trivalency,
+                2.0,
+                &mut SmallRng::seed_from_u64(7),
+            )
+        };
+        let (g1, g2) = (make(), make());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2, "same-seed graphs diverged (edges or probs)");
     }
 }

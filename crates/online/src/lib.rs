@@ -1,0 +1,56 @@
+//! `kboost-online` — incremental PRR-pool maintenance for evolving graphs.
+//!
+//! The paper's pipeline builds the PRR-graph pool once for a frozen
+//! network, but a production boost service faces a network that changes
+//! continuously: edge probabilities re-learned from fresh action logs, new
+//! follows, unfollows. Sampling dominates the pipeline's cost by four
+//! orders of magnitude over selection (`BENCH_prr.json`), so rebuilding
+//! the pool on every change is the one thing a live system cannot afford.
+//! This crate keeps an existing pool *serving* while paying only for the
+//! share of samples a change actually invalidates.
+//!
+//! * [`mutation`] — the [`MutationLog`](mutation::MutationLog): edge
+//!   probability/boost updates, insertions and removals, batched into
+//!   numbered epochs, plus the pure
+//!   [`apply_mutations`](mutation::apply_mutations) graph rebuild.
+//! * [`maintain`] — the [`PoolMaintainer`](maintain::PoolMaintainer):
+//!   maps a mutation batch to the set of stale PRR-graphs through a
+//!   node → graphs inverted index
+//!   ([`NodeIndex`](kboost_prr::NodeIndex), shared with the greedy
+//!   selection), tombstones them in the
+//!   [`PrrArena`](kboost_prr::PrrArena), resamples exactly that share
+//!   under the epoch-extended determinism contract, and compacts the
+//!   arena when tombstones exceed a threshold. The naive
+//!   [`rebuild_from_history`](maintain::rebuild_from_history) replay —
+//!   legacy per-graph payloads, eager filtering, no tombstones, no
+//!   index — is the equivalence oracle.
+//!
+//! # Determinism contract, extended
+//!
+//! Offline sampling seeds chunk `c` from `(base_seed, c)`. Online refresh
+//! adds the epoch: the resampling of epoch `e` seeds its chunks from
+//! `(base_seed, e, c)` (see
+//! [`epoch_stream_seed`](kboost_rrset::sketch::epoch_stream_seed)), with
+//! epoch 0 — the initial build — bit-identical to the offline stream.
+//! Stale-set detection is a pure function of the live arena and the
+//! batch, and chunk shards merge in chunk order, so the maintained pool
+//! after any mutation history is **bit-identical for any thread count**,
+//! and its compacted arena is **byte-equal** to the oracle's from-scratch
+//! replay at the same epoch.
+//!
+//! # Staleness rule (and its limits)
+//!
+//! A stored sample is invalidated iff a mutated edge's endpoint appears in
+//! its node table — the only footprint a compressed PRR-graph retains.
+//! Samples whose phase-I exploration touched a mutated edge but kept
+//! neither endpoint past compression, and empty (activated / hopeless)
+//! samples, are *not* detected; their slots refresh only when a later
+//! mutation touches them. This is the approximation the subsystem trades
+//! for incremental cost — `exp_online` records the resulting `Δ̂` drift
+//! against a true full rebuild alongside the speedup.
+
+pub mod maintain;
+pub mod mutation;
+
+pub use maintain::{rebuild_from_history, EpochReport, MaintainerOptions, PoolMaintainer};
+pub use mutation::{apply_mutations, EpochBatch, Mutation, MutationLog};

@@ -1,0 +1,495 @@
+//! The pool maintainer: epoch-by-epoch incremental refresh.
+//!
+//! # Lifecycle of one epoch
+//!
+//! 1. the mutated graph is rebuilt ([`apply_mutations`]);
+//! 2. the batch's touched endpoints are matched against every live
+//!    graph's node table through a node → graphs [`NodeIndex`] (the same
+//!    CSR machinery the greedy selection uses for its coverage index),
+//!    yielding the stale set in ascending graph order;
+//! 3. stale graphs are [tombstoned](PrrArena::tombstone) — each stored
+//!    graph is one sample of the estimator's denominator, so the pool's
+//!    total is debited accordingly;
+//! 4. if tombstones now exceed
+//!    [`compact_threshold`](MaintainerOptions::compact_threshold), the
+//!    arena is compacted (order-preserving, canonicalizing);
+//! 5. exactly `|stale|` fresh samples are drawn over the new graph from a
+//!    chunk-seeded pool of stream `(base_seed, epoch)` and absorbed in
+//!    chunk order.
+//!
+//! Every step is a pure function of `(initial graph, base_seed, options,
+//! mutation history)` — never of the thread count — so maintained pools
+//! are bit-identical across thread counts, and
+//! [`rebuild_from_history`] (the naive replay oracle: legacy per-graph
+//! payloads, a full node-table scan instead of the index, eager filtering
+//! instead of tombstones) reproduces the compacted arena byte for byte.
+
+use kboost_core::PrrPool;
+use kboost_graph::{DiGraph, NodeId};
+use kboost_prr::{
+    greedy_delta_selection, DeltaSelection, LegacyPrrSource, NodeIndex, PrrArena, PrrArenaShard,
+    PrrFullSource,
+};
+use kboost_rrset::sketch::SketchPool;
+
+use crate::mutation::{apply_mutations, EpochBatch, Mutation};
+
+/// Tuning knobs of a maintained pool.
+#[derive(Clone, Copy, Debug)]
+pub struct MaintainerOptions {
+    /// Pool size: total samples maintained at every epoch.
+    pub target_samples: u64,
+    /// Boost budget `k` the PRR-graphs are pruned at.
+    pub k: usize,
+    /// Worker threads for sampling and selection.
+    pub threads: usize,
+    /// Base seed of the epoch-extended determinism contract.
+    pub base_seed: u64,
+    /// Compact the arena when the tombstoned fraction of stored graphs
+    /// exceeds this threshold (`0.0` compacts every epoch that tombstones
+    /// anything; `1.0` never compacts). Compaction only reclaims memory —
+    /// live content and estimates are unaffected.
+    pub compact_threshold: f64,
+}
+
+impl Default for MaintainerOptions {
+    fn default() -> Self {
+        MaintainerOptions {
+            target_samples: 100_000,
+            k: 10,
+            threads: 8,
+            base_seed: 0x0B00_57ED,
+            compact_threshold: 0.25,
+        }
+    }
+}
+
+/// What one [`PoolMaintainer::apply_epoch`] call did. Timing is the
+/// caller's business (`exp_online` wraps the call); every field here is a
+/// deterministic function of the mutation history, which the cross-thread
+/// property tests compare with `==`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochReport {
+    /// The epoch this report describes.
+    pub epoch: u64,
+    /// Stale stored graphs tombstoned (== samples debited and redrawn).
+    pub invalidated: u64,
+    /// Redrawn samples that stored a replacement graph.
+    pub drawn_stored: u64,
+    /// Redrawn samples that came up empty (activated / hopeless).
+    pub drawn_empty: u64,
+    /// Whether the arena was compacted this epoch.
+    pub compacted: bool,
+    /// Live stored graphs after the refresh.
+    pub live_graphs: u64,
+    /// Tombstoned graphs still occupying arena bytes after the refresh.
+    pub dead_graphs: u64,
+}
+
+/// A PRR pool kept consistent with an evolving graph.
+pub struct PoolMaintainer {
+    graph: DiGraph,
+    seeds: Vec<NodeId>,
+    opts: MaintainerOptions,
+    pool: PrrPool,
+    epoch: u64,
+}
+
+impl PoolMaintainer {
+    /// Builds the epoch-0 pool: `target_samples` drawn over `graph`
+    /// through the streaming shard pipeline, bit-identical to an offline
+    /// [`SketchPool`] build with the same base seed.
+    pub fn build(graph: DiGraph, seeds: Vec<NodeId>, opts: MaintainerOptions) -> Self {
+        let mut sketches: SketchPool<PrrArenaShard> =
+            SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+        sketches.extend_to(
+            &PrrFullSource::new(&graph, &seeds, opts.k),
+            opts.target_samples,
+        );
+        let pool = PrrPool::new(sketches, graph.num_nodes(), opts.threads);
+        PoolMaintainer {
+            graph,
+            seeds,
+            opts,
+            pool,
+            epoch: 0,
+        }
+    }
+
+    /// The maintained pool (estimators skip tombstoned graphs).
+    pub fn pool(&self) -> &PrrPool {
+        &self.pool
+    }
+
+    /// The current (post-mutation) graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The seed set the pool is conditioned on.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The current epoch (0 until the first batch is applied).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The maintainer's options.
+    pub fn options(&self) -> &MaintainerOptions {
+        &self.opts
+    }
+
+    /// Greedy `Δ̂` selection over the live pool.
+    pub fn select(&self, k: usize) -> DeltaSelection {
+        greedy_delta_selection(
+            self.pool.arena(),
+            self.graph.num_nodes(),
+            k,
+            self.opts.threads,
+        )
+    }
+
+    /// Live stored graphs whose node table contains an endpoint of any of
+    /// `mutations`, in ascending graph order — the staleness rule, also
+    /// usable as a dry run to size a batch before sealing it.
+    ///
+    /// Builds the node → graphs index afresh (linear in the arena's node
+    /// tables), which the once-per-epoch refresh amortizes against the
+    /// far larger resampling cost; callers issuing *many* dry runs should
+    /// batch them (see `exp_online`'s geometric batch growth). Keeping
+    /// the index alive across epochs is a ROADMAP item for when epoch
+    /// rates make the rebuild measurable.
+    pub fn stale_graphs(&self, mutations: &[Mutation]) -> Vec<u32> {
+        let n = self.graph.num_nodes();
+        let arena = self.pool.arena();
+        let mut touched = vec![false; n];
+        let mut any = false;
+        for m in mutations {
+            let (u, v) = m.endpoints();
+            touched[u.index()] = true;
+            touched[v.index()] = true;
+            any = true;
+        }
+        if !any {
+            return Vec::new();
+        }
+        // Node → live graphs containing it; the selection-index machinery.
+        let index = NodeIndex::build(n, |emit| {
+            for gi in 0..arena.len() {
+                if !arena.is_live(gi) {
+                    continue;
+                }
+                let view = arena.graph(gi);
+                for l in 0..view.num_nodes() as u32 {
+                    if let Some(g) = view.global_of(l) {
+                        emit(g, gi as u32);
+                    }
+                }
+            }
+        });
+        let mut is_stale = vec![false; arena.len()];
+        let mut stale: Vec<u32> = Vec::new();
+        for (v, &hit) in touched.iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            for &gi in index.items_of(NodeId(v as u32)) {
+                if !is_stale[gi as usize] {
+                    is_stale[gi as usize] = true;
+                    stale.push(gi);
+                }
+            }
+        }
+        stale.sort_unstable();
+        stale
+    }
+
+    /// Applies one sealed epoch: mutates the graph, tombstones the stale
+    /// graphs, compacts past the threshold, and resamples exactly the
+    /// invalidated share under the `(base_seed, epoch, chunk)` seeds.
+    ///
+    /// # Panics
+    /// Panics if `batch.epoch` is not `self.epoch() + 1` — epochs apply
+    /// contiguously or the seed streams would diverge from the oracle's.
+    pub fn apply_epoch(&mut self, batch: &EpochBatch) -> EpochReport {
+        assert_eq!(
+            batch.epoch,
+            self.epoch + 1,
+            "epochs must be applied contiguously"
+        );
+        self.graph = apply_mutations(&self.graph, &batch.mutations);
+        let stale = self.stale_graphs(&batch.mutations);
+        self.epoch = batch.epoch;
+
+        let arena = self.pool.arena_mut();
+        for &gi in &stale {
+            arena.tombstone(gi as usize);
+        }
+        let compacted = arena.dead_fraction() > self.opts.compact_threshold;
+        if compacted {
+            arena.compact();
+        }
+
+        let invalidated = stale.len() as u64;
+        let (drawn_stored, drawn_empty) = if invalidated > 0 {
+            let mut refresh: SketchPool<PrrArenaShard> =
+                SketchPool::with_epoch(self.opts.base_seed, self.epoch, self.opts.threads);
+            refresh.extend_to(
+                &PrrFullSource::new(&self.graph, &self.seeds, self.opts.k),
+                invalidated,
+            );
+            let (_covers, shard, drawn, empties) = refresh.into_parts();
+            debug_assert_eq!(drawn, invalidated);
+            self.pool.arena_mut().absorb_shard(shard);
+            self.pool.record_refresh(invalidated, drawn, empties);
+            (drawn - empties, empties)
+        } else {
+            (0, 0)
+        };
+
+        EpochReport {
+            epoch: self.epoch,
+            invalidated,
+            drawn_stored,
+            drawn_empty,
+            compacted,
+            live_graphs: self.pool.arena().num_live() as u64,
+            dead_graphs: self.pool.arena().num_dead() as u64,
+        }
+    }
+}
+
+/// The equivalence oracle: replays the same mutation history from scratch
+/// through the **legacy** pipeline — per-graph [`CompressedPrr`] payloads
+/// (`LegacyPrrSource` draws the exact randomness of the shard source), a
+/// naive full node-table scan for staleness, eager filtering instead of
+/// tombstones, and a final [`PrrArena::from_graphs`] copy build. Returns
+/// the epoch-`history.len()` graph and pool.
+///
+/// The maintained pool's compacted arena must be byte-equal to this
+/// pool's arena, and all estimates and selections must agree — the
+/// property `tests/online_pool.rs` asserts.
+///
+/// [`CompressedPrr`]: kboost_prr::CompressedPrr
+pub fn rebuild_from_history(
+    graph0: &DiGraph,
+    seeds: &[NodeId],
+    opts: &MaintainerOptions,
+    history: &[EpochBatch],
+) -> (DiGraph, PrrPool) {
+    let n = graph0.num_nodes();
+    let mut g = graph0.clone();
+
+    let mut pool: SketchPool<Vec<kboost_prr::CompressedPrr>> =
+        SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+    pool.extend_to(
+        &LegacyPrrSource::new(&g, seeds, opts.k),
+        opts.target_samples,
+    );
+    let (_covers, mut payloads, mut total, mut empties) = pool.into_parts();
+
+    for batch in history {
+        g = apply_mutations(&g, &batch.mutations);
+        let mut touched = vec![false; n];
+        for m in &batch.mutations {
+            let (u, v) = m.endpoints();
+            touched[u.index()] = true;
+            touched[v.index()] = true;
+        }
+        // Naive staleness: scan every retained graph's whole node table.
+        let before = payloads.len();
+        payloads.retain(|c| {
+            let view = c.view();
+            !(0..view.num_nodes() as u32)
+                .any(|l| view.global_of(l).is_some_and(|gid| touched[gid.index()]))
+        });
+        let invalidated = (before - payloads.len()) as u64;
+        total -= invalidated;
+
+        if invalidated > 0 {
+            let mut refresh: SketchPool<Vec<kboost_prr::CompressedPrr>> =
+                SketchPool::with_epoch(opts.base_seed, batch.epoch, opts.threads);
+            refresh.extend_to(&LegacyPrrSource::new(&g, seeds, opts.k), invalidated);
+            let (_c, extra, drawn, e) = refresh.into_parts();
+            payloads.extend(extra);
+            total += drawn;
+            empties += e;
+        }
+    }
+
+    let arena = PrrArena::from_graphs(payloads);
+    (
+        g,
+        PrrPool::from_raw_parts(arena, n, total, empties, opts.threads),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::MutationLog;
+    use kboost_graph::{EdgeProbs, GraphBuilder};
+
+    fn quick_opts(target: u64, threads: usize) -> MaintainerOptions {
+        MaintainerOptions {
+            target_samples: target,
+            k: 2,
+            threads,
+            base_seed: 0xCAFE,
+            compact_threshold: 0.25,
+        }
+    }
+
+    /// Seed 0 fans out to two disjoint boost-only 2-hop paths:
+    /// 0 →(boost) mid →(live) end, mids {1, 2}, ends {3, 4}.
+    fn two_paths() -> DiGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0, 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.0, 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 1.0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_epoch_zero_like_an_offline_pool() {
+        let opts = quick_opts(2_000, 2);
+        let m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.pool().total_samples(), 2_000);
+        assert!(m.pool().num_boostable() > 0);
+
+        // Offline pool with the same seed: identical arena.
+        let g = two_paths();
+        let mut sketches: SketchPool<PrrArenaShard> = SketchPool::new(opts.base_seed, 2);
+        sketches.extend_to(&PrrFullSource::new(&g, &[NodeId(0)], opts.k), 2_000);
+        let offline = PrrPool::new(sketches, g.num_nodes(), 2);
+        assert!(m.pool().arena() == offline.arena());
+    }
+
+    #[test]
+    fn staleness_rule_matches_node_tables_exactly() {
+        // The dry run must mark a graph stale iff its node table holds a
+        // touched endpoint — checked in both directions over every stored
+        // graph.
+        let m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_000, 1));
+        // Every stored graph contains its root; roots are uniform over
+        // non-seed nodes, so node 1 appears in some table.
+        let stale = m.stale_graphs(&[Mutation::Remove {
+            from: NodeId(0),
+            to: NodeId(1),
+        }]);
+        assert!(!stale.is_empty());
+        for &gi in &stale {
+            let view = m.pool().arena().graph(gi as usize);
+            let hit = (0..view.num_nodes() as u32).any(|l| {
+                view.global_of(l) == Some(NodeId(0)) || view.global_of(l) == Some(NodeId(1))
+            });
+            assert!(hit, "graph {gi} marked stale without a touched node");
+        }
+        // And graphs that contain neither endpoint are never marked.
+        let all: std::collections::HashSet<u32> = stale.iter().copied().collect();
+        for gi in 0..m.pool().arena().len() as u32 {
+            if all.contains(&gi) {
+                continue;
+            }
+            let view = m.pool().arena().graph(gi as usize);
+            let hit = (0..view.num_nodes() as u32).any(|l| {
+                view.global_of(l) == Some(NodeId(0)) || view.global_of(l) == Some(NodeId(1))
+            });
+            assert!(!hit, "graph {gi} touched but not marked stale");
+        }
+        assert!(m.stale_graphs(&[]).is_empty());
+    }
+
+    #[test]
+    fn apply_epoch_refreshes_and_keeps_totals() {
+        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(2_000, 2));
+        let mut log = MutationLog::new();
+        // Cut path 1 → 3: root-3 graphs become hopeless in the new world.
+        log.remove_edge(NodeId(1), NodeId(3));
+        let report = m.apply_epoch(&log.seal_epoch());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(m.epoch(), 1);
+        assert!(report.invalidated > 0);
+        assert_eq!(report.invalidated, report.drawn_stored + report.drawn_empty);
+        assert_eq!(m.pool().total_samples(), 2_000);
+        assert_eq!(report.live_graphs, m.pool().arena().num_live() as u64);
+        // Boosting node 1 no longer activates root 3: Δ̂ must not count
+        // any refreshed graph rooted at 3 for {1} alone... node 3 is now
+        // unreachable, so µ̂/Δ̂ only pay out through path 2 → 4.
+        assert!(m.pool().delta_hat(&[NodeId(2)]) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguously")]
+    fn skipping_an_epoch_panics() {
+        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 1));
+        let mut log = MutationLog::new();
+        let _skipped = log.seal_epoch();
+        log.remove_edge(NodeId(1), NodeId(3));
+        let batch2 = log.seal_epoch();
+        m.apply_epoch(&batch2);
+    }
+
+    #[test]
+    fn compact_threshold_zero_compacts_every_refresh() {
+        let probs = EdgeProbs::new(0.0, 0.9).unwrap();
+        let run = |threshold: f64| {
+            let mut opts = quick_opts(1_500, 2);
+            opts.compact_threshold = threshold;
+            let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+            let mut log = MutationLog::new();
+            for i in 0..3u64 {
+                log.set_probs(NodeId(0), NodeId(1 + (i % 2) as u32), probs);
+                let report = m.apply_epoch(&log.seal_epoch());
+                if threshold == 0.0 && report.invalidated > 0 {
+                    assert!(report.compacted);
+                    assert_eq!(report.dead_graphs, 0);
+                }
+            }
+            m
+        };
+        let eager = run(0.0);
+        let lazy = run(1.0);
+        assert_eq!(eager.pool().arena().num_dead(), 0);
+        // Identical live content regardless of compaction policy.
+        assert!(eager.pool().arena().compacted() == lazy.pool().arena().compacted());
+        assert_eq!(eager.pool().total_samples(), lazy.pool().total_samples());
+        assert_eq!(
+            eager.pool().delta_hat(&[NodeId(1), NodeId(2)]),
+            lazy.pool().delta_hat(&[NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn matches_replay_oracle_on_a_small_history() {
+        let opts = quick_opts(1_200, 3);
+        let g0 = two_paths();
+        let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts);
+        let mut log = MutationLog::new();
+        log.set_probs(NodeId(0), NodeId(1), EdgeProbs::new(0.2, 0.8).unwrap());
+        let b1 = log.seal_epoch();
+        log.remove_edge(NodeId(2), NodeId(4));
+        log.insert_edge(NodeId(4), NodeId(2), EdgeProbs::new(0.3, 0.6).unwrap());
+        let b2 = log.seal_epoch();
+        m.apply_epoch(&b1);
+        m.apply_epoch(&b2);
+
+        let (g_oracle, oracle) = rebuild_from_history(&g0, &[NodeId(0)], &opts, &[b1, b2]);
+        assert_eq!(g_oracle.num_edges(), m.graph().num_edges());
+        assert_eq!(oracle.total_samples(), m.pool().total_samples());
+        assert_eq!(oracle.empty_samples(), m.pool().empty_samples());
+        assert!(m.pool().arena().compacted() == *oracle.arena());
+        for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+            assert_eq!(m.pool().delta_hat(&set), oracle.delta_hat(&set));
+            assert_eq!(m.pool().mu_hat(&set), oracle.mu_hat(&set));
+        }
+        assert_eq!(
+            m.select(2),
+            greedy_delta_selection(oracle.arena(), 5, 2, opts.threads)
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Graph mutations, batched into epochs.
+//!
+//! The node universe is fixed (`0..n`, as everywhere in the workspace);
+//! mutations change the edge set and its probabilities. Semantics are
+//! *total* — every mutation applies to every graph state:
+//!
+//! * [`Mutation::Upsert`] inserts the edge or overwrites its probability
+//!   pair if it already exists (probability updates and edge insertions
+//!   are the same operation on a probabilistic graph);
+//! * [`Mutation::Remove`] deletes the edge, a no-op when absent.
+//!
+//! A [`MutationLog`] accumulates mutations and seals them into numbered
+//! [`EpochBatch`]es; epoch numbers start at 1 because epoch 0 is the
+//! initial pool build. [`apply_mutations`] is the pure graph-rebuild both
+//! the incremental maintainer and the replay oracle share.
+
+use std::collections::HashMap;
+
+use kboost_graph::{DiGraph, EdgeProbs, GraphBuilder, NodeId};
+
+/// One edge mutation. Construct via the [`MutationLog`] helpers or
+/// directly; probability pairs are validated by [`EdgeProbs::new`] before
+/// they can exist.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mutation {
+    /// Insert edge `(from, to)` with the given probabilities, or overwrite
+    /// the pair if the edge exists.
+    Upsert {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+        /// The new `(p, p')` pair.
+        probs: EdgeProbs,
+    },
+    /// Remove edge `(from, to)`; no-op when absent.
+    Remove {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+}
+
+impl Mutation {
+    /// The two endpoints this mutation touches — the staleness footprint
+    /// matched against stored node tables.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            Mutation::Upsert { from, to, .. } | Mutation::Remove { from, to } => (from, to),
+        }
+    }
+}
+
+/// A sealed batch of mutations forming one refresh epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochBatch {
+    /// Epoch number (1-based: epoch 0 is the initial build).
+    pub epoch: u64,
+    /// The mutations, in arrival order (later entries win on conflicts).
+    pub mutations: Vec<Mutation>,
+}
+
+/// Accumulates mutations between refreshes and seals them into epochs.
+#[derive(Debug, Default)]
+pub struct MutationLog {
+    pending: Vec<Mutation>,
+    sealed_epochs: u64,
+}
+
+impl MutationLog {
+    /// An empty log; the first sealed batch will be epoch 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a probability update (or insertion) of edge `(from, to)`.
+    pub fn set_probs(&mut self, from: NodeId, to: NodeId, probs: EdgeProbs) {
+        self.pending.push(Mutation::Upsert { from, to, probs });
+    }
+
+    /// Records an edge insertion — the same operation as
+    /// [`set_probs`](Self::set_probs), named for call-site clarity.
+    pub fn insert_edge(&mut self, from: NodeId, to: NodeId, probs: EdgeProbs) {
+        self.set_probs(from, to, probs);
+    }
+
+    /// Records an edge removal.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) {
+        self.pending.push(Mutation::Remove { from, to });
+    }
+
+    /// The pending (unsealed) mutations, in arrival order — e.g. for a
+    /// [`stale_graphs`](crate::maintain::PoolMaintainer::stale_graphs)
+    /// dry run before sealing.
+    pub fn pending(&self) -> &[Mutation] {
+        &self.pending
+    }
+
+    /// Number of pending (unsealed) mutations.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no mutations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of epochs sealed so far.
+    pub fn sealed_epochs(&self) -> u64 {
+        self.sealed_epochs
+    }
+
+    /// Seals the pending mutations into the next epoch's batch (which may
+    /// be empty — an epoch with nothing to refresh).
+    pub fn seal_epoch(&mut self) -> EpochBatch {
+        self.sealed_epochs += 1;
+        EpochBatch {
+            epoch: self.sealed_epochs,
+            mutations: std::mem::take(&mut self.pending),
+        }
+    }
+}
+
+/// Applies a mutation batch to a graph, producing the next epoch's graph.
+///
+/// Pure and deterministic: the result depends only on the input graph and
+/// the batch (mutations apply in order; [`GraphBuilder`] canonicalizes the
+/// edge order). Cost is `O(m + |batch|)` — the CSR is immutable, so an
+/// epoch rebuilds it once, which is far below the resampling cost the
+/// maintainer saves.
+///
+/// # Panics
+/// Panics if a mutation references a node `>= n` or inserts a self-loop
+/// (the same validation [`GraphBuilder`] applies everywhere).
+pub fn apply_mutations(g: &DiGraph, batch: &[Mutation]) -> DiGraph {
+    let mut edges: Vec<(NodeId, NodeId, EdgeProbs)> = g.edges().collect();
+    let mut removed: Vec<bool> = vec![false; edges.len()];
+    let mut index: HashMap<(u32, u32), usize> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, _))| ((u.0, v.0), i))
+        .collect();
+
+    for m in batch {
+        match *m {
+            Mutation::Upsert { from, to, probs } => match index.get(&(from.0, to.0)) {
+                Some(&i) => {
+                    edges[i].2 = probs;
+                    removed[i] = false; // re-inserting a removed edge
+                }
+                None => {
+                    index.insert((from.0, to.0), edges.len());
+                    edges.push((from, to, probs));
+                    removed.push(false);
+                }
+            },
+            Mutation::Remove { from, to } => {
+                if let Some(&i) = index.get(&(from.0, to.0)) {
+                    removed[i] = true;
+                }
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), edges.len());
+    for (i, &(u, v, p)) in edges.iter().enumerate() {
+        if !removed[i] {
+            b.add_edge(u, v, p.base, p.boosted)
+                .expect("mutation references a valid edge");
+        }
+    }
+    b.build().expect("mutated edge set builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(p: f64, pb: f64) -> EdgeProbs {
+        EdgeProbs::new(p, pb).unwrap()
+    }
+
+    fn line() -> DiGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn log_seals_numbered_epochs() {
+        let mut log = MutationLog::new();
+        assert!(log.is_empty());
+        log.set_probs(NodeId(0), NodeId(1), probs(0.3, 0.5));
+        log.remove_edge(NodeId(1), NodeId(2));
+        assert_eq!(log.len(), 2);
+        let b1 = log.seal_epoch();
+        assert_eq!(b1.epoch, 1);
+        assert_eq!(b1.mutations.len(), 2);
+        assert!(log.is_empty());
+        let b2 = log.seal_epoch();
+        assert_eq!(b2.epoch, 2);
+        assert!(b2.mutations.is_empty());
+        assert_eq!(log.sealed_epochs(), 2);
+    }
+
+    #[test]
+    fn upsert_updates_and_inserts() {
+        let g = apply_mutations(
+            &line(),
+            &[
+                Mutation::Upsert {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    probs: probs(0.5, 0.9),
+                },
+                Mutation::Upsert {
+                    from: NodeId(2),
+                    to: NodeId(3),
+                    probs: probs(0.1, 0.3),
+                },
+            ],
+        );
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.5, 0.9));
+        assert_eq!(g.edge(NodeId(1), NodeId(2)).unwrap(), probs(0.1, 0.2));
+        assert_eq!(g.edge(NodeId(2), NodeId(3)).unwrap(), probs(0.1, 0.3));
+    }
+
+    #[test]
+    fn remove_is_total_and_reinsertable() {
+        let batch = [
+            Mutation::Remove {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            Mutation::Remove {
+                from: NodeId(3),
+                to: NodeId(0), // absent: no-op
+            },
+            Mutation::Upsert {
+                from: NodeId(0),
+                to: NodeId(1), // re-insert after removal, new probs
+                probs: probs(0.7, 0.8),
+            },
+        ];
+        let g = apply_mutations(&line(), &batch);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.7, 0.8));
+
+        // Dropping the re-insert removes the edge for good.
+        let g = apply_mutations(&line(), &batch[..2]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn later_mutations_win() {
+        let g = apply_mutations(
+            &line(),
+            &[
+                Mutation::Upsert {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    probs: probs(0.3, 0.4),
+                },
+                Mutation::Upsert {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    probs: probs(0.6, 0.7),
+                },
+            ],
+        );
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.6, 0.7));
+    }
+
+    #[test]
+    fn endpoints_cover_both_variants() {
+        let up = Mutation::Upsert {
+            from: NodeId(3),
+            to: NodeId(5),
+            probs: probs(0.1, 0.2),
+        };
+        assert_eq!(up.endpoints(), (NodeId(3), NodeId(5)));
+        let rm = Mutation::Remove {
+            from: NodeId(5),
+            to: NodeId(3),
+        };
+        assert_eq!(rm.endpoints(), (NodeId(5), NodeId(3)));
+    }
+}

@@ -38,6 +38,20 @@
 //! of magnitude above the paper's largest runs; [`PrrArena::push`] and
 //! [`PrrArena::absorb_shard`] assert the cap.
 //!
+//! # Tombstones and compaction (online maintenance)
+//!
+//! The online subsystem (`kboost-online`) refreshes a pool under graph
+//! mutations by [`tombstone`](PrrArena::tombstone)-ing stale graphs and
+//! absorbing replacement shards. A tombstoned graph's bytes stay in the
+//! shared arrays (flagged dead, skipped by every consumer via
+//! [`is_live`](PrrArena::is_live)) until
+//! [`compact`](PrrArena::compact) rewrites the arena without them.
+//! Compaction is *canonicalizing*: the compacted arena is byte-identical
+//! to one built by appending the surviving graphs in order onto an empty
+//! arena, so an incrementally maintained arena compares equal (`==`) to a
+//! from-scratch rebuild with the same live content — the equivalence the
+//! online property tests assert.
+//!
 //! [`PrrGraphView`] is the borrowed form of one graph — either a slice of
 //! an arena or a borrow of a standalone [`CompressedPrr`] — and owns the
 //! evaluation primitives `f_R(B)` and the B-augmented critical set.
@@ -99,6 +113,14 @@ pub struct PrrArena {
     bwd: Vec<u32>,
     /// Concatenated critical sets.
     critical: Vec<NodeId>,
+    /// Tombstone flags, parallel to `meta`. Lazily allocated: empty means
+    /// every graph is live (the invariant batch-built arenas keep), and
+    /// [`compact`](Self::compact) restores the empty state — so two arenas
+    /// with identical live content compare equal regardless of tombstone
+    /// history once compacted.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    num_dead: usize,
 }
 
 impl PrrArena {
@@ -179,6 +201,9 @@ impl PrrArena {
             .extend(g.bwd_offsets.iter().map(|&o| bwd_base as u32 + o));
         self.bwd.extend_from_slice(&g.bwd);
         self.critical.extend_from_slice(&g.critical);
+        if !self.dead.is_empty() {
+            self.dead.push(false);
+        }
     }
 
     /// Appends one graph straight from Phase-II adjacency output,
@@ -205,6 +230,9 @@ impl PrrArena {
         });
         self.globals.extend_from_slice(&parts.globals);
         self.critical.extend_from_slice(&parts.critical);
+        if !self.dead.is_empty() {
+            self.dead.push(false);
+        }
 
         // Forward CSR: running absolute offsets plus the packed edges.
         let mut off = fwd_base as u32;
@@ -255,8 +283,12 @@ impl PrrArena {
     /// chunk order — that ordering is the determinism contract.
     pub fn absorb_shard(&mut self, shard: PrrArenaShard) {
         let other = shard.0;
+        debug_assert!(other.dead.is_empty(), "shards never hold tombstones");
         if self.meta.is_empty() {
             // First shard: adopt its arrays wholesale (all bases are 0).
+            // A previously filled arena can only be empty again if it was
+            // never tombstoned or was compacted, so no dead flags to keep.
+            debug_assert!(self.dead.is_empty());
             *self = other;
             return;
         }
@@ -290,6 +322,101 @@ impl PrrArena {
             .extend(other.bwd_off.iter().map(|&o| o + bwd_base));
         self.bwd.extend_from_slice(&other.bwd);
         self.critical.extend_from_slice(&other.critical);
+        if !self.dead.is_empty() {
+            self.dead.resize(self.meta.len(), false);
+        }
+    }
+
+    /// Marks graph `i` dead: skipped by estimation/selection, its bytes
+    /// reclaimed by the next [`compact`](Self::compact).
+    pub fn tombstone(&mut self, i: usize) {
+        if self.dead.is_empty() {
+            self.dead.resize(self.meta.len(), false);
+        }
+        assert!(!self.dead[i], "graph {i} tombstoned twice");
+        self.dead[i] = true;
+        self.num_dead += 1;
+    }
+
+    /// Whether graph `i` is live (not tombstoned).
+    #[inline]
+    pub fn is_live(&self, i: usize) -> bool {
+        self.dead.is_empty() || !self.dead[i]
+    }
+
+    /// Number of tombstoned graphs.
+    pub fn num_dead(&self) -> usize {
+        self.num_dead
+    }
+
+    /// Number of live (non-tombstoned) graphs.
+    pub fn num_live(&self) -> usize {
+        self.meta.len() - self.num_dead
+    }
+
+    /// Fraction of stored graphs that are tombstoned (`0.0` when empty).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.meta.is_empty() {
+            0.0
+        } else {
+            self.num_dead as f64 / self.meta.len() as f64
+        }
+    }
+
+    /// A canonical live-only copy: byte-identical to an arena built by
+    /// appending the surviving graphs in order onto an empty one.
+    pub fn compacted(&self) -> PrrArena {
+        let mut out = PrrArena::new();
+        for (i, &m) in self.meta.iter().enumerate() {
+            if !self.is_live(i) {
+                continue;
+            }
+            let (nb, n) = (m.node_base as usize, m.nodes as usize);
+            let ob = m.off_base as usize;
+            let cb = m.crit_base as usize;
+            let (fwd_lo, fwd_hi) = (self.fwd_off[ob] as usize, self.fwd_off[ob + n] as usize);
+            let (bwd_lo, bwd_hi) = (self.bwd_off[ob] as usize, self.bwd_off[ob + n] as usize);
+
+            out.meta.push(GraphMeta {
+                root: m.root,
+                node_base: out.globals.len() as u32,
+                nodes: m.nodes,
+                off_base: out.fwd_off.len() as u32,
+                crit_base: out.critical.len() as u32,
+                crit_len: m.crit_len,
+                uncompressed: m.uncompressed,
+            });
+            let fwd_base = out.fwd.len() as u32;
+            let bwd_base = out.bwd.len() as u32;
+            out.globals.extend_from_slice(&self.globals[nb..nb + n]);
+            out.fwd_off.extend(
+                self.fwd_off[ob..=ob + n]
+                    .iter()
+                    .map(|&o| o - fwd_lo as u32 + fwd_base),
+            );
+            out.fwd.extend_from_slice(&self.fwd[fwd_lo..fwd_hi]);
+            out.bwd_off.extend(
+                self.bwd_off[ob..=ob + n]
+                    .iter()
+                    .map(|&o| o - bwd_lo as u32 + bwd_base),
+            );
+            out.bwd.extend_from_slice(&self.bwd[bwd_lo..bwd_hi]);
+            out.critical
+                .extend_from_slice(&self.critical[cb..cb + m.crit_len as usize]);
+        }
+        out
+    }
+
+    /// Rewrites the arena without its tombstoned graphs (no-op when none),
+    /// restoring the canonical all-live representation.
+    pub fn compact(&mut self) {
+        if self.num_dead > 0 {
+            *self = self.compacted();
+        } else {
+            // Still drop an all-false flag array so the representation is
+            // canonical (equal to a never-tombstoned arena).
+            self.dead = Vec::new();
+        }
     }
 
     /// Number of stored graphs.
@@ -341,7 +468,8 @@ impl PrrArena {
         self.critical.len()
     }
 
-    /// Approximate heap bytes of the shared storage.
+    /// Approximate heap bytes of the shared storage (tombstoned graphs
+    /// included until the next [`compact`](Self::compact)).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         self.meta.len() * size_of::<GraphMeta>()
@@ -349,6 +477,33 @@ impl PrrArena {
             + (self.fwd_off.len() + self.bwd_off.len()) * size_of::<u32>()
             + (self.fwd.len() + self.bwd.len()) * size_of::<u32>()
             + self.critical.len() * size_of::<NodeId>()
+            + self.dead.len() * size_of::<bool>()
+    }
+
+    /// Approximate heap bytes attributable to the *live* graphs alone —
+    /// what [`memory_bytes`](Self::memory_bytes) would report right after
+    /// a compaction.
+    pub fn live_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        if self.num_dead == 0 {
+            return self.memory_bytes() - self.dead.len() * size_of::<bool>();
+        }
+        let mut bytes = 0usize;
+        for (i, &m) in self.meta.iter().enumerate() {
+            if !self.is_live(i) {
+                continue;
+            }
+            let n = m.nodes as usize;
+            let ob = m.off_base as usize;
+            let fwd = (self.fwd_off[ob + n] - self.fwd_off[ob]) as usize;
+            let bwd = (self.bwd_off[ob + n] - self.bwd_off[ob]) as usize;
+            bytes += size_of::<GraphMeta>()
+                + n * size_of::<u32>()
+                + 2 * (n + 1) * size_of::<u32>()
+                + (fwd + bwd) * size_of::<u32>()
+                + m.crit_len as usize * size_of::<NodeId>();
+        }
+        bytes
     }
 }
 
@@ -766,5 +921,62 @@ mod tests {
         let arena = PrrArena::new();
         assert!(arena.is_empty());
         assert_eq!(arena.iter().count(), 0);
+        assert_eq!(arena.dead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tombstone_then_compact_matches_fresh_build() {
+        // Dropping the middle graph must leave bytes identical to an arena
+        // that never contained it.
+        let mut arena = PrrArena::from_graphs(vec![sample(1, 2), sample(3, 4), sample(5, 6)]);
+        assert!(arena.is_live(1));
+        arena.tombstone(1);
+        assert!(!arena.is_live(1));
+        assert!(arena.is_live(0) && arena.is_live(2));
+        assert_eq!(arena.num_dead(), 1);
+        assert_eq!(arena.num_live(), 2);
+        assert!((arena.dead_fraction() - 1.0 / 3.0).abs() < 1e-12);
+
+        let fresh = PrrArena::from_graphs(vec![sample(1, 2), sample(5, 6)]);
+        assert_eq!(arena.compacted(), fresh);
+        assert!(arena.live_memory_bytes() < arena.memory_bytes());
+        assert_eq!(arena.live_memory_bytes(), fresh.memory_bytes());
+
+        arena.compact();
+        assert_eq!(arena, fresh);
+        assert_eq!(arena.num_dead(), 0);
+        assert_eq!(arena.live_memory_bytes(), arena.memory_bytes());
+    }
+
+    #[test]
+    fn absorb_after_tombstone_keeps_flags_consistent() {
+        let mut arena = PrrArena::from_graphs(vec![sample(1, 2), sample(3, 4)]);
+        arena.tombstone(0);
+        let mut shard = PrrArenaShard::new();
+        shard.push_parts(&sample_parts(7, 8));
+        arena.absorb_shard(shard);
+        assert_eq!(arena.len(), 3);
+        assert!(!arena.is_live(0));
+        assert!(arena.is_live(1) && arena.is_live(2));
+        // Compacting after the absorb equals building the two live graphs.
+        let fresh = PrrArena::from_graphs(vec![sample(3, 4), sample(7, 8)]);
+        assert_eq!(arena.compacted(), fresh);
+    }
+
+    #[test]
+    fn compact_without_dead_is_canonicalizing_noop() {
+        let mut arena = PrrArena::from_graphs(vec![sample(1, 2)]);
+        let before = arena.memory_bytes();
+        arena.compact();
+        assert_eq!(arena.memory_bytes(), before);
+        assert_eq!(arena, PrrArena::from_graphs(vec![sample(1, 2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstoned twice")]
+    fn double_tombstone_panics() {
+        let mut arena = PrrArena::from_graphs(vec![sample(1, 2)]);
+        arena.tombstone(0);
+        arena.tombstone(0);
     }
 }

@@ -28,10 +28,14 @@
 //!   `Vec` each of node tables, CSR offsets and packed edges, built in
 //!   per-chunk [`PrrArenaShard`]s during sampling and merged in chunk
 //!   order by bulk append with offset rebasing, with [`PrrGraphView`] as
-//!   the borrowed per-graph evaluation interface.
+//!   the borrowed per-graph evaluation interface. Supports tombstoning
+//!   and order-preserving compaction so the online maintainer
+//!   (`kboost-online`) can retire stale graphs in place.
 //! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4):
 //!   an inverted coverage index with incremental vote maintenance, plus
-//!   the naive full re-traversal greedy as the equivalence oracle.
+//!   the naive full re-traversal greedy as the equivalence oracle. The
+//!   index's CSR build is factored out as [`NodeIndex`], which the online
+//!   maintainer reuses for its node → graphs invalidation index.
 
 pub mod arena;
 pub mod compress;
@@ -43,5 +47,5 @@ pub mod source;
 pub use arena::{PrrArena, PrrArenaShard, PrrGraphView};
 pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
 pub use graph::{CompressedPrr, PrrEvalScratch};
-pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection};
+pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection, NodeIndex};
 pub use source::{LegacyPrrSource, PrrFullSource, PrrLbSource};

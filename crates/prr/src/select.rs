@@ -31,6 +31,58 @@ use kboost_graph::NodeId;
 use crate::arena::PrrArena;
 use crate::graph::{Augmented, PrrEvalScratch};
 
+/// A CSR multimap from node id to `u32` items, built by the
+/// count / prefix-sum / scatter passes of the greedy selection's inverted
+/// coverage index. The online pool maintainer reuses it as its
+/// node → PRR-graphs invalidation index.
+///
+/// `fill` is invoked twice — once to count, once to scatter — and must
+/// emit the identical `(node, item)` sequence both times; items of one
+/// node keep their emission order.
+pub struct NodeIndex {
+    /// `n + 1` offsets into `items`.
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl NodeIndex {
+    /// Builds the index over node universe `0..n`.
+    pub fn build(n: usize, fill: impl Fn(&mut dyn FnMut(NodeId, u32))) -> Self {
+        let mut offsets = vec![0u32; n + 1];
+        fill(&mut |v, _| offsets[v.index() + 1] += 1);
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut items = vec![0u32; offsets[n] as usize];
+        fill(&mut |v, item| {
+            items[cursor[v.index()] as usize] = item;
+            cursor[v.index()] += 1;
+        });
+        NodeIndex { offsets, items }
+    }
+
+    /// The items filed under node `v`.
+    #[inline]
+    pub fn items_of(&self, v: NodeId) -> &[u32] {
+        let (lo, hi) = (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        );
+        &self.items[lo..hi]
+    }
+
+    /// Total number of stored `(node, item)` pairs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the index holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 /// Result of the greedy `Δ̂` selection.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeltaSelection {
@@ -43,7 +95,8 @@ pub struct DeltaSelection {
 /// Greedily selects up to `k` nodes maximizing the number of PRR-graphs
 /// with `f_R(B) = 1`, using the inverted coverage index. `n` is the
 /// host-graph node count; `threads` bounds the parallel fan-out of the
-/// initial candidate computation.
+/// initial candidate computation. Tombstoned graphs (online maintenance)
+/// are skipped: they earn no votes and never count as covered.
 pub fn greedy_delta_selection(
     arena: &PrrArena,
     n: usize,
@@ -79,24 +132,13 @@ pub fn greedy_delta_selection(
     }
 
     // Phase 2: inverted index node -> graphs where it heads a boost edge.
-    let mut index_degree = vec![0u32; n];
-    for heads in &head_lists {
-        for &h in heads {
-            index_degree[h.index()] += 1;
+    let index = NodeIndex::build(n, |emit| {
+        for (gi, heads) in head_lists.iter().enumerate() {
+            for &h in heads {
+                emit(h, gi as u32);
+            }
         }
-    }
-    let mut index_offsets = vec![0u32; n + 1];
-    for v in 0..n {
-        index_offsets[v + 1] = index_offsets[v] + index_degree[v];
-    }
-    let mut cursor = index_offsets[..n].to_vec();
-    let mut index = vec![0u32; index_offsets[n] as usize];
-    for (gi, heads) in head_lists.iter().enumerate() {
-        for &h in heads {
-            index[cursor[h.index()] as usize] = gi as u32;
-            cursor[h.index()] += 1;
-        }
-    }
+    });
     drop(head_lists);
 
     // Phase 3: vote counts over the current candidate sets.
@@ -142,11 +184,7 @@ pub fn greedy_delta_selection(
         selected.push(picked);
 
         // Only graphs with `picked` among their boost heads can change.
-        let (lo, hi) = (
-            index_offsets[picked.index()] as usize,
-            index_offsets[picked.index() + 1] as usize,
-        );
-        for &gi in &index[lo..hi] {
+        for &gi in index.items_of(picked) {
             let gi = gi as usize;
             if covered[gi] {
                 continue;
@@ -194,7 +232,9 @@ struct GraphInit {
 
 /// Computes `A_R(∅)` and the distinct boost heads of every graph, fanning
 /// out over contiguous graph ranges; results are ordered by graph id, so
-/// the output is independent of `threads`.
+/// the output is independent of `threads`. Tombstoned graphs get an inert
+/// record — no candidates, no heads, not covered — so they contribute no
+/// votes, no index entries and no coverage.
 fn initial_candidates(arena: &PrrArena, n: usize, threads: usize) -> Vec<GraphInit> {
     let num_graphs = arena.len();
     let empty = BoostMask::empty(n);
@@ -202,6 +242,14 @@ fn initial_candidates(arena: &PrrArena, n: usize, threads: usize) -> Vec<GraphIn
         let mut scratch = PrrEvalScratch::default();
         let mut out = Vec::with_capacity(range.len());
         for gi in range {
+            if !arena.is_live(gi) {
+                out.push(GraphInit {
+                    candidates: Vec::new(),
+                    heads: Vec::new(),
+                    covered: false,
+                });
+                continue;
+            }
             let view = arena.graph(gi);
             let mut candidates = Vec::new();
             let covered = matches!(
@@ -260,7 +308,7 @@ pub fn greedy_delta_selection_naive(arena: &PrrArena, n: usize, k: usize) -> Del
     for _round in 0..k {
         touched.clear();
         for (i, prr) in arena.iter().enumerate() {
-            if covered[i] {
+            if covered[i] || !arena.is_live(i) {
                 continue;
             }
             candidates.clear();
@@ -296,7 +344,7 @@ pub fn greedy_delta_selection_naive(arena: &PrrArena, n: usize, k: usize) -> Del
     // Final coverage count under the complete selection.
     let mut covered_final = 0u64;
     for (i, prr) in arena.iter().enumerate() {
-        if covered[i] || prr.f(&boost, &mut scratch) {
+        if arena.is_live(i) && (covered[i] || prr.f(&boost, &mut scratch)) {
             covered_final += 1;
         }
     }
@@ -413,6 +461,41 @@ mod tests {
         let res = both(&arena, 10, 1);
         assert_eq!(res.selected, vec![NodeId(5)]);
         assert_eq!(res.covered, 2);
+    }
+
+    #[test]
+    fn node_index_groups_items_in_emission_order() {
+        let pairs = [(2u32, 10u32), (0, 11), (2, 12), (1, 13), (2, 14)];
+        let index = NodeIndex::build(4, |emit| {
+            for &(v, item) in &pairs {
+                emit(NodeId(v), item);
+            }
+        });
+        assert_eq!(index.len(), 5);
+        assert!(!index.is_empty());
+        assert_eq!(index.items_of(NodeId(0)), &[11]);
+        assert_eq!(index.items_of(NodeId(1)), &[13]);
+        assert_eq!(index.items_of(NodeId(2)), &[10, 12, 14]);
+        assert_eq!(index.items_of(NodeId(3)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn tombstoned_graphs_are_invisible_to_both_greedys() {
+        // Three graphs voting for node 5; tombstoning two must change the
+        // winner and the coverage count exactly as if they were absent.
+        let mut arena = arena_of(&[
+            single_critical(5, 6),
+            single_critical(5, 7),
+            single_critical(8, 9),
+        ]);
+        arena.tombstone(0);
+        arena.tombstone(1);
+        let res = both(&arena, 10, 1);
+        assert_eq!(res.selected, vec![NodeId(8)]);
+        assert_eq!(res.covered, 1);
+        // And the result matches a fresh arena holding only the survivor.
+        let fresh = arena_of(&[single_critical(8, 9)]);
+        assert_eq!(res, both(&fresh, 10, 1));
     }
 
     #[test]

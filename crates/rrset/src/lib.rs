@@ -31,5 +31,5 @@ pub mod ssa;
 pub use greedy::greedy_max_cover;
 pub use imm::{ImmParams, ImmRun};
 pub use seeds::{select_more_seeds, select_seeds};
-pub use sketch::{SketchGenerator, SketchPool, SketchShard};
+pub use sketch::{epoch_stream_seed, CoverOnly, SketchGenerator, SketchPool, SketchShard};
 pub use ssa::{run_ssa, SsaParams, SsaRun};

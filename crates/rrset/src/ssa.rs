@@ -18,7 +18,7 @@
 use kboost_graph::NodeId;
 
 use crate::greedy::{greedy_max_cover, CoverResult};
-use crate::sketch::{SketchGenerator, SketchPool};
+use crate::sketch::{CoverOnly, SketchGenerator, SketchPool};
 
 /// Parameters of an SSA run.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +56,10 @@ pub struct SsaRun<S> {
     pub result: CoverResult,
     /// The selection pool (merged shard retained, as with IMM).
     pub pool: SketchPool<S>,
+    /// The validation pool. Sampled through [`CoverOnly`], so it retains
+    /// covers only — validation never evaluates retained graphs, and
+    /// keeping a second arena alive doubled SSA's footprint for nothing.
+    pub validation: SketchPool<()>,
     /// Objective estimate of the returned solution from the *validation*
     /// pool (unbiased: the validation pool never influenced selection).
     pub validated_estimate: f64,
@@ -66,8 +70,9 @@ pub struct SsaRun<S> {
 /// Runs the adaptive sampler against any sketch generator.
 pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<G::Shard> {
     let n = generator.universe() as f64;
+    let cover_only = CoverOnly(generator);
     let mut select_pool: SketchPool<G::Shard> = SketchPool::new(params.seed, params.threads);
-    let mut validate_pool: SketchPool<G::Shard> =
+    let mut validate_pool: SketchPool<()> =
         SketchPool::new(params.seed ^ 0xDEAD_BEEF, params.threads);
 
     let mut target = params.initial.max(16);
@@ -81,7 +86,7 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
         let est_select = n * result.covered as f64 / select_pool.total_samples().max(1) as f64;
 
         // Stare: estimate the same solution on fresh samples.
-        validate_pool.extend_to(generator, target);
+        validate_pool.extend_to(&cover_only, target);
         let est_validate = validate_pool.estimate(generator.universe(), &result.selected);
 
         let tol = params.epsilon / 3.0;
@@ -92,6 +97,7 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
             return SsaRun {
                 result,
                 pool: select_pool,
+                validation: validate_pool,
                 validated_estimate: est_validate,
                 epochs,
             };
@@ -167,6 +173,44 @@ mod tests {
         };
         let run = run_ssa(&Synthetic, &params);
         assert!(run.pool.total_samples() <= 6_000);
+    }
+
+    #[test]
+    fn validation_pool_retains_covers_only() {
+        // A source that retains one shard entry per coverable sample: the
+        // selection pool keeps its shard, while the validation pool samples
+        // through `CoverOnly` and must retain nothing but covers.
+        struct Retaining;
+        impl SketchGenerator for Retaining {
+            type Shard = Vec<u64>;
+            fn universe(&self) -> usize {
+                10
+            }
+            fn generate(&self, rng: &mut SmallRng, shard: &mut Vec<u64>) -> Vec<NodeId> {
+                let x: f64 = rng.random();
+                if x < 0.5 {
+                    shard.push(0xFEED);
+                    vec![NodeId(0)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let params = SsaParams {
+            k: 1,
+            epsilon: 0.3,
+            seed: 9,
+            threads: 2,
+            ..Default::default()
+        };
+        let run = run_ssa(&Retaining, &params);
+        let retained = run.pool.total_samples() - run.pool.empty_samples();
+        assert_eq!(run.pool.shard().len() as u64, retained);
+        // The validation pool drew real samples but its shard is the unit
+        // shard: retained validation memory is the covers alone.
+        assert!(run.validation.total_samples() > 0);
+        assert!(run.validation.cover_memory_bytes() > 0);
+        let () = *run.validation.shard();
     }
 
     #[test]

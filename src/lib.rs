@@ -14,6 +14,8 @@
 //!   storage arena, and the index-accelerated greedy `Δ̂` selection.
 //! * [`core`] — PRR-Boost, PRR-Boost-LB, the Sandwich Approximation, and
 //!   the budget-allocation heuristic.
+//! * [`online`] — incremental PRR-pool maintenance for evolving graphs:
+//!   mutation logs, epoch refresh, tombstone compaction.
 //! * [`tree`] — bidirected-tree algorithms: linear-time exact boosted
 //!   influence (Lemmas 5–7), Greedy-Boost, and the DP-Boost FPTAS.
 //! * [`baselines`] — HighDegreeGlobal/Local, PageRank, MoreSeeds, Random.
@@ -50,7 +52,36 @@
 //!   ([`prr::select::greedy_delta_selection_naive`]), which property tests
 //!   enforce; `BENCH_prr.json` tracks the measured speedup.
 //! * **Estimation** (`core::PrrPool`): `Δ̂` / `µ̂` fan out over contiguous
-//!   arena ranges and sum exact per-range counts.
+//!   arena ranges and sum exact per-range counts, skipping tombstoned
+//!   graphs.
+//!
+//! # Online maintenance
+//!
+//! Sampling dominates the pipeline (minutes) while selection is
+//! milliseconds, so a service over a *changing* network must not rebuild
+//! the pool per change. The [`online`] subsystem keeps a pool live under
+//! edge mutations:
+//!
+//! * **Mutation epochs** ([`online::mutation::MutationLog`]): probability
+//!   updates, insertions and removals batch into numbered epochs; epoch 0
+//!   is the initial build.
+//! * **Epoch seeding** ([`rrset::sketch::epoch_stream_seed`]): refresh
+//!   chunks of epoch `e` are seeded from `(base_seed, e, chunk_index)` —
+//!   the determinism contract extends to mutation histories, so a
+//!   maintained pool is bit-identical for any thread count.
+//! * **Tombstone lifecycle** ([`prr::arena::PrrArena`]): a stored sample
+//!   is stale iff a mutated edge's endpoint appears in its node table
+//!   (found via the node → graphs [`prr::select::NodeIndex`]); stale
+//!   graphs are tombstoned in place — skipped by estimation and
+//!   selection — and exactly that share is resampled, keeping the
+//!   estimator denominator constant. When tombstones exceed the
+//!   configured fraction ([`online::maintain::MaintainerOptions`]), an
+//!   order-preserving compaction reclaims the bytes; compaction is
+//!   canonicalizing, so the maintained arena stays byte-equal to a
+//!   from-scratch replay ([`online::maintain::rebuild_from_history`], the
+//!   equivalence oracle; `tests/online_pool.rs` asserts it property-wise
+//!   and `exp_online` tracks incremental-vs-rebuild speedup in
+//!   `BENCH_online.json`).
 //!
 //! # Quickstart
 //!
@@ -74,6 +105,7 @@ pub use kboost_core as core;
 pub use kboost_datasets as datasets;
 pub use kboost_diffusion as diffusion;
 pub use kboost_graph as graph;
+pub use kboost_online as online;
 pub use kboost_prr as prr;
 pub use kboost_rrset as rrset;
 pub use kboost_tree as tree;
