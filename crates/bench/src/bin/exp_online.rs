@@ -1,19 +1,29 @@
-//! Perf + correctness harness for the online maintenance subsystem.
+//! Perf + correctness harness for the online maintenance subsystem,
+//! driven through the unified `kboost-engine` API.
 //!
-//! Builds an epoch-0 PRR pool over a preferential-attachment network,
-//! then applies a sequence of mutation epochs. Each epoch's batch is
-//! grown (probability re-draws, removals, insertions on random edges)
-//! until it invalidates ≈ `--churn` of the live stored graphs — 10% by
-//! default, the scenario the ROADMAP targets — and is then applied two
-//! ways:
+//! Builds an engine in online mode (fixed-size sampling) over a
+//! preferential-attachment network, then applies a sequence of mutation
+//! epochs through `Engine::apply_mutations`. Each epoch's batch is grown
+//! (probability re-draws, removals, insertions on random edges) until it
+//! invalidates ≈ `--churn` of the live stored graphs — sized with the
+//! engine's `stale_graphs` dry run, which the maintainer now answers
+//! from its **incrementally maintained** invalidation index — and is
+//! then applied two ways:
 //!
-//! * **incrementally** (`PoolMaintainer::apply_epoch`: tombstone the
-//!   stale share, resample exactly that many samples under the
+//! * **incrementally** (the engine's maintainer: tombstone the stale
+//!   share, resample exactly that many samples under the
 //!   `(base_seed, epoch, chunk)` seeds, compact past the threshold);
-//! * **full rebuild** (fresh sampling of the whole pool over the mutated
-//!   graph — what a pre-online deployment would do on every change).
+//! * **full rebuild** (a fresh engine over the mutated graph — what a
+//!   pre-online deployment would do on every change).
 //!
 //! The recorded `speedup` is `rebuild_secs / refresh_secs` per epoch.
+//! Note on comparability with pre-PR-4 numbers: the maintainer's
+//! invalidation index is now built lazily and kept incrementally, so a
+//! post-compaction rebuild lands in the first *dry run* that needs it
+//! (the untimed `grow_batch` sizing phase here) rather than inside the
+//! timed `apply_mutations` — `refresh_secs` therefore measures
+//! tombstone + resample + index append, which is also what a service
+//! that dry-runs its batches pays on the epoch path.
 //! Because staleness detection only sees retained node tables, the
 //! incremental pool drifts from a fresh pool's distribution on the
 //! undetected share; `probe_delta_incremental` vs `probe_delta_rebuild`
@@ -36,16 +46,14 @@
 
 use std::time::Instant;
 
-use kboost_core::PrrPool;
+use kboost_engine::{Algorithm, Engine, EngineBuilder, EpochBatch, MutationLog, Sampling};
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::{boost_probability, ProbabilityModel};
 use kboost_graph::{DiGraph, EdgeProbs, NodeId};
-use kboost_online::{
-    rebuild_from_history, EpochBatch, MaintainerOptions, MutationLog, PoolMaintainer,
-};
-use kboost_prr::{greedy_delta_selection, PrrArenaShard, PrrFullSource};
+use kboost_online::{rebuild_from_history, MaintainerOptions};
+use kboost_prr::greedy_delta_selection;
 use kboost_rrset::seeds::select_random_nodes;
-use kboost_rrset::sketch::SketchPool;
+use kboost_rrset::sketch::epoch_stream_seed;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,27 +119,46 @@ fn parse_args() -> OnlineOpts {
     opts
 }
 
+/// An online-mode engine over `g` — the maintainer behind one handle.
+fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &OnlineOpts, threads: usize) -> Engine {
+    EngineBuilder::new(g.clone())
+        .seeds(seeds.to_vec())
+        .k(opts.k)
+        .threads(threads)
+        .seed(opts.seed)
+        .sampling(Sampling::Fixed {
+            samples: opts.samples,
+        })
+        .compact_threshold(opts.compact_threshold)
+        .build()
+        .expect("valid engine configuration")
+}
+
 /// Grows a mutation batch on random edges of `g` until it invalidates at
-/// least `churn` of the maintainer's live graphs (or a mutation budget
+/// least `churn` of the engine's live stored graphs (or a mutation budget
 /// runs out). Deterministic in `rng`.
 fn grow_batch(
-    maintainer: &PoolMaintainer,
+    engine: &mut Engine,
     g: &DiGraph,
     log: &mut MutationLog,
     churn: f64,
     rng: &mut SmallRng,
 ) {
-    let live = maintainer.pool().arena().num_live();
+    let live = engine.pool().expect("pool built").arena().num_live();
     let want = ((live as f64) * churn).ceil() as usize;
     let edges: Vec<(NodeId, NodeId, EdgeProbs)> = g.edges().collect();
     let n = g.num_nodes() as u32;
-    // Grow geometrically between dry runs: the stale-share estimate is
-    // linear in the arena, so re-checking after every few mutations would
-    // dominate this (untimed) setup phase — doubling the step keeps the
-    // number of dry runs logarithmic in the final batch size.
+    // Grow geometrically between dry runs; the incremental invalidation
+    // index makes each dry run cheap (`O(touched + hits)`), but doubling
+    // still keeps the untimed setup phase short.
     let mut step = 8usize;
     for _ in 0..64 {
-        if maintainer.stale_graphs(log.pending()).len() >= want {
+        if engine
+            .stale_graphs(log.pending())
+            .expect("online mode")
+            .len()
+            >= want
+        {
             break;
         }
         for _ in 0..step {
@@ -199,21 +226,27 @@ fn probe_set(g: &DiGraph, seeds: &[NodeId], k: usize) -> Vec<NodeId> {
     nodes
 }
 
-/// Full-rebuild baseline: resample the whole pool over the current graph
-/// (epoch-seeded so each baseline is an independent draw).
+/// Full-rebuild baseline: a fresh engine sampling the whole pool over the
+/// current graph (epoch-seeded so each baseline is an independent draw).
 fn full_rebuild(
     g: &DiGraph,
     seeds: &[NodeId],
-    k: usize,
-    samples: u64,
-    base_seed: u64,
+    opts: &OnlineOpts,
     epoch: u64,
     threads: usize,
-) -> PrrPool {
-    let mut sketches: SketchPool<PrrArenaShard> =
-        SketchPool::with_epoch(base_seed ^ 0x5EED_F00D, epoch, threads);
-    sketches.extend_to(&PrrFullSource::new(g, seeds, k), samples);
-    PrrPool::new(sketches, g.num_nodes(), threads)
+) -> Engine {
+    let mut engine = EngineBuilder::new(g.clone())
+        .seeds(seeds.to_vec())
+        .k(opts.k)
+        .threads(threads)
+        .seed(epoch_stream_seed(opts.seed ^ 0x5EED_F00D, epoch))
+        .sampling(Sampling::Fixed {
+            samples: opts.samples,
+        })
+        .build()
+        .expect("valid engine configuration");
+    engine.pool().expect("pool built");
+    engine
 }
 
 fn main() {
@@ -249,21 +282,15 @@ fn main() {
     // The mutation history is fixed once (primary thread count) and then
     // replayed identically for every other thread count and the oracle.
     let primary = opts.threads[0];
-    let maintainer_opts = |threads: usize| MaintainerOptions {
-        target_samples: opts.samples,
-        k: opts.k,
-        threads,
-        base_seed: opts.seed,
-        compact_threshold: opts.compact_threshold,
-    };
 
     let t0 = Instant::now();
-    let mut maintainer = PoolMaintainer::build(g0.clone(), seeds.clone(), maintainer_opts(primary));
+    let mut engine = build_engine(&g0, &seeds, &opts, primary);
+    engine.pool().expect("pool built");
     let build_secs = t0.elapsed().as_secs_f64();
-    let boostable0 = maintainer.pool().num_boostable();
+    let boostable0 = engine.pool().expect("pool built").num_boostable();
     eprintln!(
         "[epoch 0] built {} samples ({boostable0} boostable) in {build_secs:.2}s",
-        maintainer.pool().total_samples(),
+        engine.pool().expect("pool built").total_samples(),
     );
 
     let mut log = MutationLog::new();
@@ -273,33 +300,25 @@ fn main() {
     let mut reports = Vec::new();
 
     for _ in 0..opts.epochs {
-        let g = maintainer.graph().clone();
-        grow_batch(&maintainer, &g, &mut log, opts.churn, &mut mut_rng);
+        let g = engine.graph().clone();
+        grow_batch(&mut engine, &g, &mut log, opts.churn, &mut mut_rng);
         let batch = log.seal_epoch();
 
-        let live_before = maintainer.pool().arena().num_live();
+        let live_before = engine.pool().expect("pool built").arena().num_live();
         let t = Instant::now();
-        let report = maintainer.apply_epoch(&batch);
+        let report = engine.apply_mutations(&batch).expect("contiguous epoch");
         let refresh_secs = t.elapsed().as_secs_f64();
 
         // Baseline: what a pre-online deployment pays for the same change.
         let t = Instant::now();
-        let rebuilt = full_rebuild(
-            maintainer.graph(),
-            &seeds,
-            opts.k,
-            opts.samples,
-            opts.seed,
-            report.epoch,
-            primary,
-        );
+        let mut rebuilt = full_rebuild(engine.graph(), &seeds, &opts, report.epoch, primary);
         let rebuild_secs = t.elapsed().as_secs_f64();
 
-        let selection = maintainer.select(opts.k);
-        let delta_selected = maintainer.pool().delta_hat(&selection.selected);
-        let probe = probe_set(maintainer.graph(), &seeds, opts.k);
-        let probe_inc = maintainer.pool().delta_hat(&probe);
-        let probe_rebuild = rebuilt.delta_hat(&probe);
+        let selection = engine.solve(&Algorithm::PrrBoost).expect("solve");
+        let delta_selected = selection.delta_hat.expect("PRR solve carries Δ̂");
+        let probe = probe_set(engine.graph(), &seeds, opts.k);
+        let probe_inc = engine.delta_hat(&probe).expect("pool built");
+        let probe_rebuild = rebuilt.delta_hat(&probe).expect("pool built");
 
         let rate = report.invalidated as f64 / live_before.max(1) as f64;
         eprintln!(
@@ -322,8 +341,12 @@ fn main() {
             refresh_secs,
             rebuild_secs,
             speedup: rebuild_secs / refresh_secs.max(1e-9),
-            live_bytes: maintainer.pool().arena().live_memory_bytes(),
-            arena_bytes: maintainer.pool().arena().memory_bytes(),
+            live_bytes: engine
+                .pool()
+                .expect("pool built")
+                .arena()
+                .live_memory_bytes(),
+            arena_bytes: engine.pool().expect("pool built").arena().memory_bytes(),
             delta_selected,
             probe_inc,
             probe_rebuild,
@@ -331,13 +354,14 @@ fn main() {
         history.push(batch);
         reports.push(report);
     }
+    let final_selection = engine.solve(&Algorithm::PrrBoost).expect("solve");
 
     // Determinism: every other thread count must reproduce the primary
     // run's arena bytes (tombstones included) and epoch reports.
     for &threads in &opts.threads[1..] {
-        let mut m = PoolMaintainer::build(g0.clone(), seeds.clone(), maintainer_opts(threads));
+        let mut m = build_engine(&g0, &seeds, &opts, threads);
         for (batch, expect) in history.iter().zip(&reports) {
-            let report = m.apply_epoch(batch);
+            let report = m.apply_mutations(batch).expect("contiguous epoch");
             assert_eq!(
                 &report, expect,
                 "epoch report differs at {threads} threads (epoch {})",
@@ -345,34 +369,43 @@ fn main() {
             );
         }
         assert!(
-            m.pool().arena() == maintainer.pool().arena(),
+            m.pool().expect("pool built").arena() == engine.pool().expect("pool built").arena(),
             "maintained arena differs at {threads} threads vs {primary}"
         );
+        let sel = m.solve(&Algorithm::PrrBoost).expect("solve");
         assert_eq!(
-            m.select(opts.k),
-            maintainer.select(opts.k),
+            sel.boost_set, final_selection.boost_set,
             "selection differs at {threads} threads"
         );
         eprintln!("[determinism] {threads} threads: bit-identical to {primary}-thread run");
     }
 
     // Equivalence oracle: incremental == from-scratch replay (legacy
-    // payload pipeline, naive staleness scan, no tombstones).
+    // payload pipeline, naive staleness scan, no tombstones) — the deep
+    // module path kept precisely for this role.
+    let oracle_opts = MaintainerOptions {
+        target_samples: opts.samples,
+        k: opts.k,
+        threads: primary,
+        base_seed: opts.seed,
+        compact_threshold: opts.compact_threshold,
+    };
     let t = Instant::now();
-    let (_g, oracle) = rebuild_from_history(&g0, &seeds, &maintainer_opts(primary), &history);
+    let (_g, oracle) = rebuild_from_history(&g0, &seeds, &oracle_opts, &history);
     let oracle_secs = t.elapsed().as_secs_f64();
-    assert_eq!(oracle.total_samples(), maintainer.pool().total_samples());
-    assert_eq!(oracle.empty_samples(), maintainer.pool().empty_samples());
+    let pool = engine.pool().expect("pool built");
+    assert_eq!(oracle.total_samples(), pool.total_samples());
+    assert_eq!(oracle.empty_samples(), pool.empty_samples());
     assert!(
-        maintainer.pool().arena().compacted() == *oracle.arena(),
+        pool.arena().compacted() == *oracle.arena(),
         "incremental maintenance diverged from the replay rebuild oracle"
     );
-    let final_selection = maintainer.select(opts.k);
+    let oracle_selection = greedy_delta_selection(oracle.arena(), g0.num_nodes(), opts.k, primary);
     assert_eq!(
-        final_selection,
-        greedy_delta_selection(oracle.arena(), g0.num_nodes(), opts.k, primary),
+        final_selection.boost_set, oracle_selection.selected,
         "selection diverged from the replay rebuild oracle"
     );
+    assert_eq!(final_selection.stats.covered, oracle_selection.covered);
     eprintln!("[oracle] incremental == rebuild (replay verified in {oracle_secs:.2}s)");
 
     let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;

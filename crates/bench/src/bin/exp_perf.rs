@@ -1,33 +1,35 @@
-//! Perf-trajectory harness for the parallel PRR engine.
+//! Perf-trajectory harness for the parallel PRR engine, driven entirely
+//! through the unified `kboost-engine` API.
 //!
-//! Generates a preferential-attachment network, then for each thread count
-//! in the sweep samples a large PRR-graph pool through the streaming
-//! shard→arena pipeline, recording build time, build throughput and peak
-//! pool-build memory, plus greedy `Δ̂` selection time (inverted coverage
-//! index). One legacy-pipeline run (per-graph `CompressedPrr` payloads
-//! copied into the arena) is measured as the baseline, and its arena must
-//! be byte-equal to the shard-built one — as must the arenas across all
+//! Generates a preferential-attachment network, then for each thread
+//! count in the sweep builds an [`Engine`] with fixed-size sampling and
+//! solves PRR-Boost through it, recording the pool build time, build
+//! throughput and peak pool-build memory plus greedy `Δ̂` selection time
+//! from the solution's [`SolveStats`]. One engine configured with the
+//! **legacy pipeline** (per-graph `CompressedPrr` payloads copied into
+//! the arena) is measured as the baseline, and its arena must be
+//! byte-equal to the shard-built one — as must the arenas across all
 //! thread counts, so a CI smoke run of this binary doubles as a
-//! determinism check. Results go to `BENCH_prr.json`, committed alongside
-//! the code so the perf trajectory of the hot path is tracked across PRs.
+//! determinism check. The indexed selection is additionally cross-checked
+//! against the naive re-traversal greedy (the deep-path oracle). Results
+//! go to `BENCH_prr.json`, committed alongside the code so the perf
+//! trajectory of the hot path is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p kboost-bench --bin exp_perf -- \
 //!     [--nodes N] [--samples N] [--k N] [--threads 1,2,4] [--seed N] \
 //!     [--skip-legacy] [--out PATH]
 //! ```
+//!
+//! [`Engine`]: kboost_engine::Engine
+//! [`SolveStats`]: kboost_engine::SolveStats
 
-use std::time::Instant;
-
-use kboost_core::PrrPool;
+use kboost_engine::{Algorithm, EngineBuilder, Pipeline, Sampling, Solution};
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::ProbabilityModel;
-use kboost_prr::{
-    greedy_delta_selection, greedy_delta_selection_naive, CompressedPrr, LegacyPrrSource,
-    PrrFullSource,
-};
+use kboost_graph::{DiGraph, NodeId};
+use kboost_prr::greedy_delta_selection_naive;
 use kboost_rrset::seeds::select_random_nodes;
-use kboost_rrset::sketch::SketchPool;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -102,6 +104,28 @@ struct SweepPoint {
     select_secs: f64,
 }
 
+/// An engine over `g` at the given thread count and pipeline — the whole
+/// hand-wired `SketchPool → PrrPool → greedy` stack behind one call.
+fn build_engine(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    opts: &PerfOpts,
+    threads: usize,
+    pipeline: Pipeline,
+) -> kboost_engine::Engine {
+    EngineBuilder::new(g.clone())
+        .seeds(seeds.to_vec())
+        .k(opts.k)
+        .threads(threads)
+        .seed(opts.seed)
+        .sampling(Sampling::Fixed {
+            samples: opts.samples,
+        })
+        .pipeline(pipeline)
+        .build()
+        .expect("valid engine configuration")
+}
+
 fn main() {
     let opts = parse_args();
 
@@ -132,124 +156,122 @@ fn main() {
         opts.threads,
     );
 
-    let source = PrrFullSource::new(&g, &seeds, opts.k);
     let mut sweep: Vec<SweepPoint> = Vec::new();
-    let mut reference: Option<(PrrPool, kboost_prr::DeltaSelection)> = None;
+    let mut reference: Option<(kboost_engine::Engine, Solution)> = None;
     for &threads in &opts.threads {
-        // Sampling builds the arena in place: shard construction inside the
-        // workers, chunk-ordered absorbs on merge, and a final move into
-        // the pool. Peak pool-build memory is the arena plus the covers
-        // (both alive until `PrrPool::new` drops the covers).
-        let t0 = Instant::now();
-        let mut sketches = SketchPool::new(opts.seed, threads);
-        sketches.extend_to(&source, opts.samples);
-        let build_secs = t0.elapsed().as_secs_f64();
-        let build_peak_bytes = sketches.shard().memory_bytes() + sketches.cover_memory_bytes();
-        let pool = PrrPool::new(sketches, g.num_nodes(), threads);
-
-        let t1 = Instant::now();
-        let selection = greedy_delta_selection(pool.arena(), g.num_nodes(), opts.k, threads);
-        let select_secs = t1.elapsed().as_secs_f64();
+        // The engine builds the arena in place during sampling (shard
+        // construction inside the workers, chunk-ordered absorbs on
+        // merge, a final move into the pool) and reports build/select
+        // timing and peak pool-build memory on the solution.
+        let mut engine = build_engine(&g, &seeds, &opts, threads, Pipeline::Shard);
+        let solution = engine.solve(&Algorithm::PrrBoost).expect("solve");
+        let stats = solution.stats;
 
         eprintln!(
-            "[{threads} threads] sampled {} PRR-graphs ({} boostable) in {build_secs:.2}s \
-             (peak build {:.1} MiB); Δ̂ selection {select_secs:.3}s covering {} graphs",
-            pool.total_samples(),
-            pool.num_boostable(),
-            build_peak_bytes as f64 / (1024.0 * 1024.0),
-            selection.covered,
+            "[{threads} threads] sampled {} PRR-graphs ({} boostable) in {:.2}s \
+             (peak build {:.1} MiB); Δ̂ selection {:.3}s covering {} graphs",
+            stats.total_samples,
+            stats.boostable,
+            stats.build_secs,
+            stats.build_peak_bytes as f64 / (1024.0 * 1024.0),
+            stats.select_secs,
+            stats.covered,
         );
         sweep.push(SweepPoint {
             threads,
-            build_secs,
-            build_samples_per_sec: pool.total_samples() as f64 / build_secs.max(1e-9),
-            build_peak_bytes,
-            select_secs,
+            build_secs: stats.build_secs,
+            build_samples_per_sec: stats.total_samples as f64 / stats.build_secs.max(1e-9),
+            build_peak_bytes: stats.build_peak_bytes,
+            select_secs: stats.select_secs,
         });
 
         match &reference {
             None => {
                 // Once per config: the indexed selection must match the
-                // naive full re-traversal greedy.
-                let t2 = Instant::now();
+                // naive full re-traversal greedy (deep-path oracle).
+                let t2 = std::time::Instant::now();
+                let pool = engine.pool().expect("pool built");
                 let naive = greedy_delta_selection_naive(pool.arena(), g.num_nodes(), opts.k);
                 let naive_secs = t2.elapsed().as_secs_f64();
                 assert_eq!(
-                    selection, naive,
+                    solution.boost_set, naive.selected,
                     "index-accelerated selection diverged from the naive baseline"
                 );
+                assert_eq!(stats.covered, naive.covered);
                 eprintln!(
-                    "selection cross-check: indexed {select_secs:.3}s vs naive {naive_secs:.3}s \
-                     → {:.1}x",
-                    naive_secs / select_secs.max(1e-9)
+                    "selection cross-check: indexed {:.3}s vs naive {naive_secs:.3}s → {:.1}x",
+                    stats.select_secs,
+                    naive_secs / stats.select_secs.max(1e-9)
                 );
-                reference = Some((pool, selection));
+                reference = Some((engine, solution));
             }
-            Some((reference, ref_selection)) => {
+            Some((ref_engine, ref_solution)) => {
                 // The determinism contract, live: any thread count must
                 // produce the bit-identical arena and the same selection.
+                let ref_pool = ref_engine.pool_if_built().expect("reference pool built");
+                let pool = engine.pool().expect("pool built");
                 assert!(
-                    pool.arena() == reference.arena(),
+                    pool.arena() == ref_pool.arena(),
                     "shard pipeline non-deterministic: arena at {threads} threads \
                      differs from {} threads",
                     sweep[0].threads,
                 );
-                assert_eq!(pool.total_samples(), reference.total_samples());
+                assert_eq!(pool.total_samples(), ref_pool.total_samples());
                 assert_eq!(
-                    &selection, ref_selection,
+                    solution.boost_set, ref_solution.boost_set,
                     "greedy Δ̂ selection differs at {threads} threads"
                 );
+                assert_eq!(solution.stats.covered, ref_solution.stats.covered);
             }
         }
     }
-    let (reference, selection) = reference.expect("at least one sweep entry");
+    let (mut ref_engine, ref_solution) = reference.expect("at least one sweep entry");
 
-    // Legacy baseline: per-graph payloads + copy stage, at the fastest
-    // thread count. Peak memory additionally holds every standalone
-    // `CompressedPrr` (plus its struct/Vec headers) while the arena is
-    // copied together.
+    // Legacy baseline: the same engine API over the per-graph payload
+    // pipeline (sample into standalone `CompressedPrr`, then copy into
+    // the arena), at the fastest thread count. Peak memory additionally
+    // holds every payload while the arena is copied together.
     let mut legacy_json = String::new();
     if opts.legacy_baseline {
         let threads = *opts.threads.iter().max().unwrap();
-        let legacy_source = LegacyPrrSource::new(&g, &seeds, opts.k);
-        let t0 = Instant::now();
-        let mut sketches = SketchPool::new(opts.seed, threads);
-        sketches.extend_to(&legacy_source, opts.samples);
-        let sample_secs = t0.elapsed().as_secs_f64();
-        let payload_bytes: usize = sketches
-            .shard()
-            .iter()
-            .map(|c| c.memory_bytes() + std::mem::size_of::<CompressedPrr>())
-            .sum();
-        let cover_bytes = sketches.cover_memory_bytes();
-        let t1 = Instant::now();
-        let pool = PrrPool::from_legacy(sketches, g.num_nodes(), threads);
-        let copy_secs = t1.elapsed().as_secs_f64();
-        let peak = payload_bytes + cover_bytes + pool.memory_bytes();
+        let mut legacy = build_engine(&g, &seeds, &opts, threads, Pipeline::Legacy);
+        let legacy_solution = legacy.solve(&Algorithm::PrrBoost).expect("solve");
+        let lstats = legacy_solution.stats;
         assert!(
-            pool.arena() == reference.arena(),
+            legacy.pool_if_built().expect("legacy pool").arena()
+                == ref_engine.pool_if_built().expect("reference pool").arena(),
             "shard-built arena diverged from the legacy copy-built arena"
+        );
+        assert_eq!(
+            legacy_solution.boost_set, ref_solution.boost_set,
+            "legacy-pipeline selection diverged from the shard pipeline"
         );
         let shard_peak = sweep
             .iter()
             .find(|p| p.threads == threads)
             .map_or(sweep[0].build_peak_bytes, |p| p.build_peak_bytes);
         eprintln!(
-            "legacy baseline [{threads} threads]: sampled in {sample_secs:.2}s + {copy_secs:.3}s \
-             arena copy; peak build {:.1} MiB vs shard {:.1} MiB ({:.2}x)",
-            peak as f64 / (1024.0 * 1024.0),
+            "legacy baseline [{threads} threads]: sampled in {:.2}s + {:.3}s arena copy; \
+             peak build {:.1} MiB vs shard {:.1} MiB ({:.2}x)",
+            lstats.build_secs,
+            lstats.convert_secs,
+            lstats.build_peak_bytes as f64 / (1024.0 * 1024.0),
             shard_peak as f64 / (1024.0 * 1024.0),
-            peak as f64 / shard_peak.max(1) as f64,
+            lstats.build_peak_bytes as f64 / shard_peak.max(1) as f64,
         );
         legacy_json = format!(
             ",\n  \"legacy_baseline\": {{\n    \"threads\": {threads},\n    \
-             \"sample_secs\": {sample_secs:.4},\n    \"arena_copy_secs\": {copy_secs:.4},\n    \
-             \"build_peak_bytes\": {peak},\n    \"peak_vs_shard\": {:.4}\n  }}",
-            peak as f64 / shard_peak.max(1) as f64,
+             \"sample_secs\": {:.4},\n    \"arena_copy_secs\": {:.4},\n    \
+             \"build_peak_bytes\": {},\n    \"peak_vs_shard\": {:.4}\n  }}",
+            lstats.build_secs,
+            lstats.convert_secs,
+            lstats.build_peak_bytes,
+            lstats.build_peak_bytes as f64 / shard_peak.max(1) as f64,
         );
     }
 
-    let delta_hat = reference.delta_hat(&selection.selected);
+    let delta_hat = ref_solution.delta_hat.expect("PRR solve carries Δ̂");
+    let ref_pool = ref_engine.pool().expect("reference pool");
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|p| {
@@ -270,10 +292,10 @@ fn main() {
         seeds.len(),
         opts.k,
         opts.seed,
-        reference.total_samples(),
-        reference.num_boostable(),
-        reference.arena().total_edges(),
-        reference.memory_bytes(),
+        ref_pool.total_samples(),
+        ref_pool.num_boostable(),
+        ref_pool.arena().total_edges(),
+        ref_pool.memory_bytes(),
         delta_hat,
         sweep_json.join(",\n"),
         legacy_json,

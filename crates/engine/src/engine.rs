@@ -1,0 +1,428 @@
+//! [`Engine`] — one handle over pool building, estimation, selection and
+//! the online lifecycle.
+
+use std::time::Instant;
+
+use kboost_core::{sandwich_ratio_curve, PrrPool, RatioPoint};
+use kboost_graph::{DiGraph, NodeId};
+use kboost_online::{EpochBatch, EpochReport, MaintainerOptions, Mutation, PoolMaintainer};
+use kboost_prr::{CompressedPrr, LegacyPrrSource, PrrFullSource};
+use kboost_rrset::greedy::greedy_max_cover;
+use kboost_rrset::imm::{run_imm, ImmParams};
+use kboost_rrset::sketch::SketchPool;
+use kboost_rrset::ssa::{run_ssa, SsaParams};
+
+use crate::algorithms::BoostAlgorithm;
+use crate::config::{EngineConfig, Pipeline, Sampling};
+use crate::error::KboostError;
+use crate::solution::Solution;
+
+/// The PRR pool behind the estimator-based algorithms, in whichever shape
+/// the sampling policy produced it.
+// One PoolState exists per Engine and it never moves after construction,
+// so the size spread between `Unbuilt` and the pool-carrying variants is
+// irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum PoolState {
+    /// No estimator query or PRR solve has happened yet.
+    Unbuilt,
+    /// IMM- or SSA-sized pool from a one-shot adaptive run. Remembers the
+    /// run's µ-greedy selection so the Sandwich branch reuses it
+    /// bit-for-bit.
+    Adaptive {
+        pool: PrrPool,
+        b_mu: Vec<NodeId>,
+        mu_covered: u64,
+        build_secs: f64,
+        peak_bytes: usize,
+    },
+    /// Fixed-size pool behind the online maintainer; serves queries while
+    /// the graph evolves.
+    Maintained {
+        maintainer: PoolMaintainer,
+        build_secs: f64,
+    },
+    /// Fixed-size pool built through the legacy per-graph payload
+    /// pipeline (the equivalence oracle / memory baseline).
+    Legacy {
+        pool: PrrPool,
+        build_secs: f64,
+        convert_secs: f64,
+        peak_bytes: usize,
+    },
+}
+
+/// The unified entry point: owns the graph, seed set and configuration,
+/// builds the PRR pool on demand, dispatches every algorithm through
+/// [`solve`](Engine::solve), answers `Δ̂`/`µ̂` queries, and drives the
+/// online maintainer behind the same handle.
+///
+/// Selections made through the engine are **bit-identical** to the
+/// hand-wired pipeline under the determinism contract: same seed, same
+/// sample-target sequence, any thread count (`tests/engine_api.rs`
+/// asserts it against the legacy wiring at 1 and 7 threads).
+pub struct Engine {
+    /// `None` exactly while the graph lives inside the online maintainer.
+    graph: Option<DiGraph>,
+    seeds: Vec<NodeId>,
+    cfg: EngineConfig,
+    state: PoolState,
+}
+
+impl Engine {
+    /// Constructor used by [`EngineBuilder::build`] — config is already
+    /// validated.
+    ///
+    /// [`EngineBuilder::build`]: crate::EngineBuilder::build
+    pub(crate) fn from_validated(graph: DiGraph, seeds: Vec<NodeId>, cfg: EngineConfig) -> Self {
+        Engine {
+            graph: Some(graph),
+            seeds,
+            cfg,
+            state: PoolState::Unbuilt,
+        }
+    }
+
+    /// The current graph — the mutated one once epochs have been applied.
+    pub fn graph(&self) -> &DiGraph {
+        match &self.state {
+            PoolState::Maintained { maintainer, .. } => maintainer.graph(),
+            _ => self.graph.as_ref().expect("graph present while offline"),
+        }
+    }
+
+    /// The seed set the engine is conditioned on.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The current mutation epoch (0 until a batch is applied).
+    pub fn epoch(&self) -> u64 {
+        match &self.state {
+            PoolState::Maintained { maintainer, .. } => maintainer.epoch(),
+            _ => 0,
+        }
+    }
+
+    /// Solves with the given algorithm (any [`BoostAlgorithm`] impl,
+    /// built-in or user-defined).
+    pub fn solve<A: BoostAlgorithm + ?Sized>(
+        &mut self,
+        algorithm: &A,
+    ) -> Result<Solution, KboostError> {
+        algorithm.solve(self)
+    }
+
+    /// Solves with the configured default algorithm
+    /// ([`EngineConfig::algorithm`]).
+    pub fn run(&mut self) -> Result<Solution, KboostError> {
+        let algorithm = self.cfg.algorithm;
+        self.solve(&algorithm)
+    }
+
+    /// `Δ̂(B)` over the engine's pool (built on first use).
+    pub fn delta_hat(&mut self, boost: &[NodeId]) -> Result<f64, KboostError> {
+        self.ensure_pool()?;
+        Ok(self.pool_built().delta_hat(boost))
+    }
+
+    /// `µ̂(B)` over the engine's pool (built on first use).
+    pub fn mu_hat(&mut self, boost: &[NodeId]) -> Result<f64, KboostError> {
+        self.ensure_pool()?;
+        Ok(self.pool_built().mu_hat(boost))
+    }
+
+    /// `(Δ̂(B), µ̂(B))` in one call — the uniform way to score any boost
+    /// set (e.g. a pool-free baseline's) on the engine's estimator.
+    pub fn evaluate(&mut self, boost: &[NodeId]) -> Result<(f64, f64), KboostError> {
+        self.ensure_pool()?;
+        let pool = self.pool_built();
+        Ok((pool.delta_hat(boost), pool.mu_hat(boost)))
+    }
+
+    /// The sandwich-ratio analysis of Figures 7/9/12: `num_sets`
+    /// perturbations of `base`, keeping sets with
+    /// `Δ̂ ≥ keep_above_frac · Δ̂(base)`.
+    pub fn ratio_curve(
+        &mut self,
+        base: &[NodeId],
+        num_sets: usize,
+        keep_above_frac: f64,
+        curve_seed: u64,
+    ) -> Result<Vec<RatioPoint>, KboostError> {
+        self.ensure_pool()?;
+        Ok(sandwich_ratio_curve(
+            self.graph(),
+            self.pool_built(),
+            &self.seeds,
+            base,
+            num_sets,
+            keep_above_frac,
+            curve_seed,
+        ))
+    }
+
+    /// The engine's PRR pool, building it on first use.
+    pub fn pool(&mut self) -> Result<&PrrPool, KboostError> {
+        self.ensure_pool()?;
+        Ok(self.pool_built())
+    }
+
+    /// The engine's PRR pool if some solve or query already built it.
+    pub fn pool_if_built(&self) -> Option<&PrrPool> {
+        match &self.state {
+            PoolState::Unbuilt => None,
+            PoolState::Adaptive { pool, .. } | PoolState::Legacy { pool, .. } => Some(pool),
+            PoolState::Maintained { maintainer, .. } => Some(maintainer.pool()),
+        }
+    }
+
+    /// Applies one sealed mutation epoch: mutates the graph, tombstones
+    /// stale samples, resamples exactly that share, compacts past the
+    /// threshold — all behind this handle, so the same engine keeps
+    /// serving `Δ̂`/`µ̂`/solve queries while the graph evolves.
+    ///
+    /// Requires [`Sampling::Fixed`] (the maintainer keeps the sample
+    /// count constant) and the shard pipeline. Epochs must be applied
+    /// contiguously; a gap is a typed [`KboostError::EpochOrder`], and a
+    /// mutation endpoint outside the node universe is a typed
+    /// [`KboostError::Graph`] — not a panic.
+    pub fn apply_mutations(&mut self, batch: &EpochBatch) -> Result<EpochReport, KboostError> {
+        self.require_online("apply_mutations")?;
+        self.validate_mutations(&batch.mutations)?;
+        self.ensure_pool()?;
+        let PoolState::Maintained { maintainer, .. } = &mut self.state else {
+            unreachable!("require_online guarantees the maintained state");
+        };
+        let expected = maintainer.epoch() + 1;
+        if batch.epoch != expected {
+            return Err(KboostError::EpochOrder {
+                expected,
+                got: batch.epoch,
+            });
+        }
+        Ok(maintainer.apply_epoch(batch))
+    }
+
+    /// Dry run of the staleness rule: the live stored samples `mutations`
+    /// would invalidate, in ascending graph order — useful to size a
+    /// batch before sealing it. Builds the pool on first use.
+    pub fn stale_graphs(&mut self, mutations: &[Mutation]) -> Result<Vec<u32>, KboostError> {
+        self.require_online("stale_graphs")?;
+        self.validate_mutations(mutations)?;
+        self.ensure_pool()?;
+        let PoolState::Maintained { maintainer, .. } = &mut self.state else {
+            unreachable!("require_online guarantees the maintained state");
+        };
+        Ok(maintainer.stale_graphs(mutations))
+    }
+
+    /// Mutations are the one input a live service feeds continuously —
+    /// out-of-range endpoints become typed errors here instead of index
+    /// panics inside the maintainer.
+    fn validate_mutations(&self, mutations: &[Mutation]) -> Result<(), KboostError> {
+        let n = self.graph().num_nodes();
+        for m in mutations {
+            let (u, v) = m.endpoints();
+            for node in [u, v] {
+                if node.index() >= n {
+                    return Err(KboostError::Graph(
+                        kboost_graph::BuildError::NodeOutOfRange { node, n },
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require_online(&self, operation: &'static str) -> Result<(), KboostError> {
+        match (self.cfg.sampling, self.cfg.pipeline) {
+            (Sampling::Fixed { .. }, Pipeline::Shard) => Ok(()),
+            (_, Pipeline::Legacy) => Err(KboostError::Unsupported {
+                operation,
+                reason: "the legacy oracle pipeline cannot maintain a pool online".into(),
+            }),
+            _ => Err(KboostError::Unsupported {
+                operation,
+                reason: "online maintenance requires Sampling::Fixed so the maintainer can \
+                         keep the sample count constant across epochs"
+                    .into(),
+            }),
+        }
+    }
+
+    /// IMM parameters exactly as Algorithm 2 derives them from the
+    /// engine config (`ℓ' = ℓ·(1 + log 3/log n)`).
+    pub(crate) fn imm_params(&self) -> ImmParams {
+        let n = (self.graph().num_nodes() as f64).max(2.0);
+        ImmParams {
+            k: self.cfg.k,
+            epsilon: self.cfg.epsilon,
+            ell: self.cfg.ell * (1.0 + 3f64.ln() / n.ln()),
+            threads: self.cfg.threads,
+            seed: self.cfg.seed,
+            max_sketches: self.cfg.max_sketches,
+            min_sketches: self.cfg.min_sketches,
+        }
+    }
+
+    /// Builds the pool dictated by the sampling policy, once.
+    pub(crate) fn ensure_pool(&mut self) -> Result<(), KboostError> {
+        if !matches!(self.state, PoolState::Unbuilt) {
+            return Ok(());
+        }
+        match (self.cfg.sampling, self.cfg.pipeline) {
+            (Sampling::Imm, Pipeline::Shard) => {
+                let t0 = Instant::now();
+                let g = self.graph.as_ref().expect("offline engine owns the graph");
+                let source = PrrFullSource::new(g, &self.seeds, self.cfg.k);
+                let run = run_imm(&source, &self.imm_params());
+                let peak_bytes = run.pool.shard().memory_bytes() + run.pool.cover_memory_bytes();
+                let pool = PrrPool::new(run.pool, g.num_nodes(), self.cfg.threads);
+                self.state = PoolState::Adaptive {
+                    pool,
+                    b_mu: run.result.selected,
+                    mu_covered: run.result.covered,
+                    build_secs: t0.elapsed().as_secs_f64(),
+                    peak_bytes,
+                };
+            }
+            (Sampling::Ssa { initial }, Pipeline::Shard) => {
+                let t0 = Instant::now();
+                let g = self.graph.as_ref().expect("offline engine owns the graph");
+                let source = PrrFullSource::new(g, &self.seeds, self.cfg.k);
+                let params = SsaParams {
+                    k: self.cfg.k,
+                    epsilon: self.cfg.epsilon,
+                    initial,
+                    max_sketches: self.cfg.max_sketches.unwrap_or(u64::MAX / 2),
+                    threads: self.cfg.threads,
+                    seed: self.cfg.seed,
+                };
+                let run = run_ssa(&source, &params);
+                let peak_bytes = run.pool.shard().memory_bytes() + run.pool.cover_memory_bytes();
+                let pool = PrrPool::new(run.pool, g.num_nodes(), self.cfg.threads);
+                self.state = PoolState::Adaptive {
+                    pool,
+                    b_mu: run.result.selected,
+                    mu_covered: run.result.covered,
+                    build_secs: t0.elapsed().as_secs_f64(),
+                    peak_bytes,
+                };
+            }
+            (Sampling::Fixed { samples }, Pipeline::Shard) => {
+                let t0 = Instant::now();
+                let g = self.graph.take().expect("offline engine owns the graph");
+                let maintainer = PoolMaintainer::build(
+                    g,
+                    self.seeds.clone(),
+                    MaintainerOptions {
+                        target_samples: samples,
+                        k: self.cfg.k,
+                        threads: self.cfg.threads,
+                        base_seed: self.cfg.seed,
+                        compact_threshold: self.cfg.compact_threshold,
+                    },
+                );
+                self.state = PoolState::Maintained {
+                    maintainer,
+                    build_secs: t0.elapsed().as_secs_f64(),
+                };
+            }
+            (Sampling::Fixed { samples }, Pipeline::Legacy) => {
+                let t0 = Instant::now();
+                let g = self.graph.as_ref().expect("offline engine owns the graph");
+                let source = LegacyPrrSource::new(g, &self.seeds, self.cfg.k);
+                let mut sketches: SketchPool<Vec<CompressedPrr>> =
+                    SketchPool::new(self.cfg.seed, self.cfg.threads);
+                sketches.extend_to(&source, samples);
+                let build_secs = t0.elapsed().as_secs_f64();
+                let payload_bytes: usize = sketches
+                    .shard()
+                    .iter()
+                    .map(|c| c.memory_bytes() + std::mem::size_of::<CompressedPrr>())
+                    .sum();
+                let cover_bytes = sketches.cover_memory_bytes();
+                let t1 = Instant::now();
+                let pool = PrrPool::from_legacy(sketches, g.num_nodes(), self.cfg.threads);
+                let convert_secs = t1.elapsed().as_secs_f64();
+                let peak_bytes = payload_bytes + cover_bytes + pool.memory_bytes();
+                self.state = PoolState::Legacy {
+                    pool,
+                    build_secs,
+                    convert_secs,
+                    peak_bytes,
+                };
+            }
+            (_, Pipeline::Legacy) => {
+                unreachable!("EngineBuilder rejects adaptive sampling on the legacy pipeline")
+            }
+        }
+        Ok(())
+    }
+
+    /// The built pool; panics if [`ensure_pool`](Self::ensure_pool) has
+    /// not run — callers inside the crate always pair them.
+    pub(crate) fn pool_built(&self) -> &PrrPool {
+        self.pool_if_built()
+            .expect("ensure_pool must run before pool_built")
+    }
+
+    /// The µ-greedy (lower bound) selection over the engine's pool: the
+    /// adaptive run's cached IMM/SSA selection, or — for fixed-size
+    /// pools — the lazy greedy over the live samples' critical sets.
+    /// The fixed-size path recomputes (and re-materializes the critical
+    /// covers) on every call; selection is milliseconds against the
+    /// minutes sampling costs, so no per-epoch cache is kept until a
+    /// profile says otherwise.
+    pub(crate) fn mu_selection(&mut self) -> Result<(Vec<NodeId>, u64), KboostError> {
+        self.ensure_pool()?;
+        if let PoolState::Adaptive {
+            b_mu, mu_covered, ..
+        } = &self.state
+        {
+            return Ok((b_mu.clone(), *mu_covered));
+        }
+        let n = self.graph().num_nodes();
+        let mut eligible = vec![true; n];
+        for &s in &self.seeds {
+            eligible[s.index()] = false;
+        }
+        let pool = self.pool_built();
+        let arena = pool.arena();
+        let covers: Vec<Vec<NodeId>> = (0..arena.len())
+            .filter(|&i| arena.is_live(i))
+            .map(|i| arena.graph(i).critical().to_vec())
+            .collect();
+        let res = greedy_max_cover(&covers, n, self.cfg.k, Some(&eligible));
+        Ok((res.selected, res.covered))
+    }
+
+    /// `(build_secs, convert_secs, peak_bytes)` of the pool build — the
+    /// numbers `exp_perf` records per pipeline.
+    pub(crate) fn pool_build_stats(&self) -> (f64, f64, usize) {
+        match &self.state {
+            PoolState::Unbuilt => (0.0, 0.0, 0),
+            PoolState::Adaptive {
+                build_secs,
+                peak_bytes,
+                ..
+            } => (*build_secs, 0.0, *peak_bytes),
+            PoolState::Maintained {
+                maintainer,
+                build_secs,
+            } => (*build_secs, 0.0, maintainer.build_peak_bytes()),
+            PoolState::Legacy {
+                build_secs,
+                convert_secs,
+                peak_bytes,
+                ..
+            } => (*build_secs, *convert_secs, *peak_bytes),
+        }
+    }
+}

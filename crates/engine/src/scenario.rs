@@ -1,0 +1,101 @@
+//! Scenario wrappers: multi-run experiments exposed through the same
+//! validated-config discipline as the engine itself.
+
+use kboost_core::{budget_sweep as core_budget_sweep, BoostOptions, BudgetOptions, BudgetPoint};
+use kboost_diffusion::McConfig;
+use kboost_graph::DiGraph;
+use kboost_rrset::imm::ImmParams;
+
+use crate::error::{config_err, KboostError};
+
+/// Configuration of a seeding-vs-boosting budget sweep (Section V-D /
+/// Figure 13). One seed costs as much as `cost_ratio` boosts.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetPlan {
+    /// Seeds affordable if the whole budget went to seeding.
+    pub max_seeds: usize,
+    /// Boosts one seed's cost buys (the paper tests 100–800).
+    pub cost_ratio: usize,
+    /// Approximation slack ε for both IMM seeding and PRR-Boost-LB.
+    pub epsilon: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed for the boosting side.
+    pub boost_seed: u64,
+    /// RNG seed for the seeding side.
+    pub seeding_seed: u64,
+    /// Optional sketch cap for bounded runs.
+    pub max_sketches: Option<u64>,
+    /// Sketch floor for the boosting side.
+    pub min_sketches: u64,
+    /// Monte-Carlo evaluation of each allocation.
+    pub mc: McConfig,
+}
+
+/// Sweeps the given seeding fractions: a fraction `f` buys
+/// `round(f · max_seeds)` seeds (clamped to ≥ 1) and
+/// `(max_seeds − seeds) · cost_ratio` boosts; each allocation is scored
+/// by simulation.
+///
+/// # Errors
+/// [`KboostError::Config`] for an empty graph, `max_seeds` of zero, a
+/// zero `cost_ratio`, ε ∉ (0, 1), zero threads, or a fraction outside
+/// [0, 1].
+pub fn budget_sweep(
+    g: &DiGraph,
+    fractions: &[f64],
+    plan: &BudgetPlan,
+) -> Result<Vec<BudgetPoint>, KboostError> {
+    if g.num_nodes() == 0 {
+        return Err(config_err("graph", "graph has no nodes"));
+    }
+    if plan.max_seeds == 0 {
+        return Err(config_err("max_seeds", "need at least one seed to afford"));
+    }
+    if plan.cost_ratio == 0 {
+        return Err(config_err(
+            "cost_ratio",
+            "one seed must cost at least one boost",
+        ));
+    }
+    if !(plan.epsilon > 0.0 && plan.epsilon < 1.0) {
+        return Err(config_err(
+            "epsilon",
+            format!("ε must lie in (0, 1), got {}", plan.epsilon),
+        ));
+    }
+    if plan.threads == 0 {
+        return Err(config_err("threads", "thread count must be at least 1"));
+    }
+    for &f in fractions {
+        if !(0.0..=1.0).contains(&f) {
+            return Err(config_err(
+                "fractions",
+                format!("seeding fraction must lie in [0, 1], got {f}"),
+            ));
+        }
+    }
+    let opts = BudgetOptions {
+        max_seeds: plan.max_seeds,
+        cost_ratio: plan.cost_ratio,
+        boost: BoostOptions {
+            epsilon: plan.epsilon,
+            ell: 1.0,
+            threads: plan.threads,
+            seed: plan.boost_seed,
+            max_sketches: plan.max_sketches,
+            min_sketches: plan.min_sketches,
+        },
+        imm: ImmParams {
+            k: 1, // overwritten per allocation by the sweep
+            epsilon: plan.epsilon,
+            ell: 1.0,
+            threads: plan.threads,
+            seed: plan.seeding_seed,
+            max_sketches: plan.max_sketches,
+            min_sketches: 0,
+        },
+        mc: plan.mc,
+    };
+    Ok(core_budget_sweep(g, fractions, &opts))
+}

@@ -4,9 +4,10 @@
 //!
 //! 1. the mutated graph is rebuilt ([`apply_mutations`]);
 //! 2. the batch's touched endpoints are matched against every live
-//!    graph's node table through a node → graphs [`NodeIndex`] (the same
-//!    CSR machinery the greedy selection uses for its coverage index),
-//!    yielding the stale set in ascending graph order;
+//!    graph's node table through an **incrementally maintained**
+//!    node → graphs invalidation index (CSR [`NodeIndex`] base plus an
+//!    appended tail; see [`PoolMaintainer::stale_graphs`]), yielding the
+//!    stale set in ascending graph order;
 //! 3. stale graphs are [tombstoned](PrrArena::tombstone) — each stored
 //!    graph is one sample of the estimator's denominator, so the pool's
 //!    total is debited accordingly;
@@ -86,6 +87,96 @@ pub struct EpochReport {
     pub dead_graphs: u64,
 }
 
+/// The node → graphs invalidation index, maintained incrementally across
+/// epochs instead of rebuilt from scratch per refresh.
+///
+/// * `base` is a CSR [`NodeIndex`] over the arena as of the last full
+///   (re)build; it may reference graphs that were tombstoned since, so
+///   queries filter on [`PrrArena::is_live`].
+/// * `extra` holds the `(node, graph)` pairs of samples absorbed after
+///   the base was built — refreshes *append* here in graph order rather
+///   than paying the linear-in-arena rebuild. When the tail outgrows the
+///   base ([`append_absorbed`](Self::append_absorbed)) it is folded back
+///   in by a rebuild, so a never-compacting maintainer (threshold 1.0)
+///   still holds at most ~2× the live entries and dry-run scans stay
+///   bounded.
+/// * Compaction renumbers graphs, so it is the one event that
+///   invalidates the whole index (the maintainer drops it and rebuilds
+///   lazily on next use).
+struct InvalidationIndex {
+    base: NodeIndex,
+    extra: Vec<(u32, u32)>,
+}
+
+impl InvalidationIndex {
+    /// Full build over the live graphs of `arena` (node universe `n`).
+    fn rebuild(arena: &PrrArena, n: usize) -> Self {
+        let base = NodeIndex::build(n, |emit| {
+            for gi in 0..arena.len() {
+                if !arena.is_live(gi) {
+                    continue;
+                }
+                let view = arena.graph(gi);
+                for l in 0..view.num_nodes() as u32 {
+                    if let Some(g) = view.global_of(l) {
+                        emit(g, gi as u32);
+                    }
+                }
+            }
+        });
+        InvalidationIndex {
+            base,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Appends the node-table entries of the freshly absorbed graphs
+    /// `range` (arena indices) to the incremental tail, folding the tail
+    /// back into the CSR base once it outgrows it (keeps the index — and
+    /// every dry-run scan over `extra` — bounded even if compaction
+    /// never fires).
+    fn append_absorbed(&mut self, arena: &PrrArena, range: std::ops::Range<usize>, n: usize) {
+        for gi in range {
+            let view = arena.graph(gi);
+            for l in 0..view.num_nodes() as u32 {
+                if let Some(g) = view.global_of(l) {
+                    self.extra.push((g.0, gi as u32));
+                }
+            }
+        }
+        if self.extra.len() > self.base.len().max(1024) {
+            *self = InvalidationIndex::rebuild(arena, n);
+        }
+    }
+
+    /// The live graphs whose node table holds a touched node, in
+    /// ascending graph order — dead graphs are filtered here, at query
+    /// time, which is what lets tombstoning skip index surgery.
+    fn stale(&self, touched: &[bool], arena: &PrrArena) -> Vec<u32> {
+        let mut is_stale = vec![false; arena.len()];
+        let mut stale: Vec<u32> = Vec::new();
+        for (v, &hit) in touched.iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            for &gi in self.base.items_of(NodeId(v as u32)) {
+                if arena.is_live(gi as usize) && !is_stale[gi as usize] {
+                    is_stale[gi as usize] = true;
+                    stale.push(gi);
+                }
+            }
+        }
+        for &(v, gi) in &self.extra {
+            if touched[v as usize] && arena.is_live(gi as usize) && !is_stale[gi as usize] {
+                is_stale[gi as usize] = true;
+                stale.push(gi);
+            }
+        }
+        stale.sort_unstable();
+        stale
+    }
+}
+
 /// A PRR pool kept consistent with an evolving graph.
 pub struct PoolMaintainer {
     graph: DiGraph,
@@ -93,6 +184,12 @@ pub struct PoolMaintainer {
     opts: MaintainerOptions,
     pool: PrrPool,
     epoch: u64,
+    /// Built lazily on the first staleness query, so purely offline
+    /// consumers of the fixed-size pool (perf sweeps, one-shot solves)
+    /// never pay for or retain it. `None` also encodes "invalidated by
+    /// compaction".
+    index: Option<InvalidationIndex>,
+    build_peak_bytes: usize,
 }
 
 impl PoolMaintainer {
@@ -106,6 +203,7 @@ impl PoolMaintainer {
             &PrrFullSource::new(&graph, &seeds, opts.k),
             opts.target_samples,
         );
+        let build_peak_bytes = sketches.shard().memory_bytes() + sketches.cover_memory_bytes();
         let pool = PrrPool::new(sketches, graph.num_nodes(), opts.threads);
         PoolMaintainer {
             graph,
@@ -113,7 +211,16 @@ impl PoolMaintainer {
             opts,
             pool,
             epoch: 0,
+            index: None,
+            build_peak_bytes,
         }
+    }
+
+    /// Peak bytes alive during the epoch-0 pool build: the merged
+    /// sampling shard plus the covers, both held until the covers are
+    /// dropped on conversion into the pool.
+    pub fn build_peak_bytes(&self) -> usize {
+        self.build_peak_bytes
     }
 
     /// The maintained pool (estimators skip tombstoned graphs).
@@ -155,15 +262,21 @@ impl PoolMaintainer {
     /// `mutations`, in ascending graph order — the staleness rule, also
     /// usable as a dry run to size a batch before sealing it.
     ///
-    /// Builds the node → graphs index afresh (linear in the arena's node
-    /// tables), which the once-per-epoch refresh amortizes against the
-    /// far larger resampling cost; callers issuing *many* dry runs should
-    /// batch them (see `exp_online`'s geometric batch growth). Keeping
-    /// the index alive across epochs is a ROADMAP item for when epoch
-    /// rates make the rebuild measurable.
-    pub fn stale_graphs(&self, mutations: &[Mutation]) -> Vec<u32> {
+    /// Answered from the **incrementally maintained** node → graphs
+    /// [`NodeIndex`], built lazily on first use: refreshes append the
+    /// absorbed samples' entries (folding the tail into the CSR base
+    /// when it outgrows it), tombstoned graphs are filtered at query
+    /// time, and compaction invalidates the cache wholesale. A dry run
+    /// therefore costs `O(n + index-hit scan + appended tail)` in
+    /// scratch flags and lookups — no node-table traversal of the arena,
+    /// which the pre-index implementation paid on every call.
+    ///
+    /// # Panics
+    /// Panics if a mutation endpoint is outside the graph's node
+    /// universe (the engine API validates this up front and returns a
+    /// typed error instead).
+    pub fn stale_graphs(&mut self, mutations: &[Mutation]) -> Vec<u32> {
         let n = self.graph.num_nodes();
-        let arena = self.pool.arena();
         let mut touched = vec![false; n];
         let mut any = false;
         for m in mutations {
@@ -175,35 +288,10 @@ impl PoolMaintainer {
         if !any {
             return Vec::new();
         }
-        // Node → live graphs containing it; the selection-index machinery.
-        let index = NodeIndex::build(n, |emit| {
-            for gi in 0..arena.len() {
-                if !arena.is_live(gi) {
-                    continue;
-                }
-                let view = arena.graph(gi);
-                for l in 0..view.num_nodes() as u32 {
-                    if let Some(g) = view.global_of(l) {
-                        emit(g, gi as u32);
-                    }
-                }
-            }
-        });
-        let mut is_stale = vec![false; arena.len()];
-        let mut stale: Vec<u32> = Vec::new();
-        for (v, &hit) in touched.iter().enumerate() {
-            if !hit {
-                continue;
-            }
-            for &gi in index.items_of(NodeId(v as u32)) {
-                if !is_stale[gi as usize] {
-                    is_stale[gi as usize] = true;
-                    stale.push(gi);
-                }
-            }
-        }
-        stale.sort_unstable();
-        stale
+        let index = self
+            .index
+            .get_or_insert_with(|| InvalidationIndex::rebuild(self.pool.arena(), n));
+        index.stale(&touched, self.pool.arena())
     }
 
     /// Applies one sealed epoch: mutates the graph, tombstones the stale
@@ -225,11 +313,17 @@ impl PoolMaintainer {
 
         let arena = self.pool.arena_mut();
         for &gi in &stale {
+            // Tombstoning needs no index surgery: queries filter dead
+            // graphs on the fly.
             arena.tombstone(gi as usize);
         }
         let compacted = arena.dead_fraction() > self.opts.compact_threshold;
         if compacted {
             arena.compact();
+            // Compaction renumbers the surviving graphs — the one event
+            // that invalidates the cached index wholesale. Dropped here,
+            // rebuilt lazily by the next staleness query.
+            self.index = None;
         }
 
         let invalidated = stale.len() as u64;
@@ -242,7 +336,16 @@ impl PoolMaintainer {
             );
             let (_covers, shard, drawn, empties) = refresh.into_parts();
             debug_assert_eq!(drawn, invalidated);
+            let absorbed_from = self.pool.arena().len();
             self.pool.arena_mut().absorb_shard(shard);
+            let absorbed_to = self.pool.arena().len();
+            if let Some(index) = &mut self.index {
+                index.append_absorbed(
+                    self.pool.arena(),
+                    absorbed_from..absorbed_to,
+                    self.graph.num_nodes(),
+                );
+            }
             self.pool.record_refresh(invalidated, drawn, empties);
             (drawn - empties, empties)
         } else {
@@ -374,7 +477,7 @@ mod tests {
         // The dry run must mark a graph stale iff its node table holds a
         // touched endpoint — checked in both directions over every stored
         // graph.
-        let m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_000, 1));
+        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_000, 1));
         // Every stored graph contains its root; roots are uniform over
         // non-seed nodes, so node 1 appears in some table.
         let stale = m.stale_graphs(&[Mutation::Remove {

@@ -1,5 +1,5 @@
 //! Budget allocation between seeding and boosting (Section V-D /
-//! Figure 13).
+//! Figure 13), through the engine's validated scenario API.
 //!
 //! Suppose nurturing one initial adopter costs as much as boosting 100
 //! potential customers. For several budget splits, pick seeds with IMM and
@@ -7,41 +7,30 @@
 //!
 //! Run with: `cargo run --release --example budget_allocation`
 
-use kboost::core::{budget_sweep, BoostOptions, BudgetOptions};
 use kboost::datasets::{Dataset, Scale};
 use kboost::diffusion::monte_carlo::McConfig;
-use kboost::rrset::imm::ImmParams;
+use kboost::engine::scenario::{budget_sweep, BudgetPlan};
 
 fn main() {
     println!("generating a Flixster-like network (scaled down)...");
     let g = Dataset::Flixster.generate(Scale::Tiny, 2.0, 7);
     println!("n = {}, m = {}", g.num_nodes(), g.num_edges());
 
-    let opts = BudgetOptions {
+    let plan = BudgetPlan {
         max_seeds: 20,
         cost_ratio: 100,
-        boost: BoostOptions {
-            threads: 4,
-            seed: 11,
-            max_sketches: Some(300_000),
-            min_sketches: 20_000,
-            ..Default::default()
-        },
-        imm: ImmParams {
-            k: 1,
-            epsilon: 0.5,
-            ell: 1.0,
-            threads: 4,
-            seed: 12,
-            max_sketches: Some(300_000),
-            min_sketches: 0,
-        },
+        epsilon: 0.5,
+        threads: 4,
+        boost_seed: 11,
+        seeding_seed: 12,
+        max_sketches: Some(300_000),
+        min_sketches: 20_000,
         mc: McConfig::quick(3_000, 13),
     };
 
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
     println!("\nseed-budget fraction → boosted influence (cost ratio 100:1)");
-    let points = budget_sweep(&g, &fractions, &opts);
+    let points = budget_sweep(&g, &fractions, &plan).expect("valid budget plan");
     let mut best = &points[0];
     for p in &points {
         println!(

@@ -1,14 +1,16 @@
-//! Quickstart: the paper's Figure-1 example, end to end.
+//! Quickstart: the paper's Figure-1 example, end to end through the
+//! unified engine API.
 //!
 //! Builds the 3-node graph `s → v0 → v1`, verifies the boosted-influence
-//! numbers from the paper exactly, and runs PRR-Boost to find the best
+//! numbers from the paper exactly, and runs the Sandwich Approximation
+//! (PRR-Boost, Algorithm 2) through `kboost::engine` to find the best
 //! single node to boost.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use kboost::core::{prr_boost, BoostOptions};
 use kboost::diffusion::exact::{exact_boost, exact_sigma};
 use kboost::diffusion::monte_carlo::{estimate_boost, McConfig};
+use kboost::engine::{Algorithm, EngineBuilder};
 use kboost::graph::{GraphBuilder, NodeId};
 
 fn main() {
@@ -39,18 +41,32 @@ fn main() {
     println!("Monte-Carlo Δ_S({{v0}}) ≈ {sim:.4}");
 
     // PRR-Boost with k = 1 must pick v0 (node 1), not v1: boosting close
-    // to the seed compounds down the path.
-    let opts = BoostOptions {
-        threads: 2,
-        min_sketches: 50_000,
-        max_sketches: Some(100_000),
-        ..Default::default()
-    };
-    let (outcome, pool) = prr_boost(&g, &seeds, 1, &opts);
-    println!("\n=== PRR-Boost (k = 1) ===");
-    println!("selected boost set: {:?}", outcome.best);
-    println!("estimated boost Δ̂ = {:.4}", outcome.estimate);
-    println!("PRR-graphs sampled: {}", pool.total_samples());
-    assert_eq!(outcome.best, vec![NodeId(1)], "PRR-Boost should boost v0");
+    // to the seed compounds down the path. The engine validates the whole
+    // configuration up front and runs Algorithm 2 (the Sandwich
+    // Approximation over B_µ and B_Δ) behind one typed call.
+    let mut engine = EngineBuilder::new(g)
+        .seeds(seeds)
+        .k(1)
+        .threads(2)
+        .min_sketches(50_000)
+        .max_sketches(100_000)
+        .build()
+        .expect("valid engine configuration");
+    let solution = engine.solve(&Algorithm::Sandwich).expect("solve");
+
+    println!("\n=== PRR-Boost through the engine (k = 1) ===");
+    println!("selected boost set: {:?}", solution.boost_set);
+    println!("estimated boost Δ̂ = {:.4}", solution.delta_hat.unwrap());
+    println!("PRR-graphs sampled: {}", solution.stats.total_samples);
+    let cert = solution.certificate.as_ref().unwrap();
+    println!(
+        "sandwich certificate: Δ̂(B_µ) = {:.4}, Δ̂(B_Δ) = {:.4}, µ̂/Δ̂ = {:.3}",
+        cert.delta_hat_mu, cert.delta_hat_delta, cert.ratio
+    );
+    assert_eq!(
+        solution.boost_set,
+        vec![NodeId(1)],
+        "PRR-Boost should boost v0"
+    );
     println!("\nOK: PRR-Boost agrees with the exact analysis.");
 }

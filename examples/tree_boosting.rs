@@ -1,19 +1,20 @@
 //! Boosting on bidirected trees: Greedy-Boost vs the DP-Boost FPTAS
-//! (Section VI / VIII).
+//! (Section VI / VIII), through the engine's `TreeExact` algorithm.
 //!
 //! Builds a complete binary tree with Trivalency probabilities (the
 //! paper's tree workload), selects seeds, and compares the greedy
-//! algorithm against the near-optimal dynamic program at several ε.
+//! algorithm against the near-optimal dynamic program at several ε —
+//! both dispatched through the same `BoostAlgorithm` interface as
+//! PRR-Boost and the baselines.
 //!
 //! Run with: `cargo run --release --example tree_boosting`
 
+use kboost::engine::{Algorithm, EngineBuilder};
 use kboost::graph::generators::complete_binary_tree;
 use kboost::graph::probability::ProbabilityModel;
 use kboost::graph::NodeId;
-use kboost::tree::{dp_boost, greedy_boost, BidirectedTree};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 fn main() {
     let n = 127;
@@ -23,30 +24,40 @@ fn main() {
     let g = topo.into_bidirected_graph(ProbabilityModel::Trivalency, 2.0, &mut rng);
     // A few scattered seeds.
     let seeds: Vec<NodeId> = [0u32, 13, 40, 77, 101].map(NodeId).to_vec();
-    let tree = BidirectedTree::from_digraph(&g, &seeds).unwrap();
 
-    let t0 = Instant::now();
-    let greedy = greedy_boost(&tree, k);
-    let greedy_time = t0.elapsed();
+    let mut engine = EngineBuilder::new(g)
+        .seeds(seeds)
+        .k(k)
+        .build()
+        .expect("valid engine configuration");
+
+    let greedy = engine
+        .solve(&Algorithm::TreeExact { dp_epsilon: None })
+        .expect("the graph is a bidirected tree");
+    let greedy_boost = greedy.delta_hat.unwrap();
     println!(
-        "Greedy-Boost: boost = {:.4} in {:?} (set {:?})",
-        greedy.boost, greedy_time, greedy.boost_set
+        "Greedy-Boost: boost = {:.4} in {:.2?} (set {:?})",
+        greedy_boost,
+        std::time::Duration::from_secs_f64(greedy.stats.select_secs),
+        greedy.boost_set
     );
 
     for eps in [1.0, 0.5, 0.2] {
-        let t0 = Instant::now();
-        let dp = dp_boost(&tree, k, eps);
+        let dp = engine
+            .solve(&Algorithm::TreeExact {
+                dp_epsilon: Some(eps),
+            })
+            .expect("the graph is a bidirected tree");
+        let dp_value = dp.delta_hat.unwrap();
         println!(
-            "DP-Boost(ε={eps}): boost = {:.4}, dp-value = {:.4}, δ = {:.5}, in {:?}",
-            dp.boost,
-            dp.dp_value,
-            dp.delta,
-            t0.elapsed()
+            "DP-Boost(ε={eps}): boost = {:.4} in {:.2?}",
+            dp_value,
+            std::time::Duration::from_secs_f64(dp.stats.select_secs)
         );
         // The FPTAS guarantee is relative to OPT; greedy is a lower bound
         // on OPT, so DP must reach (1−ε)·greedy.
         assert!(
-            dp.boost >= (1.0 - eps) * greedy.boost - 1e-9,
+            dp_value >= (1.0 - eps) * greedy_boost - 1e-9,
             "DP below its guarantee"
         );
     }

@@ -1,18 +1,17 @@
 //! Viral-marketing scenario: boost a campaign on a Digg-like network.
 //!
 //! A company has already seeded 20 influencers (found by IMM). It can now
-//! hand out `k` coupons ("boosts"). This example compares PRR-Boost,
-//! PRR-Boost-LB and the Section-VII baselines by simulated boost of
-//! influence — a miniature of Figure 5.
+//! hand out `k` coupons ("boosts"). Every competitor — PRR-Boost (the
+//! Sandwich Approximation), PRR-Boost-LB and the Section-VII baselines —
+//! runs through the engine's one `BoostAlgorithm` interface, and each
+//! returned set is scored by simulated boost of influence — a miniature
+//! of Figure 5.
 //!
 //! Run with: `cargo run --release --example viral_marketing`
 
-use kboost::baselines::{
-    high_degree_global, high_degree_local, pagerank_select, random_boost, WeightedDegree,
-};
-use kboost::core::{prr_boost, prr_boost_lb, BoostOptions};
 use kboost::datasets::{Dataset, Scale};
 use kboost::diffusion::monte_carlo::{estimate_boost, McConfig};
+use kboost::engine::{Algorithm, BoostAlgorithm, EngineBuilder, WeightedDegree};
 use kboost::rrset::imm::ImmParams;
 use kboost::rrset::seeds::select_seeds;
 
@@ -34,46 +33,48 @@ fn main() {
     let seeds = select_seeds(&g, &imm);
     println!("seeded {} influencers via IMM", seeds.len());
 
-    let opts = BoostOptions {
-        threads: 4,
-        seed: 2,
-        max_sketches: Some(400_000),
-        min_sketches: 50_000,
-        ..Default::default()
-    };
-    let (full, _pool) = prr_boost(&g, &seeds, k, &opts);
-    let lb = prr_boost_lb(&g, &seeds, k, &opts);
+    // One engine serves every algorithm: the PRR pool is built once (by
+    // the first estimator-based solve) and the baselines reuse it for
+    // their Δ̂ diagnostics.
+    let mut engine = EngineBuilder::new(g.clone())
+        .seeds(seeds.clone())
+        .k(k)
+        .threads(4)
+        .seed(2)
+        .min_sketches(50_000)
+        .max_sketches(400_000)
+        .build()
+        .expect("valid engine configuration");
 
     // Best-of-four HighDegree variants, as in the paper.
     let mc = McConfig::quick(3_000, 3);
-    let best_of = |sets: Vec<Vec<kboost::graph::NodeId>>| {
-        sets.into_iter()
-            .map(|s| {
-                let b = estimate_boost(&g, &seeds, &s, &mc);
-                (b, s)
-            })
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-            .map(|(b, _)| b)
+    let score = |engine: &mut kboost::engine::Engine, algo: Algorithm| {
+        let sol = engine.solve(&algo).expect("solve");
+        (algo.name(), estimate_boost(&g, &seeds, &sol.boost_set, &mc))
+    };
+    let best_of = |scored: Vec<(String, f64)>| {
+        scored
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(_, b)| b)
             .unwrap()
     };
+
     use WeightedDegree::*;
+    let (_, full_b) = score(&mut engine, Algorithm::Sandwich);
+    let (_, lb_b) = score(&mut engine, Algorithm::PrrBoostLb);
     let hdg = best_of(
         [OutSum, OutSumDiscounted, InGain, InGainDiscounted]
-            .into_iter()
-            .map(|d| high_degree_global(&g, &seeds, k, d))
-            .collect(),
+            .map(|d| score(&mut engine, Algorithm::HighDegreeGlobal(d)))
+            .to_vec(),
     );
     let hdl = best_of(
         [OutSum, OutSumDiscounted, InGain, InGainDiscounted]
-            .into_iter()
-            .map(|d| high_degree_local(&g, &seeds, k, d))
-            .collect(),
+            .map(|d| score(&mut engine, Algorithm::HighDegreeLocal(d)))
+            .to_vec(),
     );
-    let pr = estimate_boost(&g, &seeds, &pagerank_select(&g, &seeds, k), &mc);
-    let rnd = estimate_boost(&g, &seeds, &random_boost(&g, &seeds, k, 9), &mc);
-
-    let full_b = estimate_boost(&g, &seeds, &full.best, &mc);
-    let lb_b = estimate_boost(&g, &seeds, &lb.best, &mc);
+    let (_, pr) = score(&mut engine, Algorithm::PageRank);
+    let (_, rnd) = score(&mut engine, Algorithm::Random);
 
     println!("\nboost of influence with k = {k} coupons:");
     println!("  PRR-Boost         {full_b:8.1}");

@@ -17,15 +17,14 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
-use kboost::core::{prr_boost, prr_boost_lb, BoostOptions};
 use kboost::datasets::{Dataset, Scale};
 use kboost::diffusion::monte_carlo::{estimate_boost, estimate_sigma, McConfig};
+use kboost::engine::{Algorithm, EngineBuilder, Sampling};
 use kboost::graph::io::{read_edge_list_file, write_edge_list_file};
 use kboost::graph::stats::graph_stats;
 use kboost::graph::{DiGraph, NodeId};
 use kboost::rrset::imm::ImmParams;
 use kboost::rrset::seeds::select_seeds;
-use kboost::tree::{dp_boost, greedy_boost, BidirectedTree};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -226,30 +225,38 @@ fn cmd_boost(args: &[String]) -> CliResult {
     let g = flags.graph()?;
     let seeds = read_node_file(flags.required("seeds")?)?;
     let k: usize = flags.parse("k", 100)?;
-    let opts = BoostOptions {
-        epsilon: flags.parse("eps", 0.5)?,
-        ell: 1.0,
-        threads: flags.parse("threads", 8)?,
-        seed: flags.parse("seed", 42)?,
-        max_sketches: Some(flags.parse("max-sketches", 5_000_000u64)?),
-        min_sketches: 0,
-    };
-    let outcome = if flags.has("lb") {
-        prr_boost_lb(&g, &seeds, k, &opts)
+    // Config mistakes (bad seed ids, k over the non-seed population, ...)
+    // surface here as one typed KboostError instead of a panic inside a
+    // sampler.
+    let mut builder = EngineBuilder::new(g)
+        .seeds(seeds)
+        .k(k)
+        .epsilon(flags.parse("eps", 0.5)?)
+        .threads(flags.parse("threads", 8)?)
+        .seed(flags.parse("seed", 42)?)
+        .max_sketches(flags.parse("max-sketches", 5_000_000u64)?);
+    if flags.has("ssa") {
+        builder = builder.sampling(Sampling::Ssa { initial: 2_000 });
+    }
+    let mut engine = builder.build().map_err(|e| e.to_string())?;
+    let algorithm = if flags.has("lb") {
+        Algorithm::PrrBoostLb
     } else {
-        prr_boost(&g, &seeds, k, &opts).0
+        Algorithm::Sandwich
     };
+    let solution = engine.solve(&algorithm).map_err(|e| e.to_string())?;
+    let estimate = solution.delta_hat.or(solution.mu_hat).unwrap_or(0.0);
     eprintln!(
         "estimated boost: {:.2} ({} PRR-graphs sampled, {:.1}s sampling)",
-        outcome.estimate, outcome.stats.total_samples, outcome.stats.sampling_secs
+        estimate, solution.stats.total_samples, solution.stats.build_secs
     );
     match flags.named.get("o") {
         Some(path) => {
-            write_node_file(path, &outcome.best)?;
-            println!("wrote {} boost nodes to {path}", outcome.best.len());
+            write_node_file(path, &solution.boost_set)?;
+            println!("wrote {} boost nodes to {path}", solution.boost_set.len());
         }
         None => {
-            for v in &outcome.best {
+            for v in &solution.boost_set {
                 println!("{v}");
             }
         }
@@ -283,24 +290,32 @@ fn cmd_tree(args: &[String]) -> CliResult {
     let flags = parse_flags(args);
     let g = flags.graph()?;
     let seeds = read_node_file(flags.required("seeds")?)?;
-    let tree = BidirectedTree::from_digraph(&g, &seeds).map_err(|e| e.to_string())?;
     let k: usize = flags.parse("k", 20)?;
-    if flags.has("dp") {
-        let eps: f64 = flags.parse("eps", 0.5)?;
-        let out = dp_boost(&tree, k, eps);
-        println!(
-            "DP-Boost(ε={eps}): boost = {:.4} (dp value {:.4})",
-            out.boost, out.dp_value
-        );
-        for v in &out.boost_set {
-            println!("{v}");
-        }
+    let mut engine = EngineBuilder::new(g)
+        .seeds(seeds)
+        .k(k)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let dp_epsilon = if flags.has("dp") {
+        Some(flags.parse("eps", 0.5)?)
     } else {
-        let out = greedy_boost(&tree, k);
-        println!("Greedy-Boost: boost = {:.4}", out.boost);
-        for v in &out.boost_set {
-            println!("{v}");
-        }
+        None
+    };
+    let solution = engine
+        .solve(&Algorithm::TreeExact { dp_epsilon })
+        .map_err(|e| e.to_string())?;
+    match dp_epsilon {
+        Some(eps) => println!(
+            "DP-Boost(ε={eps}): boost = {:.4}",
+            solution.delta_hat.unwrap_or(0.0)
+        ),
+        None => println!(
+            "Greedy-Boost: boost = {:.4}",
+            solution.delta_hat.unwrap_or(0.0)
+        ),
+    }
+    for v in &solution.boost_set {
+        println!("{v}");
     }
     Ok(())
 }

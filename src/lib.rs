@@ -1,8 +1,60 @@
 //! `kboost` — a reproduction of *"Boosting Information Spread: An
 //! Algorithmic Approach"* (Lin, Chen, Lui; ICDE 2017 / arXiv:1602.03111).
 //!
-//! This facade crate re-exports the whole workspace:
+//! # Start here: the engine
 //!
+//! [`engine`] is the single typed entry point over the whole workspace:
+//! an [`engine::EngineBuilder`] validates graph, seed set, budget `k`,
+//! sampling parameters (ε/ℓ or the failure probability δ), RNG seed and
+//! thread count into an [`engine::Engine`]; every solver — PRR-Boost,
+//! PRR-Boost-LB, the Sandwich Approximation, the exact tree algorithms
+//! and all Section-VII baselines — runs through the one
+//! [`engine::BoostAlgorithm`] interface and returns a uniform
+//! [`engine::Solution`] (boost set, `Δ̂`/`µ̂`, sandwich certificate,
+//! timing and peak-memory stats). The same handle owns the online
+//! lifecycle: [`engine::Engine::apply_mutations`] drives the incremental
+//! pool maintainer, so one object serves queries while the graph
+//! evolves. Configuration mistakes surface as typed
+//! [`engine::KboostError`]s at build time, not panics inside a sampler.
+//!
+//! # Quickstart
+//!
+//! Figure 1 of the paper (`s → v0 → v1`), end to end through the engine:
+//! with one boost available, boosting `v0` (node 1) beats `v1` — gains
+//! compound down the path.
+//!
+//! ```
+//! use kboost::engine::{Algorithm, EngineBuilder, Sampling};
+//! use kboost::graph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let mut engine = EngineBuilder::new(g)
+//!     .seeds([NodeId(0)])
+//!     .k(1)
+//!     .threads(2)
+//!     .seed(21)
+//!     .sampling(Sampling::Fixed { samples: 30_000 })
+//!     .build()
+//!     .expect("validated configuration");
+//!
+//! let solution = engine.solve(&Algorithm::Sandwich).expect("solvable");
+//! assert_eq!(solution.boost_set, vec![NodeId(1)]);
+//! // Δ̂ approximates the exact Δ_S({v0}) = 0.22 of the paper.
+//! let delta_hat = solution.delta_hat.unwrap();
+//! assert!((delta_hat - 0.22).abs() < 0.05, "Δ̂ = {delta_hat}");
+//! // The sandwich certificate records both branches and the µ̂/Δ̂ ratio.
+//! let cert = solution.certificate.unwrap();
+//! assert!(cert.ratio > 0.0 && cert.ratio <= 1.05);
+//! ```
+//!
+//! # Module map
+//!
+//! * [`engine`] — the unified `EngineBuilder` / `Engine` /
+//!   `BoostAlgorithm` API above: **new code should enter here**.
 //! * [`graph`] — directed-graph substrate (CSR with base/boosted edge
 //!   probabilities), generators, IO, statistics.
 //! * [`diffusion`] — the Independent Cascade and influence-boosting
@@ -22,7 +74,14 @@
 //! * [`datasets`] — synthetic stand-ins for the paper's four social
 //!   networks, calibrated to Table 1.
 //!
-//! # The parallel PRR engine
+//! The deep module paths stay re-exported on purpose: the pre-engine
+//! tests and benches wire `SketchPool → PrrPool → greedy` by hand and
+//! thereby double as the equivalence oracle — selections through the
+//! engine are bit-identical to the hand-wired pipeline under the
+//! determinism contract (`tests/engine_api.rs` asserts it at 1 and 7
+//! threads).
+//!
+//! # The parallel PRR engine underneath
 //!
 //! The hot path — PRR-graph sampling and greedy boost selection — is
 //! multi-threaded end to end, under one **determinism contract**: results
@@ -36,21 +95,16 @@
 //!   Algorithm 1) is reused across samples via thread-locals.
 //! * **Storage** ([`prr::arena::PrrArena`]): boostable PRR-graphs are
 //!   flattened into shared arrays — node tables, CSR offsets, packed
-//!   edges (head + boost flag in one `u32`), critical sets — with a
-//!   fixed-size record per graph, so pool sweeps are linear scans instead
-//!   of pointer chases over per-graph allocations. The arrays are built
+//!   edges (head + boost flag in one `u32`), critical sets — built
 //!   **during sampling**: each worker chunk appends Phase-II output
-//!   straight into a [`prr::arena::PrrArenaShard`] (no per-graph heap
-//!   objects), and chunk shards merge into the pool arena by bulk append
-//!   with offset rebasing — converting the finished pool into
-//!   `core::PrrPool` is a move, not a copy stage.
+//!   straight into a [`prr::arena::PrrArenaShard`], and chunk shards
+//!   merge into the pool arena by bulk append with offset rebasing.
 //! * **Selection** ([`prr::select::greedy_delta_selection`]): an inverted
 //!   coverage index maps each node to the PRR-graphs where it heads a
-//!   boost edge; greedy rounds update vote counts incrementally and
-//!   re-traverse only the graphs affected by the picked node. Bit-identical
-//!   to the naive per-round full re-traversal
-//!   ([`prr::select::greedy_delta_selection_naive`]), which property tests
-//!   enforce; `BENCH_prr.json` tracks the measured speedup.
+//!   boost edge; greedy rounds update vote counts incrementally.
+//!   Bit-identical to the naive full re-traversal
+//!   ([`prr::select::greedy_delta_selection_naive`]), which property
+//!   tests enforce; `BENCH_prr.json` tracks the measured speedup.
 //! * **Estimation** (`core::PrrPool`): `Δ̂` / `µ̂` fan out over contiguous
 //!   arena ranges and sum exact per-range counts, skipping tombstoned
 //!   graphs.
@@ -59,8 +113,9 @@
 //!
 //! Sampling dominates the pipeline (minutes) while selection is
 //! milliseconds, so a service over a *changing* network must not rebuild
-//! the pool per change. The [`online`] subsystem keeps a pool live under
-//! edge mutations:
+//! the pool per change. The [`online`] subsystem — driven through
+//! [`engine::Engine::apply_mutations`] — keeps a pool live under edge
+//! mutations:
 //!
 //! * **Mutation epochs** ([`online::mutation::MutationLog`]): probability
 //!   updates, insertions and removals batch into numbered epochs; epoch 0
@@ -70,40 +125,23 @@
 //!   the determinism contract extends to mutation histories, so a
 //!   maintained pool is bit-identical for any thread count.
 //! * **Tombstone lifecycle** ([`prr::arena::PrrArena`]): a stored sample
-//!   is stale iff a mutated edge's endpoint appears in its node table
-//!   (found via the node → graphs [`prr::select::NodeIndex`]); stale
-//!   graphs are tombstoned in place — skipped by estimation and
-//!   selection — and exactly that share is resampled, keeping the
-//!   estimator denominator constant. When tombstones exceed the
-//!   configured fraction ([`online::maintain::MaintainerOptions`]), an
-//!   order-preserving compaction reclaims the bytes; compaction is
-//!   canonicalizing, so the maintained arena stays byte-equal to a
-//!   from-scratch replay ([`online::maintain::rebuild_from_history`], the
-//!   equivalence oracle; `tests/online_pool.rs` asserts it property-wise
-//!   and `exp_online` tracks incremental-vs-rebuild speedup in
+//!   is stale iff a mutated edge's endpoint appears in its node table,
+//!   found via the **incrementally maintained** invalidation index
+//!   (refreshes append entries, queries filter dead graphs, only
+//!   compaction rebuilds); stale graphs are tombstoned in place and
+//!   exactly that share is resampled, keeping the estimator denominator
+//!   constant. Compaction is canonicalizing, so the maintained arena
+//!   stays byte-equal to a from-scratch replay
+//!   ([`online::maintain::rebuild_from_history`], the equivalence
+//!   oracle; `tests/online_pool.rs` asserts it property-wise and
+//!   `exp_online` tracks incremental-vs-rebuild speedup in
 //!   `BENCH_online.json`).
-//!
-//! # Quickstart
-//!
-//! ```
-//! use kboost::graph::{GraphBuilder, NodeId};
-//! use kboost::diffusion::exact::{exact_boost, exact_sigma};
-//!
-//! // Figure 1 of the paper: s → v0 → v1.
-//! let mut b = GraphBuilder::new(3);
-//! b.add_edge(NodeId(0), NodeId(1), 0.2, 0.4).unwrap();
-//! b.add_edge(NodeId(1), NodeId(2), 0.1, 0.2).unwrap();
-//! let g = b.build().unwrap();
-//! let seeds = vec![NodeId(0)];
-//!
-//! assert!((exact_sigma(&g, &seeds, &[]) - 1.22).abs() < 1e-9);
-//! assert!((exact_boost(&g, &seeds, &[NodeId(1)]) - 0.22).abs() < 1e-9);
-//! ```
 
 pub use kboost_baselines as baselines;
 pub use kboost_core as core;
 pub use kboost_datasets as datasets;
 pub use kboost_diffusion as diffusion;
+pub use kboost_engine as engine;
 pub use kboost_graph as graph;
 pub use kboost_online as online;
 pub use kboost_prr as prr;

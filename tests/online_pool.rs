@@ -263,3 +263,94 @@ fn ssa_validation_pool_no_longer_retains_an_arena() {
         "retained validation memory did not drop: {new_retained} vs {old_retained}"
     );
 }
+
+/// The incrementally maintained invalidation index (CSR base + appended
+/// tail, dead graphs filtered at query time, rebuilt only on compaction)
+/// answers `stale_graphs` byte-equal to a from-scratch scan over the
+/// live arena — at every point of a mutation history, for probe batches
+/// it has never applied.
+#[test]
+fn stale_graphs_cached_index_matches_fresh_scan() {
+    use kboost::online::Mutation;
+
+    // Brute-force staleness: scan every live graph's whole node table.
+    fn fresh_scan(m: &PoolMaintainer, mutations: &[Mutation]) -> Vec<u32> {
+        let n = m.graph().num_nodes();
+        let mut touched = vec![false; n];
+        for mu in mutations {
+            let (u, v) = mu.endpoints();
+            touched[u.index()] = true;
+            touched[v.index()] = true;
+        }
+        let arena = m.pool().arena();
+        (0..arena.len() as u32)
+            .filter(|&gi| {
+                if !arena.is_live(gi as usize) {
+                    return false;
+                }
+                let view = arena.graph(gi as usize);
+                (0..view.num_nodes() as u32)
+                    .any(|l| view.global_of(l).is_some_and(|g| touched[g.index()]))
+            })
+            .collect()
+    }
+
+    let g = er_graph(30, 140, 13);
+    let seeds = [NodeId(0)];
+    let mut rng = SmallRng::seed_from_u64(0x1DE7_5EED);
+    // Exercise both compaction regimes: eager (index rebuilt per epoch)
+    // and never (index serves from base + growing tail with tombstones).
+    for threshold in [0.0, 1.0] {
+        let opts = MaintainerOptions {
+            target_samples: 3_000,
+            k: 2,
+            threads: 2,
+            base_seed: 0xCAB,
+            compact_threshold: threshold,
+        };
+        let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts);
+        let history = random_history(&g, 5, &mut rng);
+        // Probe batches the maintainer never applies — pure dry runs.
+        let probes: Vec<Vec<Mutation>> = vec![
+            vec![],
+            vec![Mutation::Remove {
+                from: NodeId(1),
+                to: NodeId(2),
+            }],
+            (0..6u32)
+                .map(|v| Mutation::Remove {
+                    from: NodeId(v),
+                    to: NodeId(v + 1),
+                })
+                .collect(),
+        ];
+        let mut compacted_any = false;
+        let mut tombstoned_any = false;
+        for batch in &history {
+            for probe in &probes {
+                assert_eq!(
+                    m.stale_graphs(probe),
+                    fresh_scan(&m, probe),
+                    "cached index diverged (threshold {threshold}, epoch {})",
+                    m.epoch()
+                );
+            }
+            let report = m.apply_epoch(batch);
+            compacted_any |= report.compacted;
+            tombstoned_any |= report.dead_graphs > 0 || report.invalidated > 0;
+            for probe in &probes {
+                assert_eq!(
+                    m.stale_graphs(probe),
+                    fresh_scan(&m, probe),
+                    "cached index diverged after epoch {} (threshold {threshold})",
+                    m.epoch()
+                );
+            }
+        }
+        // The history must have exercised the interesting transitions.
+        assert!(tombstoned_any, "degenerate history: nothing invalidated");
+        if threshold == 0.0 {
+            assert!(compacted_any, "eager threshold never compacted");
+        }
+    }
+}
