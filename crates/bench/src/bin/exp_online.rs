@@ -38,6 +38,19 @@
 //! first thread count is additionally checked byte-for-byte against the
 //! naive replay oracle (`rebuild_from_history` — incremental == rebuild).
 //!
+//! After the approximate phase (whose recorded numbers are a pure
+//! function of the seeds and therefore stay bit-identical across
+//! footprint-free code changes), the **same mutation history** is
+//! replayed in `Staleness::Exact` mode: per epoch the exact engine's
+//! probe `Δ̂` (`delta_hat_incremental`) is compared against a
+//! from-scratch exact replay of the history prefix
+//! (`delta_hat_rebuild`) — the recorded `drift` is asserted to be
+//! **exactly zero** (the arenas are byte-equal), the approximate pool's
+//! residual drift against the same ground truth is recorded as
+//! `drift_approximate`, and the footprint columns' memory overhead is
+//! reported. The exact run is also re-executed at every thread count
+//! and must be bit-identical.
+//!
 //! ```text
 //! cargo run --release -p kboost-bench --bin exp_online -- \
 //!     [--nodes N] [--samples N] [--k N] [--epochs N] [--churn F] \
@@ -46,7 +59,9 @@
 
 use std::time::Instant;
 
-use kboost_engine::{Algorithm, Engine, EngineBuilder, EpochBatch, MutationLog, Sampling};
+use kboost_engine::{
+    Algorithm, Engine, EngineBuilder, EpochBatch, MutationLog, Sampling, Staleness,
+};
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::{boost_probability, ProbabilityModel};
 use kboost_graph::{DiGraph, EdgeProbs, NodeId};
@@ -121,6 +136,17 @@ fn parse_args() -> OnlineOpts {
 
 /// An online-mode engine over `g` — the maintainer behind one handle.
 fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &OnlineOpts, threads: usize) -> Engine {
+    build_engine_mode(g, seeds, opts, threads, Staleness::Approximate)
+}
+
+/// Same, with an explicit staleness rule (the exact phase).
+fn build_engine_mode(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    opts: &OnlineOpts,
+    threads: usize,
+    staleness: Staleness,
+) -> Engine {
     EngineBuilder::new(g.clone())
         .seeds(seeds.to_vec())
         .k(opts.k)
@@ -130,6 +156,7 @@ fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &OnlineOpts, threads: usize
             samples: opts.samples,
         })
         .compact_threshold(opts.compact_threshold)
+        .staleness(staleness)
         .build()
         .expect("valid engine configuration")
 }
@@ -389,6 +416,7 @@ fn main() {
         threads: primary,
         base_seed: opts.seed,
         compact_threshold: opts.compact_threshold,
+        staleness: Staleness::Approximate,
     };
     let t = Instant::now();
     let (_g, oracle) = rebuild_from_history(&g0, &seeds, &oracle_opts, &history);
@@ -407,6 +435,118 @@ fn main() {
     );
     assert_eq!(final_selection.stats.covered, oracle_selection.covered);
     eprintln!("[oracle] incremental == rebuild (replay verified in {oracle_secs:.2}s)");
+
+    // ---- Exact-staleness phase: same history, drift must be zero -----
+    let exact_opts = MaintainerOptions {
+        staleness: Staleness::Exact,
+        ..oracle_opts
+    };
+    let t = Instant::now();
+    let mut exact_engine = build_engine_mode(&g0, &seeds, &opts, primary, Staleness::Exact);
+    exact_engine.pool().expect("pool built");
+    let exact_build_secs = t.elapsed().as_secs_f64();
+    {
+        let arena = exact_engine.pool().expect("pool built").arena();
+        eprintln!(
+            "[exact epoch 0] built in {exact_build_secs:.2}s; footprints {} KiB over a {} KiB \
+             arena ({:.1}% overhead)",
+            arena.footprint_memory_bytes() / 1024,
+            arena.memory_bytes() / 1024,
+            100.0 * arena.footprint_memory_bytes() as f64 / arena.memory_bytes().max(1) as f64,
+        );
+    }
+
+    struct ExactPoint {
+        epoch: u64,
+        invalidated: u64,
+        invalidated_empty: u64,
+        refresh_secs: f64,
+        oracle_secs: f64,
+        footprint_bytes: usize,
+        footprint_overhead: f64,
+        delta_inc: f64,
+        delta_rebuild: f64,
+        drift: f64,
+        drift_approx: f64,
+    }
+    let mut exact_points: Vec<ExactPoint> = Vec::new();
+    let mut exact_reports = Vec::new();
+    for (i, batch) in history.iter().enumerate() {
+        let t = Instant::now();
+        let report = exact_engine
+            .apply_mutations(batch)
+            .expect("contiguous epoch");
+        let refresh_secs = t.elapsed().as_secs_f64();
+
+        // Ground truth: from-scratch exact replay of the history prefix.
+        let t = Instant::now();
+        let (_g, rebuilt) = rebuild_from_history(&g0, &seeds, &exact_opts, &history[..=i]);
+        let exact_oracle_secs = t.elapsed().as_secs_f64();
+        {
+            let pool = exact_engine.pool().expect("pool built");
+            assert_eq!(pool.total_samples(), rebuilt.total_samples());
+            assert_eq!(pool.empty_samples(), rebuilt.empty_samples());
+            assert!(
+                pool.arena().compacted() == *rebuilt.arena(),
+                "exact incremental diverged from the exact replay at epoch {}",
+                report.epoch
+            );
+        }
+        let probe = probe_set(exact_engine.graph(), &seeds, opts.k);
+        let delta_inc = exact_engine.delta_hat(&probe).expect("pool built");
+        let delta_rebuild = rebuilt.delta_hat(&probe);
+        let drift = (delta_inc - delta_rebuild).abs();
+        assert_eq!(
+            drift, 0.0,
+            "exact staleness must have zero incremental-vs-rebuild drift"
+        );
+        // The approximate phase probed the same (graph, seeds, k) set at
+        // this epoch; its residual gap against the exact ground truth is
+        // the under-detection the exact mode closes.
+        let drift_approx = (points[i].probe_inc - delta_rebuild).abs();
+        let arena = exact_engine.pool().expect("pool built").arena();
+        let footprint_bytes = arena.footprint_memory_bytes();
+        let footprint_overhead = footprint_bytes as f64 / arena.memory_bytes().max(1) as f64;
+        eprintln!(
+            "[exact epoch {}] invalidated {} ({} empty) in {refresh_secs:.2}s; \
+             Δ̂ {delta_inc:.2} == rebuild {delta_rebuild:.2} (drift 0); \
+             approximate pool drifts {drift_approx:.2}",
+            report.epoch, report.invalidated, report.invalidated_empty,
+        );
+        exact_points.push(ExactPoint {
+            epoch: report.epoch,
+            invalidated: report.invalidated,
+            invalidated_empty: report.invalidated_empty,
+            refresh_secs,
+            oracle_secs: exact_oracle_secs,
+            footprint_bytes,
+            footprint_overhead,
+            delta_inc,
+            delta_rebuild,
+            drift,
+            drift_approx,
+        });
+        exact_reports.push(report);
+    }
+
+    // Exact-mode thread determinism: bit-identical reports and arenas.
+    for &threads in &opts.threads[1..] {
+        let mut m = build_engine_mode(&g0, &seeds, &opts, threads, Staleness::Exact);
+        for (batch, expect) in history.iter().zip(&exact_reports) {
+            let report = m.apply_mutations(batch).expect("contiguous epoch");
+            assert_eq!(
+                &report, expect,
+                "exact epoch report differs at {threads} threads (epoch {})",
+                batch.epoch
+            );
+        }
+        assert!(
+            m.pool().expect("pool built").arena()
+                == exact_engine.pool().expect("pool built").arena(),
+            "exact maintained arena differs at {threads} threads vs {primary}"
+        );
+        eprintln!("[exact determinism] {threads} threads: bit-identical to {primary}-thread run");
+    }
 
     let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;
     let min_speedup = points
@@ -438,12 +578,42 @@ fn main() {
             )
         })
         .collect();
+    let exact_epoch_json: Vec<String> = exact_points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"epoch\": {}, \"invalidated\": {}, \"invalidated_empty\": {}, \
+                 \"refresh_secs\": {:.4}, \"rebuild_oracle_secs\": {:.4}, \
+                 \"footprint_bytes\": {}, \"footprint_overhead\": {:.4}, \
+                 \"delta_hat_incremental\": {:.4}, \"delta_hat_rebuild\": {:.4}, \
+                 \"drift\": {:.4}, \"drift_approximate\": {:.4} }}",
+                p.epoch,
+                p.invalidated,
+                p.invalidated_empty,
+                p.refresh_secs,
+                p.oracle_secs,
+                p.footprint_bytes,
+                p.footprint_overhead,
+                p.delta_inc,
+                p.delta_rebuild,
+                p.drift,
+                p.drift_approx,
+            )
+        })
+        .collect();
+    let max_drift = exact_points.iter().map(|p| p.drift).fold(0.0f64, f64::max);
+    let max_drift_approx = exact_points
+        .iter()
+        .map(|p| p.drift_approx)
+        .fold(0.0f64, f64::max);
     let json = format!(
         "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
          \"seed\": {},\n  \"samples\": {},\n  \"churn_target\": {:.2},\n  \
          \"compact_threshold\": {:.2},\n  \"threads\": {:?},\n  \"build_secs\": {:.4},\n  \
          \"boostable_epoch0\": {},\n  \"mean_speedup\": {:.2},\n  \"min_speedup\": {:.2},\n  \
-         \"epochs\": [\n{}\n  ]\n}}\n",
+         \"epochs\": [\n{}\n  ],\n  \"exact\": {{\n    \"staleness\": \"exact\",\n    \
+         \"build_secs\": {:.4},\n    \"max_drift\": {:.4},\n    \
+         \"max_drift_approximate\": {:.4},\n    \"epochs\": [\n{}\n    ]\n  }}\n}}\n",
         g0.num_nodes(),
         g0.num_edges(),
         seeds.len(),
@@ -458,7 +628,12 @@ fn main() {
         mean_speedup,
         min_speedup,
         epoch_json.join(",\n"),
+        exact_build_secs,
+        max_drift,
+        max_drift_approx,
+        exact_epoch_json.join(",\n"),
     );
+    assert_eq!(max_drift, 0.0, "recorded exact-mode drift must be zero");
     std::fs::write(&opts.out, &json).expect("write BENCH_online.json");
     println!("{json}");
     eprintln!("wrote {}", opts.out);

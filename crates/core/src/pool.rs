@@ -90,15 +90,24 @@ impl PrrPool {
     }
 
     /// Records one refresh step of the online maintainer: `invalidated`
-    /// stored samples were tombstoned (each stored graph is one sample of
-    /// the estimator's denominator) and `drawn` fresh samples — of which
-    /// `drawn_empties` produced no stored graph — were absorbed in their
-    /// place. With `drawn == invalidated` the denominator is unchanged and
-    /// the estimators stay unbiased over the refreshed slots.
-    pub fn record_refresh(&mut self, invalidated: u64, drawn: u64, drawn_empties: u64) {
+    /// samples were debited — of which `invalidated_empty` were empty
+    /// samples (only detectable under exact staleness, where their
+    /// footprints are retained) and the rest tombstoned stored graphs —
+    /// and `drawn` fresh samples, `drawn_empties` of them empty, were
+    /// absorbed in their place. With `drawn == invalidated` the
+    /// denominator is unchanged and the estimators stay unbiased over the
+    /// refreshed slots.
+    pub fn record_refresh(
+        &mut self,
+        invalidated: u64,
+        invalidated_empty: u64,
+        drawn: u64,
+        drawn_empties: u64,
+    ) {
         debug_assert!(self.total >= invalidated);
+        debug_assert!(self.empties >= invalidated_empty);
         self.total = self.total - invalidated + drawn;
-        self.empties += drawn_empties;
+        self.empties = self.empties - invalidated_empty + drawn_empties;
     }
 
     /// Host-graph node count.
@@ -279,9 +288,13 @@ mod tests {
             rebuilt.delta_hat(&[NodeId(1)]),
             pool.delta_hat(&[NodeId(1)])
         );
-        rebuilt.record_refresh(10, 10, 4);
+        rebuilt.record_refresh(10, 0, 10, 4);
         assert_eq!(rebuilt.total_samples(), total);
         assert_eq!(rebuilt.empty_samples(), empties + 4);
+        // Exact staleness also debits refreshed empty samples.
+        rebuilt.record_refresh(6, 2, 6, 1);
+        assert_eq!(rebuilt.total_samples(), total);
+        assert_eq!(rebuilt.empty_samples(), empties + 4 - 2 + 1);
     }
 
     #[test]

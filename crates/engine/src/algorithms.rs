@@ -170,6 +170,7 @@ fn pool_stats(engine: &Engine, select_secs: f64, covered: u64) -> SolveStats {
         select_secs,
         build_peak_bytes,
         pool_bytes: pool.memory_bytes(),
+        footprint_bytes: pool.arena().footprint_memory_bytes(),
     }
 }
 
@@ -314,6 +315,7 @@ fn solve_prr_boost_lb(engine: &mut Engine) -> Result<Solution, KboostError> {
             select_secs: 0.0,
             build_peak_bytes: cover_bytes,
             pool_bytes: cover_bytes,
+            footprint_bytes: 0,
         },
     })
 }

@@ -13,6 +13,7 @@
 //! [`KboostError::Config`]: crate::KboostError::Config
 
 use kboost_graph::{DiGraph, NodeId};
+use kboost_online::Staleness;
 
 use crate::algorithms::Algorithm;
 use crate::engine::Engine;
@@ -80,6 +81,10 @@ pub struct EngineConfig {
     /// Online maintenance: compact the arena when the tombstoned fraction
     /// exceeds this threshold.
     pub compact_threshold: f64,
+    /// Online maintenance: the staleness-detection rule (exact modes
+    /// retain per-sample footprints; see
+    /// [`Staleness`]).
+    pub staleness: Staleness,
     /// The algorithm [`Engine::run`](crate::Engine::run) dispatches to.
     pub algorithm: Algorithm,
 }
@@ -115,6 +120,7 @@ pub struct EngineBuilder {
     sampling: Sampling,
     pipeline: Pipeline,
     compact_threshold: f64,
+    staleness: Staleness,
     algorithm: Algorithm,
 }
 
@@ -137,6 +143,7 @@ impl EngineBuilder {
             sampling: Sampling::Imm,
             pipeline: Pipeline::Shard,
             compact_threshold: 0.25,
+            staleness: Staleness::Approximate,
             algorithm: Algorithm::Sandwich,
         }
     }
@@ -217,6 +224,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Online staleness-detection rule (default
+    /// [`Staleness::Approximate`]). The exact modes retain a per-sample
+    /// edge-space footprint so mutations invalidate exactly the samples
+    /// whose generation queried them — zero estimator drift at the cost
+    /// of footprint memory ([`SolveStats::footprint_bytes`]). Requires
+    /// [`Sampling::Fixed`] on the shard pipeline: footprints only pay off
+    /// where a maintainer can refresh, and the legacy oracle pipeline
+    /// does not carry them.
+    ///
+    /// [`SolveStats::footprint_bytes`]: crate::SolveStats::footprint_bytes
+    pub fn staleness(mut self, staleness: Staleness) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
     /// The algorithm [`Engine::run`](crate::Engine::run) dispatches to
     /// (default [`Algorithm::Sandwich`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
@@ -231,8 +253,9 @@ impl EngineBuilder {
     /// an empty graph, an empty / out-of-range / duplicated seed set, a
     /// budget larger than the non-seed population, ε ∉ (0, 1), ℓ ≤ 0
     /// (or δ ∉ (0, 1)), zero threads, a zero fixed sample target, a
-    /// sketch cap below the floor, or a compaction threshold outside
-    /// [0, 1].
+    /// sketch cap below the floor, a compaction threshold outside
+    /// [0, 1], or an exact staleness rule off the fixed-sampling shard
+    /// pipeline (or with an invalid bloom fingerprint width).
     pub fn build(self) -> Result<Engine, KboostError> {
         let n = self.graph.num_nodes();
         if n == 0 {
@@ -322,6 +345,25 @@ impl EngineBuilder {
                 "the legacy oracle pipeline supports Sampling::Fixed only",
             ));
         }
+        if self.staleness.is_exact() {
+            if let Err(message) = self.staleness.footprint_mode().validate() {
+                return Err(config_err("staleness", message));
+            }
+            if self.pipeline == Pipeline::Legacy {
+                return Err(config_err(
+                    "staleness",
+                    "exact staleness needs the shard pipeline: the legacy oracle \
+                     retains no footprints",
+                ));
+            }
+            if !matches!(self.sampling, Sampling::Fixed { .. }) {
+                return Err(config_err(
+                    "staleness",
+                    "exact staleness requires Sampling::Fixed (online mode): footprints \
+                     exist so a maintainer can refresh exactly the invalidated samples",
+                ));
+            }
+        }
 
         let cfg = EngineConfig {
             k: self.k,
@@ -334,6 +376,7 @@ impl EngineBuilder {
             sampling: self.sampling,
             pipeline: self.pipeline,
             compact_threshold: self.compact_threshold,
+            staleness: self.staleness,
             algorithm: self.algorithm,
         };
         Ok(Engine::from_validated(self.graph, self.seeds, cfg))

@@ -327,6 +327,7 @@ impl Engine {
                         threads: self.cfg.threads,
                         base_seed: self.cfg.seed,
                         compact_threshold: self.cfg.compact_threshold,
+                        staleness: self.cfg.staleness,
                     },
                 );
                 self.state = PoolState::Maintained {

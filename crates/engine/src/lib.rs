@@ -72,4 +72,4 @@ pub use solution::{SandwichCertificate, Solution, SolveStats};
 pub use kboost_baselines::WeightedDegree;
 pub use kboost_core::{BudgetPoint, RatioPoint};
 pub use kboost_graph::{DiGraph, EdgeProbs, GraphBuilder, NodeId};
-pub use kboost_online::{EpochBatch, EpochReport, Mutation, MutationLog};
+pub use kboost_online::{EpochBatch, EpochReport, Mutation, MutationLog, Staleness};

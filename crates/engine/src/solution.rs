@@ -52,6 +52,11 @@ pub struct SolveStats {
     pub build_peak_bytes: usize,
     /// Bytes retained by the backing pool after the build.
     pub pool_bytes: usize,
+    /// Bytes of `pool_bytes` held by per-sample staleness footprints —
+    /// the memory cost of an exact
+    /// [`Staleness`](crate::Staleness) rule (0 in approximate mode and
+    /// for pool-free baselines).
+    pub footprint_bytes: usize,
 }
 
 /// What an [`Engine`](crate::Engine) solve returns, uniformly across

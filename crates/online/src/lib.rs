@@ -38,19 +38,53 @@
 //! and its compacted arena is **byte-equal** to the oracle's from-scratch
 //! replay at the same epoch.
 //!
-//! # Staleness rule (and its limits)
+//! # Staleness rules
 //!
-//! A stored sample is invalidated iff a mutated edge's endpoint appears in
-//! its node table — the only footprint a compressed PRR-graph retains.
-//! Samples whose phase-I exploration touched a mutated edge but kept
-//! neither endpoint past compression, and empty (activated / hopeless)
-//! samples, are *not* detected; their slots refresh only when a later
-//! mutation touches them. This is the approximation the subsystem trades
-//! for incremental cost — `exp_online` records the resulting `Δ̂` drift
-//! against a true full rebuild alongside the speedup.
+//! [`Staleness`](maintain::Staleness) picks how stale samples are found:
+//!
+//! * **`Approximate`** (default, zero memory overhead) — a stored sample
+//!   is invalidated iff a mutated edge's endpoint appears in its node
+//!   table, the only footprint a compressed PRR-graph retains. This
+//!   **under-detects**: samples whose phase-I exploration touched a
+//!   mutated edge but kept neither endpoint past compression, and empty
+//!   (activated / hopeless) samples, are never refreshed, so `Δ̂` drifts
+//!   from a fresh pool's distribution as mutations accumulate
+//!   (`exp_online` records the drift against the exact replay).
+//! * **`Exact`** — sampling retains each sample's *edge-space footprint*
+//!   (the sorted set of nodes whose in-edge lists phase I enumerated —
+//!   see `kboost_prr::footprint`), for stored graphs **and** empty
+//!   samples. A mutation of edge `(u, v)` invalidates exactly the
+//!   samples whose footprint contains the head `v` — the samples whose
+//!   generation actually queried the mutated slot. Retained samples are
+//!   therefore bitwise what regeneration over the new graph would
+//!   produce (`tests/online_pool.rs` proves it per sample), and
+//!   `exp_online`'s recorded incremental-vs-rebuild drift is exactly
+//!   zero. The cost is footprint memory, roughly proportional to the
+//!   phase-I exploration size per sample.
+//! * **`ExactBloom { bits }`** — the memory-bound tier: footprints are
+//!   compressed to fixed-size bloom fingerprints. Never misses a stale
+//!   sample, occasionally refreshes an unaffected one (a false positive
+//!   costs one redundant resample, nothing more).
+//!
+//! All three rules are pure functions of the retained bytes and the
+//! batch, so the bit-identity and `incremental == rebuild` byte-equality
+//! contracts hold per mode.
+//!
+//! One statistical caveat is shared by every rule under the current
+//! refresh scheme: invalidated slots are redrawn as *unconditioned*
+//! fresh samples, while the invalidation event itself selects slots
+//! whose traces explored the mutated region — a conditionally
+//! non-average population. The maintained pool is therefore not
+//! identical in distribution to an independently sampled fresh pool
+//! (exact mode removes the under-detection error, which dominates, but
+//! not this redraw-conditioning effect; `tests/estimator_accuracy.rs`
+//! pins both). Closing it needs conditional refresh — per-sample coin
+//! reuse or rejection resampling — tracked on the ROADMAP.
 
 pub mod maintain;
 pub mod mutation;
 
-pub use maintain::{rebuild_from_history, EpochReport, MaintainerOptions, PoolMaintainer};
+pub use maintain::{
+    rebuild_from_history, EpochReport, MaintainerOptions, PoolMaintainer, Staleness,
+};
 pub use mutation::{apply_mutations, EpochBatch, Mutation, MutationLog};

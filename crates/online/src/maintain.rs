@@ -3,13 +3,17 @@
 //! # Lifecycle of one epoch
 //!
 //! 1. the mutated graph is rebuilt ([`apply_mutations`]);
-//! 2. the batch's touched endpoints are matched against every live
-//!    graph's node table through an **incrementally maintained**
-//!    node → graphs invalidation index (CSR [`NodeIndex`] base plus an
-//!    appended tail; see [`PoolMaintainer::stale_graphs`]), yielding the
-//!    stale set in ascending graph order;
-//! 3. stale graphs are [tombstoned](PrrArena::tombstone) — each stored
-//!    graph is one sample of the estimator's denominator, so the pool's
+//! 2. the batch is matched against every live sample under the
+//!    configured [`Staleness`] rule — approximate mode matches mutation
+//!    endpoints against stored node tables through an **incrementally
+//!    maintained** node → graphs invalidation index (CSR [`NodeIndex`]
+//!    base plus an appended tail; see [`PoolMaintainer::stale_graphs`]);
+//!    exact mode matches mutated edge *heads* against the per-sample
+//!    footprints retained at sampling time, stored graphs and empty
+//!    samples alike;
+//! 3. stale entries are [tombstoned](PrrArena::tombstone) (stored graphs)
+//!    or [tombstoned in the empty column](PrrArena::tombstone_empty) —
+//!    each is one sample of the estimator's denominator, so the pool's
 //!    total is debited accordingly;
 //! 4. if tombstones now exceed
 //!    [`compact_threshold`](MaintainerOptions::compact_threshold), the
@@ -22,18 +26,76 @@
 //! mutation history)` — never of the thread count — so maintained pools
 //! are bit-identical across thread counts, and
 //! [`rebuild_from_history`] (the naive replay oracle: legacy per-graph
-//! payloads, a full node-table scan instead of the index, eager filtering
-//! instead of tombstones) reproduces the compacted arena byte for byte.
+//! payloads, full per-sample scans instead of the index, eager filtering
+//! instead of tombstones) reproduces the compacted arena byte for byte —
+//! in every staleness mode.
 
 use kboost_core::PrrPool;
 use kboost_graph::{DiGraph, NodeId};
 use kboost_prr::{
-    greedy_delta_selection, DeltaSelection, LegacyPrrSource, NodeIndex, PrrArena, PrrArenaShard,
+    greedy_delta_selection, DeltaSelection, FootprintColumn, FootprintMode, FootprintQuery,
+    LegacyFpSource, LegacyPrrSource, LegacySample, NodeIndex, PrrArena, PrrArenaShard,
     PrrFullSource,
 };
 use kboost_rrset::sketch::SketchPool;
 
 use crate::mutation::{apply_mutations, EpochBatch, Mutation};
+
+/// How the maintainer decides which retained samples a mutation batch
+/// invalidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Staleness {
+    /// Match mutation endpoints against stored node tables — the original
+    /// rule. Zero memory overhead, but **under-detects**: samples whose
+    /// phase-I exploration touched a mutated edge without keeping either
+    /// endpoint past compression, and empty (activated / hopeless)
+    /// samples, are never refreshed, so the estimator drifts from a fresh
+    /// pool's distribution as mutations accumulate.
+    #[default]
+    Approximate,
+    /// Match mutated edge *heads* against the exact per-sample edge-space
+    /// footprint (sorted expanded-node list) retained at sampling time
+    /// for **every** sample, empty ones included. Detection is exact —
+    /// a sample is refreshed iff its generation queried a mutated edge's
+    /// slot, so every retained sample is bitwise what resampling it over
+    /// the new graph would produce, and the maintained pool equals the
+    /// from-scratch exact replay byte for byte (zero recorded drift).
+    /// The cost is the footprint columns' memory. One statistical caveat
+    /// remains, shared by every staleness rule under this maintainer's
+    /// refresh scheme: invalidated slots are redrawn *unconditioned*,
+    /// while the slots selected for invalidation are conditionally
+    /// different from average (their traces explored the mutated
+    /// region), so the pool is not identical in distribution to an
+    /// independent fresh pool — see the ROADMAP's conditional-refresh
+    /// item and `tests/estimator_accuracy.rs`, which pins both the
+    /// zero-drift guarantee and the residual gap.
+    Exact,
+    /// [`Exact`](Staleness::Exact) with footprints compressed into
+    /// fixed-size bloom fingerprints of `bits` bits per sample (power of
+    /// two ≥ 64): constant memory per sample; false positives refresh a
+    /// few extra samples (harmless) but nothing is ever missed.
+    ExactBloom {
+        /// Bits per fingerprint; must be a power of two ≥ 64.
+        bits: u32,
+    },
+}
+
+impl Staleness {
+    /// The footprint retention the sampling pipeline needs for this rule.
+    pub fn footprint_mode(self) -> FootprintMode {
+        match self {
+            Staleness::Approximate => FootprintMode::Off,
+            Staleness::Exact => FootprintMode::Sorted,
+            Staleness::ExactBloom { bits } => FootprintMode::Bloom { bits },
+        }
+    }
+
+    /// Whether this rule detects stale samples exactly (never
+    /// under-detects).
+    pub fn is_exact(self) -> bool {
+        self != Staleness::Approximate
+    }
+}
 
 /// Tuning knobs of a maintained pool.
 #[derive(Clone, Copy, Debug)]
@@ -46,11 +108,14 @@ pub struct MaintainerOptions {
     pub threads: usize,
     /// Base seed of the epoch-extended determinism contract.
     pub base_seed: u64,
-    /// Compact the arena when the tombstoned fraction of stored graphs
+    /// Compact the arena when the tombstoned fraction of retained entries
     /// exceeds this threshold (`0.0` compacts every epoch that tombstones
     /// anything; `1.0` never compacts). Compaction only reclaims memory —
     /// live content and estimates are unaffected.
     pub compact_threshold: f64,
+    /// The staleness-detection rule (default
+    /// [`Staleness::Approximate`], the original node-table heuristic).
+    pub staleness: Staleness,
 }
 
 impl Default for MaintainerOptions {
@@ -61,6 +126,7 @@ impl Default for MaintainerOptions {
             threads: 8,
             base_seed: 0x0B00_57ED,
             compact_threshold: 0.25,
+            staleness: Staleness::Approximate,
         }
     }
 }
@@ -73,8 +139,12 @@ impl Default for MaintainerOptions {
 pub struct EpochReport {
     /// The epoch this report describes.
     pub epoch: u64,
-    /// Stale stored graphs tombstoned (== samples debited and redrawn).
+    /// Stale samples debited and redrawn: tombstoned stored graphs plus
+    /// — under exact staleness — invalidated empty samples.
     pub invalidated: u64,
+    /// The empty-sample share of `invalidated` (always 0 under
+    /// [`Staleness::Approximate`], which cannot see empty samples).
+    pub invalidated_empty: u64,
     /// Redrawn samples that stored a replacement graph.
     pub drawn_stored: u64,
     /// Redrawn samples that came up empty (activated / hopeless).
@@ -87,40 +157,43 @@ pub struct EpochReport {
     pub dead_graphs: u64,
 }
 
-/// The node → graphs invalidation index, maintained incrementally across
-/// epochs instead of rebuilt from scratch per refresh.
+/// A node → items invalidation index, maintained incrementally across
+/// epochs instead of rebuilt from scratch per refresh. "Items" are
+/// stored-graph indices (entries from node tables in approximate mode,
+/// from footprints in exact mode) or empty-sample indices (exact mode's
+/// empty-footprint column).
 ///
 /// * `base` is a CSR [`NodeIndex`] over the arena as of the last full
-///   (re)build; it may reference graphs that were tombstoned since, so
-///   queries filter on [`PrrArena::is_live`].
-/// * `extra` holds the `(node, graph)` pairs of samples absorbed after
-///   the base was built — refreshes *append* here in graph order rather
+///   (re)build; it may reference items that were tombstoned since, so
+///   queries filter on liveness.
+/// * `extra` holds the `(node, item)` pairs of samples absorbed after
+///   the base was built — refreshes *append* here in item order rather
 ///   than paying the linear-in-arena rebuild. When the tail outgrows the
-///   base ([`append_absorbed`](Self::append_absorbed)) it is folded back
-///   in by a rebuild, so a never-compacting maintainer (threshold 1.0)
-///   still holds at most ~2× the live entries and dry-run scans stay
-///   bounded.
-/// * Compaction renumbers graphs, so it is the one event that
-///   invalidates the whole index (the maintainer drops it and rebuilds
-///   lazily on next use).
+///   base ([`needs_fold`](Self::needs_fold)) it is folded back in by a
+///   rebuild, so a never-compacting maintainer (threshold 1.0) still
+///   holds at most ~2× the live entries and dry-run scans stay bounded.
+/// * Compaction renumbers items, so it is the one event that invalidates
+///   the whole index (the maintainer drops it and rebuilds lazily on
+///   next use).
 struct InvalidationIndex {
     base: NodeIndex,
     extra: Vec<(u32, u32)>,
 }
 
 impl InvalidationIndex {
-    /// Full build over the live graphs of `arena` (node universe `n`).
-    fn rebuild(arena: &PrrArena, n: usize) -> Self {
+    /// Full build over the live items `0..count` (node universe `n`).
+    /// `emit_nodes(i, f)` must call `f` with every node filed under item
+    /// `i`; it is invoked twice per item (CSR count + scatter passes).
+    fn rebuild(
+        n: usize,
+        count: usize,
+        live: impl Fn(usize) -> bool,
+        emit_nodes: impl Fn(usize, &mut dyn FnMut(u32)),
+    ) -> Self {
         let base = NodeIndex::build(n, |emit| {
-            for gi in 0..arena.len() {
-                if !arena.is_live(gi) {
-                    continue;
-                }
-                let view = arena.graph(gi);
-                for l in 0..view.num_nodes() as u32 {
-                    if let Some(g) = view.global_of(l) {
-                        emit(g, gi as u32);
-                    }
+            for i in 0..count {
+                if live(i) {
+                    emit_nodes(i, &mut |v| emit(NodeId(v), i as u32));
                 }
             }
         });
@@ -130,51 +203,127 @@ impl InvalidationIndex {
         }
     }
 
-    /// Appends the node-table entries of the freshly absorbed graphs
-    /// `range` (arena indices) to the incremental tail, folding the tail
-    /// back into the CSR base once it outgrows it (keeps the index — and
-    /// every dry-run scan over `extra` — bounded even if compaction
-    /// never fires).
-    fn append_absorbed(&mut self, arena: &PrrArena, range: std::ops::Range<usize>, n: usize) {
-        for gi in range {
-            let view = arena.graph(gi);
-            for l in 0..view.num_nodes() as u32 {
-                if let Some(g) = view.global_of(l) {
-                    self.extra.push((g.0, gi as u32));
-                }
-            }
-        }
-        if self.extra.len() > self.base.len().max(1024) {
-            *self = InvalidationIndex::rebuild(arena, n);
+    /// Appends the entries of freshly absorbed items `range` to the
+    /// incremental tail.
+    fn append(
+        &mut self,
+        range: std::ops::Range<usize>,
+        emit_nodes: impl Fn(usize, &mut dyn FnMut(u32)),
+    ) {
+        for i in range {
+            emit_nodes(i, &mut |v| self.extra.push((v, i as u32)));
         }
     }
 
-    /// The live graphs whose node table holds a touched node, in
-    /// ascending graph order — dead graphs are filtered here, at query
-    /// time, which is what lets tombstoning skip index surgery.
-    fn stale(&self, touched: &[bool], arena: &PrrArena) -> Vec<u32> {
-        let mut is_stale = vec![false; arena.len()];
+    /// Whether the incremental tail outgrew the CSR base — the caller
+    /// folds it back in with a [`rebuild`](Self::rebuild).
+    fn needs_fold(&self) -> bool {
+        self.extra.len() > self.base.len().max(1024)
+    }
+
+    /// The live items filed under a touched node, in ascending item
+    /// order — dead items are filtered here, at query time, which is
+    /// what lets tombstoning skip index surgery.
+    fn stale(&self, touched: &[bool], count: usize, live: impl Fn(usize) -> bool) -> Vec<u32> {
+        let mut is_stale = vec![false; count];
         let mut stale: Vec<u32> = Vec::new();
         for (v, &hit) in touched.iter().enumerate() {
             if !hit {
                 continue;
             }
-            for &gi in self.base.items_of(NodeId(v as u32)) {
-                if arena.is_live(gi as usize) && !is_stale[gi as usize] {
-                    is_stale[gi as usize] = true;
-                    stale.push(gi);
+            for &i in self.base.items_of(NodeId(v as u32)) {
+                if live(i as usize) && !is_stale[i as usize] {
+                    is_stale[i as usize] = true;
+                    stale.push(i);
                 }
             }
         }
-        for &(v, gi) in &self.extra {
-            if touched[v as usize] && arena.is_live(gi as usize) && !is_stale[gi as usize] {
-                is_stale[gi as usize] = true;
-                stale.push(gi);
+        for &(v, i) in &self.extra {
+            if touched[v as usize] && live(i as usize) && !is_stale[i as usize] {
+                is_stale[i as usize] = true;
+                stale.push(i);
             }
         }
         stale.sort_unstable();
         stale
     }
+}
+
+/// Emits the staleness-relevant nodes of stored graph `gi` under the
+/// given rule: the node table (approximate) or the retained footprint
+/// (exact sorted). Bloom fingerprints are one-way and never indexed —
+/// bloom queries scan instead.
+fn graph_entry_nodes(arena: &PrrArena, staleness: Staleness, gi: usize, emit: &mut dyn FnMut(u32)) {
+    match staleness {
+        Staleness::Approximate => {
+            let view = arena.graph(gi);
+            for l in 0..view.num_nodes() as u32 {
+                if let Some(g) = view.global_of(l) {
+                    emit(g.0);
+                }
+            }
+        }
+        Staleness::Exact => {
+            for &v in arena.footprints().nodes(gi).expect("sorted footprints") {
+                emit(v);
+            }
+        }
+        Staleness::ExactBloom { .. } => unreachable!("bloom staleness never builds an index"),
+    }
+}
+
+/// The nodes a mutation batch *touches* under the given rule: both
+/// endpoints for the node-table heuristic, edge heads only for exact
+/// footprints (the head is the one node whose in-edge list a mutation
+/// changes — see `kboost_prr::footprint`).
+fn touched_nodes(mutations: &[Mutation], staleness: Staleness, n: usize) -> Vec<bool> {
+    let mut touched = vec![false; n];
+    for m in mutations {
+        let (u, v) = m.endpoints();
+        if !staleness.is_exact() {
+            touched[u.index()] = true;
+        }
+        touched[v.index()] = true;
+    }
+    touched
+}
+
+/// The mutated edge heads of a batch, deduplicated (exact-rule queries).
+fn mutation_heads(mutations: &[Mutation]) -> Vec<u32> {
+    let mut heads: Vec<u32> = mutations.iter().map(|m| m.endpoints().1 .0).collect();
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+}
+
+/// Emits the retained footprint nodes of empty sample `i` — the
+/// empty-column counterpart of [`graph_entry_nodes`] (exact sorted mode
+/// only).
+fn empty_entry_nodes(arena: &PrrArena, i: usize, emit: &mut dyn FnMut(u32)) {
+    for &v in arena
+        .empty_footprints()
+        .nodes(i)
+        .expect("sorted footprints")
+    {
+        emit(v);
+    }
+}
+
+/// Bloom-tier staleness: scan the live fingerprints of `column` against
+/// a prepared query (fingerprints are one-way, so there is no index to
+/// consult) — shared by the stored-graph and empty-sample paths.
+fn bloom_stale_scan(
+    column: &FootprintColumn,
+    count: usize,
+    live: impl Fn(usize) -> bool,
+    mutations: &[Mutation],
+    mode: FootprintMode,
+    n: usize,
+) -> Vec<u32> {
+    let q = FootprintQuery::new(mode, &mutation_heads(mutations), n);
+    (0..count as u32)
+        .filter(|&i| live(i as usize) && column.matches(&q, i as usize))
+        .collect()
 }
 
 /// A PRR pool kept consistent with an evolving graph.
@@ -184,23 +333,42 @@ pub struct PoolMaintainer {
     opts: MaintainerOptions,
     pool: PrrPool,
     epoch: u64,
-    /// Built lazily on the first staleness query, so purely offline
-    /// consumers of the fixed-size pool (perf sweeps, one-shot solves)
-    /// never pay for or retain it. `None` also encodes "invalidated by
-    /// compaction".
+    /// Stored-graph invalidation index, built lazily on the first
+    /// staleness query, so purely offline consumers of the fixed-size
+    /// pool (perf sweeps, one-shot solves) never pay for or retain it.
+    /// `None` also encodes "invalidated by compaction". Bloom staleness
+    /// never builds one (fingerprints are scanned, not indexed).
     index: Option<InvalidationIndex>,
+    /// Empty-sample invalidation index ([`Staleness::Exact`] only), same
+    /// lifecycle as `index`.
+    empty_index: Option<InvalidationIndex>,
     build_peak_bytes: usize,
 }
 
 impl PoolMaintainer {
     /// Builds the epoch-0 pool: `target_samples` drawn over `graph`
     /// through the streaming shard pipeline, bit-identical to an offline
-    /// [`SketchPool`] build with the same base seed.
+    /// [`SketchPool`] build with the same base seed (footprint capture,
+    /// when the staleness rule retains one, consumes no randomness).
+    ///
+    /// # Panics
+    /// Panics if the staleness rule's footprint parameters are invalid
+    /// (an [`ExactBloom`](Staleness::ExactBloom) width that is not a
+    /// power of two ≥ 64) — the engine API validates this up front and
+    /// returns a typed error instead.
     pub fn build(graph: DiGraph, seeds: Vec<NodeId>, opts: MaintainerOptions) -> Self {
+        if let Err(message) = opts.staleness.footprint_mode().validate() {
+            panic!("invalid staleness configuration: {message}");
+        }
         let mut sketches: SketchPool<PrrArenaShard> =
             SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
         sketches.extend_to(
-            &PrrFullSource::new(&graph, &seeds, opts.k),
+            &PrrFullSource::with_footprints(
+                &graph,
+                &seeds,
+                opts.k,
+                opts.staleness.footprint_mode(),
+            ),
             opts.target_samples,
         );
         let build_peak_bytes = sketches.shard().memory_bytes() + sketches.cover_memory_bytes();
@@ -212,6 +380,7 @@ impl PoolMaintainer {
             pool,
             epoch: 0,
             index: None,
+            empty_index: None,
             build_peak_bytes,
         }
     }
@@ -258,40 +427,91 @@ impl PoolMaintainer {
         )
     }
 
-    /// Live stored graphs whose node table contains an endpoint of any of
-    /// `mutations`, in ascending graph order — the staleness rule, also
-    /// usable as a dry run to size a batch before sealing it.
+    /// Live stored graphs `mutations` would invalidate under the
+    /// configured [`Staleness`] rule, in ascending graph order — also
+    /// usable as a dry run to size a batch before sealing it. (Exact
+    /// modes additionally refresh stale *empty* samples — see
+    /// [`stale_empty_samples`](Self::stale_empty_samples) — which this
+    /// stored-graph view does not list.)
     ///
-    /// Answered from the **incrementally maintained** node → graphs
-    /// [`NodeIndex`], built lazily on first use: refreshes append the
-    /// absorbed samples' entries (folding the tail into the CSR base
-    /// when it outgrows it), tombstoned graphs are filtered at query
-    /// time, and compaction invalidates the cache wholesale. A dry run
-    /// therefore costs `O(n + index-hit scan + appended tail)` in
-    /// scratch flags and lookups — no node-table traversal of the arena,
-    /// which the pre-index implementation paid on every call.
+    /// Approximate and exact-sorted rules answer from an **incrementally
+    /// maintained** node → samples [`NodeIndex`], built lazily on first
+    /// use: refreshes append the absorbed samples' entries (folding the
+    /// tail into the CSR base when it outgrows it), tombstoned samples
+    /// are filtered at query time, and compaction invalidates the cache
+    /// wholesale. A dry run therefore costs
+    /// `O(n + index-hit scan + appended tail)` in scratch flags and
+    /// lookups. The bloom tier stores one-way fingerprints that cannot be
+    /// inverted into an index, so it scans the live fingerprints instead
+    /// (a handful of bit tests each).
     ///
     /// # Panics
     /// Panics if a mutation endpoint is outside the graph's node
     /// universe (the engine API validates this up front and returns a
     /// typed error instead).
     pub fn stale_graphs(&mut self, mutations: &[Mutation]) -> Vec<u32> {
-        let n = self.graph.num_nodes();
-        let mut touched = vec![false; n];
-        let mut any = false;
-        for m in mutations {
-            let (u, v) = m.endpoints();
-            touched[u.index()] = true;
-            touched[v.index()] = true;
-            any = true;
-        }
-        if !any {
+        if mutations.is_empty() {
             return Vec::new();
         }
-        let index = self
-            .index
-            .get_or_insert_with(|| InvalidationIndex::rebuild(self.pool.arena(), n));
-        index.stale(&touched, self.pool.arena())
+        let n = self.graph.num_nodes();
+        let staleness = self.opts.staleness;
+        let arena = self.pool.arena();
+        if let Staleness::ExactBloom { .. } = staleness {
+            return bloom_stale_scan(
+                arena.footprints(),
+                arena.len(),
+                |i| arena.is_live(i),
+                mutations,
+                staleness.footprint_mode(),
+                n,
+            );
+        }
+        let touched = touched_nodes(mutations, staleness, n);
+        let index = self.index.get_or_insert_with(|| {
+            InvalidationIndex::rebuild(
+                n,
+                arena.len(),
+                |i| arena.is_live(i),
+                |i, emit| graph_entry_nodes(arena, staleness, i, emit),
+            )
+        });
+        index.stale(&touched, arena.len(), |i| arena.is_live(i))
+    }
+
+    /// Live *empty* samples (activated / hopeless / cover-less — counted
+    /// in the estimator's denominator but storing no graph) that
+    /// `mutations` would invalidate, in ascending empty-column order.
+    /// Always empty under [`Staleness::Approximate`], which retains no
+    /// trace of empty samples and therefore can never refresh them — the
+    /// under-detection the exact modes exist to close.
+    pub fn stale_empty_samples(&mut self, mutations: &[Mutation]) -> Vec<u32> {
+        if mutations.is_empty() || !self.opts.staleness.is_exact() {
+            return Vec::new();
+        }
+        let n = self.graph.num_nodes();
+        let staleness = self.opts.staleness;
+        let arena = self.pool.arena();
+        let count = arena.num_empty_footprints();
+        if let Staleness::ExactBloom { .. } = staleness {
+            return bloom_stale_scan(
+                arena.empty_footprints(),
+                count,
+                |i| arena.empty_is_live(i),
+                mutations,
+                staleness.footprint_mode(),
+                n,
+            );
+        }
+        let touched = touched_nodes(mutations, staleness, n);
+        let index = self.empty_index.get_or_insert_with(|| {
+            InvalidationIndex::rebuild(
+                n,
+                count,
+                |i| arena.empty_is_live(i),
+                |i, emit| empty_entry_nodes(arena, i, emit),
+            )
+        });
+        index.stale(&touched, count, |i| arena.empty_is_live(i))
     }
 
     /// Applies one sealed epoch: mutates the graph, tombstones the stale
@@ -309,44 +529,79 @@ impl PoolMaintainer {
         );
         self.graph = apply_mutations(&self.graph, &batch.mutations);
         let stale = self.stale_graphs(&batch.mutations);
+        let stale_empty = self.stale_empty_samples(&batch.mutations);
         self.epoch = batch.epoch;
 
         let arena = self.pool.arena_mut();
         for &gi in &stale {
             // Tombstoning needs no index surgery: queries filter dead
-            // graphs on the fly.
+            // samples on the fly.
             arena.tombstone(gi as usize);
+        }
+        for &ei in &stale_empty {
+            arena.tombstone_empty(ei as usize);
         }
         let compacted = arena.dead_fraction() > self.opts.compact_threshold;
         if compacted {
             arena.compact();
-            // Compaction renumbers the surviving graphs — the one event
-            // that invalidates the cached index wholesale. Dropped here,
-            // rebuilt lazily by the next staleness query.
+            // Compaction renumbers the surviving samples — the one event
+            // that invalidates the cached indices wholesale. Dropped
+            // here, rebuilt lazily by the next staleness query.
             self.index = None;
+            self.empty_index = None;
         }
 
-        let invalidated = stale.len() as u64;
+        let invalidated_empty = stale_empty.len() as u64;
+        let invalidated = stale.len() as u64 + invalidated_empty;
         let (drawn_stored, drawn_empty) = if invalidated > 0 {
             let mut refresh: SketchPool<PrrArenaShard> =
                 SketchPool::with_epoch(self.opts.base_seed, self.epoch, self.opts.threads);
             refresh.extend_to(
-                &PrrFullSource::new(&self.graph, &self.seeds, self.opts.k),
+                &PrrFullSource::with_footprints(
+                    &self.graph,
+                    &self.seeds,
+                    self.opts.k,
+                    self.opts.staleness.footprint_mode(),
+                ),
                 invalidated,
             );
             let (_covers, shard, drawn, empties) = refresh.into_parts();
             debug_assert_eq!(drawn, invalidated);
-            let absorbed_from = self.pool.arena().len();
+            let absorbed_graphs_from = self.pool.arena().len();
+            let absorbed_empties_from = self.pool.arena().num_empty_footprints();
             self.pool.arena_mut().absorb_shard(shard);
-            let absorbed_to = self.pool.arena().len();
+            let arena = self.pool.arena();
+            let n = self.graph.num_nodes();
+            let staleness = self.opts.staleness;
             if let Some(index) = &mut self.index {
-                index.append_absorbed(
-                    self.pool.arena(),
-                    absorbed_from..absorbed_to,
-                    self.graph.num_nodes(),
-                );
+                index.append(absorbed_graphs_from..arena.len(), |i, emit| {
+                    graph_entry_nodes(arena, staleness, i, emit)
+                });
+                if index.needs_fold() {
+                    *index = InvalidationIndex::rebuild(
+                        n,
+                        arena.len(),
+                        |i| arena.is_live(i),
+                        |i, emit| graph_entry_nodes(arena, staleness, i, emit),
+                    );
+                }
             }
-            self.pool.record_refresh(invalidated, drawn, empties);
+            if let Some(index) = &mut self.empty_index {
+                index.append(
+                    absorbed_empties_from..arena.num_empty_footprints(),
+                    |i, emit| empty_entry_nodes(arena, i, emit),
+                );
+                if index.needs_fold() {
+                    *index = InvalidationIndex::rebuild(
+                        n,
+                        arena.num_empty_footprints(),
+                        |i| arena.empty_is_live(i),
+                        |i, emit| empty_entry_nodes(arena, i, emit),
+                    );
+                }
+            }
+            self.pool
+                .record_refresh(invalidated, invalidated_empty, drawn, empties);
             (drawn - empties, empties)
         } else {
             (0, 0)
@@ -355,6 +610,7 @@ impl PoolMaintainer {
         EpochReport {
             epoch: self.epoch,
             invalidated,
+            invalidated_empty,
             drawn_stored,
             drawn_empty,
             compacted,
@@ -365,18 +621,36 @@ impl PoolMaintainer {
 }
 
 /// The equivalence oracle: replays the same mutation history from scratch
-/// through the **legacy** pipeline — per-graph [`CompressedPrr`] payloads
-/// (`LegacyPrrSource` draws the exact randomness of the shard source), a
-/// naive full node-table scan for staleness, eager filtering instead of
-/// tombstones, and a final [`PrrArena::from_graphs`] copy build. Returns
-/// the epoch-`history.len()` graph and pool.
+/// through the **legacy** pipeline, under the same [`Staleness`] rule as
+/// `opts` — per-graph [`CompressedPrr`] payloads (the legacy sources draw
+/// the exact randomness of the shard source), naive full per-sample scans
+/// for staleness, eager filtering instead of tombstones, and a final
+/// per-graph copy build. Returns the epoch-`history.len()` graph and
+/// pool.
 ///
 /// The maintained pool's compacted arena must be byte-equal to this
-/// pool's arena, and all estimates and selections must agree — the
-/// property `tests/online_pool.rs` asserts.
+/// pool's arena (footprint columns included in exact modes), and all
+/// estimates and selections must agree — the property
+/// `tests/online_pool.rs` asserts.
 ///
 /// [`CompressedPrr`]: kboost_prr::CompressedPrr
 pub fn rebuild_from_history(
+    graph0: &DiGraph,
+    seeds: &[NodeId],
+    opts: &MaintainerOptions,
+    history: &[EpochBatch],
+) -> (DiGraph, PrrPool) {
+    match opts.staleness {
+        Staleness::Approximate => rebuild_approximate(graph0, seeds, opts, history),
+        Staleness::Exact | Staleness::ExactBloom { .. } => {
+            rebuild_exact(graph0, seeds, opts, history)
+        }
+    }
+}
+
+/// Approximate-rule replay: node-table scans, stored graphs only (the
+/// original oracle, byte-for-byte).
+fn rebuild_approximate(
     graph0: &DiGraph,
     seeds: &[NodeId],
     opts: &MaintainerOptions,
@@ -395,12 +669,7 @@ pub fn rebuild_from_history(
 
     for batch in history {
         g = apply_mutations(&g, &batch.mutations);
-        let mut touched = vec![false; n];
-        for m in &batch.mutations {
-            let (u, v) = m.endpoints();
-            touched[u.index()] = true;
-            touched[v.index()] = true;
-        }
+        let touched = touched_nodes(&batch.mutations, Staleness::Approximate, n);
         // Naive staleness: scan every retained graph's whole node table.
         let before = payloads.len();
         payloads.retain(|c| {
@@ -429,6 +698,74 @@ pub fn rebuild_from_history(
     )
 }
 
+/// Exact-rule replay: every sample — stored or empty — is retained as a
+/// [`LegacySample`] with its raw footprint, scanned eagerly per epoch
+/// under the same footprint verdict the arena columns give
+/// ([`FootprintColumn::raw_matches`], so the bloom tier's false positives
+/// reproduce bit-for-bit), and the final arena is copy-built with the
+/// footprint columns in place.
+fn rebuild_exact(
+    graph0: &DiGraph,
+    seeds: &[NodeId],
+    opts: &MaintainerOptions,
+    history: &[EpochBatch],
+) -> (DiGraph, PrrPool) {
+    let mode = opts.staleness.footprint_mode();
+    let n = graph0.num_nodes();
+    let mut g = graph0.clone();
+
+    let mut pool: SketchPool<Vec<LegacySample>> =
+        SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+    pool.extend_to(&LegacyFpSource::new(&g, seeds, opts.k), opts.target_samples);
+    let (_covers, mut samples, mut total, mut empties) = pool.into_parts();
+
+    for batch in history {
+        g = apply_mutations(&g, &batch.mutations);
+        let q = FootprintQuery::new(mode, &mutation_heads(&batch.mutations), n);
+        let mut invalidated = 0u64;
+        let mut invalidated_empty = 0u64;
+        samples.retain(|s| {
+            let (footprint, is_empty) = match s {
+                LegacySample::Stored { footprint, .. } => (footprint, false),
+                LegacySample::Empty { footprint } => (footprint, true),
+            };
+            if FootprintColumn::raw_matches(mode, footprint, &q) {
+                invalidated += 1;
+                invalidated_empty += is_empty as u64;
+                false
+            } else {
+                true
+            }
+        });
+        total -= invalidated;
+        empties -= invalidated_empty;
+
+        if invalidated > 0 {
+            let mut refresh: SketchPool<Vec<LegacySample>> =
+                SketchPool::with_epoch(opts.base_seed, batch.epoch, opts.threads);
+            refresh.extend_to(&LegacyFpSource::new(&g, seeds, opts.k), invalidated);
+            let (_c, extra, drawn, e) = refresh.into_parts();
+            samples.extend(extra);
+            total += drawn;
+            empties += e;
+        }
+    }
+
+    let mut arena = PrrArena::new();
+    for s in &samples {
+        match s {
+            LegacySample::Stored { graph, footprint } => {
+                arena.push_with_footprint(graph, footprint, mode)
+            }
+            LegacySample::Empty { footprint } => arena.push_empty_footprint(footprint, mode),
+        }
+    }
+    (
+        g,
+        PrrPool::from_raw_parts(arena, n, total, empties, opts.threads),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +779,7 @@ mod tests {
             threads,
             base_seed: 0xCAFE,
             compact_threshold: 0.25,
+            staleness: Staleness::Approximate,
         }
     }
 
@@ -527,6 +865,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "invalid staleness configuration")]
+    fn invalid_bloom_width_is_rejected_at_build() {
+        let mut opts = quick_opts(100, 1);
+        opts.staleness = Staleness::ExactBloom { bits: 48 };
+        let _ = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+    }
+
+    #[test]
     #[should_panic(expected = "contiguously")]
     fn skipping_an_epoch_panics() {
         let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 1));
@@ -564,6 +910,122 @@ mod tests {
         assert_eq!(
             eager.pool().delta_hat(&[NodeId(1), NodeId(2)]),
             lazy.pool().delta_hat(&[NodeId(1), NodeId(2)])
+        );
+    }
+
+    /// Seed 0 → x (always live) → root (boost-only): phase-II merges `x`
+    /// into the super-seed, so the stored node table retains neither
+    /// endpoint of the live edge — the approximate rule's blind spot.
+    fn compressed_away() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_mode_detects_compressed_away_footprints() {
+        let remove = Mutation::Remove {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        let mut approx =
+            PoolMaintainer::build(compressed_away(), vec![NodeId(0)], quick_opts(900, 2));
+        let mut exact_opts = quick_opts(900, 2);
+        exact_opts.staleness = Staleness::Exact;
+        let mut exact = PoolMaintainer::build(compressed_away(), vec![NodeId(0)], exact_opts);
+        assert!(exact.pool().num_boostable() > 0, "degenerate pool");
+
+        // The approximate rule sees only the node table {super, root}:
+        // the mutated endpoints 0 and 1 appear in no retained table, so
+        // nothing is detected — the documented under-detection.
+        assert!(approx.stale_graphs(&[remove]).is_empty());
+        assert!(approx.stale_empty_samples(&[remove]).is_empty());
+        // The exact rule sees the footprint {x, root} of every stored
+        // graph (x was expanded during phase I) and the footprint {x} of
+        // every root-x activated sample.
+        assert_eq!(
+            exact.stale_graphs(&[remove]).len(),
+            exact.pool().num_boostable()
+        );
+        assert!(!exact.stale_empty_samples(&[remove]).is_empty());
+
+        // Applying the removal: with the live edge gone nothing reaches
+        // the root, so the true Δ({root}) is 0. The exact pool refreshes
+        // to that truth; the approximate pool keeps serving stale graphs.
+        let mut log = MutationLog::new();
+        log.remove_edge(NodeId(0), NodeId(1));
+        let batch = log.seal_epoch();
+        let report_a = approx.apply_epoch(&batch);
+        let report_e = exact.apply_epoch(&batch);
+        assert_eq!(report_a.invalidated, 0);
+        assert!(report_e.invalidated > 0);
+        assert!(report_e.invalidated_empty > 0);
+        assert_eq!(
+            report_e.invalidated,
+            report_e.drawn_stored + report_e.drawn_empty
+        );
+        assert!(approx.pool().delta_hat(&[NodeId(2)]) > 0.0, "stale Δ̂ kept");
+        assert_eq!(exact.pool().delta_hat(&[NodeId(2)]), 0.0);
+        assert_eq!(exact.pool().total_samples(), 900);
+    }
+
+    #[test]
+    fn exact_modes_match_their_replay_oracle() {
+        for staleness in [Staleness::Exact, Staleness::ExactBloom { bits: 128 }] {
+            let mut opts = quick_opts(1_000, 3);
+            opts.staleness = staleness;
+            let g0 = two_paths();
+            let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts);
+            let mut log = MutationLog::new();
+            log.set_probs(NodeId(0), NodeId(1), EdgeProbs::new(0.2, 0.8).unwrap());
+            let b1 = log.seal_epoch();
+            log.remove_edge(NodeId(2), NodeId(4));
+            log.insert_edge(NodeId(4), NodeId(2), EdgeProbs::new(0.3, 0.6).unwrap());
+            let b2 = log.seal_epoch();
+            m.apply_epoch(&b1);
+            m.apply_epoch(&b2);
+
+            let (g_oracle, oracle) = rebuild_from_history(&g0, &[NodeId(0)], &opts, &[b1, b2]);
+            assert_eq!(g_oracle.num_edges(), m.graph().num_edges());
+            assert_eq!(oracle.total_samples(), m.pool().total_samples());
+            assert_eq!(oracle.empty_samples(), m.pool().empty_samples());
+            assert!(
+                m.pool().arena().compacted() == *oracle.arena(),
+                "arena (footprint columns included) diverged under {staleness:?}"
+            );
+            for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(1), NodeId(2)]] {
+                assert_eq!(m.pool().delta_hat(&set), oracle.delta_hat(&set));
+                assert_eq!(m.pool().mu_hat(&set), oracle.mu_hat(&set));
+            }
+            assert_eq!(
+                m.select(2),
+                greedy_delta_selection(oracle.arena(), 5, 2, opts.threads)
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_capture_leaves_sampling_streams_unchanged() {
+        // Same seed, footprints on vs off: identical covers, counters and
+        // stored-graph content — capture must consume no randomness.
+        let opts_off = quick_opts(1_500, 2);
+        let mut opts_on = opts_off;
+        opts_on.staleness = Staleness::Exact;
+        let off = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_off);
+        let on = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_on);
+        assert_eq!(off.pool().total_samples(), on.pool().total_samples());
+        assert_eq!(off.pool().empty_samples(), on.pool().empty_samples());
+        assert_eq!(off.pool().num_boostable(), on.pool().num_boostable());
+        for set in [vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(3), NodeId(4)]] {
+            assert_eq!(off.pool().delta_hat(&set), on.pool().delta_hat(&set));
+            assert_eq!(off.pool().mu_hat(&set), on.pool().mu_hat(&set));
+        }
+        assert_eq!(off.pool().arena().footprint_memory_bytes(), 0);
+        assert!(on.pool().arena().footprint_memory_bytes() > 0);
+        assert_eq!(
+            on.pool().arena().num_empty_footprints() as u64,
+            on.pool().empty_samples()
         );
     }
 

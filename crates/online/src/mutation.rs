@@ -257,6 +257,53 @@ mod tests {
     }
 
     #[test]
+    fn upsert_then_remove_in_one_batch_removes() {
+        // Last-write-wins *within* a batch: an Upsert followed by a
+        // Remove of the same edge leaves the edge absent, whether the
+        // edge pre-existed or was introduced by the Upsert itself.
+        let batch = [
+            Mutation::Upsert {
+                from: NodeId(0),
+                to: NodeId(1), // pre-existing edge: update, then drop
+                probs: probs(0.9, 0.95),
+            },
+            Mutation::Remove {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            Mutation::Upsert {
+                from: NodeId(2),
+                to: NodeId(3), // fresh edge: insert, then drop
+                probs: probs(0.4, 0.8),
+            },
+            Mutation::Remove {
+                from: NodeId(2),
+                to: NodeId(3),
+            },
+        ];
+        let g = apply_mutations(&line(), &batch);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(2), NodeId(3)));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_edge_mutated_twice_in_one_epoch_is_last_write_wins() {
+        // Remove → Upsert → Upsert on one edge within one sealed epoch:
+        // the final Upsert's probabilities survive, and the intermediate
+        // states are never observable (the epoch applies atomically).
+        let mut log = MutationLog::new();
+        log.remove_edge(NodeId(0), NodeId(1));
+        log.set_probs(NodeId(0), NodeId(1), probs(0.3, 0.5));
+        log.set_probs(NodeId(0), NodeId(1), probs(0.6, 0.9));
+        let batch = log.seal_epoch();
+        assert_eq!(batch.mutations.len(), 3, "no dedup: arrival order kept");
+        let g = apply_mutations(&line(), &batch.mutations);
+        assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.6, 0.9));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
     fn later_mutations_win() {
         let g = apply_mutations(
             &line(),

@@ -61,6 +61,7 @@ use kboost_graph::NodeId;
 use kboost_rrset::sketch::SketchShard;
 
 use crate::compress::CompressedParts;
+use crate::footprint::{FootprintColumn, FootprintMode};
 use crate::graph::{pack_edge, unpack_edge, Augmented, CompressedPrr, PrrEvalScratch, SUPER_SEED};
 
 thread_local! {
@@ -121,6 +122,18 @@ pub struct PrrArena {
     dead: Vec<bool>,
     /// Number of `true` entries in `dead`.
     num_dead: usize,
+    /// Per-stored-graph edge-space footprints (exact staleness only;
+    /// empty column in [`FootprintMode::Off`]).
+    fp: FootprintColumn,
+    /// Footprints of *empty* samples (activated / hopeless / cover-less),
+    /// which store no graph but still need refreshing when their
+    /// phase-I exploration touched a mutated edge.
+    empty_fp: FootprintColumn,
+    /// Tombstone flags for `empty_fp` entries, same lazy semantics as
+    /// `dead`.
+    empty_dead: Vec<bool>,
+    /// Number of `true` entries in `empty_dead`.
+    num_empty_dead: usize,
 }
 
 impl PrrArena {
@@ -206,6 +219,33 @@ impl PrrArena {
         }
     }
 
+    /// Appends one compressed graph together with its sampling footprint
+    /// (legacy/oracle path of the exact-staleness pipeline).
+    pub fn push_with_footprint(
+        &mut self,
+        g: &CompressedPrr,
+        footprint: &[u32],
+        mode: FootprintMode,
+    ) {
+        debug_assert!(mode.is_on());
+        self.push(g);
+        self.fp.ensure_mode(mode);
+        self.fp.push(footprint);
+    }
+
+    /// Records the footprint of an *empty* sample (one that stored no
+    /// graph). No-op in [`FootprintMode::Off`].
+    pub fn push_empty_footprint(&mut self, footprint: &[u32], mode: FootprintMode) {
+        if !mode.is_on() {
+            return;
+        }
+        self.empty_fp.ensure_mode(mode);
+        self.empty_fp.push(footprint);
+        if !self.empty_dead.is_empty() {
+            self.empty_dead.push(false);
+        }
+    }
+
     /// Appends one graph straight from Phase-II adjacency output,
     /// assembling both CSR halves in place in the shared arrays — the
     /// streaming counterpart of [`CompressedPrr::from_adjacency`] followed
@@ -277,18 +317,38 @@ impl PrrArena {
         });
     }
 
+    /// Streaming-path variant of [`push_parts`](Self::push_parts) that
+    /// also records the sample's footprint.
+    pub(crate) fn push_parts_fp(
+        &mut self,
+        parts: &CompressedParts,
+        footprint: &[u32],
+        mode: FootprintMode,
+    ) {
+        debug_assert!(mode.is_on());
+        self.push_parts(parts);
+        self.fp.ensure_mode(mode);
+        self.fp.push(footprint);
+    }
+
     /// Merges a sampling shard into this arena by bulk `Vec` appends,
     /// rebasing the shard's (shard-absolute) CSR offsets and `GraphMeta`
     /// bases by this arena's current sizes. Callers must absorb shards in
     /// chunk order — that ordering is the determinism contract.
     pub fn absorb_shard(&mut self, shard: PrrArenaShard) {
         let other = shard.0;
-        debug_assert!(other.dead.is_empty(), "shards never hold tombstones");
-        if self.meta.is_empty() {
+        debug_assert!(
+            other.dead.is_empty() && other.empty_dead.is_empty(),
+            "shards never hold tombstones"
+        );
+        if self.meta.is_empty() && self.empty_fp.count() == 0 {
             // First shard: adopt its arrays wholesale (all bases are 0).
             // A previously filled arena can only be empty again if it was
             // never tombstoned or was compacted, so no dead flags to keep.
-            debug_assert!(self.dead.is_empty());
+            // (A latent footprint *mode* on an empty column carries no
+            // content — column equality ignores it — so adopting the
+            // shard's columns wholesale is safe here too.)
+            debug_assert!(self.dead.is_empty() && self.empty_dead.is_empty());
             *self = other;
             return;
         }
@@ -325,6 +385,11 @@ impl PrrArena {
         if !self.dead.is_empty() {
             self.dead.resize(self.meta.len(), false);
         }
+        self.fp.absorb(&other.fp);
+        self.empty_fp.absorb(&other.empty_fp);
+        if !self.empty_dead.is_empty() {
+            self.empty_dead.resize(self.empty_fp.count(), false);
+        }
     }
 
     /// Marks graph `i` dead: skipped by estimation/selection, its bytes
@@ -354,12 +419,45 @@ impl PrrArena {
         self.meta.len() - self.num_dead
     }
 
-    /// Fraction of stored graphs that are tombstoned (`0.0` when empty).
+    /// Marks the empty-sample footprint `i` dead — the empty-sample
+    /// counterpart of [`tombstone`](Self::tombstone), used by exact
+    /// staleness when a mutation hits an empty sample's exploration.
+    pub fn tombstone_empty(&mut self, i: usize) {
+        if self.empty_dead.is_empty() {
+            self.empty_dead.resize(self.empty_fp.count(), false);
+        }
+        assert!(!self.empty_dead[i], "empty sample {i} tombstoned twice");
+        self.empty_dead[i] = true;
+        self.num_empty_dead += 1;
+    }
+
+    /// Whether empty-sample footprint `i` is live.
+    #[inline]
+    pub fn empty_is_live(&self, i: usize) -> bool {
+        self.empty_dead.is_empty() || !self.empty_dead[i]
+    }
+
+    /// Number of retained empty-sample footprints (dead included until
+    /// compaction; 0 unless a footprint mode is on).
+    pub fn num_empty_footprints(&self) -> usize {
+        self.empty_fp.count()
+    }
+
+    /// Number of tombstoned empty-sample footprints.
+    pub fn num_empty_dead(&self) -> usize {
+        self.num_empty_dead
+    }
+
+    /// Fraction of retained entries — stored graphs plus empty-sample
+    /// footprints — that are tombstoned (`0.0` when nothing is stored).
+    /// Without footprint retention this is exactly the stored-graph dead
+    /// fraction of the original tombstone lifecycle.
     pub fn dead_fraction(&self) -> f64 {
-        if self.meta.is_empty() {
+        let entries = self.meta.len() + self.empty_fp.count();
+        if entries == 0 {
             0.0
         } else {
-            self.num_dead as f64 / self.meta.len() as f64
+            (self.num_dead + self.num_empty_dead) as f64 / entries as f64
         }
     }
 
@@ -404,18 +502,22 @@ impl PrrArena {
             out.critical
                 .extend_from_slice(&self.critical[cb..cb + m.crit_len as usize]);
         }
+        out.fp = self.fp.compacted(|i| self.is_live(i));
+        out.empty_fp = self.empty_fp.compacted(|i| self.empty_is_live(i));
         out
     }
 
-    /// Rewrites the arena without its tombstoned graphs (no-op when none),
-    /// restoring the canonical all-live representation.
+    /// Rewrites the arena without its tombstoned graphs and empty-sample
+    /// footprints (no-op when none are dead), restoring the canonical
+    /// all-live representation.
     pub fn compact(&mut self) {
-        if self.num_dead > 0 {
+        if self.num_dead > 0 || self.num_empty_dead > 0 {
             *self = self.compacted();
         } else {
-            // Still drop an all-false flag array so the representation is
+            // Still drop all-false flag arrays so the representation is
             // canonical (equal to a never-tombstoned arena).
             self.dead = Vec::new();
+            self.empty_dead = Vec::new();
         }
     }
 
@@ -477,7 +579,34 @@ impl PrrArena {
             + (self.fwd_off.len() + self.bwd_off.len()) * size_of::<u32>()
             + (self.fwd.len() + self.bwd.len()) * size_of::<u32>()
             + self.critical.len() * size_of::<NodeId>()
-            + self.dead.len() * size_of::<bool>()
+            + (self.dead.len() + self.empty_dead.len()) * size_of::<bool>()
+            + self.footprint_memory_bytes()
+    }
+
+    /// The footprint retention mode this arena carries (Off unless it
+    /// was built by a footprint-retaining source).
+    pub fn footprint_mode(&self) -> FootprintMode {
+        if self.fp.mode().is_on() {
+            self.fp.mode()
+        } else {
+            self.empty_fp.mode()
+        }
+    }
+
+    /// The per-stored-graph footprint column.
+    pub fn footprints(&self) -> &FootprintColumn {
+        &self.fp
+    }
+
+    /// The empty-sample footprint column.
+    pub fn empty_footprints(&self) -> &FootprintColumn {
+        &self.empty_fp
+    }
+
+    /// Approximate heap bytes held by the footprint columns alone — the
+    /// memory overhead of exact staleness detection.
+    pub fn footprint_memory_bytes(&self) -> usize {
+        self.fp.memory_bytes() + self.empty_fp.memory_bytes()
     }
 
     /// Approximate heap bytes attributable to the *live* graphs alone —
@@ -485,8 +614,9 @@ impl PrrArena {
     /// a compaction.
     pub fn live_memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        if self.num_dead == 0 {
-            return self.memory_bytes() - self.dead.len() * size_of::<bool>();
+        if self.num_dead == 0 && self.num_empty_dead == 0 {
+            return self.memory_bytes()
+                - (self.dead.len() + self.empty_dead.len()) * size_of::<bool>();
         }
         let mut bytes = 0usize;
         for (i, &m) in self.meta.iter().enumerate() {
@@ -504,6 +634,8 @@ impl PrrArena {
                 + m.crit_len as usize * size_of::<NodeId>();
         }
         bytes
+            + self.fp.live_memory_bytes(|i| self.is_live(i))
+            + self.empty_fp.live_memory_bytes(|i| self.empty_is_live(i))
     }
 }
 
@@ -548,6 +680,22 @@ impl PrrArenaShard {
     /// Appends one graph straight from Phase-II output.
     pub(crate) fn push_parts(&mut self, parts: &CompressedParts) {
         self.0.push_parts(parts);
+    }
+
+    /// Appends one graph plus its sampling footprint (exact-staleness
+    /// pipeline).
+    pub(crate) fn push_parts_fp(
+        &mut self,
+        parts: &CompressedParts,
+        footprint: &[u32],
+        mode: FootprintMode,
+    ) {
+        self.0.push_parts_fp(parts, footprint, mode);
+    }
+
+    /// Records an empty sample's footprint (exact-staleness pipeline).
+    pub(crate) fn push_empty_footprint(&mut self, footprint: &[u32], mode: FootprintMode) {
+        self.0.push_empty_footprint(footprint, mode);
     }
 }
 

@@ -5,6 +5,18 @@
 //! so live edges relax at the front of the deque and boost edges at the
 //! back. Edges whose best distance would exceed `k` are pruned — boosting
 //! at most `k` nodes can never make them useful (Section V-A).
+//!
+//! # Edge-space footprints
+//!
+//! The BFS queries edge statuses lazily: expanding a node enumerates its
+//! in-edges and draws one status each. The set of *expanded* nodes is
+//! therefore the sample's exact edge-space footprint — a mutation of edge
+//! `(u, v)` changes the sample's distribution iff `v` was expanded,
+//! because only then would the generator have queried `v`'s (old or new)
+//! in-edge list. The footprint-retaining entry points capture that set at
+//! generation time (sorted, deduplicated) for the online subsystem's
+//! exact staleness detection; capture consumes no randomness, so
+//! footprint-on and footprint-off pools draw identical streams.
 
 use kboost_diffusion::sim::BoostMask;
 use kboost_graph::{DiGraph, NodeId};
@@ -13,6 +25,7 @@ use rand::Rng;
 
 use crate::arena::PrrArenaShard;
 use crate::compress::{compress, compress_parts};
+use crate::footprint::FootprintMode;
 use crate::graph::CompressedPrr;
 
 /// Result of generating one PRR-graph.
@@ -100,6 +113,9 @@ impl GenScratch {
 
 thread_local! {
     static SCRATCH: std::cell::RefCell<GenScratch> = std::cell::RefCell::new(GenScratch::new());
+    /// Reusable footprint buffer for the streaming footprint path —
+    /// cleared per sample, copied into the shard column on retention.
+    static FP_SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl<'g> PrrGenerator<'g> {
@@ -125,7 +141,7 @@ impl<'g> PrrGenerator<'g> {
 
     /// Generates a PRR-graph for the given root.
     pub fn sample_rooted(&self, root: NodeId, rng: &mut SmallRng) -> PrrOutcome {
-        match self.phase1(root, rng, self.k as u32) {
+        match self.phase1(root, rng, self.k as u32, None) {
             Phase1::Activated => PrrOutcome::Activated,
             Phase1::Hopeless => PrrOutcome::Hopeless,
             Phase1::Raw(raw) => match compress(&raw, self.k) {
@@ -133,6 +149,32 @@ impl<'g> PrrGenerator<'g> {
                 None => PrrOutcome::Hopeless,
             },
         }
+    }
+
+    /// Like [`sample`](Self::sample), additionally writing the sample's
+    /// edge-space footprint (sorted, deduplicated expanded-node set) into
+    /// `footprint` — the legacy/oracle entry point of the exact-staleness
+    /// pipeline. Draws the exact same randomness as [`sample`] and
+    /// [`sample_into`](Self::sample_into), so footprint-retaining pools
+    /// reproduce footprint-free streams bit-for-bit.
+    pub fn sample_with_footprint(
+        &self,
+        rng: &mut SmallRng,
+        footprint: &mut Vec<u32>,
+    ) -> PrrOutcome {
+        footprint.clear();
+        let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
+        let out = match self.phase1(root, rng, self.k as u32, Some(footprint)) {
+            Phase1::Activated => PrrOutcome::Activated,
+            Phase1::Hopeless => PrrOutcome::Hopeless,
+            Phase1::Raw(raw) => match compress(&raw, self.k) {
+                Some(c) => PrrOutcome::Boostable(c),
+                None => PrrOutcome::Hopeless,
+            },
+        };
+        footprint.sort_unstable();
+        footprint.dedup();
+        out
     }
 
     /// Samples one PRR-graph for a uniformly random root straight into a
@@ -146,22 +188,66 @@ impl<'g> PrrGenerator<'g> {
     /// matches the legacy per-graph path, which dropped the payload of any
     /// cover-less sketch.
     pub fn sample_into(&self, rng: &mut SmallRng, shard: &mut PrrArenaShard) -> Vec<NodeId> {
+        self.sample_into_fp(rng, shard, FootprintMode::Off)
+    }
+
+    /// [`sample_into`](Self::sample_into) with footprint retention: when
+    /// `mode` is on, the sample's footprint is appended to the shard —
+    /// alongside the stored graph for boostable samples, or into the
+    /// empty-sample column for activated / hopeless / cover-less ones
+    /// (those must be refreshable too, or the estimator's denominator
+    /// would silently go stale). Randomness consumption is identical to
+    /// the footprint-free path.
+    pub fn sample_into_fp(
+        &self,
+        rng: &mut SmallRng,
+        shard: &mut PrrArenaShard,
+        mode: FootprintMode,
+    ) -> Vec<NodeId> {
         let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
-        match self.phase1(root, rng, self.k as u32) {
-            Phase1::Activated | Phase1::Hopeless => Vec::new(),
-            Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
-                None => Vec::new(),
-                Some(parts) => {
-                    if parts.critical.is_empty() {
-                        return Vec::new();
+        if !mode.is_on() {
+            return match self.phase1(root, rng, self.k as u32, None) {
+                Phase1::Activated | Phase1::Hopeless => Vec::new(),
+                Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
+                    None => Vec::new(),
+                    Some(parts) => {
+                        if parts.critical.is_empty() {
+                            return Vec::new();
+                        }
+                        shard.push_parts(&parts);
+                        // The shard copied the critical set; hand the owned
+                        // Vec back as the cover instead of cloning it.
+                        parts.critical
                     }
-                    shard.push_parts(&parts);
-                    // The shard copied the critical set; hand the owned
-                    // Vec back as the cover instead of cloning it.
-                    parts.critical
-                }
-            },
+                },
+            };
         }
+        FP_SCRATCH.with_borrow_mut(|fp| {
+            fp.clear();
+            let phase1 = self.phase1(root, rng, self.k as u32, Some(fp));
+            fp.sort_unstable();
+            fp.dedup();
+            match phase1 {
+                Phase1::Activated | Phase1::Hopeless => {
+                    shard.push_empty_footprint(fp, mode);
+                    Vec::new()
+                }
+                Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
+                    None => {
+                        shard.push_empty_footprint(fp, mode);
+                        Vec::new()
+                    }
+                    Some(parts) => {
+                        if parts.critical.is_empty() {
+                            shard.push_empty_footprint(fp, mode);
+                            return Vec::new();
+                        }
+                        shard.push_parts_fp(&parts, fp, mode);
+                        parts.critical
+                    }
+                },
+            }
+        })
     }
 
     /// Fast path for PRR-Boost-LB: produces only the critical-node set
@@ -173,7 +259,7 @@ impl<'g> PrrGenerator<'g> {
     /// single boost edge fed by a live head from a seed.
     pub fn sample_critical_only(&self, rng: &mut SmallRng) -> Vec<NodeId> {
         let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
-        match self.phase1(root, rng, 1) {
+        match self.phase1(root, rng, 1, None) {
             Phase1::Activated | Phase1::Hopeless => Vec::new(),
             Phase1::Raw(raw) => critical_from_raw(&raw, self.g.num_nodes(), &self.seed_mask),
         }
@@ -182,13 +268,23 @@ impl<'g> PrrGenerator<'g> {
     /// Phase-I raw generation, exposed for tests; prunes at `prune_at`
     /// boost edges.
     pub fn phase1_raw(&self, root: NodeId, rng: &mut SmallRng) -> Option<RawPrr> {
-        match self.phase1(root, rng, self.k as u32) {
+        match self.phase1(root, rng, self.k as u32, None) {
             Phase1::Raw(raw) => Some(raw),
             _ => None,
         }
     }
 
-    fn phase1(&self, root: NodeId, rng: &mut SmallRng, prune_at: u32) -> Phase1 {
+    /// When `footprint` is given, every node whose in-edge enumeration
+    /// begins is appended to it (unsorted; a node appears at most once
+    /// because only the entry matching the settled distance expands). A
+    /// seed root queries nothing and leaves the footprint empty.
+    fn phase1(
+        &self,
+        root: NodeId,
+        rng: &mut SmallRng,
+        prune_at: u32,
+        mut footprint: Option<&mut Vec<u32>>,
+    ) -> Phase1 {
         if self.seed_mask.contains(root) {
             return Phase1::Activated;
         }
@@ -205,6 +301,9 @@ impl<'g> PrrGenerator<'g> {
             while let Some((u, du)) = deque.pop_front() {
                 if du > scratch.get(u) {
                     continue; // stale entry: u was settled at a smaller distance
+                }
+                if let Some(fp) = footprint.as_deref_mut() {
+                    fp.push(u);
                 }
                 for (v, p) in self.g.in_edges(NodeId(u)) {
                     // Sample the three-way status on first (and only) touch.

@@ -31,6 +31,11 @@
 //!   the borrowed per-graph evaluation interface. Supports tombstoning
 //!   and order-preserving compaction so the online maintainer
 //!   (`kboost-online`) can retire stale graphs in place.
+//! * [`footprint`] — per-sample *edge-space footprints* (the expanded-node
+//!   set of phase I) retained as flat [`FootprintColumn`]s — sorted lists
+//!   or fixed-size bloom fingerprints — for the online subsystem's exact
+//!   staleness detection. Stored graphs and *empty* samples both carry
+//!   one, so no sample is ever silently unrefreshable.
 //! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4):
 //!   an inverted coverage index with incremental vote maintenance, plus
 //!   the naive full re-traversal greedy as the equivalence oracle. The
@@ -39,13 +44,15 @@
 
 pub mod arena;
 pub mod compress;
+pub mod footprint;
 pub mod gen;
 pub mod graph;
 pub mod select;
 pub mod source;
 
 pub use arena::{PrrArena, PrrArenaShard, PrrGraphView};
+pub use footprint::{FootprintColumn, FootprintMode, FootprintQuery};
 pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
 pub use graph::{CompressedPrr, PrrEvalScratch};
 pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection, NodeIndex};
-pub use source::{LegacyPrrSource, PrrFullSource, PrrLbSource};
+pub use source::{LegacyFpSource, LegacyPrrSource, LegacySample, PrrFullSource, PrrLbSource};

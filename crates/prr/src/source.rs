@@ -22,23 +22,46 @@ use kboost_rrset::sketch::SketchGenerator;
 use rand::rngs::SmallRng;
 
 use crate::arena::PrrArenaShard;
+use crate::footprint::FootprintMode;
 use crate::gen::{PrrGenerator, PrrOutcome};
 use crate::graph::CompressedPrr;
 
 /// Full PRR-graph source (PRR-Boost): builds arena shards in place.
+///
+/// With a [`FootprintMode`] other than `Off`
+/// ([`with_footprints`](Self::with_footprints)) each sample's edge-space
+/// footprint is retained in the shard too — stored graphs get a footprint
+/// column entry and empty samples land in the shard's empty-footprint
+/// column — enabling the online subsystem's exact staleness detection.
+/// Footprint capture consumes no randomness: the covers and stored
+/// graphs are bit-identical to the footprint-free source under the same
+/// seed.
 pub struct PrrFullSource<'g> {
     generator: PrrGenerator<'g>,
     n: usize,
     candidates: usize,
+    mode: FootprintMode,
 }
 
 impl<'g> PrrFullSource<'g> {
-    /// Creates the source for `(G, S, k)`.
+    /// Creates the source for `(G, S, k)` without footprint retention.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        Self::with_footprints(g, seeds, k, FootprintMode::Off)
+    }
+
+    /// Creates the source for `(G, S, k)` retaining per-sample footprints
+    /// in the given mode.
+    pub fn with_footprints(
+        g: &'g DiGraph,
+        seeds: &[NodeId],
+        k: usize,
+        mode: FootprintMode,
+    ) -> Self {
         PrrFullSource {
             generator: PrrGenerator::new(g, seeds, k),
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
+            mode,
         }
     }
 }
@@ -55,7 +78,7 @@ impl SketchGenerator for PrrFullSource<'_> {
     }
 
     fn generate(&self, rng: &mut SmallRng, shard: &mut PrrArenaShard) -> Vec<NodeId> {
-        self.generator.sample_into(rng, shard)
+        self.generator.sample_into_fp(rng, shard, self.mode)
     }
 }
 
@@ -137,6 +160,82 @@ impl SketchGenerator for LegacyPrrSource<'_> {
                 // shard path (and the historical payload behaviour).
                 if !cover.is_empty() {
                     shard.push(c);
+                }
+                cover
+            }
+        }
+    }
+}
+
+/// One sample as the exact-staleness replay oracle retains it: the
+/// legacy per-graph payload (when stored) plus the raw sorted footprint
+/// of **every** sample, empty ones included.
+#[derive(Clone, Debug)]
+pub enum LegacySample {
+    /// A boostable sample with a non-empty critical set.
+    Stored {
+        /// The legacy per-graph payload.
+        graph: CompressedPrr,
+        /// Sorted, deduplicated expanded-node set.
+        footprint: Vec<u32>,
+    },
+    /// An activated / hopeless / cover-less sample: counted, not stored —
+    /// but its footprint still determines when its slot must refresh.
+    Empty {
+        /// Sorted, deduplicated expanded-node set.
+        footprint: Vec<u32>,
+    },
+}
+
+/// Test-only equivalence oracle of the exact-staleness pipeline: the
+/// legacy per-graph storage model extended with per-sample footprints
+/// (see [`LegacySample`]). Draws the exact randomness of
+/// [`PrrFullSource`], so an oracle-replayed pool is byte-comparable to a
+/// footprint-retaining shard pool with the same `(base_seed, target)`.
+pub struct LegacyFpSource<'g> {
+    generator: PrrGenerator<'g>,
+    n: usize,
+    candidates: usize,
+}
+
+impl<'g> LegacyFpSource<'g> {
+    /// Creates the oracle source for `(G, S, k)`.
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        LegacyFpSource {
+            generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+}
+
+impl SketchGenerator for LegacyFpSource<'_> {
+    type Shard = Vec<LegacySample>;
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates
+    }
+
+    fn generate(&self, rng: &mut SmallRng, shard: &mut Vec<LegacySample>) -> Vec<NodeId> {
+        let mut footprint = Vec::new();
+        match self.generator.sample_with_footprint(rng, &mut footprint) {
+            PrrOutcome::Activated | PrrOutcome::Hopeless => {
+                shard.push(LegacySample::Empty { footprint });
+                Vec::new()
+            }
+            PrrOutcome::Boostable(c) => {
+                let cover = c.critical().to_vec();
+                if cover.is_empty() {
+                    shard.push(LegacySample::Empty { footprint });
+                } else {
+                    shard.push(LegacySample::Stored {
+                        graph: c,
+                        footprint,
+                    });
                 }
                 cover
             }

@@ -124,18 +124,37 @@
 //!   chunks of epoch `e` are seeded from `(base_seed, e, chunk_index)` —
 //!   the determinism contract extends to mutation histories, so a
 //!   maintained pool is bit-identical for any thread count.
-//! * **Tombstone lifecycle** ([`prr::arena::PrrArena`]): a stored sample
-//!   is stale iff a mutated edge's endpoint appears in its node table,
-//!   found via the **incrementally maintained** invalidation index
-//!   (refreshes append entries, queries filter dead graphs, only
-//!   compaction rebuilds); stale graphs are tombstoned in place and
-//!   exactly that share is resampled, keeping the estimator denominator
+//! * **Staleness rules** ([`online::maintain::Staleness`], selected via
+//!   [`engine::EngineBuilder::staleness`]): `Approximate` (default)
+//!   marks a stored sample stale iff a mutated edge's endpoint appears
+//!   in its node table — zero memory overhead, but samples whose
+//!   phase-I footprint was compressed away, and empty samples, are
+//!   never refreshed (documented under-detection). `Exact` retains each
+//!   sample's *edge-space footprint* ([`prr::footprint`]) — the sorted
+//!   set of nodes whose in-edge lists the sampler enumerated — for
+//!   stored **and** empty samples, so a mutation of edge `(u, v)`
+//!   invalidates exactly the samples whose generation queried `v`'s
+//!   in-edge slot; `ExactBloom { bits }` compresses the footprints to
+//!   fixed-width bloom fingerprints (never misses, may over-refresh).
+//!   The memory trade is footprint bytes vs exactness
+//!   ([`engine::SolveStats::footprint_bytes`], `BENCH_online.json`'s
+//!   `footprint_overhead`).
+//! * **Tombstone lifecycle** ([`prr::arena::PrrArena`]): stale samples,
+//!   found via **incrementally maintained** invalidation indices
+//!   (refreshes append entries, queries filter dead samples, only
+//!   compaction rebuilds), are tombstoned in place — stored graphs in
+//!   the arena, empty samples in the footprint column — and exactly
+//!   that share is resampled, keeping the estimator denominator
 //!   constant. Compaction is canonicalizing, so the maintained arena
-//!   stays byte-equal to a from-scratch replay
+//!   (footprint columns included) stays byte-equal to a from-scratch
+//!   replay under the same rule
 //!   ([`online::maintain::rebuild_from_history`], the equivalence
-//!   oracle; `tests/online_pool.rs` asserts it property-wise and
-//!   `exp_online` tracks incremental-vs-rebuild speedup in
-//!   `BENCH_online.json`).
+//!   oracle; `tests/online_pool.rs` asserts it property-wise, the
+//!   exact mode's recorded drift is zero by construction, and
+//!   `exp_online` tracks speedup, drift and footprint overhead in
+//!   `BENCH_online.json`). Refreshed slots are unconditioned fresh
+//!   draws — see the `kboost-online` crate docs for the one remaining
+//!   statistical caveat that conditional refresh would close.
 
 pub use kboost_baselines as baselines;
 pub use kboost_core as core;

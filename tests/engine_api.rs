@@ -19,7 +19,7 @@ use kboost::engine::{Algorithm, BoostAlgorithm, EngineBuilder, KboostError, Pipe
 use kboost::graph::generators::{erdos_renyi, set_cover_gadget, SetCoverInstance};
 use kboost::graph::probability::ProbabilityModel;
 use kboost::graph::{DiGraph, EdgeProbs, NodeId};
-use kboost::online::{MaintainerOptions, MutationLog, PoolMaintainer};
+use kboost::online::{MaintainerOptions, MutationLog, PoolMaintainer, Staleness};
 use kboost::prr::{greedy_delta_selection, PrrFullSource};
 use kboost::rrset::sketch::SketchPool;
 use proptest::prelude::*;
@@ -349,6 +349,45 @@ fn builder_rejects_bad_configs_with_typed_errors() {
         ),
         "pipeline"
     );
+    // Exact staleness off the online path (adaptive sampling), on the
+    // legacy pipeline, or with a bad bloom width — all typed errors.
+    assert_eq!(
+        field_of(
+            EngineBuilder::new(g.clone())
+                .seeds([NodeId(0)])
+                .staleness(Staleness::Exact)
+                .build()
+        ),
+        "staleness"
+    );
+    assert_eq!(
+        field_of(
+            EngineBuilder::new(g.clone())
+                .seeds([NodeId(0)])
+                .sampling(Sampling::Fixed { samples: 1_000 })
+                .pipeline(Pipeline::Legacy)
+                .staleness(Staleness::Exact)
+                .build()
+        ),
+        "staleness"
+    );
+    assert_eq!(
+        field_of(
+            EngineBuilder::new(g.clone())
+                .seeds([NodeId(0)])
+                .sampling(Sampling::Fixed { samples: 1_000 })
+                .staleness(Staleness::ExactBloom { bits: 48 })
+                .build()
+        ),
+        "staleness"
+    );
+    // ...while the valid online spelling builds.
+    assert!(EngineBuilder::new(g.clone())
+        .seeds([NodeId(0)])
+        .sampling(Sampling::Fixed { samples: 1_000 })
+        .staleness(Staleness::ExactBloom { bits: 256 })
+        .build()
+        .is_ok());
     // δ = n^-ℓ round-trips into a positive ℓ.
     let engine = EngineBuilder::new(g)
         .seeds([NodeId(0)])
@@ -384,6 +423,7 @@ fn engine_online_lifecycle_matches_hand_wired_maintainer() {
             threads: 2,
             base_seed: seed,
             compact_threshold: 0.25,
+            staleness: Staleness::Approximate,
         },
     );
 

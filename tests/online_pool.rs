@@ -1,15 +1,22 @@
 //! The online maintenance subsystem's equivalence and determinism
 //! contracts, end to end:
 //!
-//! * after **any** mutation sequence, the incrementally maintained pool's
-//!   compacted arena is **byte-equal** to the naive replay oracle
-//!   (`rebuild_from_history`: legacy per-graph payloads, full node-table
+//! * after **any** mutation sequence, under **every** staleness rule
+//!   (approximate node tables, exact sorted footprints, exact bloom
+//!   fingerprints), the incrementally maintained pool's compacted arena
+//!   is **byte-equal** to the naive replay oracle
+//!   (`rebuild_from_history`: legacy per-graph payloads, full per-sample
 //!   scans, eager filtering — no tombstones, no inverted index), its
 //!   `Δ̂` / `µ̂` estimates agree exactly, and the greedy selection picks
 //!   the identical set;
 //! * the maintained pool is **thread-count invariant**: 1 worker and 7
 //!   workers produce the bit-identical arena (tombstones included) and
 //!   identical epoch reports;
+//! * exact mode closes the approximate rule's under-detection: the
+//!   zero-drift regression pins `incremental == rebuild` down to the
+//!   estimates and selection, and the companion test pins that the
+//!   approximate rule still under-detects (and that the gap is visible
+//!   through the exact machinery);
 //! * SSA's validation pool retains covers only — the arena bytes the old
 //!   shard-typed validation pool would have held are measured and
 //!   asserted gone.
@@ -17,11 +24,20 @@
 use kboost::graph::generators::{erdos_renyi, set_cover_gadget, SetCoverInstance};
 use kboost::graph::probability::ProbabilityModel;
 use kboost::graph::{DiGraph, EdgeProbs, NodeId};
-use kboost::online::{rebuild_from_history, EpochBatch, MaintainerOptions, PoolMaintainer};
+use kboost::online::{
+    rebuild_from_history, EpochBatch, MaintainerOptions, PoolMaintainer, Staleness,
+};
 use kboost::prr::greedy_delta_selection;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// The three staleness rules, as proptest draws them.
+const STALENESS_MODES: [Staleness; 3] = [
+    Staleness::Approximate,
+    Staleness::Exact,
+    Staleness::ExactBloom { bits: 128 },
+];
 
 fn er_graph(n: usize, m: usize, seed: u64) -> DiGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -95,6 +111,9 @@ fn assert_incremental_matches_rebuild(
     for batch in history {
         let report = m.apply_epoch(batch);
         assert_eq!(report.invalidated, report.drawn_stored + report.drawn_empty);
+        if !opts.staleness.is_exact() {
+            assert_eq!(report.invalidated_empty, 0);
+        }
     }
     assert_eq!(m.pool().total_samples(), opts.target_samples);
 
@@ -133,34 +152,37 @@ fn maintained_pool_thread_invariant_bytes_and_reports() {
     let seeds = [NodeId(0), NodeId(1)];
     let mut rng = SmallRng::seed_from_u64(0xD15EA5E);
     let history = random_history(&g, 4, &mut rng);
-    let opts = |threads: usize| MaintainerOptions {
-        target_samples: 6_000,
-        k: 3,
-        threads,
-        base_seed: 0xA11CE,
-        compact_threshold: 0.2,
-    };
+    for staleness in STALENESS_MODES {
+        let opts = |threads: usize| MaintainerOptions {
+            target_samples: 6_000,
+            k: 3,
+            threads,
+            base_seed: 0xA11CE,
+            compact_threshold: 0.2,
+            staleness,
+        };
 
-    let mut reference = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(1));
-    let reference_reports: Vec<_> = history.iter().map(|b| reference.apply_epoch(b)).collect();
-    assert!(
-        reference_reports.iter().any(|r| r.invalidated > 0),
-        "degenerate history: nothing ever invalidated"
-    );
-
-    for threads in [2usize, 7] {
-        let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(threads));
-        let reports: Vec<_> = history.iter().map(|b| m.apply_epoch(b)).collect();
-        assert_eq!(
-            reports, reference_reports,
-            "reports differ at {threads} threads"
-        );
+        let mut reference = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(1));
+        let reference_reports: Vec<_> = history.iter().map(|b| reference.apply_epoch(b)).collect();
         assert!(
-            m.pool().arena() == reference.pool().arena(),
-            "arena bytes (tombstones included) differ at {threads} threads"
+            reference_reports.iter().any(|r| r.invalidated > 0),
+            "degenerate history: nothing ever invalidated ({staleness:?})"
         );
-        assert_eq!(m.pool().total_samples(), reference.pool().total_samples());
-        assert_eq!(m.select(3), reference.select(3));
+
+        for threads in [2usize, 7] {
+            let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(threads));
+            let reports: Vec<_> = history.iter().map(|b| m.apply_epoch(b)).collect();
+            assert_eq!(
+                reports, reference_reports,
+                "reports differ at {threads} threads ({staleness:?})"
+            );
+            assert!(
+                m.pool().arena() == reference.pool().arena(),
+                "arena bytes (tombstones included) differ at {threads} threads ({staleness:?})"
+            );
+            assert_eq!(m.pool().total_samples(), reference.pool().total_samples());
+            assert_eq!(m.select(3), reference.select(3));
+        }
     }
 }
 
@@ -179,6 +201,7 @@ proptest! {
         threads in 1usize..8,
         epochs in 1usize..4,
         threshold in 0u32..3,
+        staleness in 0usize..3,
     ) {
         let g = er_graph(14, 40, graph_seed);
         let mut rng = SmallRng::seed_from_u64(mutation_seed);
@@ -189,6 +212,7 @@ proptest! {
             threads,
             base_seed: pool_seed,
             compact_threshold: [0.0, 0.3, 1.0][threshold as usize],
+            staleness: STALENESS_MODES[staleness],
         };
         assert_incremental_matches_rebuild(&g, &[NodeId(0)], opts, &history);
     }
@@ -202,6 +226,7 @@ proptest! {
         k in 1usize..4,
         threads in 1usize..5,
         epochs in 1usize..3,
+        staleness in 0usize..3,
     ) {
         let g = gadget();
         let mut rng = SmallRng::seed_from_u64(mutation_seed);
@@ -212,6 +237,7 @@ proptest! {
             threads,
             base_seed: pool_seed,
             compact_threshold: 0.25,
+            staleness: STALENESS_MODES[staleness],
         };
         assert_incremental_matches_rebuild(&g, &[NodeId(0)], opts, &history);
     }
@@ -307,6 +333,7 @@ fn stale_graphs_cached_index_matches_fresh_scan() {
             threads: 2,
             base_seed: 0xCAB,
             compact_threshold: threshold,
+            staleness: Staleness::Approximate,
         };
         let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts);
         let history = random_history(&g, 5, &mut rng);
@@ -351,6 +378,310 @@ fn stale_graphs_cached_index_matches_fresh_scan() {
         assert!(tombstoned_any, "degenerate history: nothing invalidated");
         if threshold == 0.0 {
             assert!(compacted_any, "eager threshold never compacted");
+        }
+    }
+}
+
+/// Exact-mode zero-drift regression: over random mutation histories the
+/// exact incremental pool equals `rebuild_from_history` **exactly** —
+/// not just byte-equal live arenas, but bit-identical `Δ̂`/`µ̂` on probe
+/// sets and the identical greedy selection, with drift computed the way
+/// `exp_online` records it and asserted to be exactly `0.0`.
+#[test]
+fn exact_mode_zero_drift_over_random_histories() {
+    for (graph_seed, pool_seed, mutation_seed) in [(3u64, 11u64, 7u64), (21, 5, 40), (64, 9, 2)] {
+        let g = er_graph(30, 120, graph_seed);
+        let mut rng = SmallRng::seed_from_u64(mutation_seed);
+        let history = random_history(&g, 5, &mut rng);
+        let opts = MaintainerOptions {
+            target_samples: 4_000,
+            k: 3,
+            threads: 2,
+            base_seed: pool_seed,
+            compact_threshold: 0.25,
+            staleness: Staleness::Exact,
+        };
+        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts);
+        for batch in &history {
+            m.apply_epoch(batch);
+        }
+        let (_g, rebuilt) = rebuild_from_history(&g, &[NodeId(0)], &opts, &history);
+        let probes: Vec<Vec<NodeId>> = vec![
+            vec![NodeId(1)],
+            vec![NodeId(5), NodeId(9)],
+            (1..=3u32).map(NodeId).collect(),
+        ];
+        for probe in &probes {
+            let drift = (m.pool().delta_hat(probe) - rebuilt.delta_hat(probe)).abs();
+            assert_eq!(drift, 0.0, "Δ̂ drift on probe {probe:?} (seed {graph_seed})");
+            let mu_drift = (m.pool().mu_hat(probe) - rebuilt.mu_hat(probe)).abs();
+            assert_eq!(mu_drift, 0.0, "µ̂ drift on probe {probe:?}");
+        }
+        assert_eq!(
+            m.select(3),
+            greedy_delta_selection(rebuilt.arena(), g.num_nodes(), 3, opts.threads)
+        );
+        assert_eq!(m.pool().total_samples(), rebuilt.total_samples());
+        assert_eq!(m.pool().empty_samples(), rebuilt.empty_samples());
+    }
+}
+
+/// Companion regression: the approximate rule's under-detection is still
+/// present, detected, and reported. Seed → x (live) → root (boost-only)
+/// compresses `x` out of every stored node table, so removing the live
+/// edge is invisible to the approximate rule — its report says nothing
+/// was invalidated and its `Δ̂` keeps paying out on an unreachable root,
+/// while the exact-mode maintainer (and its replay oracle) refresh to
+/// the truth.
+#[test]
+fn approximate_under_detection_is_detected_and_reported() {
+    use kboost::graph::GraphBuilder;
+    use kboost::online::MutationLog;
+
+    let graph = || {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.0, 1.0).unwrap();
+        b.build().unwrap()
+    };
+    let opts = |staleness: Staleness| MaintainerOptions {
+        target_samples: 1_200,
+        k: 1,
+        threads: 2,
+        base_seed: 0xFACE,
+        compact_threshold: 0.25,
+        staleness,
+    };
+    let mut log = MutationLog::new();
+    log.remove_edge(NodeId(0), NodeId(1));
+    let batch = log.seal_epoch();
+
+    let mut approx = PoolMaintainer::build(graph(), vec![NodeId(0)], opts(Staleness::Approximate));
+    let report = approx.apply_epoch(&batch);
+    assert_eq!(report.invalidated, 0, "approximate rule must miss this");
+    let stale_delta = approx.pool().delta_hat(&[NodeId(2)]);
+    assert!(stale_delta > 0.0, "stale pool keeps paying out");
+
+    for staleness in [Staleness::Exact, Staleness::ExactBloom { bits: 128 }] {
+        let mut exact = PoolMaintainer::build(graph(), vec![NodeId(0)], opts(staleness));
+        let report = exact.apply_epoch(&batch);
+        assert!(report.invalidated > 0, "{staleness:?} must detect");
+        assert!(
+            report.invalidated_empty > 0,
+            "{staleness:?} refreshes empties"
+        );
+        assert_eq!(exact.pool().delta_hat(&[NodeId(2)]), 0.0, "exact truth");
+
+        // The drift of the approximate pool is real and measurable
+        // against the exact replay — the number `exp_online` records.
+        let o = opts(staleness);
+        let (_g, rebuilt) =
+            rebuild_from_history(&graph(), &[NodeId(0)], &o, std::slice::from_ref(&batch));
+        let drift = (stale_delta - rebuilt.delta_hat(&[NodeId(2)])).abs();
+        assert!(
+            drift > 0.0,
+            "under-detection must show as drift vs the exact rebuild"
+        );
+    }
+}
+
+/// The footprint-exactness invariant at the sample level: if a sample's
+/// footprint avoids a mutation's head, regenerating it from the same RNG
+/// seed over the *mutated* graph reproduces the sample bit for bit — the
+/// retained sample *is* what resampling would have produced, which is
+/// precisely why exact staleness may keep it. Checked for removals,
+/// probability updates and insertions over many random graphs and seeds.
+#[test]
+fn footprint_soundness_unaffected_samples_reproduce_bitwise() {
+    use kboost::online::{apply_mutations, Mutation};
+    use kboost::prr::{PrrArena, PrrGenerator, PrrOutcome};
+
+    let mut checked = 0usize;
+    for graph_seed in 0..12u64 {
+        let g = er_graph(12, 30, 1000 + graph_seed);
+        let generator = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        for sample_seed in 0..24u64 {
+            let mut rng = SmallRng::seed_from_u64(sample_seed * 7 + 3);
+            let mut fp = Vec::new();
+            let outcome = generator.sample_with_footprint(&mut rng, &mut fp);
+
+            // One mutation of each kind whose head the footprint avoids.
+            let mut candidates: Vec<Mutation> = Vec::new();
+            if let Some(&(u, v)) = edges.iter().find(|(_, v)| !fp.contains(&v.0)) {
+                candidates.push(Mutation::Remove { from: u, to: v });
+                candidates.push(Mutation::Upsert {
+                    from: u,
+                    to: v,
+                    probs: EdgeProbs::new(0.45, 0.95).unwrap(),
+                });
+            }
+            if let Some(v) = (0..12u32).find(|v| !fp.contains(v) && *v != 3) {
+                candidates.push(Mutation::Upsert {
+                    from: NodeId(3),
+                    to: NodeId(v),
+                    probs: EdgeProbs::new(0.3, 0.6).unwrap(),
+                });
+            }
+            for mutation in candidates {
+                if mutation.endpoints().0 == mutation.endpoints().1 {
+                    continue;
+                }
+                let g2 = apply_mutations(&g, std::slice::from_ref(&mutation));
+                let generator2 = PrrGenerator::new(&g2, &[NodeId(0)], 2);
+                let mut rng2 = SmallRng::seed_from_u64(sample_seed * 7 + 3);
+                let mut fp2 = Vec::new();
+                let outcome2 = generator2.sample_with_footprint(&mut rng2, &mut fp2);
+                assert_eq!(fp, fp2, "footprint changed (graph {graph_seed})");
+                match (&outcome, &outcome2) {
+                    (PrrOutcome::Activated, PrrOutcome::Activated)
+                    | (PrrOutcome::Hopeless, PrrOutcome::Hopeless) => {}
+                    (PrrOutcome::Boostable(a), PrrOutcome::Boostable(b)) => {
+                        assert!(
+                            PrrArena::from_graphs([a.clone()])
+                                == PrrArena::from_graphs([b.clone()]),
+                            "stored bytes changed under an unqueried mutation \
+                             (graph {graph_seed}, sample {sample_seed})"
+                        );
+                    }
+                    _ => panic!(
+                        "outcome class changed under an unqueried mutation \
+                         (graph {graph_seed}, sample {sample_seed})"
+                    ),
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 300, "degenerate: only {checked} pairs checked");
+}
+
+/// A mutation touching only nodes absent from every retained sample's
+/// staleness trace is a documented no-op, not an error: the epoch
+/// applies, nothing is invalidated or resampled, and the pool bytes are
+/// untouched. (Out-of-range endpoints are the typed-error case —
+/// `tests/engine_api.rs::engine_rejects_out_of_range_mutation_endpoints`.)
+#[test]
+fn mutation_on_untouched_nodes_invalidates_nothing() {
+    use kboost::graph::GraphBuilder;
+    use kboost::online::MutationLog;
+
+    // Nodes 4 and 5 are disconnected from the seeded component, so no
+    // sample's node table retains them; under the approximate rule even
+    // their footprints are invisible.
+    let mut b = GraphBuilder::new(6);
+    b.add_edge(NodeId(0), NodeId(1), 0.4, 0.8).unwrap();
+    b.add_edge(NodeId(1), NodeId(2), 0.3, 0.6).unwrap();
+    let g = b.build().unwrap();
+    let opts = MaintainerOptions {
+        target_samples: 800,
+        k: 2,
+        threads: 2,
+        base_seed: 0x10,
+        compact_threshold: 0.25,
+        staleness: Staleness::Approximate,
+    };
+    let mut m = PoolMaintainer::build(g, vec![NodeId(0)], opts);
+    let before = m.pool().arena().compacted();
+    let (total, empties) = (m.pool().total_samples(), m.pool().empty_samples());
+
+    let mut log = MutationLog::new();
+    log.insert_edge(NodeId(4), NodeId(5), EdgeProbs::new(0.2, 0.4).unwrap());
+    assert!(m.stale_graphs(log.pending()).is_empty());
+    let report = m.apply_epoch(&log.seal_epoch());
+    assert_eq!(report.invalidated, 0);
+    assert_eq!(report.drawn_stored + report.drawn_empty, 0);
+    assert!(m.pool().arena().compacted() == before, "pool bytes changed");
+    assert_eq!(m.pool().total_samples(), total);
+    assert_eq!(m.pool().empty_samples(), empties);
+    // The new edge exists in the maintained graph regardless.
+    assert!(m.graph().has_edge(NodeId(4), NodeId(5)));
+}
+
+/// The exact-rule incremental footprint indices (stored graphs *and*
+/// empty samples) answer staleness byte-equal to brute-force scans over
+/// the retained footprints — at every point of a mutation history, for
+/// probe batches the maintainer never applies, across compaction
+/// regimes.
+#[test]
+fn exact_stale_sets_match_fresh_footprint_scans() {
+    use kboost::online::Mutation;
+
+    fn fresh_scans(m: &PoolMaintainer, mutations: &[Mutation]) -> (Vec<u32>, Vec<u32>) {
+        if mutations.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let mut head_hit = vec![false; m.graph().num_nodes()];
+        for mu in mutations {
+            head_hit[mu.endpoints().1.index()] = true;
+        }
+        let arena = m.pool().arena();
+        let hit = |nodes: &[u32]| nodes.iter().any(|&v| head_hit[v as usize]);
+        let graphs = (0..arena.len() as u32)
+            .filter(|&gi| {
+                arena.is_live(gi as usize)
+                    && hit(arena.footprints().nodes(gi as usize).expect("sorted"))
+            })
+            .collect();
+        let empties = (0..arena.num_empty_footprints() as u32)
+            .filter(|&ei| {
+                arena.empty_is_live(ei as usize)
+                    && hit(arena.empty_footprints().nodes(ei as usize).expect("sorted"))
+            })
+            .collect();
+        (graphs, empties)
+    }
+
+    let g = er_graph(30, 140, 17);
+    let mut rng = SmallRng::seed_from_u64(0xF00D_5EED);
+    for threshold in [0.0, 1.0] {
+        let opts = MaintainerOptions {
+            target_samples: 2_500,
+            k: 2,
+            threads: 2,
+            base_seed: 0xBEE,
+            compact_threshold: threshold,
+            staleness: Staleness::Exact,
+        };
+        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts);
+        let history = random_history(&g, 5, &mut rng);
+        let probes: Vec<Vec<Mutation>> = vec![
+            vec![],
+            vec![Mutation::Remove {
+                from: NodeId(1),
+                to: NodeId(2),
+            }],
+            (0..6u32)
+                .map(|v| Mutation::Remove {
+                    from: NodeId(v),
+                    to: NodeId(v + 1),
+                })
+                .collect(),
+        ];
+        for batch in &history {
+            for probe in &probes {
+                let (graphs, empties) = fresh_scans(&m, probe);
+                assert_eq!(m.stale_graphs(probe), graphs, "graph index diverged");
+                assert_eq!(
+                    m.stale_empty_samples(probe),
+                    empties,
+                    "empty index diverged"
+                );
+            }
+            m.apply_epoch(batch);
+            for probe in &probes {
+                let (graphs, empties) = fresh_scans(&m, probe);
+                assert_eq!(
+                    m.stale_graphs(probe),
+                    graphs,
+                    "graph index diverged post-epoch"
+                );
+                assert_eq!(
+                    m.stale_empty_samples(probe),
+                    empties,
+                    "empty index diverged post-epoch"
+                );
+            }
         }
     }
 }
