@@ -11,9 +11,12 @@
 //! byte-equal to the shard-built one — as must the arenas across all
 //! thread counts, so a CI smoke run of this binary doubles as a
 //! determinism check. The indexed selection is additionally cross-checked
-//! against the naive re-traversal greedy (the deep-path oracle). Results
-//! go to `BENCH_prr.json`, committed alongside the code so the perf
-//! trajectory of the hot path is tracked across PRs.
+//! against the naive re-traversal greedy (the deep-path oracle). A
+//! **deadline curve** then solves the same instance through
+//! `Engine::solve_within` under sample budgets of ⅛, ¼ and ½ of the full
+//! target, recording the samples each budget bought and the achieved ε
+//! they certify. Results go to `BENCH_prr.json`, committed alongside the
+//! code so the perf trajectory of the hot path is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p kboost-bench --bin exp_perf -- \
@@ -24,7 +27,7 @@
 //! [`Engine`]: kboost_engine::Engine
 //! [`SolveStats`]: kboost_engine::SolveStats
 
-use kboost_engine::{Algorithm, EngineBuilder, Pipeline, Sampling, Solution};
+use kboost_engine::{Algorithm, Budget, EngineBuilder, Pipeline, Sampling, Solution};
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::ProbabilityModel;
 use kboost_graph::{DiGraph, NodeId};
@@ -270,6 +273,52 @@ fn main() {
         );
     }
 
+    // Deadline curve: what accuracy a latency budget actually buys.
+    // Fresh engines solve under sample budgets of ⅛, ¼ and ½ of the full
+    // target through `solve_within`; the full-target reference solution
+    // is the curve's last point. Each point records the samples the
+    // budget bought and the honest ε they certify — achieved ε must
+    // shrink monotonically as the budget grows (the CI json gate).
+    let curve_threads = *opts.threads.iter().max().unwrap();
+    let mut curve_json: Vec<String> = Vec::new();
+    for denom in [8u64, 4, 2] {
+        let budget_samples = (opts.samples / denom).max(1);
+        let mut engine = build_engine(&g, &seeds, &opts, curve_threads, Pipeline::Shard);
+        let solution = engine
+            .solve_within(
+                &Algorithm::PrrBoost,
+                &Budget::unlimited().max_samples(budget_samples),
+            )
+            .expect("budgeted solve");
+        assert!(
+            solution.stats.interrupted,
+            "a {budget_samples}-sample budget under a {}-sample target must interrupt",
+            opts.samples
+        );
+        let eps = solution
+            .stats
+            .achieved_epsilon
+            .expect("budgeted PRR solve certifies an ε");
+        eprintln!(
+            "deadline curve [budget {budget_samples}]: {} samples in {:.2}s, achieved ε {:.4}",
+            solution.stats.total_samples, solution.stats.build_secs, eps,
+        );
+        curve_json.push(format!(
+            "    {{ \"budget_samples\": {}, \"samples\": {}, \"achieved_epsilon\": {:.6}, \
+             \"interrupted\": true, \"build_secs\": {:.4} }}",
+            budget_samples, solution.stats.total_samples, eps, solution.stats.build_secs,
+        ));
+    }
+    let full_eps = ref_solution
+        .stats
+        .achieved_epsilon
+        .expect("full PRR solve certifies an ε");
+    curve_json.push(format!(
+        "    {{ \"budget_samples\": {}, \"samples\": {}, \"achieved_epsilon\": {:.6}, \
+         \"interrupted\": false, \"build_secs\": {:.4} }}",
+        opts.samples, ref_solution.stats.total_samples, full_eps, ref_solution.stats.build_secs,
+    ));
+
     let delta_hat = ref_solution.delta_hat.expect("PRR solve carries Δ̂");
     let ref_pool = ref_engine.pool().expect("reference pool");
     let sweep_json: Vec<String> = sweep
@@ -286,7 +335,8 @@ fn main() {
     let json = format!(
         "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
          \"seed\": {},\n  \"samples\": {},\n  \"boostable\": {},\n  \"arena_edges\": {},\n  \
-         \"arena_bytes\": {},\n  \"delta_hat\": {:.4},\n  \"thread_sweep\": [\n{}\n  ]{}\n}}\n",
+         \"arena_bytes\": {},\n  \"delta_hat\": {:.4},\n  \"thread_sweep\": [\n{}\n  ],\n  \
+         \"deadline_curve\": [\n{}\n  ]{}\n}}\n",
         g.num_nodes(),
         g.num_edges(),
         seeds.len(),
@@ -298,6 +348,7 @@ fn main() {
         ref_pool.memory_bytes(),
         delta_hat,
         sweep_json.join(",\n"),
+        curve_json.join(",\n"),
         legacy_json,
     );
     std::fs::write(&opts.out, &json).expect("write BENCH_prr.json");

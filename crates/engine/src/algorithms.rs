@@ -19,9 +19,10 @@ use kboost_baselines::{
 };
 use kboost_graph::NodeId;
 use kboost_prr::{greedy_delta_selection, PrrLbSource};
-use kboost_rrset::imm::run_imm;
+use kboost_rrset::imm::{achieved_epsilon, run_imm_within};
 use kboost_tree::{dp_boost, greedy_boost, BidirectedTree};
 
+use crate::budget::Budget;
 use crate::engine::Engine;
 use crate::error::KboostError;
 use crate::solution::{SandwichCertificate, Solution, SolveStats};
@@ -157,10 +158,21 @@ impl BoostAlgorithm for Algorithm {
     }
 }
 
-/// Shared stats snapshot of the engine's built pool.
-fn pool_stats(engine: &Engine, select_secs: f64, covered: u64) -> SolveStats {
+/// Shared stats snapshot of the engine's built pool. `mu_lb` is the
+/// returned solution's `µ̂` — the OPT lower bound against which the
+/// achieved ε inverts the IMM sample bound.
+fn pool_stats(engine: &Engine, select_secs: f64, covered: u64, mu_lb: f64) -> SolveStats {
     let pool = engine.pool_built();
     let (build_secs, convert_secs, build_peak_bytes) = engine.pool_build_stats();
+    let n = engine.graph().num_nodes();
+    let eps = achieved_epsilon(
+        n,
+        n - engine.seeds().len(),
+        engine.config().k,
+        engine.imm_params().ell,
+        pool.total_samples(),
+        mu_lb,
+    );
     SolveStats {
         total_samples: pool.total_samples(),
         boostable: pool.num_boostable() as u64,
@@ -171,6 +183,8 @@ fn pool_stats(engine: &Engine, select_secs: f64, covered: u64) -> SolveStats {
         build_peak_bytes,
         pool_bytes: pool.memory_bytes(),
         footprint_bytes: pool.arena().footprint_memory_bytes(),
+        achieved_epsilon: Some(eps),
+        interrupted: engine.build_interrupted(),
     }
 }
 
@@ -218,7 +232,7 @@ fn solve_sandwich(engine: &mut Engine) -> Result<Solution, KboostError> {
         delta_hat: Some(estimate),
         mu_hat: Some(mu_best),
         certificate: Some(certificate),
-        stats: pool_stats(engine, select_secs, covered),
+        stats: pool_stats(engine, select_secs, covered, mu_best),
     })
 }
 
@@ -243,7 +257,7 @@ fn solve_prr_boost(engine: &mut Engine) -> Result<Solution, KboostError> {
         delta_hat: Some(delta),
         mu_hat: Some(mu),
         certificate: None,
-        stats: pool_stats(engine, select_secs, sel.covered),
+        stats: pool_stats(engine, select_secs, sel.covered, mu),
     })
 }
 
@@ -267,19 +281,25 @@ fn solve_prr_boost_lb(engine: &mut Engine) -> Result<Solution, KboostError> {
             delta_hat: Some(delta),
             mu_hat: Some(mu),
             certificate: None,
-            stats: pool_stats(engine, select_secs, covered),
+            stats: pool_stats(engine, select_secs, covered, mu),
         });
     }
 
     let t0 = Instant::now();
     let n = engine.graph().num_nodes();
+    // The LB variant samples its own cover-only pool; a surrounding
+    // `solve_within` budget applies to it the same way it would to the
+    // engine pool.
+    let term = engine
+        .take_pending()
+        .unwrap_or_else(|| Budget::unlimited().resolve());
     let source = PrrLbSource::new(engine.graph(), engine.seeds(), engine.config().k);
-    let (result, pool, estimate) = match engine.config().sampling {
+    let (result, pool, estimate, interrupted) = match engine.config().sampling {
         Sampling::Imm => {
-            let run = run_imm(&source, &engine.imm_params());
+            let (run, interrupted) = run_imm_within(&source, &engine.imm_params(), &term);
             let estimate =
                 n as f64 * run.result.covered as f64 / run.pool.total_samples().max(1) as f64;
-            (run.result, run.pool, estimate)
+            (run.result, run.pool, estimate, interrupted)
         }
         Sampling::Ssa { initial } => {
             let cfg = engine.config();
@@ -291,15 +311,23 @@ fn solve_prr_boost_lb(engine: &mut Engine) -> Result<Solution, KboostError> {
                 threads: cfg.threads,
                 seed: cfg.seed,
             };
-            let run = kboost_rrset::ssa::run_ssa(&source, &params);
+            let (run, interrupted) = kboost_rrset::ssa::run_ssa_within(&source, &params, &term);
             // The validation pool never influenced selection, so its
             // estimate of µ̂ is the unbiased one to report.
-            (run.result, run.pool, run.validated_estimate)
+            (run.result, run.pool, run.validated_estimate, interrupted)
         }
         Sampling::Fixed { .. } => unreachable!("handled above"),
     };
     let build_secs = t0.elapsed().as_secs_f64();
     let cover_bytes = pool.cover_memory_bytes();
+    let eps = achieved_epsilon(
+        n,
+        n - engine.seeds().len(),
+        engine.config().k,
+        engine.imm_params().ell,
+        pool.total_samples(),
+        estimate,
+    );
     Ok(Solution {
         algorithm: Algorithm::PrrBoostLb.name(),
         boost_set: result.selected,
@@ -316,6 +344,8 @@ fn solve_prr_boost_lb(engine: &mut Engine) -> Result<Solution, KboostError> {
             build_peak_bytes: cover_bytes,
             pool_bytes: cover_bytes,
             footprint_bytes: 0,
+            achieved_epsilon: Some(eps),
+            interrupted,
         },
     })
 }

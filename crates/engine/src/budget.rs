@@ -1,0 +1,242 @@
+//! [`Budget`] — the latency contract of a solve.
+//!
+//! Sampling dominates every pool-backed solve by orders of magnitude, so
+//! bounding a solve means bounding its sampling. A `Budget` combines up
+//! to three stop conditions — a wall-clock deadline, a sample cap, and a
+//! cooperative cancel flag — and is polled at every chunk boundary of the
+//! underlying [`SketchPool`](kboost_rrset::SketchPool) via the
+//! [`Terminator`] contract. Whatever the budget bought is still a valid
+//! pool prefix: selection runs over it, and the solution reports the
+//! *achieved* accuracy ([`SolveStats::achieved_epsilon`]) so callers can
+//! judge the partial answer instead of trusting the configured ε.
+//!
+//! An [`unlimited`](Budget::unlimited) budget never stops anything:
+//! [`Engine::solve_within`] under it is **bit-identical** to
+//! [`Engine::solve`] (`tests/engine_api.rs` asserts it).
+//!
+//! Deterministic budgets ([`max_samples`](Budget::max_samples) alone)
+//! stop after a chunk count that depends only on the sample stream, so
+//! the partial pool is bit-identical across thread counts. Deadlines and
+//! cancel flags are timing-dependent: the pool still holds a valid
+//! contiguous chunk prefix, but *which* prefix varies run to run.
+//!
+//! [`Engine::solve`]: crate::Engine::solve
+//! [`Engine::solve_within`]: crate::Engine::solve_within
+//! [`SolveStats::achieved_epsilon`]: crate::SolveStats::achieved_epsilon
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use kboost_rrset::terminator::{CancelFlag, SampleProgress, Terminator};
+
+/// A snapshot of solve progress, delivered to the observer installed via
+/// [`Budget::observe`].
+///
+/// Chunk-boundary ticks carry only the sample count; stage-boundary
+/// reports on the fixed-size build path (every
+/// `PoolMaintainer`-internal build stage) additionally carry the running
+/// estimate and the certificate width.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveProgress {
+    /// Samples drawn so far for the pool being built.
+    pub samples: u64,
+    /// The build's sample target, when one is known up front (fixed-size
+    /// sampling; adaptive runs discover their target as they go).
+    pub target: Option<u64>,
+    /// Running `Δ̂` of a greedy selection over the samples so far (stage
+    /// boundaries only).
+    pub delta_hat: Option<f64>,
+    /// The accuracy the samples so far already guarantee — the ε that
+    /// would make the IMM bound demand exactly this many samples (stage
+    /// boundaries only). Shrinks as sampling proceeds.
+    pub achieved_epsilon: Option<f64>,
+}
+
+type Observer = Arc<Mutex<dyn FnMut(&SolveProgress) + Send>>;
+
+/// A composable latency budget for [`Engine::solve_within`] and
+/// [`Engine::apply_mutations_within`].
+///
+/// All conditions are optional and compose disjunctively: sampling stops
+/// as soon as *any* of them triggers. [`Budget::unlimited`] (also the
+/// `Default`) imposes nothing.
+///
+/// [`Engine::solve_within`]: crate::Engine::solve_within
+/// [`Engine::apply_mutations_within`]: crate::Engine::apply_mutations_within
+#[derive(Clone, Default)]
+pub struct Budget {
+    deadline: Option<Duration>,
+    max_samples: Option<u64>,
+    cancel: Option<CancelFlag>,
+    observer: Option<Observer>,
+}
+
+impl Budget {
+    /// No deadline, no sample cap, no cancel flag: solves run exactly as
+    /// [`Engine::solve`](crate::Engine::solve) would.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Stop sampling once this much wall-clock time has elapsed, counted
+    /// from the moment the budgeted call starts.
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.deadline = Some(after);
+        self
+    }
+
+    /// Stop sampling at the first chunk boundary at or past this many
+    /// samples (the overshoot is less than one chunk,
+    /// [`CHUNK_SIZE`](kboost_rrset::CHUNK_SIZE) samples). Deterministic:
+    /// the resulting pool is bit-identical across thread counts.
+    pub fn max_samples(mut self, samples: u64) -> Self {
+        self.max_samples = Some(samples);
+        self
+    }
+
+    /// Stop sampling when `flag` is raised (from any thread — the flag is
+    /// an `Arc`'d atomic).
+    pub fn cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Install a progress observer, called at chunk boundaries with the
+    /// samples drawn so far and at build-stage boundaries with the
+    /// running `Δ̂` and achieved ε as well. Called from worker threads
+    /// (serialized through a mutex); keep it cheap.
+    pub fn observe(mut self, f: impl FnMut(&SolveProgress) + Send + 'static) -> Self {
+        self.observer = Some(Arc::new(Mutex::new(f)));
+        self
+    }
+
+    /// Whether this budget can never stop a solve.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_samples.is_none() && self.cancel.is_none()
+    }
+
+    /// Pins the deadline to a concrete instant — called once when the
+    /// budgeted engine call starts, so elapsed time counts from there.
+    pub(crate) fn resolve(&self) -> ResolvedBudget {
+        ResolvedBudget {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            max_samples: self.max_samples,
+            cancel: self.cancel.clone(),
+            observer: self.observer.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.deadline)
+            .field("max_samples", &self.max_samples)
+            .field(
+                "cancelled",
+                &self.cancel.as_ref().map(CancelFlag::is_cancelled),
+            )
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+/// A [`Budget`] with its deadline pinned to an instant; the engine's
+/// internal [`Terminator`] for one budgeted call.
+pub(crate) struct ResolvedBudget {
+    deadline: Option<Instant>,
+    max_samples: Option<u64>,
+    cancel: Option<CancelFlag>,
+    observer: Option<Observer>,
+}
+
+impl ResolvedBudget {
+    /// Delivers a rich (stage-boundary) progress report to the observer.
+    pub(crate) fn notify(&self, progress: &SolveProgress) {
+        if let Some(obs) = &self.observer {
+            (obs.lock().expect("progress observer poisoned"))(progress);
+        }
+    }
+}
+
+impl Terminator for ResolvedBudget {
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        self.notify(&SolveProgress {
+            samples: progress.samples,
+            target: None,
+            delta_hat: None,
+            achieved_epsilon: None,
+        });
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_samples {
+            if progress.samples >= max {
+                return true;
+            }
+        }
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let term = Budget::unlimited().resolve();
+        assert!(Budget::unlimited().is_unlimited());
+        for samples in [0, 1 << 20, u64::MAX / 2] {
+            assert!(!term.should_stop(&SampleProgress { samples, chunk: 0 }));
+        }
+    }
+
+    #[test]
+    fn conditions_compose_disjunctively() {
+        let flag = CancelFlag::new();
+        let term = Budget::unlimited()
+            .max_samples(1_000)
+            .cancel_flag(flag.clone())
+            .resolve();
+        let below = SampleProgress {
+            samples: 999,
+            chunk: 3,
+        };
+        assert!(!term.should_stop(&below));
+        assert!(term.should_stop(&SampleProgress {
+            samples: 1_000,
+            chunk: 4
+        }));
+        flag.cancel();
+        assert!(term.should_stop(&below), "flag alone must stop");
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately() {
+        let term = Budget::unlimited().deadline(Duration::ZERO).resolve();
+        assert!(term.should_stop(&SampleProgress {
+            samples: 0,
+            chunk: 0
+        }));
+    }
+
+    #[test]
+    fn observer_sees_every_poll() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = ticks.clone();
+        let term = Budget::unlimited()
+            .observe(move |p| {
+                t.fetch_add(p.samples, Ordering::Relaxed);
+            })
+            .resolve();
+        for samples in [10, 20] {
+            term.should_stop(&SampleProgress { samples, chunk: 0 });
+        }
+        assert_eq!(ticks.load(Ordering::Relaxed), 30);
+    }
+}

@@ -5,14 +5,17 @@ use std::time::Instant;
 
 use kboost_core::{sandwich_ratio_curve, PrrPool, RatioPoint};
 use kboost_graph::{DiGraph, NodeId};
-use kboost_online::{EpochBatch, EpochReport, MaintainerOptions, Mutation, PoolMaintainer};
+use kboost_online::{
+    validate_mutations, EpochBatch, EpochReport, MaintainerOptions, Mutation, PoolMaintainer,
+};
 use kboost_prr::{CompressedPrr, LegacyPrrSource, PrrFullSource};
 use kboost_rrset::greedy::greedy_max_cover;
-use kboost_rrset::imm::{run_imm, ImmParams};
-use kboost_rrset::sketch::SketchPool;
-use kboost_rrset::ssa::{run_ssa, SsaParams};
+use kboost_rrset::imm::{achieved_epsilon, run_imm_within, ImmParams};
+use kboost_rrset::sketch::{ExtendStatus, SketchPool};
+use kboost_rrset::ssa::{run_ssa_within, SsaParams};
 
 use crate::algorithms::BoostAlgorithm;
+use crate::budget::{Budget, ResolvedBudget, SolveProgress};
 use crate::config::{EngineConfig, Pipeline, Sampling};
 use crate::error::KboostError;
 use crate::solution::Solution;
@@ -67,6 +70,12 @@ pub struct Engine {
     seeds: Vec<NodeId>,
     cfg: EngineConfig,
     state: PoolState,
+    /// The resolved budget a [`solve_within`](Self::solve_within) call
+    /// stashed for the pool build its algorithm will trigger.
+    pending: Option<ResolvedBudget>,
+    /// Whether the built pool's sampling was stopped early by a budget —
+    /// a property of the pool, reported on every solve that uses it.
+    interrupted: bool,
 }
 
 impl Engine {
@@ -80,6 +89,8 @@ impl Engine {
             seeds,
             cfg,
             state: PoolState::Unbuilt,
+            pending: None,
+            interrupted: false,
         }
     }
 
@@ -123,6 +134,61 @@ impl Engine {
     pub fn run(&mut self) -> Result<Solution, KboostError> {
         let algorithm = self.cfg.algorithm;
         self.solve(&algorithm)
+    }
+
+    /// [`solve`](Self::solve) under a latency [`Budget`]: the deadline,
+    /// sample cap, and cancel flag are polled at every chunk boundary of
+    /// the pool build this solve triggers, and sampling stops
+    /// cooperatively as soon as any of them fires. Selection then runs on
+    /// whatever the budget bought — always a valid pool prefix — and the
+    /// solution reports the honest accuracy of that partial pool in
+    /// [`SolveStats::achieved_epsilon`](crate::SolveStats::achieved_epsilon)
+    /// plus [`SolveStats::interrupted`](crate::SolveStats::interrupted).
+    ///
+    /// `solve_within(alg, &Budget::unlimited())` is **bit-identical** to
+    /// `solve(alg)`. A budget with only
+    /// [`max_samples`](Budget::max_samples) is deterministic (the partial
+    /// pool is bit-identical across thread counts); deadlines and cancel
+    /// flags stop at a timing-dependent chunk.
+    ///
+    /// The budget governs the *pool build*; if the pool already exists
+    /// the solve is pure selection (milliseconds) and completes
+    /// regardless of the budget.
+    pub fn solve_within<A: BoostAlgorithm + ?Sized>(
+        &mut self,
+        algorithm: &A,
+        budget: &Budget,
+    ) -> Result<Solution, KboostError> {
+        self.pending = Some(budget.resolve());
+        let out = algorithm.solve(self);
+        self.pending = None;
+        out
+    }
+
+    /// [`run`](Self::run) under a latency [`Budget`].
+    pub fn run_within(&mut self, budget: &Budget) -> Result<Solution, KboostError> {
+        let algorithm = self.cfg.algorithm;
+        self.solve_within(&algorithm, budget)
+    }
+
+    /// Builds the engine's pool under a [`Budget`] without solving —
+    /// useful to warm a service up to whatever accuracy a startup window
+    /// allows, then answer `Δ̂`/`µ̂`/solve queries on the partial pool.
+    /// No-op if the pool is already built.
+    pub fn build_pool_within(&mut self, budget: &Budget) -> Result<(), KboostError> {
+        if !matches!(self.state, PoolState::Unbuilt) {
+            return Ok(());
+        }
+        let term = budget.resolve();
+        self.build_pool_with(&term)
+    }
+
+    /// Whether the built pool's sampling was stopped early by a budget.
+    /// `false` until a pool exists. A pool interrupted at build keeps
+    /// serving — every query and solve it answers is flagged through
+    /// [`SolveStats::interrupted`](crate::SolveStats::interrupted).
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// `Δ̂(B)` over the engine's pool (built on first use).
@@ -188,25 +254,40 @@ impl Engine {
     /// serving `Δ̂`/`µ̂`/solve queries while the graph evolves.
     ///
     /// Requires [`Sampling::Fixed`] (the maintainer keeps the sample
-    /// count constant) and the shard pipeline. Epochs must be applied
-    /// contiguously; a gap is a typed [`KboostError::EpochOrder`], and a
-    /// mutation endpoint outside the node universe is a typed
-    /// [`KboostError::Graph`] — not a panic.
+    /// count constant) and the shard pipeline. The epoch is
+    /// transactional: a gap is a typed [`KboostError::EpochOrder`], a
+    /// malformed mutation (out-of-universe endpoint, self-loop) is a
+    /// typed [`KboostError::Mutation`] — never a panic — and in every
+    /// error case nothing was applied.
     pub fn apply_mutations(&mut self, batch: &EpochBatch) -> Result<EpochReport, KboostError> {
+        self.apply_mutations_within(batch, &Budget::unlimited())
+    }
+
+    /// [`apply_mutations`](Self::apply_mutations) under a latency
+    /// [`Budget`], polled at every chunk boundary of the epoch's refresh
+    /// sampling. A budget that fires mid-refresh aborts the epoch with
+    /// [`KboostError::Interrupted`] and **rolls the pool back** to its
+    /// byte-identical pre-epoch state; the same batch can be retried
+    /// verbatim (with a bigger budget) and converges to exactly what an
+    /// uninterrupted apply would have produced.
+    pub fn apply_mutations_within(
+        &mut self,
+        batch: &EpochBatch,
+        budget: &Budget,
+    ) -> Result<EpochReport, KboostError> {
         self.require_online("apply_mutations")?;
-        self.validate_mutations(&batch.mutations)?;
+        // Validate at ingress, before the (possibly expensive) first
+        // pool build a bad batch must not trigger.
+        validate_mutations(self.graph().num_nodes(), &batch.mutations)
+            .map_err(KboostError::from)?;
         self.ensure_pool()?;
         let PoolState::Maintained { maintainer, .. } = &mut self.state else {
             unreachable!("require_online guarantees the maintained state");
         };
-        let expected = maintainer.epoch() + 1;
-        if batch.epoch != expected {
-            return Err(KboostError::EpochOrder {
-                expected,
-                got: batch.epoch,
-            });
-        }
-        Ok(maintainer.apply_epoch(batch))
+        let term = budget.resolve();
+        maintainer
+            .apply_epoch_within(batch, &term)
+            .map_err(KboostError::from)
     }
 
     /// Dry run of the staleness rule: the live stored samples `mutations`
@@ -214,30 +295,12 @@ impl Engine {
     /// batch before sealing it. Builds the pool on first use.
     pub fn stale_graphs(&mut self, mutations: &[Mutation]) -> Result<Vec<u32>, KboostError> {
         self.require_online("stale_graphs")?;
-        self.validate_mutations(mutations)?;
+        validate_mutations(self.graph().num_nodes(), mutations).map_err(KboostError::from)?;
         self.ensure_pool()?;
         let PoolState::Maintained { maintainer, .. } = &mut self.state else {
             unreachable!("require_online guarantees the maintained state");
         };
         Ok(maintainer.stale_graphs(mutations))
-    }
-
-    /// Mutations are the one input a live service feeds continuously —
-    /// out-of-range endpoints become typed errors here instead of index
-    /// panics inside the maintainer.
-    fn validate_mutations(&self, mutations: &[Mutation]) -> Result<(), KboostError> {
-        let n = self.graph().num_nodes();
-        for m in mutations {
-            let (u, v) = m.endpoints();
-            for node in [u, v] {
-                if node.index() >= n {
-                    return Err(KboostError::Graph(
-                        kboost_graph::BuildError::NodeOutOfRange { node, n },
-                    ));
-                }
-            }
-        }
-        Ok(())
     }
 
     fn require_online(&self, operation: &'static str) -> Result<(), KboostError> {
@@ -271,19 +334,43 @@ impl Engine {
         }
     }
 
-    /// Builds the pool dictated by the sampling policy, once.
+    /// Builds the pool dictated by the sampling policy, once. Consumes
+    /// the budget a surrounding [`solve_within`](Self::solve_within)
+    /// stashed (unlimited otherwise) — one code path for budgeted and
+    /// plain solves, which is what makes them bit-identical.
     pub(crate) fn ensure_pool(&mut self) -> Result<(), KboostError> {
         if !matches!(self.state, PoolState::Unbuilt) {
             return Ok(());
         }
+        let term = self
+            .pending
+            .take()
+            .unwrap_or_else(|| Budget::unlimited().resolve());
+        self.build_pool_with(&term)
+    }
+
+    /// The budget a surrounding [`solve_within`](Self::solve_within)
+    /// stashed, for algorithms that sample outside the engine's own pool
+    /// (PRR-Boost-LB under adaptive sampling).
+    pub(crate) fn take_pending(&mut self) -> Option<ResolvedBudget> {
+        self.pending.take()
+    }
+
+    /// Records whether the engine-pool build was stopped early.
+    pub(crate) fn build_interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    fn build_pool_with(&mut self, term: &ResolvedBudget) -> Result<(), KboostError> {
         match (self.cfg.sampling, self.cfg.pipeline) {
             (Sampling::Imm, Pipeline::Shard) => {
                 let t0 = Instant::now();
                 let g = self.graph.as_ref().expect("offline engine owns the graph");
                 let source = PrrFullSource::new(g, &self.seeds, self.cfg.k);
-                let run = run_imm(&source, &self.imm_params());
+                let (run, interrupted) = run_imm_within(&source, &self.imm_params(), term);
                 let peak_bytes = run.pool.shard().memory_bytes() + run.pool.cover_memory_bytes();
                 let pool = PrrPool::new(run.pool, g.num_nodes(), self.cfg.threads);
+                self.interrupted = interrupted;
                 self.state = PoolState::Adaptive {
                     pool,
                     b_mu: run.result.selected,
@@ -304,9 +391,10 @@ impl Engine {
                     threads: self.cfg.threads,
                     seed: self.cfg.seed,
                 };
-                let run = run_ssa(&source, &params);
+                let (run, interrupted) = run_ssa_within(&source, &params, term);
                 let peak_bytes = run.pool.shard().memory_bytes() + run.pool.cover_memory_bytes();
                 let pool = PrrPool::new(run.pool, g.num_nodes(), self.cfg.threads);
+                self.interrupted = interrupted;
                 self.state = PoolState::Adaptive {
                     pool,
                     b_mu: run.result.selected,
@@ -317,10 +405,44 @@ impl Engine {
             }
             (Sampling::Fixed { samples }, Pipeline::Shard) => {
                 let t0 = Instant::now();
-                let g = self.graph.take().expect("offline engine owns the graph");
-                let maintainer = PoolMaintainer::build(
+                // The maintainer takes the graph by value; keep ours
+                // until the build succeeds so a typed failure (bad
+                // staleness config, injected panic) leaves the engine
+                // fully usable. The copy is a flat-array memcpy — noise
+                // against the sampling the build is about to do.
+                let g = self
+                    .graph
+                    .as_ref()
+                    .expect("offline engine owns the graph")
+                    .clone();
+                let n = g.num_nodes();
+                let k = self.cfg.k;
+                let ell = self.imm_params().ell;
+                let seeds = self.seeds.clone();
+                let num_seeds = seeds.len();
+                let mut eligible = vec![true; n];
+                for &s in &seeds {
+                    eligible[s.index()] = false;
+                }
+                // Stage-boundary progress: a greedy pass over the covers
+                // so far gives the running Δ̂, and inverting the IMM
+                // bound at the current sample count gives the accuracy
+                // already guaranteed.
+                let mut on_stage = |target: u64, pool: &SketchPool<_>| {
+                    let drawn = pool.total_samples();
+                    let res = greedy_max_cover(pool.covers(), n, k, Some(&eligible));
+                    let delta = n as f64 * res.covered as f64 / drawn.max(1) as f64;
+                    let eps = achieved_epsilon(n, n - num_seeds, k, ell, drawn, delta);
+                    term.notify(&SolveProgress {
+                        samples: drawn,
+                        target: Some(target),
+                        delta_hat: Some(delta),
+                        achieved_epsilon: Some(eps),
+                    });
+                };
+                let maintainer = PoolMaintainer::build_within(
                     g,
-                    self.seeds.clone(),
+                    seeds,
                     MaintainerOptions {
                         target_samples: samples,
                         k: self.cfg.k,
@@ -329,7 +451,12 @@ impl Engine {
                         compact_threshold: self.cfg.compact_threshold,
                         staleness: self.cfg.staleness,
                     },
-                );
+                    term,
+                    &mut on_stage,
+                )
+                .map_err(KboostError::from)?;
+                self.graph = None;
+                self.interrupted = maintainer.pool().total_samples() < samples;
                 self.state = PoolState::Maintained {
                     maintainer,
                     build_secs: t0.elapsed().as_secs_f64(),
@@ -341,7 +468,8 @@ impl Engine {
                 let source = LegacyPrrSource::new(g, &self.seeds, self.cfg.k);
                 let mut sketches: SketchPool<Vec<CompressedPrr>> =
                     SketchPool::new(self.cfg.seed, self.cfg.threads);
-                sketches.extend_to(&source, samples);
+                let status = sketches.extend_to_within(&source, samples, term);
+                self.interrupted = status == ExtendStatus::Interrupted;
                 let build_secs = t0.elapsed().as_secs_f64();
                 let payload_bytes: usize = sketches
                     .shard()

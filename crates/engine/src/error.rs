@@ -13,6 +13,7 @@ use std::fmt;
 
 use kboost_graph::io::IoError;
 use kboost_graph::BuildError;
+use kboost_online::{InterruptCause, MutationError, OnlineError};
 use kboost_tree::TreeError;
 
 /// Any error the kboost workspace can produce through the engine API.
@@ -54,6 +55,19 @@ pub enum KboostError {
         /// The epoch that was submitted.
         got: u64,
     },
+    /// A mutation batch failed ingress validation (out-of-universe
+    /// endpoint, self-loop); nothing was applied.
+    Mutation(MutationError),
+    /// An epoch's refresh sampling was cancelled by a
+    /// [`Budget`](crate::Budget) or panicked; the maintained pool was
+    /// rolled back byte-identically to its pre-epoch state and the same
+    /// batch can be retried verbatim.
+    Interrupted {
+        /// The epoch whose refresh was interrupted.
+        epoch: u64,
+        /// Whether the refresh was cancelled or panicked.
+        cause: InterruptCause,
+    },
 }
 
 impl fmt::Display for KboostError {
@@ -73,6 +87,10 @@ impl fmt::Display for KboostError {
                 "mutation epochs must be applied contiguously: expected epoch {expected}, \
                  got {got}"
             ),
+            KboostError::Mutation(e) => write!(f, "invalid mutation batch: {e}"),
+            KboostError::Interrupted { epoch, cause } => {
+                write!(f, "epoch {epoch} refresh {cause}; pool rolled back")
+            }
         }
     }
 }
@@ -82,6 +100,7 @@ impl std::error::Error for KboostError {
         match self {
             KboostError::Graph(e) => Some(e),
             KboostError::Tree(e) => Some(e),
+            KboostError::Mutation(e) => Some(e),
             _ => None,
         }
     }
@@ -102,6 +121,26 @@ impl From<TreeError> for KboostError {
 impl From<IoError> for KboostError {
     fn from(e: IoError) -> Self {
         KboostError::Io(e.to_string())
+    }
+}
+
+impl From<MutationError> for KboostError {
+    fn from(e: MutationError) -> Self {
+        KboostError::Mutation(e)
+    }
+}
+
+impl From<OnlineError> for KboostError {
+    fn from(e: OnlineError) -> Self {
+        match e {
+            OnlineError::Mutation(m) => KboostError::Mutation(m),
+            OnlineError::Staleness { message } => KboostError::Config {
+                field: "staleness",
+                message,
+            },
+            OnlineError::EpochOrder { expected, got } => KboostError::EpochOrder { expected, got },
+            OnlineError::Interrupted { epoch, cause } => KboostError::Interrupted { epoch, cause },
+        }
     }
 }
 

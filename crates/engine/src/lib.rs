@@ -19,7 +19,19 @@
 //!   stats ([`SolveStats`]).
 //! * **Online lifecycle** — [`Engine::apply_mutations`] drives the
 //!   incremental pool maintainer behind the same handle, so one object
-//!   serves `Δ̂`/`µ̂`/solve queries while the graph evolves.
+//!   serves `Δ̂`/`µ̂`/solve queries while the graph evolves. Epochs are
+//!   transactional: malformed batches are rejected at ingress with a
+//!   typed [`KboostError::Mutation`], and an epoch whose refresh is
+//!   cancelled or panics rolls back byte-identically
+//!   ([`KboostError::Interrupted`]) and can be retried verbatim.
+//! * **Latency contract** — [`Engine::solve_within`] bounds a solve by a
+//!   [`Budget`] (deadline, sample cap, cooperative [`CancelFlag`] —
+//!   composable, with an optional progress observer). Sampling stops at
+//!   the next chunk boundary, selection runs on whatever the budget
+//!   bought, and the solution reports the accuracy the partial pool
+//!   actually guarantees ([`SolveStats::achieved_epsilon`]).
+//!   `solve_within` under [`Budget::unlimited`] is bit-identical to
+//!   [`Engine::solve`].
 //!
 //! Selections through the engine are **bit-identical** to the hand-wired
 //! pipeline under the workspace determinism contract (same seed and
@@ -54,6 +66,7 @@
 #![deny(missing_docs)]
 
 mod algorithms;
+mod budget;
 mod config;
 mod engine;
 mod error;
@@ -61,6 +74,7 @@ pub mod scenario;
 mod solution;
 
 pub use algorithms::{Algorithm, BoostAlgorithm};
+pub use budget::{Budget, SolveProgress};
 pub use config::{EngineBuilder, EngineConfig, Pipeline, Sampling};
 pub use engine::Engine;
 pub use error::KboostError;
@@ -72,4 +86,7 @@ pub use solution::{SandwichCertificate, Solution, SolveStats};
 pub use kboost_baselines::WeightedDegree;
 pub use kboost_core::{BudgetPoint, RatioPoint};
 pub use kboost_graph::{DiGraph, EdgeProbs, GraphBuilder, NodeId};
-pub use kboost_online::{EpochBatch, EpochReport, Mutation, MutationLog, Staleness};
+pub use kboost_online::{
+    EpochBatch, EpochReport, InterruptCause, Mutation, MutationError, MutationLog, Staleness,
+};
+pub use kboost_rrset::terminator::CancelFlag;

@@ -57,6 +57,17 @@ pub struct SolveStats {
     /// [`Staleness`](crate::Staleness) rule (0 in approximate mode and
     /// for pool-free baselines).
     pub footprint_bytes: usize,
+    /// The relative accuracy the backing pool's sample count actually
+    /// guarantees: the ε at which the IMM sample bound demands exactly
+    /// `total_samples` samples against the solution's own `µ̂` lower
+    /// bound. For an uninterrupted IMM run this is at most the configured
+    /// ε; for a budget-truncated run it is the honest (larger) figure the
+    /// partial answer carries. `None` for pool-free algorithms.
+    pub achieved_epsilon: Option<f64>,
+    /// Whether the backing pool's sampling was stopped early by a
+    /// [`Budget`](crate::Budget) — the solution is then a valid partial
+    /// answer whose accuracy is `achieved_epsilon`, not the configured ε.
+    pub interrupted: bool,
 }
 
 /// What an [`Engine`](crate::Engine) solve returns, uniformly across

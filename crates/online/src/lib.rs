@@ -80,11 +80,43 @@
 //! not this redraw-conditioning effect; `tests/estimator_accuracy.rs`
 //! pins both). Closing it needs conditional refresh — per-sample coin
 //! reuse or rejection resampling — tracked on the ROADMAP.
+//!
+//! # Transactional epochs — the fault-tolerance contract
+//!
+//! Every epoch applies atomically, or not at all:
+//!
+//! * **Ingress validation.** [`validate_mutations`] rejects batches that
+//!   reference out-of-universe nodes or self-loops with a typed
+//!   [`MutationError`] before anything is touched; `apply_mutations`
+//!   returns `Result` and never panics.
+//! * **Compute-then-commit.**
+//!   [`apply_epoch`](maintain::PoolMaintainer::apply_epoch) computes the
+//!   mutated graph, stale sets, and the
+//!   refresh pool against the *pre-epoch* state; only a fully sampled
+//!   refresh is committed. A refresh that is cancelled by a
+//!   [`Terminator`](kboost_rrset::Terminator) (see
+//!   [`apply_epoch_within`](maintain::PoolMaintainer::apply_epoch_within))
+//!   or that panics mid-sampling is contained (`catch_unwind`) and
+//!   surfaced as [`OnlineError::Interrupted`]; the maintainer's graph,
+//!   epoch counter, and arena are then **byte-identical** to their
+//!   pre-epoch state, and the identical batch can be retried verbatim —
+//!   the retry converges to the same bytes as an uninterrupted apply
+//!   (fault-injection proptests in `tests/online_pool.rs` drive random
+//!   mutation histories with cancellations and panics at random chunk
+//!   boundaries and check both properties against the
+//!   [`rebuild_from_history`] oracle).
+//! * **Bounded builds.**
+//!   [`build_within`](maintain::PoolMaintainer::build_within) polls its
+//!   terminator at stage boundaries that are
+//!   multiples of the chunk size, so a cancelled build yields a smaller
+//!   pool that is a bit-identical prefix of the full build's stream.
 
+pub mod error;
 pub mod maintain;
 pub mod mutation;
 
+pub use error::{InterruptCause, MutationError, OnlineError};
 pub use maintain::{
     rebuild_from_history, EpochReport, MaintainerOptions, PoolMaintainer, Staleness,
 };
-pub use mutation::{apply_mutations, EpochBatch, Mutation, MutationLog};
+pub use mutation::{apply_mutations, validate_mutations, EpochBatch, Mutation, MutationLog};

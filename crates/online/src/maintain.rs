@@ -37,9 +37,11 @@ use kboost_prr::{
     LegacyFpSource, LegacyPrrSource, LegacySample, NodeIndex, PrrArena, PrrArenaShard,
     PrrFullSource,
 };
-use kboost_rrset::sketch::SketchPool;
+use kboost_rrset::sketch::{ExtendStatus, SketchPool, CHUNK_SIZE};
+use kboost_rrset::terminator::{Terminator, Unlimited};
 
-use crate::mutation::{apply_mutations, EpochBatch, Mutation};
+use crate::error::{InterruptCause, OnlineError};
+use crate::mutation::{apply_mutations, validate_mutations, EpochBatch, Mutation};
 
 /// How the maintainer decides which retained samples a mutation batch
 /// invalidates.
@@ -326,6 +328,12 @@ fn bloom_stale_scan(
         .collect()
 }
 
+/// Samples per progress stage of a staged ([`PoolMaintainer::build_within`])
+/// pool build. A multiple of the sampling [`CHUNK_SIZE`], so stage
+/// boundaries are chunk-aligned and staged builds stay bit-identical to
+/// one-shot builds.
+const BUILD_STAGE: u64 = 64 * CHUNK_SIZE;
+
 /// A PRR pool kept consistent with an evolving graph.
 pub struct PoolMaintainer {
     graph: DiGraph,
@@ -351,29 +359,70 @@ impl PoolMaintainer {
     /// [`SketchPool`] build with the same base seed (footprint capture,
     /// when the staleness rule retains one, consumes no randomness).
     ///
-    /// # Panics
-    /// Panics if the staleness rule's footprint parameters are invalid
-    /// (an [`ExactBloom`](Staleness::ExactBloom) width that is not a
-    /// power of two ≥ 64) — the engine API validates this up front and
-    /// returns a typed error instead.
-    pub fn build(graph: DiGraph, seeds: Vec<NodeId>, opts: MaintainerOptions) -> Self {
+    /// Invalid staleness parameters (an
+    /// [`ExactBloom`](Staleness::ExactBloom) width that is not a power of
+    /// two ≥ 64) are rejected with [`OnlineError::Staleness`] — the
+    /// engine API additionally validates this at configuration time.
+    pub fn build(
+        graph: DiGraph,
+        seeds: Vec<NodeId>,
+        opts: MaintainerOptions,
+    ) -> Result<Self, OnlineError> {
+        Self::build_within(graph, seeds, opts, &Unlimited, &mut |_, _| {})
+    }
+
+    /// [`build`](Self::build) under a cooperative stop condition, with a
+    /// progress callback invoked after every completed sampling stage
+    /// (`on_stage(target_samples, &pool_so_far)`).
+    ///
+    /// Stages are chunk-aligned, so an unlimited staged build is
+    /// bit-identical to the one-shot build. A *cancelled* build returns
+    /// `Ok` with a usable partial pool — a contiguous chunk prefix of
+    /// the full build, holding however many samples the budget bought
+    /// (`pool().total_samples()` tells how far it got); selection and
+    /// estimation over it are exact for the samples present. A build
+    /// whose sampling *panicked* returns
+    /// [`OnlineError::Interrupted`] with
+    /// [`InterruptCause::Panicked`] instead — the panic is contained
+    /// here and never unwinds into the caller.
+    pub fn build_within<T: Terminator + ?Sized>(
+        graph: DiGraph,
+        seeds: Vec<NodeId>,
+        opts: MaintainerOptions,
+        term: &T,
+        on_stage: &mut dyn FnMut(u64, &SketchPool<PrrArenaShard>),
+    ) -> Result<Self, OnlineError> {
         if let Err(message) = opts.staleness.footprint_mode().validate() {
-            panic!("invalid staleness configuration: {message}");
+            return Err(OnlineError::Staleness {
+                message: message.to_string(),
+            });
         }
-        let mut sketches: SketchPool<PrrArenaShard> =
-            SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
-        sketches.extend_to(
-            &PrrFullSource::with_footprints(
+        let sampled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let source = PrrFullSource::with_footprints(
                 &graph,
                 &seeds,
                 opts.k,
                 opts.staleness.footprint_mode(),
-            ),
-            opts.target_samples,
-        );
+            );
+            let mut sketches: SketchPool<PrrArenaShard> =
+                SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+            while sketches.total_samples() < opts.target_samples {
+                let stage = (sketches.total_samples() + BUILD_STAGE).min(opts.target_samples);
+                let status = sketches.extend_to_within(&source, stage, term);
+                on_stage(opts.target_samples, &sketches);
+                if status == ExtendStatus::Interrupted {
+                    break;
+                }
+            }
+            sketches
+        }));
+        let sketches = sampled.map_err(|_| OnlineError::Interrupted {
+            epoch: 0,
+            cause: InterruptCause::Panicked,
+        })?;
         let build_peak_bytes = sketches.shard().memory_bytes() + sketches.cover_memory_bytes();
         let pool = PrrPool::new(sketches, graph.num_nodes(), opts.threads);
-        PoolMaintainer {
+        Ok(PoolMaintainer {
             graph,
             seeds,
             opts,
@@ -382,7 +431,7 @@ impl PoolMaintainer {
             index: None,
             empty_index: None,
             build_peak_bytes,
-        }
+        })
     }
 
     /// Peak bytes alive during the epoch-0 pool build: the merged
@@ -518,18 +567,101 @@ impl PoolMaintainer {
     /// graphs, compacts past the threshold, and resamples exactly the
     /// invalidated share under the `(base_seed, epoch, chunk)` seeds.
     ///
-    /// # Panics
-    /// Panics if `batch.epoch` is not `self.epoch() + 1` — epochs apply
-    /// contiguously or the seed streams would diverge from the oracle's.
-    pub fn apply_epoch(&mut self, batch: &EpochBatch) -> EpochReport {
-        assert_eq!(
-            batch.epoch,
-            self.epoch + 1,
-            "epochs must be applied contiguously"
-        );
-        self.graph = apply_mutations(&self.graph, &batch.mutations);
+    /// All-or-nothing: the batch is validated at ingress and the refresh
+    /// samples are drawn **before** anything is committed, so on any
+    /// `Err` — malformed batch, out-of-order epoch, cancelled or
+    /// panicked refresh — the maintainer's graph, epoch counter and
+    /// arena bytes are exactly what they were before the call, and the
+    /// batch can be retried verbatim (see
+    /// [`apply_epoch_within`](Self::apply_epoch_within)).
+    pub fn apply_epoch(&mut self, batch: &EpochBatch) -> Result<EpochReport, OnlineError> {
+        self.apply_epoch_within(batch, &Unlimited)
+    }
+
+    /// [`apply_epoch`](Self::apply_epoch) under a cooperative stop
+    /// condition polled at the refresh's chunk boundaries (the refresh
+    /// chunk counter restarts at 0 each epoch, so a deterministic
+    /// terminator injects at a reproducible point of the epoch's own
+    /// stream).
+    ///
+    /// The epoch is transactional — compute, then commit:
+    ///
+    /// 1. contiguity and ingress validation reject bad input up front;
+    /// 2. the mutated graph is rebuilt and the stale sets are computed
+    ///    *read-only* (the lazily cached invalidation indices may be
+    ///    built here; they describe the untouched arena and stay valid
+    ///    either way);
+    /// 3. the full refresh is sampled over the new graph into a private
+    ///    pool, inside a panic guard — a cancelled or panicked refresh
+    ///    returns [`OnlineError::Interrupted`] *before any commit*, so
+    ///    the pool is byte-identical to its pre-epoch state;
+    /// 4. only then are graph, epoch, tombstones, compaction and the
+    ///    absorbed refresh committed, in the order the replay oracle
+    ///    reproduces.
+    ///
+    /// An epoch that invalidates nothing draws no samples and therefore
+    /// never polls the terminator — it commits even under a
+    /// pre-cancelled budget.
+    pub fn apply_epoch_within<T: Terminator + ?Sized>(
+        &mut self,
+        batch: &EpochBatch,
+        term: &T,
+    ) -> Result<EpochReport, OnlineError> {
+        if batch.epoch != self.epoch + 1 {
+            return Err(OnlineError::EpochOrder {
+                expected: self.epoch + 1,
+                got: batch.epoch,
+            });
+        }
+        validate_mutations(self.graph.num_nodes(), &batch.mutations)?;
+
+        // Compute phase: nothing below mutates the maintainer. The stale
+        // sets depend only on the arena and the batch (the universe size
+        // is fixed), so computing them against the pre-mutation state is
+        // exact.
+        let new_graph = apply_mutations(&self.graph, &batch.mutations)?;
         let stale = self.stale_graphs(&batch.mutations);
         let stale_empty = self.stale_empty_samples(&batch.mutations);
+        let invalidated_empty = stale_empty.len() as u64;
+        let invalidated = stale.len() as u64 + invalidated_empty;
+
+        let refresh = if invalidated > 0 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut refresh: SketchPool<PrrArenaShard> =
+                    SketchPool::with_epoch(self.opts.base_seed, batch.epoch, self.opts.threads);
+                let status = refresh.extend_to_within(
+                    &PrrFullSource::with_footprints(
+                        &new_graph,
+                        &self.seeds,
+                        self.opts.k,
+                        self.opts.staleness.footprint_mode(),
+                    ),
+                    invalidated,
+                    term,
+                );
+                (refresh, status)
+            }));
+            match outcome {
+                Err(_) => {
+                    return Err(OnlineError::Interrupted {
+                        epoch: batch.epoch,
+                        cause: InterruptCause::Panicked,
+                    })
+                }
+                Ok((_, ExtendStatus::Interrupted)) => {
+                    return Err(OnlineError::Interrupted {
+                        epoch: batch.epoch,
+                        cause: InterruptCause::Cancelled,
+                    })
+                }
+                Ok((refresh, ExtendStatus::Completed)) => Some(refresh),
+            }
+        } else {
+            None
+        };
+
+        // Commit phase — infallible from here on.
+        self.graph = new_graph;
         self.epoch = batch.epoch;
 
         let arena = self.pool.arena_mut();
@@ -551,20 +683,7 @@ impl PoolMaintainer {
             self.empty_index = None;
         }
 
-        let invalidated_empty = stale_empty.len() as u64;
-        let invalidated = stale.len() as u64 + invalidated_empty;
-        let (drawn_stored, drawn_empty) = if invalidated > 0 {
-            let mut refresh: SketchPool<PrrArenaShard> =
-                SketchPool::with_epoch(self.opts.base_seed, self.epoch, self.opts.threads);
-            refresh.extend_to(
-                &PrrFullSource::with_footprints(
-                    &self.graph,
-                    &self.seeds,
-                    self.opts.k,
-                    self.opts.staleness.footprint_mode(),
-                ),
-                invalidated,
-            );
+        let (drawn_stored, drawn_empty) = if let Some(refresh) = refresh {
             let (_covers, shard, drawn, empties) = refresh.into_parts();
             debug_assert_eq!(drawn, invalidated);
             let absorbed_graphs_from = self.pool.arena().len();
@@ -607,7 +726,7 @@ impl PoolMaintainer {
             (0, 0)
         };
 
-        EpochReport {
+        Ok(EpochReport {
             epoch: self.epoch,
             invalidated,
             invalidated_empty,
@@ -616,7 +735,7 @@ impl PoolMaintainer {
             compacted,
             live_graphs: self.pool.arena().num_live() as u64,
             dead_graphs: self.pool.arena().num_dead() as u64,
-        }
+        })
     }
 }
 
@@ -668,7 +787,8 @@ fn rebuild_approximate(
     let (_covers, mut payloads, mut total, mut empties) = pool.into_parts();
 
     for batch in history {
-        g = apply_mutations(&g, &batch.mutations);
+        g = apply_mutations(&g, &batch.mutations)
+            .expect("replayed batches were validated when first applied");
         let touched = touched_nodes(&batch.mutations, Staleness::Approximate, n);
         // Naive staleness: scan every retained graph's whole node table.
         let before = payloads.len();
@@ -720,7 +840,8 @@ fn rebuild_exact(
     let (_covers, mut samples, mut total, mut empties) = pool.into_parts();
 
     for batch in history {
-        g = apply_mutations(&g, &batch.mutations);
+        g = apply_mutations(&g, &batch.mutations)
+            .expect("replayed batches were validated when first applied");
         let q = FootprintQuery::new(mode, &mutation_heads(&batch.mutations), n);
         let mut invalidated = 0u64;
         let mut invalidated_empty = 0u64;
@@ -797,7 +918,7 @@ mod tests {
     #[test]
     fn builds_epoch_zero_like_an_offline_pool() {
         let opts = quick_opts(2_000, 2);
-        let m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+        let m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts).unwrap();
         assert_eq!(m.epoch(), 0);
         assert_eq!(m.pool().total_samples(), 2_000);
         assert!(m.pool().num_boostable() > 0);
@@ -815,7 +936,8 @@ mod tests {
         // The dry run must mark a graph stale iff its node table holds a
         // touched endpoint — checked in both directions over every stored
         // graph.
-        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_000, 1));
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_000, 1)).unwrap();
         // Every stored graph contains its root; roots are uniform over
         // non-seed nodes, so node 1 appears in some table.
         let stale = m.stale_graphs(&[Mutation::Remove {
@@ -847,11 +969,12 @@ mod tests {
 
     #[test]
     fn apply_epoch_refreshes_and_keeps_totals() {
-        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(2_000, 2));
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(2_000, 2)).unwrap();
         let mut log = MutationLog::new();
         // Cut path 1 → 3: root-3 graphs become hopeless in the new world.
         log.remove_edge(NodeId(1), NodeId(3));
-        let report = m.apply_epoch(&log.seal_epoch());
+        let report = m.apply_epoch(&log.seal_epoch()).unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(m.epoch(), 1);
         assert!(report.invalidated > 0);
@@ -865,22 +988,199 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid staleness configuration")]
     fn invalid_bloom_width_is_rejected_at_build() {
         let mut opts = quick_opts(100, 1);
         opts.staleness = Staleness::ExactBloom { bits: 48 };
-        let _ = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+        match PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts) {
+            Err(OnlineError::Staleness { message }) => {
+                assert!(!message.is_empty(), "diagnostic carries the reason")
+            }
+            Err(other) => panic!("expected a staleness error, got {other:?}"),
+            Ok(_) => panic!("expected a staleness error, got a maintainer"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "contiguously")]
-    fn skipping_an_epoch_panics() {
-        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 1));
+    fn skipping_an_epoch_is_a_typed_error() {
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 1)).unwrap();
         let mut log = MutationLog::new();
         let _skipped = log.seal_epoch();
         log.remove_edge(NodeId(1), NodeId(3));
         let batch2 = log.seal_epoch();
-        m.apply_epoch(&batch2);
+        assert_eq!(
+            m.apply_epoch(&batch2).unwrap_err(),
+            OnlineError::EpochOrder {
+                expected: 1,
+                got: 2
+            }
+        );
+        // The rejected batch left no trace: epoch 1 still applies.
+        let mut log = MutationLog::new();
+        let _ = log.seal_epoch();
+        assert_eq!(m.epoch(), 0);
+    }
+
+    #[test]
+    fn malformed_batch_is_rejected_before_any_commit() {
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 2)).unwrap();
+        let samples_before = m.pool().total_samples();
+        let batch = EpochBatch {
+            epoch: 1,
+            mutations: vec![
+                Mutation::Remove {
+                    from: NodeId(1),
+                    to: NodeId(3),
+                },
+                Mutation::Upsert {
+                    from: NodeId(2),
+                    to: NodeId(99),
+                    probs: EdgeProbs::new(0.1, 0.2).unwrap(),
+                },
+            ],
+        };
+        match m.apply_epoch(&batch) {
+            Err(OnlineError::Mutation(crate::error::MutationError::NodeOutOfRange { node, n })) => {
+                assert_eq!((node, n), (NodeId(99), 5));
+            }
+            other => panic!("expected a mutation error, got {other:?}"),
+        }
+        assert_eq!(m.epoch(), 0, "nothing committed");
+        assert_eq!(m.pool().total_samples(), samples_before);
+        assert_eq!(m.graph().num_edges(), two_paths().num_edges());
+    }
+
+    #[test]
+    fn cancelled_refresh_rolls_back_and_retries_cleanly() {
+        use kboost_rrset::terminator::StopAtChunk;
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(2_000, 2)).unwrap();
+        let mut log = MutationLog::new();
+        log.remove_edge(NodeId(1), NodeId(3));
+        let batch = log.seal_epoch();
+        let arena_before = m.pool().arena().clone();
+        let edges_before = m.graph().num_edges();
+
+        // Stop before the refresh's first chunk: the epoch must roll back.
+        assert_eq!(
+            m.apply_epoch_within(&batch, &StopAtChunk(0)).unwrap_err(),
+            OnlineError::Interrupted {
+                epoch: 1,
+                cause: InterruptCause::Cancelled
+            }
+        );
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.graph().num_edges(), edges_before);
+        assert!(
+            *m.pool().arena() == arena_before,
+            "arena must be byte-identical after rollback"
+        );
+
+        // Retrying the identical batch succeeds and matches an
+        // uninterrupted maintainer exactly.
+        let report = m.apply_epoch(&batch).unwrap();
+        assert!(report.invalidated > 0);
+        let mut fresh =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(2_000, 2)).unwrap();
+        let fresh_report = fresh.apply_epoch(&batch).unwrap();
+        assert_eq!(report, fresh_report);
+        assert!(*m.pool().arena() == *fresh.pool().arena());
+    }
+
+    #[test]
+    fn panicked_refresh_is_contained_and_rolls_back() {
+        use kboost_rrset::terminator::PanicAt;
+        for threads in [1usize, 2] {
+            let mut m =
+                PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(1_500, threads))
+                    .unwrap();
+            let mut log = MutationLog::new();
+            log.remove_edge(NodeId(1), NodeId(3));
+            let batch = log.seal_epoch();
+            let arena_before = m.pool().arena().clone();
+
+            assert_eq!(
+                m.apply_epoch_within(&batch, &PanicAt(0)).unwrap_err(),
+                OnlineError::Interrupted {
+                    epoch: 1,
+                    cause: InterruptCause::Panicked
+                }
+            );
+            assert_eq!(m.epoch(), 0);
+            assert!(*m.pool().arena() == arena_before);
+            // And the maintainer still serves: retry converges.
+            assert!(m.apply_epoch(&batch).unwrap().invalidated > 0);
+        }
+    }
+
+    #[test]
+    fn empty_epoch_commits_even_under_a_dead_budget() {
+        use kboost_rrset::terminator::StopAtChunk;
+        let mut m =
+            PoolMaintainer::build(two_paths(), vec![NodeId(0)], quick_opts(500, 1)).unwrap();
+        let mut log = MutationLog::new();
+        let batch = log.seal_epoch(); // nothing to refresh
+        let report = m.apply_epoch_within(&batch, &StopAtChunk(0)).unwrap();
+        assert_eq!(report.invalidated, 0);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn cancelled_build_yields_a_usable_partial_pool() {
+        use kboost_rrset::terminator::{SampleBudget, StopAtChunk};
+        let opts = quick_opts(4_000, 2);
+        let mut stages = 0u32;
+        let m = PoolMaintainer::build_within(
+            two_paths(),
+            vec![NodeId(0)],
+            opts,
+            &SampleBudget(1_000),
+            &mut |target, pool| {
+                stages += 1;
+                assert_eq!(target, 4_000);
+                assert!(pool.total_samples() <= 4_000);
+            },
+        )
+        .unwrap();
+        assert!(stages >= 1, "progress callback fired");
+        let got = m.pool().total_samples();
+        assert!((1_000..4_000).contains(&got), "partial pool: {got} samples");
+        assert!(m.pool().num_boostable() > 0);
+
+        // The partial pool is a prefix of the full build: its arena
+        // equals a direct one-shot build truncated to the same chunks.
+        let mut prefix: SketchPool<PrrArenaShard> = SketchPool::with_epoch(opts.base_seed, 0, 2);
+        let status = prefix.extend_to_within(
+            &PrrFullSource::new(&two_paths(), &[NodeId(0)], opts.k),
+            4_000,
+            &StopAtChunk(got / kboost_rrset::CHUNK_SIZE),
+        );
+        assert_eq!(status, ExtendStatus::Interrupted);
+        assert_eq!(prefix.total_samples(), got);
+        let prefix_pool = PrrPool::new(prefix, 5, 2);
+        assert!(*m.pool().arena() == *prefix_pool.arena());
+    }
+
+    #[test]
+    fn panicked_build_is_a_typed_error() {
+        use kboost_rrset::terminator::PanicAt;
+        let err = PoolMaintainer::build_within(
+            two_paths(),
+            vec![NodeId(0)],
+            quick_opts(2_000, 2),
+            &PanicAt(1),
+            &mut |_, _| {},
+        )
+        .err()
+        .expect("build must surface the contained panic");
+        assert_eq!(
+            err,
+            OnlineError::Interrupted {
+                epoch: 0,
+                cause: InterruptCause::Panicked
+            }
+        );
     }
 
     #[test]
@@ -889,11 +1189,11 @@ mod tests {
         let run = |threshold: f64| {
             let mut opts = quick_opts(1_500, 2);
             opts.compact_threshold = threshold;
-            let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts);
+            let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts).unwrap();
             let mut log = MutationLog::new();
             for i in 0..3u64 {
                 log.set_probs(NodeId(0), NodeId(1 + (i % 2) as u32), probs);
-                let report = m.apply_epoch(&log.seal_epoch());
+                let report = m.apply_epoch(&log.seal_epoch()).unwrap();
                 if threshold == 0.0 && report.invalidated > 0 {
                     assert!(report.compacted);
                     assert_eq!(report.dead_graphs, 0);
@@ -930,10 +1230,11 @@ mod tests {
             to: NodeId(1),
         };
         let mut approx =
-            PoolMaintainer::build(compressed_away(), vec![NodeId(0)], quick_opts(900, 2));
+            PoolMaintainer::build(compressed_away(), vec![NodeId(0)], quick_opts(900, 2)).unwrap();
         let mut exact_opts = quick_opts(900, 2);
         exact_opts.staleness = Staleness::Exact;
-        let mut exact = PoolMaintainer::build(compressed_away(), vec![NodeId(0)], exact_opts);
+        let mut exact =
+            PoolMaintainer::build(compressed_away(), vec![NodeId(0)], exact_opts).unwrap();
         assert!(exact.pool().num_boostable() > 0, "degenerate pool");
 
         // The approximate rule sees only the node table {super, root}:
@@ -956,8 +1257,8 @@ mod tests {
         let mut log = MutationLog::new();
         log.remove_edge(NodeId(0), NodeId(1));
         let batch = log.seal_epoch();
-        let report_a = approx.apply_epoch(&batch);
-        let report_e = exact.apply_epoch(&batch);
+        let report_a = approx.apply_epoch(&batch).unwrap();
+        let report_e = exact.apply_epoch(&batch).unwrap();
         assert_eq!(report_a.invalidated, 0);
         assert!(report_e.invalidated > 0);
         assert!(report_e.invalidated_empty > 0);
@@ -976,15 +1277,15 @@ mod tests {
             let mut opts = quick_opts(1_000, 3);
             opts.staleness = staleness;
             let g0 = two_paths();
-            let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts);
+            let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts).unwrap();
             let mut log = MutationLog::new();
             log.set_probs(NodeId(0), NodeId(1), EdgeProbs::new(0.2, 0.8).unwrap());
             let b1 = log.seal_epoch();
             log.remove_edge(NodeId(2), NodeId(4));
             log.insert_edge(NodeId(4), NodeId(2), EdgeProbs::new(0.3, 0.6).unwrap());
             let b2 = log.seal_epoch();
-            m.apply_epoch(&b1);
-            m.apply_epoch(&b2);
+            m.apply_epoch(&b1).unwrap();
+            m.apply_epoch(&b2).unwrap();
 
             let (g_oracle, oracle) = rebuild_from_history(&g0, &[NodeId(0)], &opts, &[b1, b2]);
             assert_eq!(g_oracle.num_edges(), m.graph().num_edges());
@@ -1012,8 +1313,8 @@ mod tests {
         let opts_off = quick_opts(1_500, 2);
         let mut opts_on = opts_off;
         opts_on.staleness = Staleness::Exact;
-        let off = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_off);
-        let on = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_on);
+        let off = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_off).unwrap();
+        let on = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts_on).unwrap();
         assert_eq!(off.pool().total_samples(), on.pool().total_samples());
         assert_eq!(off.pool().empty_samples(), on.pool().empty_samples());
         assert_eq!(off.pool().num_boostable(), on.pool().num_boostable());
@@ -1033,15 +1334,15 @@ mod tests {
     fn matches_replay_oracle_on_a_small_history() {
         let opts = quick_opts(1_200, 3);
         let g0 = two_paths();
-        let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts);
+        let mut m = PoolMaintainer::build(g0.clone(), vec![NodeId(0)], opts).unwrap();
         let mut log = MutationLog::new();
         log.set_probs(NodeId(0), NodeId(1), EdgeProbs::new(0.2, 0.8).unwrap());
         let b1 = log.seal_epoch();
         log.remove_edge(NodeId(2), NodeId(4));
         log.insert_edge(NodeId(4), NodeId(2), EdgeProbs::new(0.3, 0.6).unwrap());
         let b2 = log.seal_epoch();
-        m.apply_epoch(&b1);
-        m.apply_epoch(&b2);
+        m.apply_epoch(&b1).unwrap();
+        m.apply_epoch(&b2).unwrap();
 
         let (g_oracle, oracle) = rebuild_from_history(&g0, &[NodeId(0)], &opts, &[b1, b2]);
         assert_eq!(g_oracle.num_edges(), m.graph().num_edges());

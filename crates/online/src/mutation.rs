@@ -18,6 +18,8 @@ use std::collections::HashMap;
 
 use kboost_graph::{DiGraph, EdgeProbs, GraphBuilder, NodeId};
 
+use crate::error::MutationError;
+
 /// One edge mutation. Construct via the [`MutationLog`] helpers or
 /// directly; probability pairs are validated by [`EdgeProbs::new`] before
 /// they can exist.
@@ -123,6 +125,26 @@ impl MutationLog {
     }
 }
 
+/// Ingress validation of a mutation batch against the fixed node
+/// universe `0..n`: every endpoint must be in range and no mutation may
+/// reference a self-loop (the same rules [`GraphBuilder`] enforces
+/// everywhere). The first offending mutation is reported; a batch that
+/// validates can never make [`apply_mutations`] fail.
+pub fn validate_mutations(n: usize, batch: &[Mutation]) -> Result<(), MutationError> {
+    for m in batch {
+        let (from, to) = m.endpoints();
+        for node in [from, to] {
+            if node.index() >= n {
+                return Err(MutationError::NodeOutOfRange { node, n });
+            }
+        }
+        if from == to {
+            return Err(MutationError::SelfLoop { node: from });
+        }
+    }
+    Ok(())
+}
+
 /// Applies a mutation batch to a graph, producing the next epoch's graph.
 ///
 /// Pure and deterministic: the result depends only on the input graph and
@@ -131,10 +153,12 @@ impl MutationLog {
 /// epoch rebuilds it once, which is far below the resampling cost the
 /// maintainer saves.
 ///
-/// # Panics
-/// Panics if a mutation references a node `>= n` or inserts a self-loop
-/// (the same validation [`GraphBuilder`] applies everywhere).
-pub fn apply_mutations(g: &DiGraph, batch: &[Mutation]) -> DiGraph {
+/// Malformed batches (out-of-range endpoints, self-loops) are rejected
+/// with a typed [`MutationError`] by [`validate_mutations`] before the
+/// edge set is touched — never a panic, so one bad mutation cannot take
+/// down a serving maintainer.
+pub fn apply_mutations(g: &DiGraph, batch: &[Mutation]) -> Result<DiGraph, MutationError> {
+    validate_mutations(g.num_nodes(), batch)?;
     let mut edges: Vec<(NodeId, NodeId, EdgeProbs)> = g.edges().collect();
     let mut removed: Vec<bool> = vec![false; edges.len()];
     let mut index: HashMap<(u32, u32), usize> = edges
@@ -168,10 +192,10 @@ pub fn apply_mutations(g: &DiGraph, batch: &[Mutation]) -> DiGraph {
     for (i, &(u, v, p)) in edges.iter().enumerate() {
         if !removed[i] {
             b.add_edge(u, v, p.base, p.boosted)
-                .expect("mutation references a valid edge");
+                .map_err(MutationError::Rebuild)?;
         }
     }
-    b.build().expect("mutated edge set builds")
+    b.build().map_err(MutationError::Rebuild)
 }
 
 #[cfg(test)]
@@ -222,7 +246,8 @@ mod tests {
                     probs: probs(0.1, 0.3),
                 },
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.5, 0.9));
         assert_eq!(g.edge(NodeId(1), NodeId(2)).unwrap(), probs(0.1, 0.2));
@@ -246,12 +271,12 @@ mod tests {
                 probs: probs(0.7, 0.8),
             },
         ];
-        let g = apply_mutations(&line(), &batch);
+        let g = apply_mutations(&line(), &batch).unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.7, 0.8));
 
         // Dropping the re-insert removes the edge for good.
-        let g = apply_mutations(&line(), &batch[..2]);
+        let g = apply_mutations(&line(), &batch[..2]).unwrap();
         assert_eq!(g.num_edges(), 1);
         assert!(!g.has_edge(NodeId(0), NodeId(1)));
     }
@@ -281,7 +306,7 @@ mod tests {
                 to: NodeId(3),
             },
         ];
-        let g = apply_mutations(&line(), &batch);
+        let g = apply_mutations(&line(), &batch).unwrap();
         assert!(!g.has_edge(NodeId(0), NodeId(1)));
         assert!(!g.has_edge(NodeId(2), NodeId(3)));
         assert_eq!(g.num_edges(), 1);
@@ -298,7 +323,7 @@ mod tests {
         log.set_probs(NodeId(0), NodeId(1), probs(0.6, 0.9));
         let batch = log.seal_epoch();
         assert_eq!(batch.mutations.len(), 3, "no dedup: arrival order kept");
-        let g = apply_mutations(&line(), &batch.mutations);
+        let g = apply_mutations(&line(), &batch.mutations).unwrap();
         assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.6, 0.9));
         assert_eq!(g.num_edges(), 2);
     }
@@ -319,8 +344,86 @@ mod tests {
                     probs: probs(0.6, 0.7),
                 },
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(g.edge(NodeId(0), NodeId(1)).unwrap(), probs(0.6, 0.7));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_a_typed_error() {
+        // Either endpoint out of `0..n` is rejected at ingress — no panic.
+        let bad_head = [Mutation::Upsert {
+            from: NodeId(0),
+            to: NodeId(9),
+            probs: probs(0.1, 0.2),
+        }];
+        assert_eq!(
+            apply_mutations(&line(), &bad_head).unwrap_err(),
+            MutationError::NodeOutOfRange {
+                node: NodeId(9),
+                n: 4
+            }
+        );
+        let bad_tail = [Mutation::Remove {
+            from: NodeId(17),
+            to: NodeId(0),
+        }];
+        assert_eq!(
+            apply_mutations(&line(), &bad_tail).unwrap_err(),
+            MutationError::NodeOutOfRange {
+                node: NodeId(17),
+                n: 4
+            }
+        );
+    }
+
+    #[test]
+    fn self_loop_is_a_typed_error() {
+        let batch = [Mutation::Upsert {
+            from: NodeId(2),
+            to: NodeId(2),
+            probs: probs(0.1, 0.2),
+        }];
+        assert_eq!(
+            apply_mutations(&line(), &batch).unwrap_err(),
+            MutationError::SelfLoop { node: NodeId(2) }
+        );
+        // A self-loop *removal* is equally rejected: the edge cannot
+        // exist, so the reference is a caller bug either way.
+        let removal = [Mutation::Remove {
+            from: NodeId(2),
+            to: NodeId(2),
+        }];
+        assert!(validate_mutations(4, &removal).is_err());
+    }
+
+    #[test]
+    fn invalid_mutation_anywhere_in_a_batch_rejects_the_whole_batch() {
+        // Remove-then-upsert where the upsert is invalid: the valid
+        // leading mutation must not be applied — all-or-nothing.
+        let batch = [
+            Mutation::Remove {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            Mutation::Upsert {
+                from: NodeId(3),
+                to: NodeId(7), // out of range
+                probs: probs(0.2, 0.4),
+            },
+        ];
+        let g0 = line();
+        assert!(apply_mutations(&g0, &batch).is_err());
+        // The input graph is untouched by construction (apply_mutations
+        // is pure), and validation alone flags the batch up front.
+        assert!(g0.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(
+            validate_mutations(4, &batch).unwrap_err(),
+            MutationError::NodeOutOfRange {
+                node: NodeId(7),
+                n: 4
+            }
+        );
     }
 
     #[test]

@@ -98,8 +98,10 @@ struct GraphMeta {
 /// reference (all parallel consumers only read). `PartialEq` compares the
 /// raw storage arrays — two arenas are equal iff they are byte-equal,
 /// which is what the determinism and shard-vs-legacy equivalence tests
-/// assert.
-#[derive(Default, Debug, PartialEq, Eq)]
+/// assert. `Clone` exists for the transactional-epoch fault tests, which
+/// snapshot the arena before an epoch and assert byte-identity after a
+/// rollback.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct PrrArena {
     meta: Vec<GraphMeta>,
     /// Concatenated local → global id tables.

@@ -12,7 +12,8 @@
 //! Phase 2: grow the pool to `θ = λ*/LB` sketches and run greedy once more.
 
 use crate::greedy::{greedy_max_cover, CoverResult};
-use crate::sketch::{SketchGenerator, SketchPool};
+use crate::sketch::{ExtendStatus, SketchGenerator, SketchPool};
+use crate::terminator::{Terminator, Unlimited};
 
 /// Parameters of an IMM run.
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +84,22 @@ pub fn ln_binom(n: usize, k: usize) -> f64 {
 /// Returns the greedy solution over the final pool; `n·covered/total` is a
 /// `(1−1/e−ε)`-approximation of `max_{|B|≤k} F(B)` w.p. `≥ 1−n^−ℓ`.
 pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<G::Shard> {
+    run_imm_within(generator, params, &Unlimited).0
+}
+
+/// [`run_imm`] under a cooperative stop condition: the terminator is
+/// polled at every chunk boundary of both phases, and an interrupted run
+/// returns the greedy selection over whatever the budget bought (the
+/// second tuple element is `true`). The pool is always a deterministic
+/// chunk prefix, so [`achieved_epsilon`] applied to its sample count
+/// yields an honest a-posteriori guarantee. With
+/// [`Unlimited`](crate::terminator::Unlimited) this *is* `run_imm`,
+/// bit for bit.
+pub fn run_imm_within<G: SketchGenerator, T: Terminator + ?Sized>(
+    generator: &G,
+    params: &ImmParams,
+    term: &T,
+) -> (ImmRun<G::Shard>, bool) {
     let n = generator.universe() as f64;
     let k = params.k;
     let (eps, ell) = (params.epsilon, params.ell);
@@ -110,13 +127,17 @@ pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<
 
     let mut pool = SketchPool::new(params.seed, params.threads);
     let mut lb = 1.0f64;
+    let mut interrupted = false;
 
     let max_i = log2_n.floor() as u32;
     for i in 1..max_i {
         let x = n / 2f64.powi(i as i32);
         let theta_i = (lambda_prime / x).ceil() as u64;
         let theta_i = cap(theta_i, params.max_sketches);
-        pool.extend_to(generator, theta_i);
+        if pool.extend_to_within(generator, theta_i, term) == ExtendStatus::Interrupted {
+            interrupted = true;
+            break;
+        }
         let res = greedy_max_cover(pool.covers(), generator.universe(), k, None);
         let est = n * res.covered as f64 / pool.total_samples() as f64;
         if est >= (1.0 + eps_prime) * x {
@@ -132,15 +153,47 @@ pub fn run_imm<G: SketchGenerator>(generator: &G, params: &ImmParams) -> ImmRun<
     }
 
     let theta = cap((lambda_star / lb).ceil() as u64, params.max_sketches).max(params.min_sketches);
-    pool.extend_to(generator, theta);
+    if !interrupted && pool.extend_to_within(generator, theta, term) == ExtendStatus::Interrupted {
+        interrupted = true;
+    }
     let result = greedy_max_cover(pool.covers(), generator.universe(), k, None);
 
-    ImmRun {
-        result,
-        pool,
-        lower_bound: lb,
-        theta,
-    }
+    (
+        ImmRun {
+            result,
+            pool,
+            lower_bound: lb,
+            theta,
+        },
+        interrupted,
+    )
+}
+
+/// Inverts the IMM sample bound: the ε for which `theta` samples satisfy
+/// `θ ≥ λ*(ε) / LB` — the *achieved* accuracy of a (possibly truncated)
+/// pool, reported by `solve_within` so a deadline-cut answer still
+/// carries an honest guarantee. Mirrors the λ* computation of
+/// [`run_imm`] exactly (including the internal `ℓ ← ℓ + ln 2 / ln n`
+/// union-bound bump), so `achieved_epsilon(…, θ(ε), LB) ≈ ε` when the
+/// pool ran to completion. `opt_lb` is a lower bound on the optimum
+/// (clamped to ≥ 1, as the martingale bounds assume).
+pub fn achieved_epsilon(
+    n: usize,
+    num_candidates: usize,
+    k: usize,
+    ell: f64,
+    theta: u64,
+    opt_lb: f64,
+) -> f64 {
+    let n_f = n as f64;
+    let ell = ell + 2f64.ln() / n_f.max(2.0).ln();
+    let log_nk = ln_binom(num_candidates, k.min(num_candidates));
+    let ln_n = n_f.max(2.0).ln();
+    let e = std::f64::consts::E;
+    let alpha = (ell * ln_n + 2f64.ln()).sqrt();
+    let beta = ((1.0 - 1.0 / e) * (log_nk + ell * ln_n + 2f64.ln())).sqrt();
+    let coef = 2.0 * n_f * ((1.0 - 1.0 / e) * alpha + beta).powi(2);
+    (coef / (theta.max(1) as f64 * opt_lb.max(1.0))).sqrt()
 }
 
 fn cap(theta: u64, max: Option<u64>) -> u64 {
@@ -229,6 +282,52 @@ mod tests {
         let mut sel = run.result.selected.clone();
         sel.sort_unstable();
         assert_eq!(sel, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn achieved_epsilon_inverts_the_sample_bound() {
+        // θ derived from λ*(ε)/LB must invert back to ε (up to the ceil).
+        let (n, cand, k, ell) = (5_000usize, 4_950usize, 20usize, 1.0f64);
+        for eps in [0.3f64, 0.5, 1.0] {
+            for lb in [1.0f64, 7.5, 120.0] {
+                let coef = achieved_epsilon(n, cand, k, ell, 1, lb).powi(2) * lb.max(1.0);
+                let theta = (coef / (eps * eps) / lb).ceil() as u64;
+                let back = achieved_epsilon(n, cand, k, ell, theta, lb);
+                assert!(
+                    (back - eps).abs() < 1e-3,
+                    "ε {eps} LB {lb} → θ {theta} → ε {back}"
+                );
+            }
+        }
+        // More samples → tighter ε; larger LB → tighter ε.
+        let base = achieved_epsilon(n, cand, k, ell, 10_000, 5.0);
+        assert!(achieved_epsilon(n, cand, k, ell, 40_000, 5.0) < base);
+        assert!(achieved_epsilon(n, cand, k, ell, 10_000, 20.0) < base);
+    }
+
+    #[test]
+    fn interrupted_imm_returns_a_usable_partial_run() {
+        use crate::terminator::{StopAtChunk, Unlimited};
+        let params = ImmParams {
+            k: 1,
+            epsilon: 0.3,
+            ell: 1.0,
+            threads: 2,
+            seed: 99,
+            max_sketches: Some(200_000),
+            min_sketches: 0,
+        };
+        let (run, interrupted) = run_imm_within(&Synthetic, &params, &StopAtChunk(2));
+        assert!(interrupted);
+        assert!(run.pool.total_samples() > 0, "two chunks were bought");
+        assert!(!run.result.selected.is_empty());
+        // The unlimited variant is exactly run_imm.
+        let (full, interrupted) = run_imm_within(&Synthetic, &params, &Unlimited);
+        assert!(!interrupted);
+        let reference = run_imm(&Synthetic, &params);
+        assert_eq!(full.result.selected, reference.result.selected);
+        assert_eq!(full.pool.total_samples(), reference.pool.total_samples());
+        assert_eq!(full.theta, reference.theta);
     }
 
     #[test]

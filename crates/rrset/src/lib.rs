@@ -20,6 +20,10 @@
 //!   MoreSeeds baseline.
 //! * [`seeds`] — convenience seed-selection entry points used by the
 //!   experiments ("50 influential nodes selected by IMM").
+//! * [`terminator`] — cooperative stop conditions (deadline, sample
+//!   budget, cancel flag) polled at chunk boundaries; an interrupted pool
+//!   always holds a contiguous chunk prefix, so partial results stay
+//!   inside the determinism contract.
 
 pub mod greedy;
 pub mod ic;
@@ -27,9 +31,16 @@ pub mod imm;
 pub mod seeds;
 pub mod sketch;
 pub mod ssa;
+pub mod terminator;
 
 pub use greedy::greedy_max_cover;
-pub use imm::{ImmParams, ImmRun};
+pub use imm::{achieved_epsilon, ImmParams, ImmRun};
 pub use seeds::{select_more_seeds, select_seeds};
-pub use sketch::{epoch_stream_seed, CoverOnly, SketchGenerator, SketchPool, SketchShard};
+pub use sketch::{
+    epoch_stream_seed, CoverOnly, ExtendStatus, SketchGenerator, SketchPool, SketchShard,
+    CHUNK_SIZE,
+};
 pub use ssa::{run_ssa, SsaParams, SsaRun};
+pub use terminator::{
+    CancelFlag, Deadline, PanicAt, SampleBudget, SampleProgress, StopAtChunk, Terminator, Unlimited,
+};

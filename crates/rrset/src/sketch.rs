@@ -23,6 +23,8 @@ use kboost_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::terminator::{SampleProgress, Terminator, Unlimited};
+
 /// Per-chunk storage that a [`SketchGenerator`] appends retained sample
 /// data into, merged across chunks in deterministic chunk order. The
 /// `Default` value is the empty shard.
@@ -108,7 +110,22 @@ impl<G: SketchGenerator> SketchGenerator for CoverOnly<'_, G> {
 /// threads, large enough to amortize scheduling; the pool's contents are
 /// the concatenation of per-chunk results in chunk order, so this constant
 /// is part of the determinism contract (changing it reshuffles streams).
-const CHUNK_SIZE: u64 = 256;
+/// Public because chunk geometry is part of the latency contract too:
+/// staged extensions whose intermediate targets are multiples of the
+/// chunk size are bit-identical to a one-shot extension, which is how
+/// `solve_within` streams progress without perturbing results.
+pub const CHUNK_SIZE: u64 = 256;
+
+/// Outcome of [`SketchPool::extend_to_within`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtendStatus {
+    /// The pool reached the requested target.
+    Completed,
+    /// The terminator stopped the extension early; the pool holds a
+    /// contiguous chunk prefix of what the full extension would have
+    /// produced.
+    Interrupted,
+}
 
 /// A pool of sampled sketches, extended in deterministic parallel chunks.
 ///
@@ -225,15 +242,48 @@ impl<S: SketchShard> SketchPool<S> {
     where
         G: SketchGenerator<Shard = S>,
     {
+        let status = self.extend_to_within(generator, target, &Unlimited);
+        debug_assert_eq!(status, ExtendStatus::Completed);
+    }
+
+    /// [`extend_to`](Self::extend_to) under a cooperative stop condition,
+    /// polled once per chunk *before* the chunk is claimed.
+    ///
+    /// On an early stop the pool holds a **contiguous chunk prefix** of
+    /// the full extension (claimed chunks always complete; should a
+    /// timing-dependent terminator leave a gap, the trailing chunks past
+    /// it are discarded), and the chunk counter rewinds to the end of
+    /// that prefix — so a later `extend_to` call resumes the stream
+    /// exactly where the interrupted run left off, and an
+    /// interrupted-then-resumed pool is bit-identical to an uninterrupted
+    /// one. With [`Unlimited`] this *is* `extend_to`.
+    ///
+    /// Deterministic terminators (verdicts depending only on
+    /// [`SampleProgress`]) stop after a thread-count-invariant chunk
+    /// count; see the [`terminator`](crate::terminator) module docs.
+    pub fn extend_to_within<G, T>(&mut self, generator: &G, target: u64, term: &T) -> ExtendStatus
+    where
+        G: SketchGenerator<Shard = S>,
+        T: Terminator + ?Sized,
+    {
         if self.total >= target {
-            return;
+            return ExtendStatus::Completed;
         }
         let need = target - self.total;
         let num_chunks = need.div_ceil(CHUNK_SIZE);
         let last_quota = need - (num_chunks - 1) * CHUNK_SIZE;
         let first_chunk = self.chunks_issued;
-        self.chunks_issued += num_chunks;
         let base_seed = self.base_seed;
+        let base_total = self.total;
+
+        // Progress if sampling stops before local chunk `c`: all
+        // lower-indexed chunks of this extension are full-sized (only the
+        // final chunk can be short, and stopping before it means it never
+        // ran).
+        let progress_at = |c: u64| SampleProgress {
+            samples: base_total + c * CHUNK_SIZE,
+            chunk: first_chunk + c,
+        };
 
         let generate_chunk = |c: u64| -> ChunkResult<S> {
             let quota = if c + 1 == num_chunks {
@@ -258,10 +308,20 @@ impl<S: SketchShard> SketchPool<S> {
 
         let workers = self.threads.min(num_chunks as usize);
         if workers <= 1 {
+            let mut completed = 0u64;
             for c in 0..num_chunks {
+                if term.should_stop(&progress_at(c)) {
+                    break;
+                }
                 self.merge(generate_chunk(c));
+                completed += 1;
             }
-            return;
+            self.chunks_issued = first_chunk + completed;
+            return if completed == num_chunks {
+                ExtendStatus::Completed
+            } else {
+                ExtendStatus::Interrupted
+            };
         }
 
         let next = std::sync::atomic::AtomicU64::new(0);
@@ -271,9 +331,10 @@ impl<S: SketchShard> SketchPool<S> {
                 let tx = tx.clone();
                 let next = &next;
                 let generate_chunk = &generate_chunk;
+                let progress_at = &progress_at;
                 scope.spawn(move || loop {
                     let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if c >= num_chunks {
+                    if c >= num_chunks || term.should_stop(&progress_at(c)) {
                         break;
                     }
                     tx.send((c, generate_chunk(c)))
@@ -284,8 +345,24 @@ impl<S: SketchShard> SketchPool<S> {
             rx.into_iter().collect()
         });
         results.sort_unstable_by_key(|&(c, _)| c);
-        for (_, chunk) in results {
+        // Merge the contiguous prefix only. A timing-dependent stop can
+        // strand a completed chunk past a gap (a worker holding chunk `c`
+        // observed the stop after another worker generated `c + 1`);
+        // deterministic terminators never gap, so nothing is discarded on
+        // their runs.
+        let mut completed = 0u64;
+        for (c, chunk) in results {
+            if c != completed {
+                break;
+            }
             self.merge(chunk);
+            completed += 1;
+        }
+        self.chunks_issued = first_chunk + completed;
+        if completed == num_chunks {
+            ExtendStatus::Completed
+        } else {
+            ExtendStatus::Interrupted
         }
     }
 
@@ -484,6 +561,74 @@ mod tests {
         let mut c: SketchPool<Vec<u32>> = SketchPool::with_epoch(7, 4, 1);
         c.extend_to(&RandomNode, 600);
         assert_ne!(a.covers(), c.covers());
+    }
+
+    #[test]
+    fn interrupted_then_resumed_equals_one_shot() {
+        use crate::terminator::{SampleBudget, StopAtChunk};
+        for threads in [1usize, 4] {
+            let mut reference: SketchPool<Vec<u32>> = SketchPool::new(55, threads);
+            reference.extend_to(&RandomNode, 3_000);
+
+            let mut pool: SketchPool<Vec<u32>> = SketchPool::new(55, threads);
+            let status = pool.extend_to_within(&RandomNode, 3_000, &StopAtChunk(4));
+            assert_eq!(status, ExtendStatus::Interrupted);
+            assert_eq!(pool.total_samples(), 4 * CHUNK_SIZE);
+            // Partial content is a prefix of the reference stream.
+            assert_eq!(
+                pool.shard().as_slice(),
+                &reference.shard()[..pool.shard().len()],
+                "{threads} threads"
+            );
+            // Resuming reaches the target and reproduces the one-shot run.
+            let status = pool.extend_to_within(&RandomNode, 3_000, &Unlimited);
+            assert_eq!(status, ExtendStatus::Completed);
+            assert_eq!(pool.total_samples(), reference.total_samples());
+            assert_eq!(pool.covers(), reference.covers());
+            assert_eq!(pool.shard(), reference.shard());
+
+            // A deterministic sample budget stops at the covering chunk
+            // boundary, identically at every thread count.
+            let mut budgeted: SketchPool<Vec<u32>> = SketchPool::new(55, threads);
+            let status = budgeted.extend_to_within(&RandomNode, 3_000, &SampleBudget(1_000));
+            assert_eq!(status, ExtendStatus::Interrupted);
+            assert_eq!(
+                budgeted.total_samples(),
+                1_000u64.div_ceil(CHUNK_SIZE) * CHUNK_SIZE
+            );
+            assert_eq!(
+                budgeted.shard().as_slice(),
+                &reference.shard()[..budgeted.shard().len()]
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_aligned_staging_is_bit_identical() {
+        // The staging idiom `solve_within` relies on: growing a pool in
+        // chunk-aligned stages equals the one-shot extension exactly.
+        let mut reference: SketchPool<Vec<u32>> = SketchPool::new(77, 3);
+        reference.extend_to(&RandomNode, 2_500);
+        let mut staged: SketchPool<Vec<u32>> = SketchPool::new(77, 3);
+        let mut target = 0u64;
+        while staged.total_samples() < 2_500 {
+            target = (target + 3 * CHUNK_SIZE).min(2_500);
+            staged.extend_to(&RandomNode, target);
+        }
+        assert_eq!(staged.covers(), reference.covers());
+        assert_eq!(staged.shard(), reference.shard());
+    }
+
+    #[test]
+    fn worker_panic_propagates_out_of_the_scope() {
+        use crate::terminator::PanicAt;
+        for threads in [1usize, 4] {
+            let mut pool: SketchPool<Vec<u32>> = SketchPool::new(3, threads);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.extend_to_within(&RandomNode, 2_000, &PanicAt(2))
+            }));
+            assert!(outcome.is_err(), "injected panic must unwind");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use kboost_graph::NodeId;
 
 use crate::greedy::{greedy_max_cover, CoverResult};
-use crate::sketch::{CoverOnly, SketchGenerator, SketchPool};
+use crate::sketch::{CoverOnly, ExtendStatus, SketchGenerator, SketchPool};
+use crate::terminator::{Terminator, Unlimited};
 
 /// Parameters of an SSA run.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +70,22 @@ pub struct SsaRun<S> {
 
 /// Runs the adaptive sampler against any sketch generator.
 pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<G::Shard> {
+    run_ssa_within(generator, params, &Unlimited).0
+}
+
+/// [`run_ssa`] under a cooperative stop condition, polled at every chunk
+/// boundary of both the selection and the validation pool. An interrupted
+/// run (second tuple element `true`) returns the greedy selection over
+/// the samples the budget bought; the validated estimate is then computed
+/// on however much validation material exists (possibly none, in which
+/// case it reads 0 — partial runs should be judged by the selection
+/// pool's achieved ε instead). With
+/// [`Unlimited`](crate::terminator::Unlimited) this *is* `run_ssa`.
+pub fn run_ssa_within<G: SketchGenerator, T: Terminator + ?Sized>(
+    generator: &G,
+    params: &SsaParams,
+    term: &T,
+) -> (SsaRun<G::Shard>, bool) {
     let n = generator.universe() as f64;
     let cover_only = CoverOnly(generator);
     let mut select_pool: SketchPool<G::Shard> = SketchPool::new(params.seed, params.threads);
@@ -81,26 +98,47 @@ pub fn run_ssa<G: SketchGenerator>(generator: &G, params: &SsaParams) -> SsaRun<
     let mut epochs = 0u32;
     loop {
         epochs += 1;
-        select_pool.extend_to(generator, target);
+        let select_status = select_pool.extend_to_within(generator, target, term);
         let result = greedy_max_cover(select_pool.covers(), generator.universe(), params.k, None);
         let est_select = n * result.covered as f64 / select_pool.total_samples().max(1) as f64;
 
+        if select_status == ExtendStatus::Interrupted {
+            let est_validate = validate_pool.estimate(generator.universe(), &result.selected);
+            return (
+                SsaRun {
+                    result,
+                    pool: select_pool,
+                    validation: validate_pool,
+                    validated_estimate: est_validate,
+                    epochs,
+                },
+                true,
+            );
+        }
+
         // Stare: estimate the same solution on fresh samples.
-        validate_pool.extend_to(&cover_only, target);
+        let validate_status = validate_pool.extend_to_within(&cover_only, target, term);
         let est_validate = validate_pool.estimate(generator.universe(), &result.selected);
 
         let tol = params.epsilon / 3.0;
         let close = |a: f64, b: f64| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12);
         let budget_spent =
             select_pool.total_samples() + validate_pool.total_samples() >= params.max_sketches;
-        if (close(est_select, est_validate) && close(est_validate, prev_estimate)) || budget_spent {
-            return SsaRun {
-                result,
-                pool: select_pool,
-                validation: validate_pool,
-                validated_estimate: est_validate,
-                epochs,
-            };
+        let interrupted = validate_status == ExtendStatus::Interrupted;
+        if (close(est_select, est_validate) && close(est_validate, prev_estimate))
+            || budget_spent
+            || interrupted
+        {
+            return (
+                SsaRun {
+                    result,
+                    pool: select_pool,
+                    validation: validate_pool,
+                    validated_estimate: est_validate,
+                    epochs,
+                },
+                interrupted,
+            );
         }
         prev_estimate = est_validate;
         target *= 2;

@@ -1,0 +1,229 @@
+//! Cooperative termination for chunked sampling — the latency contract.
+//!
+//! A [`Terminator`] is polled by [`SketchPool::extend_to_within`] once per
+//! work chunk, *before* the chunk is claimed. Stopping is cooperative:
+//! every chunk that was already claimed completes, so an interrupted pool
+//! always holds a contiguous prefix of the chunk stream and the
+//! determinism contract survives — the pool's contents are determined by
+//! *how many* chunks completed, never by which thread observed the stop.
+//!
+//! Terminators whose verdict depends only on [`SampleProgress`] (e.g.
+//! [`SampleBudget`], [`StopAtChunk`]) stop after a thread-count-invariant
+//! chunk count: the shared chunk counter hands out indices monotonically,
+//! so every worker that receives an index past the threshold stops and
+//! every worker below it proceeds. Wall-clock terminators ([`Deadline`])
+//! and external flags ([`CancelFlag`]) stop at a timing-dependent — but
+//! still prefix-valid — point.
+//!
+//! [`SketchPool::extend_to_within`]: crate::sketch::SketchPool::extend_to_within
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sampling progress at a chunk boundary, as seen by a [`Terminator`].
+#[derive(Clone, Copy, Debug)]
+pub struct SampleProgress {
+    /// Samples the pool will contain if sampling stops before this chunk
+    /// (the pool total at the start of the extension plus one full chunk
+    /// per lower-indexed chunk of this extension).
+    pub samples: u64,
+    /// The global chunk index about to be generated (the pool-lifetime
+    /// counter the determinism contract seeds chunks by).
+    pub chunk: u64,
+}
+
+/// A cooperative stop condition, polled at chunk boundaries.
+///
+/// Implementations must be cheap (the poll sits on the sampling hot path,
+/// once per [`CHUNK_SIZE`](crate::sketch::CHUNK_SIZE) samples) and
+/// *monotone*: once `should_stop` returns `true` it must keep returning
+/// `true` for every later poll of the same run, or workers could disagree
+/// about whether a run is over.
+pub trait Terminator: Sync {
+    /// Whether sampling should stop before generating this chunk.
+    fn should_stop(&self, progress: &SampleProgress) -> bool;
+}
+
+/// Never stops: `extend_to_within(…, &Unlimited)` is exactly `extend_to`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Unlimited;
+
+impl Terminator for Unlimited {
+    #[inline]
+    fn should_stop(&self, _progress: &SampleProgress) -> bool {
+        false
+    }
+}
+
+/// Stops once a wall-clock instant passes. The stop point is
+/// timing-dependent (runs are prefix-valid but not reproducible); use
+/// [`SampleBudget`] when determinism matters more than latency.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline(pub Instant);
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline(Instant::now() + budget)
+    }
+}
+
+impl Terminator for Deadline {
+    #[inline]
+    fn should_stop(&self, _progress: &SampleProgress) -> bool {
+        Instant::now() >= self.0
+    }
+}
+
+/// Stops once the pool holds at least this many samples — fully
+/// deterministic: the stop chunk depends only on the budget and the chunk
+/// geometry, never on thread count or timing. The pool may overshoot the
+/// budget by up to one chunk (sampling stops at the first chunk boundary
+/// at or past it).
+#[derive(Clone, Copy, Debug)]
+pub struct SampleBudget(pub u64);
+
+impl Terminator for SampleBudget {
+    #[inline]
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        progress.samples >= self.0
+    }
+}
+
+/// Stops before the given *global* chunk index — the deterministic
+/// primitive underneath fault-injection tests ("cancel at exactly chunk
+/// `c` of the refresh stream").
+#[derive(Clone, Copy, Debug)]
+pub struct StopAtChunk(pub u64);
+
+impl Terminator for StopAtChunk {
+    #[inline]
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        progress.chunk >= self.0
+    }
+}
+
+/// Stops when an external flag is raised — the cooperative-cancellation
+/// hook for serving threads. The flag must stay raised for the rest of
+/// the run (monotonicity; see [`Terminator`]).
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(pub Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every subsequent poll stops.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Terminator for CancelFlag {
+    #[inline]
+    fn should_stop(&self, _progress: &SampleProgress) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fault injection: **panics** inside the poll of the given global chunk
+/// index, and stops at every later one. Exactly one worker receives the
+/// poisoned index (the chunk counter hands each index out once), so one
+/// panic unwinds through the sampling scope while the remaining workers
+/// stop cooperatively. Test harnesses use this to prove that a panic at
+/// an arbitrary chunk boundary rolls an epoch back cleanly.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicAt(pub u64);
+
+impl Terminator for PanicAt {
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        assert!(
+            progress.chunk != self.0,
+            "injected fault at chunk {}",
+            self.0
+        );
+        progress.chunk > self.0
+    }
+}
+
+/// Composition: a pair stops as soon as *either* side stops.
+impl<A: Terminator, B: Terminator> Terminator for (A, B) {
+    #[inline]
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        self.0.should_stop(progress) || self.1.should_stop(progress)
+    }
+}
+
+impl<T: Terminator + ?Sized> Terminator for &T {
+    #[inline]
+    fn should_stop(&self, progress: &SampleProgress) -> bool {
+        (**self).should_stop(progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(samples: u64, chunk: u64) -> SampleProgress {
+        SampleProgress { samples, chunk }
+    }
+
+    #[test]
+    fn sample_budget_stops_at_or_past_budget() {
+        let t = SampleBudget(1_000);
+        assert!(!t.should_stop(&at(999, 3)));
+        assert!(t.should_stop(&at(1_000, 4)));
+        assert!(t.should_stop(&at(5_000, 19)));
+    }
+
+    #[test]
+    fn stop_at_chunk_is_a_strict_bound() {
+        let t = StopAtChunk(2);
+        assert!(!t.should_stop(&at(0, 1)));
+        assert!(t.should_stop(&at(0, 2)));
+        assert!(t.should_stop(&at(0, 3)));
+    }
+
+    #[test]
+    fn cancel_flag_round_trip() {
+        let flag = CancelFlag::new();
+        assert!(!flag.should_stop(&at(0, 0)));
+        assert!(!flag.is_cancelled());
+        flag.cancel();
+        assert!(flag.is_cancelled());
+        assert!(flag.should_stop(&at(0, 0)));
+    }
+
+    #[test]
+    fn pair_stops_when_either_side_stops() {
+        let t = (SampleBudget(100), StopAtChunk(10));
+        assert!(!t.should_stop(&at(50, 5)));
+        assert!(t.should_stop(&at(150, 5)));
+        assert!(t.should_stop(&at(50, 10)));
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops_immediately() {
+        let t = Deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.should_stop(&at(0, 0)));
+        let future = Deadline::after(Duration::from_secs(3600));
+        assert!(!future.should_stop(&at(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault at chunk 7")]
+    fn panic_at_detonates_on_its_chunk() {
+        let t = PanicAt(7);
+        assert!(!t.should_stop(&at(0, 6)));
+        let _ = t.should_stop(&at(0, 7));
+    }
+}

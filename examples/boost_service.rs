@@ -5,13 +5,19 @@
 //! re-weights influence probabilities, accounts vanish. Rebuilding the
 //! PRR pool per change costs minutes; the engine's online mode pays only
 //! for the invalidated share. This example builds an engine over a
-//! scale-free network, then alternates mutation epochs
-//! (`Engine::apply_mutations`) with boost queries (`Engine::solve`) —
-//! the same handle throughout.
+//! scale-free network — under a startup **latency budget**, with a
+//! progress observer streaming partial accuracy — then alternates
+//! mutation epochs (`Engine::apply_mutations`) with boost queries
+//! (`Engine::solve`), demonstrates that a **cancelled epoch rolls back**
+//! and retries verbatim, and that a **malformed batch** is a typed
+//! rejection, not a crash — the same handle throughout.
 //!
 //! Run with: `cargo run --release --example boost_service`
 
-use kboost::engine::{Algorithm, EdgeProbs, EngineBuilder, MutationLog, NodeId, Sampling};
+use kboost::engine::{
+    Algorithm, Budget, CancelFlag, EdgeProbs, EngineBuilder, KboostError, MutationLog, NodeId,
+    Sampling,
+};
 use kboost::graph::generators::preferential_attachment;
 use kboost::graph::probability::{boost_probability, ProbabilityModel};
 use kboost::rrset::seeds::select_random_nodes;
@@ -52,14 +58,49 @@ fn main() {
         .build()
         .expect("valid engine configuration");
 
+    // Startup under a latency budget: cap the warm-up at half the target
+    // samples and stream progress. The solve returns a valid partial
+    // answer flagged `interrupted`, carrying the ε those samples honestly
+    // certify — a service can answer immediately and refine later.
+    let warmup = engine
+        .solve_within(
+            &Algorithm::PrrBoost,
+            &Budget::unlimited().max_samples(10_000).observe(|p| {
+                if let (Some(delta), Some(eps)) = (p.delta_hat, p.achieved_epsilon) {
+                    println!(
+                        "  [warmup] {} samples: running Δ̂ = {delta:.2}, achieved ε = {eps:.2}",
+                        p.samples
+                    );
+                }
+            }),
+        )
+        .expect("budgeted solve");
+    println!(
+        "[warmup] partial pool: {} samples, interrupted = {}, achieved ε = {:.2}, Δ̂ = {:.2}",
+        warmup.stats.total_samples,
+        warmup.stats.interrupted,
+        warmup.stats.achieved_epsilon.unwrap(),
+        warmup.delta_hat.unwrap(),
+    );
+
+    // A full-accuracy engine for the rest of the service's life.
+    let mut engine = EngineBuilder::new(g.clone())
+        .seeds(select_random_nodes(&g, 20, &[], 7))
+        .k(20)
+        .threads(2)
+        .seed(42)
+        .sampling(Sampling::Fixed { samples: 20_000 })
+        .build()
+        .expect("valid engine configuration");
     let first = engine.solve(&Algorithm::PrrBoost).expect("solve");
     println!(
         "[epoch 0] pool: {} samples ({} boostable, built in {:.2}s); \
-         recommended boosts Δ̂ = {:.2}",
+         recommended boosts Δ̂ = {:.2}, achieved ε = {:.2}",
         first.stats.total_samples,
         first.stats.boostable,
         first.stats.build_secs,
         first.delta_hat.unwrap(),
+        first.stats.achieved_epsilon.unwrap(),
     );
 
     // Simulate traffic: each epoch re-draws some edge probabilities
@@ -109,5 +150,54 @@ fn main() {
         );
         assert_eq!(report.invalidated as usize, would_invalidate);
     }
+
+    // Fault tolerance, live. A malformed batch — an account id outside
+    // the universe — is rejected at ingress with a typed error; nothing
+    // is applied and the engine keeps serving.
+    let mut bad = MutationLog::new();
+    bad.remove_edge(NodeId(1_000_000), NodeId(0));
+    match engine.apply_mutations(&bad.seal_epoch()) {
+        Err(KboostError::Mutation(e)) => println!("[fault] malformed batch rejected: {e}"),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    // An epoch cancelled mid-refresh (deploy rollover, shed load) rolls
+    // the pool back byte-identically; the identical batch retries
+    // verbatim once the pressure clears. Re-weight a swath of edges so
+    // the refresh has real work to interrupt.
+    let mut log = MutationLog::new();
+    let reweighted: Vec<(NodeId, NodeId)> = engine
+        .graph()
+        .edges()
+        .map(|(u, v, _)| (u, v))
+        .take(200)
+        .collect();
+    for (u, v) in reweighted {
+        log.set_probs(
+            u,
+            v,
+            EdgeProbs::new(0.05, boost_probability(0.05, 2.0)).unwrap(),
+        );
+    }
+    // The service's own epoch counter is at 3; re-number the fresh log's
+    // batch to follow it.
+    let mut batch = log.seal_epoch();
+    batch.epoch = engine.epoch() + 1;
+    let cancelled = CancelFlag::new();
+    cancelled.cancel();
+    match engine.apply_mutations_within(&batch, &Budget::unlimited().cancel_flag(cancelled)) {
+        Err(KboostError::Interrupted { epoch, cause }) => {
+            println!("[fault] epoch {epoch} refresh {cause}; pool rolled back");
+        }
+        other => panic!("expected an interrupted epoch, got {other:?}"),
+    }
+    assert_eq!(engine.epoch(), 3, "rollback must not consume the epoch");
+    let report = engine.apply_mutations(&batch).expect("verbatim retry");
+    println!(
+        "[fault] retry committed epoch {} ({} samples refreshed)",
+        report.epoch,
+        report.drawn_stored + report.drawn_empty
+    );
+
     println!("\nOK: one engine served selections across the whole mutation history.");
 }

@@ -155,6 +155,40 @@
 //!   `BENCH_online.json`). Refreshed slots are unconditioned fresh
 //!   draws — see the `kboost-online` crate docs for the one remaining
 //!   statistical caveat that conditional refresh would close.
+//!
+//! # Latency contract & transactional epochs
+//!
+//! A serving deployment needs two guarantees the batch pipeline above
+//! does not give by itself: an answer **by a deadline**, and epochs that
+//! **cannot poison** the pool. Both live behind the engine:
+//!
+//! * **Bounded solves** ([`engine::Engine::solve_within`]): a
+//!   composable [`engine::Budget`] — wall-clock deadline, sample cap,
+//!   cooperative [`engine::CancelFlag`], optional progress observer
+//!   ([`engine::SolveProgress`]: samples so far, running `Δ̂`,
+//!   certificate width) — is polled at every chunk boundary of the pool
+//!   build. Sampling stops cooperatively, selection runs on the partial
+//!   pool (always a valid chunk prefix), and the solution reports the
+//!   accuracy those samples honestly certify
+//!   ([`engine::SolveStats::achieved_epsilon`], by inverting the IMM
+//!   sample bound) plus an
+//!   [`interrupted`](engine::SolveStats::interrupted) flag.
+//!   `solve_within` under [`engine::Budget::unlimited`] is
+//!   **bit-identical** to [`engine::Engine::solve`]; a pure sample cap
+//!   stops at a deterministic chunk, so even partial pools are
+//!   thread-count invariant. `BENCH_prr.json`'s `deadline_curve` tracks
+//!   what ε each budget buys.
+//! * **Transactional epochs**: mutation batches are validated at
+//!   ingress (out-of-universe endpoint, self-loop →
+//!   [`engine::KboostError::Mutation`], never a panic, nothing
+//!   applied), and an epoch refresh that is cancelled, misses its
+//!   budget, or panics rolls the pool back to its **byte-identical**
+//!   pre-epoch state ([`engine::KboostError::Interrupted`]) — the same
+//!   batch retries verbatim and converges to exactly what an
+//!   uninterrupted apply would have produced. `tests/online_pool.rs`
+//!   proves it by fault injection: cancellations and panics at random
+//!   chunk boundaries over random mutation histories, with arena
+//!   byte-equality and retry convergence to the replay oracle.
 
 pub use kboost_baselines as baselines;
 pub use kboost_core as core;

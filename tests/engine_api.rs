@@ -12,10 +12,19 @@
 //!   with a typed `KboostError::Config` naming the offending field;
 //! * **online** — `Engine::apply_mutations` reproduces a hand-wired
 //!   `PoolMaintainer` epoch for epoch, and rejects out-of-order epochs
-//!   with `KboostError::EpochOrder` instead of panicking.
+//!   with `KboostError::EpochOrder` instead of panicking;
+//! * **latency contract** — `solve_within(Budget::unlimited())` is
+//!   bit-identical to `solve`; a sample-capped budget yields a valid
+//!   partial solution flagged `interrupted` with an honest (larger)
+//!   `achieved_epsilon`; a cancelled epoch rolls back byte-identically
+//!   and the batch retries verbatim; the progress observer sees every
+//!   poll.
 
 use kboost::core::{prr_boost, BoostOptions, PrrPool};
-use kboost::engine::{Algorithm, BoostAlgorithm, EngineBuilder, KboostError, Pipeline, Sampling};
+use kboost::engine::{
+    Algorithm, BoostAlgorithm, Budget, CancelFlag, EngineBuilder, InterruptCause, KboostError,
+    MutationError, Pipeline, Sampling,
+};
 use kboost::graph::generators::{erdos_renyi, set_cover_gadget, SetCoverInstance};
 use kboost::graph::probability::ProbabilityModel;
 use kboost::graph::{DiGraph, EdgeProbs, NodeId};
@@ -425,7 +434,8 @@ fn engine_online_lifecycle_matches_hand_wired_maintainer() {
             compact_threshold: 0.25,
             staleness: Staleness::Approximate,
         },
-    );
+    )
+    .unwrap();
 
     let mut log = MutationLog::new();
     log.set_probs(NodeId(1), NodeId(2), EdgeProbs::new(0.1, 0.9).unwrap());
@@ -446,7 +456,7 @@ fn engine_online_lifecycle_matches_hand_wired_maintainer() {
 
     for batch in [&b1, &b2] {
         let engine_report = engine.apply_mutations(batch).unwrap();
-        let maintainer_report = maintainer.apply_epoch(batch);
+        let maintainer_report = maintainer.apply_epoch(batch).unwrap();
         assert_eq!(engine_report, maintainer_report);
     }
     assert_eq!(engine.epoch(), 2);
@@ -489,11 +499,12 @@ fn baseline_estimates_follow_pool_lifecycle() {
     assert_eq!(after.boost_set, before.boost_set);
 }
 
-/// Out-of-range mutation endpoints — the one input a service feeds
-/// continuously — are typed errors on the engine path, not index panics
-/// inside the maintainer.
+/// Malformed mutation batches — the one input a service feeds
+/// continuously — are typed [`KboostError::Mutation`] errors on the
+/// engine path, validated at ingress: never an index panic inside the
+/// maintainer, and never a partially applied epoch.
 #[test]
-fn engine_rejects_out_of_range_mutation_endpoints() {
+fn engine_rejects_adversarial_mutation_batches() {
     let g = er_graph(20, 60, 41);
     let mut engine = EngineBuilder::new(g)
         .seeds([NodeId(0)])
@@ -503,20 +514,54 @@ fn engine_rejects_out_of_range_mutation_endpoints() {
         .build()
         .unwrap();
 
+    // Out-of-universe endpoint, rejected on both the dry-run and the
+    // apply path.
     let mut log = MutationLog::new();
     log.remove_edge(NodeId(10_000), NodeId(0));
     let err = engine.stale_graphs(log.pending()).unwrap_err();
-    assert!(
-        matches!(err, KboostError::Graph(_)),
-        "expected a typed graph error, got {err}"
+    assert_eq!(
+        err,
+        KboostError::Mutation(MutationError::NodeOutOfRange {
+            node: NodeId(10_000),
+            n: 20
+        })
     );
     let batch = log.seal_epoch();
+    assert_eq!(
+        engine.apply_mutations(&batch).unwrap_err(),
+        KboostError::Mutation(MutationError::NodeOutOfRange {
+            node: NodeId(10_000),
+            n: 20
+        })
+    );
+    assert_eq!(
+        engine.epoch(),
+        0,
+        "rejected batch must not consume an epoch"
+    );
+
+    // A self-loop upsert is equally typed.
+    let mut log = MutationLog::new();
+    log.insert_edge(NodeId(3), NodeId(3), EdgeProbs::new(0.1, 0.2).unwrap());
+    assert_eq!(
+        engine.apply_mutations(&log.seal_epoch()).unwrap_err(),
+        KboostError::Mutation(MutationError::SelfLoop { node: NodeId(3) })
+    );
+
+    // A batch mixing a valid removal with an invalid upsert is rejected
+    // wholesale — the valid prefix is not applied.
+    let edges_before = engine.graph().num_edges();
+    let mut log = MutationLog::new();
+    log.remove_edge(NodeId(0), NodeId(1));
+    log.insert_edge(NodeId(2), NodeId(10_000), EdgeProbs::new(0.1, 0.2).unwrap());
     assert!(matches!(
-        engine.apply_mutations(&batch),
-        Err(KboostError::Graph(_))
+        engine.apply_mutations(&log.seal_epoch()).unwrap_err(),
+        KboostError::Mutation(MutationError::NodeOutOfRange { .. })
     ));
-    // The engine is still usable after the rejected batch... but the log
-    // consumed an epoch number, so re-sync with a fresh in-range batch.
+    assert_eq!(engine.graph().num_edges(), edges_before);
+
+    // The engine is still fully usable after every rejection... but the
+    // logs above consumed epoch numbers, so re-sync with a fresh batch.
     let mut log = MutationLog::new();
     log.remove_edge(NodeId(0), NodeId(1));
     let report = engine.apply_mutations(&log.seal_epoch()).unwrap();
@@ -554,4 +599,217 @@ fn prr_boost_lb_honors_ssa_sampling() {
         ssa.stats.total_samples,
         imm.stats.total_samples
     );
+}
+
+/// The latency contract's identity leg: `solve_within` under an
+/// unlimited budget is bit-identical to plain `solve` — same selection,
+/// same estimates, same certificate, same sample count — and reports an
+/// achieved ε no worse than the configured one.
+#[test]
+fn solve_within_unlimited_is_bit_identical_to_solve() {
+    let g = er_graph(60, 240, 61);
+    let build = || {
+        EngineBuilder::new(g.clone())
+            .seeds([NodeId(0)])
+            .k(2)
+            .epsilon(0.5)
+            .ell(1.0)
+            .threads(2)
+            .seed(17)
+            .max_sketches(80_000)
+            .min_sketches(10_000)
+            .build()
+            .unwrap()
+    };
+    let plain = build().solve(&Algorithm::Sandwich).unwrap();
+    let mut budgeted_engine = build();
+    let budgeted = budgeted_engine
+        .solve_within(&Algorithm::Sandwich, &Budget::unlimited())
+        .unwrap();
+
+    assert_eq!(budgeted.boost_set, plain.boost_set);
+    assert_eq!(budgeted.delta_hat, plain.delta_hat);
+    assert_eq!(budgeted.mu_hat, plain.mu_hat);
+    assert_eq!(budgeted.stats.total_samples, plain.stats.total_samples);
+    assert_eq!(budgeted.stats.boostable, plain.stats.boostable);
+    assert_eq!(budgeted.stats.covered, plain.stats.covered);
+    assert_eq!(
+        budgeted.stats.achieved_epsilon,
+        plain.stats.achieved_epsilon
+    );
+    assert!(!budgeted.stats.interrupted);
+    let (bc, pc) = (
+        budgeted.certificate.as_ref().unwrap(),
+        plain.certificate.as_ref().unwrap(),
+    );
+    assert_eq!(bc.b_mu, pc.b_mu);
+    assert_eq!(bc.b_delta, pc.b_delta);
+    assert_eq!(bc.delta_hat_mu, pc.delta_hat_mu);
+    assert_eq!(bc.delta_hat_delta, pc.delta_hat_delta);
+    assert_eq!(bc.chose_delta, pc.chose_delta);
+    // The configured accuracy was met: achieved ε ≤ configured ε.
+    assert!(plain.stats.achieved_epsilon.unwrap() <= 0.5 + 1e-12);
+}
+
+/// A sample-capped budget stops the build at a deterministic chunk
+/// boundary: the solve still returns a feasible solution on the partial
+/// pool, flags it `interrupted`, and reports the honest — larger —
+/// achieved ε. The partial pool is the bit-identical prefix of the full
+/// one.
+#[test]
+fn sample_budget_yields_flagged_partial_solution() {
+    let g = er_graph(60, 240, 71);
+    let build = |samples: u64| {
+        EngineBuilder::new(g.clone())
+            .seeds([NodeId(0)])
+            .k(2)
+            .threads(3)
+            .seed(23)
+            .sampling(Sampling::Fixed { samples })
+            .build()
+            .unwrap()
+    };
+
+    let mut full_engine = build(20_000);
+    let full = full_engine.solve(&Algorithm::PrrBoost).unwrap();
+    assert!(!full.stats.interrupted);
+    assert!(!full_engine.interrupted());
+
+    let mut partial_engine = build(20_000);
+    let partial = partial_engine
+        .solve_within(
+            &Algorithm::PrrBoost,
+            &Budget::unlimited().max_samples(2_048),
+        )
+        .unwrap();
+    assert!(partial.stats.interrupted);
+    assert!(partial_engine.interrupted());
+    assert_eq!(partial.stats.total_samples, 2_048);
+    assert!(partial.boost_set.len() <= 2);
+    // Fewer samples can only certify a looser ε.
+    assert!(
+        partial.stats.achieved_epsilon.unwrap() > full.stats.achieved_epsilon.unwrap(),
+        "2k-sample ε {} should exceed 20k-sample ε {}",
+        partial.stats.achieved_epsilon.unwrap(),
+        full.stats.achieved_epsilon.unwrap()
+    );
+    // The partial pool is a bit-identical prefix: an engine *configured*
+    // for that target builds the same arena.
+    let mut prefix_engine = build(2_048);
+    assert!(partial_engine.pool().unwrap().arena() == prefix_engine.pool().unwrap().arena());
+
+    // The interrupted pool keeps serving, and flags every later solve.
+    let again = partial_engine.solve(&Algorithm::PrrBoost).unwrap();
+    assert_eq!(again.boost_set, partial.boost_set);
+    assert!(again.stats.interrupted);
+}
+
+/// A cancelled epoch refresh surfaces as `KboostError::Interrupted`,
+/// rolls the pool back byte-identically, and the identical batch retried
+/// with an unlimited budget converges to the uninterrupted result.
+#[test]
+fn cancelled_epoch_rolls_back_and_retries_verbatim() {
+    let g = er_graph(50, 200, 81);
+    let build = || {
+        EngineBuilder::new(g.clone())
+            .seeds([NodeId(0)])
+            .k(2)
+            .threads(2)
+            .seed(0xCA11)
+            .sampling(Sampling::Fixed { samples: 6_000 })
+            .build()
+            .unwrap()
+    };
+    let mut engine = build();
+    engine.pool().unwrap();
+
+    let mut log = MutationLog::new();
+    log.remove_edge(NodeId(0), NodeId(1));
+    log.set_probs(NodeId(1), NodeId(2), EdgeProbs::new(0.1, 0.9).unwrap());
+    let batch = log.seal_epoch();
+
+    let arena_before = engine.pool().unwrap().arena().clone();
+    let cancelled = CancelFlag::new();
+    cancelled.cancel();
+    let err = engine
+        .apply_mutations_within(&batch, &Budget::unlimited().cancel_flag(cancelled))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        KboostError::Interrupted {
+            epoch: 1,
+            cause: InterruptCause::Cancelled
+        }
+    );
+    // Rollback: nothing moved.
+    assert_eq!(engine.epoch(), 0);
+    assert_eq!(engine.graph().num_edges(), g.num_edges());
+    assert!(*engine.pool().unwrap().arena() == arena_before);
+
+    // Retry verbatim == an engine that never saw the fault.
+    let report = engine.apply_mutations(&batch).unwrap();
+    assert_eq!(report.epoch, 1);
+    let mut oracle = build();
+    let oracle_report = oracle.apply_mutations(&batch).unwrap();
+    assert_eq!(report, oracle_report);
+    assert!(engine.pool().unwrap().arena() == oracle.pool().unwrap().arena());
+}
+
+/// The progress observer sees every terminator poll: monotone sample
+/// counts, and (on the staged fixed-target build) stage ticks carrying a
+/// running `Δ̂` and certificate width.
+#[test]
+fn budget_observer_reports_progress_ticks() {
+    use std::sync::{Arc, Mutex};
+
+    let g = er_graph(50, 200, 91);
+    let mut engine = EngineBuilder::new(g)
+        .seeds([NodeId(0)])
+        .k(2)
+        .threads(2)
+        .seed(5)
+        .sampling(Sampling::Fixed { samples: 40_000 })
+        .build()
+        .unwrap();
+
+    let ticks: Arc<Mutex<Vec<kboost::engine::SolveProgress>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&ticks);
+    let solution = engine
+        .solve_within(
+            &Algorithm::PrrBoost,
+            &Budget::unlimited().observe(move |p| sink.lock().unwrap().push(*p)),
+        )
+        .unwrap();
+    assert!(!solution.stats.interrupted);
+
+    let ticks = ticks.lock().unwrap();
+    assert!(!ticks.is_empty(), "observer never fired");
+    let mut last = 0u64;
+    for t in ticks.iter() {
+        assert!(t.samples >= last, "sample counts must be monotone");
+        last = t.samples;
+    }
+    // The staged build reports richer ticks: target, running Δ̂ and the
+    // honest ε the samples so far would certify.
+    let stage_ticks: Vec<_> = ticks.iter().filter(|t| t.delta_hat.is_some()).collect();
+    assert!(
+        !stage_ticks.is_empty(),
+        "no stage ticks with a running estimate were observed"
+    );
+    for t in &stage_ticks {
+        assert_eq!(t.target, Some(40_000));
+        assert!(t.delta_hat.unwrap() >= 0.0);
+        assert!(t.achieved_epsilon.unwrap().is_finite());
+    }
+    // ε tightens as samples accumulate.
+    let eps: Vec<f64> = stage_ticks
+        .iter()
+        .map(|t| t.achieved_epsilon.unwrap())
+        .collect();
+    for w in eps.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "achieved ε must shrink with samples: {eps:?}"
+        );
+    }
 }

@@ -19,13 +19,19 @@
 //!   through the exact machinery);
 //! * SSA's validation pool retains covers only — the arena bytes the old
 //!   shard-typed validation pool would have held are measured and
-//!   asserted gone.
+//!   asserted gone;
+//! * **fault injection**: epochs whose refresh is cancelled or panics at
+//!   a randomly chosen chunk boundary roll back to the byte-identical
+//!   pre-epoch arena, the identical batch retried afterwards converges
+//!   to the `rebuild_from_history` oracle, and deterministic faults are
+//!   thread-count invariant.
 
 use kboost::graph::generators::{erdos_renyi, set_cover_gadget, SetCoverInstance};
 use kboost::graph::probability::ProbabilityModel;
 use kboost::graph::{DiGraph, EdgeProbs, NodeId};
 use kboost::online::{
-    rebuild_from_history, EpochBatch, MaintainerOptions, PoolMaintainer, Staleness,
+    rebuild_from_history, EpochBatch, InterruptCause, MaintainerOptions, OnlineError,
+    PoolMaintainer, Staleness,
 };
 use kboost::prr::greedy_delta_selection;
 use proptest::prelude::*;
@@ -107,9 +113,9 @@ fn assert_incremental_matches_rebuild(
     opts: MaintainerOptions,
     history: &[EpochBatch],
 ) -> PoolMaintainer {
-    let mut m = PoolMaintainer::build(g0.clone(), seeds.to_vec(), opts);
+    let mut m = PoolMaintainer::build(g0.clone(), seeds.to_vec(), opts).unwrap();
     for batch in history {
-        let report = m.apply_epoch(batch);
+        let report = m.apply_epoch(batch).unwrap();
         assert_eq!(report.invalidated, report.drawn_stored + report.drawn_empty);
         if !opts.staleness.is_exact() {
             assert_eq!(report.invalidated_empty, 0);
@@ -162,16 +168,19 @@ fn maintained_pool_thread_invariant_bytes_and_reports() {
             staleness,
         };
 
-        let mut reference = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(1));
-        let reference_reports: Vec<_> = history.iter().map(|b| reference.apply_epoch(b)).collect();
+        let mut reference = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(1)).unwrap();
+        let reference_reports: Vec<_> = history
+            .iter()
+            .map(|b| reference.apply_epoch(b).unwrap())
+            .collect();
         assert!(
             reference_reports.iter().any(|r| r.invalidated > 0),
             "degenerate history: nothing ever invalidated ({staleness:?})"
         );
 
         for threads in [2usize, 7] {
-            let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(threads));
-            let reports: Vec<_> = history.iter().map(|b| m.apply_epoch(b)).collect();
+            let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(threads)).unwrap();
+            let reports: Vec<_> = history.iter().map(|b| m.apply_epoch(b).unwrap()).collect();
             assert_eq!(
                 reports, reference_reports,
                 "reports differ at {threads} threads ({staleness:?})"
@@ -335,7 +344,7 @@ fn stale_graphs_cached_index_matches_fresh_scan() {
             compact_threshold: threshold,
             staleness: Staleness::Approximate,
         };
-        let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts);
+        let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts).unwrap();
         let history = random_history(&g, 5, &mut rng);
         // Probe batches the maintainer never applies — pure dry runs.
         let probes: Vec<Vec<Mutation>> = vec![
@@ -362,7 +371,7 @@ fn stale_graphs_cached_index_matches_fresh_scan() {
                     m.epoch()
                 );
             }
-            let report = m.apply_epoch(batch);
+            let report = m.apply_epoch(batch).unwrap();
             compacted_any |= report.compacted;
             tombstoned_any |= report.dead_graphs > 0 || report.invalidated > 0;
             for probe in &probes {
@@ -401,9 +410,9 @@ fn exact_mode_zero_drift_over_random_histories() {
             compact_threshold: 0.25,
             staleness: Staleness::Exact,
         };
-        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts);
+        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts).unwrap();
         for batch in &history {
-            m.apply_epoch(batch);
+            m.apply_epoch(batch).unwrap();
         }
         let (_g, rebuilt) = rebuild_from_history(&g, &[NodeId(0)], &opts, &history);
         let probes: Vec<Vec<NodeId>> = vec![
@@ -456,15 +465,16 @@ fn approximate_under_detection_is_detected_and_reported() {
     log.remove_edge(NodeId(0), NodeId(1));
     let batch = log.seal_epoch();
 
-    let mut approx = PoolMaintainer::build(graph(), vec![NodeId(0)], opts(Staleness::Approximate));
-    let report = approx.apply_epoch(&batch);
+    let mut approx =
+        PoolMaintainer::build(graph(), vec![NodeId(0)], opts(Staleness::Approximate)).unwrap();
+    let report = approx.apply_epoch(&batch).unwrap();
     assert_eq!(report.invalidated, 0, "approximate rule must miss this");
     let stale_delta = approx.pool().delta_hat(&[NodeId(2)]);
     assert!(stale_delta > 0.0, "stale pool keeps paying out");
 
     for staleness in [Staleness::Exact, Staleness::ExactBloom { bits: 128 }] {
-        let mut exact = PoolMaintainer::build(graph(), vec![NodeId(0)], opts(staleness));
-        let report = exact.apply_epoch(&batch);
+        let mut exact = PoolMaintainer::build(graph(), vec![NodeId(0)], opts(staleness)).unwrap();
+        let report = exact.apply_epoch(&batch).unwrap();
         assert!(report.invalidated > 0, "{staleness:?} must detect");
         assert!(
             report.invalidated_empty > 0,
@@ -527,7 +537,7 @@ fn footprint_soundness_unaffected_samples_reproduce_bitwise() {
                 if mutation.endpoints().0 == mutation.endpoints().1 {
                     continue;
                 }
-                let g2 = apply_mutations(&g, std::slice::from_ref(&mutation));
+                let g2 = apply_mutations(&g, std::slice::from_ref(&mutation)).unwrap();
                 let generator2 = PrrGenerator::new(&g2, &[NodeId(0)], 2);
                 let mut rng2 = SmallRng::seed_from_u64(sample_seed * 7 + 3);
                 let mut fp2 = Vec::new();
@@ -581,14 +591,14 @@ fn mutation_on_untouched_nodes_invalidates_nothing() {
         compact_threshold: 0.25,
         staleness: Staleness::Approximate,
     };
-    let mut m = PoolMaintainer::build(g, vec![NodeId(0)], opts);
+    let mut m = PoolMaintainer::build(g, vec![NodeId(0)], opts).unwrap();
     let before = m.pool().arena().compacted();
     let (total, empties) = (m.pool().total_samples(), m.pool().empty_samples());
 
     let mut log = MutationLog::new();
     log.insert_edge(NodeId(4), NodeId(5), EdgeProbs::new(0.2, 0.4).unwrap());
     assert!(m.stale_graphs(log.pending()).is_empty());
-    let report = m.apply_epoch(&log.seal_epoch());
+    let report = m.apply_epoch(&log.seal_epoch()).unwrap();
     assert_eq!(report.invalidated, 0);
     assert_eq!(report.drawn_stored + report.drawn_empty, 0);
     assert!(m.pool().arena().compacted() == before, "pool bytes changed");
@@ -643,7 +653,7 @@ fn exact_stale_sets_match_fresh_footprint_scans() {
             compact_threshold: threshold,
             staleness: Staleness::Exact,
         };
-        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts);
+        let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts).unwrap();
         let history = random_history(&g, 5, &mut rng);
         let probes: Vec<Vec<Mutation>> = vec![
             vec![],
@@ -668,7 +678,7 @@ fn exact_stale_sets_match_fresh_footprint_scans() {
                     "empty index diverged"
                 );
             }
-            m.apply_epoch(batch);
+            m.apply_epoch(batch).unwrap();
             for probe in &probes {
                 let (graphs, empties) = fresh_scans(&m, probe);
                 assert_eq!(
@@ -683,5 +693,146 @@ fn exact_stale_sets_match_fresh_footprint_scans() {
                 );
             }
         }
+    }
+}
+
+/// Applies `history` while injecting one fault per epoch (cancellation
+/// or contained panic at chunk boundary `fault_chunk` of the refresh),
+/// asserting the transactional contract at every step, then retrying
+/// each interrupted epoch to completion. Returns the maintainer.
+fn apply_history_with_faults(
+    g: &DiGraph,
+    opts: MaintainerOptions,
+    history: &[EpochBatch],
+    fault_chunk: u64,
+    panic_instead: bool,
+) -> PoolMaintainer {
+    use kboost::rrset::terminator::{PanicAt, StopAtChunk};
+
+    let mut m = PoolMaintainer::build(g.clone(), vec![NodeId(0)], opts).unwrap();
+    for batch in history {
+        let arena_before = m.pool().arena().clone();
+        let epoch_before = m.epoch();
+        let edges_before = m.graph().num_edges();
+        let res = if panic_instead {
+            m.apply_epoch_within(batch, &PanicAt(fault_chunk))
+        } else {
+            m.apply_epoch_within(batch, &StopAtChunk(fault_chunk))
+        };
+        match res {
+            // The refresh finished (or was empty) before the fault chunk
+            // was reached — a genuine commit.
+            Ok(_) => assert_eq!(m.epoch(), epoch_before + 1),
+            Err(OnlineError::Interrupted { epoch, cause }) => {
+                assert_eq!(epoch, epoch_before + 1);
+                assert_eq!(
+                    cause,
+                    if panic_instead {
+                        InterruptCause::Panicked
+                    } else {
+                        InterruptCause::Cancelled
+                    }
+                );
+                // Rollback: graph, epoch counter, and arena bytes are
+                // exactly the pre-epoch state.
+                assert_eq!(m.epoch(), epoch_before);
+                assert_eq!(m.graph().num_edges(), edges_before);
+                assert!(
+                    *m.pool().arena() == arena_before,
+                    "rollback left the arena not byte-identical"
+                );
+                // The identical batch retried verbatim must commit.
+                m.apply_epoch(batch).unwrap();
+                assert_eq!(m.epoch(), epoch_before + 1);
+            }
+            Err(e) => panic!("unexpected error from faulted epoch: {e}"),
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The transactional-epoch contract under randomly injected faults:
+    /// over random graphs, mutation histories, staleness rules and
+    /// thread counts, an epoch cancelled or panicked at a random chunk
+    /// boundary rolls back byte-identically, and the post-fault retries
+    /// converge to exactly the `rebuild_from_history` oracle — faults
+    /// leave no trace in the final bytes, estimates, or selection.
+    #[test]
+    fn faulted_epochs_roll_back_and_retries_match_rebuild(
+        graph_seed in 0u64..5_000,
+        mutation_seed in 0u64..5_000,
+        pool_seed in 0u64..5_000,
+        threads in 1usize..8,
+        epochs in 1usize..4,
+        staleness in 0usize..3,
+        fault_chunk in 0u64..3,
+        panic_instead in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let g = er_graph(14, 40, graph_seed);
+        let mut rng = SmallRng::seed_from_u64(mutation_seed);
+        let history = random_history(&g, epochs, &mut rng);
+        let opts = MaintainerOptions {
+            target_samples: 600,
+            k: 2,
+            threads,
+            base_seed: pool_seed,
+            compact_threshold: 0.3,
+            staleness: STALENESS_MODES[staleness],
+        };
+        let m = apply_history_with_faults(&g, opts, &history, fault_chunk, panic_instead);
+
+        let (g_oracle, oracle) = rebuild_from_history(&g, &[NodeId(0)], &opts, &history);
+        prop_assert_eq!(g_oracle.num_edges(), m.graph().num_edges());
+        prop_assert_eq!(oracle.total_samples(), m.pool().total_samples());
+        prop_assert_eq!(oracle.empty_samples(), m.pool().empty_samples());
+        prop_assert!(
+            m.pool().arena().compacted() == *oracle.arena(),
+            "post-fault pool diverged from the never-faulted replay oracle"
+        );
+        for set in [vec![NodeId(1)], vec![NodeId(2), NodeId(3)]] {
+            prop_assert_eq!(m.pool().delta_hat(&set), oracle.delta_hat(&set));
+            prop_assert_eq!(m.pool().mu_hat(&set), oracle.mu_hat(&set));
+        }
+        prop_assert_eq!(
+            m.select(2),
+            greedy_delta_selection(oracle.arena(), g.num_nodes(), 2, opts.threads)
+        );
+    }
+}
+
+/// Deterministic faults (chunk-count cancellation) interrupt at the same
+/// point regardless of worker count, so the whole faulted-then-retried
+/// history is bit-identical between 1 and 7 threads.
+#[test]
+fn deterministic_faults_are_thread_invariant() {
+    let g = er_graph(30, 140, 23);
+    let mut rng = SmallRng::seed_from_u64(0xFA_017);
+    let history = random_history(&g, 4, &mut rng);
+    for staleness in STALENESS_MODES {
+        let run = |threads: usize| {
+            let opts = MaintainerOptions {
+                target_samples: 3_000,
+                k: 2,
+                threads,
+                base_seed: 0xFA_117,
+                compact_threshold: 0.25,
+                staleness,
+            };
+            apply_history_with_faults(&g, opts, &history, 0, false)
+        };
+        let reference = run(1);
+        let wide = run(7);
+        assert!(
+            wide.pool().arena() == reference.pool().arena(),
+            "faulted history not thread-invariant ({staleness:?})"
+        );
+        assert_eq!(
+            wide.pool().total_samples(),
+            reference.pool().total_samples()
+        );
+        assert_eq!(wide.select(2), reference.select(2));
     }
 }
