@@ -31,8 +31,11 @@ use kboost_engine::{Algorithm, Budget, EngineBuilder, Pipeline, Sampling, Soluti
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::ProbabilityModel;
 use kboost_graph::{DiGraph, NodeId};
-use kboost_prr::greedy_delta_selection_naive;
+use kboost_prr::{
+    greedy_delta_selection_naive, FootprintMode, PrrArena, PrrArenaShard, PrrFullSource,
+};
 use kboost_rrset::seeds::select_random_nodes;
+use kboost_rrset::sketch::SketchPool;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -158,6 +161,59 @@ fn main() {
         opts.k,
         opts.threads,
     );
+
+    // Kernel ≡ scalar oracle, in-bench: capped-target pools at 1 and 7
+    // threads, footprints off and on, must match byte-for-byte (covers and
+    // arena storage arrays, footprint columns included) before any timing
+    // is trusted.
+    let equiv_target = opts.samples.min(2_048);
+    for threads in [1usize, 7] {
+        for mode in [FootprintMode::Off, FootprintMode::Sorted] {
+            let kernel_src = PrrFullSource::with_footprints(&g, &seeds, opts.k, mode);
+            let scalar_src = PrrFullSource::scalar_oracle(&g, &seeds, opts.k, mode);
+            let mut kernel_pool: SketchPool<PrrArenaShard> = SketchPool::new(opts.seed, threads);
+            kernel_pool.extend_to(&kernel_src, equiv_target);
+            let mut scalar_pool: SketchPool<PrrArenaShard> = SketchPool::new(opts.seed, threads);
+            scalar_pool.extend_to(&scalar_src, equiv_target);
+            assert_eq!(
+                kernel_pool.covers(),
+                scalar_pool.covers(),
+                "kernel covers diverged from scalar oracle ({threads} threads, {mode:?})"
+            );
+            let (_, kernel_shard, _, _) = kernel_pool.into_parts();
+            let (_, scalar_shard, _, _) = scalar_pool.into_parts();
+            assert!(
+                PrrArena::from_shard(kernel_shard) == PrrArena::from_shard(scalar_shard),
+                "kernel arena diverged from scalar oracle ({threads} threads, {mode:?})"
+            );
+        }
+    }
+    eprintln!(
+        "kernel ≡ scalar oracle verified over {equiv_target} samples at 1 and 7 threads, \
+         footprints off and on"
+    );
+
+    // Dedicated single-thread A/B: the same capped workload through the
+    // scalar loop and through the kernel, for the kernel_speedup figure.
+    let speed_target = opts.samples.min(8_192);
+    let scalar_src = PrrFullSource::scalar_oracle(&g, &seeds, opts.k, FootprintMode::Off);
+    let t = std::time::Instant::now();
+    let mut scalar_pool: SketchPool<PrrArenaShard> = SketchPool::new(opts.seed, 1);
+    scalar_pool.extend_to(&scalar_src, speed_target);
+    let scalar_secs = t.elapsed().as_secs_f64();
+    let kernel_src = PrrFullSource::new(&g, &seeds, opts.k);
+    let t = std::time::Instant::now();
+    let mut kernel_pool: SketchPool<PrrArenaShard> = SketchPool::new(opts.seed, 1);
+    kernel_pool.extend_to(&kernel_src, speed_target);
+    let kernel_secs = t.elapsed().as_secs_f64();
+    let kernel_speedup = scalar_secs / kernel_secs.max(1e-9);
+    let ab_kernel_rate = speed_target as f64 / kernel_secs.max(1e-9);
+    eprintln!(
+        "single-thread A/B over {speed_target} samples: scalar {scalar_secs:.2}s \
+         ({:.1}/s) vs kernel {kernel_secs:.2}s ({ab_kernel_rate:.1}/s) → {kernel_speedup:.2}x",
+        speed_target as f64 / scalar_secs.max(1e-9),
+    );
+    drop((scalar_pool, kernel_pool));
 
     let mut sweep: Vec<SweepPoint> = Vec::new();
     let mut reference: Option<(kboost_engine::Engine, Solution)> = None;
@@ -332,21 +388,36 @@ fn main() {
             )
         })
         .collect();
+    // The 1-thread sweep point (the full-target kernel run) is the
+    // headline kernel throughput; fall back to the capped A/B measurement
+    // when 1 isn't in the sweep.
+    let samples_per_sec_kernel = sweep
+        .iter()
+        .find(|p| p.threads == 1)
+        .map_or(ab_kernel_rate, |p| p.build_samples_per_sec);
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
         "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
-         \"seed\": {},\n  \"samples\": {},\n  \"boostable\": {},\n  \"arena_edges\": {},\n  \
-         \"arena_bytes\": {},\n  \"delta_hat\": {:.4},\n  \"thread_sweep\": [\n{}\n  ],\n  \
+         \"seed\": {},\n  \"nproc\": {},\n  \"single_core\": {},\n  \"samples\": {},\n  \
+         \"boostable\": {},\n  \"arena_edges\": {},\n  \
+         \"arena_bytes\": {},\n  \"delta_hat\": {:.4},\n  \
+         \"samples_per_sec_kernel\": {:.1},\n  \"kernel_speedup\": {:.4},\n  \
+         \"thread_sweep\": [\n{}\n  ],\n  \
          \"deadline_curve\": [\n{}\n  ]{}\n}}\n",
         g.num_nodes(),
         g.num_edges(),
         seeds.len(),
         opts.k,
         opts.seed,
+        nproc,
+        nproc == 1,
         ref_pool.total_samples(),
         ref_pool.num_boostable(),
         ref_pool.arena().total_edges(),
         ref_pool.memory_bytes(),
         delta_hat,
+        samples_per_sec_kernel,
+        kernel_speedup,
         sweep_json.join(",\n"),
         curve_json.join(",\n"),
         legacy_json,

@@ -238,6 +238,82 @@ impl DiGraph {
             + (self.out_targets.len() + self.in_sources.len()) * size_of::<u32>()
             + (self.out_probs.len() + self.in_probs.len()) * size_of::<EdgeProbs>()
     }
+
+    /// Builds the struct-of-arrays mirror of the in-edge adjacency used by
+    /// the data-oriented samplers (see [`InEdgeSoa`]). `O(m)`; call once
+    /// per graph (and once per mutation epoch, since every epoch rebuilds
+    /// the CSR and therefore any mirror of it).
+    pub fn in_edge_soa(&self) -> InEdgeSoa {
+        InEdgeSoa {
+            offsets: self.in_offsets.clone(),
+            heads: self.in_sources.clone(),
+            probs: self.in_probs.clone(),
+        }
+    }
+}
+
+/// Flat mirror of a graph's in-edge adjacency tuned for the backward
+/// sampling kernels: a narrow `u32` head lane and a paired
+/// `(base, boosted)` probability lane, both in the CSR in-edge layout (and
+/// edge order) of the [`DiGraph`] it was built from.
+///
+/// The lane split follows the kernels' access pattern. Every draw
+/// compares against `boosted` and usually `base` of the *same* edge, so
+/// the two probabilities live together in one 16-byte [`EdgeProbs`]
+/// record — one cache line serves four edges instead of spreading each
+/// edge's pair across two distant lines. Heads stay in their own `u32`
+/// lane because they are read ahead of the draws (the kernels prefetch
+/// per-node state for upcoming heads), and a narrow lane packs sixteen
+/// per line. Built once per graph via [`DiGraph::in_edge_soa`] — it holds
+/// copies, not borrows, so a mutation epoch that rebuilds the `DiGraph`
+/// must rebuild the mirror too (sources do this by construction: they
+/// build their mirror from the epoch's graph).
+#[derive(Clone, Debug)]
+pub struct InEdgeSoa {
+    /// Per-node edge ranges, `n + 1` entries (the in-edge CSR offsets).
+    offsets: Vec<u32>,
+    /// Edge source node ids, one per in-edge.
+    heads: Vec<u32>,
+    /// Paired `(p_uv, p'_uv)` probabilities, one record per in-edge.
+    probs: Vec<EdgeProbs>,
+}
+
+impl InEdgeSoa {
+    /// The flat edge range of `v`'s in-edges: index `heads`/`base`/
+    /// `boosted` with it.
+    #[inline]
+    pub fn range(&self, v: NodeId) -> (usize, usize) {
+        let i = v.index();
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Edge source ids, parallel to [`base`](Self::base) and
+    /// [`boosted`](Self::boosted).
+    #[inline]
+    pub fn heads(&self) -> &[u32] {
+        &self.heads
+    }
+
+    /// The raw CSR offset array (`n + 1` entries) behind
+    /// [`range`](Self::range) — exposed so samplers can prefetch a node's
+    /// range entry as soon as the node is enqueued, before it is expanded.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The paired `(p_uv, p'_uv)` lane, parallel to [`heads`](Self::heads).
+    #[inline]
+    pub fn probs(&self) -> &[EdgeProbs] {
+        &self.probs
+    }
+
+    /// Approximate heap bytes of the mirror.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.offsets.len() + self.heads.len()) * size_of::<u32>()
+            + self.probs.len() * size_of::<EdgeProbs>()
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +371,22 @@ mod tests {
         assert!((fwd.base - 0.25).abs() < 1e-12);
         let rev = g.in_edges(NodeId(1)).next().unwrap().1;
         assert_eq!(rev, fwd);
+    }
+
+    #[test]
+    fn in_edge_soa_mirrors_in_edges() {
+        let g = diamond();
+        let soa = g.in_edge_soa();
+        for v in 0..g.num_nodes() as u32 {
+            let (lo, hi) = soa.range(NodeId(v));
+            let aos: Vec<(NodeId, EdgeProbs)> = g.in_edges(NodeId(v)).collect();
+            assert_eq!(hi - lo, aos.len());
+            for (e, &(u, p)) in (lo..hi).zip(aos.iter()) {
+                assert_eq!(soa.heads()[e], u.0);
+                assert_eq!(soa.probs()[e], p);
+            }
+        }
+        assert!(soa.memory_bytes() > 0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod probability;
 pub mod stats;
 
 pub use builder::{BuildError, GraphBuilder};
-pub use csr::{DiGraph, EdgeProbs};
+pub use csr::{DiGraph, EdgeProbs, InEdgeSoa};
 pub use node::NodeId;
 
 /// A set of nodes represented as a sorted, deduplicated vector.

@@ -629,6 +629,9 @@ impl PoolMaintainer {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut refresh: SketchPool<PrrArenaShard> =
                     SketchPool::with_epoch(self.opts.base_seed, batch.epoch, self.opts.threads);
+                // A fresh source per epoch also rebuilds the kernel's SoA
+                // in-edge mirror against the mutated graph — mirror
+                // coherence is by construction, never by invalidation.
                 let status = refresh.extend_to_within(
                     &PrrFullSource::with_footprints(
                         &new_graph,

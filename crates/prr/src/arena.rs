@@ -254,9 +254,9 @@ impl PrrArena {
     /// by [`push`](Self::push), producing byte-identical storage.
     pub(crate) fn push_parts(&mut self, parts: &CompressedParts) {
         let n = parts.globals.len();
-        debug_assert_eq!(parts.adj.len(), n);
+        debug_assert_eq!(parts.adj_off.len(), n + 1);
         debug_assert_eq!(parts.globals[0], SUPER_SEED);
-        let m: usize = parts.adj.iter().map(Vec::len).sum();
+        let m = parts.adj.len();
         let fwd_base = self.fwd.len();
         let bwd_base = self.bwd.len();
         self.assert_caps(n, n + 1, m, m, parts.critical.len());
@@ -276,16 +276,13 @@ impl PrrArena {
             self.dead.push(false);
         }
 
-        // Forward CSR: running absolute offsets plus the packed edges.
-        let mut off = fwd_base as u32;
-        self.fwd_off.push(off);
+        // Forward CSR: the parts offsets rebased to this arena, plus the
+        // packed edges.
+        self.fwd_off
+            .extend(parts.adj_off.iter().map(|&o| fwd_base as u32 + o));
         self.fwd.reserve(m);
-        for adj in &parts.adj {
-            off += adj.len() as u32;
-            self.fwd_off.push(off);
-            self.fwd
-                .extend(adj.iter().map(|&(to, boost)| pack_edge(to, boost)));
-        }
+        self.fwd
+            .extend(parts.adj.iter().map(|&(to, boost)| pack_edge(to, boost)));
 
         // Backward CSR: count in-degrees, prefix-sum into absolute
         // offsets, then scatter (same edge order as `from_adjacency`).
@@ -294,10 +291,8 @@ impl PrrArena {
         BWD_SCRATCH.with_borrow_mut(|cursor| {
             cursor.clear();
             cursor.resize(n, 0);
-            for adj in &parts.adj {
-                for &(to, _) in adj {
-                    cursor[to as usize] += 1;
-                }
+            for &(to, _) in &parts.adj {
+                cursor[to as usize] += 1;
             }
             // Prefix-sum: emit the absolute offsets and convert each count
             // into its node's scatter start position in the same pass.
@@ -310,8 +305,12 @@ impl PrrArena {
                 self.bwd_off.push(off);
             }
             self.bwd.resize(bwd_base + m, 0);
-            for (from, adj) in parts.adj.iter().enumerate() {
-                for &(to, boost) in adj {
+            for from in 0..n {
+                let (lo, hi) = (
+                    parts.adj_off[from] as usize,
+                    parts.adj_off[from + 1] as usize,
+                );
+                for &(to, boost) in &parts.adj[lo..hi] {
                     self.bwd[cursor[to as usize] as usize] = pack_edge(from as u32, boost);
                     cursor[to as usize] += 1;
                 }
@@ -994,11 +993,8 @@ mod tests {
         crate::compress::CompressedParts {
             root: 2,
             globals: vec![SUPER_SEED, a, r],
-            adj: vec![
-                vec![(1u32, true), (2u32, true)],
-                vec![(2u32, false)],
-                vec![],
-            ],
+            adj_off: vec![0, 2, 3, 3],
+            adj: vec![(1u32, true), (2u32, true), (2u32, false)],
             critical: vec![NodeId(a), NodeId(r)],
             uncompressed: 42,
         }

@@ -16,8 +16,23 @@
 //! the super-seed is live-upon-boost (a live one would have extended `X`),
 //! so `C_R` is exactly the heads of super-seed edges that live-reach the
 //! root.
+//!
+//! # Allocation discipline
+//!
+//! Compression runs once per boostable sample, which puts it squarely on
+//! the sampling hot path. All working state — the global→local id map
+//! (epoch-stamped, the same stamp/round trick the phase-I scratch uses),
+//! the staged CSR adjacencies, the 0-1 BFS distance arrays and deque, the
+//! reachability flags — lives in a thread-local [`CompressScratch`] whose
+//! buffers are reused across samples; steady-state compression performs no
+//! heap allocation beyond growing the output [`CompressedParts`]. Every
+//! intermediate ordering (local ids by first appearance, per-node
+//! adjacency in edge-scan order, critical nodes in super-seed edge order)
+//! is insertion-driven, never hash-iteration-driven, so the output is
+//! deterministic and identical to the historical `HashMap`-based
+//! implementation.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use kboost_graph::NodeId;
 
@@ -26,21 +41,146 @@ use crate::graph::{CompressedPrr, SUPER_SEED};
 
 const INF: u32 = u32::MAX;
 
+/// Packed local-edge encoding shared with the phase-I kernel: an edge
+/// `(from, to, is_boost)` in raw-local ids is stored as
+/// `(from, to | LEDGE_BOOST * is_boost)`. Local ids stay below 2³¹ (they
+/// index nodes of one PRR sample), so bit 31 of the head is free.
+pub(crate) const LEDGE_BOOST: u32 = 1 << 31;
+/// Mask clearing [`LEDGE_BOOST`] to recover the head's local id.
+pub(crate) const LEDGE_MASK: u32 = LEDGE_BOOST - 1;
+
 /// The assembled output of Phase II before any storage commitment: the
 /// shard pipeline appends it straight into a
 /// [`PrrArenaShard`](crate::arena::PrrArenaShard), while the single-graph
-/// oracle path materializes it as a [`CompressedPrr`].
+/// oracle path materializes it as a [`CompressedPrr`]. Adjacency is stored
+/// in CSR form (`adj_off` has `globals.len() + 1` entries, `adj_off[0] ==
+/// 0`) so the kernel path can reuse one `CompressedParts` across samples
+/// without per-node `Vec`s.
+#[derive(Default)]
 pub(crate) struct CompressedParts {
     /// Local id of the root.
     pub root: u32,
     /// Local → global id table; `globals[0] == SUPER_SEED`.
     pub globals: Vec<u32>,
-    /// Per-node outgoing adjacency `(head, is_boost)` in local ids.
-    pub adj: Vec<Vec<(u32, bool)>>,
+    /// Per-node edge ranges into `adj` (`globals.len() + 1` entries).
+    pub adj_off: Vec<u32>,
+    /// Outgoing edges `(head, is_boost)` in local ids, node-major.
+    pub adj: Vec<(u32, bool)>,
     /// Critical nodes `C_R` (global ids).
     pub critical: Vec<NodeId>,
     /// Phase-I edge count before compression.
     pub uncompressed: u32,
+}
+
+impl CompressedParts {
+    /// Resets for reuse without releasing capacity.
+    pub fn clear(&mut self) {
+        self.root = 0;
+        self.globals.clear();
+        self.adj_off.clear();
+        self.adj.clear();
+        self.critical.clear();
+        self.uncompressed = 0;
+    }
+}
+
+/// Reusable phase-II working state; one per thread, reused across samples.
+///
+/// The localization half (`gstamp`/`glocal`/`nodes`/`ledges`/
+/// `seed_locals`) is only exercised by the scalar path
+/// ([`compress_parts_into`]): the kernel emits raw-local ids straight out
+/// of phase I and enters through [`compress_locals_into`], which skips the
+/// global→local assign pass entirely and uses just the [`CoreScratch`].
+struct CompressScratch {
+    // Epoch-stamped global → raw-local id map, grown on demand to cover
+    // the largest global id seen.
+    gstamp: Vec<u32>,
+    glocal: Vec<u32>,
+    round: u32,
+    // Raw-local space (packed [`LEDGE_BOOST`] edge encoding).
+    nodes: Vec<u32>,
+    ledges: Vec<(u32, u32)>,
+    seed_locals: Vec<u32>,
+    core: CoreScratch,
+}
+
+/// The compression core's working state, shared by the scalar and kernel
+/// entry points; everything here is indexed by raw-local or stage-local
+/// ids only.
+struct CoreScratch {
+    live_off: Vec<u32>,
+    live_adj: Vec<u32>,
+    in_x: Vec<bool>,
+    stack: Vec<u32>,
+    // Stage space (super-seed 0 + non-X nodes).
+    stage_of: Vec<u32>,
+    stage_nodes: Vec<u32>,
+    out_off: Vec<u32>,
+    out_adj: Vec<(u32, bool)>,
+    super_heads: Vec<u32>,
+    in_off: Vec<u32>,
+    in_adj: Vec<(u32, bool)>,
+    out2_off: Vec<u32>,
+    out2_adj: Vec<(u32, bool)>,
+    in2_off: Vec<u32>,
+    in2_adj: Vec<u32>,
+    d_s: Vec<u32>,
+    d_r: Vec<u32>,
+    deque: VecDeque<(u32, u32)>,
+    fwd_seen: Vec<bool>,
+    bwd_seen: Vec<bool>,
+    final_of: Vec<u32>,
+    stage_of_final: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl CompressScratch {
+    fn new() -> Self {
+        CompressScratch {
+            gstamp: Vec::new(),
+            glocal: Vec::new(),
+            round: 0,
+            nodes: Vec::new(),
+            ledges: Vec::new(),
+            seed_locals: Vec::new(),
+            core: CoreScratch::new(),
+        }
+    }
+}
+
+impl CoreScratch {
+    fn new() -> Self {
+        CoreScratch {
+            live_off: Vec::new(),
+            live_adj: Vec::new(),
+            in_x: Vec::new(),
+            stack: Vec::new(),
+            stage_of: Vec::new(),
+            stage_nodes: Vec::new(),
+            out_off: Vec::new(),
+            out_adj: Vec::new(),
+            super_heads: Vec::new(),
+            in_off: Vec::new(),
+            in_adj: Vec::new(),
+            out2_off: Vec::new(),
+            out2_adj: Vec::new(),
+            in2_off: Vec::new(),
+            in2_adj: Vec::new(),
+            d_s: Vec::new(),
+            d_r: Vec::new(),
+            deque: VecDeque::new(),
+            fwd_seen: Vec::new(),
+            bwd_seen: Vec::new(),
+            final_of: Vec::new(),
+            stage_of_final: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static CSCRATCH: std::cell::RefCell<CompressScratch> =
+        std::cell::RefCell::new(CompressScratch::new());
 }
 
 /// Compresses a phase-I raw PRR-graph into a standalone [`CompressedPrr`].
@@ -49,224 +189,135 @@ pub(crate) struct CompressedParts {
 /// hopeless.
 ///
 /// The sampling hot path does not go through this function: it uses
-/// [`compress_parts`] and appends directly into an arena shard.
+/// [`compress_parts_into`] and appends directly into an arena shard.
 pub fn compress(raw: &RawPrr, k: usize) -> Option<CompressedPrr> {
-    compress_parts(raw, k).map(|p| {
-        CompressedPrr::from_adjacency(p.root, p.globals, &p.adj, p.critical, p.uncompressed)
-    })
+    compress_parts(raw, k).map(CompressedPrr::from_parts)
 }
 
-/// Phase-II compression core shared by the shard pipeline and the oracle
-/// path: both feed the identical [`CompressedParts`] into their respective
-/// CSR assemblers, which is what makes shard-built arenas byte-equal to
-/// legacy copy-built ones.
+/// Phase-II compression into a freshly allocated [`CompressedParts`] —
+/// the single-sample convenience wrapper over [`compress_parts_into`].
 pub(crate) fn compress_parts(raw: &RawPrr, k: usize) -> Option<CompressedParts> {
-    let k = k as u32;
-
-    // ---- Local indexing over the raw node set -------------------------
-    let mut index: HashMap<u32, u32> = HashMap::with_capacity(raw.edges.len());
-    let mut nodes: Vec<u32> = Vec::new();
-    let local = |g: u32, index: &mut HashMap<u32, u32>, nodes: &mut Vec<u32>| -> u32 {
-        *index.entry(g).or_insert_with(|| {
-            nodes.push(g);
-            (nodes.len() - 1) as u32
-        })
-    };
-    let root_l = local(raw.root, &mut index, &mut nodes);
-    let edges: Vec<(u32, u32, bool)> = raw
-        .edges
-        .iter()
-        .map(|&(u, v, b)| {
-            let ul = local(u, &mut index, &mut nodes);
-            let vl = local(v, &mut index, &mut nodes);
-            (ul, vl, b)
-        })
-        .collect();
-    let n0 = nodes.len();
-    let seed_locals: Vec<u32> = raw.seeds.iter().map(|&s| index[&s]).collect();
-
-    // ---- X: live-forward closure of the seeds -------------------------
-    let mut live_out: Vec<Vec<u32>> = vec![Vec::new(); n0];
-    for &(u, v, b) in &edges {
-        if !b {
-            live_out[u as usize].push(v);
-        }
+    let mut parts = CompressedParts::default();
+    if compress_parts_into(raw.root, &raw.edges, &raw.seeds, k, &mut parts) {
+        Some(parts)
+    } else {
+        None
     }
-    let mut in_x = vec![false; n0];
-    let mut stack: Vec<u32> = Vec::new();
-    for &s in &seed_locals {
-        if !in_x[s as usize] {
-            in_x[s as usize] = true;
-            stack.push(s);
+}
+
+/// Phase-II compression over *global*-id phase-I output: localizes the
+/// edge/seed lists through the epoch-stamped map, then runs the shared
+/// core. Compresses into `parts` (cleared first), returning `false` when
+/// the graph is non-boostable within budget `k` (in which case `parts`
+/// holds no meaningful content). Thread-local scratch makes repeated calls
+/// allocation-free.
+///
+/// The sampling hot path skips this localization: the phase-I kernel
+/// assigns local ids during its BFS (the first-touch order provably
+/// equals the first-appearance order this assign pass would produce) and
+/// enters through [`compress_locals_into`].
+pub(crate) fn compress_parts_into(
+    root: u32,
+    redges: &[(u32, u32, bool)],
+    rseeds: &[u32],
+    k: usize,
+    parts: &mut CompressedParts,
+) -> bool {
+    CSCRATCH.with_borrow_mut(|s| {
+        s.round += 1;
+        if s.round == u32::MAX {
+            s.gstamp.fill(0);
+            s.round = 1;
         }
-    }
-    while let Some(u) = stack.pop() {
-        for &v in &live_out[u as usize] {
-            if !in_x[v as usize] {
-                in_x[v as usize] = true;
-                stack.push(v);
+        let round = s.round;
+        let CompressScratch {
+            gstamp,
+            glocal,
+            round: _,
+            nodes,
+            ledges,
+            seed_locals,
+            core,
+        } = s;
+
+        // Local ids by first appearance (root, then each edge's endpoints
+        // in scan order) via the epoch-stamped map — the same order the
+        // historical HashMap entry API produced.
+        nodes.clear();
+        ledges.clear();
+        seed_locals.clear();
+        let mut assign = |g: u32| -> u32 {
+            let gi = g as usize;
+            if gi >= gstamp.len() {
+                gstamp.resize(gi + 1, 0);
+                glocal.resize(gi + 1, 0);
             }
-        }
-    }
-    if in_x[root_l as usize] {
-        // Live seed→root path: activated (phase I normally catches this).
-        return None;
-    }
-
-    // ---- Stage-2 graph: super-seed 0 + non-X nodes --------------------
-    let mut stage_of = vec![INF; n0];
-    let mut stage_nodes: Vec<u32> = vec![SUPER_SEED]; // stage-local -> raw-local (SUPER_SEED marker for 0)
-    for v in 0..n0 as u32 {
-        if !in_x[v as usize] {
-            stage_of[v as usize] = stage_nodes.len() as u32;
-            stage_nodes.push(v);
-        }
-    }
-    let sn = stage_nodes.len();
-    let root_s = stage_of[root_l as usize];
-
-    let mut out_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); sn];
-    let mut super_head_seen = vec![false; sn];
-    for &(u, v, b) in &edges {
-        let (ux, vx) = (in_x[u as usize], in_x[v as usize]);
-        if vx {
-            continue; // edges into the merged region are useless
-        }
-        let sv = stage_of[v as usize];
-        if ux {
-            debug_assert!(b, "a live edge out of X would have extended X");
-            if !super_head_seen[sv as usize] {
-                super_head_seen[sv as usize] = true;
-                out_adj[0].push((sv, true));
+            if gstamp[gi] != round {
+                gstamp[gi] = round;
+                glocal[gi] = nodes.len() as u32;
+                nodes.push(g);
             }
-        } else {
-            out_adj[stage_of[u as usize] as usize].push((sv, b));
+            glocal[gi]
+        };
+        let root_l = assign(root);
+        debug_assert_eq!(root_l, 0, "root is always the first local id");
+        for &(u, v, b) in redges {
+            let ul = assign(u);
+            let vl = assign(v);
+            ledges.push((ul, vl | if b { LEDGE_BOOST } else { 0 }));
         }
-    }
-
-    // ---- d_S (forward from super) and d'_r (backward from root) -------
-    let d_s = zero_one_bfs(sn, 0, |u, f| {
-        for &(v, b) in &out_adj[u as usize] {
-            f(v, b);
+        for &g in rseeds {
+            seed_locals.push(assign(g));
         }
-    });
-    if d_s[root_s as usize] == INF || d_s[root_s as usize] > k {
-        return None; // hopeless within budget
-    }
-    let mut in_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); sn];
-    for (u, adj) in out_adj.iter().enumerate() {
-        for &(v, b) in adj {
-            in_adj[v as usize].push((u as u32, b));
-        }
-    }
-    let d_r = zero_one_bfs(sn, root_s, |u, f| {
-        for &(v, b) in &in_adj[u as usize] {
-            f(v, b);
-        }
-    });
-
-    // ---- Budget filter + live shortcut --------------------------------
-    let keep = |v: u32| -> bool {
-        let (a, b) = (d_s[v as usize], d_r[v as usize]);
-        a != INF && b != INF && a + b <= k
-    };
-    for v in 1..sn as u32 {
-        if v != root_s && keep(v) && d_r[v as usize] == 0 {
-            out_adj[v as usize].clear();
-            out_adj[v as usize].push((root_s, false));
-        }
-    }
-
-    // ---- Final pass: nodes on some super→root path --------------------
-    let fwd_reach = reach(sn, 0, &keep, |u, f| {
-        for &(v, _) in &out_adj[u as usize] {
-            f(v);
-        }
-    });
-    // Rebuild reverse adjacency after shortcutting.
-    let mut in_adj2: Vec<Vec<u32>> = vec![Vec::new(); sn];
-    for (u, adj) in out_adj.iter().enumerate() {
-        for &(v, _) in adj {
-            in_adj2[v as usize].push(u as u32);
-        }
-    }
-    let bwd_reach = reach(sn, root_s, &keep, |u, f| {
-        for &v in &in_adj2[u as usize] {
-            f(v);
-        }
-    });
-    let final_keep: Vec<bool> = (0..sn as u32)
-        .map(|v| keep(v) && fwd_reach[v as usize] && bwd_reach[v as usize])
-        .collect();
-    if !final_keep[0] || !final_keep[root_s as usize] {
-        return None;
-    }
-
-    // ---- Relabel + assemble -------------------------------------------
-    let mut final_of = vec![INF; sn];
-    let mut stage_of_final: Vec<u32> = Vec::new();
-    let mut globals: Vec<u32> = Vec::new();
-    for v in 0..sn as u32 {
-        if final_keep[v as usize] {
-            final_of[v as usize] = globals.len() as u32;
-            stage_of_final.push(v);
-            let raw_local = stage_nodes[v as usize];
-            globals.push(if raw_local == SUPER_SEED {
-                SUPER_SEED
-            } else {
-                nodes[raw_local as usize]
-            });
-        }
-    }
-    let fn_count = globals.len();
-    let mut final_adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); fn_count];
-    for (u, adj) in out_adj.iter().enumerate() {
-        if !final_keep[u] {
-            continue;
-        }
-        for &(v, b) in adj {
-            if final_keep[v as usize] {
-                final_adj[final_of[u] as usize].push((final_of[v as usize], b));
-            }
-        }
-    }
-
-    // Critical nodes: heads of super-seed (boost) edges that live-reach
-    // the root.
-    let mut critical: Vec<NodeId> = Vec::new();
-    for &(v, _) in &final_adj[0] {
-        let stage_v = stage_of_final[v as usize];
-        if d_r[stage_v as usize] == 0 {
-            critical.push(NodeId(globals[v as usize]));
-        }
-    }
-
-    let root_final = final_of[root_s as usize];
-    Some(CompressedParts {
-        root: root_final,
-        globals,
-        adj: final_adj,
-        critical,
-        uncompressed: raw.edges.len() as u32,
+        compress_core(nodes, ledges, seed_locals, k, parts, core)
     })
 }
 
-/// 0-1 BFS over an implicit graph: returns the per-node distance from
-/// `start`, where edge weight is 1 for boost edges and 0 for live edges.
-fn zero_one_bfs(
+/// Phase-II compression over *local*-id phase-I output — the kernel fast
+/// path. `globals` maps raw-local → global ids with the root at index 0,
+/// `ledges` is the packed [`LEDGE_BOOST`] edge list, and `lseeds` the
+/// discovered seeds, all exactly as the phase-I kernel leaves them in its
+/// scratch. Output-identical to routing the same sample through
+/// [`compress_parts_into`] (the kernel equivalence suites pin this).
+pub(crate) fn compress_locals_into(
+    globals: &[u32],
+    ledges: &[(u32, u32)],
+    lseeds: &[u32],
+    k: usize,
+    parts: &mut CompressedParts,
+) -> bool {
+    CSCRATCH.with_borrow_mut(|s| compress_core(globals, ledges, lseeds, k, parts, &mut s.core))
+}
+
+/// In-place prefix sum: `off[i] += off[i-1]`, turning per-node counts
+/// stored at `off[v + 1]` into CSR offsets.
+fn prefix_sum(off: &mut [u32]) {
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+}
+
+/// 0-1 BFS over a CSR adjacency: boost edges weigh 1, live edges 0.
+/// Reuses the caller's distance vector and deque.
+fn zero_one_bfs_csr(
+    off: &[u32],
+    adj: &[(u32, bool)],
     n: usize,
     start: u32,
-    for_each_edge: impl Fn(u32, &mut dyn FnMut(u32, bool)),
-) -> Vec<u32> {
-    let mut dist = vec![INF; n];
-    let mut deque = std::collections::VecDeque::new();
+    dist: &mut Vec<u32>,
+    deque: &mut VecDeque<(u32, u32)>,
+) {
+    dist.clear();
+    dist.resize(n, INF);
+    deque.clear();
     dist[start as usize] = 0;
     deque.push_back((start, 0u32));
     while let Some((u, du)) = deque.pop_front() {
         if du > dist[u as usize] {
             continue;
         }
-        for_each_edge(u, &mut |v, boost| {
+        let (lo, hi) = (off[u as usize] as usize, off[u as usize + 1] as usize);
+        for &(v, boost) in &adj[lo..hi] {
             let nd = du + boost as u32;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;
@@ -276,33 +327,318 @@ fn zero_one_bfs(
                     deque.push_front((v, nd));
                 }
             }
-        });
+        }
     }
-    dist
 }
 
-/// Reachability from `start` restricted to nodes passing `keep`.
-fn reach(
-    n: usize,
-    start: u32,
-    keep: &impl Fn(u32) -> bool,
-    for_each_edge: impl Fn(u32, &mut dyn FnMut(u32)),
-) -> Vec<bool> {
-    let mut seen = vec![false; n];
-    if !keep(start) {
-        return seen;
+fn compress_core(
+    nodes: &[u32],
+    ledges: &[(u32, u32)],
+    seed_locals: &[u32],
+    k: usize,
+    parts: &mut CompressedParts,
+    s: &mut CoreScratch,
+) -> bool {
+    let k = k as u32;
+    parts.clear();
+
+    let CoreScratch {
+        live_off,
+        live_adj,
+        in_x,
+        stack,
+        stage_of,
+        stage_nodes,
+        out_off,
+        out_adj,
+        super_heads,
+        in_off,
+        in_adj,
+        out2_off,
+        out2_adj,
+        in2_off,
+        in2_adj,
+        d_s,
+        d_r,
+        deque,
+        fwd_seen,
+        bwd_seen,
+        final_of,
+        stage_of_final,
+        cursor,
+    } = s;
+
+    // Raw-local ids are first-appearance ordered with the root at 0 —
+    // guaranteed by both the scalar localization and the phase-I kernel.
+    let root_l: u32 = 0;
+    let n0 = nodes.len();
+
+    // ---- X: live-forward closure of the seeds -------------------------
+    live_off.clear();
+    live_off.resize(n0 + 1, 0);
+    for &(u, pv) in ledges.iter() {
+        if pv & LEDGE_BOOST == 0 {
+            live_off[u as usize + 1] += 1;
+        }
     }
-    let mut stack = vec![start];
-    seen[start as usize] = true;
+    prefix_sum(live_off);
+    live_adj.clear();
+    live_adj.resize(live_off[n0] as usize, 0);
+    cursor.clear();
+    cursor.extend_from_slice(&live_off[..n0]);
+    for &(u, pv) in ledges.iter() {
+        if pv & LEDGE_BOOST == 0 {
+            live_adj[cursor[u as usize] as usize] = pv;
+            cursor[u as usize] += 1;
+        }
+    }
+    in_x.clear();
+    in_x.resize(n0, false);
+    stack.clear();
+    for &sl in seed_locals.iter() {
+        if !in_x[sl as usize] {
+            in_x[sl as usize] = true;
+            stack.push(sl);
+        }
+    }
     while let Some(u) = stack.pop() {
-        for_each_edge(u, &mut |v| {
-            if keep(v) && !seen[v as usize] {
-                seen[v as usize] = true;
+        let (lo, hi) = (
+            live_off[u as usize] as usize,
+            live_off[u as usize + 1] as usize,
+        );
+        for &v in &live_adj[lo..hi] {
+            if !in_x[v as usize] {
+                in_x[v as usize] = true;
                 stack.push(v);
             }
-        });
+        }
     }
-    seen
+    if in_x[root_l as usize] {
+        // Live seed→root path: activated (phase I normally catches this).
+        return false;
+    }
+
+    // ---- Stage-2 graph: super-seed 0 + non-X nodes --------------------
+    stage_of.clear();
+    stage_of.resize(n0, INF);
+    stage_nodes.clear();
+    stage_nodes.push(SUPER_SEED); // stage-local -> raw-local (marker for 0)
+    for v in 0..n0 as u32 {
+        if !in_x[v as usize] {
+            stage_of[v as usize] = stage_nodes.len() as u32;
+            stage_nodes.push(v);
+        }
+    }
+    let sn = stage_nodes.len();
+    let root_s = stage_of[root_l as usize];
+
+    // Out-CSR: count (deduplicating super-seed heads in first-seen order),
+    // prefix-sum, scatter in edge-scan order — per-node edge order matches
+    // the per-node `Vec` pushes of the historical implementation.
+    out_off.clear();
+    out_off.resize(sn + 1, 0);
+    super_heads.clear();
+    fwd_seen.clear(); // reused here as the super-head dedup flags
+    fwd_seen.resize(sn, false);
+    for &(u, pv) in ledges.iter() {
+        let v = pv & LEDGE_MASK;
+        if in_x[v as usize] {
+            continue; // edges into the merged region are useless
+        }
+        let sv = stage_of[v as usize];
+        if in_x[u as usize] {
+            debug_assert!(
+                pv & LEDGE_BOOST != 0,
+                "a live edge out of X would have extended X"
+            );
+            if !fwd_seen[sv as usize] {
+                fwd_seen[sv as usize] = true;
+                super_heads.push(sv);
+                out_off[1] += 1;
+            }
+        } else {
+            out_off[stage_of[u as usize] as usize + 1] += 1;
+        }
+    }
+    prefix_sum(out_off);
+    out_adj.clear();
+    out_adj.resize(out_off[sn] as usize, (0, false));
+    cursor.clear();
+    cursor.extend_from_slice(&out_off[..sn]);
+    for &sv in super_heads.iter() {
+        out_adj[cursor[0] as usize] = (sv, true);
+        cursor[0] += 1;
+    }
+    for &(u, pv) in ledges.iter() {
+        let v = pv & LEDGE_MASK;
+        if in_x[v as usize] || in_x[u as usize] {
+            continue;
+        }
+        let su = stage_of[u as usize] as usize;
+        out_adj[cursor[su] as usize] = (stage_of[v as usize], pv & LEDGE_BOOST != 0);
+        cursor[su] += 1;
+    }
+
+    // ---- d_S (forward from super) and d'_r (backward from root) -------
+    zero_one_bfs_csr(out_off, out_adj, sn, 0, d_s, deque);
+    if d_s[root_s as usize] == INF || d_s[root_s as usize] > k {
+        return false; // hopeless within budget
+    }
+    in_off.clear();
+    in_off.resize(sn + 1, 0);
+    for &(v, _) in out_adj.iter() {
+        in_off[v as usize + 1] += 1;
+    }
+    prefix_sum(in_off);
+    in_adj.clear();
+    in_adj.resize(out_adj.len(), (0, false));
+    cursor.clear();
+    cursor.extend_from_slice(&in_off[..sn]);
+    for u in 0..sn {
+        let (lo, hi) = (out_off[u] as usize, out_off[u + 1] as usize);
+        for &(v, _b) in &out_adj[lo..hi] {
+            in_adj[cursor[v as usize] as usize] = (u as u32, _b);
+            cursor[v as usize] += 1;
+        }
+    }
+    zero_one_bfs_csr(in_off, in_adj, sn, root_s, d_r, deque);
+
+    // ---- Budget filter + live shortcut --------------------------------
+    let keep = |v: u32| -> bool {
+        let (a, b) = (d_s[v as usize], d_r[v as usize]);
+        a != INF && b != INF && a + b <= k
+    };
+    // Shortcutting can't edit a CSR list in place, so build a second
+    // out-CSR with shortcut nodes' lists replaced by the single live edge
+    // to the root.
+    out2_off.clear();
+    out2_off.resize(sn + 1, 0);
+    for v in 0..sn as u32 {
+        let shortcut = v != 0 && v != root_s && keep(v) && d_r[v as usize] == 0;
+        out2_off[v as usize + 1] = if shortcut {
+            1
+        } else {
+            out_off[v as usize + 1] - out_off[v as usize]
+        };
+    }
+    prefix_sum(out2_off);
+    out2_adj.clear();
+    out2_adj.resize(out2_off[sn] as usize, (0, false));
+    for v in 0..sn {
+        let dst = out2_off[v] as usize;
+        let shortcut = v != 0 && v as u32 != root_s && keep(v as u32) && d_r[v] == 0;
+        if shortcut {
+            out2_adj[dst] = (root_s, false);
+        } else {
+            let (lo, hi) = (out_off[v] as usize, out_off[v + 1] as usize);
+            out2_adj[dst..dst + (hi - lo)].copy_from_slice(&out_adj[lo..hi]);
+        }
+    }
+
+    // ---- Final pass: nodes on some super→root path --------------------
+    fwd_seen.clear();
+    fwd_seen.resize(sn, false);
+    stack.clear();
+    if keep(0) {
+        fwd_seen[0] = true;
+        stack.push(0);
+        while let Some(u) = stack.pop() {
+            let (lo, hi) = (
+                out2_off[u as usize] as usize,
+                out2_off[u as usize + 1] as usize,
+            );
+            for &(v, _) in &out2_adj[lo..hi] {
+                if keep(v) && !fwd_seen[v as usize] {
+                    fwd_seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    in2_off.clear();
+    in2_off.resize(sn + 1, 0);
+    for &(v, _) in out2_adj.iter() {
+        in2_off[v as usize + 1] += 1;
+    }
+    prefix_sum(in2_off);
+    in2_adj.clear();
+    in2_adj.resize(out2_adj.len(), 0);
+    cursor.clear();
+    cursor.extend_from_slice(&in2_off[..sn]);
+    for u in 0..sn {
+        let (lo, hi) = (out2_off[u] as usize, out2_off[u + 1] as usize);
+        for &(v, _) in &out2_adj[lo..hi] {
+            in2_adj[cursor[v as usize] as usize] = u as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    bwd_seen.clear();
+    bwd_seen.resize(sn, false);
+    stack.clear();
+    if keep(root_s) {
+        bwd_seen[root_s as usize] = true;
+        stack.push(root_s);
+        while let Some(u) = stack.pop() {
+            let (lo, hi) = (
+                in2_off[u as usize] as usize,
+                in2_off[u as usize + 1] as usize,
+            );
+            for &v in &in2_adj[lo..hi] {
+                if keep(v) && !bwd_seen[v as usize] {
+                    bwd_seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    let final_keep = |v: u32| -> bool { keep(v) && fwd_seen[v as usize] && bwd_seen[v as usize] };
+    if !final_keep(0) || !final_keep(root_s) {
+        return false;
+    }
+
+    // ---- Relabel + assemble -------------------------------------------
+    final_of.clear();
+    final_of.resize(sn, INF);
+    stage_of_final.clear();
+    for v in 0..sn as u32 {
+        if final_keep(v) {
+            final_of[v as usize] = parts.globals.len() as u32;
+            stage_of_final.push(v);
+            let raw_local = stage_nodes[v as usize];
+            parts.globals.push(if raw_local == SUPER_SEED {
+                SUPER_SEED
+            } else {
+                nodes[raw_local as usize]
+            });
+        }
+    }
+    parts.adj_off.push(0);
+    for &v in stage_of_final.iter() {
+        let (lo, hi) = (
+            out2_off[v as usize] as usize,
+            out2_off[v as usize + 1] as usize,
+        );
+        for &(w, b) in &out2_adj[lo..hi] {
+            if final_keep(w) {
+                parts.adj.push((final_of[w as usize], b));
+            }
+        }
+        parts.adj_off.push(parts.adj.len() as u32);
+    }
+
+    // Critical nodes: heads of super-seed (boost) edges that live-reach
+    // the root.
+    let zero = parts.adj_off[1] as usize;
+    for &(v, _) in &parts.adj[..zero] {
+        let stage_v = stage_of_final[v as usize];
+        if d_r[stage_v as usize] == 0 {
+            parts.critical.push(NodeId(parts.globals[v as usize]));
+        }
+    }
+
+    parts.root = final_of[root_s as usize];
+    parts.uncompressed = ledges.len() as u32;
+    true
 }
 
 #[cfg(test)]
@@ -416,6 +752,41 @@ mod tests {
         let raw = generator.phase1_raw(NodeId(2), &mut rng).unwrap();
         assert!(compress(&raw, 1).is_none());
         assert!(compress(&raw, 2).is_some());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_samples() {
+        // Running many different compressions through the same
+        // thread-local scratch must give the same output as a fresh
+        // process would: interleave two raw graphs and check both keep
+        // producing identical CompressedParts every time.
+        let g = random_graph(10, 30, 77);
+        let generator = PrrGenerator::new(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut raws = Vec::new();
+        for root in 0..10u32 {
+            if let Some(raw) = generator.phase1_raw(NodeId(root % 10), &mut rng) {
+                raws.push(raw);
+            }
+        }
+        let baseline: Vec<_> = raws.iter().map(|r| compress_parts(r, 2)).collect();
+        for _ in 0..3 {
+            for (raw, base) in raws.iter().zip(&baseline) {
+                let again = compress_parts(raw, 2);
+                match (base, &again) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.root, b.root);
+                        assert_eq!(a.globals, b.globals);
+                        assert_eq!(a.adj_off, b.adj_off);
+                        assert_eq!(a.adj, b.adj);
+                        assert_eq!(a.critical, b.critical);
+                        assert_eq!(a.uncompressed, b.uncompressed);
+                    }
+                    _ => panic!("boostability changed across scratch reuse"),
+                }
+            }
+        }
     }
 }
 

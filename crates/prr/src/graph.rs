@@ -67,7 +67,9 @@ pub enum Augmented {
 
 impl CompressedPrr {
     /// Assembles a compressed graph from adjacency lists. `globals[0]` must
-    /// be [`SUPER_SEED`].
+    /// be [`SUPER_SEED`]. Test-only fixture constructor; the pipeline
+    /// assembles graphs through [`from_parts`](Self::from_parts).
+    #[cfg(test)]
     pub(crate) fn from_adjacency(
         root: u32,
         globals: Vec<u32>,
@@ -117,6 +119,53 @@ impl CompressedPrr {
             bwd,
             critical,
             uncompressed_edges,
+        }
+    }
+
+    /// Assembles a compressed graph from CSR-shaped phase-II output,
+    /// producing arrays byte-identical to
+    /// [`from_adjacency`](Self::from_adjacency) on the equivalent nested
+    /// adjacency — the oracle path of the shard byte-equality tests relies
+    /// on that.
+    pub(crate) fn from_parts(parts: crate::compress::CompressedParts) -> Self {
+        let n = parts.globals.len();
+        debug_assert_eq!(parts.adj_off.len(), n + 1);
+        debug_assert_eq!(parts.globals[0], SUPER_SEED);
+        let m = parts.adj.len();
+
+        let mut fwd = Vec::with_capacity(m);
+        fwd.extend(parts.adj.iter().map(|&(to, boost)| pack_edge(to, boost)));
+
+        let mut bwd_counts = vec![0u32; n + 1];
+        for &(to, _) in &parts.adj {
+            bwd_counts[to as usize + 1] += 1;
+        }
+        let mut bwd_offsets = bwd_counts;
+        for i in 0..n {
+            bwd_offsets[i + 1] += bwd_offsets[i];
+        }
+        let mut cursor: Vec<u32> = bwd_offsets[..n].to_vec();
+        let mut bwd = vec![0u32; m];
+        for from in 0..n {
+            let (lo, hi) = (
+                parts.adj_off[from] as usize,
+                parts.adj_off[from + 1] as usize,
+            );
+            for &(to, boost) in &parts.adj[lo..hi] {
+                bwd[cursor[to as usize] as usize] = pack_edge(from as u32, boost);
+                cursor[to as usize] += 1;
+            }
+        }
+
+        CompressedPrr {
+            root: parts.root,
+            globals: parts.globals,
+            fwd_offsets: parts.adj_off,
+            fwd,
+            bwd_offsets,
+            bwd,
+            critical: parts.critical,
+            uncompressed_edges: parts.uncompressed,
         }
     }
 

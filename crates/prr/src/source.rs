@@ -16,6 +16,13 @@
 //!   the equivalence oracle: tests build both pools from the same seed and
 //!   assert the shard-built arena is byte-equal to the copy-built one. Do
 //!   not use it outside tests/benches.
+//!
+//! [`PrrFullSource`] and [`PrrLbSource`] sample through the data-oriented
+//! phase-I kernel; the legacy sources always run the scalar loop. Since
+//! both pairs must produce identical bytes under a shared seed, every
+//! shard-vs-legacy test doubles as a continuous kernel-vs-oracle
+//! verification. The `scalar_oracle` constructors additionally expose
+//! scalar variants of the streaming sources for direct A/B comparison.
 
 use kboost_graph::{DiGraph, NodeId};
 use kboost_rrset::sketch::SketchGenerator;
@@ -45,12 +52,14 @@ pub struct PrrFullSource<'g> {
 
 impl<'g> PrrFullSource<'g> {
     /// Creates the source for `(G, S, k)` without footprint retention.
+    /// Samples through the data-oriented phase-I kernel.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
         Self::with_footprints(g, seeds, k, FootprintMode::Off)
     }
 
     /// Creates the source for `(G, S, k)` retaining per-sample footprints
-    /// in the given mode.
+    /// in the given mode. Samples through the data-oriented phase-I
+    /// kernel.
     pub fn with_footprints(
         g: &'g DiGraph,
         seeds: &[NodeId],
@@ -59,6 +68,20 @@ impl<'g> PrrFullSource<'g> {
     ) -> Self {
         PrrFullSource {
             generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+            mode,
+        }
+    }
+
+    /// Like [`with_footprints`](Self::with_footprints), but sampling
+    /// through the scalar oracle loop instead of the kernel. The random
+    /// stream and every produced byte are identical; this constructor
+    /// exists for the kernel-equivalence test suites and the perf
+    /// benchmark's baseline leg.
+    pub fn scalar_oracle(g: &'g DiGraph, seeds: &[NodeId], k: usize, mode: FootprintMode) -> Self {
+        PrrFullSource {
+            generator: PrrGenerator::new_scalar_oracle(g, seeds, k),
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
             mode,
@@ -90,10 +113,22 @@ pub struct PrrLbSource<'g> {
 }
 
 impl<'g> PrrLbSource<'g> {
-    /// Creates the source for `(G, S, k)`.
+    /// Creates the source for `(G, S, k)`. Samples through the
+    /// data-oriented phase-I kernel.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
         PrrLbSource {
             generator: PrrGenerator::new(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+
+    /// Scalar-oracle variant of [`new`](Self::new): identical stream and
+    /// covers, original per-edge loop. For equivalence tests and baseline
+    /// timing.
+    pub fn scalar_oracle(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        PrrLbSource {
+            generator: PrrGenerator::new_scalar_oracle(g, seeds, k),
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
         }
@@ -130,10 +165,12 @@ pub struct LegacyPrrSource<'g> {
 }
 
 impl<'g> LegacyPrrSource<'g> {
-    /// Creates the oracle source for `(G, S, k)`.
+    /// Creates the oracle source for `(G, S, k)`. Always samples through
+    /// the scalar loop (the per-graph entry points are oracle-only), so
+    /// no SoA mirror is built.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
         LegacyPrrSource {
-            generator: PrrGenerator::new(g, seeds, k),
+            generator: PrrGenerator::new_scalar_oracle(g, seeds, k),
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
         }
@@ -199,10 +236,12 @@ pub struct LegacyFpSource<'g> {
 }
 
 impl<'g> LegacyFpSource<'g> {
-    /// Creates the oracle source for `(G, S, k)`.
+    /// Creates the oracle source for `(G, S, k)`. Always samples through
+    /// the scalar loop (the per-graph entry points are oracle-only), so
+    /// no SoA mirror is built.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
         LegacyFpSource {
-            generator: PrrGenerator::new(g, seeds, k),
+            generator: PrrGenerator::new_scalar_oracle(g, seeds, k),
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
         }

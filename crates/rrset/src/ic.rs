@@ -5,12 +5,43 @@
 //! with probability `p_uv`). Its key property (Section IV-A):
 //! `σ(S) = n · E[I(R ∩ S ≠ ∅)]`.
 
+//! Like the PRR phase-I sampler, two equivalent implementations coexist:
+//! the scalar loop below (one `rng.random::<f64>()` per qualifying edge)
+//! and a data-oriented kernel walking the [`InEdgeSoa`] lanes with batched
+//! [`RngCore::fill_u64`] draws consumed from a rolling buffer. The scalar
+//! loop only consumes a draw when the head is unmarked *and* `p > 0`; the
+//! kernel applies the same test at consumption time and, on exit, rewinds
+//! the RNG to the last refill snapshot and replays exactly the consumed
+//! draws, so the streams are bit-identical
+//! (`kernel_matches_scalar_oracle`).
+//!
+//! Unlike the PRR kernel — whose walk is cache-miss-dominated at benchmark
+//! scale, hiding the buffer machinery in the miss shadow — an RR-set walk
+//! is small and usually cache-resident, so batching is roughly
+//! cost-neutral here (the vendored RNG fills sequentially; see
+//! `benches/sampling.rs` for the measured kernel-vs-scalar ratio per
+//! family). The kernel still buys the shared SoA layout and keeps the
+//! draw path uniform across samplers.
+
 use kboost_diffusion::sim::BoostMask;
-use kboost_graph::{DiGraph, NodeId};
+use kboost_graph::{DiGraph, InEdgeSoa, NodeId};
+use rand::distr::unit_f64;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::sketch::SketchGenerator;
+
+/// Maximum number of uniforms drawn per bulk RNG refill in the kernel.
+/// Deliberately smaller than the PRR kernel's batch: an RR-set consumes
+/// hundreds of draws, not tens of thousands, and the unused tail of the
+/// final batch is pure overhead (filled, then discarded by the rewind),
+/// so the cap bounds that waste at 64 draws per sample.
+const UNIFORM_BATCH: usize = 64;
+
+/// First refill size of a sample; refills double up to [`UNIFORM_BATCH`]
+/// so small RR-sets over-draw at most ~8 uniforms (cheap rewind) while
+/// large walks amortise into maximal batches.
+const UNIFORM_BATCH_MIN: usize = 8;
 
 /// Generates one RR-set: all nodes reaching the random root through kept
 /// edges, traversed backward.
@@ -44,13 +75,96 @@ pub fn sample_rr_set_from(
     set
 }
 
+/// Generates one RR-set for a uniformly random root through the
+/// data-oriented kernel; draw-stream identical to [`sample_rr_set`].
+pub fn sample_rr_set_kernel(
+    g: &DiGraph,
+    soa: &InEdgeSoa,
+    rng: &mut SmallRng,
+    scratch: &mut RrScratch,
+) -> Vec<NodeId> {
+    let root = NodeId(rng.random_range(0..g.num_nodes() as u32));
+    sample_rr_set_from_kernel(g, soa, root, rng, scratch)
+}
+
+/// Kernel counterpart of [`sample_rr_set_from`]: a single pass over the
+/// SoA lanes, drawing from a rolling bulk-filled uniform buffer. The
+/// eligibility test (`p > 0` and head unmarked) runs at consumption time,
+/// exactly like the scalar loop; on exit the RNG is rewound to the last
+/// refill snapshot and advanced by the consumed draws so the stream stays
+/// bit-identical.
+pub fn sample_rr_set_from_kernel(
+    g: &DiGraph,
+    soa: &InEdgeSoa,
+    root: NodeId,
+    rng: &mut SmallRng,
+    scratch: &mut RrScratch,
+) -> Vec<NodeId> {
+    scratch.reset(g.num_nodes());
+    if scratch.uniforms.len() != UNIFORM_BATCH {
+        scratch.uniforms.resize(UNIFORM_BATCH, 0);
+    }
+    let RrScratch {
+        stamp,
+        round,
+        uniforms,
+    } = scratch;
+    let round = *round;
+    let heads = soa.heads();
+    let probs = soa.probs();
+
+    let mut set = Vec::with_capacity(8);
+    stamp[root.index()] = round;
+    set.push(root);
+    let mut saved = rng.clone();
+    let mut pos = 0usize;
+    let mut batch = 0usize;
+    let mut head_cursor = 0usize;
+    while head_cursor < set.len() {
+        let v = set[head_cursor];
+        head_cursor += 1;
+        let (lo, hi) = soa.range(v);
+        for e in lo..hi {
+            let u = heads[e];
+            if probs[e].base > 0.0 && stamp[u as usize] != round {
+                if pos == batch {
+                    batch = if batch == 0 {
+                        UNIFORM_BATCH_MIN
+                    } else {
+                        (batch * 2).min(UNIFORM_BATCH)
+                    };
+                    saved = rng.clone();
+                    rng.fill_u64(&mut uniforms[..batch]);
+                    pos = 0;
+                }
+                let x = unit_f64(uniforms[pos]);
+                pos += 1;
+                if x < probs[e].base {
+                    stamp[u as usize] = round;
+                    set.push(NodeId(u));
+                }
+            }
+        }
+    }
+    // Resync after over-drawing the tail of the last batch (no-op when the
+    // buffer was never filled or exactly exhausted).
+    if pos != batch {
+        *rng = saved;
+        for _ in 0..pos {
+            rng.next_u64();
+        }
+    }
+    set
+}
+
 /// Reusable visited-stamp buffer for RR-set BFS (avoids reallocating a
 /// visited array per sample; see the perf-book guidance on workhorse
-/// collections).
+/// collections), plus the kernel's uniform batch buffer.
 #[derive(Default)]
 pub struct RrScratch {
     stamp: Vec<u32>,
     round: u32,
+    uniforms: Vec<u64>,
 }
 
 impl RrScratch {
@@ -81,12 +195,23 @@ impl RrScratch {
 /// coverable and covers exactly its member nodes.
 pub struct InfluenceRr<'g> {
     g: &'g DiGraph,
+    soa: Option<InEdgeSoa>,
 }
 
 impl<'g> InfluenceRr<'g> {
-    /// Creates the source over `g`.
+    /// Creates the source over `g`, sampling through the batched-draw
+    /// kernel (builds the SoA in-edge mirror once).
     pub fn new(g: &'g DiGraph) -> Self {
-        InfluenceRr { g }
+        InfluenceRr {
+            g,
+            soa: Some(g.in_edge_soa()),
+        }
+    }
+
+    /// Scalar-oracle variant of [`new`](Self::new): identical stream,
+    /// original per-edge loop. For equivalence tests and baseline timing.
+    pub fn new_scalar_oracle(g: &'g DiGraph) -> Self {
+        InfluenceRr { g, soa: None }
     }
 }
 
@@ -104,7 +229,10 @@ impl SketchGenerator for InfluenceRr<'_> {
     }
 
     fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
-        SCRATCH.with_borrow_mut(|scratch| sample_rr_set(self.g, rng, scratch))
+        SCRATCH.with_borrow_mut(|scratch| match &self.soa {
+            Some(soa) => sample_rr_set_kernel(self.g, soa, rng, scratch),
+            None => sample_rr_set(self.g, rng, scratch),
+        })
     }
 }
 
@@ -114,14 +242,26 @@ impl SketchGenerator for InfluenceRr<'_> {
 /// This drives the MoreSeeds baseline.
 pub struct MarginalRr<'g> {
     g: &'g DiGraph,
+    soa: Option<InEdgeSoa>,
     seed_mask: BoostMask,
 }
 
 impl<'g> MarginalRr<'g> {
-    /// Creates the source over `g` with fixed existing seeds.
+    /// Creates the source over `g` with fixed existing seeds, sampling
+    /// through the batched-draw kernel.
     pub fn new(g: &'g DiGraph, seeds: &[NodeId]) -> Self {
         MarginalRr {
             g,
+            soa: Some(g.in_edge_soa()),
+            seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds),
+        }
+    }
+
+    /// Scalar-oracle variant of [`new`](Self::new).
+    pub fn new_scalar_oracle(g: &'g DiGraph, seeds: &[NodeId]) -> Self {
+        MarginalRr {
+            g,
+            soa: None,
             seed_mask: BoostMask::from_nodes(g.num_nodes(), seeds),
         }
     }
@@ -135,7 +275,10 @@ impl SketchGenerator for MarginalRr<'_> {
     }
 
     fn generate(&self, rng: &mut SmallRng, (): &mut ()) -> Vec<NodeId> {
-        let set = SCRATCH.with_borrow_mut(|scratch| sample_rr_set(self.g, rng, scratch));
+        let set = SCRATCH.with_borrow_mut(|scratch| match &self.soa {
+            Some(soa) => sample_rr_set_kernel(self.g, soa, rng, scratch),
+            None => sample_rr_set(self.g, rng, scratch),
+        });
         if set.iter().any(|&v| self.seed_mask.contains(v)) {
             Vec::new()
         } else {
@@ -206,6 +349,56 @@ mod tests {
             }
         }
         assert!(saw_empty && saw_cover);
+    }
+
+    #[test]
+    fn kernel_matches_scalar_oracle() {
+        // Same seed → identical sets AND identical RNG state after every
+        // sample, across random graphs with mixed zero/positive edges.
+        use kboost_graph::generators::erdos_renyi;
+        use kboost_graph::probability::ProbabilityModel;
+        for gseed in 0..6u64 {
+            let mut grng = SmallRng::seed_from_u64(gseed + 40);
+            let g = erdos_renyi(25, 100, ProbabilityModel::Trivalency, 2.0, &mut grng);
+            let soa = g.in_edge_soa();
+            let mut rng_s = SmallRng::seed_from_u64(gseed * 13 + 1);
+            let mut rng_k = rng_s.clone();
+            let mut scratch_s = RrScratch::default();
+            let mut scratch_k = RrScratch::default();
+            for _ in 0..400 {
+                let set_s = sample_rr_set(&g, &mut rng_s, &mut scratch_s);
+                let set_k = sample_rr_set_kernel(&g, &soa, &mut rng_k, &mut scratch_k);
+                assert_eq!(set_s, set_k, "RR-sets diverged (gseed {gseed})");
+            }
+            assert_eq!(
+                rng_s.next_u64(),
+                rng_k.next_u64(),
+                "rng stream diverged (gseed {gseed})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_sources_match_scalar_sources() {
+        let g = path_graph();
+        let kernel = MarginalRr::new(&g, &[NodeId(0)]);
+        let scalar = MarginalRr::new_scalar_oracle(&g, &[NodeId(0)]);
+        let mut rng_k = SmallRng::seed_from_u64(21);
+        let mut rng_s = rng_k.clone();
+        for _ in 0..300 {
+            assert_eq!(
+                kernel.generate(&mut rng_k, &mut ()),
+                scalar.generate(&mut rng_s, &mut ())
+            );
+        }
+        let kernel = InfluenceRr::new(&g);
+        let scalar = InfluenceRr::new_scalar_oracle(&g);
+        for _ in 0..300 {
+            assert_eq!(
+                kernel.generate(&mut rng_k, &mut ()),
+                scalar.generate(&mut rng_s, &mut ())
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,54 @@
 //!   arena ranges and sum exact per-range counts, skipping tombstoned
 //!   graphs.
 //!
+//! # The data-oriented sampling kernel
+//!
+//! Phase-I generation — the four-orders-of-magnitude hot path — runs
+//! through a data-oriented kernel (`prr::gen`, shared in style with the
+//! RR-set sampler in `rrset::ic`), with the original readable loop
+//! retained as a **scalar oracle** that the kernel must match
+//! byte-for-byte (`tests/sampler_kernel.rs` proves it across graph
+//! families, thread counts, footprint modes, and interruption points):
+//!
+//! * **SoA mirror lifecycle**: [`graph::DiGraph::in_edge_soa`] builds a
+//!   struct-of-arrays mirror of the in-edge CSR — narrow `u32` head and
+//!   offset lanes for prefetch lookahead, paired `(base, boosted)`
+//!   probabilities so one cache line serves both comparisons of a draw.
+//!   Sources build it **once per generator**, and every pool build or
+//!   online mutation epoch constructs a fresh generator
+//!   (`online::maintain` rebuilds sources per epoch), which is what
+//!   keeps the mirror coherent with the evolving graph — there is no
+//!   incremental mirror update to get wrong.
+//! * **Batched-draw stream-order invariant**: the kernel bulk-fills a
+//!   uniform buffer via `fill_u64` (first refill small, doubling to the
+//!   batch cap) and consumes one uniform per touched edge *in the scalar
+//!   loop's exact draw order*. Before each refill it snapshots the RNG;
+//!   on any exit — early activation, end of sample — it rewinds to the
+//!   snapshot and replays exactly the consumed draws. The RNG therefore
+//!   leaves every sample in the scalar oracle's state, which is what
+//!   lets kernel and scalar pools share the chunk-seeding determinism
+//!   contract (and lets the two implementations interleave freely,
+//!   sample by sample).
+//! * **Scratch reuse rules**: all per-sample state — the epoch-stamped
+//!   per-node `{stamp, dist, local-id}` table, BFS deque, edge/seed
+//!   lists, uniform buffer, compression core arrays, critical-set
+//!   extraction flags — lives in thread-local scratch, valid for one
+//!   sample (stamp == round) and reused across samples without
+//!   clearing. Steady-state sampling performs no heap allocation and no
+//!   hashing; phase I emits *sample-local* node ids directly (its
+//!   first-touch order provably equals compression's first-appearance
+//!   order), so phase II skips its global→local relabeling pass, and
+//!   `critical_from_scratch` replaces the oracle's hash-map passes with
+//!   stamped arrays.
+//!
+//! `benches/sampling.rs` tracks the kernel-vs-scalar ratio per graph
+//! family; `BENCH_prr.json` records `samples_per_sec_kernel` and
+//! `kernel_speedup` at the standard 60k-node scale, where the walk is
+//! cache-miss-bound and the kernel's prefetch lookahead pays. On tiny
+//! cache-resident graphs the batching is roughly cost-neutral (the
+//! vendored RNG fills sequentially) — the kernel's floor is parity, its
+//! ceiling is the miss-bound regime.
+//!
 //! # Online maintenance
 //!
 //! Sampling dominates the pipeline (minutes) while selection is
