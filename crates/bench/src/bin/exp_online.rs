@@ -606,9 +606,13 @@ fn main() {
         .iter()
         .map(|p| p.drift_approx)
         .fold(0.0f64, f64::max);
+    // Box context: a 1-core box makes any thread sweep meaningless, so
+    // the JSON must say so (CI gates the presence of these fields).
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
     let json = format!(
         "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
-         \"seed\": {},\n  \"samples\": {},\n  \"churn_target\": {:.2},\n  \
+         \"seed\": {},\n  \"nproc\": {},\n  \"single_core\": {},\n  \"samples\": {},\n  \
+         \"churn_target\": {:.2},\n  \
          \"compact_threshold\": {:.2},\n  \"threads\": {:?},\n  \"build_secs\": {:.4},\n  \
          \"boostable_epoch0\": {},\n  \"mean_speedup\": {:.2},\n  \"min_speedup\": {:.2},\n  \
          \"epochs\": [\n{}\n  ],\n  \"exact\": {{\n    \"staleness\": \"exact\",\n    \
@@ -619,6 +623,8 @@ fn main() {
         seeds.len(),
         opts.k,
         opts.seed,
+        nproc,
+        nproc == 1,
         opts.samples,
         opts.churn,
         opts.compact_threshold,

@@ -1,0 +1,455 @@
+//! Perf + correctness harness for the serving subsystem: sustained
+//! query throughput **under mutation churn** over epoch-pinned pool
+//! snapshots, driven through `Engine::serving`.
+//!
+//! Builds an engine in online mode over a preferential-attachment
+//! network, attaches the serving cell, and then — for every query-worker
+//! count in `--threads` — re-runs the same deterministic mutation
+//! history while the workers hammer `evaluate_many` on pinned
+//! snapshots. The harness measures what a recommendation tier cares
+//! about and asserts what the snapshot contract promises:
+//!
+//! * **queries/sec under churn**: candidate boost sets scored per second
+//!   while mutation epochs commit and publish concurrently;
+//! * **snapshot-publish latency**: per epoch, the cost of freezing the
+//!   maintained state (flat-array clone) plus the pointer swap — the
+//!   full price of making a committed epoch visible to readers;
+//! * **epoch-lag percentiles**: per query batch, how many committed
+//!   epochs ahead the head was of the reader's pinned snapshot;
+//! * **zero cross-epoch drift**: every answer a worker produced from a
+//!   pinned epoch-`e` snapshot — including those served *while*
+//!   `e + 1` was sampling and committing — must be **byte-identical**
+//!   to the epoch-`e` oracle (the maintained pool's own answers,
+//!   recorded at commit time). Asserted bitwise, recorded as
+//!   `cross_epoch_drift` (gated `== 0` in CI);
+//! * **batched ≡ per-set**: `evaluate_many` must match the per-set
+//!   `Engine::evaluate` loop bit-for-bit on every run's final pool;
+//! * **thread invariance**: the final head answers must be bit-identical
+//!   across all query-worker counts.
+//!
+//! ```text
+//! cargo run --release -p kboost-bench --bin exp_service -- \
+//!     [--nodes N] [--samples N] [--k N] [--epochs N] [--batch N] \
+//!     [--threads 1,2] [--engine-threads N] [--seed N] [--out PATH]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use kboost_engine::{
+    Algorithm, Engine, EngineBuilder, EpochBatch, MutationLog, NodeId, Sampling, SnapshotService,
+};
+use kboost_graph::generators::preferential_attachment;
+use kboost_graph::probability::{boost_probability, ProbabilityModel};
+use kboost_graph::{DiGraph, EdgeProbs};
+use kboost_rrset::seeds::select_random_nodes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct ServiceOpts {
+    nodes: usize,
+    samples: u64,
+    k: usize,
+    epochs: u64,
+    batch: usize,
+    threads: Vec<usize>,
+    engine_threads: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> ServiceOpts {
+    let mut opts = ServiceOpts {
+        nodes: 10_000,
+        samples: 40_000,
+        k: 20,
+        epochs: 4,
+        batch: 128,
+        threads: vec![1, 2],
+        engine_threads: 2,
+        seed: 7,
+        out: "BENCH_service.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let mut take = |name: &str| -> Option<String> {
+            if args[i] == name {
+                i += 1;
+                Some(
+                    args.get(i)
+                        .unwrap_or_else(|| panic!("{name} needs a value"))
+                        .clone(),
+                )
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--nodes") {
+            opts.nodes = v.parse().expect("--nodes");
+        } else if let Some(v) = take("--samples") {
+            opts.samples = v.parse().expect("--samples");
+        } else if let Some(v) = take("--k") {
+            opts.k = v.parse().expect("--k");
+        } else if let Some(v) = take("--epochs") {
+            opts.epochs = v.parse().expect("--epochs");
+        } else if let Some(v) = take("--batch") {
+            opts.batch = v.parse().expect("--batch");
+        } else if let Some(v) = take("--threads") {
+            opts.threads = v
+                .split(',')
+                .map(|t| t.trim().parse().expect("--threads"))
+                .collect();
+        } else if let Some(v) = take("--engine-threads") {
+            opts.engine_threads = v.parse().expect("--engine-threads");
+        } else if let Some(v) = take("--seed") {
+            opts.seed = v.parse().expect("--seed");
+        } else if let Some(v) = take("--out") {
+            opts.out = v;
+        } else {
+            panic!("unknown argument: {}", args[i]);
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &ServiceOpts) -> Engine {
+    EngineBuilder::new(g.clone())
+        .seeds(seeds.to_vec())
+        .k(opts.k)
+        .threads(opts.engine_threads)
+        .seed(opts.seed)
+        .sampling(Sampling::Fixed {
+            samples: opts.samples,
+        })
+        .build()
+        .expect("valid engine configuration")
+}
+
+/// The deterministic mutation history every run replays: per epoch, 40
+/// probability re-draws on random existing edges.
+fn make_history(g: &DiGraph, epochs: u64, seed: u64) -> Vec<EpochBatch> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let edges: Vec<_> = g.edges().collect();
+    let mut log = MutationLog::new();
+    (0..epochs)
+        .map(|_| {
+            for _ in 0..40 {
+                let (u, v, _) = edges[rng.random_range(0..edges.len())];
+                let p: f64 = rng.random_range(0.01..0.3);
+                log.set_probs(u, v, EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap());
+            }
+            log.seal_epoch()
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+struct RunResult {
+    query_threads: usize,
+    elapsed_secs: f64,
+    sets_scored: u64,
+    batches: u64,
+    publish_ms: Vec<f64>,
+    lags: Vec<f64>,
+    head_answers: Vec<(f64, f64)>,
+    cross_epoch_drift: f64,
+}
+
+/// One measured run: `query_threads` workers serving while the feeder
+/// commits the shared mutation history on a freshly built engine.
+fn run_once(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    opts: &ServiceOpts,
+    history: &[EpochBatch],
+    candidates: &[Vec<NodeId>],
+    query_threads: usize,
+) -> RunResult {
+    let mut engine = build_engine(g, seeds, opts);
+    engine.pool().expect("pool built");
+    let service: SnapshotService = engine.serving().expect("online mode");
+
+    // Per-epoch oracle answers, recorded at commit time from the
+    // maintained pool itself — the "pinned e oracle" concurrent reader
+    // answers are checked against.
+    let mut epoch_oracles: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
+    epoch_oracles.insert(0, engine.evaluate_many(candidates).expect("pool built"));
+
+    let pin0 = service.pin();
+    let stop = AtomicBool::new(false);
+    let published = AtomicU64::new(0);
+    let mut publish_ms: Vec<f64> = Vec::new();
+    let t0 = Instant::now();
+
+    type Observed = (HashMap<u64, Vec<(f64, f64)>>, Vec<f64>, u64, u64);
+    let (observations, elapsed_secs) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..query_threads)
+            .map(|_| {
+                let service = service.clone();
+                let (stop, published) = (&stop, &published);
+                s.spawn(move || -> Observed {
+                    let mut observed: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
+                    let mut lags = Vec::new();
+                    let (mut sets, mut batches) = (0u64, 0u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = service.pin();
+                        let res = snap.evaluate_many(candidates);
+                        lags.push(
+                            published
+                                .load(Ordering::Relaxed)
+                                .saturating_sub(snap.epoch()) as f64,
+                        );
+                        sets += candidates.len() as u64;
+                        batches += 1;
+                        observed.insert(snap.epoch(), res);
+                    }
+                    (observed, lags, sets, batches)
+                })
+            })
+            .collect();
+
+        // The mutation feeder: commits each epoch (which publishes the
+        // snapshot inside the commit), then measures the standalone
+        // snapshot+swap cost and records the epoch oracle.
+        for batch in history {
+            engine.apply_mutations(batch).expect("contiguous epoch");
+            published.store(batch.epoch, Ordering::Relaxed);
+            let t = Instant::now();
+            let snap = engine.snapshot().expect("online mode");
+            service.publish(snap);
+            publish_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            epoch_oracles.insert(
+                batch.epoch,
+                engine.evaluate_many(candidates).expect("pool built"),
+            );
+            // Give readers a churn-free window so the lag distribution
+            // sees both mid-commit and settled pins.
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = t0.elapsed().as_secs_f64();
+        (
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect::<Vec<Observed>>(),
+            elapsed,
+        )
+    });
+
+    // Zero cross-epoch drift: every concurrently served answer must be
+    // byte-identical to its pinned epoch's oracle.
+    let mut drift = 0.0f64;
+    for (observed, _, _, _) in &observations {
+        for (epoch, res) in observed {
+            let oracle = &epoch_oracles[epoch];
+            assert_eq!(
+                res, oracle,
+                "served answers drifted from the epoch-{epoch} oracle"
+            );
+            for ((d, m), (od, om)) in res.iter().zip(oracle) {
+                drift = drift.max((d - od).abs()).max((m - om).abs());
+            }
+        }
+    }
+    // The epoch-0 pin is still byte-identical after the whole history.
+    assert_eq!(pin0.epoch(), 0);
+    assert_eq!(pin0.evaluate_many(candidates), epoch_oracles[&0]);
+
+    // Batched ≡ per-set on the final pool, and the head snapshot serves
+    // exactly what the engine's own pool answers.
+    let head = service.pin();
+    assert_eq!(head.epoch(), history.last().map_or(0, |b| b.epoch));
+    let head_answers = head.evaluate_many(candidates);
+    let per_set: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|c| engine.evaluate(c).expect("pool built"))
+        .collect();
+    assert_eq!(
+        head_answers, per_set,
+        "evaluate_many diverged from the per-set evaluate oracle"
+    );
+
+    let mut lags: Vec<f64> = Vec::new();
+    let (mut sets, mut batches) = (0u64, 0u64);
+    for (_, l, s_, b) in observations {
+        lags.extend(l);
+        sets += s_;
+        batches += b;
+    }
+    lags.sort_by(f64::total_cmp);
+    RunResult {
+        query_threads,
+        elapsed_secs,
+        sets_scored: sets,
+        batches,
+        publish_ms,
+        lags,
+        head_answers,
+        cross_epoch_drift: drift,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let g = preferential_attachment(
+        opts.nodes,
+        4,
+        0.15,
+        ProbabilityModel::LogNormal {
+            mu: -1.93,
+            sigma: 1.0,
+            cap: 1.0,
+        },
+        2.0,
+        &mut rng,
+    );
+    let seeds = select_random_nodes(&g, 20, &[], opts.seed ^ 1);
+    eprintln!(
+        "[setup] n = {}, m = {}, {} seeds, {} samples, {} epochs, batch {}",
+        g.num_nodes(),
+        g.num_edges(),
+        seeds.len(),
+        opts.samples,
+        opts.epochs,
+        opts.batch
+    );
+
+    // Candidate batch: perturbations of a solved boost set plus random
+    // probes — deterministic, shared by every run.
+    let t = Instant::now();
+    let mut base_engine = build_engine(&g, &seeds, &opts);
+    let solved = base_engine.solve(&Algorithm::PrrBoost).expect("solve");
+    let build_secs = t.elapsed().as_secs_f64();
+    let mut probe_rng = SmallRng::seed_from_u64(opts.seed ^ 0xFACADE);
+    let width = solved.boost_set.len().clamp(1, 12);
+    let candidates: Vec<Vec<NodeId>> = (0..opts.batch)
+        .map(|i| {
+            let mut set: Vec<NodeId> = solved.boost_set.iter().copied().take(width).collect();
+            for _ in 0..(i % 5) + 1 {
+                set[probe_rng.random_range(0..width as u32) as usize] =
+                    NodeId(probe_rng.random_range(0..g.num_nodes() as u32));
+            }
+            set
+        })
+        .collect();
+    // Batched ≡ per-set on the epoch-0 pool before any serving starts.
+    let per_set: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|c| base_engine.evaluate(c).expect("pool built"))
+        .collect();
+    assert_eq!(
+        base_engine.evaluate_many(&candidates).expect("pool built"),
+        per_set,
+        "evaluate_many diverged from the per-set oracle at epoch 0"
+    );
+    drop(base_engine);
+
+    let history = make_history(&g, opts.epochs, opts.seed);
+    let runs: Vec<RunResult> = opts
+        .threads
+        .iter()
+        .map(|&t| {
+            let r = run_once(&g, &seeds, &opts, &history, &candidates, t);
+            eprintln!(
+                "[run] {} query workers: {:.0} sets/s ({} batches over {:.2}s), \
+                 publish p50 {:.2} ms, lag p90 {:.1} epochs, drift {}",
+                r.query_threads,
+                r.sets_scored as f64 / r.elapsed_secs,
+                r.batches,
+                r.elapsed_secs,
+                percentile(
+                    &{
+                        let mut p = r.publish_ms.clone();
+                        p.sort_by(f64::total_cmp);
+                        p
+                    },
+                    0.5
+                ),
+                percentile(&r.lags, 0.9),
+                r.cross_epoch_drift,
+            );
+            r
+        })
+        .collect();
+
+    // Served answers are bit-identical across query-worker counts: the
+    // pool is deterministic, and serving must not perturb it.
+    for r in &runs[1..] {
+        assert_eq!(
+            r.head_answers, runs[0].head_answers,
+            "served answers differ between {} and {} query workers",
+            r.query_threads, runs[0].query_threads
+        );
+    }
+    let max_drift = runs
+        .iter()
+        .map(|r| r.cross_epoch_drift)
+        .fold(0.0f64, f64::max);
+    assert_eq!(max_drift, 0.0, "cross-epoch answer drift must be zero");
+
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let run_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let mut publish = r.publish_ms.clone();
+            publish.sort_by(f64::total_cmp);
+            format!(
+                "    {{ \"query_threads\": {}, \"elapsed_secs\": {:.3}, \
+                 \"sets_scored\": {}, \"batches\": {}, \"queries_per_sec\": {:.1}, \
+                 \"batches_per_sec\": {:.2}, \
+                 \"publish_ms\": {{ \"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3} }}, \
+                 \"epoch_lag\": {{ \"p50\": {:.2}, \"p90\": {:.2}, \"max\": {:.2} }}, \
+                 \"cross_epoch_drift\": {:.1} }}",
+                r.query_threads,
+                r.elapsed_secs,
+                r.sets_scored,
+                r.batches,
+                r.sets_scored as f64 / r.elapsed_secs,
+                r.batches as f64 / r.elapsed_secs,
+                percentile(&publish, 0.5),
+                percentile(&publish, 0.9),
+                publish.last().copied().unwrap_or(0.0),
+                percentile(&r.lags, 0.5),
+                percentile(&r.lags, 0.9),
+                r.lags.last().copied().unwrap_or(0.0),
+                r.cross_epoch_drift,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"nodes\": {},\n  \"edges\": {},\n  \"num_seeds\": {},\n  \"k\": {},\n  \
+         \"seed\": {},\n  \"nproc\": {},\n  \"single_core\": {},\n  \"samples\": {},\n  \
+         \"epochs\": {},\n  \"batch\": {},\n  \"engine_threads\": {},\n  \
+         \"build_secs\": {:.4},\n  \"evaluate_many_matches_oracle\": true,\n  \
+         \"served_answers_thread_invariant\": true,\n  \"cross_epoch_drift\": {:.1},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        seeds.len(),
+        opts.k,
+        opts.seed,
+        nproc,
+        nproc == 1,
+        opts.samples,
+        opts.epochs,
+        opts.batch,
+        opts.engine_threads,
+        build_secs,
+        max_drift,
+        run_json.join(",\n"),
+    );
+    std::fs::write(&opts.out, &json).expect("write BENCH_service.json");
+    println!("{json}");
+    eprintln!("wrote {}", opts.out);
+}

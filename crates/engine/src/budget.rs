@@ -28,6 +28,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use kboost_graph::NodeId;
 use kboost_rrset::terminator::{CancelFlag, SampleProgress, Terminator};
 
 /// A snapshot of solve progress, delivered to the observer installed via
@@ -36,8 +37,11 @@ use kboost_rrset::terminator::{CancelFlag, SampleProgress, Terminator};
 /// Chunk-boundary ticks carry only the sample count; stage-boundary
 /// reports on the fixed-size build path (every
 /// `PoolMaintainer`-internal build stage) additionally carry the running
-/// estimate and the certificate width.
-#[derive(Clone, Copy, Debug)]
+/// estimate, the certificate width, and the **current-best boost set**
+/// of a greedy selection over the samples so far — a streaming improving
+/// solution: a service can start acting on `best_boost` at any stage
+/// tick and refine as sampling proceeds.
+#[derive(Clone, Debug)]
 pub struct SolveProgress {
     /// Samples drawn so far for the pool being built.
     pub samples: u64,
@@ -51,6 +55,10 @@ pub struct SolveProgress {
     /// would make the IMM bound demand exactly this many samples (stage
     /// boundaries only). Shrinks as sampling proceeds.
     pub achieved_epsilon: Option<f64>,
+    /// The boost set the stage's greedy selection picked — the best
+    /// answer available right now, whose estimate is `delta_hat` (stage
+    /// boundaries only; chunk ticks leave it `None`).
+    pub best_boost: Option<Vec<NodeId>>,
 }
 
 type Observer = Arc<Mutex<dyn FnMut(&SolveProgress) + Send>>;
@@ -167,6 +175,7 @@ impl Terminator for ResolvedBudget {
             target: None,
             delta_hat: None,
             achieved_epsilon: None,
+            best_boost: None,
         });
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {

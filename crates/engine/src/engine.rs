@@ -13,6 +13,7 @@ use kboost_rrset::greedy::greedy_max_cover;
 use kboost_rrset::imm::{achieved_epsilon, run_imm_within, ImmParams};
 use kboost_rrset::sketch::{ExtendStatus, SketchPool};
 use kboost_rrset::ssa::{run_ssa_within, SsaParams};
+use kboost_serve::{PoolSnapshot, SnapshotService};
 
 use crate::algorithms::BoostAlgorithm;
 use crate::budget::{Budget, ResolvedBudget, SolveProgress};
@@ -209,6 +210,55 @@ impl Engine {
         self.ensure_pool()?;
         let pool = self.pool_built();
         Ok((pool.delta_hat(boost), pool.mu_hat(boost)))
+    }
+
+    /// Scores a whole batch of candidate boost sets in one arena
+    /// traversal (`(Δ̂, µ̂)` per candidate) — bit-for-bit equal to
+    /// calling [`evaluate`](Self::evaluate) per set, which is retained
+    /// as the equivalence oracle (`tests/serve.rs` asserts the identity
+    /// over random batches). Works on any pool shape; serving callers
+    /// get the same kernel lock-free through
+    /// [`PoolSnapshot::evaluate_many`](kboost_serve::PoolSnapshot::evaluate_many).
+    pub fn evaluate_many(
+        &mut self,
+        candidates: &[Vec<NodeId>],
+    ) -> Result<Vec<(f64, f64)>, KboostError> {
+        self.ensure_pool()?;
+        Ok(self.pool_built().evaluate_many(candidates))
+    }
+
+    /// The engine's serving cell: a cloneable [`SnapshotService`] whose
+    /// readers pin immutable epoch snapshots while this engine keeps
+    /// applying mutation epochs — created on first call (publishing the
+    /// current state, building the pool if needed) and re-published by
+    /// the maintainer after every committed epoch.
+    ///
+    /// Config validation: serving shares the online requirements
+    /// ([`Sampling::Fixed`] + the shard pipeline), rejected with a typed
+    /// [`KboostError::Unsupported`] otherwise — an adaptive or legacy
+    /// pool has no maintainer to publish epochs.
+    ///
+    /// [`SnapshotService`]: kboost_serve::SnapshotService
+    pub fn serving(&mut self) -> Result<SnapshotService, KboostError> {
+        self.require_online("serving")?;
+        self.ensure_pool()?;
+        let PoolState::Maintained { maintainer, .. } = &mut self.state else {
+            unreachable!("require_online guarantees the maintained state");
+        };
+        Ok(maintainer.serving())
+    }
+
+    /// Freezes the engine's current pool state as an epoch-stamped
+    /// [`PoolSnapshot`](kboost_serve::PoolSnapshot) — the pinned-epoch
+    /// oracle serving tests compare concurrent answers against. Same
+    /// online requirements as [`serving`](Self::serving).
+    pub fn snapshot(&mut self) -> Result<PoolSnapshot, KboostError> {
+        self.require_online("snapshot")?;
+        self.ensure_pool()?;
+        let PoolState::Maintained { maintainer, .. } = &self.state else {
+            unreachable!("require_online guarantees the maintained state");
+        };
+        Ok(maintainer.snapshot())
     }
 
     /// The sandwich-ratio analysis of Figures 7/9/12: `num_sets`
@@ -438,6 +488,7 @@ impl Engine {
                         target: Some(target),
                         delta_hat: Some(delta),
                         achieved_epsilon: Some(eps),
+                        best_boost: Some(res.selected),
                     });
                 };
                 let maintainer = PoolMaintainer::build_within(

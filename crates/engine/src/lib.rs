@@ -24,6 +24,12 @@
 //!   typed [`KboostError::Mutation`], and an epoch whose refresh is
 //!   cancelled or panics rolls back byte-identically
 //!   ([`KboostError::Interrupted`]) and can be retried verbatim.
+//! * **Serving** — [`Engine::serving`] hands out a cloneable
+//!   [`SnapshotService`]: query threads pin immutable, epoch-stamped
+//!   [`PoolSnapshot`]s (each answering `Δ̂`/`µ̂` and the batched
+//!   [`evaluate_many`](Engine::evaluate_many), lock-free) while the
+//!   maintainer builds and publishes the next epoch
+//!   by pointer swap — see `kboost_serve` for the pinning contract.
 //! * **Latency contract** — [`Engine::solve_within`] bounds a solve by a
 //!   [`Budget`] (deadline, sample cap, cooperative [`CancelFlag`] —
 //!   composable, with an optional progress observer). Sampling stops at
@@ -90,3 +96,4 @@ pub use kboost_online::{
     EpochBatch, EpochReport, InterruptCause, Mutation, MutationError, MutationLog, Staleness,
 };
 pub use kboost_rrset::terminator::CancelFlag;
+pub use kboost_serve::{PoolSnapshot, ServeStats, SnapshotService};

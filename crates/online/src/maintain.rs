@@ -39,6 +39,7 @@ use kboost_prr::{
 };
 use kboost_rrset::sketch::{ExtendStatus, SketchPool, CHUNK_SIZE};
 use kboost_rrset::terminator::{Terminator, Unlimited};
+use kboost_serve::{PoolSnapshot, SnapshotService};
 
 use crate::error::{InterruptCause, OnlineError};
 use crate::mutation::{apply_mutations, validate_mutations, EpochBatch, Mutation};
@@ -351,6 +352,12 @@ pub struct PoolMaintainer {
     /// lifecycle as `index`.
     empty_index: Option<InvalidationIndex>,
     build_peak_bytes: usize,
+    /// The serving cell, once [`serving`](Self::serving) attached one:
+    /// every committed epoch publishes a frozen snapshot here, so query
+    /// threads read epoch `e` while this maintainer refreshes `e + 1`
+    /// in place. `None` until a service asks for it — offline consumers
+    /// never pay the per-epoch snapshot clone.
+    serving: Option<SnapshotService>,
 }
 
 impl PoolMaintainer {
@@ -431,7 +438,36 @@ impl PoolMaintainer {
             index: None,
             empty_index: None,
             build_peak_bytes,
+            serving: None,
         })
+    }
+
+    /// Freezes the maintainer's current state as an epoch-stamped
+    /// [`PoolSnapshot`] — the pinned-epoch oracle the serving tests and
+    /// `exp_service` compare concurrent answers against. Cost: one
+    /// flat-array clone of graph and pool.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot::new(
+            self.epoch,
+            self.graph.clone(),
+            self.seeds.clone(),
+            self.pool.clone(),
+        )
+    }
+
+    /// The maintainer's [`SnapshotService`]: created on first call —
+    /// publishing the current state — and re-published automatically
+    /// after **every** committed epoch from then on, so readers pinning
+    /// through clones of the returned handle always see the latest
+    /// *committed* epoch while the next one builds. An epoch that rolls
+    /// back (cancelled or panicked refresh) publishes nothing: the
+    /// service keeps serving the pre-epoch snapshot, which is exactly
+    /// the state the maintainer rolled back to.
+    pub fn serving(&mut self) -> SnapshotService {
+        if self.serving.is_none() {
+            self.serving = Some(SnapshotService::new(self.snapshot()));
+        }
+        self.serving.clone().expect("service just attached")
     }
 
     /// Peak bytes alive during the epoch-0 pool build: the merged
@@ -728,6 +764,14 @@ impl PoolMaintainer {
         } else {
             (0, 0)
         };
+
+        // The epoch is committed; if a serving cell is attached, swap in
+        // the frozen post-commit state. Readers pinned to the previous
+        // epoch keep their Arc untouched — publication is a pointer
+        // swap, never an in-place mutation of a published snapshot.
+        if let Some(serving) = &self.serving {
+            serving.publish(self.snapshot());
+        }
 
         Ok(EpochReport {
             epoch: self.epoch,

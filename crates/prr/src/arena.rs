@@ -828,6 +828,15 @@ impl<'a> PrrGraphView<'a> {
 
     /// Evaluates `f_R(B)`: does boosting `B` activate the root?
     pub fn f(&self, boost: &BoostMask, scratch: &mut PrrEvalScratch) -> bool {
+        self.f_by(|v| boost.contains(v), scratch)
+    }
+
+    /// [`f`](Self::f) with an arbitrary boost-membership predicate — the
+    /// hook the batched `evaluate_many` kernel (`kboost-core`) uses to
+    /// test candidate bitsets without materializing a [`BoostMask`] per
+    /// candidate. Same traversal, so for any predicate that agrees with
+    /// a mask the result is identical to [`f`](Self::f) on that mask.
+    pub fn f_by(&self, boosted: impl Fn(NodeId) -> bool, scratch: &mut PrrEvalScratch) -> bool {
         let n = self.num_nodes();
         scratch.fwd_mark.clear();
         scratch.fwd_mark.resize(n, false);
@@ -840,7 +849,11 @@ impl<'a> PrrGraphView<'a> {
             }
             for &e in self.out_edges(u) {
                 let (v, boosted_edge) = unpack_edge(e);
-                if !scratch.fwd_mark[v as usize] && self.traversable(v, boosted_edge, boost) {
+                let pass = !boosted_edge || {
+                    let g = self.globals[v as usize];
+                    g != SUPER_SEED && boosted(NodeId(g))
+                };
+                if !scratch.fwd_mark[v as usize] && pass {
                     scratch.fwd_mark[v as usize] = true;
                     scratch.stack.push(v);
                 }

@@ -1,0 +1,65 @@
+//! [`SnapshotService`] — the publisher↔readers handle over a
+//! [`SnapSwap`] of [`PoolSnapshot`]s.
+
+use std::sync::Arc;
+
+use crate::snapshot::PoolSnapshot;
+use crate::swap::SnapSwap;
+
+/// Publish/epoch statistics of a serving cell — the numbers
+/// `exp_service` records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Epochs published through [`SnapshotService::publish`] (the
+    /// initial snapshot is construction, not a publish).
+    pub publishes: u64,
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+}
+
+/// A cloneable handle over one published [`PoolSnapshot`] stream.
+///
+/// One logical publisher — the pool maintainer, which calls
+/// [`publish`](Self::publish) after every committed mutation epoch —
+/// and any number of reader clones, each calling [`pin`](Self::pin) per
+/// query (or per batch of queries wanting one consistent epoch).
+/// Cloning the handle is an `Arc` clone; all clones observe the same
+/// stream.
+#[derive(Clone)]
+pub struct SnapshotService {
+    cell: Arc<SnapSwap<PoolSnapshot>>,
+}
+
+impl SnapshotService {
+    /// A service initially publishing `snapshot`.
+    pub fn new(snapshot: PoolSnapshot) -> Self {
+        SnapshotService {
+            cell: Arc::new(SnapSwap::new(Arc::new(snapshot))),
+        }
+    }
+
+    /// Pins the latest published snapshot. The returned `Arc` keeps its
+    /// epoch's pool alive — and byte-identical — for as long as the pin
+    /// is held, regardless of how many epochs publish meanwhile.
+    pub fn pin(&self) -> Arc<PoolSnapshot> {
+        self.cell.load()
+    }
+
+    /// Publishes `snapshot` as the new head; subsequent [`pin`]s resolve
+    /// to it. Returns the snapshot it displaced from the inactive slot
+    /// (useful to observe retirement). Publisher-side only — epochs must
+    /// be published in increasing order by the single maintainer.
+    ///
+    /// [`pin`]: Self::pin
+    pub fn publish(&self, snapshot: PoolSnapshot) -> Arc<PoolSnapshot> {
+        self.cell.publish(Arc::new(snapshot))
+    }
+
+    /// Current publish/epoch statistics.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            publishes: self.cell.publishes(),
+            epoch: self.cell.load().epoch(),
+        }
+    }
+}

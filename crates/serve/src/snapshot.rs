@@ -1,0 +1,78 @@
+//! [`PoolSnapshot`] — one epoch's frozen `(graph, seeds, pool)` triple.
+
+use kboost_core::PrrPool;
+use kboost_graph::{DiGraph, NodeId};
+
+/// An immutable, epoch-stamped copy of a maintained PRR pool and the
+/// graph state it estimates — the unit readers pin.
+///
+/// Everything here is by-value: the maintainer keeps mutating its own
+/// private pool after the snapshot is taken, and compaction
+/// canonicalization (the maintained arena is byte-equal to its replay
+/// oracle) carries over, so two snapshots of the same epoch compare
+/// byte-equal with `==` on their arenas. All query methods take
+/// `&self` — a pinned snapshot serves any number of threads.
+pub struct PoolSnapshot {
+    epoch: u64,
+    graph: DiGraph,
+    seeds: Vec<NodeId>,
+    pool: PrrPool,
+}
+
+impl PoolSnapshot {
+    /// Freezes `(graph, seeds, pool)` as the published state of `epoch`.
+    pub fn new(epoch: u64, graph: DiGraph, seeds: Vec<NodeId>, pool: PrrPool) -> Self {
+        PoolSnapshot {
+            epoch,
+            graph,
+            seeds,
+            pool,
+        }
+    }
+
+    /// The mutation epoch this snapshot was taken at (0 = initial build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The graph as of this snapshot's epoch.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The seed set the pool is conditioned on.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// The frozen PRR pool (estimators skip tombstoned graphs, exactly
+    /// as the live maintained pool does).
+    pub fn pool(&self) -> &PrrPool {
+        &self.pool
+    }
+
+    /// `Δ̂(B)` over the frozen pool — bit-identical to what the live
+    /// engine answered at this epoch.
+    pub fn delta_hat(&self, boost: &[NodeId]) -> f64 {
+        self.pool.delta_hat(boost)
+    }
+
+    /// `µ̂(B)` over the frozen pool.
+    pub fn mu_hat(&self, boost: &[NodeId]) -> f64 {
+        self.pool.mu_hat(boost)
+    }
+
+    /// `(Δ̂(B), µ̂(B))` in one call.
+    pub fn evaluate(&self, boost: &[NodeId]) -> (f64, f64) {
+        (self.pool.delta_hat(boost), self.pool.mu_hat(boost))
+    }
+
+    /// Scores a whole batch of candidate boost sets in **one arena
+    /// traversal** — the call shape a recommendation tier makes. Returns
+    /// `(Δ̂, µ̂)` per candidate, bit-for-bit equal to calling
+    /// [`evaluate`](Self::evaluate) per set (the property test in
+    /// `tests/serve.rs` asserts it on ER/PA/gadget pools).
+    pub fn evaluate_many(&self, candidates: &[Vec<NodeId>]) -> Vec<(f64, f64)> {
+        self.pool.evaluate_many(candidates)
+    }
+}

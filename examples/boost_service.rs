@@ -1,28 +1,40 @@
-//! A boost-recommendation *service*: one engine serving queries while the
-//! social network evolves underneath it.
+//! A boost-recommendation *service* under real concurrency: N query
+//! workers answering batched evaluations over pinned pool snapshots
+//! while a mutation feeder commits epochs underneath them.
 //!
-//! Production networks never stand still — follow edges appear, activity
-//! re-weights influence probabilities, accounts vanish. Rebuilding the
-//! PRR pool per change costs minutes; the engine's online mode pays only
-//! for the invalidated share. This example builds an engine over a
-//! scale-free network — under a startup **latency budget**, with a
-//! progress observer streaming partial accuracy — then alternates
-//! mutation epochs (`Engine::apply_mutations`) with boost queries
-//! (`Engine::solve`), demonstrates that a **cancelled epoch rolls back**
-//! and retries verbatim, and that a **malformed batch** is a typed
-//! rejection, not a crash — the same handle throughout.
+//! The engine's serving cell ([`Engine::serving`]) decouples the two
+//! clocks of a production deployment. The maintainer publishes an
+//! immutable epoch snapshot after every committed mutation epoch
+//! (pointer swap, never an in-place mutation of published state); query
+//! threads pin a snapshot per batch and answer `Δ̂`/`µ̂`/`evaluate_many`
+//! lock-free. This harness demonstrates the whole contract live:
+//!
+//! * query workers keep answering while epochs commit — no reader ever
+//!   waits on refresh sampling;
+//! * answers from a pinned epoch are **byte-identical** to that epoch's
+//!   frozen oracle, no matter how many epochs commit meanwhile;
+//! * `evaluate_many` (one arena traversal for a whole candidate batch)
+//!   matches the per-set `Engine::evaluate` oracle bit-for-bit;
+//! * a malformed batch is still a typed rejection, and the service keeps
+//!   serving the last committed epoch.
 //!
 //! Run with: `cargo run --release --example boost_service`
+//!
+//! [`Engine::serving`]: kboost::engine::Engine::serving
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use kboost::engine::{
-    Algorithm, Budget, CancelFlag, EdgeProbs, EngineBuilder, KboostError, MutationLog, NodeId,
-    Sampling,
+    Algorithm, EdgeProbs, EngineBuilder, KboostError, MutationLog, NodeId, Sampling,
 };
 use kboost::graph::generators::preferential_attachment;
 use kboost::graph::probability::{boost_probability, ProbabilityModel};
 use kboost::rrset::seeds::select_random_nodes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+const QUERY_WORKERS: usize = 3;
+const EPOCHS: u64 = 3;
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(99);
@@ -46,9 +58,9 @@ fn main() {
         seeds.len()
     );
 
-    // Online mode: fixed-size sampling keeps the estimator denominator
-    // constant across epochs, so the maintainer can swap exactly the
-    // stale share.
+    // Online mode (fixed-size sampling + shard pipeline) is what makes a
+    // serving cell possible: the maintainer owns the pool and publishes
+    // a snapshot per committed epoch.
     let mut engine = EngineBuilder::new(g.clone())
         .seeds(seeds)
         .k(20)
@@ -58,146 +70,138 @@ fn main() {
         .build()
         .expect("valid engine configuration");
 
-    // Startup under a latency budget: cap the warm-up at half the target
-    // samples and stream progress. The solve returns a valid partial
-    // answer flagged `interrupted`, carrying the ε those samples honestly
-    // certify — a service can answer immediately and refine later.
-    let warmup = engine
-        .solve_within(
-            &Algorithm::PrrBoost,
-            &Budget::unlimited().max_samples(10_000).observe(|p| {
-                if let (Some(delta), Some(eps)) = (p.delta_hat, p.achieved_epsilon) {
-                    println!(
-                        "  [warmup] {} samples: running Δ̂ = {delta:.2}, achieved ε = {eps:.2}",
-                        p.samples
-                    );
-                }
-            }),
-        )
-        .expect("budgeted solve");
-    println!(
-        "[warmup] partial pool: {} samples, interrupted = {}, achieved ε = {:.2}, Δ̂ = {:.2}",
-        warmup.stats.total_samples,
-        warmup.stats.interrupted,
-        warmup.stats.achieved_epsilon.unwrap(),
-        warmup.delta_hat.unwrap(),
-    );
-
-    // A full-accuracy engine for the rest of the service's life.
-    let mut engine = EngineBuilder::new(g.clone())
-        .seeds(select_random_nodes(&g, 20, &[], 7))
-        .k(20)
-        .threads(2)
-        .seed(42)
-        .sampling(Sampling::Fixed { samples: 20_000 })
-        .build()
-        .expect("valid engine configuration");
     let first = engine.solve(&Algorithm::PrrBoost).expect("solve");
     println!(
-        "[epoch 0] pool: {} samples ({} boostable, built in {:.2}s); \
-         recommended boosts Δ̂ = {:.2}, achieved ε = {:.2}",
+        "[epoch 0] pool: {} samples ({} boostable, built in {:.2}s); Δ̂ = {:.2}",
         first.stats.total_samples,
         first.stats.boostable,
         first.stats.build_secs,
         first.delta_hat.unwrap(),
-        first.stats.achieved_epsilon.unwrap(),
     );
 
-    // Simulate traffic: each epoch re-draws some edge probabilities
-    // (fresh action logs) and inserts a few new follow edges.
-    let mut log = MutationLog::new();
-    let mut churn_rng = SmallRng::seed_from_u64(0xC0FFEE);
-    let edges: Vec<(NodeId, NodeId, EdgeProbs)> = engine.graph().edges().collect();
-    for _ in 0..3 {
-        for _ in 0..40 {
-            let (u, v, _) = edges[churn_rng.random_range(0..edges.len())];
-            let p: f64 = churn_rng.random_range(0.01..0.3);
-            log.set_probs(u, v, EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap());
-        }
-        for _ in 0..5 {
-            let u = churn_rng.random_range(0..engine.graph().num_nodes() as u32);
-            let v = churn_rng.random_range(0..engine.graph().num_nodes() as u32);
-            if u == v {
-                continue;
+    // Candidate batches a recommendation tier would score: perturbations
+    // around the solved set plus random probes.
+    let mut probe_rng = SmallRng::seed_from_u64(0xFACADE);
+    let n = engine.graph().num_nodes() as u32;
+    let candidates: Vec<Vec<NodeId>> = (0..96)
+        .map(|i| {
+            let mut set = first.boost_set.clone();
+            set.truncate(12);
+            for _ in 0..(i % 5) + 1 {
+                set[(probe_rng.random_range(0..12u32)) as usize] =
+                    NodeId(probe_rng.random_range(0..n));
             }
-            let p: f64 = churn_rng.random_range(0.01..0.2);
-            log.insert_edge(
-                NodeId(u),
-                NodeId(v),
-                EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap(),
+            set
+        })
+        .collect();
+
+    // The serving cell: cloned into every query worker. The per-set
+    // evaluate loop is the oracle the batched path must match.
+    let service = engine.serving().expect("online mode serves snapshots");
+    let oracle: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|c| engine.evaluate(c).expect("pool built"))
+        .collect();
+    assert_eq!(
+        engine.evaluate_many(&candidates).expect("pool built"),
+        oracle,
+        "evaluate_many must match the per-set oracle bit-for-bit"
+    );
+
+    // Pin epoch 0 now; after all epochs commit this pin must still
+    // answer byte-identically.
+    let pinned_epoch0 = service.pin();
+    let pinned_answers = pinned_epoch0.evaluate_many(&candidates);
+    assert_eq!(pinned_answers, oracle);
+
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // N query workers: pin per batch, score the whole candidate
+        // batch, and verify self-consistency of the pinned epoch.
+        for w in 0..QUERY_WORKERS {
+            let service = service.clone();
+            let (stop, queries, candidates) = (&stop, &queries, &candidates);
+            s.spawn(move || {
+                let mut served = 0u64;
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.pin();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "published epochs must be monotone"
+                    );
+                    last_epoch = snap.epoch();
+                    let batch = snap.evaluate_many(candidates);
+                    // Same pin ⇒ same frozen pool ⇒ identical answers.
+                    assert_eq!(snap.evaluate_many(candidates), batch);
+                    served += batch.len() as u64;
+                }
+                queries.fetch_add(served, Ordering::Relaxed);
+                let _ = w;
+            });
+        }
+
+        // The mutation feeder: the engine handle stays on this thread
+        // and commits epochs while the workers above keep serving.
+        let mut log = MutationLog::new();
+        let mut churn_rng = SmallRng::seed_from_u64(0xC0FFEE);
+        let edges: Vec<(NodeId, NodeId, EdgeProbs)> = engine.graph().edges().collect();
+        for _ in 0..EPOCHS {
+            for _ in 0..40 {
+                let (u, v, _) = edges[churn_rng.random_range(0..edges.len())];
+                let p: f64 = churn_rng.random_range(0.01..0.3);
+                log.set_probs(u, v, EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap());
+            }
+            let batch = log.seal_epoch();
+            let report = engine.apply_mutations(&batch).expect("contiguous epoch");
+            println!(
+                "[epoch {}] {} mutations invalidated {} samples, {} redrawn{}; published",
+                report.epoch,
+                batch.mutations.len(),
+                report.invalidated,
+                report.drawn_stored + report.drawn_empty,
+                if report.compacted { ", compacted" } else { "" },
             );
         }
-        // Dry-run the staleness rule to see what this batch would cost,
-        // then seal and apply it.
-        let would_invalidate = engine
-            .stale_graphs(log.pending())
-            .expect("online mode")
-            .len();
-        let batch = log.seal_epoch();
-        let report = engine.apply_mutations(&batch).expect("contiguous epoch");
-        let sol = engine.solve(&Algorithm::PrrBoost).expect("solve");
-        println!(
-            "[epoch {}] {} mutations invalidated {} samples (dry run predicted {}); \
-             {} redrawn, {} live{}; fresh recommendation Δ̂ = {:.2}",
-            report.epoch,
-            batch.mutations.len(),
-            report.invalidated,
-            would_invalidate,
-            report.drawn_stored + report.drawn_empty,
-            report.live_graphs,
-            if report.compacted { ", compacted" } else { "" },
-            sol.delta_hat.unwrap(),
-        );
-        assert_eq!(report.invalidated as usize, would_invalidate);
-    }
 
-    // Fault tolerance, live. A malformed batch — an account id outside
-    // the universe — is rejected at ingress with a typed error; nothing
-    // is applied and the engine keeps serving.
-    let mut bad = MutationLog::new();
-    bad.remove_edge(NodeId(1_000_000), NodeId(0));
-    match engine.apply_mutations(&bad.seal_epoch()) {
-        Err(KboostError::Mutation(e)) => println!("[fault] malformed batch rejected: {e}"),
-        other => panic!("expected a typed rejection, got {other:?}"),
-    }
-
-    // An epoch cancelled mid-refresh (deploy rollover, shed load) rolls
-    // the pool back byte-identically; the identical batch retries
-    // verbatim once the pressure clears. Re-weight a swath of edges so
-    // the refresh has real work to interrupt.
-    let mut log = MutationLog::new();
-    let reweighted: Vec<(NodeId, NodeId)> = engine
-        .graph()
-        .edges()
-        .map(|(u, v, _)| (u, v))
-        .take(200)
-        .collect();
-    for (u, v) in reweighted {
-        log.set_probs(
-            u,
-            v,
-            EdgeProbs::new(0.05, boost_probability(0.05, 2.0)).unwrap(),
-        );
-    }
-    // The service's own epoch counter is at 3; re-number the fresh log's
-    // batch to follow it.
-    let mut batch = log.seal_epoch();
-    batch.epoch = engine.epoch() + 1;
-    let cancelled = CancelFlag::new();
-    cancelled.cancel();
-    match engine.apply_mutations_within(&batch, &Budget::unlimited().cancel_flag(cancelled)) {
-        Err(KboostError::Interrupted { epoch, cause }) => {
-            println!("[fault] epoch {epoch} refresh {cause}; pool rolled back");
+        // A malformed batch is rejected at ingress; the service keeps
+        // serving the last committed epoch.
+        let mut bad = MutationLog::new();
+        bad.remove_edge(NodeId(1_000_000), NodeId(0));
+        let mut bad_batch = bad.seal_epoch();
+        bad_batch.epoch = engine.epoch() + 1;
+        match engine.apply_mutations(&bad_batch) {
+            Err(KboostError::Mutation(e)) => println!("[fault] malformed batch rejected: {e}"),
+            other => panic!("expected a typed rejection, got {other:?}"),
         }
-        other => panic!("expected an interrupted epoch, got {other:?}"),
-    }
-    assert_eq!(engine.epoch(), 3, "rollback must not consume the epoch");
-    let report = engine.apply_mutations(&batch).expect("verbatim retry");
-    println!(
-        "[fault] retry committed epoch {} ({} samples refreshed)",
-        report.epoch,
-        report.drawn_stored + report.drawn_empty
-    );
+        assert_eq!(service.pin().epoch(), EPOCHS);
 
-    println!("\nOK: one engine served selections across the whole mutation history.");
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The epoch-0 pin survived every publish untouched: byte-identical
+    // answers after three committed epochs and a rejected batch.
+    assert_eq!(pinned_epoch0.epoch(), 0);
+    assert_eq!(pinned_epoch0.evaluate_many(&candidates), pinned_answers);
+
+    // The head snapshot reflects the final epoch and matches the
+    // engine's own (maintained-pool) answers exactly.
+    let head = service.pin();
+    let head_batch = head.evaluate_many(&candidates);
+    let head_oracle: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|c| engine.evaluate(c).expect("pool built"))
+        .collect();
+    assert_eq!(head_batch, head_oracle, "head snapshot drifted from pool");
+
+    let stats = service.stats();
+    println!(
+        "\nOK: {} queries served across {} workers while {} epochs published \
+         (head epoch {}); epoch-0 pin stayed byte-identical throughout.",
+        queries.load(Ordering::Relaxed),
+        QUERY_WORKERS,
+        stats.publishes,
+        stats.epoch,
+    );
 }

@@ -68,6 +68,9 @@
 //!   the budget-allocation heuristic.
 //! * [`online`] — incremental PRR-pool maintenance for evolving graphs:
 //!   mutation logs, epoch refresh, tombstone compaction.
+//! * [`serve`] — concurrent query serving: epoch-pinned immutable pool
+//!   snapshots published by pointer swap, and the batched
+//!   `evaluate_many` query surface.
 //! * [`tree`] — bidirected-tree algorithms: linear-time exact boosted
 //!   influence (Lemmas 5–7), Greedy-Boost, and the DP-Boost FPTAS.
 //! * [`baselines`] — HighDegreeGlobal/Local, PageRank, MoreSeeds, Random.
@@ -204,6 +207,49 @@
 //!   draws — see the `kboost-online` crate docs for the one remaining
 //!   statistical caveat that conditional refresh would close.
 //!
+//! # Serving & snapshot rotation
+//!
+//! One `&mut Engine` serializes every read behind every mutation epoch;
+//! a service with real traffic cannot. [`engine::Engine::serving`]
+//! decouples the two clocks through [`serve`]: the maintainer publishes
+//! an immutable [`serve::PoolSnapshot`] — epoch stamp, graph, seeds,
+//! pool, all by value — after **every committed epoch**, through a
+//! vendored double-buffer pointer swap ([`serve::SnapSwap`]; `arc-swap`
+//! is unavailable offline). Query threads clone the
+//! [`serve::SnapshotService`] handle and answer `Δ̂`/`µ̂`/
+//! `evaluate_many` on pinned snapshots, lock-free, while the next epoch
+//! samples and commits off to the side.
+//!
+//! The contract, enforced by `tests/serve.rs` and `exp_service`:
+//!
+//! * **Epoch pinning**: [`serve::SnapshotService::pin`] returns an
+//!   `Arc` of the latest *committed* epoch. Every query through one pin
+//!   is answered by one frozen pool — byte-identical to a pinned oracle
+//!   of that epoch for the pin's whole lifetime, no matter how many
+//!   epochs commit concurrently. Readers wanting the head re-pin per
+//!   query (an atomic load plus an `Arc` clone).
+//! * **Publish ordering**: there is one publisher (the maintainer), so
+//!   published epochs are strictly increasing, and the swap's
+//!   release/acquire ordering means a reader that observes epoch
+//!   `e + 1` observes it fully built — no torn reads. A rolled-back
+//!   epoch publishes nothing: readers keep seeing the pre-epoch
+//!   snapshot, which is exactly the state the maintainer rolled back
+//!   to.
+//! * **Epoch retirement**: a snapshot is retired when its last pin
+//!   drops — reclamation is `Arc`, not the publisher's concern. The
+//!   publisher never waits on readers of the *current* epoch; it waits
+//!   only for stragglers still cloning out of the slot being recycled
+//!   (a window of one `Arc` clone).
+//! * **Batched evaluation**: `PoolSnapshot::evaluate_many` scores
+//!   hundreds of candidate boost sets in one arena traversal (per-node
+//!   candidate bitsets; traversal only for candidates holding one of a
+//!   graph's boost-edge heads) and is **bit-for-bit** equal to the
+//!   per-set `Engine::evaluate` loop, which is retained as the
+//!   equivalence oracle.
+//!
+//! `BENCH_service.json` records sustained queries/sec under mutation
+//! churn, snapshot-publish latency, and epoch-lag percentiles.
+//!
 //! # Latency contract & transactional epochs
 //!
 //! A serving deployment needs two guarantees the batch pipeline above
@@ -214,7 +260,9 @@
 //!   composable [`engine::Budget`] — wall-clock deadline, sample cap,
 //!   cooperative [`engine::CancelFlag`], optional progress observer
 //!   ([`engine::SolveProgress`]: samples so far, running `Δ̂`,
-//!   certificate width) — is polled at every chunk boundary of the pool
+//!   certificate width, and — at stage boundaries — the **current-best
+//!   boost set** of a greedy pass over the samples so far, a streaming
+//!   improving solution) — is polled at every chunk boundary of the pool
 //!   build. Sampling stops cooperatively, selection runs on the partial
 //!   pool (always a valid chunk prefix), and the solution reports the
 //!   accuracy those samples honestly certify
@@ -247,4 +295,5 @@ pub use kboost_graph as graph;
 pub use kboost_online as online;
 pub use kboost_prr as prr;
 pub use kboost_rrset as rrset;
+pub use kboost_serve as serve;
 pub use kboost_tree as tree;

@@ -777,7 +777,7 @@ fn budget_observer_reports_progress_ticks() {
     let solution = engine
         .solve_within(
             &Algorithm::PrrBoost,
-            &Budget::unlimited().observe(move |p| sink.lock().unwrap().push(*p)),
+            &Budget::unlimited().observe(move |p| sink.lock().unwrap().push(p.clone())),
         )
         .unwrap();
     assert!(!solution.stats.interrupted);
@@ -800,6 +800,20 @@ fn budget_observer_reports_progress_ticks() {
         assert_eq!(t.target, Some(40_000));
         assert!(t.delta_hat.unwrap() >= 0.0);
         assert!(t.achieved_epsilon.unwrap().is_finite());
+        // Every stage tick streams an improving solution: the boost set
+        // the stage's greedy selection picked, within budget and never
+        // spending budget on a seed.
+        let best = t
+            .best_boost
+            .as_ref()
+            .expect("stage ticks carry a boost set");
+        assert!(best.len() <= 2);
+        assert!(!best.contains(&NodeId(0)), "seeds are ineligible");
+    }
+    // Chunk ticks (no running estimate) never carry a boost set — the
+    // streamed solution is a stage-boundary artifact.
+    for t in ticks.iter().filter(|t| t.delta_hat.is_none()) {
+        assert!(t.best_boost.is_none());
     }
     // ε tightens as samples accumulate.
     let eps: Vec<f64> = stage_ticks

@@ -1,0 +1,289 @@
+//! The serving subsystem's snapshot contract, end to end:
+//!
+//! * **concurrent snapshot stress** — readers pinned to epoch `e` see a
+//!   **byte-identical** arena (and identical answers) while epoch
+//!   `e + 1` samples and commits underneath them: no torn reads, no
+//!   in-place mutation of published state, monotone published epochs;
+//! * **batched ≡ per-set** — `evaluate_many` matches the per-set
+//!   `delta_hat` / `mu_hat` oracle bit-for-bit on random candidate
+//!   batches over ER, preferential-attachment and set-cover-gadget
+//!   pools (property test, batches wide enough to cross the 64-bit
+//!   membership-word boundary);
+//! * **thread invariance** — answers served from the head snapshot are
+//!   bit-identical whether the maintainer ran with 1 worker or 7;
+//! * **publish ordering** — a rejected epoch publishes nothing: the
+//!   service keeps serving the last committed epoch unchanged.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kboost::core::PrrPool;
+use kboost::graph::generators::{
+    erdos_renyi, preferential_attachment, set_cover_gadget, SetCoverInstance,
+};
+use kboost::graph::probability::{boost_probability, ProbabilityModel};
+use kboost::graph::{DiGraph, EdgeProbs, NodeId};
+use kboost::online::{EpochBatch, MaintainerOptions, MutationLog, PoolMaintainer};
+use kboost::prr::PrrFullSource;
+use kboost::rrset::sketch::SketchPool;
+use kboost::serve::PoolSnapshot;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn er_graph(n: usize, m: usize, seed: u64) -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    erdos_renyi(n, m, ProbabilityModel::Constant(0.3), 2.0, &mut rng)
+}
+
+/// Deterministic per-epoch churn: probability re-draws on random
+/// existing edges — enough to invalidate samples every epoch.
+fn churn_history(g: &DiGraph, epochs: usize, seed: u64) -> Vec<EpochBatch> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let mut log = MutationLog::new();
+    (0..epochs)
+        .map(|_| {
+            for _ in 0..10 {
+                let (u, v) = edges[rng.random_range(0..edges.len())];
+                let p: f64 = rng.random_range(0.01..0.4);
+                log.set_probs(u, v, EdgeProbs::new(p, boost_probability(p, 2.0)).unwrap());
+            }
+            log.seal_epoch()
+        })
+        .collect()
+}
+
+/// Random candidate batch over `n` nodes, `count` sets wide.
+fn probe_batch(n: u32, count: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            (0..(i % 7))
+                .map(|_| NodeId(rng.random_range(0..n)))
+                .collect()
+        })
+        .collect()
+}
+
+fn opts(threads: usize) -> MaintainerOptions {
+    MaintainerOptions {
+        target_samples: 8_000,
+        k: 5,
+        threads,
+        base_seed: 0x5EE7,
+        compact_threshold: 0.25,
+        ..MaintainerOptions::default()
+    }
+}
+
+/// Readers pinned to epoch `e` keep seeing the byte-identical arena and
+/// identical answers while later epochs sample, commit and publish
+/// underneath them. The oracle per epoch is the maintainer's own
+/// by-value snapshot taken at commit time; every snapshot a reader
+/// pinned concurrently must match it byte-for-byte.
+#[test]
+fn pinned_readers_see_byte_identical_arenas_across_commits() {
+    let g = er_graph(150, 700, 11);
+    let seeds = [NodeId(0), NodeId(1), NodeId(2)];
+    let history = churn_history(&g, 3, 0xC0FFEE);
+    // 69 candidates: crosses the 64-bit membership-word boundary.
+    let candidates = probe_batch(g.num_nodes() as u32, 69, 0xFACADE);
+
+    let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(2)).unwrap();
+    let service = m.serving();
+    let mut oracles: HashMap<u64, PoolSnapshot> = HashMap::new();
+    oracles.insert(0, m.snapshot());
+
+    let pin0 = service.pin();
+    assert_eq!(pin0.epoch(), 0);
+    let pin0_answers = pin0.evaluate_many(&candidates);
+
+    let stop = AtomicBool::new(false);
+    let observed: Mutex<HashMap<u64, Arc<PoolSnapshot>>> = Mutex::new(HashMap::new());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let service = service.clone();
+            let (stop, observed, candidates) = (&stop, &observed, &candidates);
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.pin();
+                    // Published epochs are monotone per reader.
+                    assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch();
+                    // No torn reads: the pinned pool is a complete,
+                    // self-consistent epoch — two evaluations of the
+                    // same pin answer identically.
+                    let batch = snap.evaluate_many(candidates);
+                    assert_eq!(snap.evaluate_many(candidates), batch);
+                    observed.lock().unwrap().entry(snap.epoch()).or_insert(snap);
+                }
+            });
+        }
+
+        // The maintainer commits epochs while the readers above keep
+        // pinning; each commit's oracle is frozen on this thread.
+        for batch in &history {
+            let report = m.apply_epoch(batch).unwrap();
+            assert_eq!(report.epoch, batch.epoch);
+            oracles.insert(batch.epoch, m.snapshot());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Every snapshot any reader pinned — including those captured while
+    // the next epoch was mid-commit — is byte-identical to the oracle
+    // frozen at that epoch's commit.
+    let observed = observed.into_inner().unwrap();
+    assert!(
+        observed.contains_key(&0),
+        "readers never saw the initial epoch"
+    );
+    for (epoch, snap) in &observed {
+        let oracle = &oracles[epoch];
+        assert_eq!(snap.epoch(), oracle.epoch());
+        assert!(
+            snap.pool().arena() == oracle.pool().arena(),
+            "pinned epoch-{epoch} arena diverged from its commit-time oracle"
+        );
+        assert_eq!(
+            snap.evaluate_many(&candidates),
+            oracle.evaluate_many(&candidates)
+        );
+    }
+
+    // The epoch-0 pin held across every commit still answers
+    // byte-identically, and the head pin reflects the final epoch.
+    assert_eq!(pin0.evaluate_many(&candidates), pin0_answers);
+    assert!(pin0.pool().arena() == oracles[&0].pool().arena());
+    let head = service.pin();
+    assert_eq!(head.epoch(), history.len() as u64);
+    assert!(head.pool().arena() == m.pool().arena());
+}
+
+/// Answers served from the head snapshot are bit-identical whether the
+/// maintainer sampled and refreshed with 1 worker thread or 7.
+#[test]
+fn served_answers_bit_identical_1_vs_7_threads() {
+    let g = er_graph(120, 600, 23);
+    let seeds = [NodeId(4), NodeId(9)];
+    let history = churn_history(&g, 3, 0xBEEF);
+    let candidates = probe_batch(g.num_nodes() as u32, 70, 0x5EED);
+
+    let serve_with = |threads: usize| {
+        let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(threads)).unwrap();
+        let service = m.serving();
+        for batch in &history {
+            m.apply_epoch(batch).unwrap();
+        }
+        let head = service.pin();
+        assert_eq!(head.epoch(), history.len() as u64);
+        let stats = service.stats();
+        assert_eq!(stats.publishes, history.len() as u64);
+        assert_eq!(stats.epoch, history.len() as u64);
+        head.evaluate_many(&candidates)
+    };
+    let single = serve_with(1);
+    let many = serve_with(7);
+    assert_eq!(
+        single, many,
+        "served answers must be bit-identical across maintainer thread counts"
+    );
+}
+
+/// A rejected epoch publishes nothing: the service keeps serving the
+/// last committed epoch, byte-identically.
+#[test]
+fn rejected_epoch_publishes_nothing() {
+    let g = er_graph(80, 300, 31);
+    let seeds = [NodeId(0)];
+    let mut m = PoolMaintainer::build(g.clone(), seeds.to_vec(), opts(2)).unwrap();
+    let service = m.serving();
+
+    let good = churn_history(&g, 1, 0xABBA);
+    m.apply_epoch(&good[0]).unwrap();
+    assert_eq!(service.stats().publishes, 1);
+    let before = service.pin();
+
+    // A non-contiguous epoch number is rejected at ingress — before any
+    // sampling, so nothing may be published.
+    let mut log = MutationLog::new();
+    log.set_probs(NodeId(0), NodeId(1), EdgeProbs::new(0.1, 0.2).unwrap());
+    let mut bad = log.seal_epoch();
+    bad.epoch = m.epoch() + 7;
+    assert!(m.apply_epoch(&bad).is_err());
+
+    assert_eq!(service.stats().publishes, 1);
+    let after = service.pin();
+    assert_eq!(after.epoch(), before.epoch());
+    assert!(after.pool().arena() == before.pool().arena());
+}
+
+/// Pools the batched-evaluation property test runs against: ER,
+/// preferential attachment, and the set-cover gadget — built once.
+fn property_pools() -> &'static Vec<(String, u32, PrrPool)> {
+    static POOLS: std::sync::OnceLock<Vec<(String, u32, PrrPool)>> = std::sync::OnceLock::new();
+    POOLS.get_or_init(|| {
+        let build = |g: &DiGraph, seeds: &[NodeId]| {
+            let source = PrrFullSource::new(g, seeds, 4);
+            let mut sketches = SketchPool::new(0xDE7, 2);
+            sketches.extend_to(&source, 6_000);
+            PrrPool::new(sketches, g.num_nodes(), 2)
+        };
+        let er = er_graph(120, 600, 5);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let pa =
+            preferential_attachment(150, 3, 0.15, ProbabilityModel::Constant(0.2), 2.0, &mut rng);
+        let gadget = set_cover_gadget(&SetCoverInstance {
+            num_elements: 6,
+            subsets: vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 5],
+                vec![1, 4],
+            ],
+        });
+        let gadget_n = gadget.num_nodes() as u32;
+        vec![
+            ("er".to_string(), 120, build(&er, &[NodeId(0), NodeId(1)])),
+            ("pa".to_string(), 150, build(&pa, &[NodeId(0), NodeId(3)])),
+            ("gadget".to_string(), gadget_n, build(&gadget, &[NodeId(0)])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `evaluate_many` ≡ the per-set `delta_hat` / `mu_hat` oracle,
+    /// bit-for-bit, on random candidate batches over every pool shape.
+    /// Batch widths up to 70 cross the membership-word boundary; sets
+    /// may be empty, duplicated, or contain repeated nodes.
+    #[test]
+    fn evaluate_many_matches_per_set_oracle(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u32..120, 0..6), 0..70),
+    ) {
+        for (name, n, pool) in property_pools() {
+            let candidates: Vec<Vec<NodeId>> = raw
+                .iter()
+                .map(|set| set.iter().map(|&v| NodeId(v % n)).collect())
+                .collect();
+            let batched = pool.evaluate_many(&candidates);
+            prop_assert_eq!(batched.len(), candidates.len());
+            for (c, &(delta, mu)) in candidates.iter().zip(&batched) {
+                let d_oracle = pool.delta_hat(c);
+                let m_oracle = pool.mu_hat(c);
+                prop_assert!(
+                    delta == d_oracle && mu == m_oracle,
+                    "{} pool: batched ({}, {}) != per-set ({}, {})",
+                    name, delta, mu, d_oracle, m_oracle
+                );
+            }
+        }
+    }
+}
