@@ -13,9 +13,14 @@
 //!   while mutation epochs commit and publish concurrently;
 //! * **snapshot-publish latency**: per epoch, the cost of freezing the
 //!   maintained state (flat-array clone) plus the pointer swap — the
-//!   full price of making a committed epoch visible to readers;
+//!   full price of making a committed epoch visible to readers, read
+//!   back from the engine's `serve.publish_secs` histogram
+//!   (nearest-rank percentiles, sample count emitted alongside — a p90
+//!   over 4 publishes IS the max, and the JSON says so);
 //! * **epoch-lag percentiles**: per query batch, how many committed
-//!   epochs ahead the head was of the reader's pinned snapshot;
+//!   epochs ahead the head was of the reader's pinned snapshot, from
+//!   the `serve.epoch_lag` histogram the workers feed through
+//!   [`SnapshotService::record_query`];
 //! * **zero cross-epoch drift**: every answer a worker produced from a
 //!   pinned epoch-`e` snapshot — including those served *while*
 //!   `e + 1` was sampling and committing — must be **byte-identical**
@@ -34,11 +39,14 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use kboost_core::EvalManyScratch;
 use kboost_engine::{
-    Algorithm, Engine, EngineBuilder, EpochBatch, MutationLog, NodeId, Sampling, SnapshotService,
+    Algorithm, Engine, EngineBuilder, EpochBatch, HistogramSummary, MetricsRecorder, MutationLog,
+    NodeId, Sampling, SnapshotService,
 };
 use kboost_graph::generators::preferential_attachment;
 use kboost_graph::probability::{boost_probability, ProbabilityModel};
@@ -115,7 +123,12 @@ fn parse_args() -> ServiceOpts {
     opts
 }
 
-fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &ServiceOpts) -> Engine {
+fn build_engine(
+    g: &DiGraph,
+    seeds: &[NodeId],
+    opts: &ServiceOpts,
+    recorder: Arc<MetricsRecorder>,
+) -> Engine {
     EngineBuilder::new(g.clone())
         .seeds(seeds.to_vec())
         .k(opts.k)
@@ -124,6 +137,7 @@ fn build_engine(g: &DiGraph, seeds: &[NodeId], opts: &ServiceOpts) -> Engine {
         .sampling(Sampling::Fixed {
             samples: opts.samples,
         })
+        .recorder(recorder)
         .build()
         .expect("valid engine configuration")
 }
@@ -146,20 +160,16 @@ fn make_history(g: &DiGraph, epochs: u64, seed: u64) -> Vec<EpochBatch> {
         .collect()
 }
 
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
-}
-
 struct RunResult {
     query_threads: usize,
     elapsed_secs: f64,
     sets_scored: u64,
     batches: u64,
-    publish_ms: Vec<f64>,
-    lags: Vec<f64>,
+    /// `serve.publish_secs` summary — one observation per committed
+    /// epoch, nearest-rank percentiles.
+    publish: HistogramSummary,
+    /// `serve.epoch_lag` summary — one observation per served batch.
+    lag: HistogramSummary,
     head_answers: Vec<(f64, f64)>,
     cross_epoch_drift: f64,
 }
@@ -174,7 +184,8 @@ fn run_once(
     candidates: &[Vec<NodeId>],
     query_threads: usize,
 ) -> RunResult {
-    let mut engine = build_engine(g, seeds, opts);
+    let recorder = Arc::new(MetricsRecorder::new());
+    let mut engine = build_engine(g, seeds, opts, recorder.clone());
     engine.pool().expect("pool built");
     let service: SnapshotService = engine.serving().expect("online mode");
 
@@ -186,47 +197,41 @@ fn run_once(
 
     let pin0 = service.pin();
     let stop = AtomicBool::new(false);
-    let published = AtomicU64::new(0);
-    let mut publish_ms: Vec<f64> = Vec::new();
     let t0 = Instant::now();
 
-    type Observed = (HashMap<u64, Vec<(f64, f64)>>, Vec<f64>, u64, u64);
+    type Observed = (HashMap<u64, Vec<(f64, f64)>>, u64, u64);
     let (observations, elapsed_secs) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..query_threads)
             .map(|_| {
                 let service = service.clone();
-                let (stop, published) = (&stop, &published);
+                let stop = &stop;
                 s.spawn(move || -> Observed {
                     let mut observed: HashMap<u64, Vec<(f64, f64)>> = HashMap::new();
-                    let mut lags = Vec::new();
+                    // One reusable workspace per worker: the batched
+                    // kernel allocates nothing per call.
+                    let mut scratch = EvalManyScratch::default();
                     let (mut sets, mut batches) = (0u64, 0u64);
                     while !stop.load(Ordering::Relaxed) {
                         let snap = service.pin();
-                        let res = snap.evaluate_many(candidates);
-                        lags.push(
-                            published
-                                .load(Ordering::Relaxed)
-                                .saturating_sub(snap.epoch()) as f64,
-                        );
+                        let res = snap.evaluate_many_with(candidates, &mut scratch);
+                        // Feeds serve.queries and the serve.epoch_lag
+                        // histogram (head epoch minus pinned epoch).
+                        service.record_query(&snap, candidates.len() as u64);
                         sets += candidates.len() as u64;
                         batches += 1;
                         observed.insert(snap.epoch(), res);
                     }
-                    (observed, lags, sets, batches)
+                    (observed, sets, batches)
                 })
             })
             .collect();
 
-        // The mutation feeder: commits each epoch (which publishes the
-        // snapshot inside the commit), then measures the standalone
-        // snapshot+swap cost and records the epoch oracle.
+        // The mutation feeder: commits each epoch — the maintainer
+        // publishes the post-commit snapshot inside the commit and
+        // records the full snapshot+swap cost into serve.publish_secs —
+        // then records the epoch oracle.
         for batch in history {
             engine.apply_mutations(batch).expect("contiguous epoch");
-            published.store(batch.epoch, Ordering::Relaxed);
-            let t = Instant::now();
-            let snap = engine.snapshot().expect("online mode");
-            service.publish(snap);
-            publish_ms.push(t.elapsed().as_secs_f64() * 1e3);
             epoch_oracles.insert(
                 batch.epoch,
                 engine.evaluate_many(candidates).expect("pool built"),
@@ -249,7 +254,7 @@ fn run_once(
     // Zero cross-epoch drift: every concurrently served answer must be
     // byte-identical to its pinned epoch's oracle.
     let mut drift = 0.0f64;
-    for (observed, _, _, _) in &observations {
+    for (observed, _, _) in &observations {
         for (epoch, res) in observed {
             let oracle = &epoch_oracles[epoch];
             assert_eq!(
@@ -279,21 +284,36 @@ fn run_once(
         "evaluate_many diverged from the per-set evaluate oracle"
     );
 
-    let mut lags: Vec<f64> = Vec::new();
     let (mut sets, mut batches) = (0u64, 0u64);
-    for (_, l, s_, b) in observations {
-        lags.extend(l);
+    for (_, s_, b) in observations {
         sets += s_;
         batches += b;
     }
-    lags.sort_by(f64::total_cmp);
+    // The run's latency/lag numbers come from the obs histograms the
+    // lifecycle itself fed — nearest-rank percentiles with the sample
+    // count attached.
+    let metrics = engine.metrics();
+    let publish = metrics
+        .histogram("serve.publish_secs")
+        .cloned()
+        .unwrap_or_default();
+    let lag = metrics
+        .histogram("serve.epoch_lag")
+        .cloned()
+        .unwrap_or_default();
+    assert_eq!(
+        publish.count,
+        history.len() as u64,
+        "one publish per committed epoch"
+    );
+    assert_eq!(lag.count, batches, "one lag observation per served batch");
     RunResult {
         query_threads,
         elapsed_secs,
         sets_scored: sets,
         batches,
-        publish_ms,
-        lags,
+        publish,
+        lag,
         head_answers,
         cross_epoch_drift: drift,
     }
@@ -328,7 +348,7 @@ fn main() {
     // Candidate batch: perturbations of a solved boost set plus random
     // probes — deterministic, shared by every run.
     let t = Instant::now();
-    let mut base_engine = build_engine(&g, &seeds, &opts);
+    let mut base_engine = build_engine(&g, &seeds, &opts, Arc::new(MetricsRecorder::new()));
     let solved = base_engine.solve(&Algorithm::PrrBoost).expect("solve");
     let build_secs = t.elapsed().as_secs_f64();
     let mut probe_rng = SmallRng::seed_from_u64(opts.seed ^ 0xFACADE);
@@ -363,20 +383,15 @@ fn main() {
             let r = run_once(&g, &seeds, &opts, &history, &candidates, t);
             eprintln!(
                 "[run] {} query workers: {:.0} sets/s ({} batches over {:.2}s), \
-                 publish p50 {:.2} ms, lag p90 {:.1} epochs, drift {}",
+                 publish p50 {:.2} ms (n={}), lag p90 {:.1} epochs (n={}), drift {}",
                 r.query_threads,
                 r.sets_scored as f64 / r.elapsed_secs,
                 r.batches,
                 r.elapsed_secs,
-                percentile(
-                    &{
-                        let mut p = r.publish_ms.clone();
-                        p.sort_by(f64::total_cmp);
-                        p
-                    },
-                    0.5
-                ),
-                percentile(&r.lags, 0.9),
+                r.publish.p50 * 1e3,
+                r.publish.count,
+                r.lag.p90,
+                r.lag.count,
                 r.cross_epoch_drift,
             );
             r
@@ -402,14 +417,14 @@ fn main() {
     let run_json: Vec<String> = runs
         .iter()
         .map(|r| {
-            let mut publish = r.publish_ms.clone();
-            publish.sort_by(f64::total_cmp);
             format!(
                 "    {{ \"query_threads\": {}, \"elapsed_secs\": {:.3}, \
                  \"sets_scored\": {}, \"batches\": {}, \"queries_per_sec\": {:.1}, \
                  \"batches_per_sec\": {:.2}, \
-                 \"publish_ms\": {{ \"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3} }}, \
-                 \"epoch_lag\": {{ \"p50\": {:.2}, \"p90\": {:.2}, \"max\": {:.2} }}, \
+                 \"publish_ms\": {{ \"count\": {}, \"p50\": {:.3}, \"p90\": {:.3}, \
+                 \"max\": {:.3} }}, \
+                 \"epoch_lag\": {{ \"count\": {}, \"p50\": {:.2}, \"p90\": {:.2}, \
+                 \"max\": {:.2} }}, \
                  \"cross_epoch_drift\": {:.1} }}",
                 r.query_threads,
                 r.elapsed_secs,
@@ -417,12 +432,14 @@ fn main() {
                 r.batches,
                 r.sets_scored as f64 / r.elapsed_secs,
                 r.batches as f64 / r.elapsed_secs,
-                percentile(&publish, 0.5),
-                percentile(&publish, 0.9),
-                publish.last().copied().unwrap_or(0.0),
-                percentile(&r.lags, 0.5),
-                percentile(&r.lags, 0.9),
-                r.lags.last().copied().unwrap_or(0.0),
+                r.publish.count,
+                r.publish.p50 * 1e3,
+                r.publish.p90 * 1e3,
+                r.publish.max * 1e3,
+                r.lag.count,
+                r.lag.p50,
+                r.lag.p90,
+                r.lag.max,
                 r.cross_epoch_drift,
             )
         })

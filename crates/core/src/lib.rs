@@ -23,5 +23,5 @@ pub mod sandwich;
 
 pub use algo::{prr_boost, prr_boost_lb, prr_boost_ssa, BoostOptions, BoostOutcome, BoostStats};
 pub use budget::{budget_sweep, BudgetOptions, BudgetPoint};
-pub use pool::PrrPool;
+pub use pool::{EvalManyScratch, PrrPool};
 pub use sandwich::{sandwich_ratio_curve, RatioPoint};

@@ -14,6 +14,30 @@ use kboost_graph::NodeId;
 use kboost_prr::{CompressedPrr, PrrArena, PrrArenaShard, PrrEvalScratch, PrrGraphView};
 use kboost_rrset::sketch::SketchPool;
 
+/// Reusable workspace for [`PrrPool::evaluate_many_with`].
+///
+/// Holds the inverted candidate-membership bitsets plus one hit-count
+/// accumulator set per estimator worker. Grown on first use, fully
+/// overwritten on every call (so reuse can never leak state between
+/// batches), and reusable across pools and batch shapes. `Default` is
+/// the empty workspace.
+#[derive(Default)]
+pub struct EvalManyScratch {
+    /// node → bitset of the candidates containing it (`n · ⌈C/64⌉` words).
+    membership: Vec<u64>,
+    /// Per-worker accumulators; index = worker slot in the fan-out.
+    workers: Vec<EvalWorkerScratch>,
+}
+
+/// One estimator worker's slice of [`EvalManyScratch`].
+#[derive(Default)]
+struct EvalWorkerScratch {
+    delta: Vec<u64>,
+    mu: Vec<u64>,
+    rel: Vec<u64>,
+    prr: PrrEvalScratch,
+}
+
 /// A pool of sampled PRR-graphs for a fixed `(G, S, k)`.
 ///
 /// Provides the two estimators of Section IV:
@@ -218,98 +242,128 @@ impl PrrPool {
     /// contiguous arena ranges, per-range exact hit counts summed in
     /// range order — deterministic for any thread count.
     pub fn evaluate_many(&self, candidates: &[Vec<NodeId>]) -> Vec<(f64, f64)> {
+        self.evaluate_many_with(candidates, &mut EvalManyScratch::default())
+    }
+
+    /// [`evaluate_many`](Self::evaluate_many) with a caller-owned
+    /// workspace: the membership bitsets and every worker's hit
+    /// accumulators live in `scratch` and are reused across calls, so a
+    /// query worker scoring batches in a loop performs no steady-state
+    /// heap allocation beyond the returned result vector. Results are
+    /// bit-for-bit identical to the allocating entry point — the
+    /// workspace is fully overwritten before use.
+    pub fn evaluate_many_with(
+        &self,
+        candidates: &[Vec<NodeId>],
+        scratch: &mut EvalManyScratch,
+    ) -> Vec<(f64, f64)> {
         let c = candidates.len();
         if c == 0 {
             return Vec::new();
         }
         let words = c.div_ceil(64);
+        let num_graphs = self.arena.len();
+        let fan_out = self.threads.min(num_graphs.max(1));
+        let workers = if fan_out <= 1 || num_graphs < 1024 {
+            1
+        } else {
+            fan_out
+        };
+        let EvalManyScratch {
+            membership,
+            workers: worker_scratch,
+        } = scratch;
         // node → bitset of the candidates containing it.
-        let mut membership = vec![0u64; self.n * words];
+        membership.clear();
+        membership.resize(self.n * words, 0);
         for (ci, set) in candidates.iter().enumerate() {
             for &v in set {
                 membership[v.index() * words + ci / 64] |= 1u64 << (ci % 64);
             }
         }
-        let membership = &membership;
-        let num_graphs = self.arena.len();
-        let count_range = |range: std::ops::Range<usize>| -> (Vec<u64>, Vec<u64>) {
-            let mut scratch = PrrEvalScratch::default();
-            let (mut delta, mut mu) = (vec![0u64; c], vec![0u64; c]);
-            let mut rel = vec![0u64; words];
+        if worker_scratch.len() < workers {
+            worker_scratch.resize_with(workers, EvalWorkerScratch::default);
+        }
+        let membership = &*membership;
+        let eval_range = |range: std::ops::Range<usize>, ws: &mut EvalWorkerScratch| {
+            ws.delta.clear();
+            ws.delta.resize(c, 0);
+            ws.mu.clear();
+            ws.mu.resize(c, 0);
+            ws.rel.clear();
+            ws.rel.resize(words, 0);
             for i in range {
                 if !self.arena.is_live(i) {
                     continue;
                 }
                 let g = self.arena.graph(i);
                 // µ̂: a candidate hits iff it intersects the critical set.
-                rel.iter_mut().for_each(|w| *w = 0);
+                ws.rel.iter_mut().for_each(|w| *w = 0);
                 for &v in g.critical() {
                     let base = v.index() * words;
-                    for (w, r) in rel.iter_mut().enumerate() {
+                    for (w, r) in ws.rel.iter_mut().enumerate() {
                         *r |= membership[base + w];
                     }
                 }
-                for (w, &r) in rel.iter().enumerate() {
+                for (w, &r) in ws.rel.iter().enumerate() {
                     let mut bits = r;
                     while bits != 0 {
-                        mu[w * 64 + bits.trailing_zeros() as usize] += 1;
+                        ws.mu[w * 64 + bits.trailing_zeros() as usize] += 1;
                         bits &= bits - 1;
                     }
                 }
                 // Δ̂: evaluate f_R only for candidates holding at least
                 // one of this graph's boost-edge heads.
-                rel.iter_mut().for_each(|w| *w = 0);
+                ws.rel.iter_mut().for_each(|w| *w = 0);
                 g.for_each_boost_head(|v| {
                     let base = v.index() * words;
-                    for (w, r) in rel.iter_mut().enumerate() {
+                    for (w, r) in ws.rel.iter_mut().enumerate() {
                         *r |= membership[base + w];
                     }
                 });
-                for (w, &r) in rel.iter().enumerate() {
+                for (w, &r) in ws.rel.iter().enumerate() {
                     let mut bits = r;
                     while bits != 0 {
                         let ci = w * 64 + bits.trailing_zeros() as usize;
                         let hit = g.f_by(
                             |v| membership[v.index() * words + ci / 64] >> (ci % 64) & 1 == 1,
-                            &mut scratch,
+                            &mut ws.prr,
                         );
-                        delta[ci] += hit as u64;
+                        ws.delta[ci] += hit as u64;
                         bits &= bits - 1;
                     }
                 }
             }
-            (delta, mu)
         };
-        let workers = self.threads.min(num_graphs.max(1));
-        let (delta_hits, mu_hits) = if workers <= 1 || num_graphs < 1024 {
-            count_range(0..num_graphs)
+        if workers <= 1 {
+            eval_range(0..num_graphs, &mut worker_scratch[0]);
         } else {
             let per = num_graphs.div_ceil(workers);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let lo = (per * w).min(num_graphs);
-                        let hi = (lo + per).min(num_graphs);
-                        let count_range = &count_range;
-                        scope.spawn(move || count_range(lo..hi))
-                    })
-                    .collect();
-                let (mut delta, mut mu) = (vec![0u64; c], vec![0u64; c]);
-                for h in handles {
-                    let (d, m) = h.join().expect("evaluate_many worker panicked");
-                    for ci in 0..c {
-                        delta[ci] += d[ci];
-                        mu[ci] += m[ci];
-                    }
+                for (w, ws) in worker_scratch.iter_mut().take(workers).enumerate() {
+                    let lo = (per * w).min(num_graphs);
+                    let hi = (lo + per).min(num_graphs);
+                    let eval_range = &eval_range;
+                    scope.spawn(move || eval_range(lo..hi, ws));
                 }
-                (delta, mu)
-            })
-        };
+            });
+        }
+        // Fold the per-worker exact hit counts into worker 0 — integer
+        // sums over disjoint ranges, so the result is independent of both
+        // fold order and thread count.
+        let (acc, rest) = worker_scratch.split_at_mut(1);
+        let acc = &mut acc[0];
+        for ws in rest.iter().take(workers - 1) {
+            for ci in 0..c {
+                acc.delta[ci] += ws.delta[ci];
+                acc.mu[ci] += ws.mu[ci];
+            }
+        }
         (0..c)
             .map(|ci| {
                 (
-                    self.n as f64 * delta_hits[ci] as f64 / self.total.max(1) as f64,
-                    self.n as f64 * mu_hits[ci] as f64 / self.total.max(1) as f64,
+                    self.n as f64 * acc.delta[ci] as f64 / self.total.max(1) as f64,
+                    self.n as f64 * acc.mu[ci] as f64 / self.total.max(1) as f64,
                 )
             })
             .collect()

@@ -12,7 +12,10 @@
 //! [`Engine`]: crate::Engine
 //! [`KboostError::Config`]: crate::KboostError::Config
 
+use std::sync::Arc;
+
 use kboost_graph::{DiGraph, NodeId};
+use kboost_obs::{Obs, Recorder};
 use kboost_online::Staleness;
 
 use crate::algorithms::Algorithm;
@@ -122,6 +125,7 @@ pub struct EngineBuilder {
     compact_threshold: f64,
     staleness: Staleness,
     algorithm: Algorithm,
+    obs: Obs,
 }
 
 impl EngineBuilder {
@@ -145,6 +149,7 @@ impl EngineBuilder {
             compact_threshold: 0.25,
             staleness: Staleness::Approximate,
             algorithm: Algorithm::Sandwich,
+            obs: Obs::noop(),
         }
     }
 
@@ -243,6 +248,22 @@ impl EngineBuilder {
     /// (default [`Algorithm::Sandwich`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Attaches a metrics [`Recorder`] (e.g.
+    /// [`MetricsRecorder`](kboost_obs::MetricsRecorder)) to the engine's
+    /// whole lifecycle: solve stage timings, sampler chunk throughput,
+    /// online epoch accounting and serving publish/pin metrics all flow
+    /// into it, and [`Engine::metrics`](crate::Engine::metrics) reads it
+    /// back. Without a recorder every instrumentation point is a single
+    /// predicted-not-taken branch — no clock reads, no allocation.
+    ///
+    /// Recording never consumes randomness: solves, sampled pools and
+    /// mutation histories are **bit-identical** with and without a
+    /// recorder attached (`tests/obs.rs` asserts it property-style).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = Obs::new(recorder);
         self
     }
 
@@ -379,6 +400,8 @@ impl EngineBuilder {
             staleness: self.staleness,
             algorithm: self.algorithm,
         };
-        Ok(Engine::from_validated(self.graph, self.seeds, cfg))
+        Ok(Engine::from_validated(
+            self.graph, self.seeds, cfg, self.obs,
+        ))
     }
 }

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use kboost_core::{sandwich_ratio_curve, PrrPool, RatioPoint};
 use kboost_graph::{DiGraph, NodeId};
+use kboost_obs::{MetricsSnapshot, Obs, Value};
 use kboost_online::{
     validate_mutations, EpochBatch, EpochReport, MaintainerOptions, Mutation, PoolMaintainer,
 };
@@ -77,6 +78,10 @@ pub struct Engine {
     /// Whether the built pool's sampling was stopped early by a budget —
     /// a property of the pool, reported on every solve that uses it.
     interrupted: bool,
+    /// Observability handle ([`Obs::noop`] unless the builder attached a
+    /// recorder); propagated into the maintainer, sampler and serving
+    /// cell at pool build.
+    obs: Obs,
 }
 
 impl Engine {
@@ -84,7 +89,12 @@ impl Engine {
     /// validated.
     ///
     /// [`EngineBuilder::build`]: crate::EngineBuilder::build
-    pub(crate) fn from_validated(graph: DiGraph, seeds: Vec<NodeId>, cfg: EngineConfig) -> Self {
+    pub(crate) fn from_validated(
+        graph: DiGraph,
+        seeds: Vec<NodeId>,
+        cfg: EngineConfig,
+        obs: Obs,
+    ) -> Self {
         Engine {
             graph: Some(graph),
             seeds,
@@ -92,6 +102,7 @@ impl Engine {
             state: PoolState::Unbuilt,
             pending: None,
             interrupted: false,
+            obs,
         }
     }
 
@@ -113,6 +124,17 @@ impl Engine {
         &self.cfg
     }
 
+    /// A point-in-time snapshot of every metric the attached recorder has
+    /// accumulated — solve timings, sampler chunk throughput, online
+    /// epoch accounting, serving publish/pin/lag histograms. Empty (all
+    /// maps empty, zero events) when no recorder was attached through
+    /// [`EngineBuilder::recorder`](crate::EngineBuilder::recorder) or the
+    /// recorder does not implement
+    /// [`Recorder::snapshot`](kboost_obs::Recorder::snapshot).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
     /// The current mutation epoch (0 until a batch is applied).
     pub fn epoch(&self) -> u64 {
         match &self.state {
@@ -127,7 +149,23 @@ impl Engine {
         &mut self,
         algorithm: &A,
     ) -> Result<Solution, KboostError> {
-        algorithm.solve(self)
+        // Cloned to a local so the span timer never holds a borrow of
+        // `self` across the solver's `&mut Engine` access.
+        let obs = self.obs.clone();
+        let _span = obs.span("engine.solve.total_secs");
+        let out = algorithm.solve(self);
+        if obs.is_enabled() {
+            if let Ok(solution) = &out {
+                obs.counter_add("engine.solves", 1);
+                obs.observe("engine.solve.build_secs", solution.stats.build_secs);
+                obs.observe("engine.solve.convert_secs", solution.stats.convert_secs);
+                obs.observe("engine.solve.select_secs", solution.stats.select_secs);
+                if let Some(eps) = solution.stats.achieved_epsilon {
+                    obs.gauge_set("engine.achieved_epsilon", eps);
+                }
+            }
+        }
+        out
     }
 
     /// Solves with the configured default algorithm
@@ -161,7 +199,7 @@ impl Engine {
         budget: &Budget,
     ) -> Result<Solution, KboostError> {
         self.pending = Some(budget.resolve());
-        let out = algorithm.solve(self);
+        let out = self.solve(algorithm);
         self.pending = None;
         out
     }
@@ -478,11 +516,21 @@ impl Engine {
                 // so far gives the running Δ̂, and inverting the IMM
                 // bound at the current sample count gives the accuracy
                 // already guaranteed.
+                let obs = self.obs.clone();
                 let mut on_stage = |target: u64, pool: &SketchPool<_>| {
                     let drawn = pool.total_samples();
                     let res = greedy_max_cover(pool.covers(), n, k, Some(&eligible));
                     let delta = n as f64 * res.covered as f64 / drawn.max(1) as f64;
                     let eps = achieved_epsilon(n, n - num_seeds, k, ell, drawn, delta);
+                    obs.event(
+                        "engine.budget_tick",
+                        &[
+                            ("samples", Value::from(drawn)),
+                            ("target", Value::from(target)),
+                            ("delta_hat", Value::from(delta)),
+                            ("achieved_epsilon", Value::from(eps)),
+                        ],
+                    );
                     term.notify(&SolveProgress {
                         samples: drawn,
                         target: Some(target),
@@ -491,7 +539,7 @@ impl Engine {
                         best_boost: Some(res.selected),
                     });
                 };
-                let maintainer = PoolMaintainer::build_within(
+                let maintainer = PoolMaintainer::build_within_with_obs(
                     g,
                     seeds,
                     MaintainerOptions {
@@ -502,6 +550,7 @@ impl Engine {
                         compact_threshold: self.cfg.compact_threshold,
                         staleness: self.cfg.staleness,
                     },
+                    self.obs.clone(),
                     term,
                     &mut on_stage,
                 )
@@ -519,6 +568,7 @@ impl Engine {
                 let source = LegacyPrrSource::new(g, &self.seeds, self.cfg.k);
                 let mut sketches: SketchPool<Vec<CompressedPrr>> =
                     SketchPool::new(self.cfg.seed, self.cfg.threads);
+                sketches.set_obs(self.obs.clone());
                 let status = sketches.extend_to_within(&source, samples, term);
                 self.interrupted = status == ExtendStatus::Interrupted;
                 let build_secs = t0.elapsed().as_secs_f64();

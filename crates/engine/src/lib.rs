@@ -92,6 +92,7 @@ pub use solution::{SandwichCertificate, Solution, SolveStats};
 pub use kboost_baselines::WeightedDegree;
 pub use kboost_core::{BudgetPoint, RatioPoint};
 pub use kboost_graph::{DiGraph, EdgeProbs, GraphBuilder, NodeId};
+pub use kboost_obs::{HistogramSummary, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder};
 pub use kboost_online::{
     EpochBatch, EpochReport, InterruptCause, Mutation, MutationError, MutationLog, Staleness,
 };

@@ -1,0 +1,363 @@
+//! Fixed-bucket log-scaled histogram with nearest-rank percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Sub-bucket resolution bits: 2^3 = 8 sub-buckets per octave, bounding
+/// the relative error of bucket-resolution readout at 1/8 = 12.5%.
+const SUB_BITS: u32 = 3;
+const SUBBUCKETS: usize = 1 << SUB_BITS;
+/// Smallest distinguished binary exponent: values below 2^-30 (~1 ns when
+/// recording seconds) collapse into the first positive bucket.
+const MIN_EXP: i32 = -30;
+/// Largest distinguished binary exponent: values at or above 2^34
+/// (~1.7e10) collapse into the top bucket.
+const MAX_EXP: i32 = 33;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+/// Bucket 0 holds zero and negative values; the rest are log-linear.
+const NUM_BUCKETS: usize = 1 + OCTAVES * SUBBUCKETS;
+/// Raw values are kept verbatim up to this count, making percentile
+/// readout *exact* (not bucket-resolution) for small samples — the
+/// regime bench publish latencies live in.
+const RESERVOIR_CAP: usize = 512;
+
+/// A concurrent, fixed-memory histogram of `f64` observations.
+///
+/// Layout: one zero-or-below bucket plus 8 log-linear sub-buckets per
+/// binary octave over `[2^-30, 2^34)` — 505 atomic buckets, ~4 KiB, no
+/// allocation after construction apart from the bounded raw-value
+/// reservoir. Recording is lock-free (relaxed atomics) once the
+/// reservoir is full.
+///
+/// Percentile readout is **nearest-rank**: the p-th percentile is the
+/// smallest recorded value whose cumulative rank reaches `⌈p·N⌉`. While
+/// all `N` observations still sit in the raw reservoir the result is
+/// exact; beyond that it falls back to the lower bound of the bucket
+/// containing the rank (≤ 12.5% below the true value). Rank `N` always
+/// reports the exact tracked maximum.
+///
+/// Non-finite observations are ignored.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits and updated by CAS.
+    sum: AtomicU64,
+    /// Min/max as `f64` bits (init +inf / -inf), updated by CAS.
+    min: AtomicU64,
+    max: AtomicU64,
+    raw: Mutex<Vec<f64>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            raw: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bucket index for a finite value.
+    fn index(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < MIN_EXP {
+            return 1;
+        }
+        if exp > MAX_EXP {
+            return NUM_BUCKETS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+        1 + (exp - MIN_EXP) as usize * SUBBUCKETS + sub
+    }
+
+    /// Lower bound of bucket `i` — the representative reported when the
+    /// raw reservoir no longer covers the full count.
+    fn bucket_lower(i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let o = (i - 1) / SUBBUCKETS;
+        let s = (i - 1) % SUBBUCKETS;
+        let base = (MIN_EXP + o as i32) as f64;
+        base.exp2() * (1.0 + s as f64 / SUBBUCKETS as f64)
+    }
+
+    /// Records one observation. Ignores NaN and ±∞.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[Self::index(v)].fetch_add(1, Relaxed);
+        let n = self.count.fetch_add(1, Relaxed);
+        cas_update(&self.sum, |cur| Some(cur + v));
+        cas_update(&self.min, |cur| (v < cur).then_some(v));
+        cas_update(&self.max, |cur| (v > cur).then_some(v));
+        if (n as usize) < RESERVOIR_CAP {
+            let mut raw = self.raw.lock().unwrap();
+            if raw.len() < RESERVOIR_CAP {
+                raw.push(v);
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Relaxed))
+    }
+
+    /// Smallest recorded observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.min.load(Relaxed))
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.max.load(Relaxed))
+    }
+
+    /// Nearest-rank percentile for `q ∈ [0, 1]` (e.g. `0.5` = median):
+    /// the value at rank `⌈q·N⌉` (clamped to `[1, N]`) among the sorted
+    /// observations. Returns 0 when empty. Exact while every observation
+    /// is reservoir-resident; bucket lower bound beyond that.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if rank == count {
+            return self.max();
+        }
+        {
+            let raw = self.raw.lock().unwrap();
+            if raw.len() as u64 == count {
+                let mut sorted = raw.clone();
+                drop(raw);
+                sorted.sort_by(f64::total_cmp);
+                return sorted[(rank - 1) as usize];
+            }
+        }
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Relaxed);
+            if cum >= rank {
+                return if i == 0 {
+                    self.min()
+                } else {
+                    Self::bucket_lower(i)
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Point-in-time summary (count, min/max/sum, p50/p90/p99).
+    pub fn summary(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            sum: self.sum(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Retries a CAS loop over an `AtomicU64` holding `f64` bits; the closure
+/// returns the new value or `None` to leave the cell untouched.
+fn cas_update(cell: &AtomicU64, f: impl Fn(f64) -> Option<f64>) {
+    let mut cur = cell.load(Relaxed);
+    loop {
+        let Some(next) = f(f64::from_bits(cur)) else {
+            return;
+        };
+        match cell.compare_exchange_weak(cur, next.to_bits(), Relaxed, Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations — emitted alongside every percentile so
+    /// readers can judge the resolution (a p90 over 4 samples IS the max).
+    pub count: u64,
+    /// Smallest observation (exact).
+    pub min: f64,
+    /// Largest observation (exact).
+    pub max: f64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Nearest-rank 50th percentile.
+    pub p50: f64,
+    /// Nearest-rank 90th percentile.
+    pub p90: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so the oracle comparison needs no RNG dep.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn oracle_nearest_rank(values: &[f64], q: f64) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn small_counts_match_sorted_vec_oracle_exactly() {
+        // Everything reservoir-resident: percentiles must be bit-exact.
+        let h = Histogram::new();
+        let mut st = 42u64;
+        let values: Vec<f64> = (0..RESERVOIR_CAP).map(|_| lcg(&mut st) * 1e3).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), oracle_nearest_rank(&values, q), "q={q}");
+        }
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.max(), oracle_nearest_rank(&values, 1.0));
+    }
+
+    #[test]
+    fn four_sample_p90_is_the_max_and_says_so() {
+        // The exp_service regression: with 4 publishes p90 rank is
+        // ceil(0.9*4) = 4 — the max. Honest, as long as count is emitted.
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        let s = h.summary("publish");
+        assert_eq!(s.p90, 10.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn large_counts_stay_within_bucket_resolution_of_oracle() {
+        let h = Histogram::new();
+        let mut st = 7u64;
+        // Log-uniform over ~9 orders of magnitude, far beyond the
+        // reservoir, so readout is bucket-resolution.
+        let values: Vec<f64> = (0..20_000)
+            .map(|_| 10f64.powf(lcg(&mut st) * 9.0 - 6.0))
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = oracle_nearest_rank(&values, q);
+            let got = h.percentile(q);
+            assert!(
+                got <= exact && got >= exact * (1.0 - 1.0 / SUBBUCKETS as f64) * 0.999,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), oracle_nearest_rank(&values, 1.0));
+        let mean = h.sum() / h.count() as f64;
+        let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - exact_mean).abs() / exact_mean < 1e-9);
+    }
+
+    #[test]
+    fn zero_negative_and_nonfinite_values() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2, "non-finite must be ignored");
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.percentile(0.5), -5.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn integer_lags_report_exactly_even_past_the_reservoir() {
+        // Epoch lags are small integers recorded many thousands of times;
+        // 1.0 and 2.0 sit on bucket boundaries so even bucket-resolution
+        // readout is exact for them.
+        let h = Histogram::new();
+        for i in 0..10_000u32 {
+            h.record(f64::from(i % 3)); // 0,1,2 evenly
+        }
+        assert_eq!(h.percentile(0.33), 0.0);
+        assert_eq!(h.percentile(0.5), 1.0);
+        assert_eq!(h.percentile(0.9), 2.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8usize;
+        let per = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        h.record((t as u64 * per + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), threads as u64 * per);
+        assert_eq!(h.max(), (threads as u64 * per - 1) as f64);
+        assert_eq!(h.min(), 0.0);
+    }
+}

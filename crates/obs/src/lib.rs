@@ -1,0 +1,296 @@
+//! Zero-dependency observability for the kboost engine.
+//!
+//! This crate is vendored in the same spirit as the `vendor/` shims: the
+//! build environment has no network access, so the usual metrics
+//! ecosystems are out of reach. It provides the minimal surface the
+//! serving engine needs to stop being a black box:
+//!
+//! * a [`Recorder`] trait — the sink interface every instrumented
+//!   subsystem talks to — with a [`NoopRecorder`] default whose methods
+//!   are empty and whose dispatch is skipped entirely by the [`Obs`]
+//!   handle (detached handles hold no recorder at all, so the hot-loop
+//!   cost of instrumentation-off is one predictable branch per chunk or
+//!   stage, never per sample);
+//! * lock-cheap [counters and gauges](MetricsRecorder): name lookup under
+//!   an uncontended `RwLock` read, the update itself a relaxed atomic;
+//! * fixed-bucket log-scaled [`Histogram`]s with nearest-rank
+//!   [percentile](Histogram::percentile) readout, exact while the sample
+//!   count still fits the raw-value reservoir;
+//! * RAII [`SpanTimer`]s for nested stage timing (a span records its
+//!   elapsed seconds into the histogram of the same name on drop);
+//! * a structured event sink with a [JSON-lines
+//!   exporter](MetricsRecorder::to_json_lines) so bench bins and the CLI
+//!   can dump a snapshot.
+//!
+//! # The zero-randomness rule
+//!
+//! Instrumentation must never perturb what it observes. Every entry
+//! point in this crate reads clocks and updates atomics — none consumes
+//! randomness, and none feeds back into sampling decisions. Attaching a
+//! recording sink to an engine therefore leaves every sampled byte,
+//! every arena, and every selection bit-identical to the no-op run; the
+//! determinism suites assert exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kboost_obs::{MetricsRecorder, Obs, Recorder};
+//!
+//! let recorder = Arc::new(MetricsRecorder::new());
+//! let obs = Obs::new(recorder.clone());
+//! obs.counter_add("demo.items", 3);
+//! {
+//!     let _span = obs.span("demo.stage_secs");
+//!     // ... timed work ...
+//! }
+//! let snap = recorder.snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(3));
+//! assert_eq!(snap.histogram("demo.stage_secs").unwrap().count, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hist;
+mod recorder;
+
+pub use hist::{Histogram, HistogramSummary};
+pub use recorder::{EventRecord, MetricsRecorder, MetricsSnapshot, NoopRecorder, Value};
+
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The sink interface instrumented subsystems record into.
+///
+/// All methods take `&self` and must be cheap and non-blocking enough to
+/// call from sampler worker threads; implementations are shared across
+/// threads behind an [`Arc`]. Metric names are `&'static str` so the hot
+/// path never allocates.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Records one observation into the named histogram.
+    fn observe(&self, name: &'static str, value: f64);
+    /// Appends a structured event with the given fields.
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]);
+    /// Returns a point-in-time snapshot of everything recorded so far.
+    ///
+    /// The default (used by [`NoopRecorder`] and custom sinks that do not
+    /// aggregate) returns an empty snapshot.
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+}
+
+thread_local! {
+    /// Current span nesting depth on this thread (enabled handles only).
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Cheap cloneable handle the engine threads through its subsystems.
+///
+/// A detached handle ([`Obs::noop`], the default) holds no recorder: every
+/// entry point is a single `None` check and the [`span`](Obs::span) guard
+/// does not even read the clock. An attached handle forwards to its
+/// [`Recorder`] behind an [`Arc`], so clones are reference-count bumps and
+/// the handle crosses scoped-thread boundaries freely.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Obs(recording)"
+        } else {
+            "Obs(noop)"
+        })
+    }
+}
+
+impl Obs {
+    /// A detached handle: every operation is a no-op.
+    pub fn noop() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A handle forwarding to `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Obs {
+            inner: Some(recorder),
+        }
+    }
+
+    /// `true` when a recorder is attached. Use to gate instrumentation
+    /// whose *inputs* cost something (e.g. reading the clock per chunk).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the named counter (no-op when detached).
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter_add(name, delta);
+        }
+    }
+
+    /// Sets the named gauge (no-op when detached).
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.gauge_set(name, value);
+        }
+    }
+
+    /// Records one histogram observation (no-op when detached).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, value);
+        }
+    }
+
+    /// Appends a structured event (no-op when detached).
+    #[inline]
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        if let Some(r) = &self.inner {
+            r.event(name, fields);
+        }
+    }
+
+    /// Starts an RAII span timer. On drop the guard records the elapsed
+    /// seconds into the histogram named `name`. Detached handles return
+    /// an inert guard that never reads the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanTimer<'_> {
+        let start = if self.inner.is_some() {
+            SPAN_DEPTH.with(|d| d.set(d.get() + 1));
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanTimer {
+            obs: self,
+            name,
+            start,
+        }
+    }
+
+    /// Snapshot of the attached recorder (empty when detached).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(r) => r.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Current span nesting depth on the calling thread. Only spans from
+    /// attached handles count; detached spans are invisible.
+    pub fn current_span_depth() -> u32 {
+        SPAN_DEPTH.with(|d| d.get())
+    }
+}
+
+/// RAII guard created by [`Obs::span`]: records elapsed wall-clock
+/// seconds into the histogram of the same name when dropped.
+///
+/// Spans nest: guards created while another guard is live on the same
+/// thread sit one level deeper (see [`Obs::current_span_depth`]), and a
+/// parent's recorded duration is always ≥ any child's.
+#[must_use = "a span records its duration when dropped; binding it to _ drops it immediately"]
+pub struct SpanTimer<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanTimer<'_> {
+    /// Nesting depth of this span (1 = outermost). Inert guards from
+    /// detached handles report 0.
+    pub fn depth(&self) -> u32 {
+        match self.start {
+            Some(_) => Obs::current_span_depth(),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            self.obs.observe(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing_and_reads_no_clock() {
+        let obs = Obs::noop();
+        assert!(!obs.is_enabled());
+        obs.counter_add("x", 1);
+        obs.gauge_set("y", 2.0);
+        obs.observe("z", 3.0);
+        obs.event("e", &[("k", Value::U64(1))]);
+        let span = obs.span("s");
+        assert!(span.start.is_none(), "detached span must not read clock");
+        assert_eq!(span.depth(), 0);
+        drop(span);
+        assert_eq!(obs.snapshot().counters.len(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_parent_dominates_child() {
+        let rec = Arc::new(MetricsRecorder::new());
+        let obs = Obs::new(rec.clone());
+        {
+            let outer = obs.span("outer_secs");
+            assert_eq!(outer.depth(), 1);
+            {
+                let inner = obs.span("inner_secs");
+                assert_eq!(inner.depth(), 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(Obs::current_span_depth(), 1);
+        }
+        assert_eq!(Obs::current_span_depth(), 0);
+        let snap = rec.snapshot();
+        let outer = snap.histogram("outer_secs").unwrap();
+        let inner = snap.histogram("inner_secs").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Timing monotonicity: the parent encloses the child.
+        assert!(outer.max >= inner.max, "outer {outer:?} < inner {inner:?}");
+        assert!(inner.max >= 0.002, "child span missed the sleep: {inner:?}");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let rec = Arc::new(MetricsRecorder::new());
+        let obs = Obs::new(rec.clone());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        obs.counter_add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("hits"), Some(threads * per_thread));
+    }
+}

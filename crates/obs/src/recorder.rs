@@ -1,0 +1,404 @@
+//! Recorder implementations: the no-op default and the aggregating sink.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::hist::{Histogram, HistogramSummary};
+use crate::Recorder;
+
+/// Bound on retained events; past it events are counted as dropped.
+const EVENT_CAP: usize = 65_536;
+
+/// A field value in a structured event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (no allocation on the recording path).
+    Str(&'static str),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One recorded structured event.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Milliseconds since the recorder was created.
+    pub t_ms: u64,
+    /// Event name.
+    pub name: &'static str,
+    /// Field key/value pairs, in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// The guaranteed-zero-cost default sink: every method is empty.
+///
+/// [`Obs`](crate::Obs) handles built without a recorder skip dispatch
+/// entirely, so this type mostly exists to pass where an explicit
+/// `Arc<dyn Recorder>` is required.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+    fn observe(&self, _name: &'static str, _value: f64) {}
+    fn event(&self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+}
+
+/// The aggregating sink: counters, gauges, histograms and a bounded
+/// event log, all behind lock-cheap access paths.
+///
+/// Registered metrics are keyed by `&'static str`; lookup takes an
+/// uncontended `RwLock` read and the update itself is a relaxed atomic
+/// (counters/gauges) or a [`Histogram::record`]. First use of a name
+/// takes the write lock once to register it.
+pub struct MetricsRecorder {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    events: Mutex<Vec<EventRecord>>,
+    dropped_events: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fetches (or registers) the named cell in a metric registry.
+fn intern<T: Default>(reg: &RwLock<BTreeMap<&'static str, Arc<T>>>, name: &'static str) -> Arc<T> {
+    if let Some(cell) = reg.read().unwrap().get(name) {
+        return cell.clone();
+    }
+    reg.write().unwrap().entry(name).or_default().clone()
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder; event timestamps count from here.
+    pub fn new() -> Self {
+        MetricsRecorder {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            dropped_events: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Direct handle to the named histogram (registering it if new), for
+    /// callers that want [`Histogram::percentile`] readout beyond the
+    /// snapshot summary.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Number of retained events.
+    pub fn events_len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Clones the retained events out of the sink.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Serializes the full recorder state as JSON lines: one object per
+    /// counter, gauge, histogram and event. Every line parses as a
+    /// standalone JSON document with a `"type"` discriminator; histogram
+    /// lines carry `count` next to each percentile so readers can judge
+    /// resolution.
+    pub fn to_json_lines(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snap.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                value
+            ));
+        }
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                json_f64(*value)
+            ));
+        }
+        for h in &snap.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"min\":{},\"max\":{},\
+                 \"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+                json_str(&h.name),
+                h.count,
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.sum),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99)
+            ));
+        }
+        for ev in self.events() {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"name\":{},\"t_ms\":{},\"fields\":{{",
+                json_str(ev.name),
+                ev.t_ms
+            ));
+            for (i, (k, v)) in ev.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(k), json_value(v)));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        intern(&self.counters, name).fetch_add(delta, Relaxed);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        intern(&self.gauges, name).store(value.to_bits(), Relaxed);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        intern(&self.histograms, name).record(value);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let t_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= EVENT_CAP {
+            drop(events);
+            self.dropped_events.fetch_add(1, Relaxed);
+            return;
+        }
+        events.push(EventRecord {
+            t_ms,
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.load(Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), f64::from_bits(v.load(Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| h.summary(k))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events_len() as u64,
+            dropped_events: self.dropped_events.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of everything a [`MetricsRecorder`] aggregated.
+///
+/// Entries are sorted by name. Values recorded concurrently with the
+/// snapshot may or may not be included (each metric is read atomically,
+/// the set is not a global consistent cut).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Summaries of every histogram, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Number of retained events at snapshot time.
+    pub events: u64,
+    /// Events dropped after the retention cap was hit.
+    pub dropped_events: u64,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values (never produced by the recorder's own
+/// metrics, but possible through gauges) serialize as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => json_f64(*x),
+        Value::Bool(x) => x.to_string(),
+        Value::Str(s) => json_str(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip_through_snapshot() {
+        let rec = MetricsRecorder::new();
+        rec.counter_add("a.count", 2);
+        rec.counter_add("a.count", 3);
+        rec.gauge_set("b.gauge", 1.5);
+        rec.gauge_set("b.gauge", 2.5);
+        rec.observe("c.hist", 10.0);
+        rec.observe("c.hist", 20.0);
+        rec.event("d.event", &[("k", Value::U64(7)), ("s", Value::Str("x"))]);
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("b.gauge"), Some(2.5));
+        let h = snap.histogram("c.hist").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 20.0);
+        assert_eq!(snap.events, 1);
+        assert_eq!(snap.dropped_events, 0);
+    }
+
+    #[test]
+    fn json_lines_are_one_parseable_object_each() {
+        let rec = MetricsRecorder::new();
+        rec.counter_add("n", 1);
+        rec.gauge_set("g", -0.25);
+        rec.observe("h", 3.0);
+        rec.event(
+            "e",
+            &[
+                ("why", Value::Str("ro\"ll\\back")),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        let out = rec.to_json_lines();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Minimal structural checks without a JSON parser: balanced
+        // braces, a type tag, and the escaped payload intact.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+        }
+        assert!(out.contains("\"why\":\"ro\\\"ll\\\\back\""), "{out}");
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"p90\":3.0"), "{out}");
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let rec = MetricsRecorder::new();
+        for _ in 0..EVENT_CAP + 5 {
+            rec.event("e", &[]);
+        }
+        assert_eq!(rec.events_len(), EVENT_CAP);
+        assert_eq!(rec.snapshot().dropped_events, 5);
+    }
+
+    #[test]
+    fn noop_recorder_snapshot_is_empty() {
+        let rec = NoopRecorder;
+        rec.counter_add("x", 1);
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 use kboost_core::PrrPool;
 use kboost_graph::{DiGraph, NodeId};
+use kboost_obs::{Obs, Value};
 use kboost_prr::{
     greedy_delta_selection, DeltaSelection, FootprintColumn, FootprintMode, FootprintQuery,
     LegacyFpSource, LegacyPrrSource, LegacySample, NodeIndex, PrrArena, PrrArenaShard,
@@ -358,6 +359,11 @@ pub struct PoolMaintainer {
     /// in place. `None` until a service asks for it — offline consumers
     /// never pay the per-epoch snapshot clone.
     serving: Option<SnapshotService>,
+    /// Observability handle ([`Obs::noop`] unless the engine attached a
+    /// recorder). Instrumentation reads clocks and counters only — never
+    /// randomness — so maintained pools under any recorder are
+    /// bit-identical to the no-op run.
+    obs: Obs,
 }
 
 impl PoolMaintainer {
@@ -376,6 +382,18 @@ impl PoolMaintainer {
         opts: MaintainerOptions,
     ) -> Result<Self, OnlineError> {
         Self::build_within(graph, seeds, opts, &Unlimited, &mut |_, _| {})
+    }
+
+    /// Attaches an observability handle. Subsequent epochs record the
+    /// `online.*` counters/gauges and rollback events, refresh sampling
+    /// feeds the `sampler.*` chunk metrics, and committed-epoch
+    /// publishes time into `serve.publish_secs`; an already-attached
+    /// serving cell is wired up too.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if let Some(serving) = &self.serving {
+            serving.set_obs(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// [`build`](Self::build) under a cooperative stop condition, with a
@@ -399,6 +417,22 @@ impl PoolMaintainer {
         term: &T,
         on_stage: &mut dyn FnMut(u64, &SketchPool<PrrArenaShard>),
     ) -> Result<Self, OnlineError> {
+        Self::build_within_with_obs(graph, seeds, opts, Obs::noop(), term, on_stage)
+    }
+
+    /// [`build_within`](Self::build_within) with an observability handle
+    /// attached *before* the epoch-0 sampling runs, so the initial build's
+    /// chunks feed the `sampler.*` metrics too. The handle stays attached
+    /// to the returned maintainer (no separate [`set_obs`](Self::set_obs)
+    /// call needed).
+    pub fn build_within_with_obs<T: Terminator + ?Sized>(
+        graph: DiGraph,
+        seeds: Vec<NodeId>,
+        opts: MaintainerOptions,
+        obs: Obs,
+        term: &T,
+        on_stage: &mut dyn FnMut(u64, &SketchPool<PrrArenaShard>),
+    ) -> Result<Self, OnlineError> {
         if let Err(message) = opts.staleness.footprint_mode().validate() {
             return Err(OnlineError::Staleness {
                 message: message.to_string(),
@@ -413,6 +447,7 @@ impl PoolMaintainer {
             );
             let mut sketches: SketchPool<PrrArenaShard> =
                 SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+            sketches.set_obs(obs.clone());
             while sketches.total_samples() < opts.target_samples {
                 let stage = (sketches.total_samples() + BUILD_STAGE).min(opts.target_samples);
                 let status = sketches.extend_to_within(&source, stage, term);
@@ -439,6 +474,7 @@ impl PoolMaintainer {
             empty_index: None,
             build_peak_bytes,
             serving: None,
+            obs,
         })
     }
 
@@ -465,7 +501,11 @@ impl PoolMaintainer {
     /// the state the maintainer rolled back to.
     pub fn serving(&mut self) -> SnapshotService {
         if self.serving.is_none() {
-            self.serving = Some(SnapshotService::new(self.snapshot()));
+            let service = SnapshotService::new(self.snapshot());
+            if self.obs.is_enabled() {
+                service.set_obs(self.obs.clone());
+            }
+            self.serving = Some(service);
         }
         self.serving.clone().expect("service just attached")
     }
@@ -650,6 +690,10 @@ impl PoolMaintainer {
             });
         }
         validate_mutations(self.graph.num_nodes(), &batch.mutations)?;
+        // Cloned to a local so span timers never hold a borrow of `self`
+        // across the `&mut self` commit phase.
+        let obs = self.obs.clone();
+        let _apply_span = obs.span("online.epoch.apply_secs");
 
         // Compute phase: nothing below mutates the maintainer. The stale
         // sets depend only on the arena and the batch (the universe size
@@ -662,9 +706,11 @@ impl PoolMaintainer {
         let invalidated = stale.len() as u64 + invalidated_empty;
 
         let refresh = if invalidated > 0 {
+            let _refresh_span = obs.span("online.epoch.refresh_secs");
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut refresh: SketchPool<PrrArenaShard> =
                     SketchPool::with_epoch(self.opts.base_seed, batch.epoch, self.opts.threads);
+                refresh.set_obs(obs.clone());
                 // A fresh source per epoch also rebuilds the kernel's SoA
                 // in-edge mirror against the mutated graph — mirror
                 // coherence is by construction, never by invalidation.
@@ -682,16 +728,32 @@ impl PoolMaintainer {
             }));
             match outcome {
                 Err(_) => {
+                    obs.counter_add("online.rollbacks", 1);
+                    obs.event(
+                        "online.rollback",
+                        &[
+                            ("epoch", Value::from(batch.epoch)),
+                            ("cause", Value::from("panicked")),
+                        ],
+                    );
                     return Err(OnlineError::Interrupted {
                         epoch: batch.epoch,
                         cause: InterruptCause::Panicked,
-                    })
+                    });
                 }
                 Ok((_, ExtendStatus::Interrupted)) => {
+                    obs.counter_add("online.rollbacks", 1);
+                    obs.event(
+                        "online.rollback",
+                        &[
+                            ("epoch", Value::from(batch.epoch)),
+                            ("cause", Value::from("cancelled")),
+                        ],
+                    );
                     return Err(OnlineError::Interrupted {
                         epoch: batch.epoch,
                         cause: InterruptCause::Cancelled,
-                    })
+                    });
                 }
                 Ok((refresh, ExtendStatus::Completed)) => Some(refresh),
             }
@@ -770,10 +832,16 @@ impl PoolMaintainer {
         // epoch keep their Arc untouched — publication is a pointer
         // swap, never an in-place mutation of a published snapshot.
         if let Some(serving) = &self.serving {
+            // The snapshot clone dominates publish cost, so it is timed
+            // here rather than inside the pointer-swap `publish`.
+            let timer = obs.is_enabled().then(std::time::Instant::now);
             serving.publish(self.snapshot());
+            if let Some(start) = timer {
+                obs.observe("serve.publish_secs", start.elapsed().as_secs_f64());
+            }
         }
 
-        Ok(EpochReport {
+        let report = EpochReport {
             epoch: self.epoch,
             invalidated,
             invalidated_empty,
@@ -782,7 +850,27 @@ impl PoolMaintainer {
             compacted,
             live_graphs: self.pool.arena().num_live() as u64,
             dead_graphs: self.pool.arena().num_dead() as u64,
-        })
+        };
+        if obs.is_enabled() {
+            obs.counter_add("online.epochs", 1);
+            obs.counter_add("online.invalidated", invalidated);
+            obs.counter_add("online.invalidated_empty", invalidated_empty);
+            obs.counter_add("online.resampled", drawn_stored + drawn_empty);
+            obs.counter_add("online.compactions", compacted as u64);
+            obs.gauge_set("online.epoch", report.epoch as f64);
+            obs.gauge_set("online.live_graphs", report.live_graphs as f64);
+            obs.gauge_set("online.dead_graphs", report.dead_graphs as f64);
+            obs.event(
+                "online.epoch_commit",
+                &[
+                    ("epoch", Value::from(report.epoch)),
+                    ("invalidated", Value::from(invalidated)),
+                    ("resampled", Value::from(drawn_stored + drawn_empty)),
+                    ("compacted", Value::from(compacted)),
+                ],
+            );
+        }
+        Ok(report)
     }
 }
 

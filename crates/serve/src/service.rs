@@ -1,7 +1,9 @@
 //! [`SnapshotService`] — the publisher↔readers handle over a
 //! [`SnapSwap`] of [`PoolSnapshot`]s.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use kboost_obs::Obs;
 
 use crate::snapshot::PoolSnapshot;
 use crate::swap::SnapSwap;
@@ -28,6 +30,10 @@ pub struct ServeStats {
 #[derive(Clone)]
 pub struct SnapshotService {
     cell: Arc<SnapSwap<PoolSnapshot>>,
+    /// Observability handle, shared by every clone of the service (set
+    /// once, usually by the engine when a recorder is attached — clones
+    /// taken before or after all see it).
+    obs: Arc<OnceLock<Obs>>,
 }
 
 impl SnapshotService {
@@ -35,13 +41,33 @@ impl SnapshotService {
     pub fn new(snapshot: PoolSnapshot) -> Self {
         SnapshotService {
             cell: Arc::new(SnapSwap::new(Arc::new(snapshot))),
+            obs: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Attaches an observability handle shared across all clones of this
+    /// service (first caller wins). Publishes then maintain the
+    /// `serve.publishes` counter and `serve.live_pins` gauge, pins count
+    /// into `serve.pins`, and [`record_query`](Self::record_query) feeds
+    /// the `serve.queries` counter and `serve.epoch_lag` histogram.
+    /// Instrumentation reads no randomness and never touches snapshot
+    /// contents.
+    pub fn set_obs(&self, obs: Obs) {
+        let _ = self.obs.set(obs);
+    }
+
+    #[inline]
+    fn obs(&self) -> Option<&Obs> {
+        self.obs.get().filter(|obs| obs.is_enabled())
     }
 
     /// Pins the latest published snapshot. The returned `Arc` keeps its
     /// epoch's pool alive — and byte-identical — for as long as the pin
     /// is held, regardless of how many epochs publish meanwhile.
     pub fn pin(&self) -> Arc<PoolSnapshot> {
+        if let Some(obs) = self.obs() {
+            obs.counter_add("serve.pins", 1);
+        }
         self.cell.load()
     }
 
@@ -52,7 +78,28 @@ impl SnapshotService {
     ///
     /// [`pin`]: Self::pin
     pub fn publish(&self, snapshot: PoolSnapshot) -> Arc<PoolSnapshot> {
-        self.cell.publish(Arc::new(snapshot))
+        let replaced = self.cell.publish(Arc::new(snapshot));
+        if let Some(obs) = self.obs() {
+            obs.counter_add("serve.publishes", 1);
+            obs.gauge_set("serve.live_pins", self.cell.pinned_estimate() as f64);
+        }
+        replaced
+    }
+
+    /// Records that `sets` candidate sets were served from `pinned`:
+    /// bumps `serve.queries` and observes the pin's epoch lag (head
+    /// epoch minus pinned epoch) into `serve.epoch_lag`. A no-op without
+    /// an attached recorder, so query workers can call it
+    /// unconditionally.
+    pub fn record_query(&self, pinned: &PoolSnapshot, sets: u64) {
+        if let Some(obs) = self.obs() {
+            obs.counter_add("serve.queries", sets);
+            let head = self.cell.load().epoch();
+            obs.observe(
+                "serve.epoch_lag",
+                head.saturating_sub(pinned.epoch()) as f64,
+            );
+        }
     }
 
     /// Current publish/epoch statistics.

@@ -1,6 +1,6 @@
 //! [`PoolSnapshot`] — one epoch's frozen `(graph, seeds, pool)` triple.
 
-use kboost_core::PrrPool;
+use kboost_core::{EvalManyScratch, PrrPool};
 use kboost_graph::{DiGraph, NodeId};
 
 /// An immutable, epoch-stamped copy of a maintained PRR pool and the
@@ -74,5 +74,17 @@ impl PoolSnapshot {
     /// `tests/serve.rs` asserts it on ER/PA/gadget pools).
     pub fn evaluate_many(&self, candidates: &[Vec<NodeId>]) -> Vec<(f64, f64)> {
         self.pool.evaluate_many(candidates)
+    }
+
+    /// [`evaluate_many`](Self::evaluate_many) with a caller-owned
+    /// [`EvalManyScratch`]: a query worker looping over batches reuses
+    /// one workspace instead of allocating per call. Bit-for-bit equal
+    /// to the allocating path.
+    pub fn evaluate_many_with(
+        &self,
+        candidates: &[Vec<NodeId>],
+        scratch: &mut EvalManyScratch,
+    ) -> Vec<(f64, f64)> {
+        self.pool.evaluate_many_with(candidates, scratch)
     }
 }

@@ -94,6 +94,21 @@ impl<T> SnapSwap<T> {
     pub fn publishes(&self) -> u64 {
         self.publishes.load(Ordering::Relaxed)
     }
+
+    /// Estimated number of outstanding reader pins: the `Arc` strong
+    /// counts of both slots minus the slots' own references. Racy by
+    /// nature (readers may be mid-clone), so a momentary estimate — it
+    /// feeds the `serve.live_pins` gauge, not any invariant.
+    pub fn pinned_estimate(&self) -> u64 {
+        let a = self.slots[0].read().expect("snapshot slot poisoned");
+        let b = self.slots[1].read().expect("snapshot slot poisoned");
+        if Arc::ptr_eq(&a, &b) {
+            Arc::strong_count(&a).saturating_sub(2) as u64
+        } else {
+            (Arc::strong_count(&a).saturating_sub(1) + Arc::strong_count(&b).saturating_sub(1))
+                as u64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,19 +16,29 @@
 //! * `evaluate_many` (one arena traversal for a whole candidate batch)
 //!   matches the per-set `Engine::evaluate` oracle bit-for-bit;
 //! * a malformed batch is still a typed rejection, and the service keeps
-//!   serving the last committed epoch.
+//!   serving the last committed epoch;
+//! * the attached [`MetricsRecorder`] sees the whole lifecycle — solve
+//!   stages, sampler chunks, epoch commits, publishes, pins, lag —
+//!   without perturbing a single sampled byte, and
+//!   [`Engine::metrics`](kboost::engine::Engine::metrics) reads it back
+//!   at the end. Set `KBOOST_OBS_JSONL=/path/to/file` to also dump the
+//!   full export as JSON lines.
 //!
 //! Run with: `cargo run --release --example boost_service`
 //!
 //! [`Engine::serving`]: kboost::engine::Engine::serving
+//! [`MetricsRecorder`]: kboost::obs::MetricsRecorder
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use kboost::core::EvalManyScratch;
 use kboost::engine::{
     Algorithm, EdgeProbs, EngineBuilder, KboostError, MutationLog, NodeId, Sampling,
 };
 use kboost::graph::generators::preferential_attachment;
 use kboost::graph::probability::{boost_probability, ProbabilityModel};
+use kboost::obs::MetricsRecorder;
 use kboost::rrset::seeds::select_random_nodes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -61,12 +71,14 @@ fn main() {
     // Online mode (fixed-size sampling + shard pipeline) is what makes a
     // serving cell possible: the maintainer owns the pool and publishes
     // a snapshot per committed epoch.
+    let recorder = Arc::new(MetricsRecorder::new());
     let mut engine = EngineBuilder::new(g.clone())
         .seeds(seeds)
         .k(20)
         .threads(2)
         .seed(42)
         .sampling(Sampling::Fixed { samples: 20_000 })
+        .recorder(recorder.clone())
         .build()
         .expect("valid engine configuration");
 
@@ -125,6 +137,9 @@ fn main() {
             s.spawn(move || {
                 let mut served = 0u64;
                 let mut last_epoch = 0u64;
+                // One reusable workspace per worker — the batched kernel
+                // allocates nothing per call.
+                let mut scratch = EvalManyScratch::default();
                 while !stop.load(Ordering::Relaxed) {
                     let snap = service.pin();
                     assert!(
@@ -132,9 +147,11 @@ fn main() {
                         "published epochs must be monotone"
                     );
                     last_epoch = snap.epoch();
-                    let batch = snap.evaluate_many(candidates);
-                    // Same pin ⇒ same frozen pool ⇒ identical answers.
+                    let batch = snap.evaluate_many_with(candidates, &mut scratch);
+                    // Same pin ⇒ same frozen pool ⇒ identical answers,
+                    // scratch or allocating path.
                     assert_eq!(snap.evaluate_many(candidates), batch);
+                    service.record_query(&snap, batch.len() as u64);
                     served += batch.len() as u64;
                 }
                 queries.fetch_add(served, Ordering::Relaxed);
@@ -204,4 +221,58 @@ fn main() {
         stats.publishes,
         stats.epoch,
     );
+
+    // The recorder watched the whole lifecycle without consuming any
+    // randomness — every assertion above held with it attached.
+    let metrics = engine.metrics();
+    println!("\nfinal metrics snapshot (Engine::metrics):");
+    println!(
+        "  solves = {}, sampler chunks = {}, samples drawn = {}",
+        metrics.counter("engine.solves").unwrap_or(0),
+        metrics.counter("sampler.chunks").unwrap_or(0),
+        metrics.counter("sampler.samples").unwrap_or(0),
+    );
+    println!(
+        "  epochs committed = {}, invalidated = {}, resampled = {}, rollbacks = {}",
+        metrics.counter("online.epochs").unwrap_or(0),
+        metrics.counter("online.invalidated").unwrap_or(0),
+        metrics.counter("online.resampled").unwrap_or(0),
+        metrics.counter("online.rollbacks").unwrap_or(0),
+    );
+    println!(
+        "  publishes = {}, pins = {}, queries = {}",
+        metrics.counter("serve.publishes").unwrap_or(0),
+        metrics.counter("serve.pins").unwrap_or(0),
+        metrics.counter("serve.queries").unwrap_or(0),
+    );
+    if let Some(publish) = metrics.histogram("serve.publish_secs") {
+        println!(
+            "  publish latency: p50 {:.2} ms, p90 {:.2} ms, max {:.2} ms (n={})",
+            publish.p50 * 1e3,
+            publish.p90 * 1e3,
+            publish.max * 1e3,
+            publish.count,
+        );
+    }
+    if let Some(lag) = metrics.histogram("serve.epoch_lag") {
+        println!(
+            "  epoch lag: p50 {:.1}, p90 {:.1}, max {:.1} epochs (n={})",
+            lag.p50, lag.p90, lag.max, lag.count,
+        );
+    }
+    assert!(metrics.counter("engine.solves").unwrap_or(0) >= 1);
+    assert!(metrics.counter("sampler.chunks").unwrap_or(0) >= 1);
+    assert_eq!(metrics.counter("online.epochs"), Some(EPOCHS));
+    assert!(metrics
+        .histogram("serve.publish_secs")
+        .is_some_and(|h| h.count == EPOCHS));
+    assert!(metrics
+        .histogram("serve.epoch_lag")
+        .is_some_and(|h| h.count > 0));
+
+    // Optional machine-readable export for CI and offline analysis.
+    if let Ok(path) = std::env::var("KBOOST_OBS_JSONL") {
+        std::fs::write(&path, recorder.to_json_lines()).expect("write JSONL export");
+        println!("wrote metrics export to {path}");
+    }
 }

@@ -71,6 +71,9 @@
 //! * [`serve`] — concurrent query serving: epoch-pinned immutable pool
 //!   snapshots published by pointer swap, and the batched
 //!   `evaluate_many` query surface.
+//! * [`obs`] — vendored zero-dependency observability: counters,
+//!   gauges, log-bucketed histograms, span timers and a JSONL event
+//!   sink behind one `Recorder` trait (see **Observability** below).
 //! * [`tree`] — bidirected-tree algorithms: linear-time exact boosted
 //!   influence (Lemmas 5–7), Greedy-Boost, and the DP-Boost FPTAS.
 //! * [`baselines`] — HighDegreeGlobal/Local, PageRank, MoreSeeds, Random.
@@ -248,7 +251,52 @@
 //!   equivalence oracle.
 //!
 //! `BENCH_service.json` records sustained queries/sec under mutation
-//! churn, snapshot-publish latency, and epoch-lag percentiles.
+//! churn, snapshot-publish latency, and epoch-lag percentiles — all
+//! read back from the obs histograms the lifecycle itself feeds.
+//!
+//! # Observability
+//!
+//! [`obs`] is a vendored, zero-dependency metrics layer (no `metrics`
+//! or `tracing` crates offline): one [`obs::Recorder`] trait behind an
+//! [`obs::Obs`] handle, with lock-cheap counters and gauges,
+//! fixed-bucket log-scaled histograms with nearest-rank percentile
+//! readout, RAII span timers for nested stage timing, and a bounded
+//! structured-event sink exportable as JSON lines. Attach a sink with
+//! [`engine::EngineBuilder::recorder`] and read it back with
+//! [`engine::Engine::metrics`]; four hot lifecycles feed it:
+//!
+//! * **solve** — `engine.solve.{build,convert,select,total}_secs`
+//!   stage histograms, `engine.budget_tick` events at sampling stage
+//!   boundaries, and the honest `engine.achieved_epsilon` gauge;
+//! * **sampler** — per chunk: `sampler.chunk_secs`,
+//!   `sampler.chunk_samples_per_sec`, and the
+//!   `sampler.{chunks,samples,rng_refills}` counters (a refill is one
+//!   per-chunk RNG reseed from the deterministic schedule);
+//! * **online epochs** — `online.{epochs,invalidated,resampled,
+//!   compactions,rollbacks}` counters, `online.epoch.{apply,refresh}_secs`
+//!   spans, `online.epoch_commit` / `online.rollback` (with cause)
+//!   events;
+//! * **serving** — the `serve.publish_secs` latency histogram (snapshot
+//!   clone + pointer swap), the `serve.epoch_lag` histogram fed by
+//!   [`serve::SnapshotService::record_query`], the `serve.live_pins`
+//!   gauge, and `serve.{pins,publishes,queries}` counters.
+//!
+//! The contract, enforced by `tests/obs.rs`:
+//!
+//! * **Zero perturbation**: instrumentation reads clocks and bumps
+//!   atomics — it **never consumes randomness**. A full lifecycle
+//!   (build, solve, mutation epochs, serving) under an attached
+//!   [`obs::MetricsRecorder`] is **byte-identical** to the no-op run,
+//!   at any thread count (property-tested at 1 and 7 threads over
+//!   random churn histories, arenas compared bitwise).
+//! * **Zero cost detached**: without a recorder each instrumentation
+//!   point is one predicted-not-taken branch on an `Option` — no clock
+//!   reads, no allocation, nothing per *sample* ever (hot loops record
+//!   per chunk or per stage only).
+//! * **Honest percentiles**: histogram readout is nearest-rank — exact
+//!   over the retained raw reservoir, bucket-lower-bound (≤ 12.5 % low)
+//!   beyond it — and every summary carries its sample count, because a
+//!   p90 over 4 publishes *is* the max and the JSON should say so.
 //!
 //! # Latency contract & transactional epochs
 //!
@@ -292,6 +340,7 @@ pub use kboost_datasets as datasets;
 pub use kboost_diffusion as diffusion;
 pub use kboost_engine as engine;
 pub use kboost_graph as graph;
+pub use kboost_obs as obs;
 pub use kboost_online as online;
 pub use kboost_prr as prr;
 pub use kboost_rrset as rrset;

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use kboost::core::PrrPool;
+use kboost::core::{EvalManyScratch, PrrPool};
 use kboost::graph::generators::{
     erdos_renyi, preferential_attachment, set_cover_gadget, SetCoverInstance,
 };
@@ -256,6 +256,14 @@ fn property_pools() -> &'static Vec<(String, u32, PrrPool)> {
     })
 }
 
+thread_local! {
+    /// Shared across property cases so the workspace is exercised dirty:
+    /// whatever the previous case (and pool shape) left behind must not
+    /// leak into the next evaluation.
+    static SCRATCH: std::cell::RefCell<EvalManyScratch> =
+        std::cell::RefCell::new(EvalManyScratch::default());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -275,6 +283,17 @@ proptest! {
                 .collect();
             let batched = pool.evaluate_many(&candidates);
             prop_assert_eq!(batched.len(), candidates.len());
+            // The caller-owned-workspace path is byte-identical to the
+            // allocating path, including when the scratch is reused dirty
+            // across pools of different shapes and sizes.
+            let scratch = SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                let first = pool.evaluate_many_with(&candidates, &mut scratch);
+                let second = pool.evaluate_many_with(&candidates, &mut scratch);
+                (first, second)
+            });
+            prop_assert_eq!(&scratch.0, &batched, "{} pool: scratch path diverged", name);
+            prop_assert_eq!(&scratch.1, &batched, "{} pool: dirty-scratch rerun diverged", name);
             for (c, &(delta, mu)) in candidates.iter().zip(&batched) {
                 let d_oracle = pool.delta_hat(c);
                 let m_oracle = pool.mu_hat(c);
