@@ -51,6 +51,21 @@
 //! reported. The exact run is also re-executed at every thread count
 //! and must be bit-identical.
 //!
+//! Two further phases cover the production staleness tiers:
+//!
+//! * **Memory tiers** — the same history under `ExactCompressed`
+//!   (verdicts asserted identical to sorted exact, bytes asserted
+//!   never above sorted) and `ExactHybrid { bloom_above: 16 }`
+//!   (never-miss asserted; peak footprint bytes asserted under a hard
+//!   40 MiB budget at the default scale), per-epoch byte curves in
+//!   `memory_tiers`.
+//! * **Trace tier** — `ExactTrace` at a reduced pool size: each epoch's
+//!   conditional replay must stay byte-equal to the from-scratch trace
+//!   replay of the history prefix (`drift` asserted exactly zero), and
+//!   the probe gap against an independent fresh pool over the mutated
+//!   graph is recorded as `freshness_gap` (the statistical freshness
+//!   assert lives in `tests/estimator_accuracy.rs`).
+//!
 //! ```text
 //! cargo run --release -p kboost-bench --bin exp_online -- \
 //!     [--nodes N] [--samples N] [--k N] [--epochs N] [--churn F] \
@@ -445,7 +460,7 @@ fn main() {
     let mut exact_engine = build_engine_mode(&g0, &seeds, &opts, primary, Staleness::Exact);
     exact_engine.pool().expect("pool built");
     let exact_build_secs = t.elapsed().as_secs_f64();
-    {
+    let sorted_fp0 = {
         let arena = exact_engine.pool().expect("pool built").arena();
         eprintln!(
             "[exact epoch 0] built in {exact_build_secs:.2}s; footprints {} KiB over a {} KiB \
@@ -454,7 +469,8 @@ fn main() {
             arena.memory_bytes() / 1024,
             100.0 * arena.footprint_memory_bytes() as f64 / arena.memory_bytes().max(1) as f64,
         );
-    }
+        arena.footprint_memory_bytes()
+    };
 
     struct ExactPoint {
         epoch: u64,
@@ -548,6 +564,196 @@ fn main() {
         eprintln!("[exact determinism] {threads} threads: bit-identical to {primary}-thread run");
     }
 
+    // ---- Memory tiers: compressed + hybrid footprints, same history ---
+    //
+    // Each tier replays the identical epoch sequence and records its
+    // footprint bytes per epoch (index 0 = the initial build). The
+    // compressed tier must answer bit-identically to sorted exact
+    // storage (same epoch reports) while never spending more footprint
+    // bytes; the hybrid tier caps the heavy tail with fingerprints and
+    // must stay under a hard byte budget at the default scale.
+    const HYBRID_BLOOM_ABOVE: u32 = 16;
+    const HYBRID_CAP_BYTES: usize = 40 * 1024 * 1024;
+    let run_tier = |staleness: Staleness| -> (f64, Vec<usize>, Vec<kboost_online::EpochReport>) {
+        let t = Instant::now();
+        let mut m = build_engine_mode(&g0, &seeds, &opts, primary, staleness);
+        m.pool().expect("pool built");
+        let build_secs = t.elapsed().as_secs_f64();
+        let mut bytes = vec![m
+            .pool()
+            .expect("pool built")
+            .arena()
+            .footprint_memory_bytes()];
+        let mut tier_reports = Vec::new();
+        for batch in &history {
+            let report = m.apply_mutations(batch).expect("contiguous epoch");
+            bytes.push(
+                m.pool()
+                    .expect("pool built")
+                    .arena()
+                    .footprint_memory_bytes(),
+            );
+            tier_reports.push(report);
+        }
+        (build_secs, bytes, tier_reports)
+    };
+    let sorted_bytes: Vec<usize> = std::iter::once(sorted_fp0)
+        .chain(exact_points.iter().map(|p| p.footprint_bytes))
+        .collect();
+    let (compressed_build_secs, compressed_bytes, compressed_reports) =
+        run_tier(Staleness::ExactCompressed);
+    for (i, (report, expect)) in compressed_reports.iter().zip(&exact_reports).enumerate() {
+        assert_eq!(
+            report,
+            expect,
+            "compressed tier verdicts diverged from sorted exact at epoch {}",
+            i + 1
+        );
+    }
+    for (i, (&c, &s)) in compressed_bytes.iter().zip(&sorted_bytes).enumerate() {
+        assert!(
+            c <= s,
+            "compressed footprints ({c} B) exceed sorted ({s} B) at epoch {i}"
+        );
+    }
+    let (hybrid_build_secs, hybrid_bytes, hybrid_reports) = run_tier(Staleness::ExactHybrid {
+        bloom_above: HYBRID_BLOOM_ABOVE,
+    });
+    // Never-miss is a per-query property against a shared pool state;
+    // the pools only coincide before the first refresh (the epoch-0
+    // build is footprint-mode-independent), so the count comparison is
+    // meaningful at epoch 1 alone — after an over-refresh the hybrid
+    // pool's sample population diverges. The per-query guarantee across
+    // arbitrary states is property-tested in `footprint_properties`.
+    if let (Some(report), Some(expect)) = (hybrid_reports.first(), exact_reports.first()) {
+        assert!(
+            report.invalidated >= expect.invalidated,
+            "hybrid tier under-detected stale samples at epoch 1"
+        );
+    }
+    let hybrid_peak = hybrid_bytes.iter().copied().max().unwrap_or(0);
+    assert!(
+        hybrid_peak <= HYBRID_CAP_BYTES,
+        "hybrid footprints peak at {hybrid_peak} B, over the {HYBRID_CAP_BYTES} B budget"
+    );
+    eprintln!(
+        "[memory tiers] footprint bytes per epoch — sorted {:?}, compressed {:?}, hybrid {:?} \
+         (peak {:.1} MiB ≤ {} MiB budget)",
+        sorted_bytes,
+        compressed_bytes,
+        hybrid_bytes,
+        hybrid_peak as f64 / (1024.0 * 1024.0),
+        HYBRID_CAP_BYTES / (1024 * 1024),
+    );
+
+    // ---- Trace tier: conditional replay, distribution-fresh ----------
+    //
+    // Retaining phase-I coin outcomes costs trace bytes per sample, so
+    // the freshness leg runs at a reduced pool size. Per epoch the
+    // replayed pool must stay byte-equal to the from-scratch trace
+    // replay of the history prefix (zero drift); the probe gap against
+    // an *independent* fresh pool over the mutated graph is recorded as
+    // `freshness_gap` (stochastic — asserted statistically in
+    // `tests/estimator_accuracy.rs`, recorded here for trend tracking).
+    let trace_samples = (opts.samples / 8).max(1_000);
+    let trace_opts = MaintainerOptions {
+        target_samples: trace_samples,
+        staleness: Staleness::ExactTrace,
+        ..oracle_opts
+    };
+    let t = Instant::now();
+    let mut trace_engine = EngineBuilder::new(g0.clone())
+        .seeds(seeds.to_vec())
+        .k(opts.k)
+        .threads(primary)
+        .seed(opts.seed)
+        .sampling(Sampling::Fixed {
+            samples: trace_samples,
+        })
+        .compact_threshold(opts.compact_threshold)
+        .staleness(Staleness::ExactTrace)
+        .build()
+        .expect("valid engine configuration");
+    trace_engine.pool().expect("pool built");
+    let trace_build_secs = t.elapsed().as_secs_f64();
+
+    struct TracePoint {
+        epoch: u64,
+        invalidated: u64,
+        invalidated_empty: u64,
+        replay_secs: f64,
+        footprint_bytes: usize,
+        delta_inc: f64,
+        delta_rebuild: f64,
+        drift: f64,
+        probe_fresh: f64,
+        freshness_gap: f64,
+    }
+    let mut trace_points: Vec<TracePoint> = Vec::new();
+    for (i, batch) in history.iter().enumerate() {
+        let t = Instant::now();
+        let report = trace_engine
+            .apply_mutations(batch)
+            .expect("contiguous epoch");
+        let replay_secs = t.elapsed().as_secs_f64();
+
+        let (_g, rebuilt) = rebuild_from_history(&g0, &seeds, &trace_opts, &history[..=i]);
+        {
+            let pool = trace_engine.pool().expect("pool built");
+            assert_eq!(pool.total_samples(), rebuilt.total_samples());
+            assert_eq!(pool.empty_samples(), rebuilt.empty_samples());
+            assert!(
+                pool.arena().compacted() == *rebuilt.arena(),
+                "trace replay diverged from the trace rebuild oracle at epoch {}",
+                report.epoch
+            );
+        }
+        let probe = probe_set(trace_engine.graph(), &seeds, opts.k);
+        let delta_inc = trace_engine.delta_hat(&probe).expect("pool built");
+        let delta_rebuild = rebuilt.delta_hat(&probe);
+        let drift = (delta_inc - delta_rebuild).abs();
+        assert_eq!(drift, 0.0, "trace tier must have zero replay drift");
+
+        // Independent fresh pool over the mutated graph, same size.
+        let mut fresh = EngineBuilder::new(trace_engine.graph().clone())
+            .seeds(seeds.to_vec())
+            .k(opts.k)
+            .threads(primary)
+            .seed(epoch_stream_seed(opts.seed ^ 0xF4E5, report.epoch))
+            .sampling(Sampling::Fixed {
+                samples: trace_samples,
+            })
+            .build()
+            .expect("valid engine configuration");
+        let probe_fresh = fresh.delta_hat(&probe).expect("pool built");
+        let freshness_gap = (delta_inc - probe_fresh).abs();
+
+        let footprint_bytes = trace_engine
+            .pool()
+            .expect("pool built")
+            .arena()
+            .footprint_memory_bytes();
+        eprintln!(
+            "[trace epoch {}] replayed {} stale ({} empty) in {replay_secs:.2}s; \
+             Δ̂ {delta_inc:.2} == rebuild {delta_rebuild:.2} (drift 0); \
+             fresh pool Δ̂ {probe_fresh:.2} (gap {freshness_gap:.2})",
+            report.epoch, report.invalidated, report.invalidated_empty,
+        );
+        trace_points.push(TracePoint {
+            epoch: report.epoch,
+            invalidated: report.invalidated,
+            invalidated_empty: report.invalidated_empty,
+            replay_secs,
+            footprint_bytes,
+            delta_inc,
+            delta_rebuild,
+            drift,
+            probe_fresh,
+            freshness_gap,
+        });
+    }
+    let trace_max_drift = trace_points.iter().map(|p| p.drift).fold(0.0f64, f64::max);
+
     let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;
     let min_speedup = points
         .iter()
@@ -606,6 +812,36 @@ fn main() {
         .iter()
         .map(|p| p.drift_approx)
         .fold(0.0f64, f64::max);
+    let trace_epoch_json: Vec<String> = trace_points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"epoch\": {}, \"invalidated\": {}, \"invalidated_empty\": {}, \
+                 \"replay_secs\": {:.4}, \"footprint_bytes\": {}, \
+                 \"delta_hat_incremental\": {:.4}, \"delta_hat_rebuild\": {:.4}, \
+                 \"drift\": {:.4}, \"probe_delta_fresh\": {:.4}, \"freshness_gap\": {:.4} }}",
+                p.epoch,
+                p.invalidated,
+                p.invalidated_empty,
+                p.replay_secs,
+                p.footprint_bytes,
+                p.delta_inc,
+                p.delta_rebuild,
+                p.drift,
+                p.probe_fresh,
+                p.freshness_gap,
+            )
+        })
+        .collect();
+    let memory_tiers_json = format!(
+        "{{\n    \"hybrid_bloom_above\": {HYBRID_BLOOM_ABOVE},\n    \
+         \"hybrid_cap_bytes\": {HYBRID_CAP_BYTES},\n    \
+         \"compressed_build_secs\": {compressed_build_secs:.4},\n    \
+         \"hybrid_build_secs\": {hybrid_build_secs:.4},\n    \
+         \"sorted_bytes\": {sorted_bytes:?},\n    \
+         \"compressed_bytes\": {compressed_bytes:?},\n    \
+         \"hybrid_bytes\": {hybrid_bytes:?}\n  }}"
+    );
     // Box context: a 1-core box makes any thread sweep meaningless, so
     // the JSON must say so (CI gates the presence of these fields).
     let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -617,7 +853,10 @@ fn main() {
          \"boostable_epoch0\": {},\n  \"mean_speedup\": {:.2},\n  \"min_speedup\": {:.2},\n  \
          \"epochs\": [\n{}\n  ],\n  \"exact\": {{\n    \"staleness\": \"exact\",\n    \
          \"build_secs\": {:.4},\n    \"max_drift\": {:.4},\n    \
-         \"max_drift_approximate\": {:.4},\n    \"epochs\": [\n{}\n    ]\n  }}\n}}\n",
+         \"max_drift_approximate\": {:.4},\n    \"epochs\": [\n{}\n    ]\n  }},\n  \
+         \"memory_tiers\": {},\n  \"trace\": {{\n    \"staleness\": \"exact_trace\",\n    \
+         \"samples\": {},\n    \"build_secs\": {:.4},\n    \"max_drift\": {:.4},\n    \
+         \"epochs\": [\n{}\n    ]\n  }}\n}}\n",
         g0.num_nodes(),
         g0.num_edges(),
         seeds.len(),
@@ -638,8 +877,17 @@ fn main() {
         max_drift,
         max_drift_approx,
         exact_epoch_json.join(",\n"),
+        memory_tiers_json,
+        trace_samples,
+        trace_build_secs,
+        trace_max_drift,
+        trace_epoch_json.join(",\n"),
     );
     assert_eq!(max_drift, 0.0, "recorded exact-mode drift must be zero");
+    assert_eq!(
+        trace_max_drift, 0.0,
+        "recorded trace-replay drift must be zero"
+    );
     std::fs::write(&opts.out, &json).expect("write BENCH_online.json");
     println!("{json}");
     eprintln!("wrote {}", opts.out);

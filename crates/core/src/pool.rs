@@ -65,9 +65,15 @@ impl PrrPool {
     /// sketch covers are dropped — critical sets are stored once, in the
     /// arena.
     pub fn new(inner: SketchPool<PrrArenaShard>, n: usize, threads: usize) -> Self {
-        let (_covers, shard, total, empties) = inner.into_parts();
+        let (_covers, shard, total, _cover_empties) = inner.into_parts();
+        let arena = PrrArena::from_shard(shard);
+        // The sketch pool counts *cover-less* samples; the pool's empty
+        // count means *not stored* (activated / hopeless). Cover-less
+        // boostable graphs are stored with an empty cover, so derive
+        // empties from storage.
+        let empties = total - arena.len() as u64;
         PrrPool {
-            arena: PrrArena::from_shard(shard),
+            arena,
             n,
             total,
             empties,
@@ -80,7 +86,8 @@ impl PrrPool {
     /// pipeline). Kept so tests can assert the shard path is byte-equal;
     /// do not use outside tests/benches.
     pub fn from_legacy(inner: SketchPool<Vec<CompressedPrr>>, n: usize, threads: usize) -> Self {
-        let (_covers, payloads, total, empties) = inner.into_parts();
+        let (_covers, payloads, total, _cover_empties) = inner.into_parts();
+        let empties = total - payloads.len() as u64;
         PrrPool {
             arena: PrrArena::from_graphs(payloads),
             n,

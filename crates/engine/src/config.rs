@@ -233,7 +233,13 @@ impl EngineBuilder {
     /// [`Staleness::Approximate`]). The exact modes retain a per-sample
     /// edge-space footprint so mutations invalidate exactly the samples
     /// whose generation queried them — zero estimator drift at the cost
-    /// of footprint memory ([`SolveStats::footprint_bytes`]). Requires
+    /// of footprint memory ([`SolveStats::footprint_bytes`]). Memory
+    /// tiers: `Exact` stores sorted lists, `ExactCompressed` delta-varint
+    /// blobs (never more bytes than sorted), `ExactBloom` / `ExactHybrid`
+    /// constant-size fingerprints (never-miss, rare extra refreshes), and
+    /// `ExactTrace` adds each sample's coin trace so invalidated samples
+    /// are conditionally *replayed* instead of redrawn — the maintained
+    /// pool stays distribution-fresh under partial churn. Requires
     /// [`Sampling::Fixed`] on the shard pipeline: footprints only pay off
     /// where a maintainer can refresh, and the legacy oracle pipeline
     /// does not carry them.

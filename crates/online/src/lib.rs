@@ -65,21 +65,40 @@
 //!   compressed to fixed-size bloom fingerprints. Never misses a stale
 //!   sample, occasionally refreshes an unaffected one (a false positive
 //!   costs one redundant resample, nothing more).
+//! * **`ExactCompressed`** — the same never-miss/never-over-refresh
+//!   verdicts as `Exact`, from delta-varint footprints interned through
+//!   a per-column dictionary (identical footprints — which dominate at
+//!   pool scale — are stored once). Strictly cheaper than sorted
+//!   storage at scale, still fully decodable.
+//! * **`ExactHybrid { bloom_above }`** — compressed storage for
+//!   footprints up to `bloom_above` nodes, fixed 128-bit fingerprints
+//!   for the heavy tail. Caps the per-sample cost of high-exploration
+//!   samples (the tail owns most sorted bytes) at bloom-tier semantics:
+//!   exact verdicts below the threshold, never-miss above it.
+//! * **`ExactTrace`** — exact verdicts *plus conditional refresh*:
+//!   phase I retains each sample's categorical coin outcomes alongside
+//!   the footprint, and an invalidated sample is **replayed** — coins on
+//!   unmutated in-edge slots are reused, only mutated slots redraw, each
+//!   replay on its own `(base_seed, epoch, ordinal)` stream. By the
+//!   principle of deferred decisions the replayed pool is **identical in
+//!   distribution to a fresh pool over the mutated graph**, closing the
+//!   redraw-conditioning caveat below.
 //!
-//! All three rules are pure functions of the retained bytes and the
-//! batch, so the bit-identity and `incremental == rebuild` byte-equality
-//! contracts hold per mode.
+//! All rules are pure functions of the retained bytes and the batch, so
+//! the bit-identity and `incremental == rebuild` byte-equality contracts
+//! hold per mode.
 //!
-//! One statistical caveat is shared by every rule under the current
-//! refresh scheme: invalidated slots are redrawn as *unconditioned*
-//! fresh samples, while the invalidation event itself selects slots
-//! whose traces explored the mutated region — a conditionally
-//! non-average population. The maintained pool is therefore not
-//! identical in distribution to an independently sampled fresh pool
-//! (exact mode removes the under-detection error, which dominates, but
-//! not this redraw-conditioning effect; `tests/estimator_accuracy.rs`
-//! pins both). Closing it needs conditional refresh — per-sample coin
-//! reuse or rejection resampling — tracked on the ROADMAP.
+//! One statistical caveat is shared by every rule *except `ExactTrace`*:
+//! invalidated slots are redrawn as *unconditioned* fresh samples, while
+//! the invalidation event itself selects slots whose traces explored the
+//! mutated region — a conditionally non-average population. Under a
+//! redraw-mode rule the maintained pool is therefore not identical in
+//! distribution to an independently sampled fresh pool (exact modes
+//! remove the under-detection error, which dominates, but not this
+//! redraw-conditioning effect). `tests/estimator_accuracy.rs` pins the
+//! redraw-tier gap on a fixed history and asserts positively that
+//! `ExactTrace`'s conditional replay stays inside the fresh-pool
+//! confidence band on the same history, with zero replay drift.
 //!
 //! # Transactional epochs — the fault-tolerance contract
 //!

@@ -18,9 +18,14 @@
 //! 4. if tombstones now exceed
 //!    [`compact_threshold`](MaintainerOptions::compact_threshold), the
 //!    arena is compacted (order-preserving, canonicalizing);
-//! 5. exactly `|stale|` fresh samples are drawn over the new graph from a
-//!    chunk-seeded pool of stream `(base_seed, epoch)` and absorbed in
-//!    chunk order.
+//! 5. exactly `|stale|` replacement samples are produced over the new
+//!    graph and absorbed: unconditioned fresh draws from a chunk-seeded
+//!    pool of stream `(base_seed, epoch)` under most rules, or — under
+//!    [`Staleness::ExactTrace`] — a *conditional replay* of each stale
+//!    sample's retained coin trace that redraws only the coins the batch
+//!    actually mutated (per-sample streams seeded from
+//!    `(base_seed, epoch, ordinal)`), keeping the pool
+//!    distribution-fresh under partial churn.
 //!
 //! Every step is a pure function of `(initial graph, base_seed, options,
 //! mutation history)` — never of the thread count — so maintained pools
@@ -30,17 +35,21 @@
 //! instead of tombstones) reproduces the compacted arena byte for byte —
 //! in every staleness mode.
 
+use std::collections::HashSet;
+
 use kboost_core::PrrPool;
 use kboost_graph::{DiGraph, NodeId};
 use kboost_obs::{Obs, Value};
 use kboost_prr::{
     greedy_delta_selection, DeltaSelection, FootprintColumn, FootprintMode, FootprintQuery,
-    LegacyFpSource, LegacyPrrSource, LegacySample, NodeIndex, PrrArena, PrrArenaShard,
-    PrrFullSource,
+    LegacyFpSource, LegacyPrrSource, LegacySample, LegacyTraceSample, LegacyTraceSource, NodeIndex,
+    PrrArena, PrrArenaShard, PrrFullSource, PrrGenerator, PrrOutcome,
 };
-use kboost_rrset::sketch::{ExtendStatus, SketchPool, CHUNK_SIZE};
-use kboost_rrset::terminator::{Terminator, Unlimited};
+use kboost_rrset::sketch::{epoch_stream_seed, ExtendStatus, SketchPool, CHUNK_SIZE};
+use kboost_rrset::terminator::{SampleProgress, Terminator, Unlimited};
 use kboost_serve::{PoolSnapshot, SnapshotService};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::error::{InterruptCause, OnlineError};
 use crate::mutation::{apply_mutations, validate_mutations, EpochBatch, Mutation};
@@ -65,13 +74,13 @@ pub enum Staleness {
     /// the new graph would produce, and the maintained pool equals the
     /// from-scratch exact replay byte for byte (zero recorded drift).
     /// The cost is the footprint columns' memory. One statistical caveat
-    /// remains, shared by every staleness rule under this maintainer's
-    /// refresh scheme: invalidated slots are redrawn *unconditioned*,
-    /// while the slots selected for invalidation are conditionally
-    /// different from average (their traces explored the mutated
-    /// region), so the pool is not identical in distribution to an
-    /// independent fresh pool — see the ROADMAP's conditional-refresh
-    /// item and `tests/estimator_accuracy.rs`, which pins both the
+    /// remains under the unconditioned-redraw refresh this rule (and
+    /// every non-trace rule) uses: invalidated slots are redrawn
+    /// *unconditioned*, while the slots selected for invalidation are
+    /// conditionally different from average (their traces explored the
+    /// mutated region), so the pool is not identical in distribution to
+    /// an independent fresh pool — [`ExactTrace`](Staleness::ExactTrace)
+    /// closes that gap; `tests/estimator_accuracy.rs` pins both the
     /// zero-drift guarantee and the residual gap.
     Exact,
     /// [`Exact`](Staleness::Exact) with footprints compressed into
@@ -82,6 +91,40 @@ pub enum Staleness {
         /// Bits per fingerprint; must be a power of two ≥ 64.
         bits: u32,
     },
+    /// [`Exact`](Staleness::Exact) with footprints stored as delta-varint
+    /// compressed blobs behind an interning dictionary
+    /// ([`FootprintMode::Compressed`]): detection is still exact and
+    /// still index-driven (the blobs decode), at a fraction of the
+    /// sorted tier's memory — never more bytes than sorted, by
+    /// construction.
+    ExactCompressed,
+    /// The production memory tier: footprints at most `bloom_above`
+    /// nodes long are stored exactly (compressed), longer ones collapse
+    /// to a fixed [`HYBRID_BLOOM_BITS`](kboost_prr::HYBRID_BLOOM_BITS)-bit
+    /// bloom fingerprint. Detection never misses; the rare long-footprint
+    /// false positive refreshes a few extra samples. Fingerprints are
+    /// one-way, so this tier scans instead of indexing — like
+    /// [`ExactBloom`](Staleness::ExactBloom), with exact verdicts for
+    /// the (dominant) short footprints.
+    ExactHybrid {
+        /// Footprints longer than this many nodes use the bloom
+        /// fingerprint; must be ≥ 1.
+        bloom_above: u32,
+    },
+    /// [`Exact`](Staleness::Exact) detection plus *conditional refresh*:
+    /// every sample retains its queried-edge coin trace
+    /// ([`FootprintMode::Trace`]), and an invalidated sample is not
+    /// redrawn from scratch but *replayed* — coins on edges the batch
+    /// left untouched are reused, only mutated coins (and coins on
+    /// newly reachable edges) are drawn fresh, from a per-sample stream
+    /// seeded by `(base_seed, epoch, ordinal)`. Jointly with the
+    /// untouched survivors this makes the maintained pool
+    /// **distribution-fresh** under partial churn — identical in law to
+    /// a from-scratch pool over the new graph — closing the
+    /// unconditioned-redraw caveat the other exact tiers document. The
+    /// cost is the trace sidecar's memory and a scalar (non-kernel)
+    /// sampling path.
+    ExactTrace,
 }
 
 impl Staleness {
@@ -91,6 +134,9 @@ impl Staleness {
             Staleness::Approximate => FootprintMode::Off,
             Staleness::Exact => FootprintMode::Sorted,
             Staleness::ExactBloom { bits } => FootprintMode::Bloom { bits },
+            Staleness::ExactCompressed => FootprintMode::Compressed,
+            Staleness::ExactHybrid { bloom_above } => FootprintMode::Hybrid { bloom_above },
+            Staleness::ExactTrace => FootprintMode::Trace,
         }
     }
 
@@ -255,24 +301,21 @@ impl InvalidationIndex {
 
 /// Emits the staleness-relevant nodes of stored graph `gi` under the
 /// given rule: the node table (approximate) or the retained footprint
-/// (exact sorted). Bloom fingerprints are one-way and never indexed —
-/// bloom queries scan instead.
+/// (any decodable tier — sorted, compressed or trace). Fingerprint tiers
+/// (bloom, hybrid) are one-way and never indexed — their queries scan
+/// instead.
 fn graph_entry_nodes(arena: &PrrArena, staleness: Staleness, gi: usize, emit: &mut dyn FnMut(u32)) {
-    match staleness {
-        Staleness::Approximate => {
-            let view = arena.graph(gi);
-            for l in 0..view.num_nodes() as u32 {
-                if let Some(g) = view.global_of(l) {
-                    emit(g.0);
-                }
+    let mode = staleness.footprint_mode();
+    if mode.is_decodable() {
+        arena.footprints().for_each_node(gi, emit);
+    } else {
+        debug_assert_eq!(mode, FootprintMode::Off, "scan tiers never build an index");
+        let view = arena.graph(gi);
+        for l in 0..view.num_nodes() as u32 {
+            if let Some(g) = view.global_of(l) {
+                emit(g.0);
             }
         }
-        Staleness::Exact => {
-            for &v in arena.footprints().nodes(gi).expect("sorted footprints") {
-                emit(v);
-            }
-        }
-        Staleness::ExactBloom { .. } => unreachable!("bloom staleness never builds an index"),
     }
 }
 
@@ -301,22 +344,18 @@ fn mutation_heads(mutations: &[Mutation]) -> Vec<u32> {
 }
 
 /// Emits the retained footprint nodes of empty sample `i` — the
-/// empty-column counterpart of [`graph_entry_nodes`] (exact sorted mode
-/// only).
+/// empty-column counterpart of [`graph_entry_nodes`] (decodable exact
+/// tiers only).
 fn empty_entry_nodes(arena: &PrrArena, i: usize, emit: &mut dyn FnMut(u32)) {
-    for &v in arena
-        .empty_footprints()
-        .nodes(i)
-        .expect("sorted footprints")
-    {
-        emit(v);
-    }
+    arena.empty_footprints().for_each_node(i, emit);
 }
 
-/// Bloom-tier staleness: scan the live fingerprints of `column` against
-/// a prepared query (fingerprints are one-way, so there is no index to
-/// consult) — shared by the stored-graph and empty-sample paths.
-fn bloom_stale_scan(
+/// Fingerprint-tier staleness (bloom and hybrid): scan the live entries
+/// of `column` against a prepared query (fingerprints are one-way, so
+/// there is no index to consult; the hybrid tier's short entries still
+/// answer exactly inside [`FootprintColumn::matches`]) — shared by the
+/// stored-graph and empty-sample paths.
+fn matches_stale_scan(
     column: &FootprintColumn,
     count: usize,
     live: impl Fn(usize) -> bool,
@@ -328,6 +367,68 @@ fn bloom_stale_scan(
     (0..count as u32)
         .filter(|&i| live(i as usize) && column.matches(&q, i as usize))
         .collect()
+}
+
+/// Classifies a mutation batch against the **pre-batch** graph into the
+/// two redraw predicates conditional replay needs:
+///
+/// * `redraw_node[v]` — head `v`'s in-edge list changed *structurally*
+///   (an edge was inserted or removed), so recorded in-list positions no
+///   longer line up and every coin at `v` is drawn fresh;
+/// * `redraw_edge ∋ (u, v)` — edge `(u, v)` existed and only its
+///   probabilities were rewritten: in-edge lists are sorted by source, so
+///   every position is stable and exactly this one coin redraws.
+///
+/// Classification is conservative in the safe direction: a fresh draw is
+/// always distribution-correct, so compound batches (remove-then-insert
+/// of the same edge, say) simply fall back to node-level redraw.
+fn replay_redraw_sets(old: &DiGraph, mutations: &[Mutation]) -> (Vec<bool>, HashSet<(u32, u32)>) {
+    let mut redraw_node = vec![false; old.num_nodes()];
+    let mut redraw_edge: HashSet<(u32, u32)> = HashSet::new();
+    for m in mutations {
+        match *m {
+            Mutation::Upsert { from, to, .. } => {
+                if old.has_edge(from, to) {
+                    redraw_edge.insert((from.0, to.0));
+                } else {
+                    redraw_node[to.index()] = true;
+                }
+            }
+            Mutation::Remove { from, to } => {
+                if old.has_edge(from, to) {
+                    redraw_node[to.index()] = true;
+                }
+                // Removing an absent edge is a graph no-op: reuse is exact.
+            }
+        }
+    }
+    (redraw_node, redraw_edge)
+}
+
+/// The RNG seed of replayed sample `ordinal` within epoch stream
+/// `stream` ([`epoch_stream_seed`]) — the trace tier's extension of the
+/// `(base_seed, epoch, chunk)` determinism contract to
+/// `(base_seed, epoch, ordinal)`: stale samples are replayed in a
+/// canonical order (stored ascending, then empty ascending), each from
+/// its own SplitMix64-mixed stream, so maintained trace pools are
+/// bit-identical across thread counts and reproducible by the oracle.
+#[inline]
+fn replay_sample_seed(stream: u64, ordinal: u64) -> u64 {
+    let mut z = stream
+        .rotate_left(17)
+        .wrapping_add(ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Outcome of the compute-phase refresh: what the commit phase absorbs.
+enum RefreshOutcome {
+    /// Unconditioned fresh draws from the chunk-seeded epoch stream (all
+    /// non-trace rules).
+    Sampled(SketchPool<PrrArenaShard>),
+    /// Conditionally replayed stale samples ([`Staleness::ExactTrace`]).
+    Replayed(PrrArenaShard),
 }
 
 /// Samples per progress stage of a staged ([`PoolMaintainer::build_within`])
@@ -581,13 +682,14 @@ impl PoolMaintainer {
         let n = self.graph.num_nodes();
         let staleness = self.opts.staleness;
         let arena = self.pool.arena();
-        if let Staleness::ExactBloom { .. } = staleness {
-            return bloom_stale_scan(
+        let mode = staleness.footprint_mode();
+        if mode.is_on() && !mode.is_decodable() {
+            return matches_stale_scan(
                 arena.footprints(),
                 arena.len(),
                 |i| arena.is_live(i),
                 mutations,
-                staleness.footprint_mode(),
+                mode,
                 n,
             );
         }
@@ -617,13 +719,14 @@ impl PoolMaintainer {
         let staleness = self.opts.staleness;
         let arena = self.pool.arena();
         let count = arena.num_empty_footprints();
-        if let Staleness::ExactBloom { .. } = staleness {
-            return bloom_stale_scan(
+        let mode = staleness.footprint_mode();
+        if !mode.is_decodable() {
+            return matches_stale_scan(
                 arena.empty_footprints(),
                 count,
                 |i| arena.empty_is_live(i),
                 mutations,
-                staleness.footprint_mode(),
+                mode,
                 n,
             );
         }
@@ -637,6 +740,54 @@ impl PoolMaintainer {
             )
         });
         index.stale(&touched, count, |i| arena.empty_is_live(i))
+    }
+
+    /// The trace tier's compute-phase refresh: conditionally replays
+    /// every stale sample — stored stale in ascending arena order, then
+    /// stale empties in ascending empty-column order — over `new_graph`
+    /// into a private shard, reusing each sample's retained coins on
+    /// untouched edges and redrawing only what `batch` mutated. Reads the
+    /// maintainer but never mutates it; the terminator is polled at
+    /// [`CHUNK_SIZE`] replay boundaries like the sampled path polls its
+    /// chunk stream, so cancellation rolls the epoch back identically.
+    fn replay_refresh<T: Terminator + ?Sized>(
+        &self,
+        new_graph: &DiGraph,
+        batch: &EpochBatch,
+        stale: &[u32],
+        stale_empty: &[u32],
+        term: &T,
+    ) -> (PrrArenaShard, ExtendStatus) {
+        let mode = self.opts.staleness.footprint_mode();
+        let (redraw_node, redraw_edge) = replay_redraw_sets(&self.graph, &batch.mutations);
+        let is_node = |u: u32| redraw_node[u as usize];
+        let is_edge = |u: u32, v: u32| redraw_edge.contains(&(u, v));
+        let generator = PrrGenerator::new_scalar_oracle(new_graph, &self.seeds, self.opts.k);
+        let stream = epoch_stream_seed(self.opts.base_seed, batch.epoch);
+        let arena = self.pool.arena();
+        let mut shard = PrrArenaShard::new();
+        let mut ordinal: u64 = 0;
+        let stored_traces = stale
+            .iter()
+            .map(|&gi| arena.footprints().trace(gi as usize));
+        let empty_traces = stale_empty
+            .iter()
+            .map(|&ei| arena.empty_footprints().trace(ei as usize));
+        #[allow(clippy::explicit_counter_loop)] // ordinal doubles as the seed stream position
+        for trace in stored_traces.chain(empty_traces) {
+            if ordinal.is_multiple_of(CHUNK_SIZE)
+                && term.should_stop(&SampleProgress {
+                    samples: ordinal,
+                    chunk: ordinal / CHUNK_SIZE,
+                })
+            {
+                return (shard, ExtendStatus::Interrupted);
+            }
+            let mut rng = SmallRng::seed_from_u64(replay_sample_seed(stream, ordinal));
+            generator.replay_into_fp(trace, &is_node, &is_edge, &mut rng, &mut shard, mode);
+            ordinal += 1;
+        }
+        (shard, ExtendStatus::Completed)
     }
 
     /// Applies one sealed epoch: mutates the graph, tombstones the stale
@@ -708,6 +859,13 @@ impl PoolMaintainer {
         let refresh = if invalidated > 0 {
             let _refresh_span = obs.span("online.epoch.refresh_secs");
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if self.opts.staleness.footprint_mode().retains_trace() {
+                    // Trace tier: conditional replay of the stale samples
+                    // instead of unconditioned fresh draws.
+                    let (shard, status) =
+                        self.replay_refresh(&new_graph, batch, &stale, &stale_empty, term);
+                    return (RefreshOutcome::Replayed(shard), status);
+                }
                 let mut refresh: SketchPool<PrrArenaShard> =
                     SketchPool::with_epoch(self.opts.base_seed, batch.epoch, self.opts.threads);
                 refresh.set_obs(obs.clone());
@@ -724,7 +882,7 @@ impl PoolMaintainer {
                     invalidated,
                     term,
                 );
-                (refresh, status)
+                (RefreshOutcome::Sampled(refresh), status)
             }));
             match outcome {
                 Err(_) => {
@@ -785,8 +943,19 @@ impl PoolMaintainer {
         }
 
         let (drawn_stored, drawn_empty) = if let Some(refresh) = refresh {
-            let (_covers, shard, drawn, empties) = refresh.into_parts();
+            let (shard, drawn) = match refresh {
+                RefreshOutcome::Sampled(pool) => {
+                    let (_covers, shard, drawn, _cover_empties) = pool.into_parts();
+                    (shard, drawn)
+                }
+                RefreshOutcome::Replayed(shard) => (shard, invalidated),
+            };
             debug_assert_eq!(drawn, invalidated);
+            // Cover-less boostable graphs are stored too, so the empty
+            // share is storage-derived — drawn minus what the shard
+            // actually stored — never the sketch layer's cover-based
+            // count.
+            let empties = drawn - shard.len() as u64;
             let absorbed_graphs_from = self.pool.arena().len();
             let absorbed_empties_from = self.pool.arena().num_empty_footprints();
             self.pool.arena_mut().absorb_shard(shard);
@@ -896,9 +1065,11 @@ pub fn rebuild_from_history(
 ) -> (DiGraph, PrrPool) {
     match opts.staleness {
         Staleness::Approximate => rebuild_approximate(graph0, seeds, opts, history),
-        Staleness::Exact | Staleness::ExactBloom { .. } => {
-            rebuild_exact(graph0, seeds, opts, history)
-        }
+        Staleness::Exact
+        | Staleness::ExactBloom { .. }
+        | Staleness::ExactCompressed
+        | Staleness::ExactHybrid { .. } => rebuild_exact(graph0, seeds, opts, history),
+        Staleness::ExactTrace => rebuild_trace(graph0, seeds, opts, history),
     }
 }
 
@@ -919,7 +1090,10 @@ fn rebuild_approximate(
         &LegacyPrrSource::new(&g, seeds, opts.k),
         opts.target_samples,
     );
-    let (_covers, mut payloads, mut total, mut empties) = pool.into_parts();
+    // Empty = not stored (cover-less boostable graphs ARE stored), so the
+    // count derives from storage, not from the sketch layer's covers.
+    let (_covers, mut payloads, mut total, _cover_empties) = pool.into_parts();
+    let mut empties = total - payloads.len() as u64;
 
     for batch in history {
         g = apply_mutations(&g, &batch.mutations)
@@ -939,10 +1113,10 @@ fn rebuild_approximate(
             let mut refresh: SketchPool<Vec<kboost_prr::CompressedPrr>> =
                 SketchPool::with_epoch(opts.base_seed, batch.epoch, opts.threads);
             refresh.extend_to(&LegacyPrrSource::new(&g, seeds, opts.k), invalidated);
-            let (_c, extra, drawn, e) = refresh.into_parts();
+            let (_c, extra, drawn, _e) = refresh.into_parts();
+            empties += drawn - extra.len() as u64;
             payloads.extend(extra);
             total += drawn;
-            empties += e;
         }
     }
 
@@ -972,7 +1146,11 @@ fn rebuild_exact(
     let mut pool: SketchPool<Vec<LegacySample>> =
         SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
     pool.extend_to(&LegacyFpSource::new(&g, seeds, opts.k), opts.target_samples);
-    let (_covers, mut samples, mut total, mut empties) = pool.into_parts();
+    let (_covers, mut samples, mut total, _cover_empties) = pool.into_parts();
+    let mut empties = samples
+        .iter()
+        .filter(|s| matches!(s, LegacySample::Empty { .. }))
+        .count() as u64;
 
     for batch in history {
         g = apply_mutations(&g, &batch.mutations)
@@ -1000,10 +1178,13 @@ fn rebuild_exact(
             let mut refresh: SketchPool<Vec<LegacySample>> =
                 SketchPool::with_epoch(opts.base_seed, batch.epoch, opts.threads);
             refresh.extend_to(&LegacyFpSource::new(&g, seeds, opts.k), invalidated);
-            let (_c, extra, drawn, e) = refresh.into_parts();
+            let (_c, extra, drawn, _e) = refresh.into_parts();
+            empties += extra
+                .iter()
+                .filter(|s| matches!(s, LegacySample::Empty { .. }))
+                .count() as u64;
             samples.extend(extra);
             total += drawn;
-            empties += e;
         }
     }
 
@@ -1014,6 +1195,111 @@ fn rebuild_exact(
                 arena.push_with_footprint(graph, footprint, mode)
             }
             LegacySample::Empty { footprint } => arena.push_empty_footprint(footprint, mode),
+        }
+    }
+    (
+        g,
+        PrrPool::from_raw_parts(arena, n, total, empties, opts.threads),
+    )
+}
+
+/// Trace-rule replay: every sample is retained as a
+/// [`LegacyTraceSample`] (payload + footprint + coin trace), staleness
+/// verdicts are the same eager [`FootprintColumn::raw_matches`] scans as
+/// [`rebuild_exact`], and invalidated samples are *conditionally
+/// replayed* — stale stored samples in retained order, then stale
+/// empties in retained order, one [`replay_sample_seed`] stream each —
+/// mirroring the maintainer's [`PoolMaintainer::apply_epoch`] replay
+/// exactly (arena index order equals retained-subsequence order, since
+/// tombstone-compaction and absorb both preserve order).
+fn rebuild_trace(
+    graph0: &DiGraph,
+    seeds: &[NodeId],
+    opts: &MaintainerOptions,
+    history: &[EpochBatch],
+) -> (DiGraph, PrrPool) {
+    let mode = opts.staleness.footprint_mode();
+    let n = graph0.num_nodes();
+    let mut g = graph0.clone();
+
+    let mut pool: SketchPool<Vec<LegacyTraceSample>> =
+        SketchPool::with_epoch(opts.base_seed, 0, opts.threads);
+    pool.extend_to(
+        &LegacyTraceSource::new(&g, seeds, opts.k),
+        opts.target_samples,
+    );
+    let (_covers, mut samples, total, _cover_empties) = pool.into_parts();
+
+    for batch in history {
+        let g_new = apply_mutations(&g, &batch.mutations)
+            .expect("replayed batches were validated when first applied");
+        let (redraw_node, redraw_edge) = replay_redraw_sets(&g, &batch.mutations);
+        let q = FootprintQuery::new(mode, &mutation_heads(&batch.mutations), n);
+
+        // Partition preserving retained order; stale stored before stale
+        // empty fixes the replay ordinals the maintainer uses.
+        let mut fresh: Vec<LegacyTraceSample> = Vec::with_capacity(samples.len());
+        let mut stale_stored: Vec<Vec<u8>> = Vec::new();
+        let mut stale_empty: Vec<Vec<u8>> = Vec::new();
+        for s in samples.drain(..) {
+            let footprint = match &s {
+                LegacyTraceSample::Stored { footprint, .. }
+                | LegacyTraceSample::Empty { footprint, .. } => footprint,
+            };
+            if FootprintColumn::raw_matches(mode, footprint, &q) {
+                match s {
+                    LegacyTraceSample::Stored { trace, .. } => stale_stored.push(trace),
+                    LegacyTraceSample::Empty { trace, .. } => stale_empty.push(trace),
+                }
+            } else {
+                fresh.push(s);
+            }
+        }
+        samples = fresh;
+
+        let generator = PrrGenerator::new_scalar_oracle(&g_new, seeds, opts.k);
+        let stream = epoch_stream_seed(opts.base_seed, batch.epoch);
+        for (ordinal, old_trace) in stale_stored.iter().chain(stale_empty.iter()).enumerate() {
+            let mut rng = SmallRng::seed_from_u64(replay_sample_seed(stream, ordinal as u64));
+            let mut footprint = Vec::new();
+            let mut trace = Vec::new();
+            let out = generator.replay_with_footprint_trace(
+                old_trace,
+                &|u| redraw_node[u as usize],
+                &|u, v| redraw_edge.contains(&(u, v)),
+                &mut rng,
+                &mut footprint,
+                &mut trace,
+            );
+            samples.push(match out {
+                PrrOutcome::Boostable(graph) => LegacyTraceSample::Stored {
+                    graph,
+                    footprint,
+                    trace,
+                },
+                PrrOutcome::Activated | PrrOutcome::Hopeless => {
+                    LegacyTraceSample::Empty { footprint, trace }
+                }
+            });
+        }
+        g = g_new;
+    }
+
+    let empties = samples
+        .iter()
+        .filter(|s| matches!(s, LegacyTraceSample::Empty { .. }))
+        .count() as u64;
+    let mut arena = PrrArena::new();
+    for s in &samples {
+        match s {
+            LegacyTraceSample::Stored {
+                graph,
+                footprint,
+                trace,
+            } => arena.push_with_footprint_trace(graph, footprint, trace, mode),
+            LegacyTraceSample::Empty { footprint, trace } => {
+                arena.push_empty_footprint_trace(footprint, trace, mode)
+            }
         }
     }
     (
@@ -1408,7 +1694,13 @@ mod tests {
 
     #[test]
     fn exact_modes_match_their_replay_oracle() {
-        for staleness in [Staleness::Exact, Staleness::ExactBloom { bits: 128 }] {
+        for staleness in [
+            Staleness::Exact,
+            Staleness::ExactBloom { bits: 128 },
+            Staleness::ExactCompressed,
+            Staleness::ExactHybrid { bloom_above: 2 },
+            Staleness::ExactTrace,
+        ] {
             let mut opts = quick_opts(1_000, 3);
             opts.staleness = staleness;
             let g0 = two_paths();
@@ -1439,6 +1731,58 @@ mod tests {
                 greedy_delta_selection(oracle.arena(), 5, 2, opts.threads)
             );
         }
+    }
+
+    #[test]
+    fn trace_refresh_is_cancellable_and_rolls_back() {
+        use kboost_rrset::terminator::StopAtChunk;
+        let mut opts = quick_opts(1_500, 2);
+        opts.staleness = Staleness::ExactTrace;
+        let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts).unwrap();
+        let mut log = MutationLog::new();
+        log.remove_edge(NodeId(1), NodeId(3));
+        let batch = log.seal_epoch();
+        let arena_before = m.pool().arena().clone();
+
+        // Stop before the first replay chunk: the epoch must roll back.
+        assert_eq!(
+            m.apply_epoch_within(&batch, &StopAtChunk(0)).unwrap_err(),
+            OnlineError::Interrupted {
+                epoch: 1,
+                cause: InterruptCause::Cancelled
+            }
+        );
+        assert_eq!(m.epoch(), 0);
+        assert!(*m.pool().arena() == arena_before, "rollback must be exact");
+
+        // Retrying the identical batch succeeds; totals stay balanced.
+        let report = m.apply_epoch(&batch).unwrap();
+        assert!(report.invalidated > 0);
+        assert_eq!(report.invalidated, report.drawn_stored + report.drawn_empty);
+        assert_eq!(m.pool().total_samples(), 1_500);
+    }
+
+    #[test]
+    fn trace_replay_reuses_untouched_coins_across_thread_counts() {
+        // The replayed pool is a deterministic function of the history —
+        // never of the thread count — and refreshing an edge the trace
+        // never queried must reproduce the sample verbatim, so a batch
+        // touching only one path leaves the other path's graphs
+        // byte-identical.
+        let run = |threads: usize| {
+            let mut opts = quick_opts(1_000, threads);
+            opts.staleness = Staleness::ExactTrace;
+            let mut m = PoolMaintainer::build(two_paths(), vec![NodeId(0)], opts).unwrap();
+            let mut log = MutationLog::new();
+            log.set_probs(NodeId(1), NodeId(3), EdgeProbs::new(0.5, 1.0).unwrap());
+            m.apply_epoch(&log.seal_epoch()).unwrap();
+            m
+        };
+        let a = run(1);
+        let b = run(3);
+        assert!(a.pool().arena().compacted() == b.pool().arena().compacted());
+        assert_eq!(a.pool().total_samples(), b.pool().total_samples());
+        assert_eq!(a.pool().empty_samples(), b.pool().empty_samples());
     }
 
     #[test]

@@ -235,14 +235,42 @@ impl PrrArena {
         self.fp.push(footprint);
     }
 
+    /// [`push_with_footprint`](Self::push_with_footprint) with the
+    /// sample's phase-I trace sidecar attached
+    /// ([`FootprintMode::Trace`]).
+    pub fn push_with_footprint_trace(
+        &mut self,
+        g: &CompressedPrr,
+        footprint: &[u32],
+        trace: &[u8],
+        mode: FootprintMode,
+    ) {
+        debug_assert!(mode.is_on());
+        self.push(g);
+        self.fp.ensure_mode(mode);
+        self.fp.push_with_trace(footprint, trace);
+    }
+
     /// Records the footprint of an *empty* sample (one that stored no
     /// graph). No-op in [`FootprintMode::Off`].
     pub fn push_empty_footprint(&mut self, footprint: &[u32], mode: FootprintMode) {
+        self.push_empty_footprint_trace(footprint, &[], mode);
+    }
+
+    /// [`push_empty_footprint`](Self::push_empty_footprint) with the
+    /// sample's phase-I trace sidecar attached
+    /// ([`FootprintMode::Trace`]).
+    pub fn push_empty_footprint_trace(
+        &mut self,
+        footprint: &[u32],
+        trace: &[u8],
+        mode: FootprintMode,
+    ) {
         if !mode.is_on() {
             return;
         }
         self.empty_fp.ensure_mode(mode);
-        self.empty_fp.push(footprint);
+        self.empty_fp.push_with_trace(footprint, trace);
         if !self.empty_dead.is_empty() {
             self.empty_dead.push(false);
         }
@@ -330,6 +358,21 @@ impl PrrArena {
         self.push_parts(parts);
         self.fp.ensure_mode(mode);
         self.fp.push(footprint);
+    }
+
+    /// [`push_parts_fp`](Self::push_parts_fp) with the sample's phase-I
+    /// trace sidecar attached ([`FootprintMode::Trace`]).
+    pub(crate) fn push_parts_fp_trace(
+        &mut self,
+        parts: &CompressedParts,
+        footprint: &[u32],
+        trace: &[u8],
+        mode: FootprintMode,
+    ) {
+        debug_assert!(mode.is_on());
+        self.push_parts(parts);
+        self.fp.ensure_mode(mode);
+        self.fp.push_with_trace(footprint, trace);
     }
 
     /// Merges a sampling shard into this arena by bulk `Vec` appends,
@@ -697,6 +740,30 @@ impl PrrArenaShard {
     /// Records an empty sample's footprint (exact-staleness pipeline).
     pub(crate) fn push_empty_footprint(&mut self, footprint: &[u32], mode: FootprintMode) {
         self.0.push_empty_footprint(footprint, mode);
+    }
+
+    /// Trace-sidecar variant of
+    /// [`push_parts_fp`](Self::push_parts_fp)
+    /// (conditional-refresh pipeline).
+    pub(crate) fn push_parts_fp_trace(
+        &mut self,
+        parts: &CompressedParts,
+        footprint: &[u32],
+        trace: &[u8],
+        mode: FootprintMode,
+    ) {
+        self.0.push_parts_fp_trace(parts, footprint, trace, mode);
+    }
+
+    /// Trace-sidecar variant of
+    /// [`push_empty_footprint`](Self::push_empty_footprint).
+    pub(crate) fn push_empty_footprint_trace(
+        &mut self,
+        footprint: &[u32],
+        trace: &[u8],
+        mode: FootprintMode,
+    ) {
+        self.0.push_empty_footprint_trace(footprint, trace, mode);
     }
 }
 

@@ -58,8 +58,88 @@ use crate::arena::PrrArenaShard;
 use crate::compress::{
     compress, compress_locals_into, compress_parts, CompressedParts, LEDGE_BOOST, LEDGE_MASK,
 };
-use crate::footprint::FootprintMode;
+use crate::footprint::{read_varint, write_varint, FootprintMode};
 use crate::graph::CompressedPrr;
+
+/// 2-bit trace outcome: the edge was sampled live.
+const TRACE_LIVE: u8 = 0;
+/// 2-bit trace outcome: the edge was sampled live-upon-boost.
+const TRACE_BOOST: u8 = 1;
+/// 2-bit trace outcome: the edge was sampled blocked.
+const TRACE_BLOCKED: u8 = 2;
+/// 2-bit trace sentinel: the edge's coin was never drawn (the sample
+/// returned `Activated` mid-way through the node's in-edge list).
+const TRACE_NOT_DRAWN: u8 = 3;
+
+/// Per-sample trace blob builder for [`FootprintMode::Trace`].
+///
+/// Layout: `varint(root)` followed by one self-delimiting record per
+/// expanded node in BFS pop order — `varint(global id)`,
+/// `varint(in-degree at capture)`, then `ceil(deg / 4)` bytes of 2-bit
+/// edge outcomes in in-edge-list order ([`TRACE_LIVE`], [`TRACE_BOOST`],
+/// [`TRACE_BLOCKED`], [`TRACE_NOT_DRAWN`]). Outcome bytes start
+/// all-sentinel, so an early `Activated` return leaves the undrawn tail
+/// of the last record marked not-drawn without any cleanup pass.
+#[derive(Default)]
+struct TraceBuf {
+    buf: Vec<u8>,
+    node_off: usize,
+}
+
+impl TraceBuf {
+    fn begin(&mut self, root: u32) {
+        self.buf.clear();
+        write_varint(&mut self.buf, root);
+    }
+
+    fn begin_node(&mut self, v: u32, deg: usize) {
+        write_varint(&mut self.buf, v);
+        write_varint(&mut self.buf, deg as u32);
+        self.node_off = self.buf.len();
+        self.buf.resize(self.node_off + deg.div_ceil(4), 0xFF);
+    }
+
+    #[inline]
+    fn record(&mut self, pos: usize, outcome: u8) {
+        let byte = &mut self.buf[self.node_off + pos / 4];
+        let shift = (pos % 4) * 2;
+        *byte = (*byte & !(0b11 << shift)) | (outcome << shift);
+    }
+}
+
+/// Parsed read-only view of a trace blob: the retained root plus a
+/// node → (captured in-degree, outcome-byte offset) index.
+struct TraceView<'a> {
+    root: u32,
+    records: std::collections::HashMap<u32, (u32, usize)>,
+    blob: &'a [u8],
+}
+
+impl<'a> TraceView<'a> {
+    fn parse(blob: &'a [u8]) -> Self {
+        let mut pos = 0usize;
+        let root = read_varint(blob, &mut pos);
+        let mut records = std::collections::HashMap::new();
+        while pos < blob.len() {
+            let v = read_varint(blob, &mut pos);
+            let deg = read_varint(blob, &mut pos);
+            records.insert(v, (deg, pos));
+            pos += (deg as usize).div_ceil(4);
+        }
+        TraceView {
+            root,
+            records,
+            blob,
+        }
+    }
+
+    /// The 2-bit outcome recorded at in-edge position `pos` of the record
+    /// whose outcome bytes start at `off`.
+    #[inline]
+    fn outcome(&self, off: usize, pos: usize) -> u8 {
+        (self.blob[off + pos / 4] >> ((pos % 4) * 2)) & 0b11
+    }
+}
 
 /// Result of generating one PRR-graph.
 pub enum PrrOutcome {
@@ -239,6 +319,16 @@ thread_local! {
     /// Reusable state for the kernel's hash-free critical-set extraction.
     static CRIT_SCRATCH: std::cell::RefCell<CritScratch> =
         std::cell::RefCell::new(CritScratch::new());
+    /// Reusable trace blob builder for [`FootprintMode::Trace`] capture
+    /// and replay — cleared per sample, copied into the shard's trace
+    /// sidecar on retention.
+    static TRACE_SCRATCH: std::cell::RefCell<TraceBuf> =
+        const {
+            std::cell::RefCell::new(TraceBuf {
+                buf: Vec::new(),
+                node_off: 0,
+            })
+        };
 }
 
 impl<'g> PrrGenerator<'g> {
@@ -327,6 +417,130 @@ impl<'g> PrrGenerator<'g> {
         out
     }
 
+    /// Like [`sample_with_footprint`](Self::sample_with_footprint),
+    /// additionally writing the sample's trace blob (retained queried-edge
+    /// outcomes, [`TraceBuf`] layout) into `trace` — the legacy/oracle
+    /// entry point of the trace-retention tier. Draws the exact same
+    /// randomness as every other sampling entry point.
+    pub fn sample_with_footprint_trace(
+        &self,
+        rng: &mut SmallRng,
+        footprint: &mut Vec<u32>,
+        trace: &mut Vec<u8>,
+    ) -> PrrOutcome {
+        footprint.clear();
+        let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
+        let out = TRACE_SCRATCH.with_borrow_mut(|tb| {
+            let out = match self.phase1_tr(root, rng, self.k as u32, Some(footprint), Some(tb)) {
+                Phase1::Activated => PrrOutcome::Activated,
+                Phase1::Hopeless => PrrOutcome::Hopeless,
+                Phase1::Raw(raw) => match compress(&raw, self.k) {
+                    Some(c) => PrrOutcome::Boostable(c),
+                    None => PrrOutcome::Hopeless,
+                },
+            };
+            trace.clear();
+            trace.extend_from_slice(&tb.buf);
+            out
+        });
+        footprint.sort_unstable();
+        footprint.dedup();
+        out
+    }
+
+    /// Conditionally replays one invalidated sample from its retained
+    /// trace (legacy/oracle form): re-runs phase I on the current graph
+    /// for the trace's root, reusing every recorded coin whose edge the
+    /// mutation batch left untouched and drawing fresh coins only for
+    /// `redraw_node` heads, `redraw_edge` hits, and not-drawn sentinels —
+    /// see [`phase1_replay`](Self::phase1_replay) for why the result is
+    /// distribution-fresh. Writes the replayed sample's new footprint and
+    /// trace (against the current graph) into the out-params.
+    pub fn replay_with_footprint_trace(
+        &self,
+        old_trace: &[u8],
+        redraw_node: &dyn Fn(u32) -> bool,
+        redraw_edge: &dyn Fn(u32, u32) -> bool,
+        rng: &mut SmallRng,
+        footprint: &mut Vec<u32>,
+        trace: &mut Vec<u8>,
+    ) -> PrrOutcome {
+        footprint.clear();
+        let tv = TraceView::parse(old_trace);
+        let out = TRACE_SCRATCH.with_borrow_mut(|tb| {
+            let out = match self.phase1_replay(
+                &tv,
+                redraw_node,
+                redraw_edge,
+                rng,
+                self.k as u32,
+                footprint,
+                tb,
+            ) {
+                Phase1::Activated => PrrOutcome::Activated,
+                Phase1::Hopeless => PrrOutcome::Hopeless,
+                Phase1::Raw(raw) => match compress(&raw, self.k) {
+                    Some(c) => PrrOutcome::Boostable(c),
+                    None => PrrOutcome::Hopeless,
+                },
+            };
+            trace.clear();
+            trace.extend_from_slice(&tb.buf);
+            out
+        });
+        footprint.sort_unstable();
+        footprint.dedup();
+        out
+    }
+
+    /// Conditionally replays one invalidated sample from its retained
+    /// trace straight into a sampling `shard` — the maintainer's
+    /// trace-retention refresh path. Stores the replayed graph (or its
+    /// empty-sample footprint) together with the new footprint and trace,
+    /// and returns the sketch cover exactly like
+    /// [`sample_into_fp`](Self::sample_into_fp). `mode` must retain
+    /// traces.
+    pub fn replay_into_fp(
+        &self,
+        old_trace: &[u8],
+        redraw_node: &dyn Fn(u32) -> bool,
+        redraw_edge: &dyn Fn(u32, u32) -> bool,
+        rng: &mut SmallRng,
+        shard: &mut PrrArenaShard,
+        mode: FootprintMode,
+    ) -> Vec<NodeId> {
+        assert!(
+            mode.retains_trace(),
+            "replay requires a trace-retaining mode"
+        );
+        let tv = TraceView::parse(old_trace);
+        FP_SCRATCH.with_borrow_mut(|fp| {
+            TRACE_SCRATCH.with_borrow_mut(|tb| {
+                fp.clear();
+                let phase1 =
+                    self.phase1_replay(&tv, redraw_node, redraw_edge, rng, self.k as u32, fp, tb);
+                fp.sort_unstable();
+                fp.dedup();
+                match phase1 {
+                    Phase1::Activated | Phase1::Hopeless => {
+                        shard.push_empty_footprint_trace(fp, &tb.buf, mode);
+                        Vec::new()
+                    }
+                    Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
+                        None => {
+                            shard.push_empty_footprint_trace(fp, &tb.buf, mode);
+                            Vec::new()
+                        }
+                        Some(parts) => {
+                            shard.push_parts_fp_trace(&parts, fp, &tb.buf, mode);
+                            parts.critical
+                        }
+                    },
+                }
+            })
+        })
+    }
+
     /// Samples one PRR-graph for a uniformly random root straight into a
     /// sampling `shard` — the streaming pipeline's hot path: Phase-II
     /// output is appended to the shard's flat arrays without ever
@@ -335,21 +549,25 @@ impl<'g> PrrGenerator<'g> {
     /// original loop, drawing the identical random stream.
     ///
     /// Returns the sketch cover (the stored graph's critical set). An
-    /// empty return means nothing was appended: the sample was activated,
-    /// hopeless, or boostable with an empty critical set — the last case
-    /// matches the legacy per-graph path, which dropped the payload of any
-    /// cover-less sketch.
+    /// empty return means no cover was contributed: the sample was
+    /// activated, hopeless, or boostable with an empty critical set.
+    /// Cover-less boostable graphs ARE stored — they carry no criticality
+    /// signal for `k = 1` sketch covers, but `Δ̂` for a `k ≥ 2` boost set
+    /// must still count them when the set activates their root, so
+    /// dropping them (as the pre-PR-10 pipeline did) underestimated.
     pub fn sample_into(&self, rng: &mut SmallRng, shard: &mut PrrArenaShard) -> Vec<NodeId> {
         self.sample_into_fp(rng, shard, FootprintMode::Off)
     }
 
     /// [`sample_into`](Self::sample_into) with footprint retention: when
     /// `mode` is on, the sample's footprint is appended to the shard —
-    /// alongside the stored graph for boostable samples, or into the
-    /// empty-sample column for activated / hopeless / cover-less ones
-    /// (those must be refreshable too, or the estimator's denominator
-    /// would silently go stale). Randomness consumption is identical to
-    /// the footprint-free path.
+    /// alongside the stored graph for boostable samples (cover-less ones
+    /// included), or into the empty-sample column for activated /
+    /// hopeless ones (those must be refreshable too, or the estimator's
+    /// denominator would silently go stale). Trace-retaining modes
+    /// additionally store the sample's queried-edge outcomes for
+    /// conditional replay. Randomness consumption is identical to the
+    /// footprint-free path.
     pub fn sample_into_fp(
         &self,
         rng: &mut SmallRng,
@@ -358,8 +576,12 @@ impl<'g> PrrGenerator<'g> {
     ) -> Vec<NodeId> {
         let root = NodeId(rng.random_range(0..self.g.num_nodes() as u32));
         match &self.soa {
-            Some(soa) => self.kernel_sample_into_fp(soa, root, rng, shard, mode),
-            None => self.scalar_sample_into_fp(root, rng, shard, mode),
+            // Trace capture is scalar-only: the kernel has no traced
+            // variant, and both loops draw bit-identical streams anyway.
+            Some(soa) if !mode.retains_trace() => {
+                self.kernel_sample_into_fp(soa, root, rng, shard, mode)
+            }
+            _ => self.scalar_sample_into_fp(root, rng, shard, mode),
         }
     }
 
@@ -377,9 +599,6 @@ impl<'g> PrrGenerator<'g> {
                 Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
                     None => Vec::new(),
                     Some(parts) => {
-                        if parts.critical.is_empty() {
-                            return Vec::new();
-                        }
                         shard.push_parts(&parts);
                         // The shard copied the critical set; hand the owned
                         // Vec back as the cover instead of cloning it.
@@ -390,6 +609,29 @@ impl<'g> PrrGenerator<'g> {
         }
         FP_SCRATCH.with_borrow_mut(|fp| {
             fp.clear();
+            if mode.retains_trace() {
+                return TRACE_SCRATCH.with_borrow_mut(|tb| {
+                    let phase1 = self.phase1_tr(root, rng, self.k as u32, Some(fp), Some(tb));
+                    fp.sort_unstable();
+                    fp.dedup();
+                    match phase1 {
+                        Phase1::Activated | Phase1::Hopeless => {
+                            shard.push_empty_footprint_trace(fp, &tb.buf, mode);
+                            Vec::new()
+                        }
+                        Phase1::Raw(raw) => match compress_parts(&raw, self.k) {
+                            None => {
+                                shard.push_empty_footprint_trace(fp, &tb.buf, mode);
+                                Vec::new()
+                            }
+                            Some(parts) => {
+                                shard.push_parts_fp_trace(&parts, fp, &tb.buf, mode);
+                                parts.critical
+                            }
+                        },
+                    }
+                });
+            }
             let phase1 = self.phase1(root, rng, self.k as u32, Some(fp));
             fp.sort_unstable();
             fp.dedup();
@@ -404,10 +646,6 @@ impl<'g> PrrGenerator<'g> {
                         Vec::new()
                     }
                     Some(parts) => {
-                        if parts.critical.is_empty() {
-                            shard.push_empty_footprint(fp, mode);
-                            return Vec::new();
-                        }
                         shard.push_parts_fp(&parts, fp, mode);
                         parts.critical
                     }
@@ -440,8 +678,7 @@ impl<'g> PrrGenerator<'g> {
                             &scratch.lseeds,
                             self.k,
                             parts,
-                        ) || parts.critical.is_empty()
-                        {
+                        ) {
                             return Vec::new();
                         }
                         shard.push_parts(parts);
@@ -468,8 +705,7 @@ impl<'g> PrrGenerator<'g> {
                             &scratch.lseeds,
                             self.k,
                             parts,
-                        ) || parts.critical.is_empty()
-                        {
+                        ) {
                             shard.push_empty_footprint(fp, mode);
                             return Vec::new();
                         }
@@ -533,8 +769,27 @@ impl<'g> PrrGenerator<'g> {
         root: NodeId,
         rng: &mut SmallRng,
         prune_at: u32,
-        mut footprint: Option<&mut Vec<u32>>,
+        footprint: Option<&mut Vec<u32>>,
     ) -> Phase1 {
+        self.phase1_tr(root, rng, prune_at, footprint, None)
+    }
+
+    /// [`phase1`](Self::phase1) with optional trace capture: when `trace`
+    /// is given, the sampled outcome of every queried edge is recorded
+    /// into the per-sample [`TraceBuf`] (capture consumes no randomness,
+    /// so traced and untraced streams are bit-identical). Trace capture
+    /// runs only on the scalar loop — the kernel has no traced variant.
+    fn phase1_tr(
+        &self,
+        root: NodeId,
+        rng: &mut SmallRng,
+        prune_at: u32,
+        mut footprint: Option<&mut Vec<u32>>,
+        mut trace: Option<&mut TraceBuf>,
+    ) -> Phase1 {
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.begin(root.0);
+        }
         if self.seed_mask.contains(root) {
             return Phase1::Activated;
         }
@@ -555,16 +810,149 @@ impl<'g> PrrGenerator<'g> {
                 if let Some(fp) = footprint.as_deref_mut() {
                     fp.push(u);
                 }
-                for (v, p) in self.g.in_edges(NodeId(u)) {
+                if let Some(tb) = trace.as_deref_mut() {
+                    tb.begin_node(u, self.g.in_degree(NodeId(u)));
+                }
+                for (i, (v, p)) in self.g.in_edges(NodeId(u)).enumerate() {
                     // Sample the three-way status on first (and only) touch.
                     let x: f64 = rng.random();
-                    let boost = if x < p.base {
-                        false
+                    let outcome = if x < p.base {
+                        TRACE_LIVE
                     } else if x < p.boosted {
-                        true
+                        TRACE_BOOST
                     } else {
-                        continue; // blocked
+                        TRACE_BLOCKED
                     };
+                    if let Some(tb) = trace.as_deref_mut() {
+                        tb.record(i, outcome);
+                    }
+                    if outcome == TRACE_BLOCKED {
+                        continue; // blocked
+                    }
+                    let boost = outcome == TRACE_BOOST;
+                    let dvr = du + boost as u32;
+                    if dvr > prune_at {
+                        continue; // pruning: needs more than k boosts
+                    }
+                    edges.push((v.0, u, boost));
+                    let old = scratch.get(v.0);
+                    if dvr < old {
+                        scratch.set(v.0, dvr);
+                        if self.seed_mask.contains(v) {
+                            if dvr == 0 {
+                                return Phase1::Activated;
+                            }
+                            if old == GenScratch::INF {
+                                seeds_found.push(v.0);
+                            }
+                        } else if dvr == du {
+                            deque.push_front((v.0, dvr));
+                        } else {
+                            deque.push_back((v.0, dvr));
+                        }
+                    }
+                }
+            }
+
+            if seeds_found.is_empty() {
+                Phase1::Hopeless
+            } else {
+                Phase1::Raw(RawPrr {
+                    root: root.0,
+                    edges,
+                    seeds: seeds_found,
+                })
+            }
+        })
+    }
+
+    /// Conditional-replay phase I (Ohsaka-style): re-runs the backward
+    /// 0-1 BFS on the *current* graph for the root retained in `tv`,
+    /// reusing the recorded coin of every edge whose law is unchanged and
+    /// drawing fresh coins only where the mutation batch touched:
+    ///
+    /// * `redraw_node(u)` — `u`'s in-edge list changed structurally
+    ///   (insert/remove head): every coin of `u`'s in-edges is redrawn,
+    ///   positional correspondence with the record is void;
+    /// * `redraw_edge(v, u)` — the edge `(v, u)` had its probabilities
+    ///   rewritten in place: only that coin is redrawn;
+    /// * a popped node with no record, or whose captured in-degree
+    ///   disagrees with the current one, is redrawn wholesale;
+    /// * a [`TRACE_NOT_DRAWN`] sentinel (the capturing run returned
+    ///   `Activated` before drawing) is a deferred decision — drawn
+    ///   fresh now.
+    ///
+    /// By the principle of deferred decisions the replayed sample is an
+    /// exact draw from the new graph's PRR distribution, *jointly* with
+    /// the untouched survivors — the coupling that makes trace-retention
+    /// refresh distribution-fresh under partial churn where unconditioned
+    /// redraw is not. The replay records a new footprint and trace
+    /// against the current graph as it goes.
+    #[allow(clippy::too_many_arguments)]
+    fn phase1_replay(
+        &self,
+        tv: &TraceView<'_>,
+        redraw_node: &dyn Fn(u32) -> bool,
+        redraw_edge: &dyn Fn(u32, u32) -> bool,
+        rng: &mut SmallRng,
+        prune_at: u32,
+        footprint: &mut Vec<u32>,
+        trace_out: &mut TraceBuf,
+    ) -> Phase1 {
+        let root = NodeId(tv.root);
+        trace_out.begin(root.0);
+        if self.seed_mask.contains(root) {
+            return Phase1::Activated;
+        }
+        SCRATCH.with_borrow_mut(|scratch| {
+            scratch.begin(self.g.num_nodes());
+            let mut deque: std::collections::VecDeque<(u32, u32)> =
+                std::collections::VecDeque::new();
+            let mut edges: Vec<(u32, u32, bool)> = Vec::new();
+            let mut seeds_found: Vec<u32> = Vec::new();
+
+            scratch.set(root.0, 0);
+            deque.push_back((root.0, 0));
+
+            while let Some((u, du)) = deque.pop_front() {
+                if du > scratch.get(u) {
+                    continue; // stale entry: u was settled at a smaller distance
+                }
+                footprint.push(u);
+                let deg = self.g.in_degree(NodeId(u));
+                trace_out.begin_node(u, deg);
+                // The record is positionally valid only if the in-edge
+                // list is membership- and order-identical to capture time.
+                let rec = if redraw_node(u) {
+                    None
+                } else {
+                    tv.records
+                        .get(&u)
+                        .filter(|&&(d, _)| d as usize == deg)
+                        .copied()
+                };
+                for (i, (v, p)) in self.g.in_edges(NodeId(u)).enumerate() {
+                    let mut outcome = TRACE_NOT_DRAWN;
+                    if let Some((_, off)) = rec {
+                        if !redraw_edge(v.0, u) {
+                            outcome = tv.outcome(off, i);
+                        }
+                    }
+                    if outcome == TRACE_NOT_DRAWN {
+                        let x: f64 = rng.random();
+                        outcome = if x < p.base {
+                            TRACE_LIVE
+                        } else if x < p.boosted {
+                            TRACE_BOOST
+                        } else {
+                            TRACE_BLOCKED
+                        };
+                    }
+                    trace_out.record(i, outcome);
+                    if outcome == TRACE_BLOCKED {
+                        continue; // blocked
+                    }
+                    let boost = outcome == TRACE_BOOST;
                     let dvr = du + boost as u32;
                     if dvr > prune_at {
                         continue; // pruning: needs more than k boosts
@@ -1206,7 +1594,12 @@ mod tests {
             let kernel = PrrGenerator::new(&g, &[NodeId(0)], 2);
             let scalar = PrrGenerator::new_scalar_oracle(&g, &[NodeId(0)], 2);
             assert!(kernel.is_kernel() && !scalar.is_kernel());
-            for mode in [FootprintMode::Off, FootprintMode::Sorted] {
+            for mode in [
+                FootprintMode::Off,
+                FootprintMode::Sorted,
+                FootprintMode::Compressed,
+                FootprintMode::Hybrid { bloom_above: 4 },
+            ] {
                 let mut rng_k = SmallRng::seed_from_u64(gseed * 7 + 3);
                 let mut rng_s = rng_k.clone();
                 let mut shard_k = PrrArenaShard::new();
@@ -1224,6 +1617,152 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn trace_capture_leaves_stream_and_payload_unchanged() {
+        // Trace mode must draw the identical stream and store the same
+        // graphs/footprints as Sorted mode; only the sidecar differs.
+        use crate::arena::{PrrArena, PrrArenaShard};
+        for gseed in 0..4u64 {
+            let g = er_graph(20, 70, gseed + 200);
+            let gen = PrrGenerator::new_scalar_oracle(&g, &[NodeId(0)], 2);
+            let mut rng_t = SmallRng::seed_from_u64(gseed * 11 + 5);
+            let mut rng_s = rng_t.clone();
+            let mut shard_t = PrrArenaShard::new();
+            let mut shard_s = PrrArenaShard::new();
+            for _ in 0..200 {
+                let ct = gen.sample_into_fp(&mut rng_t, &mut shard_t, FootprintMode::Trace);
+                let cs = gen.sample_into_fp(&mut rng_s, &mut shard_s, FootprintMode::Sorted);
+                assert_eq!(ct, cs, "covers diverged");
+            }
+            assert_eq!(rng_t.next_u64(), rng_s.next_u64(), "stream diverged");
+            let at = PrrArena::from_shard(shard_t);
+            let arena_s = PrrArena::from_shard(shard_s);
+            assert_eq!(at.len(), arena_s.len());
+            // Same decoded footprints, graph for graph.
+            for i in 0..at.len() {
+                let mut ft = Vec::new();
+                at.footprints().for_each_node(i, |v| ft.push(v));
+                assert_eq!(arena_s.footprints().nodes(i).unwrap(), &ft[..]);
+                assert!(!at.footprints().trace(i).is_empty(), "missing trace");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_without_mutation_reproduces_the_sample() {
+        // With no mutated edges every coin is reused: the replay must
+        // reproduce the original graph, footprint, and trace exactly,
+        // consuming no randomness (except for not-drawn sentinels, which
+        // only arise on early-Activated samples — those have no stored
+        // graph to compare anyway).
+        for gseed in 0..6u64 {
+            let g = er_graph(24, 90, gseed + 300);
+            let gen = PrrGenerator::new_scalar_oracle(&g, &[NodeId(0)], 2);
+            let mut rng = SmallRng::seed_from_u64(gseed * 13 + 1);
+            let (mut fp0, mut tr0) = (Vec::new(), Vec::new());
+            let (mut fp1, mut tr1) = (Vec::new(), Vec::new());
+            for _ in 0..80 {
+                let out = gen.sample_with_footprint_trace(&mut rng, &mut fp0, &mut tr0);
+                let mut replay_rng = SmallRng::seed_from_u64(999);
+                let before = replay_rng.clone().next_u64();
+                let rep = gen.replay_with_footprint_trace(
+                    &tr0,
+                    &|_| false,
+                    &|_, _| false,
+                    &mut replay_rng,
+                    &mut fp1,
+                    &mut tr1,
+                );
+                match (&out, &rep) {
+                    (PrrOutcome::Boostable(a), PrrOutcome::Boostable(b)) => {
+                        assert_eq!(a, b, "replayed graph diverged");
+                        assert_eq!(fp0, fp1);
+                        assert_eq!(tr0, tr1);
+                        // Full-reuse replay consumes no randomness.
+                        assert_eq!(replay_rng.next_u64(), before);
+                    }
+                    (PrrOutcome::Hopeless, PrrOutcome::Hopeless) => {
+                        assert_eq!(fp0, fp1);
+                        assert_eq!(tr0, tr1);
+                    }
+                    (PrrOutcome::Activated, PrrOutcome::Activated) => {}
+                    _ => panic!("outcome diverged under no-mutation replay"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_redraws_only_mutated_coins() {
+        // Conditional replay on the same graph with a redraw predicate:
+        // outcomes of untouched edges must be preserved bit-for-bit in
+        // the new trace; redrawn positions follow the replay RNG.
+        let g = er_graph(24, 90, 7);
+        let gen = PrrGenerator::new_scalar_oracle(&g, &[NodeId(0)], 2);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let (mut fp0, mut tr0) = (Vec::new(), Vec::new());
+        let (mut fp1, mut tr1) = (Vec::new(), Vec::new());
+        let mut checked = 0u32;
+        for _ in 0..60 {
+            let out = gen.sample_with_footprint_trace(&mut rng, &mut fp0, &mut tr0);
+            if !matches!(out, PrrOutcome::Boostable(_)) {
+                continue;
+            }
+            // "Mutate" the in-edges of one footprint node: same probs, so
+            // the replayed sample stays a valid draw, but its coins are
+            // forced fresh while all the others must be reused.
+            let target = fp0[fp0.len() / 2];
+            let mut replay_rng = SmallRng::seed_from_u64(4242);
+            let rep = gen.replay_with_footprint_trace(
+                &tr0,
+                &|u| u == target,
+                &|_, _| false,
+                &mut replay_rng,
+                &mut fp1,
+                &mut tr1,
+            );
+            // The replay is a valid sample; if the redrawn coins happen to
+            // repeat the original outcomes, everything must round-trip.
+            if tr1 == tr0 {
+                assert_eq!(fp1, fp0);
+                match rep {
+                    PrrOutcome::Boostable(_) => {}
+                    _ => panic!("identical trace but different outcome"),
+                }
+            }
+            checked += 1;
+        }
+        assert!(checked > 10, "too few boostable samples to exercise replay");
+    }
+
+    #[test]
+    fn coverless_boostable_graphs_are_stored() {
+        // Satellite pin (PR 10): a boostable graph whose critical set is
+        // empty is retained in the shard with an empty cover — dropping
+        // it broke Δ̂ for k ≥ 2 boost sets that activate its root.
+        use crate::arena::{PrrArena, PrrArenaShard};
+        let mut stored_coverless = 0usize;
+        for gseed in 0..8u64 {
+            let g = er_graph(20, 70, gseed + 400);
+            let gen = PrrGenerator::new(&g, &[NodeId(0)], 2);
+            let mut rng = SmallRng::seed_from_u64(gseed);
+            let mut shard = PrrArenaShard::new();
+            let mut covers = 0usize;
+            for _ in 0..300 {
+                if !gen.sample_into(&mut rng, &mut shard).is_empty() {
+                    covers += 1;
+                }
+            }
+            let arena = PrrArena::from_shard(shard);
+            assert!(arena.len() >= covers);
+            stored_coverless += arena.len() - covers;
+        }
+        assert!(
+            stored_coverless > 0,
+            "no cover-less boostable graph sampled; weaken the pin's graphs"
+        );
     }
 
     #[test]

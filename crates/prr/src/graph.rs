@@ -36,7 +36,7 @@ pub(crate) fn unpack_edge(edge: u32) -> (u32, bool) {
 /// Local node 0 is always the super-seed. Every stored edge is either live
 /// or live-upon-boost; `f_R(B)` is the reachability of the root from the
 /// super-seed when boost edges with heads in `B` are traversable.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompressedPrr {
     pub(crate) root: u32,
     /// Local → global id; `globals[0] == SUPER_SEED`.

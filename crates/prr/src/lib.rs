@@ -32,10 +32,13 @@
 //!   and order-preserving compaction so the online maintainer
 //!   (`kboost-online`) can retire stale graphs in place.
 //! * [`footprint`] — per-sample *edge-space footprints* (the expanded-node
-//!   set of phase I) retained as flat [`FootprintColumn`]s — sorted lists
-//!   or fixed-size bloom fingerprints — for the online subsystem's exact
-//!   staleness detection. Stored graphs and *empty* samples both carry
-//!   one, so no sample is ever silently unrefreshable.
+//!   set of phase I) retained as flat [`FootprintColumn`]s — sorted lists,
+//!   fixed-size bloom fingerprints, delta-varint compressed blobs with an
+//!   interning dictionary, a hybrid exact-below / bloom-above split, or
+//!   the trace-retaining tier that additionally stores each sample's
+//!   queried-edge outcomes for conditional replay — for the online
+//!   subsystem's exact staleness detection. Stored graphs and *empty*
+//!   samples both carry one, so no sample is ever silently unrefreshable.
 //! * [`select`] — the greedy NodeSelection over `Δ̂` (Algorithm 2, line 4):
 //!   an inverted coverage index with incremental vote maintenance, plus
 //!   the naive full re-traversal greedy as the equivalence oracle. The
@@ -51,8 +54,11 @@ pub mod select;
 pub mod source;
 
 pub use arena::{PrrArena, PrrArenaShard, PrrGraphView};
-pub use footprint::{FootprintColumn, FootprintMode, FootprintQuery};
+pub use footprint::{FootprintColumn, FootprintMode, FootprintQuery, HYBRID_BLOOM_BITS};
 pub use gen::{PrrGenerator, PrrOutcome, RawPrr};
 pub use graph::{CompressedPrr, PrrEvalScratch};
 pub use select::{greedy_delta_selection, greedy_delta_selection_naive, DeltaSelection, NodeIndex};
-pub use source::{LegacyFpSource, LegacyPrrSource, LegacySample, PrrFullSource, PrrLbSource};
+pub use source::{
+    LegacyFpSource, LegacyPrrSource, LegacySample, LegacyTraceSample, LegacyTraceSource,
+    PrrFullSource, PrrLbSource,
+};

@@ -59,15 +59,22 @@ impl<'g> PrrFullSource<'g> {
 
     /// Creates the source for `(G, S, k)` retaining per-sample footprints
     /// in the given mode. Samples through the data-oriented phase-I
-    /// kernel.
+    /// kernel — except for trace-retaining modes, which are scalar-only
+    /// (the kernel has no traced variant; the stream and every stored
+    /// byte are identical either way, so only throughput differs).
     pub fn with_footprints(
         g: &'g DiGraph,
         seeds: &[NodeId],
         k: usize,
         mode: FootprintMode,
     ) -> Self {
+        let generator = if mode.retains_trace() {
+            PrrGenerator::new_scalar_oracle(g, seeds, k)
+        } else {
+            PrrGenerator::new(g, seeds, k)
+        };
         PrrFullSource {
-            generator: PrrGenerator::new(g, seeds, k),
+            generator,
             n: g.num_nodes(),
             candidates: g.num_nodes().saturating_sub(seeds.len()),
             mode,
@@ -192,12 +199,11 @@ impl SketchGenerator for LegacyPrrSource<'_> {
         match self.generator.sample(rng) {
             PrrOutcome::Activated | PrrOutcome::Hopeless => Vec::new(),
             PrrOutcome::Boostable(c) => {
+                // Cover-less boostable graphs are stored too (matching the
+                // shard path): they contribute no sketch cover, but Δ̂ for
+                // a k ≥ 2 boost set that activates their root needs them.
                 let cover = c.critical().to_vec();
-                // Cover-less boostable graphs are dropped, matching the
-                // shard path (and the historical payload behaviour).
-                if !cover.is_empty() {
-                    shard.push(c);
-                }
+                shard.push(c);
                 cover
             }
         }
@@ -209,14 +215,14 @@ impl SketchGenerator for LegacyPrrSource<'_> {
 /// of **every** sample, empty ones included.
 #[derive(Clone, Debug)]
 pub enum LegacySample {
-    /// A boostable sample with a non-empty critical set.
+    /// A boostable sample (cover-less ones included).
     Stored {
         /// The legacy per-graph payload.
         graph: CompressedPrr,
         /// Sorted, deduplicated expanded-node set.
         footprint: Vec<u32>,
     },
-    /// An activated / hopeless / cover-less sample: counted, not stored —
+    /// An activated / hopeless sample: counted, not stored —
     /// but its footprint still determines when its slot must refresh.
     Empty {
         /// Sorted, deduplicated expanded-node set.
@@ -268,14 +274,93 @@ impl SketchGenerator for LegacyFpSource<'_> {
             }
             PrrOutcome::Boostable(c) => {
                 let cover = c.critical().to_vec();
-                if cover.is_empty() {
-                    shard.push(LegacySample::Empty { footprint });
-                } else {
-                    shard.push(LegacySample::Stored {
-                        graph: c,
-                        footprint,
-                    });
-                }
+                shard.push(LegacySample::Stored {
+                    graph: c,
+                    footprint,
+                });
+                cover
+            }
+        }
+    }
+}
+
+/// One sample as the trace-retention replay oracle retains it: the
+/// [`LegacySample`] payload plus the sample's trace blob (queried-edge
+/// outcomes), for every sample — empties must be replayable too.
+#[derive(Clone, Debug)]
+pub enum LegacyTraceSample {
+    /// A boostable sample (cover-less ones included).
+    Stored {
+        /// The legacy per-graph payload.
+        graph: CompressedPrr,
+        /// Sorted, deduplicated expanded-node set.
+        footprint: Vec<u32>,
+        /// Retained queried-edge outcomes for conditional replay.
+        trace: Vec<u8>,
+    },
+    /// An activated / hopeless sample: counted, not stored — but its
+    /// footprint still schedules its refresh and its trace still seeds
+    /// the conditional replay.
+    Empty {
+        /// Sorted, deduplicated expanded-node set.
+        footprint: Vec<u32>,
+        /// Retained queried-edge outcomes for conditional replay.
+        trace: Vec<u8>,
+    },
+}
+
+/// Test-only equivalence oracle of the trace-retention tier:
+/// [`LegacyFpSource`] extended with per-sample traces. Draws the exact
+/// randomness of every other source, so an oracle-replayed pool is
+/// byte-comparable to a [`FootprintMode::Trace`] shard pool with the same
+/// `(base_seed, target)`.
+pub struct LegacyTraceSource<'g> {
+    generator: PrrGenerator<'g>,
+    n: usize,
+    candidates: usize,
+}
+
+impl<'g> LegacyTraceSource<'g> {
+    /// Creates the oracle source for `(G, S, k)`. Always samples through
+    /// the scalar loop (trace capture is scalar-only).
+    pub fn new(g: &'g DiGraph, seeds: &[NodeId], k: usize) -> Self {
+        LegacyTraceSource {
+            generator: PrrGenerator::new_scalar_oracle(g, seeds, k),
+            n: g.num_nodes(),
+            candidates: g.num_nodes().saturating_sub(seeds.len()),
+        }
+    }
+}
+
+impl SketchGenerator for LegacyTraceSource<'_> {
+    type Shard = Vec<LegacyTraceSample>;
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates
+    }
+
+    fn generate(&self, rng: &mut SmallRng, shard: &mut Vec<LegacyTraceSample>) -> Vec<NodeId> {
+        let mut footprint = Vec::new();
+        let mut trace = Vec::new();
+        match self
+            .generator
+            .sample_with_footprint_trace(rng, &mut footprint, &mut trace)
+        {
+            PrrOutcome::Activated | PrrOutcome::Hopeless => {
+                shard.push(LegacyTraceSample::Empty { footprint, trace });
+                Vec::new()
+            }
+            PrrOutcome::Boostable(c) => {
+                let cover = c.critical().to_vec();
+                shard.push(LegacyTraceSample::Stored {
+                    graph: c,
+                    footprint,
+                    trace,
+                });
                 cover
             }
         }

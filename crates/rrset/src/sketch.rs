@@ -72,11 +72,13 @@ pub trait SketchGenerator: Sync {
 
     /// Draws one sketch, appending any retained data to `shard`, and
     /// returns its cover. An empty cover means the sketch is uncoverable:
-    /// it is counted (the estimator's denominator) but contributes no
-    /// coverable storage. Generators must not append *coverable* data for
-    /// an empty sketch; per-sample side channels that cover both kinds —
-    /// e.g. the PRR pipeline's empty-sample footprint column — are fine,
-    /// as long as they keep the shard's chunk-order merge semantics.
+    /// it is counted (the estimator's denominator) and contributes nothing
+    /// to the pool's cover list — but it MAY still append retained data
+    /// (e.g. the PRR pipeline stores cover-less boostable graphs, and its
+    /// empty-sample footprint column covers every sample), as long as the
+    /// shard keeps its chunk-order merge semantics. Consumers that need a
+    /// storage-based empty count must derive it from the shard, not from
+    /// [`SketchPool::empty_samples`] (which counts cover-less sketches).
     fn generate(&self, rng: &mut SmallRng, shard: &mut Self::Shard) -> Vec<NodeId>;
 }
 

@@ -188,9 +188,17 @@
 //!   set of nodes whose in-edge lists the sampler enumerated — for
 //!   stored **and** empty samples, so a mutation of edge `(u, v)`
 //!   invalidates exactly the samples whose generation queried `v`'s
-//!   in-edge slot; `ExactBloom { bits }` compresses the footprints to
-//!   fixed-width bloom fingerprints (never misses, may over-refresh).
-//!   The memory trade is footprint bytes vs exactness
+//!   in-edge slot. Three tiers trade footprint memory against verdict
+//!   precision: `ExactCompressed` interns delta-varint footprints
+//!   (exact verdicts, strictly below sorted bytes at scale);
+//!   `ExactBloom { bits }` stores fixed-width bloom fingerprints
+//!   (never misses, may over-refresh); `ExactHybrid { bloom_above }`
+//!   keeps small footprints compressed and fingerprints only the heavy
+//!   tail. `ExactTrace` additionally retains phase-I coin outcomes and
+//!   **replays** invalidated samples — reusing coins on unmutated
+//!   in-edge slots, redrawing only mutated ones — so the maintained
+//!   pool is distribution-identical to a fresh pool over the mutated
+//!   graph. The memory trade is footprint bytes vs exactness
 //!   ([`engine::SolveStats::footprint_bytes`], `BENCH_online.json`'s
 //!   `footprint_overhead`).
 //! * **Tombstone lifecycle** ([`prr::arena::PrrArena`]): stale samples,
@@ -206,9 +214,10 @@
 //!   oracle; `tests/online_pool.rs` asserts it property-wise, the
 //!   exact mode's recorded drift is zero by construction, and
 //!   `exp_online` tracks speedup, drift and footprint overhead in
-//!   `BENCH_online.json`). Refreshed slots are unconditioned fresh
-//!   draws — see the `kboost-online` crate docs for the one remaining
-//!   statistical caveat that conditional refresh would close.
+//!   `BENCH_online.json`). Under the redraw-mode rules refreshed slots
+//!   are unconditioned fresh draws (see the `kboost-online` crate docs
+//!   for the conditioning caveat that implies); `ExactTrace`'s
+//!   conditional replay closes it.
 //!
 //! # Serving & snapshot rotation
 //!

@@ -2,8 +2,9 @@
 //! contracts, end to end:
 //!
 //! * after **any** mutation sequence, under **every** staleness rule
-//!   (approximate node tables, exact sorted footprints, exact bloom
-//!   fingerprints), the incrementally maintained pool's compacted arena
+//!   (approximate node tables; exact sorted, compressed, bloom and
+//!   hybrid footprints; trace-retention conditional replay), the
+//!   incrementally maintained pool's compacted arena
 //!   is **byte-equal** to the naive replay oracle
 //!   (`rebuild_from_history`: legacy per-graph payloads, full per-sample
 //!   scans, eager filtering — no tombstones, no inverted index), its
@@ -38,11 +39,16 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// The three staleness rules, as proptest draws them.
-const STALENESS_MODES: [Staleness; 3] = [
+/// Every staleness rule, as proptest draws them: the node-table
+/// heuristic, all four exact footprint tiers, and the trace-retention
+/// tier whose refresh is a conditional replay instead of a redraw.
+const STALENESS_MODES: [Staleness; 6] = [
     Staleness::Approximate,
     Staleness::Exact,
     Staleness::ExactBloom { bits: 128 },
+    Staleness::ExactCompressed,
+    Staleness::ExactHybrid { bloom_above: 4 },
+    Staleness::ExactTrace,
 ];
 
 fn er_graph(n: usize, m: usize, seed: u64) -> DiGraph {
@@ -210,7 +216,7 @@ proptest! {
         threads in 1usize..8,
         epochs in 1usize..4,
         threshold in 0u32..3,
-        staleness in 0usize..3,
+        staleness in 0usize..6,
     ) {
         let g = er_graph(14, 40, graph_seed);
         let mut rng = SmallRng::seed_from_u64(mutation_seed);
@@ -235,7 +241,7 @@ proptest! {
         k in 1usize..4,
         threads in 1usize..5,
         epochs in 1usize..3,
-        staleness in 0usize..3,
+        staleness in 0usize..6,
     ) {
         let g = gadget();
         let mut rng = SmallRng::seed_from_u64(mutation_seed);
@@ -767,7 +773,7 @@ proptest! {
         pool_seed in 0u64..5_000,
         threads in 1usize..8,
         epochs in 1usize..4,
-        staleness in 0usize..3,
+        staleness in 0usize..6,
         fault_chunk in 0u64..3,
         panic_instead in (0u32..2).prop_map(|b| b == 1),
     ) {
